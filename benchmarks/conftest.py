@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark/figure-reproduction suite.
+
+Every benchmark reproduces one figure or table of the paper by calling the
+corresponding entry point of :mod:`repro.experiments.figures`, printing the
+series (the same rows the paper plots) and asserting the qualitative checks
+(who wins, where, by roughly how much).
+
+The dataset scale is controlled with the ``REPRO_BENCH_SCALE`` environment
+variable (``small`` by default, which keeps the whole suite within a few
+minutes; ``tiny`` gives a fast smoke run and ``medium`` results closer to
+the paper's setup).  Each figure's text output is also written to
+``benchmarks/results/<figure>.txt`` so EXPERIMENTS.md can be refreshed from
+the latest run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_figure
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """Dataset scale for the benchmark suite (``REPRO_BENCH_SCALE``)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture
+def figure_runner(benchmark, bench_scale):
+    """Run a figure under pytest-benchmark, print and persist its series."""
+
+    def run(figure_id: str, **kwargs):
+        result = benchmark.pedantic(
+            run_figure,
+            args=(figure_id,),
+            kwargs={"scale": bench_scale, **kwargs},
+            rounds=1,
+            iterations=1,
+        )
+        text = result.as_text()
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / f"{figure_id}.txt").write_text(text + "\n")
+        failed = [name for name, ok in result.checks.items() if not ok]
+        assert not failed, (
+            f"{figure_id}: qualitative checks failed: {failed}\n{text}"
+        )
+        return result
+
+    return run

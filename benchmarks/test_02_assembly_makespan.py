@@ -1,0 +1,9 @@
+"""Figure 2: normalised makespan of the three heuristics on assembly trees (p=8).
+
+Reproduces the series of the paper's fig2 on the surrogate dataset and
+asserts the qualitative shape reported in the paper.
+"""
+
+
+def test_fig2(figure_runner):
+    figure_runner("fig2")

@@ -1,0 +1,9 @@
+"""Figure 3: speedup of MemBooking over Activation on assembly trees.
+
+Reproduces the series of the paper's fig3 on the surrogate dataset and
+asserts the qualitative shape reported in the paper.
+"""
+
+
+def test_fig3(figure_runner):
+    figure_runner("fig3")

@@ -1,0 +1,9 @@
+"""Figure 4: fraction of the available memory used on assembly trees.
+
+Reproduces the series of the paper's fig4 on the surrogate dataset and
+asserts the qualitative shape reported in the paper.
+"""
+
+
+def test_fig4(figure_runner):
+    figure_runner("fig4")

@@ -1,0 +1,9 @@
+"""Figure 5: scheduling time vs tree size on assembly trees.
+
+Reproduces the series of the paper's fig5 on the surrogate dataset and
+asserts the qualitative shape reported in the paper.
+"""
+
+
+def test_fig5(figure_runner):
+    figure_runner("fig5")

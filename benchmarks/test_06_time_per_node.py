@@ -1,0 +1,9 @@
+"""Figure 6: per-node scheduling time vs tree height.
+
+Reproduces the series of the paper's fig6 on the surrogate dataset and
+asserts the qualitative shape reported in the paper.
+"""
+
+
+def test_fig6(figure_runner):
+    figure_runner("fig6")

@@ -1,0 +1,9 @@
+"""Figure 7: speedup vs tree height at memory factor 2.
+
+Reproduces the series of the paper's fig7 on the surrogate dataset and
+asserts the qualitative shape reported in the paper.
+"""
+
+
+def test_fig7(figure_runner):
+    figure_runner("fig7")

@@ -1,0 +1,9 @@
+"""Figure 8: impact of the AO/EO choice on assembly trees.
+
+Reproduces the series of the paper's fig8 on the surrogate dataset and
+asserts the qualitative shape reported in the paper.
+"""
+
+
+def test_fig8(figure_runner):
+    figure_runner("fig8")

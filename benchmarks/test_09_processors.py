@@ -1,0 +1,9 @@
+"""Figure 9: processor sweep (2..32) on assembly trees.
+
+Reproduces the series of the paper's fig9 on the surrogate dataset and
+asserts the qualitative shape reported in the paper.
+"""
+
+
+def test_fig9(figure_runner):
+    figure_runner("fig9")

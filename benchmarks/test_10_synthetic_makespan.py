@@ -1,0 +1,9 @@
+"""Figure 10: normalised makespan of the three heuristics on synthetic trees.
+
+Reproduces the series of the paper's fig10 on the surrogate dataset and
+asserts the qualitative shape reported in the paper.
+"""
+
+
+def test_fig10(figure_runner):
+    figure_runner("fig10")

@@ -1,0 +1,9 @@
+"""Figure 11: speedup of MemBooking over Activation on synthetic trees.
+
+Reproduces the series of the paper's fig11 on the surrogate dataset and
+asserts the qualitative shape reported in the paper.
+"""
+
+
+def test_fig11(figure_runner):
+    figure_runner("fig11")

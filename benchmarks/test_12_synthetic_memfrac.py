@@ -1,0 +1,9 @@
+"""Figure 12: fraction of the available memory used on synthetic trees.
+
+Reproduces the series of the paper's fig12 on the surrogate dataset and
+asserts the qualitative shape reported in the paper.
+"""
+
+
+def test_fig12(figure_runner):
+    figure_runner("fig12")

@@ -1,0 +1,9 @@
+"""Figure 13: scheduling time vs tree size on synthetic trees.
+
+Reproduces the series of the paper's fig13 on the surrogate dataset and
+asserts the qualitative shape reported in the paper.
+"""
+
+
+def test_fig13(figure_runner):
+    figure_runner("fig13")

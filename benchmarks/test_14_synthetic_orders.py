@@ -1,0 +1,9 @@
+"""Figure 14: impact of the AO/EO choice on synthetic trees.
+
+Reproduces the series of the paper's fig14 on the surrogate dataset and
+asserts the qualitative shape reported in the paper.
+"""
+
+
+def test_fig14(figure_runner):
+    figure_runner("fig14")

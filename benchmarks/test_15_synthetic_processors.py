@@ -1,0 +1,9 @@
+"""Figure 15: processor sweep (2..32) on synthetic trees.
+
+Reproduces the series of the paper's fig15 on the surrogate dataset and
+asserts the qualitative shape reported in the paper.
+"""
+
+
+def test_fig15(figure_runner):
+    figure_runner("fig15")

@@ -1,0 +1,9 @@
+"""Ablation: ALAP dispatch to candidates vs strict dispatch.
+
+Reproduces the series of the paper's ablation_dispatch on the surrogate dataset and
+asserts the qualitative shape reported in the paper.
+"""
+
+
+def test_ablation_dispatch(figure_runner):
+    figure_runner("ablation_dispatch")

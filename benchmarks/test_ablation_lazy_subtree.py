@@ -1,0 +1,9 @@
+"""Ablation: optimised vs reference data structures.
+
+Reproduces the series of the paper's ablation_lazy_subtree on the surrogate dataset and
+asserts the qualitative shape reported in the paper.
+"""
+
+
+def test_ablation_lazy_subtree(figure_runner):
+    figure_runner("ablation_lazy_subtree")

@@ -1,0 +1,9 @@
+"""Section 6: improvement statistics of the memory-aware lower bound.
+
+Reproduces the series of the paper's lb_stats on the surrogate dataset and
+asserts the qualitative shape reported in the paper.
+"""
+
+
+def test_lb_stats(figure_runner):
+    figure_runner("lb_stats")

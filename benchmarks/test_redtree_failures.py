@@ -1,0 +1,9 @@
+"""Section 7.4: RedTree failures under tight memory.
+
+Reproduces the series of the paper's redtree_failures on the surrogate dataset and
+asserts the qualitative shape reported in the paper.
+"""
+
+
+def test_redtree_failures(figure_runner):
+    figure_runner("redtree_failures")

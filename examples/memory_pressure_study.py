@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Memory-pressure study on synthetic trees (a miniature Figure 10/11).
+
+Generates a batch of Section 7.1 synthetic trees, sweeps the memory bound
+from the minimum sequential memory to 10x that value, and prints the average
+normalised makespan of the three heuristics plus the speedup of MemBooking
+over Activation.
+
+Run with::
+
+    python examples/memory_pressure_study.py [num_trees] [num_nodes]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import SweepConfig, format_series_table, run_sweep, series_over, speedup_records
+from repro.experiments.metrics import mean
+from repro.workloads import SyntheticTreeConfig, synthetic_trees
+
+
+def main() -> None:
+    num_trees = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    num_nodes = int(sys.argv[2]) if len(sys.argv) > 2 else 500
+
+    trees = synthetic_trees(num_trees, SyntheticTreeConfig(num_nodes=num_nodes), rng=42)
+    config = SweepConfig(memory_factors=(1.0, 1.5, 2.0, 3.0, 5.0, 10.0), processors=(8,))
+    print(f"running {len(trees)} synthetic trees of {num_nodes} nodes on p=8 ...")
+    records = run_sweep(trees, config)
+
+    series = {
+        scheduler: series_over(
+            records,
+            "memory_factor",
+            "normalized_makespan",
+            where=lambda r, s=scheduler: r["scheduler"] == s,
+            min_completion=config.min_completion_fraction,
+        )
+        for scheduler in config.schedulers
+    }
+    print()
+    print(format_series_table(series, x_label="memory factor",
+                              title="average makespan / lower bound"))
+
+    speedups = speedup_records(records)
+    speedup_series = {
+        "speedup (Activation / MemBooking)": [
+            (factor, mean(s["speedup"] for s in speedups if s["memory_factor"] == factor))
+            for factor in config.memory_factors
+        ]
+    }
+    print()
+    print(format_series_table(speedup_series, x_label="memory factor"))
+    print()
+    print("the gain concentrates where memory is scarce (factors 1-3) and")
+    print("vanishes once every heuristic can activate the whole tree at once.")
+
+
+if __name__ == "__main__":
+    main()

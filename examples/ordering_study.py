@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Activation/execution order study (a miniature Figure 8/14).
+
+The MemBooking heuristic takes two orders: the activation order AO (which
+must be a topological order and drives the memory bookings) and the execution
+order EO (an arbitrary priority used to pick among ready tasks).  This
+example compares the combinations studied in Section 7.3.1 of the paper:
+
+* memPO  — Liu's memory-minimising postorder,
+* perfPO — a postorder favouring subtrees with long critical paths,
+* OptSeq — Liu's optimal (non-postorder) sequential traversal,
+* CP     — critical-path (bottom-level) priority, as an execution order.
+
+Run with::
+
+    python examples/ordering_study.py [num_trees] [num_nodes]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import MemBookingScheduler, make_order, sequential_peak_memory
+from repro.orders import minimum_memory_postorder
+from repro.workloads import SyntheticTreeConfig, synthetic_trees
+
+COMBINATIONS = [
+    ("memPO", "memPO"),
+    ("memPO", "CP"),
+    ("OptSeq", "CP"),
+    ("OptSeq", "OptSeq"),
+    ("perfPO", "CP"),
+    ("perfPO", "perfPO"),
+]
+
+
+def main() -> None:
+    num_trees = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    num_nodes = int(sys.argv[2]) if len(sys.argv) > 2 else 400
+    memory_factor = 2.0
+    num_processors = 8
+
+    trees = synthetic_trees(num_trees, SyntheticTreeConfig(num_nodes=num_nodes), rng=7)
+    print(
+        f"{len(trees)} synthetic trees of {num_nodes} nodes, p={num_processors}, "
+        f"memory = {memory_factor} x minimum\n"
+    )
+    print(f"{'AO/EO':<18} {'avg makespan':>14} {'vs memPO/memPO':>15}")
+
+    reference = None
+    for ao_name, eo_name in COMBINATIONS:
+        total = 0.0
+        for tree in trees:
+            ao = make_order(tree, ao_name)
+            eo = make_order(tree, eo_name)
+            minimum = sequential_peak_memory(tree, minimum_memory_postorder(tree))
+            result = MemBookingScheduler().schedule(
+                tree, num_processors, memory_factor * minimum, ao=ao, eo=eo
+            )
+            assert result.completed, result.failure_reason
+            total += result.makespan
+        average = total / len(trees)
+        if reference is None:
+            reference = average
+        print(f"{ao_name + '/' + eo_name:<18} {average:>14.1f} {average / reference:>14.3f}x")
+
+    print()
+    print("as in the paper, using CP as the execution order gives a small but")
+    print("consistent improvement, while the choice of the activation order has")
+    print("little effect — far less than switching between scheduling heuristics.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Multifrontal sparse factorization: schedule a real assembly tree.
+
+This example follows the paper's motivating application (Section 1): the
+task graph of a multifrontal sparse factorization is a tree whose nodes are
+dense frontal matrices.  We
+
+1. build a sparse matrix (a 2-D Poisson problem on a regular grid),
+2. reorder it with geometric nested dissection,
+3. run the symbolic analysis (elimination tree, column counts, supernode
+   amalgamation) to obtain the assembly tree with realistic data sizes and
+   flop counts,
+4. schedule that tree on 8 processors under increasingly tight memory
+   bounds and compare Activation with MemBooking.
+
+Run with::
+
+    python examples/sparse_factorization.py [grid_size]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    ActivationScheduler,
+    MemBookingScheduler,
+    combined_lower_bound,
+    minimum_memory_postorder,
+    sequential_peak_memory,
+    tree_stats,
+)
+from repro.workloads import (
+    assembly_tree_from_matrix,
+    grid_laplacian_2d,
+    nested_dissection_2d,
+)
+
+
+def main() -> None:
+    grid = int(sys.argv[1]) if len(sys.argv) > 1 else 24
+    num_processors = 8
+
+    matrix = grid_laplacian_2d(grid, grid)
+    permutation = nested_dissection_2d(grid, grid)
+    tree = assembly_tree_from_matrix(matrix, permutation=permutation, relax_columns=2)
+
+    stats = tree_stats(tree)
+    print(f"grid {grid}x{grid} -> {matrix.shape[0]} unknowns")
+    print(
+        f"assembly tree: {stats.n} fronts, height {stats.height}, "
+        f"{stats.num_leaves} leaves, max degree {stats.max_degree}"
+    )
+    print(f"total factorization work: {stats.total_work:.3e} (scaled flops)")
+    print()
+
+    order = minimum_memory_postorder(tree)
+    minimum_memory = sequential_peak_memory(tree, order)
+    print(f"minimum sequential memory: {minimum_memory / 1e6:.2f} MB-equivalent")
+    print()
+    print(f"{'memory factor':>13} | {'Activation':>12} {'MemBooking':>12} | {'speedup':>8}")
+    print("-" * 56)
+    for factor in (1.0, 1.25, 1.5, 2.0, 3.0, 5.0):
+        memory = factor * minimum_memory
+        bound = combined_lower_bound(tree, num_processors, memory)
+        activation = ActivationScheduler().schedule(
+            tree, num_processors, memory, ao=order, eo=order
+        )
+        membooking = MemBookingScheduler().schedule(
+            tree, num_processors, memory, ao=order, eo=order
+        )
+        act = activation.makespan / bound if activation.completed else float("nan")
+        mb = membooking.makespan / bound if membooking.completed else float("nan")
+        speedup = (
+            activation.makespan / membooking.makespan
+            if activation.completed and membooking.completed
+            else float("nan")
+        )
+        print(f"{factor:>13.2f} | {act:>12.3f} {mb:>12.3f} | {speedup:>8.2f}")
+    print()
+    print("values are makespans normalised by the lower bound; the speedup is")
+    print("Activation / MemBooking (the paper reports 1.25-1.45 on average at 2x).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` keeps working on minimal offline environments whose
+setuptools cannot build PEP 660 editable wheels (no ``wheel`` package
+available).  In that situation install with::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,253 @@
+"""Small internal utilities shared across the :mod:`repro` package.
+
+This module deliberately has no dependency on the rest of the package so it
+can be imported from anywhere (core data structures, schedulers, workload
+generators) without creating import cycles.
+
+Contents
+--------
+``IndexedHeap``
+    A binary min-heap over integer node identifiers keyed by an arbitrary
+    priority, with O(log n) push/pop/remove and O(1) membership tests.  Used
+    to implement the ``CAND`` and ``ACTf`` structures of the optimised
+    MemBooking algorithm (Appendix B of the paper) and the ready queues of
+    the other heuristics.
+``as_rng``
+    Normalise the many ways a caller may specify randomness (``None``, seed,
+    ``numpy.random.Generator``) into a :class:`numpy.random.Generator`.
+``as_float_array`` / ``as_int_array``
+    Validated conversions of per-node data into NumPy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "IndexedHeap",
+    "as_rng",
+    "as_float_array",
+    "as_int_array",
+    "argsort_stable",
+]
+
+
+class IndexedHeap:
+    """Binary min-heap of integer items with priority-based ordering.
+
+    The heap stores *items* (arbitrary hashable keys, in practice node
+    indices) ordered by a numeric *priority*.  Ties are broken by the item
+    itself so the ordering is deterministic, which matters for reproducible
+    schedules.
+
+    All operations are ``O(log n)`` except :meth:`peek`, :meth:`__len__`,
+    and :meth:`__contains__` which are ``O(1)``.
+
+    Examples
+    --------
+    >>> h = IndexedHeap()
+    >>> h.push(4, priority=2.0)
+    >>> h.push(7, priority=1.0)
+    >>> h.peek()
+    7
+    >>> h.pop()
+    7
+    >>> 4 in h
+    True
+    """
+
+    __slots__ = ("_heap", "_pos", "_prio")
+
+    def __init__(self, items: Iterable[tuple[int, float]] | None = None) -> None:
+        # _heap is a list of items; _pos maps item -> index in _heap;
+        # _prio maps item -> priority.
+        self._heap: list[int] = []
+        self._pos: dict[int, int] = {}
+        self._prio: dict[int, float] = {}
+        if items is not None:
+            for item, priority in items:
+                self.push(item, priority)
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._pos
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate over items in arbitrary (heap) order."""
+        return iter(list(self._heap))
+
+    # ------------------------------------------------------------------ #
+    # heap operations
+    # ------------------------------------------------------------------ #
+    def push(self, item: int, priority: float) -> None:
+        """Insert ``item`` with ``priority``; raise if already present."""
+        if item in self._pos:
+            raise ValueError(f"item {item!r} already in heap")
+        self._prio[item] = priority
+        self._heap.append(item)
+        self._pos[item] = len(self._heap) - 1
+        self._sift_up(len(self._heap) - 1)
+
+    def peek(self) -> int:
+        """Return the item with the smallest priority without removing it."""
+        if not self._heap:
+            raise IndexError("peek from an empty heap")
+        return self._heap[0]
+
+    def peek_priority(self) -> float:
+        """Return the smallest priority currently stored."""
+        if not self._heap:
+            raise IndexError("peek from an empty heap")
+        return self._prio[self._heap[0]]
+
+    def pop(self) -> int:
+        """Remove and return the item with the smallest priority."""
+        if not self._heap:
+            raise IndexError("pop from an empty heap")
+        top = self._heap[0]
+        self._remove_at(0)
+        return top
+
+    def remove(self, item: int) -> None:
+        """Remove an arbitrary ``item`` from the heap."""
+        try:
+            index = self._pos[item]
+        except KeyError:
+            raise KeyError(f"item {item!r} not in heap") from None
+        self._remove_at(index)
+
+    def priority(self, item: int) -> float:
+        """Return the priority associated with ``item``."""
+        return self._prio[item]
+
+    def clear(self) -> None:
+        """Remove every item."""
+        self._heap.clear()
+        self._pos.clear()
+        self._prio.clear()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _less(self, a: int, b: int) -> bool:
+        pa, pb = self._prio[a], self._prio[b]
+        if pa != pb:
+            return pa < pb
+        return a < b
+
+    def _remove_at(self, index: int) -> None:
+        item = self._heap[index]
+        last = self._heap.pop()
+        del self._pos[item]
+        del self._prio[item]
+        if index < len(self._heap):
+            self._heap[index] = last
+            self._pos[last] = index
+            # The replacement may need to move either way.
+            self._sift_down(index)
+            self._sift_up(index)
+
+    def _sift_up(self, index: int) -> None:
+        heap, pos = self._heap, self._pos
+        item = heap[index]
+        while index > 0:
+            parent = (index - 1) >> 1
+            if self._less(item, heap[parent]):
+                heap[index] = heap[parent]
+                pos[heap[index]] = index
+                index = parent
+            else:
+                break
+        heap[index] = item
+        pos[item] = index
+
+    def _sift_down(self, index: int) -> None:
+        heap, pos = self._heap, self._pos
+        size = len(heap)
+        item = heap[index]
+        while True:
+            left = 2 * index + 1
+            right = left + 1
+            smallest = index
+            if left < size and self._less(heap[left], heap[smallest] if smallest != index else item):
+                smallest = left
+            if right < size and self._less(
+                heap[right], heap[smallest] if smallest != index else item
+            ):
+                smallest = right
+            if smallest == index:
+                break
+            heap[index] = heap[smallest]
+            pos[heap[index]] = index
+            index = smallest
+        heap[index] = item
+        pos[item] = index
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from flexible user input.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, or an existing generator
+        (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def as_float_array(
+    values: Sequence[float] | np.ndarray | float,
+    n: int,
+    name: str,
+    *,
+    nonnegative: bool = True,
+) -> np.ndarray:
+    """Validate per-node floating point data.
+
+    ``values`` may be a scalar (broadcast to every node) or a sequence of
+    length ``n``.  The returned array is a fresh ``float64`` array of shape
+    ``(n,)``.
+    """
+    if np.isscalar(values):
+        array = np.full(n, float(values), dtype=np.float64)  # type: ignore[arg-type]
+    else:
+        array = np.asarray(values, dtype=np.float64).copy()
+        if array.shape != (n,):
+            raise ValueError(f"{name} must have shape ({n},), got {array.shape}")
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} must be finite")
+    if nonnegative and np.any(array < 0):
+        raise ValueError(f"{name} must be non-negative")
+    return array
+
+
+def as_int_array(values: Sequence[int] | np.ndarray, n: int, name: str) -> np.ndarray:
+    """Validate per-node integer data (shape ``(n,)``, dtype ``int64``)."""
+    array = np.asarray(values, dtype=np.int64).copy()
+    if array.shape != (n,):
+        raise ValueError(f"{name} must have shape ({n},), got {array.shape}")
+    return array
+
+
+def argsort_stable(keys: np.ndarray, *, descending: bool = False) -> np.ndarray:
+    """Stable argsort, optionally descending (ties keep original order)."""
+    keys = np.asarray(keys)
+    if descending:
+        # Stable descending sort: sort the negated keys when numeric.
+        order = np.argsort(-keys, kind="stable")
+    else:
+        order = np.argsort(keys, kind="stable")
+    return order

@@ -1,0 +1,19 @@
+"""Makespan lower bounds (classical and memory-aware, Section 6)."""
+
+from .makespan import (
+    LowerBounds,
+    classical_lower_bound,
+    combined_lower_bound,
+    lower_bound_improvement_stats,
+    lower_bounds,
+    memory_lower_bound,
+)
+
+__all__ = [
+    "LowerBounds",
+    "classical_lower_bound",
+    "combined_lower_bound",
+    "lower_bound_improvement_stats",
+    "lower_bounds",
+    "memory_lower_bound",
+]

@@ -1,0 +1,178 @@
+"""``memtree`` command line interface.
+
+Four sub-commands cover the typical workflows of the library:
+
+``memtree generate``
+    Generate a dataset (synthetic trees or the assembly-tree surrogate) and
+    save it to a directory of JSON files.
+``memtree info``
+    Print the structural statistics of a tree file (or of every tree of a
+    dataset directory).
+``memtree schedule``
+    Schedule one tree file with a chosen heuristic, memory factor and
+    processor count, and print the outcome.
+``memtree figure``
+    Reproduce one of the paper's figures/tables and print its series, with
+    an optional CSV export.
+
+Examples
+--------
+::
+
+    memtree generate synthetic --num-trees 5 --num-nodes 1000 --out trees/
+    memtree info trees/tree_00000.json
+    memtree schedule trees/tree_00000.json --scheduler MemBooking \\
+            --processors 8 --memory-factor 2
+    memtree figure fig10 --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import __version__
+from .core import load_dataset, load_json, save_dataset, tree_stats
+from .core.task_tree import TaskTree
+from .experiments import FIGURES, run_figure, write_series_csv
+from .orders import ORDER_FACTORIES, make_order, minimum_memory_postorder, sequential_peak_memory
+from .schedulers import SCHEDULER_FACTORIES, make_scheduler
+from .workloads import assembly_dataset, synthetic_dataset
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser of the ``memtree`` command."""
+    parser = argparse.ArgumentParser(
+        prog="memtree",
+        description="Dynamic memory-aware task-tree scheduling (IPDPS 2017 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"memtree {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a tree dataset")
+    generate.add_argument("kind", choices=["synthetic", "assembly"])
+    generate.add_argument("--out", type=Path, required=True, help="output directory")
+    generate.add_argument("--scale", default="small", help="dataset scale (tiny/small/medium/large)")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--num-trees", type=int, default=None, help="synthetic only")
+    generate.add_argument("--num-nodes", type=int, default=None, help="synthetic only")
+
+    info = subparsers.add_parser("info", help="print tree statistics")
+    info.add_argument("path", type=Path, help="a tree JSON file or a dataset directory")
+
+    schedule = subparsers.add_parser("schedule", help="schedule one tree file")
+    schedule.add_argument("path", type=Path, help="tree JSON file")
+    schedule.add_argument(
+        "--scheduler", default="MemBooking", choices=sorted(SCHEDULER_FACTORIES)
+    )
+    schedule.add_argument("--processors", type=int, default=8)
+    schedule.add_argument(
+        "--memory-factor",
+        type=float,
+        default=2.0,
+        help="memory bound as a multiple of the minimum sequential memory",
+    )
+    schedule.add_argument(
+        "--memory", type=float, default=None, help="absolute memory bound (overrides the factor)"
+    )
+    schedule.add_argument("--ao", default="memPO", choices=sorted(ORDER_FACTORIES))
+    schedule.add_argument("--eo", default="memPO", choices=sorted(ORDER_FACTORIES))
+
+    figure = subparsers.add_parser("figure", help="reproduce a figure of the paper")
+    figure.add_argument("figure_id", choices=sorted(FIGURES))
+    figure.add_argument("--scale", default="small")
+    figure.add_argument("--csv", type=Path, default=None, help="write the series to a CSV file")
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "synthetic":
+        kwargs = {}
+        if args.num_trees is not None:
+            kwargs["num_trees"] = args.num_trees
+        if args.num_nodes is not None:
+            kwargs["num_nodes"] = args.num_nodes
+        trees, spec = synthetic_dataset(args.scale, seed=args.seed, **kwargs)
+    else:
+        trees, spec = assembly_dataset(args.scale, seed=args.seed)
+    save_dataset(
+        trees,
+        args.out,
+        name=spec.name,
+        metadata={"scale": spec.scale, "seed": spec.seed},
+    )
+    print(f"wrote {len(trees)} trees to {args.out}")
+    return 0
+
+
+def _iter_trees(path: Path):
+    if path.is_dir():
+        for tree in load_dataset(path):
+            yield tree
+    else:
+        yield load_json(path)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    for tree in _iter_trees(args.path):
+        stats = tree_stats(tree)
+        order = minimum_memory_postorder(tree)
+        minimum = sequential_peak_memory(tree, order)
+        print(
+            f"n={stats.n} height={stats.height} leaves={stats.num_leaves} "
+            f"max_degree={stats.max_degree} total_work={stats.total_work:.4g} "
+            f"critical_path={stats.critical_path:.4g} min_memory={minimum:.4g}"
+        )
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    tree: TaskTree = load_json(args.path)
+    ao = make_order(tree, args.ao)
+    eo = ao if args.eo == args.ao else make_order(tree, args.eo)
+    minimum = sequential_peak_memory(tree, minimum_memory_postorder(tree))
+    memory = args.memory if args.memory is not None else args.memory_factor * minimum
+    scheduler = make_scheduler(args.scheduler)
+    result = scheduler.schedule(tree, args.processors, memory, ao=ao, eo=eo)
+    print(f"scheduler          : {result.scheduler}")
+    print(f"tree size          : {result.tree_size}")
+    print(f"processors         : {result.num_processors}")
+    print(f"memory bound       : {memory:.6g} ({memory / minimum:.2f} x minimum)")
+    if result.completed:
+        print(f"makespan           : {result.makespan:.6g}")
+        print(f"peak memory        : {result.peak_memory:.6g}")
+        print(f"memory utilisation : {result.peak_memory / memory:.1%}")
+        print(f"scheduling time    : {result.scheduling_seconds * 1e3:.2f} ms")
+        return 0
+    print(f"FAILED             : {result.failure_reason}")
+    return 1
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    result = run_figure(args.figure_id, scale=args.scale)
+    print(result.as_text())
+    if args.csv is not None:
+        write_series_csv(result.series, args.csv, x_label=result.x_label)
+        print(f"series written to {args.csv}")
+    return 0 if result.all_checks_pass else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``memtree`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "info": _cmd_info,
+        "schedule": _cmd_schedule,
+        "figure": _cmd_figure,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

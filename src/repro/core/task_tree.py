@@ -1,0 +1,384 @@
+"""The task-tree application model of the paper (Section 2.1).
+
+A :class:`TaskTree` is a rooted *in-tree*: every node has at most one parent
+and dependencies point towards the root.  Node ``i`` carries three pieces of
+per-node data:
+
+``fout[i]`` (paper: ``f_i``)
+    size of the output datum produced by ``i`` and consumed by its parent
+    (the weight of the edge ``i -> parent(i)``; the root's output must also
+    reside in memory while the root executes),
+``nexec[i]`` (paper: ``n_i``)
+    size of the temporary *execution* datum needed while ``i`` runs,
+``ptime[i]`` (paper: ``t_i``)
+    processing time of the task.
+
+Processing node ``i`` requires all three kinds of data resident at once
+(Equation (1) of the paper)::
+
+    MemNeeded_i = sum_{j in children(i)} fout[j] + nexec[i] + fout[i]
+
+On completion, the children outputs and the execution datum are freed and
+only ``fout[i]`` stays resident until the parent consumes it.
+
+The class is a lightweight, immutable container: the structure (parents and
+children) and the per-node data are NumPy arrays marked read-only.  All
+structure-dependent quantities that the algorithms need repeatedly
+(``mem_needed``, leaves, a default topological order) are computed once and
+cached.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .._utils import as_float_array
+
+__all__ = ["TaskTree", "NO_PARENT"]
+
+#: Sentinel used in the ``parent`` array for the root node.
+NO_PARENT: int = -1
+
+
+class TaskTree:
+    """Rooted in-tree of tasks with output/execution data sizes and durations.
+
+    Parameters
+    ----------
+    parent:
+        Sequence of length ``n``; ``parent[i]`` is the index of the parent of
+        node ``i`` and ``-1`` (:data:`NO_PARENT`) for the root.  Exactly one
+        root must be present and the structure must be acyclic (a tree).
+    fout:
+        Output data sizes ``f_i`` (scalar broadcast or length-``n`` sequence).
+    nexec:
+        Execution data sizes ``n_i``.  Defaults to ``0`` for every node.
+    ptime:
+        Processing times ``t_i``.  Defaults to ``1`` for every node.
+    names:
+        Optional human readable node names (purely informational).
+    validate:
+        When true (default) the structure is fully checked; building very
+        large trees from trusted generators may disable it.
+
+    Notes
+    -----
+    Node identifiers are the integers ``0 .. n-1``; any external labelling
+    must be mapped to this contiguous range first (see
+    :mod:`repro.core.tree_builders`).
+    """
+
+    __slots__ = (
+        "_parent",
+        "_children",
+        "_fout",
+        "_nexec",
+        "_ptime",
+        "_root",
+        "_mem_needed",
+        "_names",
+    )
+
+    def __init__(
+        self,
+        parent: Sequence[int] | np.ndarray,
+        fout: Sequence[float] | np.ndarray | float = 1.0,
+        nexec: Sequence[float] | np.ndarray | float = 0.0,
+        ptime: Sequence[float] | np.ndarray | float = 1.0,
+        *,
+        names: Sequence[str] | None = None,
+        validate: bool = True,
+    ) -> None:
+        parent_arr = np.asarray(parent, dtype=np.int64).copy()
+        if parent_arr.ndim != 1 or parent_arr.size == 0:
+            raise ValueError("parent must be a non-empty 1-D sequence")
+        n = int(parent_arr.size)
+
+        self._parent = parent_arr
+        self._fout = as_float_array(fout, n, "fout")
+        self._nexec = as_float_array(nexec, n, "nexec")
+        self._ptime = as_float_array(ptime, n, "ptime")
+
+        roots = np.flatnonzero(parent_arr == NO_PARENT)
+        if validate:
+            self._validate_structure(parent_arr, roots)
+        if roots.size != 1:
+            raise ValueError(f"a TaskTree must have exactly one root, found {roots.size}")
+        self._root = int(roots[0])
+
+        # Children lists (tuples for immutability).  Built in O(n).
+        children: list[list[int]] = [[] for _ in range(n)]
+        for node in range(n):
+            p = parent_arr[node]
+            if p != NO_PARENT:
+                children[p].append(node)
+        self._children: tuple[tuple[int, ...], ...] = tuple(tuple(c) for c in children)
+
+        # MemNeeded_i  =  sum_{j in children(i)} f_j + n_i + f_i   (Equation (1))
+        child_sum = np.zeros(n, dtype=np.float64)
+        np.add.at(child_sum, parent_arr[parent_arr != NO_PARENT], self._fout[parent_arr != NO_PARENT])
+        self._mem_needed = child_sum + self._nexec + self._fout
+
+        if names is not None:
+            if len(names) != n:
+                raise ValueError("names must have one entry per node")
+            self._names: tuple[str, ...] | None = tuple(str(x) for x in names)
+        else:
+            self._names = None
+
+        for array in (self._parent, self._fout, self._nexec, self._ptime, self._mem_needed):
+            array.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validate_structure(parent: np.ndarray, roots: np.ndarray) -> None:
+        n = parent.size
+        if np.any((parent < NO_PARENT) | (parent >= n)):
+            raise ValueError("parent indices must be in [-1, n)")
+        if np.any(parent == np.arange(n)):
+            raise ValueError("a node cannot be its own parent")
+        if roots.size != 1:
+            raise ValueError(f"a TaskTree must have exactly one root, found {roots.size}")
+        # Cycle detection: follow parent pointers with path compression-ish
+        # marking.  A node whose chain reaches the root (or an already
+        # verified node) is fine; otherwise there is a cycle.
+        state = np.zeros(n, dtype=np.int8)  # 0 unknown, 1 verified, 2 in progress
+        for start in range(n):
+            if state[start] == 1:
+                continue
+            path = []
+            node = start
+            while True:
+                if state[node] == 1:
+                    break
+                if state[node] == 2:
+                    raise ValueError("parent pointers contain a cycle")
+                state[node] = 2
+                path.append(node)
+                p = parent[node]
+                if p == NO_PARENT:
+                    break
+                node = p
+            for visited in path:
+                state[visited] = 1
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Number of tasks in the tree."""
+        return int(self._parent.size)
+
+    def __len__(self) -> int:
+        return self.n
+
+    @property
+    def root(self) -> int:
+        """Index of the root task."""
+        return self._root
+
+    @property
+    def parent(self) -> np.ndarray:
+        """Read-only parent array (``-1`` for the root)."""
+        return self._parent
+
+    @property
+    def fout(self) -> np.ndarray:
+        """Read-only array of output data sizes ``f_i``."""
+        return self._fout
+
+    @property
+    def nexec(self) -> np.ndarray:
+        """Read-only array of execution data sizes ``n_i``."""
+        return self._nexec
+
+    @property
+    def ptime(self) -> np.ndarray:
+        """Read-only array of processing times ``t_i``."""
+        return self._ptime
+
+    @property
+    def mem_needed(self) -> np.ndarray:
+        """Read-only array of ``MemNeeded_i`` values (Equation (1))."""
+        return self._mem_needed
+
+    @property
+    def names(self) -> tuple[str, ...] | None:
+        """Optional node names (informational only)."""
+        return self._names
+
+    def children(self, node: int) -> tuple[int, ...]:
+        """Return the children of ``node`` (empty tuple for a leaf)."""
+        return self._children[node]
+
+    def num_children(self, node: int) -> int:
+        """Number of children of ``node``."""
+        return len(self._children[node])
+
+    def is_leaf(self, node: int) -> bool:
+        """True when ``node`` has no children."""
+        return not self._children[node]
+
+    def is_root(self, node: int) -> bool:
+        """True when ``node`` is the root of the tree."""
+        return node == self._root
+
+    def leaves(self) -> np.ndarray:
+        """Indices of all leaves, in increasing index order."""
+        return np.asarray([i for i in range(self.n) if not self._children[i]], dtype=np.int64)
+
+    def nodes(self) -> range:
+        """All node indices, ``0 .. n-1``."""
+        return range(self.n)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over ``(child, parent)`` dependency edges."""
+        for node in range(self.n):
+            p = self._parent[node]
+            if p != NO_PARENT:
+                yield node, int(p)
+
+    # ------------------------------------------------------------------ #
+    # traversal helpers
+    # ------------------------------------------------------------------ #
+    def ancestors(self, node: int, *, include_self: bool = False) -> Iterator[int]:
+        """Yield the ancestors of ``node`` from parent to root."""
+        if include_self:
+            yield node
+        current = self._parent[node]
+        while current != NO_PARENT:
+            yield int(current)
+            current = self._parent[current]
+
+    def subtree(self, node: int) -> np.ndarray:
+        """Indices of the subtree rooted at ``node`` (preorder), as an array."""
+        out: list[int] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            out.append(current)
+            stack.extend(self._children[current])
+        return np.asarray(out, dtype=np.int64)
+
+    def topological_order(self) -> np.ndarray:
+        """A natural bottom-up topological order (children before parents).
+
+        This is a deterministic depth-first postorder that visits children in
+        increasing index order.  It is *not* memory-optimised; use
+        :mod:`repro.orders` for the orderings studied in the paper.
+        """
+        order = np.empty(self.n, dtype=np.int64)
+        cursor = 0
+        # Iterative postorder.
+        stack: list[tuple[int, bool]] = [(self._root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order[cursor] = node
+                cursor += 1
+            else:
+                stack.append((node, True))
+                # Reverse so the smallest-index child is processed first.
+                for child in reversed(self._children[node]):
+                    stack.append((child, False))
+        return order
+
+    # ------------------------------------------------------------------ #
+    # derived constructors
+    # ------------------------------------------------------------------ #
+    def with_data(
+        self,
+        *,
+        fout: Sequence[float] | np.ndarray | float | None = None,
+        nexec: Sequence[float] | np.ndarray | float | None = None,
+        ptime: Sequence[float] | np.ndarray | float | None = None,
+    ) -> "TaskTree":
+        """Return a copy of the tree with some per-node data replaced."""
+        return TaskTree(
+            self._parent.copy(),
+            fout=self._fout if fout is None else fout,
+            nexec=self._nexec if nexec is None else nexec,
+            ptime=self._ptime if ptime is None else ptime,
+            names=self._names,
+            validate=False,
+        )
+
+    def to_networkx(self):
+        """Export the tree as a :class:`networkx.DiGraph` (edges child->parent).
+
+        Node attributes ``fout``, ``nexec``, ``ptime`` and the graph attribute
+        ``root`` are populated so the tree can be reconstructed with
+        :func:`repro.core.tree_builders.from_networkx`.
+        """
+        import networkx as nx
+
+        graph = nx.DiGraph(root=self._root)
+        for node in range(self.n):
+            graph.add_node(
+                node,
+                fout=float(self._fout[node]),
+                nexec=float(self._nexec[node]),
+                ptime=float(self._ptime[node]),
+            )
+        for child, parent in self.edges():
+            graph.add_edge(child, parent)
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # dunder conveniences
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TaskTree(n={self.n}, root={self._root}, "
+            f"total_work={float(self._ptime.sum()):.3g}, "
+            f"total_output={float(self._fout.sum()):.3g})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaskTree):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and bool(np.array_equal(self._parent, other._parent))
+            and bool(np.allclose(self._fout, other._fout))
+            and bool(np.allclose(self._nexec, other._nexec))
+            and bool(np.allclose(self._ptime, other._ptime))
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.n,
+                self._root,
+                self._parent.tobytes(),
+                self._fout.tobytes(),
+                self._nexec.tobytes(),
+                self._ptime.tobytes(),
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # aggregate properties used throughout the experiments
+    # ------------------------------------------------------------------ #
+    @property
+    def total_work(self) -> float:
+        """Sum of all processing times (used by the classical lower bound)."""
+        return float(self._ptime.sum())
+
+    @property
+    def max_mem_needed(self) -> float:
+        """Largest single-task memory requirement.
+
+        No schedule (sequential or parallel) can use less memory than this,
+        so it is a hard lower bound on any feasible memory budget.
+        """
+        return float(self._mem_needed.max())
+
+    def check_same_structure(self, other: "TaskTree") -> bool:
+        """True when ``other`` has identical parent pointers (data may differ)."""
+        return bool(np.array_equal(self._parent, other._parent))

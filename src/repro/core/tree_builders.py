@@ -1,0 +1,284 @@
+"""Constructors that turn various tree descriptions into :class:`TaskTree`.
+
+The scheduling algorithms all operate on the contiguous integer labelling of
+:class:`~repro.core.task_tree.TaskTree`; this module converts the formats a
+user is likely to start from:
+
+* parent arrays (possibly with arbitrary hashable labels),
+* ``(child, parent)`` edge lists,
+* ``networkx`` directed graphs,
+* children adjacency lists,
+* an incremental :class:`TreeBuilder` for programmatic construction.
+
+Structured synthetic families (chains, stars, balanced trees, ...) live in
+:mod:`repro.workloads.families`; this module is only about *conversion*.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .task_tree import NO_PARENT, TaskTree
+
+__all__ = [
+    "from_parents",
+    "from_edges",
+    "from_children_lists",
+    "from_networkx",
+    "relabelled_from_labels",
+    "TreeBuilder",
+]
+
+
+def from_parents(
+    parent: Sequence[int] | np.ndarray,
+    fout: Sequence[float] | np.ndarray | float = 1.0,
+    nexec: Sequence[float] | np.ndarray | float = 0.0,
+    ptime: Sequence[float] | np.ndarray | float = 1.0,
+    **kwargs,
+) -> TaskTree:
+    """Build a tree from a parent-pointer array (thin wrapper over ``TaskTree``)."""
+    return TaskTree(parent, fout=fout, nexec=nexec, ptime=ptime, **kwargs)
+
+
+def from_edges(
+    edges: Iterable[tuple[Hashable, Hashable]],
+    fout: Mapping[Hashable, float] | float = 1.0,
+    nexec: Mapping[Hashable, float] | float = 0.0,
+    ptime: Mapping[Hashable, float] | float = 1.0,
+    *,
+    root: Hashable | None = None,
+) -> tuple[TaskTree, dict[Hashable, int]]:
+    """Build a tree from ``(child, parent)`` edges with arbitrary labels.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(child, parent)`` pairs.  Each child must appear in at
+        most one edge.  The set of nodes is the union of all endpoints, plus
+        ``root`` if given.
+    fout, nexec, ptime:
+        Either scalars (applied to all nodes) or mappings from label to value
+        (missing labels fall back to the scalar defaults 1.0 / 0.0 / 1.0).
+    root:
+        Optional explicit root label, useful for a single-node tree with no
+        edges.
+
+    Returns
+    -------
+    (tree, label_to_index):
+        The constructed :class:`TaskTree` and the mapping from original
+        labels to the contiguous node indices used by the tree.
+    """
+    edge_list = list(edges)
+    labels: list[Hashable] = []
+    seen: set[Hashable] = set()
+
+    def _register(label: Hashable) -> None:
+        if label not in seen:
+            seen.add(label)
+            labels.append(label)
+
+    for child, parent in edge_list:
+        _register(child)
+        _register(parent)
+    if root is not None:
+        _register(root)
+    if not labels:
+        raise ValueError("cannot build a tree from an empty edge list without a root")
+
+    index = {label: i for i, label in enumerate(labels)}
+    parent_arr = np.full(len(labels), NO_PARENT, dtype=np.int64)
+    assigned = set()
+    for child, parent in edge_list:
+        ci = index[child]
+        if ci in assigned:
+            raise ValueError(f"node {child!r} has more than one parent")
+        assigned.add(ci)
+        parent_arr[ci] = index[parent]
+
+    def _values(spec: Mapping[Hashable, float] | float, default: float) -> np.ndarray:
+        if isinstance(spec, Mapping):
+            return np.asarray([float(spec.get(label, default)) for label in labels])
+        return np.full(len(labels), float(spec))
+
+    tree = TaskTree(
+        parent_arr,
+        fout=_values(fout, 1.0),
+        nexec=_values(nexec, 0.0),
+        ptime=_values(ptime, 1.0),
+        names=[str(label) for label in labels],
+    )
+    return tree, index
+
+
+def from_children_lists(
+    children: Sequence[Sequence[int]],
+    fout: Sequence[float] | np.ndarray | float = 1.0,
+    nexec: Sequence[float] | np.ndarray | float = 0.0,
+    ptime: Sequence[float] | np.ndarray | float = 1.0,
+) -> TaskTree:
+    """Build a tree from per-node children lists (indices ``0 .. n-1``)."""
+    n = len(children)
+    parent = np.full(n, NO_PARENT, dtype=np.int64)
+    for node, kids in enumerate(children):
+        for child in kids:
+            if not 0 <= child < n:
+                raise ValueError(f"child index {child} out of range for n={n}")
+            if parent[child] != NO_PARENT:
+                raise ValueError(f"node {child} has more than one parent")
+            parent[child] = node
+    return TaskTree(parent, fout=fout, nexec=nexec, ptime=ptime)
+
+
+def from_networkx(graph, *, orientation: str = "child_to_parent") -> TaskTree:
+    """Build a tree from a :class:`networkx.DiGraph`.
+
+    Parameters
+    ----------
+    graph:
+        A directed graph whose edges encode the dependencies.  Node attributes
+        ``fout``, ``nexec`` and ``ptime`` are used when present (defaults
+        1.0 / 0.0 / 1.0 otherwise).
+    orientation:
+        ``"child_to_parent"`` (default, matches :meth:`TaskTree.to_networkx`)
+        or ``"parent_to_child"`` when edges point away from the root.
+    """
+    if orientation not in ("child_to_parent", "parent_to_child"):
+        raise ValueError("orientation must be 'child_to_parent' or 'parent_to_child'")
+
+    nodes = list(graph.nodes())
+    index = {label: i for i, label in enumerate(nodes)}
+    parent = np.full(len(nodes), NO_PARENT, dtype=np.int64)
+    for u, v in graph.edges():
+        child, par = (u, v) if orientation == "child_to_parent" else (v, u)
+        ci = index[child]
+        if parent[ci] != NO_PARENT:
+            raise ValueError(f"node {child!r} has more than one parent")
+        parent[ci] = index[par]
+
+    def _attr(name: str, default: float) -> np.ndarray:
+        return np.asarray(
+            [float(graph.nodes[label].get(name, default)) for label in nodes], dtype=np.float64
+        )
+
+    return TaskTree(
+        parent,
+        fout=_attr("fout", 1.0),
+        nexec=_attr("nexec", 0.0),
+        ptime=_attr("ptime", 1.0),
+        names=[str(label) for label in nodes],
+    )
+
+
+def relabelled_from_labels(
+    parent_of: Mapping[Hashable, Hashable | None],
+    fout: Mapping[Hashable, float] | float = 1.0,
+    nexec: Mapping[Hashable, float] | float = 0.0,
+    ptime: Mapping[Hashable, float] | float = 1.0,
+) -> tuple[TaskTree, dict[Hashable, int]]:
+    """Build a tree from a ``{node: parent or None}`` mapping with labels."""
+    labels = list(parent_of.keys())
+    index = {label: i for i, label in enumerate(labels)}
+    parent = np.full(len(labels), NO_PARENT, dtype=np.int64)
+    for label, par in parent_of.items():
+        if par is not None:
+            if par not in index:
+                raise ValueError(f"parent {par!r} of {label!r} is not itself a node")
+            parent[index[label]] = index[par]
+
+    def _values(spec: Mapping[Hashable, float] | float, default: float) -> np.ndarray:
+        if isinstance(spec, Mapping):
+            return np.asarray([float(spec.get(label, default)) for label in labels])
+        return np.full(len(labels), float(spec))
+
+    tree = TaskTree(
+        parent,
+        fout=_values(fout, 1.0),
+        nexec=_values(nexec, 0.0),
+        ptime=_values(ptime, 1.0),
+        names=[str(label) for label in labels],
+    )
+    return tree, index
+
+
+class TreeBuilder:
+    """Incrementally build a :class:`TaskTree`.
+
+    Nodes are added one at a time with :meth:`add_node`, which returns the
+    index of the new node; children reference their parent by that index.
+    Useful in generators where the tree shape is discovered top-down.
+
+    Examples
+    --------
+    >>> b = TreeBuilder()
+    >>> root = b.add_node(fout=4.0, ptime=2.0)
+    >>> child = b.add_node(parent=root, fout=1.0)
+    >>> tree = b.build()
+    >>> tree.n
+    2
+    """
+
+    def __init__(self) -> None:
+        self._parent: list[int] = []
+        self._fout: list[float] = []
+        self._nexec: list[float] = []
+        self._ptime: list[float] = []
+        self._names: list[str | None] = []
+
+    def add_node(
+        self,
+        parent: int | None = None,
+        *,
+        fout: float = 1.0,
+        nexec: float = 0.0,
+        ptime: float = 1.0,
+        name: str | None = None,
+    ) -> int:
+        """Append a node and return its index."""
+        if parent is not None and not 0 <= parent < len(self._parent):
+            raise ValueError(f"unknown parent index {parent}")
+        self._parent.append(NO_PARENT if parent is None else parent)
+        self._fout.append(float(fout))
+        self._nexec.append(float(nexec))
+        self._ptime.append(float(ptime))
+        self._names.append(name)
+        return len(self._parent) - 1
+
+    def set_data(
+        self,
+        node: int,
+        *,
+        fout: float | None = None,
+        nexec: float | None = None,
+        ptime: float | None = None,
+    ) -> None:
+        """Update the data of an already added node."""
+        if not 0 <= node < len(self._parent):
+            raise ValueError(f"unknown node index {node}")
+        if fout is not None:
+            self._fout[node] = float(fout)
+        if nexec is not None:
+            self._nexec[node] = float(nexec)
+        if ptime is not None:
+            self._ptime[node] = float(ptime)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def build(self) -> TaskTree:
+        """Finalise and validate the tree."""
+        if not self._parent:
+            raise ValueError("cannot build an empty tree")
+        names = None
+        if any(name is not None for name in self._names):
+            names = [name if name is not None else str(i) for i, name in enumerate(self._names)]
+        return TaskTree(
+            np.asarray(self._parent, dtype=np.int64),
+            fout=np.asarray(self._fout),
+            nexec=np.asarray(self._nexec),
+            ptime=np.asarray(self._ptime),
+            names=names,
+        )

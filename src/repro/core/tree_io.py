@@ -1,0 +1,182 @@
+"""Serialization of task trees.
+
+Two formats are supported:
+
+* a **JSON** representation (:func:`to_dict` / :func:`from_dict`,
+  :func:`save_json` / :func:`load_json`) that carries every node attribute
+  and optional metadata, and
+* a **compact text format** (:func:`save_text` / :func:`load_text`) with one
+  node per line — ``id parent fout nexec ptime`` — similar to the plain-text
+  dumps used by multifrontal solvers to export their assembly trees.
+
+:func:`save_dataset` / :func:`load_dataset` persist a whole collection of
+trees (one file per tree plus an ``index.json``), which is how the experiment
+harness caches generated data sets.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from .task_tree import NO_PARENT, TaskTree
+
+__all__ = [
+    "to_dict",
+    "from_dict",
+    "save_json",
+    "load_json",
+    "save_text",
+    "load_text",
+    "save_dataset",
+    "load_dataset",
+]
+
+_FORMAT_VERSION = 1
+
+
+def to_dict(tree: TaskTree, *, metadata: Mapping[str, Any] | None = None) -> dict[str, Any]:
+    """Convert ``tree`` into a JSON-serialisable dictionary."""
+    payload: dict[str, Any] = {
+        "format": "repro.task_tree",
+        "version": _FORMAT_VERSION,
+        "n": tree.n,
+        "parent": tree.parent.tolist(),
+        "fout": tree.fout.tolist(),
+        "nexec": tree.nexec.tolist(),
+        "ptime": tree.ptime.tolist(),
+    }
+    if tree.names is not None:
+        payload["names"] = list(tree.names)
+    if metadata:
+        payload["metadata"] = dict(metadata)
+    return payload
+
+
+def from_dict(payload: Mapping[str, Any]) -> TaskTree:
+    """Rebuild a :class:`TaskTree` from :func:`to_dict` output."""
+    if payload.get("format") != "repro.task_tree":
+        raise ValueError("not a repro.task_tree payload")
+    version = payload.get("version", 0)
+    if version > _FORMAT_VERSION:
+        raise ValueError(f"unsupported task tree format version {version}")
+    return TaskTree(
+        np.asarray(payload["parent"], dtype=np.int64),
+        fout=np.asarray(payload["fout"], dtype=np.float64),
+        nexec=np.asarray(payload["nexec"], dtype=np.float64),
+        ptime=np.asarray(payload["ptime"], dtype=np.float64),
+        names=payload.get("names"),
+    )
+
+
+def save_json(
+    tree: TaskTree, path: str | Path, *, metadata: Mapping[str, Any] | None = None
+) -> Path:
+    """Write ``tree`` to ``path`` as JSON and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_dict(tree, metadata=metadata)))
+    return path
+
+
+def load_json(path: str | Path) -> TaskTree:
+    """Load a tree previously written with :func:`save_json`."""
+    return from_dict(json.loads(Path(path).read_text()))
+
+
+def save_text(tree: TaskTree, path: str | Path) -> Path:
+    """Write ``tree`` in the compact one-node-per-line text format.
+
+    Each line is ``id parent fout nexec ptime`` where ``parent`` is ``-1``
+    for the root.  Lines starting with ``#`` are comments.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = ["# id parent fout nexec ptime"]
+    for node in range(tree.n):
+        lines.append(
+            f"{node} {int(tree.parent[node])} "
+            f"{tree.fout[node]:.17g} {tree.nexec[node]:.17g} {tree.ptime[node]:.17g}"
+        )
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def load_text(path: str | Path) -> TaskTree:
+    """Load a tree written by :func:`save_text`.
+
+    Node ids may appear in any order but must cover ``0 .. n-1`` exactly.
+    """
+    entries: dict[int, tuple[int, float, float, float]] = {}
+    for raw in Path(path).read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if len(fields) != 5:
+            raise ValueError(f"malformed tree line: {raw!r}")
+        node = int(fields[0])
+        if node in entries:
+            raise ValueError(f"duplicate node id {node}")
+        entries[node] = (int(fields[1]), float(fields[2]), float(fields[3]), float(fields[4]))
+    if not entries:
+        raise ValueError(f"no nodes found in {path}")
+    n = len(entries)
+    if set(entries) != set(range(n)):
+        raise ValueError("node ids must be exactly 0 .. n-1")
+    parent = np.full(n, NO_PARENT, dtype=np.int64)
+    fout = np.empty(n)
+    nexec = np.empty(n)
+    ptime = np.empty(n)
+    for node, (p, f, ne, t) in entries.items():
+        parent[node] = p
+        fout[node] = f
+        nexec[node] = ne
+        ptime[node] = t
+    return TaskTree(parent, fout=fout, nexec=nexec, ptime=ptime)
+
+
+def save_dataset(
+    trees: Iterable[TaskTree],
+    directory: str | Path,
+    *,
+    name: str = "dataset",
+    metadata: Mapping[str, Any] | None = None,
+) -> Path:
+    """Persist a collection of trees under ``directory``.
+
+    Trees are written as ``tree_00000.json``, ``tree_00001.json``, ... and an
+    ``index.json`` records the dataset name, the file list and any metadata.
+    Returns the directory path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    files = []
+    for i, tree in enumerate(trees):
+        filename = f"tree_{i:05d}.json"
+        save_json(tree, directory / filename)
+        files.append(filename)
+    index = {
+        "format": "repro.dataset",
+        "version": _FORMAT_VERSION,
+        "name": name,
+        "files": files,
+        "metadata": dict(metadata or {}),
+    }
+    (directory / "index.json").write_text(json.dumps(index, indent=2))
+    return directory
+
+
+def load_dataset(directory: str | Path) -> list[TaskTree]:
+    """Load every tree of a dataset written by :func:`save_dataset`."""
+    directory = Path(directory)
+    index_path = directory / "index.json"
+    if not index_path.exists():
+        raise FileNotFoundError(f"{index_path} not found; not a dataset directory")
+    index = json.loads(index_path.read_text())
+    if index.get("format") != "repro.dataset":
+        raise ValueError("not a repro.dataset directory")
+    return [load_json(directory / filename) for filename in index["files"]]

@@ -1,0 +1,208 @@
+"""Structural and workload metrics of task trees.
+
+These quantities appear throughout the paper:
+
+* **depth / height** (Figures 6 and 7 study the impact of tree height on the
+  scheduling overhead and on the achievable speed-up),
+* **bottom levels** (the ``CP`` execution order of Section 7.3.1 sorts nodes
+  by decreasing bottom level; the classical makespan lower bound uses the
+  critical path),
+* **subtree work** ``T_i`` (Appendix A orders subtrees by ``T_i / f_i``),
+* degree statistics (Section 7.1 describes the data sets by their maximum
+  degree and height ranges).
+
+All functions accept a :class:`~repro.core.task_tree.TaskTree` and return
+NumPy arrays indexed by node, or plain Python scalars for aggregate values.
+They are all ``O(n)`` (single pass over a topological order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .task_tree import NO_PARENT, TaskTree
+
+__all__ = [
+    "depths",
+    "height",
+    "bottom_levels",
+    "top_levels",
+    "critical_path_length",
+    "subtree_sizes",
+    "subtree_work",
+    "subtree_output",
+    "num_leaves",
+    "degree_histogram",
+    "max_degree",
+    "TreeStats",
+    "tree_stats",
+]
+
+
+def depths(tree: TaskTree) -> np.ndarray:
+    """Depth of every node (root has depth 0)."""
+    out = np.zeros(tree.n, dtype=np.int64)
+    # Process in reverse topological order (parents before children).
+    order = tree.topological_order()[::-1]
+    parent = tree.parent
+    for node in order:
+        p = parent[node]
+        if p != NO_PARENT:
+            out[node] = out[p] + 1
+    return out
+
+
+def height(tree: TaskTree) -> int:
+    """Height of the tree = number of nodes on the longest root-to-leaf path.
+
+    A single-node tree has height 1.  (The paper reports heights between 12
+    and 70 000 for the assembly trees, and ~63–131 for the synthetic trees.)
+    """
+    return int(depths(tree).max()) + 1
+
+
+def bottom_levels(tree: TaskTree, *, weights: np.ndarray | None = None) -> np.ndarray:
+    """Bottom level of every node.
+
+    The bottom level of ``i`` is the total processing time on the path from
+    ``i`` to the root, *including* ``i`` and the root.  Nodes with larger
+    bottom level are more urgent; the ``CP`` order of the paper schedules
+    them first.
+
+    Parameters
+    ----------
+    weights:
+        Optional alternative node weights; defaults to ``tree.ptime``.
+    """
+    w = tree.ptime if weights is None else np.asarray(weights, dtype=np.float64)
+    out = np.zeros(tree.n, dtype=np.float64)
+    order = tree.topological_order()[::-1]  # parents before children
+    parent = tree.parent
+    for node in order:
+        p = parent[node]
+        out[node] = w[node] + (out[p] if p != NO_PARENT else 0.0)
+    return out
+
+
+def top_levels(tree: TaskTree, *, weights: np.ndarray | None = None) -> np.ndarray:
+    """Top level of every node: the longest weighted path from any leaf below.
+
+    ``top_levels[i]`` is the length of the longest chain of processing times
+    from a leaf of the subtree of ``i`` up to and including ``i``; it is the
+    earliest time at which ``i`` can possibly complete with unlimited
+    processors and memory.
+    """
+    w = tree.ptime if weights is None else np.asarray(weights, dtype=np.float64)
+    out = np.zeros(tree.n, dtype=np.float64)
+    for node in tree.topological_order():  # children before parents
+        kids = tree.children(node)
+        best = max((out[c] for c in kids), default=0.0)
+        out[node] = w[node] + best
+    return out
+
+
+def critical_path_length(tree: TaskTree) -> float:
+    """Length (total processing time) of the longest leaf-to-root path."""
+    return float(top_levels(tree)[tree.root])
+
+
+def subtree_sizes(tree: TaskTree) -> np.ndarray:
+    """Number of nodes in the subtree rooted at each node."""
+    out = np.ones(tree.n, dtype=np.int64)
+    parent = tree.parent
+    for node in tree.topological_order():
+        p = parent[node]
+        if p != NO_PARENT:
+            out[p] += out[node]
+    return out
+
+
+def subtree_work(tree: TaskTree) -> np.ndarray:
+    """Total processing time ``T_i`` of the subtree rooted at each node.
+
+    Used by the average-memory-minimising postorder of Appendix A (subtrees
+    are processed by non-increasing ``T_i / f_i``).
+    """
+    out = tree.ptime.copy()
+    parent = tree.parent
+    for node in tree.topological_order():
+        p = parent[node]
+        if p != NO_PARENT:
+            out[p] += out[node]
+    return out
+
+
+def subtree_output(tree: TaskTree) -> np.ndarray:
+    """Sum of output sizes ``f_j`` over the subtree rooted at each node."""
+    out = tree.fout.copy()
+    parent = tree.parent
+    for node in tree.topological_order():
+        p = parent[node]
+        if p != NO_PARENT:
+            out[p] += out[node]
+    return out
+
+
+def num_leaves(tree: TaskTree) -> int:
+    """Number of leaves of the tree."""
+    return int(tree.leaves().size)
+
+
+def degree_histogram(tree: TaskTree) -> dict[int, int]:
+    """Histogram ``{number of children: count of nodes}``."""
+    counts: dict[int, int] = {}
+    for node in range(tree.n):
+        d = tree.num_children(node)
+        counts[d] = counts.get(d, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def max_degree(tree: TaskTree) -> int:
+    """Maximum number of children over all nodes."""
+    return max(tree.num_children(node) for node in range(tree.n))
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Summary statistics of a tree, as reported in Section 7.1 of the paper."""
+
+    n: int
+    height: int
+    num_leaves: int
+    max_degree: int
+    total_work: float
+    critical_path: float
+    total_output: float
+    total_exec: float
+    max_mem_needed: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain dictionary view (handy for CSV reporting)."""
+        return {
+            "n": self.n,
+            "height": self.height,
+            "num_leaves": self.num_leaves,
+            "max_degree": self.max_degree,
+            "total_work": self.total_work,
+            "critical_path": self.critical_path,
+            "total_output": self.total_output,
+            "total_exec": self.total_exec,
+            "max_mem_needed": self.max_mem_needed,
+        }
+
+
+def tree_stats(tree: TaskTree) -> TreeStats:
+    """Compute the :class:`TreeStats` summary of ``tree``."""
+    return TreeStats(
+        n=tree.n,
+        height=height(tree),
+        num_leaves=num_leaves(tree),
+        max_degree=max_degree(tree),
+        total_work=tree.total_work,
+        critical_path=critical_path_length(tree),
+        total_output=float(tree.fout.sum()),
+        total_exec=float(tree.nexec.sum()),
+        max_mem_needed=tree.max_mem_needed,
+    )

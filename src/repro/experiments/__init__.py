@@ -1,0 +1,51 @@
+"""Experiment harness: sweeps, metrics and per-figure reproductions."""
+
+from .config import DEFAULT_MEMORY_FACTORS, PAPER_HEURISTICS, SweepConfig
+from .figures import FIGURES, FigureResult, run_figure
+from .metrics import (
+    completion_fraction,
+    decile_band,
+    group_by,
+    mean,
+    median,
+    quantile,
+    safe_ratio,
+    series_over,
+    speedup_records,
+)
+from .reporting import (
+    format_records_table,
+    format_series_table,
+    write_records_csv,
+    write_series_csv,
+)
+from .runner import InstanceContext, prepare_instance, run_single, run_sweep
+from .suite import run_suite, write_suite_report
+
+__all__ = [
+    "DEFAULT_MEMORY_FACTORS",
+    "PAPER_HEURISTICS",
+    "SweepConfig",
+    "FIGURES",
+    "FigureResult",
+    "run_figure",
+    "completion_fraction",
+    "decile_band",
+    "group_by",
+    "mean",
+    "median",
+    "quantile",
+    "safe_ratio",
+    "series_over",
+    "speedup_records",
+    "format_records_table",
+    "format_series_table",
+    "write_records_csv",
+    "write_series_csv",
+    "InstanceContext",
+    "prepare_instance",
+    "run_single",
+    "run_sweep",
+    "run_suite",
+    "write_suite_report",
+]

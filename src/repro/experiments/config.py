@@ -1,0 +1,71 @@
+"""Configuration objects for experiment sweeps.
+
+A :class:`SweepConfig` describes the cartesian product explored by
+:func:`repro.experiments.runner.run_sweep`: which heuristics, which memory
+factors (multiples of the minimum sequential memory of each tree), which
+processor counts and which activation/execution orders.  The defaults match
+the main setup of Section 7.2 of the paper: three heuristics, eight
+processors, memory factors from 1 to 20, and the memory-minimising postorder
+used for both AO and EO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+__all__ = ["SweepConfig", "DEFAULT_MEMORY_FACTORS", "PAPER_HEURISTICS"]
+
+#: Memory factors used by most figures (normalised memory bound axis).
+DEFAULT_MEMORY_FACTORS: tuple[float, ...] = (1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0)
+
+#: The three heuristics compared throughout Section 7.
+PAPER_HEURISTICS: tuple[str, ...] = ("Activation", "MemBookingRedTree", "MemBooking")
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Parameters of one experiment sweep.
+
+    Attributes
+    ----------
+    schedulers:
+        Names resolved through :data:`repro.schedulers.SCHEDULER_FACTORIES`.
+    memory_factors:
+        Multiples of each tree's minimum sequential memory (the peak of its
+        memory-minimising postorder) used as memory bounds.
+    processors:
+        Processor counts to explore (the paper mainly reports ``p = 8``).
+    activation_order / execution_order:
+        Ordering names resolved through :data:`repro.orders.ORDER_FACTORIES`.
+    min_completion_fraction:
+        A (memory factor, scheduler) point is only reported when at least
+        this fraction of the trees could be scheduled — the paper uses 95%.
+    validate:
+        When true, every produced schedule is checked by
+        :func:`repro.schedulers.validate_schedule` (slower, used in tests and
+        benchmarks; the experiment scripts keep it on by default because the
+        trees are laptop-scale).
+    """
+
+    schedulers: tuple[str, ...] = PAPER_HEURISTICS
+    memory_factors: tuple[float, ...] = DEFAULT_MEMORY_FACTORS
+    processors: tuple[int, ...] = (8,)
+    activation_order: str = "memPO"
+    execution_order: str = "memPO"
+    min_completion_fraction: float = 0.95
+    validate: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.schedulers:
+            raise ValueError("at least one scheduler is required")
+        if not self.memory_factors or min(self.memory_factors) < 1.0:
+            raise ValueError("memory factors must be >= 1 (relative to the minimum memory)")
+        if not self.processors or min(self.processors) < 1:
+            raise ValueError("processor counts must be positive")
+        if not 0.0 <= self.min_completion_fraction <= 1.0:
+            raise ValueError("min_completion_fraction must be in [0, 1]")
+
+    def with_overrides(self, **kwargs) -> "SweepConfig":
+        """Return a copy with some fields replaced."""
+        return replace(self, **kwargs)

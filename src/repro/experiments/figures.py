@@ -1,0 +1,750 @@
+"""One entry point per figure/table of the paper's evaluation (Section 6-7).
+
+Every function returns a :class:`FigureResult` whose ``series`` attribute
+contains the same curves as the corresponding figure of the paper (with the
+assembly-tree surrogate in place of the UF collection, see DESIGN.md), and
+whose ``checks`` record the qualitative properties the paper reports (who
+wins, where, by roughly how much).  The benchmark suite executes these
+functions, prints the series and asserts the checks.
+
+Figure map
+----------
+==========  ===========================================================
+``fig2``    normalised makespan vs memory bound, assembly trees, p=8
+``fig3``    speedup of MemBooking over Activation, assembly trees
+``fig4``    fraction of available memory used, assembly trees
+``fig5``    scheduling time vs tree size, assembly trees
+``fig6``    scheduling time per node vs tree height
+``fig7``    speedup vs tree height at memory factor 2
+``fig8``    effect of the AO/EO choice (memPO/CP/OptSeq/perfPO)
+``fig9``    normalised makespan for p in {2,4,8,16,32}, assembly trees
+``fig10``   normalised makespan vs memory bound, synthetic trees
+``fig11``   speedup of MemBooking over Activation, synthetic trees
+``fig12``   fraction of available memory used, synthetic trees
+``fig13``   scheduling time vs tree size, synthetic trees
+``fig14``   effect of the AO/EO choice, synthetic trees
+``fig15``   normalised makespan for p in {2,4,8,16,32}, synthetic trees
+``lb_stats``        Section 6 statistics on the new lower bound
+``redtree_failures`` Section 7.4: RedTree failures under tight memory
+``ablation_dispatch``      ALAP dispatch to candidates vs strict Algorithm 3
+``ablation_lazy_subtree``  optimised vs reference data structures (timing)
+==========  ===========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..bounds import lower_bound_improvement_stats
+from ..core.task_tree import TaskTree
+from ..core.tree_metrics import height
+from ..orders import minimum_memory_postorder, sequential_peak_memory
+from ..schedulers import SCHEDULER_FACTORIES
+from ..schedulers.membooking import MemBookingReferenceScheduler, MemBookingScheduler
+from ..workloads.datasets import assembly_dataset, height_study_dataset, synthetic_dataset
+from .config import DEFAULT_MEMORY_FACTORS, PAPER_HEURISTICS, SweepConfig
+from .metrics import decile_band, mean, median, series_over, speedup_records
+from .reporting import format_series_table
+from .runner import prepare_instance, run_single, run_sweep
+
+__all__ = ["FigureResult", "FIGURES", "run_figure"]
+
+Series = dict[str, list[tuple[float, float]]]
+
+
+@dataclass
+class FigureResult:
+    """Data reproduced for one figure/table of the paper."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: Series
+    checks: dict[str, bool] = field(default_factory=dict)
+    notes: str = ""
+    records: list[dict[str, Any]] = field(default_factory=list)
+
+    def as_text(self) -> str:
+        """Human-readable rendering (table + check outcomes)."""
+        lines = [
+            f"== {self.figure_id}: {self.title} ==",
+            format_series_table(self.series, x_label=self.x_label),
+            f"(y axis: {self.y_label})",
+        ]
+        if self.notes:
+            lines.append(self.notes)
+        for name, passed in self.checks.items():
+            lines.append(f"check[{name}]: {'PASS' if passed else 'FAIL'}")
+        return "\n".join(lines)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        """True when every qualitative check of the figure holds."""
+        return all(self.checks.values())
+
+
+# --------------------------------------------------------------------------- #
+# dataset helpers
+# --------------------------------------------------------------------------- #
+def _dataset(kind: str, scale: str, seed: int) -> list[TaskTree]:
+    if kind == "assembly":
+        trees, _ = assembly_dataset(scale, seed=seed)  # type: ignore[arg-type]
+        return trees
+    if kind == "synthetic":
+        trees, _ = synthetic_dataset(scale, seed=seed)  # type: ignore[arg-type]
+        return trees
+    if kind == "height":
+        trees, _ = height_study_dataset(seed=seed)
+        return trees
+    raise ValueError(f"unknown dataset kind {kind!r}")
+
+
+def _series_value(series: Series, name: str, x: float) -> float:
+    for px, py in series.get(name, []):
+        if px == x:
+            return py
+    return float("nan")
+
+
+def _final_value(series: Series, name: str) -> float:
+    points = series.get(name, [])
+    return points[-1][1] if points else float("nan")
+
+
+# --------------------------------------------------------------------------- #
+# generic figure builders (shared by the assembly and synthetic variants)
+# --------------------------------------------------------------------------- #
+def _makespan_figure(
+    figure_id: str,
+    dataset_kind: str,
+    scale: str,
+    seed: int,
+    memory_factors: Sequence[float],
+    processors: Sequence[int] = (8,),
+) -> FigureResult:
+    trees = _dataset(dataset_kind, scale, seed)
+    config = SweepConfig(memory_factors=tuple(memory_factors), processors=tuple(processors))
+    records = run_sweep(trees, config)
+    series: Series = {}
+    for scheduler in config.schedulers:
+        series[scheduler] = series_over(
+            records,
+            "memory_factor",
+            "normalized_makespan",
+            where=lambda r, s=scheduler: r["scheduler"] == s,
+            min_completion=config.min_completion_fraction,
+        )
+    checks = _makespan_checks(series, memory_factors)
+    return FigureResult(
+        figure_id=figure_id,
+        title=f"Normalised makespan vs memory bound ({dataset_kind} trees, p={processors[0]})",
+        x_label="normalized memory bound",
+        y_label="makespan / lower bound",
+        series=series,
+        checks=checks,
+        records=records,
+    )
+
+
+def _makespan_checks(series: Series, memory_factors: Sequence[float]) -> dict[str, bool]:
+    """Qualitative properties of Figures 2 and 10."""
+    largest = max(memory_factors)
+    checks: dict[str, bool] = {}
+    # MemBooking is never worse (on average) than the two baselines wherever
+    # both report a point.
+    for baseline in ("Activation", "MemBookingRedTree"):
+        comparable = [
+            (x, y_mb)
+            for x, y_mb in series.get("MemBooking", [])
+            for x2, y_base in series.get(baseline, [])
+            if x == x2 and np.isfinite(y_mb) and np.isfinite(y_base) and y_mb > y_base * 1.02
+        ]
+        checks[f"membooking_not_worse_than_{baseline}"] = not comparable
+    # MemBooking reports a point at the smallest factor (it always completes
+    # at the minimum memory, Theorem 1).
+    mb_points = dict(series.get("MemBooking", []))
+    checks["membooking_covers_minimum_memory"] = min(memory_factors) in mb_points
+    # With generous memory all heuristics converge close to the lower bound
+    # regime (non-increasing trend for MemBooking).
+    mb = series.get("MemBooking", [])
+    checks["membooking_monotone_trend"] = all(
+        mb[i + 1][1] <= mb[i][1] * 1.05 for i in range(len(mb) - 1)
+    )
+    checks["membooking_close_to_bound_with_memory"] = (
+        _final_value(series, "MemBooking") <= 1.6 if mb else False
+    )
+    _ = largest
+    return checks
+
+
+def _speedup_figure(
+    figure_id: str,
+    dataset_kind: str,
+    scale: str,
+    seed: int,
+    memory_factors: Sequence[float],
+) -> FigureResult:
+    trees = _dataset(dataset_kind, scale, seed)
+    config = SweepConfig(
+        schedulers=("Activation", "MemBooking"), memory_factors=tuple(memory_factors)
+    )
+    records = run_sweep(trees, config)
+    speedups = speedup_records(records)
+    series: Series = {"mean": [], "median": [], "decile_1": [], "decile_9": []}
+    for factor in sorted(set(memory_factors)):
+        values = [s["speedup"] for s in speedups if s["memory_factor"] == factor]
+        if not values:
+            continue
+        low, high = decile_band(values)
+        series["mean"].append((factor, mean(values)))
+        series["median"].append((factor, median(values)))
+        series["decile_1"].append((factor, low))
+        series["decile_9"].append((factor, high))
+    checks = {
+        # The paper reports average speedups of roughly 1.25-1.45 around 2x
+        # the minimum memory on its (much larger) assembly trees; on the
+        # laptop-scale surrogate we require a measurable gain (>= 3%) under
+        # memory pressure and no slowdown anywhere on average.
+        "speedup_at_least_one_everywhere": all(y >= 0.99 for _, y in series["mean"]),
+        "noticeable_gain_under_memory_pressure": any(
+            y >= 1.03 for x, y in series["mean"] if x <= 3.0
+        ),
+        "speedup_shrinks_with_abundant_memory": (
+            series["mean"][-1][1] <= max(y for _, y in series["mean"]) + 1e-9
+            if series["mean"]
+            else False
+        ),
+    }
+    return FigureResult(
+        figure_id=figure_id,
+        title=f"Speedup of MemBooking over Activation ({dataset_kind} trees, p=8)",
+        x_label="normalized memory bound",
+        y_label="speedup",
+        series=series,
+        checks=checks,
+        records=records,
+    )
+
+
+def _memory_fraction_figure(
+    figure_id: str,
+    dataset_kind: str,
+    scale: str,
+    seed: int,
+    memory_factors: Sequence[float],
+) -> FigureResult:
+    trees = _dataset(dataset_kind, scale, seed)
+    config = SweepConfig(memory_factors=tuple(memory_factors))
+    records = run_sweep(trees, config)
+    series: Series = {}
+    for scheduler in config.schedulers:
+        series[scheduler] = series_over(
+            records,
+            "memory_factor",
+            "memory_fraction",
+            where=lambda r, s=scheduler: r["scheduler"] == s,
+            min_completion=config.min_completion_fraction,
+        )
+    mb_curve = dict(series.get("MemBooking", []))
+    act_curve = dict(series.get("Activation", []))
+    shared = sorted(set(mb_curve) & set(act_curve))
+    tight = [x for x in shared if x <= 3.0]
+    checks = {
+        # Under memory pressure MemBooking exploits a larger share of the
+        # available memory than Activation (Figure 4 discussion).
+        "membooking_uses_more_memory_when_tight": all(
+            mb_curve[x] >= act_curve[x] - 0.02 for x in tight
+        )
+        and any(mb_curve[x] > act_curve[x] for x in tight),
+        # The fraction of memory used decreases when memory gets abundant.
+        "fraction_decreases_with_memory": all(
+            mb_curve[a] >= mb_curve[b] - 0.05 for a, b in zip(shared, shared[1:])
+        ),
+        "fractions_are_valid": all(0.0 <= y <= 1.0 + 1e-9 for y in mb_curve.values()),
+    }
+    return FigureResult(
+        figure_id=figure_id,
+        title=f"Fraction of available memory used ({dataset_kind} trees, p=8)",
+        x_label="normalized memory bound",
+        y_label="peak resident memory / memory bound",
+        series=series,
+        checks=checks,
+        records=records,
+    )
+
+
+def _timing_figure(
+    figure_id: str,
+    dataset_kind: str,
+    scale: str,
+    seed: int,
+    *,
+    x_key: str,
+    y_key: str,
+    title: str,
+) -> FigureResult:
+    trees = _dataset(dataset_kind, scale, seed)
+    config = SweepConfig(memory_factors=(2.0,), processors=(8,))
+    records = run_sweep(trees, config)
+    series: Series = {}
+    for scheduler in config.schedulers:
+        points = sorted(
+            (
+                (float(r[x_key]), float(r[y_key]))
+                for r in records
+                if r["scheduler"] == scheduler and r["completed"]
+            )
+        )
+        series[scheduler] = points
+    mb_points = series.get("MemBooking", [])
+    checks = {
+        "timings_positive": all(y >= 0 for pts in series.values() for _, y in pts),
+        "membooking_overhead_reported": len(mb_points) > 0,
+        # Per-node overhead stays small (paper: < 1 ms per node even at
+        # height 1e5 in C; we allow a generous Python budget of 10 ms/node).
+        "per_node_overhead_small": all(
+            (y / max(x, 1.0) if y_key == "scheduling_seconds" else y) < 1e-2
+            for x, y in mb_points
+        ),
+    }
+    return FigureResult(
+        figure_id=figure_id,
+        title=title,
+        x_label=x_key,
+        y_label=y_key,
+        series=series,
+        checks=checks,
+        records=records,
+    )
+
+
+def _order_choice_figure(
+    figure_id: str,
+    dataset_kind: str,
+    scale: str,
+    seed: int,
+    memory_factors: Sequence[float],
+) -> FigureResult:
+    trees = _dataset(dataset_kind, scale, seed)
+    combos = [
+        ("memPO", "memPO"),
+        ("memPO", "CP"),
+        ("OptSeq", "CP"),
+        ("OptSeq", "OptSeq"),
+        ("perfPO", "CP"),
+        ("perfPO", "perfPO"),
+    ]
+    series: Series = {}
+    all_records: list[dict[str, Any]] = []
+    for ao_name, eo_name in combos:
+        config = SweepConfig(
+            schedulers=("MemBooking",),
+            memory_factors=tuple(memory_factors),
+            activation_order=ao_name,
+            execution_order=eo_name,
+        )
+        records = run_sweep(trees, config)
+        all_records.extend(records)
+        series[f"{ao_name}/{eo_name}"] = series_over(
+            records,
+            "memory_factor",
+            "normalized_makespan",
+            min_completion=config.min_completion_fraction,
+        )
+    # Spread between order choices at the largest factor must stay small
+    # compared to the heuristic-vs-heuristic gaps (Section 7.3.1).
+    finals = [points[-1][1] for points in series.values() if points]
+    spread = (max(finals) - min(finals)) / min(finals) if finals else float("nan")
+    cp_better = []
+    for ao_name in ("memPO", "perfPO"):
+        same = dict(series.get(f"{ao_name}/{ao_name}", []))
+        with_cp = dict(series.get(f"{ao_name}/CP", []))
+        shared = set(same) & set(with_cp)
+        if shared:
+            cp_better.append(mean(with_cp[x] for x in shared) <= mean(same[x] for x in shared) * 1.02)
+    checks = {
+        "order_choice_has_small_impact": bool(np.isfinite(spread) and spread < 0.15),
+        "cp_execution_order_competitive": all(cp_better) if cp_better else False,
+    }
+    return FigureResult(
+        figure_id=figure_id,
+        title=f"Impact of the AO/EO choice on MemBooking ({dataset_kind} trees, p=8)",
+        x_label="normalized memory bound",
+        y_label="makespan / lower bound",
+        series=series,
+        checks=checks,
+        records=all_records,
+    )
+
+
+def _processor_sweep_figure(
+    figure_id: str,
+    dataset_kind: str,
+    scale: str,
+    seed: int,
+    memory_factors: Sequence[float],
+    processors: Sequence[int],
+) -> FigureResult:
+    trees = _dataset(dataset_kind, scale, seed)
+    config = SweepConfig(memory_factors=tuple(memory_factors), processors=tuple(processors))
+    records = run_sweep(trees, config)
+    series: Series = {}
+    for p in processors:
+        for scheduler in config.schedulers:
+            series[f"p={p}/{scheduler}"] = series_over(
+                records,
+                "memory_factor",
+                "normalized_makespan",
+                where=lambda r, s=scheduler, pp=p: r["scheduler"] == s
+                and r["num_processors"] == pp,
+                min_completion=config.min_completion_fraction,
+            )
+    # The gain of MemBooking over Activation grows with the processor count.
+    gains: dict[int, float] = {}
+    for p in processors:
+        mb = dict(series.get(f"p={p}/MemBooking", []))
+        act = dict(series.get(f"p={p}/Activation", []))
+        shared = [x for x in mb if x in act and x <= 3.0]
+        if shared:
+            gains[p] = mean(act[x] / mb[x] for x in shared if mb[x] > 0)
+    sorted_p = sorted(gains)
+    checks = {
+        "gain_present_at_max_processors": gains.get(max(processors), 0.0) >= 1.0,
+        "gain_grows_with_processors": (
+            gains[sorted_p[-1]] >= gains[sorted_p[0]] - 0.02 if len(sorted_p) >= 2 else False
+        ),
+    }
+    return FigureResult(
+        figure_id=figure_id,
+        title=f"Normalised makespan for several processor counts ({dataset_kind} trees)",
+        x_label="normalized memory bound",
+        y_label="makespan / lower bound",
+        series=series,
+        checks=checks,
+        records=records,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# assembly-tree figures (2-9)
+# --------------------------------------------------------------------------- #
+def fig2(scale: str = "small", seed: int = 2017) -> FigureResult:
+    """Figure 2: normalised makespan of the three heuristics, assembly trees."""
+    return _makespan_figure("fig2", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS)
+
+
+def fig3(scale: str = "small", seed: int = 2017) -> FigureResult:
+    """Figure 3: speedup of MemBooking over Activation, assembly trees."""
+    return _speedup_figure("fig3", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS)
+
+
+def fig4(scale: str = "small", seed: int = 2017) -> FigureResult:
+    """Figure 4: fraction of the available memory actually used, assembly trees."""
+    return _memory_fraction_figure("fig4", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS)
+
+
+def fig5(scale: str = "small", seed: int = 2017) -> FigureResult:
+    """Figure 5: scheduling time as a function of the tree size, assembly trees."""
+    return _timing_figure(
+        "fig5",
+        "assembly",
+        scale,
+        seed,
+        x_key="tree_size",
+        y_key="scheduling_seconds",
+        title="Scheduling time vs tree size (assembly trees)",
+    )
+
+
+def fig6(scale: str = "small", seed: int = 99) -> FigureResult:
+    """Figure 6: scheduling time per node as a function of the tree height."""
+    return _timing_figure(
+        "fig6",
+        "height",
+        scale,
+        seed,
+        x_key="tree_height",
+        y_key="scheduling_seconds_per_node",
+        title="Per-node scheduling time vs tree height",
+    )
+
+
+def fig7(scale: str = "small", seed: int = 2017) -> FigureResult:
+    """Figure 7: speedup over Activation as a function of the tree height (factor 2)."""
+    trees = _dataset("assembly", scale, seed) + _dataset("height", scale, seed + 1)
+    config = SweepConfig(schedulers=("Activation", "MemBooking"), memory_factors=(2.0,))
+    records = run_sweep(trees, config)
+    speedups = speedup_records(records)
+    points = sorted((float(s["tree_height"]), float(s["speedup"])) for s in speedups)
+    shallow = [y for x, y in points if x <= np.median([x for x, _ in points])]
+    deep = [y for x, y in points if x > np.median([x for x, _ in points])]
+    checks = {
+        "no_slowdown_anywhere": all(y >= 0.99 for _, y in points),
+        # Deep thin trees offer little parallelism: the best speedups are on
+        # the shallow side (Figure 7 discussion).
+        "best_speedups_on_shallow_trees": (max(shallow) >= max(deep) - 1e-9)
+        if shallow and deep
+        else False,
+    }
+    return FigureResult(
+        figure_id="fig7",
+        title="Speedup of MemBooking vs tree height at memory factor 2",
+        x_label="tree height",
+        y_label="speedup over Activation",
+        series={"speedup": points},
+        checks=checks,
+        records=records,
+    )
+
+
+def fig8(scale: str = "small", seed: int = 2017) -> FigureResult:
+    """Figure 8: impact of the activation/execution order choice, assembly trees."""
+    return _order_choice_figure("fig8", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0))
+
+
+def fig9(scale: str = "small", seed: int = 2017) -> FigureResult:
+    """Figure 9: normalised makespan for p in {2, 4, 8, 16, 32}, assembly trees."""
+    return _processor_sweep_figure(
+        "fig9", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), (2, 4, 8, 16, 32)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# synthetic-tree figures (10-15)
+# --------------------------------------------------------------------------- #
+def fig10(scale: str = "small", seed: int = 7011) -> FigureResult:
+    """Figure 10: normalised makespan of the three heuristics, synthetic trees."""
+    return _makespan_figure("fig10", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0))
+
+
+def fig11(scale: str = "small", seed: int = 7011) -> FigureResult:
+    """Figure 11: speedup of MemBooking over Activation, synthetic trees."""
+    return _speedup_figure("fig11", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0))
+
+
+def fig12(scale: str = "small", seed: int = 7011) -> FigureResult:
+    """Figure 12: fraction of the available memory actually used, synthetic trees."""
+    return _memory_fraction_figure("fig12", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0))
+
+
+def fig13(scale: str = "small", seed: int = 7011) -> FigureResult:
+    """Figure 13: scheduling time as a function of the tree size, synthetic trees."""
+    return _timing_figure(
+        "fig13",
+        "synthetic",
+        scale,
+        seed,
+        x_key="tree_size",
+        y_key="scheduling_seconds",
+        title="Scheduling time vs tree size (synthetic trees)",
+    )
+
+
+def fig14(scale: str = "small", seed: int = 7011) -> FigureResult:
+    """Figure 14: impact of the activation/execution order choice, synthetic trees."""
+    return _order_choice_figure("fig14", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0))
+
+
+def fig15(scale: str = "small", seed: int = 7011) -> FigureResult:
+    """Figure 15: normalised makespan for p in {2, 4, 8, 16, 32}, synthetic trees."""
+    return _processor_sweep_figure(
+        "fig15", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), (2, 4, 8, 16, 32)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# text statistics and ablations
+# --------------------------------------------------------------------------- #
+def lb_stats(scale: str = "small", seed: int = 2017) -> FigureResult:
+    """Section 6 statistics: how often the memory-aware bound improves the classical one."""
+    series: Series = {}
+    checks: dict[str, bool] = {}
+    for kind, tree_seed in (("assembly", seed), ("synthetic", seed + 1)):
+        trees = _dataset(kind, scale, tree_seed)
+        points_fraction = []
+        points_gain = []
+        for factor in (1.0, 2.0, 5.0):
+            limits = []
+            for tree in trees:
+                order = minimum_memory_postorder(tree)
+                limits.append(factor * sequential_peak_memory(tree, order, check=False))
+            stats = lower_bound_improvement_stats(trees, 8, limits)
+            points_fraction.append((factor, stats["improved_fraction"]))
+            points_gain.append((factor, stats["average_improvement"]))
+        series[f"{kind}/improved_fraction"] = points_fraction
+        series[f"{kind}/average_improvement"] = points_gain
+        checks[f"{kind}_bound_improves_under_tight_memory"] = points_fraction[0][1] > 0.0
+        checks[f"{kind}_improvement_shrinks_with_memory"] = (
+            points_fraction[0][1] >= points_fraction[-1][1]
+        )
+    return FigureResult(
+        figure_id="lb_stats",
+        title="Improvement of the memory-aware lower bound (Section 6)",
+        x_label="normalized memory bound",
+        y_label="fraction improved / average improvement",
+        series=series,
+        checks=checks,
+    )
+
+
+def redtree_failures(scale: str = "small", seed: int = 7011) -> FigureResult:
+    """Section 7.4: MemBookingRedTree cannot schedule many trees under tight memory."""
+    trees = _dataset("synthetic", scale, seed)
+    config = SweepConfig(
+        schedulers=("MemBookingRedTree", "MemBooking"),
+        memory_factors=(1.0, 1.2, 1.4, 2.0, 5.0),
+        min_completion_fraction=0.0,
+        validate=False,
+    )
+    records = run_sweep(trees, config)
+    series: Series = {}
+    for scheduler in config.schedulers:
+        points = []
+        for factor in config.memory_factors:
+            bucket = [
+                r
+                for r in records
+                if r["scheduler"] == scheduler and r["memory_factor"] == factor
+            ]
+            failure_fraction = sum(1 for r in bucket if not r["completed"]) / len(bucket)
+            points.append((factor, failure_fraction))
+        series[scheduler] = points
+    red = dict(series["MemBookingRedTree"])
+    mb = dict(series["MemBooking"])
+    checks = {
+        # MemBooking never fails (Theorem 1).
+        "membooking_never_fails": all(v == 0.0 for v in mb.values()),
+        # The reduction-tree baseline fails on a substantial fraction of the
+        # trees below 1.4x the minimum memory (the paper reports >= 33%).
+        "redtree_fails_under_tight_memory": max(red[1.0], red[1.2]) >= 0.3,
+        # Failures disappear once memory is abundant.
+        "redtree_recovers_with_memory": red[5.0] <= red[1.0],
+    }
+    return FigureResult(
+        figure_id="redtree_failures",
+        title="Fraction of synthetic trees MemBookingRedTree cannot schedule",
+        x_label="normalized memory bound",
+        y_label="failure fraction",
+        series=series,
+        checks=checks,
+        records=records,
+    )
+
+
+def ablation_dispatch(scale: str = "small", seed: int = 7011) -> FigureResult:
+    """Ablation: ALAP dispatch to computed candidates vs strict Algorithm 3 dispatch."""
+    trees = _dataset("synthetic", scale, seed)
+    factors = (1.0, 1.5, 2.0, 5.0)
+    series: Series = {"alap_dispatch": [], "strict_dispatch": []}
+    records: list[dict[str, Any]] = []
+    for factor in factors:
+        for label, scheduler in (
+            ("alap_dispatch", MemBookingScheduler(dispatch_to_candidates=True)),
+            ("strict_dispatch", MemBookingScheduler(dispatch_to_candidates=False)),
+        ):
+            values = []
+            for index, tree in enumerate(trees):
+                order = minimum_memory_postorder(tree)
+                minimum = sequential_peak_memory(tree, order, check=False)
+                result = scheduler.schedule(tree, 8, factor * minimum, ao=order, eo=order)
+                values.append(result.makespan if result.completed else np.nan)
+                records.append(
+                    {
+                        "variant": label,
+                        "tree_index": index,
+                        "memory_factor": factor,
+                        "completed": result.completed,
+                        "makespan": result.makespan,
+                    }
+                )
+            series[label].append((factor, mean(values)))
+    alap = dict(series["alap_dispatch"])
+    strict = dict(series["strict_dispatch"])
+    checks = {
+        "both_variants_complete": all(np.isfinite(v) for v in list(alap.values()) + list(strict.values())),
+        # The two dispatch policies only differ marginally: the ALAP extension
+        # is a complexity optimisation, not a performance trick.
+        "variants_within_five_percent": all(
+            abs(alap[f] - strict[f]) <= 0.05 * strict[f] for f in factors
+        ),
+    }
+    return FigureResult(
+        figure_id="ablation_dispatch",
+        title="Ablation: ALAP dispatch to candidates vs strict ACT/RUN dispatch",
+        x_label="normalized memory bound",
+        y_label="mean makespan",
+        series=series,
+        checks=checks,
+        records=records,
+    )
+
+
+def ablation_lazy_subtree(scale: str = "small", seed: int = 99) -> FigureResult:
+    """Ablation: optimised data structures vs the reference implementation (timing)."""
+    sizes = (200, 500, 1000, 2000) if scale != "tiny" else (100, 200, 400)
+    from ..workloads.synthetic import SyntheticTreeConfig, synthetic_tree
+
+    series: Series = {"optimized": [], "reference": []}
+    for size in sizes:
+        tree = synthetic_tree(SyntheticTreeConfig(num_nodes=size), rng=seed)
+        order = minimum_memory_postorder(tree)
+        minimum = sequential_peak_memory(tree, order, check=False)
+        for label, scheduler in (
+            ("optimized", MemBookingScheduler()),
+            ("reference", MemBookingReferenceScheduler()),
+        ):
+            result = scheduler.schedule(tree, 8, 2.0 * minimum, ao=order, eo=order)
+            series[label].append((float(size), result.scheduling_seconds))
+    optimized = dict(series["optimized"])
+    reference = dict(series["reference"])
+    largest = max(sizes)
+    checks = {
+        "timings_positive": all(v >= 0 for v in list(optimized.values()) + list(reference.values())),
+        # The heap/counter implementation must not be slower than the
+        # linear-scan reference on the largest instance.
+        "optimized_not_slower_at_scale": optimized[largest] <= reference[largest] * 1.5,
+    }
+    return FigureResult(
+        figure_id="ablation_lazy_subtree",
+        title="Ablation: optimised vs reference MemBooking data structures",
+        x_label="tree size",
+        y_label="scheduling seconds",
+        series=series,
+        checks=checks,
+    )
+
+
+#: Registry used by the CLI and the benchmark suite.
+FIGURES: dict[str, Callable[..., FigureResult]] = {
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "lb_stats": lb_stats,
+    "redtree_failures": redtree_failures,
+    "ablation_dispatch": ablation_dispatch,
+    "ablation_lazy_subtree": ablation_lazy_subtree,
+}
+
+
+def run_figure(figure_id: str, **kwargs) -> FigureResult:
+    """Run one figure by identifier (``"fig2"``, ..., ``"lb_stats"``)."""
+    try:
+        factory = FIGURES[figure_id]
+    except KeyError:
+        raise ValueError(f"unknown figure {figure_id!r}; available: {sorted(FIGURES)}") from None
+    return factory(**kwargs)

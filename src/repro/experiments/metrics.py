@@ -1,0 +1,160 @@
+"""Metrics and aggregation helpers for the experiment harness.
+
+The paper reports its results as averages (and occasionally medians and
+deciles) of per-instance quantities:
+
+* the **normalised makespan** — the makespan divided by the best makespan
+  lower bound of the instance (Section 7.2);
+* the **normalised memory bound** — the memory limit divided by the peak
+  memory of the memory-minimising sequential postorder of the tree ("minimum
+  memory");
+* the **speedup** of one heuristic over another on the same instance;
+* the **fraction of available memory used** — the actual peak resident
+  memory divided by the memory limit (Figures 4 and 12);
+* the **scheduling time**, total or per node (Figures 5, 6 and 13).
+
+The helpers below operate on the plain ``dict`` records produced by
+:mod:`repro.experiments.runner` so that the benchmark scripts and the CLI can
+post-process results without any heavyweight dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "group_by",
+    "mean",
+    "median",
+    "quantile",
+    "decile_band",
+    "safe_ratio",
+    "completion_fraction",
+    "speedup_records",
+    "series_over",
+]
+
+Record = Mapping[str, Any]
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean, ``nan`` for an empty input (keeps plots honest)."""
+    data = [float(v) for v in values if math.isfinite(float(v))]
+    return float(np.mean(data)) if data else math.nan
+
+
+def median(values: Iterable[float]) -> float:
+    """Median, ``nan`` for an empty input."""
+    data = [float(v) for v in values if math.isfinite(float(v))]
+    return float(np.median(data)) if data else math.nan
+
+
+def quantile(values: Iterable[float], q: float) -> float:
+    """Quantile ``q`` in [0, 1], ``nan`` for an empty input."""
+    data = [float(v) for v in values if math.isfinite(float(v))]
+    return float(np.quantile(data, q)) if data else math.nan
+
+
+def decile_band(values: Iterable[float]) -> tuple[float, float]:
+    """First and ninth decile (the ribbon of Figure 3)."""
+    data = [float(v) for v in values if math.isfinite(float(v))]
+    if not data:
+        return math.nan, math.nan
+    return float(np.quantile(data, 0.1)), float(np.quantile(data, 0.9))
+
+
+def safe_ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with ``nan`` on degenerate input."""
+    if not math.isfinite(numerator) or not math.isfinite(denominator) or denominator <= 0:
+        return math.nan
+    return numerator / denominator
+
+
+def group_by(records: Iterable[Record], *keys: str) -> dict[tuple, list[Record]]:
+    """Group records by the values of ``keys`` (in order)."""
+    grouped: dict[tuple, list[Record]] = defaultdict(list)
+    for record in records:
+        grouped[tuple(record[k] for k in keys)].append(record)
+    return dict(grouped)
+
+
+def completion_fraction(records: Sequence[Record]) -> float:
+    """Fraction of records whose schedule completed."""
+    if not records:
+        return math.nan
+    return sum(1 for r in records if r["completed"]) / len(records)
+
+
+def speedup_records(
+    records: Iterable[Record],
+    *,
+    baseline: str = "Activation",
+    target: str = "MemBooking",
+) -> list[dict[str, Any]]:
+    """Pair up target/baseline runs of the same instance and compute speedups.
+
+    Records are matched on ``(tree_index, num_processors, memory_factor,
+    activation_order, execution_order)``.  Only instances where *both*
+    heuristics completed produce a speedup record.
+    """
+    keys = ("tree_index", "num_processors", "memory_factor", "activation_order", "execution_order")
+    by_instance = group_by(records, *keys)
+    output: list[dict[str, Any]] = []
+    for instance_key, instance_records in by_instance.items():
+        base = [r for r in instance_records if r["scheduler"] == baseline]
+        tgt = [r for r in instance_records if r["scheduler"] == target]
+        if not base or not tgt:
+            continue
+        base_record, target_record = base[0], tgt[0]
+        if not (base_record["completed"] and target_record["completed"]):
+            continue
+        speedup = safe_ratio(base_record["makespan"], target_record["makespan"])
+        output.append(
+            {
+                **{k: v for k, v in zip(keys, instance_key)},
+                "speedup": speedup,
+                "baseline_makespan": base_record["makespan"],
+                "target_makespan": target_record["makespan"],
+                "tree_size": target_record["tree_size"],
+                "tree_height": target_record["tree_height"],
+            }
+        )
+    return output
+
+
+def series_over(
+    records: Iterable[Record],
+    x_key: str,
+    y_key: str,
+    *,
+    reduce: Callable[[Iterable[float]], float] = mean,
+    where: Callable[[Record], bool] | None = None,
+    min_completion: float | None = None,
+) -> list[tuple[float, float]]:
+    """Aggregate ``y_key`` as a function of ``x_key``.
+
+    Parameters
+    ----------
+    reduce:
+        Aggregation function applied to the y values of each x bucket.
+    where:
+        Optional record filter applied before grouping.
+    min_completion:
+        When given, x buckets whose completion fraction is below this
+        threshold are dropped entirely — this reproduces the paper's rule of
+        only plotting a point when at least 95% of the trees could be
+        scheduled (Section 7.2).
+    """
+    filtered = [r for r in records if where is None or where(r)]
+    buckets = group_by(filtered, x_key)
+    series: list[tuple[float, float]] = []
+    for (x_value,), bucket in sorted(buckets.items()):
+        if min_completion is not None and completion_fraction(bucket) < min_completion:
+            continue
+        completed = [r for r in bucket if r["completed"]]
+        series.append((float(x_value), reduce(r[y_key] for r in completed)))
+    return series

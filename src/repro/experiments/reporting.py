@@ -1,0 +1,123 @@
+"""Plain-text and CSV reporting of experiment results.
+
+The benchmark harness is expected to *print* the same rows/series as the
+paper's figures (absolute numbers will differ — the substrate is a simulator
+— but the shape must match).  The helpers below render
+
+* a :class:`FigureResult`-style series dictionary as an aligned text table
+  (x values as rows, one column per series), and
+* arbitrary record lists as CSV files for offline plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["format_series_table", "format_records_table", "write_records_csv", "write_series_csv"]
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series_table(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    x_label: str = "x",
+    title: str | None = None,
+) -> str:
+    """Render ``{series name: [(x, y), ...]}`` as an aligned text table."""
+    x_values = sorted({x for points in series.values() for x, _ in points})
+    lookup = {
+        name: {x: y for x, y in points} for name, points in series.items()
+    }
+    headers = [x_label] + list(series.keys())
+    rows: list[list[str]] = []
+    for x in x_values:
+        row = [_format_value(x)]
+        for name in series:
+            row.append(_format_value(lookup[name].get(x, math.nan)))
+        rows.append(row)
+
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_records_table(
+    records: Sequence[Mapping[str, Any]],
+    columns: Sequence[str],
+    *,
+    title: str | None = None,
+    max_rows: int | None = None,
+) -> str:
+    """Render selected columns of a record list as an aligned text table."""
+    rows = [[_format_value(record.get(column, "")) for column in columns] for record in records]
+    if max_rows is not None and len(rows) > max_rows:
+        rows = rows[:max_rows]
+    widths = [
+        max(len(columns[i]), *(len(r[i]) for r in rows)) if rows else len(columns[i])
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(columns)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def write_records_csv(records: Iterable[Mapping[str, Any]], path: str | Path) -> Path:
+    """Write records to CSV (columns = union of keys, in first-seen order)."""
+    records = list(records)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    columns: list[str] = []
+    for record in records:
+        for key in record:
+            if key not in columns:
+                columns.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for record in records:
+            writer.writerow({k: record.get(k, "") for k in columns})
+    return path
+
+
+def write_series_csv(
+    series: Mapping[str, Sequence[tuple[float, float]]], path: str | Path, *, x_label: str = "x"
+) -> Path:
+    """Write ``{series name: [(x, y), ...]}`` to a wide-format CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    x_values = sorted({x for points in series.values() for x, _ in points})
+    lookup = {name: {x: y for x, y in points} for name, points in series.items()}
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([x_label] + list(series.keys()))
+        for x in x_values:
+            writer.writerow([x] + [lookup[name].get(x, "") for name in series])
+    return path

@@ -1,0 +1,133 @@
+"""Execution engine for experiment sweeps.
+
+:func:`run_sweep` simulates every (tree, memory factor, processor count,
+heuristic) combination of a :class:`~repro.experiments.config.SweepConfig`
+and returns one flat record (plain ``dict``) per simulation.  Records carry
+everything the figures need: the normalised makespan, the peak/booked memory,
+the scheduling time and the instance characteristics.
+
+The per-tree normalisations follow Section 7.2:
+
+* the memory bound of a run is ``factor x minimum memory`` where the minimum
+  memory is the sequential peak of the tree's memory-minimising postorder;
+* makespans are normalised by the *best* lower bound — the maximum of the
+  classical bound and the memory-aware bound of Theorem 3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..bounds import lower_bounds
+from ..core.task_tree import TaskTree
+from ..core.tree_metrics import height
+from ..orders import ORDER_FACTORIES, Ordering, minimum_memory_postorder, sequential_peak_memory
+from ..schedulers import SCHEDULER_FACTORIES, validate_schedule
+from .config import SweepConfig
+from .metrics import safe_ratio
+
+__all__ = ["run_sweep", "run_single", "prepare_instance", "InstanceContext"]
+
+
+class InstanceContext:
+    """Per-tree data shared by every run on that tree (orders, minimum memory)."""
+
+    def __init__(self, tree: TaskTree, index: int, config: SweepConfig) -> None:
+        self.tree = tree
+        self.index = index
+        self.height = height(tree)
+        self.ao = _make_order(tree, config.activation_order)
+        self.eo = (
+            self.ao
+            if config.execution_order == config.activation_order
+            else _make_order(tree, config.execution_order)
+        )
+        # "Minimum memory" of Section 7.2: peak of the memory-minimising
+        # postorder (independent of the AO/EO actually used for scheduling).
+        if config.activation_order == "memPO":
+            reference_order = self.ao
+        else:
+            reference_order = minimum_memory_postorder(tree)
+        self.minimum_memory = sequential_peak_memory(tree, reference_order, check=False)
+
+
+def _make_order(tree: TaskTree, name: str) -> Ordering:
+    try:
+        factory = ORDER_FACTORIES[name]
+    except KeyError:
+        raise ValueError(f"unknown ordering {name!r}; available: {sorted(ORDER_FACTORIES)}") from None
+    return factory(tree)
+
+
+def prepare_instance(tree: TaskTree, index: int, config: SweepConfig) -> InstanceContext:
+    """Precompute the orders and minimum memory of one tree."""
+    return InstanceContext(tree, index, config)
+
+
+def run_single(
+    context: InstanceContext,
+    scheduler_name: str,
+    num_processors: int,
+    memory_factor: float,
+    config: SweepConfig,
+) -> dict[str, Any]:
+    """Run one heuristic on one instance and return its flat record."""
+    tree = context.tree
+    memory_limit = memory_factor * context.minimum_memory
+    scheduler = SCHEDULER_FACTORIES[scheduler_name]()
+    result = scheduler.schedule(
+        tree, num_processors, memory_limit, ao=context.ao, eo=context.eo
+    )
+    if config.validate and result.completed:
+        validate_schedule(tree, result).raise_if_invalid()
+    bounds = lower_bounds(tree, num_processors, memory_limit)
+    record: dict[str, Any] = {
+        "tree_index": context.index,
+        "tree_size": tree.n,
+        "tree_height": context.height,
+        "scheduler": scheduler_name,
+        "num_processors": num_processors,
+        "memory_factor": memory_factor,
+        "memory_limit": memory_limit,
+        "minimum_memory": context.minimum_memory,
+        "completed": result.completed,
+        "makespan": result.makespan,
+        "lower_bound": bounds.combined,
+        "classical_lower_bound": bounds.classical,
+        "memory_lower_bound": bounds.memory_bound,
+        "normalized_makespan": safe_ratio(result.makespan, bounds.combined),
+        "peak_memory": result.peak_memory,
+        "memory_fraction": safe_ratio(result.peak_memory, memory_limit),
+        "scheduling_seconds": result.scheduling_seconds,
+        "scheduling_seconds_per_node": result.scheduling_seconds / max(tree.n, 1),
+        "activation_order": config.activation_order,
+        "execution_order": config.execution_order,
+        "failure_reason": result.failure_reason,
+    }
+    return record
+
+
+def run_sweep(
+    trees: Sequence[TaskTree] | Iterable[TaskTree],
+    config: SweepConfig | None = None,
+    **overrides,
+) -> list[dict[str, Any]]:
+    """Run the full cartesian sweep described by ``config`` over ``trees``.
+
+    Keyword overrides are applied on top of ``config`` (e.g.
+    ``run_sweep(trees, processors=(2, 4))``).
+    """
+    if config is None:
+        config = SweepConfig(**overrides)
+    elif overrides:
+        config = config.with_overrides(**overrides)
+    records: list[dict[str, Any]] = []
+    for index, tree in enumerate(trees):
+        context = prepare_instance(tree, index, config)
+        for num_processors in config.processors:
+            for memory_factor in config.memory_factors:
+                for scheduler_name in config.schedulers:
+                    records.append(
+                        run_single(context, scheduler_name, num_processors, memory_factor, config)
+                    )
+    return records

@@ -1,0 +1,102 @@
+"""Run the whole evaluation suite and write a consolidated report.
+
+``python -m repro.experiments.suite --scale tiny --out results/`` (or the
+programmatic :func:`run_suite`) executes every figure/table reproduction of
+:mod:`repro.experiments.figures`, writes
+
+* one text file per figure (the same series the benchmarks print),
+* one CSV per figure (for offline plotting), and
+* a ``summary.md`` report listing every qualitative check and whether it
+  passed,
+
+which is how the EXPERIMENTS.md numbers were collected.  The benchmark suite
+(`pytest benchmarks/ --benchmark-only`) remains the canonical way to *assert*
+the checks; this module is the convenience front-end for regenerating all the
+data in one go.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from .figures import FIGURES, FigureResult, run_figure
+from .reporting import write_series_csv
+
+__all__ = ["run_suite", "write_suite_report", "main"]
+
+
+def run_suite(
+    figure_ids: Iterable[str] | None = None,
+    *,
+    scale: str = "small",
+) -> dict[str, FigureResult]:
+    """Run the selected figures (all of them by default) and return the results."""
+    ids = list(figure_ids) if figure_ids is not None else sorted(FIGURES)
+    results: dict[str, FigureResult] = {}
+    for figure_id in ids:
+        results[figure_id] = run_figure(figure_id, scale=scale)
+    return results
+
+
+def write_suite_report(
+    results: Mapping[str, FigureResult],
+    out_dir: str | Path,
+    *,
+    scale: str = "small",
+    elapsed_seconds: float | None = None,
+) -> Path:
+    """Write per-figure text/CSV files plus a ``summary.md`` into ``out_dir``."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    lines = [
+        "# Evaluation suite report",
+        "",
+        f"* dataset scale: `{scale}`",
+        f"* figures run: {len(results)}",
+    ]
+    if elapsed_seconds is not None:
+        lines.append(f"* total runtime: {elapsed_seconds:.1f} s")
+    lines.append("")
+    lines.append("| figure | title | checks |")
+    lines.append("|---|---|---|")
+    for figure_id, result in results.items():
+        (out / f"{figure_id}.txt").write_text(result.as_text() + "\n")
+        write_series_csv(result.series, out / f"{figure_id}.csv", x_label=result.x_label)
+        status = "all pass" if result.all_checks_pass else "FAILURES: " + ", ".join(
+            name for name, ok in result.checks.items() if not ok
+        )
+        lines.append(f"| {figure_id} | {result.title} | {status} |")
+    summary = out / "summary.md"
+    summary.write_text("\n".join(lines) + "\n")
+    return summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point (``python -m repro.experiments.suite``)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="small", help="dataset scale (tiny/small/medium/large)")
+    parser.add_argument("--out", type=Path, default=Path("suite-results"))
+    parser.add_argument(
+        "--figures",
+        nargs="*",
+        default=None,
+        help="subset of figure ids to run (default: every figure)",
+    )
+    args = parser.parse_args(argv)
+    start = time.perf_counter()
+    results = run_suite(args.figures, scale=args.scale)
+    elapsed = time.perf_counter() - start
+    summary = write_suite_report(results, args.out, scale=args.scale, elapsed_seconds=elapsed)
+    failures = [fid for fid, result in results.items() if not result.all_checks_pass]
+    print(f"wrote {summary} ({len(results)} figures, {elapsed:.1f} s)")
+    if failures:
+        print("figures with failed checks:", ", ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

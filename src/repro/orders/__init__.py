@@ -1,0 +1,67 @@
+"""Task orderings: activation and execution orders studied in the paper."""
+
+from .base import Ordering
+from .critical_path import critical_path_order
+from .optimal_sequential import optimal_sequential_order, optimal_sequential_peak
+from .peak_memory import (
+    SequentialProfile,
+    sequential_average_memory,
+    sequential_peak_memory,
+    sequential_profile,
+)
+from .postorder import (
+    average_memory_postorder,
+    enumerate_postorders,
+    minimum_memory_postorder,
+    natural_postorder,
+    performance_postorder,
+    postorder_from_child_keys,
+    postorder_peaks,
+    random_postorder,
+)
+
+__all__ = [
+    "Ordering",
+    "critical_path_order",
+    "optimal_sequential_order",
+    "optimal_sequential_peak",
+    "SequentialProfile",
+    "sequential_average_memory",
+    "sequential_peak_memory",
+    "sequential_profile",
+    "average_memory_postorder",
+    "enumerate_postorders",
+    "minimum_memory_postorder",
+    "natural_postorder",
+    "performance_postorder",
+    "postorder_from_child_keys",
+    "postorder_peaks",
+    "random_postorder",
+    "make_order",
+    "ORDER_FACTORIES",
+]
+
+
+def make_order(tree, kind: str) -> Ordering:
+    """Build a named ordering (``"memPO"``, ``"perfPO"``, ``"CP"``, ``"OptSeq"``, ...).
+
+    This is the string-based factory used by the experiment harness and the
+    CLI so orders can be selected from configuration files.
+    """
+    try:
+        factory = ORDER_FACTORIES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown ordering {kind!r}; available: {sorted(ORDER_FACTORIES)}"
+        ) from None
+    return factory(tree)
+
+
+ORDER_FACTORIES = {
+    "memPO": minimum_memory_postorder,
+    "perfPO": performance_postorder,
+    "avgMemPO": average_memory_postorder,
+    "naturalPO": natural_postorder,
+    "CP": critical_path_order,
+    "OptSeq": optimal_sequential_order,
+}

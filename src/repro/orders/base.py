@@ -1,0 +1,187 @@
+"""Ordering objects: validated task permutations used as AO and EO.
+
+Every scheduling heuristic of the paper is parameterised by two orders:
+
+* the **activation order** ``AO`` — a *topological* order of the tree
+  (children before parents) that drives memory booking; the guarantees of
+  Theorem 1 require the sequential execution of ``AO`` to fit in memory;
+* the **execution order** ``EO`` — an arbitrary priority order used to pick
+  which activated & available task to run when a processor frees up.
+
+:class:`Ordering` wraps a permutation of the node indices and provides
+
+* ``sequence[k]`` — the node processed at position ``k``,
+* ``rank[i]``     — the position of node ``i`` (its priority; smaller = earlier),
+* validation helpers (:meth:`is_topological`, :meth:`is_postorder`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.task_tree import NO_PARENT, TaskTree
+
+__all__ = ["Ordering"]
+
+
+class Ordering:
+    """A permutation of the tasks of a tree, usable as an AO or EO.
+
+    Parameters
+    ----------
+    sequence:
+        A permutation of ``0 .. n-1``; ``sequence[k]`` is the node in
+        position ``k``.
+    name:
+        Optional label (e.g. ``"memPO"``, ``"CP"``) used in reports.
+    """
+
+    __slots__ = ("_sequence", "_rank", "name")
+
+    def __init__(self, sequence: Sequence[int] | np.ndarray, *, name: str = "") -> None:
+        seq = np.asarray(sequence, dtype=np.int64).copy()
+        if seq.ndim != 1:
+            raise ValueError("an ordering must be a 1-D sequence of node indices")
+        n = seq.size
+        if n == 0:
+            raise ValueError("an ordering cannot be empty")
+        present = np.zeros(n, dtype=bool)
+        if seq.min() < 0 or seq.max() >= n:
+            raise ValueError("ordering entries must be node indices in [0, n)")
+        present[seq] = True
+        if not present.all():
+            raise ValueError("an ordering must be a permutation of 0 .. n-1")
+        rank = np.empty(n, dtype=np.int64)
+        rank[seq] = np.arange(n, dtype=np.int64)
+        seq.setflags(write=False)
+        rank.setflags(write=False)
+        self._sequence = seq
+        self._rank = rank
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Number of tasks covered by the ordering."""
+        return int(self._sequence.size)
+
+    @property
+    def sequence(self) -> np.ndarray:
+        """Read-only permutation: ``sequence[k]`` is the node at position ``k``."""
+        return self._sequence
+
+    @property
+    def rank(self) -> np.ndarray:
+        """Read-only rank array: ``rank[i]`` is the position of node ``i``."""
+        return self._rank
+
+    def rank_of(self, node: int) -> int:
+        """Position (priority) of ``node``; smaller means earlier/higher priority."""
+        return int(self._rank[node])
+
+    def node_at(self, position: int) -> int:
+        """Node processed at ``position``."""
+        return int(self._sequence[position])
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._sequence.tolist())
+
+    def __getitem__(self, position: int) -> int:
+        return int(self._sequence[position])
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Ordering):
+            return bool(np.array_equal(self._sequence, other._sequence))
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._sequence.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Ordering(n={self.n}{label})"
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def is_topological(self, tree: TaskTree) -> bool:
+        """True when every node appears *before* its parent (children first)."""
+        if tree.n != self.n:
+            raise ValueError("ordering and tree sizes differ")
+        parent = tree.parent
+        rank = self._rank
+        for node in range(tree.n):
+            p = parent[node]
+            if p != NO_PARENT and rank[node] > rank[p]:
+                return False
+        return True
+
+    def is_postorder(self, tree: TaskTree) -> bool:
+        """True when the ordering is a postorder traversal of ``tree``.
+
+        A postorder is a topological order in which every subtree occupies a
+        contiguous block of positions (the whole subtree is processed before
+        any node outside it starts).  Postorders are the natural traversals
+        used by multifrontal solvers (Section 3 of the paper).
+        """
+        if not self.is_topological(tree):
+            return False
+        # For each node the positions of its subtree must form the contiguous
+        # range ending at the node's own position.
+        sizes = np.ones(tree.n, dtype=np.int64)
+        for node in tree.topological_order():
+            p = tree.parent[node]
+            if p != NO_PARENT:
+                sizes[p] += sizes[node]
+        rank = self._rank
+        for node in range(tree.n):
+            first = rank[node] - sizes[node] + 1
+            if first < 0:
+                return False
+            block = self._sequence[first : rank[node] + 1]
+            # All nodes of the block must belong to the subtree of ``node``:
+            # equivalently every block node's ancestors within the block reach ``node``.
+            if block.size != sizes[node]:
+                return False
+            members = set(block.tolist())
+            for other in block:
+                if other == node:
+                    continue
+                p2 = int(tree.parent[other])
+                if p2 not in members:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_priorities(
+        cls,
+        priorities: Sequence[float] | np.ndarray,
+        *,
+        descending: bool = True,
+        name: str = "",
+    ) -> "Ordering":
+        """Build an ordering by sorting nodes by priority.
+
+        ``descending=True`` (default) puts the highest priority first, which
+        matches the paper's convention for execution orders such as ``CP``
+        (largest bottom level first).  Ties are broken by node index.
+        """
+        priorities = np.asarray(priorities, dtype=np.float64)
+        keys = -priorities if descending else priorities
+        order = np.argsort(keys, kind="stable")
+        return cls(order, name=name)
+
+    def restricted_to(self, nodes: Iterable[int], *, name: str = "") -> np.ndarray:
+        """Return the given nodes sorted by this ordering (used for sub-problems)."""
+        nodes = np.asarray(list(nodes), dtype=np.int64)
+        return nodes[np.argsort(self._rank[nodes], kind="stable")]

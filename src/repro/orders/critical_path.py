@@ -1,0 +1,37 @@
+"""Critical-path ordering (the ``CP`` order of Section 7.3.1).
+
+Nodes are sorted by non-increasing *bottom level*, i.e. by the total
+processing time of the path from the node to the root (including both ends).
+Since the bottom level of a node is never smaller than its parent's, the
+resulting order is a valid topological order (children first) whenever
+processing times are positive; zero-duration ties are broken by depth so the
+order remains topological in all cases.
+
+The paper observes that using ``CP`` as the *execution* order consistently
+gives a small improvement over using the activation postorder for execution
+(Figures 8 and 14).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import tree_metrics
+from ..core.task_tree import TaskTree
+from .base import Ordering
+
+__all__ = ["critical_path_order"]
+
+
+def critical_path_order(tree: TaskTree, *, name: str = "CP") -> Ordering:
+    """Order the nodes by non-increasing bottom level.
+
+    Ties (equal bottom levels, which happen with zero-duration tasks) are
+    broken by non-increasing depth and then node index, which guarantees the
+    returned ordering is topological for any tree.
+    """
+    bottom = tree_metrics.bottom_levels(tree)
+    depth = tree_metrics.depths(tree)
+    n = tree.n
+    order = sorted(range(n), key=lambda i: (-bottom[i], -depth[i], i))
+    return Ordering(np.asarray(order, dtype=np.int64), name=name)

@@ -1,0 +1,167 @@
+"""Optimal sequential traversal for peak memory (the ``OptSeq`` order).
+
+Postorder traversals can be arbitrarily worse than general topological
+orders for peak memory minimisation.  Liu's generalised tree-pebbling
+algorithm [Liu 1987] computes an *optimal* (not necessarily postorder)
+traversal in polynomial time; the paper uses it as one of the candidate
+activation/execution orders in Section 7.3.1 (``OptSeq``).
+
+Algorithm sketch
+----------------
+Every subtree traversal is summarised by its *hill–valley decomposition*: a
+sequence of segments ``(h_1, v_1), ..., (h_k, v_k)`` where, relative to the
+memory level at the start of the segment, ``h_j`` is the peak reached while
+executing the segment and ``v_j`` the resident memory left when it ends.
+The canonical decomposition (cut after each global maximum at the minimum
+that follows it) has non-increasing ``h_j - v_j``, and Liu's combining
+theorem states that the optimal interleaving of independent canonical
+sequences executes their segments atomically, sorted by non-increasing
+``h - v``.
+
+The traversal of a subtree rooted at ``i`` is therefore obtained by merging
+the children's canonical segment lists by non-increasing ``h - v``, appending
+the processing of ``i`` itself, and re-normalising the result into canonical
+form.  We re-normalise from the exact node-level profile (via
+:func:`repro.orders.peak_memory.sequential_profile` arithmetic) so no
+approximation is introduced at segment boundaries.
+
+Complexity is ``O(n^2)`` in the worst case (deep chains) and close to
+``O(n log n)`` on bushy trees; the optimal traversal is only used on the
+moderate-size instances of the ordering-comparison experiments, as in the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
+
+import numpy as np
+
+from ..core.task_tree import TaskTree
+from .base import Ordering
+
+__all__ = ["optimal_sequential_order", "optimal_sequential_peak"]
+
+
+@dataclass
+class _Segment:
+    """A hill–valley segment: ``nodes`` executed as an atomic block."""
+
+    hill: float  # peak memory reached, relative to the segment start
+    valley: float  # resident memory at the end, relative to the segment start
+    nodes: list[int]
+
+    @property
+    def key(self) -> float:
+        """Sort key of Liu's combining theorem (larger first)."""
+        return self.hill - self.valley
+
+
+def _merge_children_segments(children_segments: list[list[_Segment]]) -> list[_Segment]:
+    """Merge canonical segment lists by non-increasing ``hill - valley``.
+
+    Within each child list the key is non-increasing (canonical property), so
+    a k-way merge preserves every child's internal order.  Ties are broken by
+    child position for determinism.
+    """
+    if len(children_segments) == 1:
+        return list(children_segments[0])
+    heap: list[tuple[float, int, int]] = []
+    for child_pos, segments in enumerate(children_segments):
+        if segments:
+            heap.append((-segments[0].key, child_pos, 0))
+    heapify(heap)
+    merged: list[_Segment] = []
+    while heap:
+        _, child_pos, index = heappop(heap)
+        segments = children_segments[child_pos]
+        merged.append(segments[index])
+        if index + 1 < len(segments):
+            heappush(heap, (-segments[index + 1].key, child_pos, index + 1))
+    return merged
+
+
+def _canonical_segments(tree: TaskTree, nodes: list[int]) -> list[_Segment]:
+    """Canonical hill–valley decomposition of executing ``nodes`` in order.
+
+    ``nodes`` must be the full node set of a subtree, listed in a valid
+    topological order of that subtree.  The profile is computed relative to
+    an empty memory (only data internal to the subtree is accounted for,
+    which is correct because data from other subtrees is an additive offset).
+    """
+    fout = tree.fout
+    nexec = tree.nexec
+    parent = tree.parent
+    member = set(nodes)
+
+    n = len(nodes)
+    peaks = np.empty(n, dtype=np.float64)
+    residents = np.empty(n, dtype=np.float64)
+    child_output_sum: dict[int, float] = {}
+    current = 0.0
+    for k, node in enumerate(nodes):
+        peaks[k] = current + nexec[node] + fout[node]
+        current = current - child_output_sum.pop(node, 0.0) + fout[node]
+        residents[k] = current
+        p = int(parent[node])
+        if p in member:
+            child_output_sum[p] = child_output_sum.get(p, 0.0) + fout[node]
+
+    segments: list[_Segment] = []
+    start = 0
+    base = 0.0  # resident memory at the start of the current segment
+    while start < n:
+        # Position of the (first) maximum peak in the remaining suffix.
+        hill_pos = start + int(np.argmax(peaks[start:]))
+        hill = float(peaks[hill_pos])
+        # Position of the (first) minimum resident at or after the hill.
+        valley_pos = hill_pos + int(np.argmin(residents[hill_pos:]))
+        valley = float(residents[valley_pos])
+        segments.append(
+            _Segment(hill=hill - base, valley=valley - base, nodes=list(nodes[start : valley_pos + 1]))
+        )
+        base = valley
+        start = valley_pos + 1
+    return segments
+
+
+def _subtree_segments(tree: TaskTree) -> list[_Segment]:
+    """Canonical segments of the optimal traversal of the whole tree."""
+    fout = tree.fout
+    nexec = tree.nexec
+    segments_of: dict[int, list[_Segment]] = {}
+    for node in tree.topological_order():  # children before parents
+        kids = tree.children(node)
+        if not kids:
+            segments_of[node] = [
+                _Segment(hill=float(nexec[node] + fout[node]), valley=float(fout[node]), nodes=[node])
+            ]
+            continue
+        merged = _merge_children_segments([segments_of.pop(c) for c in kids])
+        order_nodes: list[int] = []
+        for segment in merged:
+            order_nodes.extend(segment.nodes)
+        order_nodes.append(node)
+        segments_of[node] = _canonical_segments(tree, order_nodes)
+    return segments_of[tree.root]
+
+
+def optimal_sequential_order(tree: TaskTree, *, name: str = "OptSeq") -> Ordering:
+    """Return a peak-memory-optimal sequential traversal of ``tree``.
+
+    The returned :class:`~repro.orders.base.Ordering` is a (generally
+    non-postorder) topological order whose sequential peak memory is minimal
+    over *all* topological orders of the tree.
+    """
+    sequence: list[int] = []
+    for segment in _subtree_segments(tree):
+        sequence.extend(segment.nodes)
+    return Ordering(np.asarray(sequence, dtype=np.int64), name=name)
+
+
+def optimal_sequential_peak(tree: TaskTree) -> float:
+    """Minimum achievable sequential peak memory over all topological orders."""
+    from .peak_memory import sequential_peak_memory
+
+    return sequential_peak_memory(tree, optimal_sequential_order(tree), check=False)

@@ -1,0 +1,220 @@
+"""Postorder traversals of task trees.
+
+A postorder processes every subtree entirely before starting a sibling
+subtree.  Postorders are the traversals used in practice by multifrontal
+sparse solvers (MUMPS, qr_mumps, ...) because they allow stack-based memory
+management; the paper uses three of them:
+
+``memPO`` — :func:`minimum_memory_postorder`
+    Liu's postorder [Liu 1986] that minimises the sequential peak memory
+    among all postorders: at every node, child subtrees are processed by
+    non-increasing ``P_j - f_j`` where ``P_j`` is the peak of the (optimal
+    postorder) traversal of the subtree of ``j``.  It is the default AO/EO of
+    both Activation and MemBooking in the paper's experiments, and its peak
+    defines the "minimum memory" used to normalise memory bounds.
+
+``perfPO`` — :func:`performance_postorder`
+    A postorder designed for parallel performance: at every node, child
+    subtrees with the largest critical path are scheduled first.
+
+average-memory postorder — :func:`average_memory_postorder`
+    The Appendix A result: among postorders, the average memory is minimised
+    by processing child subtrees by non-increasing ``T_j / f_j`` (Smith's
+    rule applied to the subtree processing times and output sizes).
+
+All of these are produced by the same generic machinery
+(:func:`postorder_from_child_keys`) which builds the postorder induced by a
+per-node ordering of its children.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.task_tree import TaskTree
+from ..core import tree_metrics
+from .base import Ordering
+
+__all__ = [
+    "natural_postorder",
+    "postorder_from_child_keys",
+    "postorder_peaks",
+    "minimum_memory_postorder",
+    "performance_postorder",
+    "average_memory_postorder",
+    "random_postorder",
+    "enumerate_postorders",
+]
+
+
+def postorder_from_child_keys(
+    tree: TaskTree,
+    child_priority: Callable[[int], Sequence[float] | np.ndarray] | np.ndarray,
+    *,
+    descending: bool = True,
+    name: str = "",
+) -> Ordering:
+    """Build the postorder induced by sorting every node's children by a key.
+
+    Parameters
+    ----------
+    tree:
+        The task tree.
+    child_priority:
+        Either an array of per-node keys, or a callable mapping a node index
+        to its key.  At every internal node, children are visited by
+        non-increasing key (``descending=True``) or non-decreasing key.
+        Ties are broken by child index (ascending) so the result is
+        deterministic.
+    name:
+        Label stored on the returned :class:`Ordering`.
+    """
+    if callable(child_priority):
+        keys = np.asarray([float(child_priority(i)) for i in range(tree.n)], dtype=np.float64)
+    else:
+        keys = np.asarray(child_priority, dtype=np.float64)
+        if keys.shape != (tree.n,):
+            raise ValueError("child_priority array must have one entry per node")
+
+    order = np.empty(tree.n, dtype=np.int64)
+    cursor = 0
+    # Iterative DFS postorder with children sorted by key.
+    stack: list[tuple[int, bool]] = [(tree.root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order[cursor] = node
+            cursor += 1
+            continue
+        stack.append((node, True))
+        kids = list(tree.children(node))
+        if kids:
+            if descending:
+                kids.sort(key=lambda c: (-keys[c], c))
+            else:
+                kids.sort(key=lambda c: (keys[c], c))
+            # Push in reverse so the highest-priority child is expanded first.
+            for child in reversed(kids):
+                stack.append((child, False))
+    return Ordering(order, name=name)
+
+
+def natural_postorder(tree: TaskTree, *, name: str = "naturalPO") -> Ordering:
+    """Depth-first postorder visiting children in increasing index order."""
+    return Ordering(tree.topological_order(), name=name)
+
+
+def postorder_peaks(tree: TaskTree) -> np.ndarray:
+    """Per-subtree peak memory of the *optimal* postorder (Liu's recursion).
+
+    ``peaks[i]`` is the minimum, over all postorders of the subtree rooted at
+    ``i``, of the sequential peak memory needed to process that subtree.  The
+    recursion is the classical one: children are processed by non-increasing
+    ``P_j - f_j`` and::
+
+        P_i = max( max_k ( sum_{l<k} f_{c_l} + P_{c_k} ),
+                   sum_j f_{c_j} + n_i + f_i )
+
+    with ``P_i = n_i + f_i`` for a leaf.
+    """
+    peaks = np.zeros(tree.n, dtype=np.float64)
+    fout = tree.fout
+    nexec = tree.nexec
+    for node in tree.topological_order():  # children before parents
+        kids = tree.children(node)
+        if not kids:
+            peaks[node] = nexec[node] + fout[node]
+            continue
+        # Optimal order of the child subtrees: non-increasing P_j - f_j.
+        ordered = sorted(kids, key=lambda c: (-(peaks[c] - fout[c]), c))
+        prefix = 0.0
+        best = 0.0
+        for child in ordered:
+            best = max(best, prefix + peaks[child])
+            prefix += fout[child]
+        best = max(best, prefix + nexec[node] + fout[node])
+        peaks[node] = best
+    return peaks
+
+
+def minimum_memory_postorder(tree: TaskTree, *, name: str = "memPO") -> Ordering:
+    """Liu's memory-minimising postorder (``memPO`` in the paper).
+
+    Returns the postorder whose sequential peak memory is minimal among all
+    postorder traversals of the tree.  Its peak (see
+    :func:`repro.orders.peak_memory.sequential_peak_memory`) is the
+    "minimum memory" used throughout Section 7 to normalise memory bounds.
+    """
+    peaks = postorder_peaks(tree)
+    # Children are visited by non-increasing (P_j - f_j).
+    keys = peaks - tree.fout
+    return postorder_from_child_keys(tree, keys, descending=True, name=name)
+
+
+def performance_postorder(tree: TaskTree, *, name: str = "perfPO") -> Ordering:
+    """Postorder giving priority to subtrees with the largest critical path.
+
+    This is the ``perfPO`` order of Section 7.3.1: in a parallel execution it
+    tends to release the long chains early, giving higher priority to nodes
+    with a large critical path.
+    """
+    critical = tree_metrics.top_levels(tree)
+    return postorder_from_child_keys(tree, critical, descending=True, name=name)
+
+
+def average_memory_postorder(tree: TaskTree, *, name: str = "avgMemPO") -> Ordering:
+    """Postorder minimising the *average* memory (Appendix A, Theorem 4).
+
+    At every node the child subtrees are processed by non-increasing
+    ``T_j / f_j`` where ``T_j`` is the total processing time of the subtree
+    of ``j`` — Smith's rule applied to (weight = subtree output, processing
+    time = subtree duration).
+    """
+    work = tree_metrics.subtree_work(tree)
+    fout = tree.fout
+    with np.errstate(divide="ignore"):
+        ratio = np.where(fout > 0, work / np.where(fout > 0, fout, 1.0), np.inf)
+    return postorder_from_child_keys(tree, ratio, descending=True, name=name)
+
+
+def random_postorder(
+    tree: TaskTree, rng: np.random.Generator | int | None = None, *, name: str = "randomPO"
+) -> Ordering:
+    """A uniformly random postorder (random child order at every node)."""
+    from .._utils import as_rng
+
+    generator = as_rng(rng)
+    keys = generator.random(tree.n)
+    return postorder_from_child_keys(tree, keys, descending=True, name=name)
+
+
+def enumerate_postorders(tree: TaskTree, *, limit: int = 100_000) -> list[Ordering]:
+    """Enumerate every postorder of a (small) tree.
+
+    Intended for exhaustive validation in the test-suite; raises
+    :class:`ValueError` when the number of postorders exceeds ``limit``.
+    """
+    from itertools import permutations
+
+    def expand(node: int) -> list[list[int]]:
+        kids = tree.children(node)
+        if not kids:
+            return [[node]]
+        child_expansions = [expand(c) for c in kids]
+        results: list[list[int]] = []
+        for child_order in permutations(range(len(kids))):
+            # Cartesian product of the child expansions in this order.
+            partials: list[list[int]] = [[]]
+            for idx in child_order:
+                partials = [p + e for p in partials for e in child_expansions[idx]]
+                if len(partials) > limit:
+                    raise ValueError("too many postorders to enumerate")
+            for p in partials:
+                results.append(p + [node])
+            if len(results) > limit:
+                raise ValueError("too many postorders to enumerate")
+        return results
+
+    return [Ordering(seq, name="enum") for seq in expand(tree.root)]

@@ -1,0 +1,67 @@
+"""Scheduling heuristics: the paper's three strategies plus reference points."""
+
+from .activation import ActivationScheduler
+from .base import UNSCHEDULED, ScheduleResult, Scheduler, SchedulingError
+from .engine import EventDrivenScheduler
+from .list_scheduler import ListScheduler
+from .membooking import MemBookingReferenceScheduler, MemBookingScheduler
+from .membooking_redtree import MemBookingRedTreeScheduler, extend_order_to_reduction
+from .memory import MemoryLedger
+from .sequential import SequentialScheduler
+from .trace import (
+    UtilisationReport,
+    processor_utilisation,
+    render_gantt,
+    schedule_events,
+    schedule_to_records,
+)
+from .validation import MemoryProfile, ValidationReport, memory_profile, validate_schedule
+
+__all__ = [
+    "ActivationScheduler",
+    "UNSCHEDULED",
+    "ScheduleResult",
+    "Scheduler",
+    "SchedulingError",
+    "EventDrivenScheduler",
+    "ListScheduler",
+    "MemBookingReferenceScheduler",
+    "MemBookingScheduler",
+    "MemBookingRedTreeScheduler",
+    "extend_order_to_reduction",
+    "MemoryLedger",
+    "SequentialScheduler",
+    "UtilisationReport",
+    "processor_utilisation",
+    "render_gantt",
+    "schedule_events",
+    "schedule_to_records",
+    "MemoryProfile",
+    "ValidationReport",
+    "memory_profile",
+    "validate_schedule",
+    "SCHEDULER_FACTORIES",
+    "make_scheduler",
+]
+
+
+#: Registry used by the experiment harness and the CLI.
+SCHEDULER_FACTORIES = {
+    "Activation": ActivationScheduler,
+    "MemBooking": MemBookingScheduler,
+    "MemBookingReference": MemBookingReferenceScheduler,
+    "MemBookingRedTree": MemBookingRedTreeScheduler,
+    "ListNoMemory": ListScheduler,
+    "Sequential": SequentialScheduler,
+}
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a scheduler by name (``"Activation"``, ``"MemBooking"``, ...)."""
+    try:
+        factory = SCHEDULER_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; available: {sorted(SCHEDULER_FACTORIES)}"
+        ) from None
+    return factory()

@@ -1,0 +1,99 @@
+"""The simple Activation heuristic of Agullo et al. (Algorithm 1, Section 3.1).
+
+The heuristic books, for every *activated* task ``i``, the memory ``n_i +
+f_i`` it will eventually need on top of its inputs.  Tasks are activated in
+the activation order ``AO`` as long as the bookings fit in ``M``; a task may
+execute once it is activated and all of its children have completed.  When a
+task finishes, its execution data and its inputs (the outputs of its
+children, booked by the children's own activations) are released.
+
+This strategy is safe — it never books less than what a task needs — but it
+is very conservative: along a chain it books the execution data of every
+task of the chain simultaneously even though they can never run
+concurrently, which starves other branches of memory and therefore of
+parallelism.  Quantifying that loss (and recovering it with MemBooking) is
+the core of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .._utils import IndexedHeap
+from ..core.task_tree import NO_PARENT
+from .engine import EventDrivenScheduler
+from .memory import MemoryLedger
+
+__all__ = ["ActivationScheduler"]
+
+
+class ActivationScheduler(EventDrivenScheduler):
+    """Algorithm 1 of the paper (the baseline activation policy)."""
+
+    name = "Activation"
+
+    # ------------------------------------------------------------------ #
+    # engine hooks
+    # ------------------------------------------------------------------ #
+    def _setup(self) -> None:
+        tree = self.tree
+        n = tree.n
+        self._ledger = MemoryLedger(self.memory_limit)
+        # Position of the next node of AO to try to activate.
+        self._next_activation = 0
+        self._activated = [False] * n
+        # Number of children not yet finished, to detect availability in O(1).
+        self._children_not_finished = [tree.num_children(i) for i in range(n)]
+        self._finished = [False] * n
+        # Ready tasks (activated + all children finished), keyed by EO rank.
+        self._ready = IndexedHeap()
+
+    def _activate(self) -> None:
+        tree = self.tree
+        ao = self.ao.sequence
+        ledger = self._ledger
+        while self._next_activation < tree.n:
+            node = int(ao[self._next_activation])
+            request = float(tree.nexec[node] + tree.fout[node])
+            if not ledger.fits(request):
+                break
+            ledger.book(request)
+            self._activated[node] = True
+            self._next_activation += 1
+            if self._children_not_finished[node] == 0:
+                self._ready.push(node, priority=float(self.eo.rank[node]))
+
+    def _on_task_finished(self, node: int) -> None:
+        tree = self.tree
+        self._finished[node] = True
+        # Free the execution data of ``node`` and the inputs it consumed
+        # (the outputs of its children, booked when the children were
+        # activated).  The output of ``node`` itself stays booked for the
+        # parent.
+        released = float(tree.nexec[node])
+        released += float(sum(tree.fout[c] for c in tree.children(node)))
+        self._ledger.release(released)
+
+        parent = int(tree.parent[node])
+        if parent != NO_PARENT:
+            self._children_not_finished[parent] -= 1
+            if self._children_not_finished[parent] == 0 and self._activated[parent]:
+                self._ready.push(parent, priority=float(self.eo.rank[parent]))
+
+    def _pop_ready_task(self) -> int | None:
+        if not self._ready:
+            return None
+        return self._ready.pop()
+
+    def _extra_results(self) -> dict[str, Any]:
+        return {
+            "peak_booked_memory": self._ledger.peak_booked,
+            "activated": self._next_activation,
+        }
+
+    def _invariant_state(self) -> dict[str, Any]:
+        return {
+            "booked": self._ledger.booked,
+            "limit": self._ledger.limit,
+            "activated_prefix": self._next_activation,
+        }

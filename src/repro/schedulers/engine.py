@@ -1,0 +1,209 @@
+"""Event-driven simulation engine shared by the dynamic heuristics.
+
+All three heuristics of the paper (Activation, MemBookingRedTree and
+MemBooking) follow the same outer loop (Algorithms 1 and 2): wait for an
+event (``t = 0`` or a task completion), update the heuristic's bookkeeping,
+activate new tasks if memory allows, then greedily assign activated & ready
+tasks to idle processors following the execution order ``EO``.
+
+:class:`EventDrivenScheduler` implements that outer loop once — event queue,
+processor pool, schedule recording, deadlock detection, decision-time
+measurement — and delegates the heuristic-specific parts to four hooks:
+
+``_setup()``
+    initialise the bookkeeping (called once, before the ``t = 0`` event);
+``_on_task_finished(node)``
+    a task just completed: release / re-dispatch its memory;
+``_activate()``
+    activate candidate tasks while memory allows (``UpdateCAND-ACT`` /
+    the activation loop of Algorithm 1);
+``_pop_ready_task()``
+    return the highest-EO-priority task that is activated and whose children
+    have all completed, or ``None`` when no such task exists.
+
+The engine measures the cumulative wall-clock time spent inside those hooks;
+this is the "scheduling time" of Figures 5, 6 and 13 (order pre-computation
+excluded, as in the paper).
+
+Deadlock handling: if at some event no task is running and the hooks cannot
+produce a ready task while unprocessed tasks remain, the heuristic cannot
+complete the tree under this memory bound.  The engine then returns a result
+with ``completed=False`` instead of raising, because "this instance cannot be
+scheduled" is a legitimate experimental outcome (Section 7.4 reports exactly
+that for MemBookingRedTree).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..core.task_tree import TaskTree
+from ..orders import Ordering
+from .base import UNSCHEDULED, ScheduleResult, Scheduler
+from .validation import memory_profile
+
+__all__ = ["EventDrivenScheduler"]
+
+
+class EventDrivenScheduler(Scheduler):
+    """Template-method implementation of the paper's dynamic schedulers."""
+
+    # ------------------------------------------------------------------ #
+    # hooks to be provided by subclasses
+    # ------------------------------------------------------------------ #
+    def _setup(self) -> None:  # pragma: no cover - abstract hook
+        raise NotImplementedError
+
+    def _on_task_finished(self, node: int) -> None:  # pragma: no cover - abstract hook
+        raise NotImplementedError
+
+    def _activate(self) -> None:  # pragma: no cover - abstract hook
+        raise NotImplementedError
+
+    def _pop_ready_task(self) -> int | None:  # pragma: no cover - abstract hook
+        raise NotImplementedError
+
+    def _on_task_started(self, node: int) -> None:
+        """Optional hook called when a task is placed on a processor."""
+
+    def _extra_results(self) -> dict[str, Any]:
+        """Optional per-heuristic diagnostics merged into ``ScheduleResult.extras``."""
+        return {}
+
+    def _invariant_state(self) -> dict[str, Any]:
+        """State snapshot passed to the invariant hook after every event."""
+        return {}
+
+    # ------------------------------------------------------------------ #
+    # engine state (initialised in _run, available to the hooks)
+    # ------------------------------------------------------------------ #
+    tree: TaskTree
+    num_processors: int
+    memory_limit: float
+    ao: Ordering
+    eo: Ordering
+
+    def _run(
+        self,
+        tree: TaskTree,
+        num_processors: int,
+        memory_limit: float,
+        ao: Ordering,
+        eo: Ordering,
+        *,
+        invariant_hook: Callable[[Mapping[str, Any]], None] | None = None,
+    ) -> ScheduleResult:
+        self.tree = tree
+        self.num_processors = num_processors
+        self.memory_limit = memory_limit
+        self.ao = ao
+        self.eo = eo
+
+        n = tree.n
+        start_times = np.full(n, np.nan)
+        finish_times = np.full(n, np.nan)
+        processor = np.full(n, UNSCHEDULED, dtype=np.int64)
+
+        free_processors = list(range(num_processors - 1, -1, -1))  # pop() gives proc 0 first
+        running = 0
+        finished_count = 0
+        clock = 0.0
+        num_events = 0
+        decision_seconds = 0.0
+        failure: str | None = None
+
+        # Completion events: (finish_time, node, processor)
+        event_queue: list[tuple[float, int, int]] = []
+
+        tic = time.perf_counter()
+        self._setup()
+        decision_seconds += time.perf_counter() - tic
+
+        def dispatch_ready() -> None:
+            """Assign activated & available tasks to idle processors (EO order)."""
+            nonlocal running, decision_seconds
+            while free_processors:
+                tic = time.perf_counter()
+                node = self._pop_ready_task()
+                decision_seconds += time.perf_counter() - tic
+                if node is None:
+                    break
+                proc = free_processors.pop()
+                start_times[node] = clock
+                finish = clock + float(self.tree.ptime[node])
+                finish_times[node] = finish
+                processor[node] = proc
+                running += 1
+                tic = time.perf_counter()
+                self._on_task_started(node)
+                decision_seconds += time.perf_counter() - tic
+                heapq.heappush(event_queue, (finish, node, proc))
+
+        # --- t = 0 event ---------------------------------------------------
+        tic = time.perf_counter()
+        self._activate()
+        decision_seconds += time.perf_counter() - tic
+        num_events += 1
+        dispatch_ready()
+        if invariant_hook is not None:
+            invariant_hook(self._invariant_state())
+
+        if running == 0 and finished_count < n:
+            failure = (
+                "no task can be started at t=0: the memory bound is too small "
+                "for the first activations"
+            )
+
+        # --- main loop ------------------------------------------------------
+        while failure is None and event_queue:
+            clock = event_queue[0][0]
+            # Process every completion at this instant before re-activating, as
+            # in Algorithm 2 ("foreach just finished node j").
+            while event_queue and event_queue[0][0] == clock:
+                _, node, proc = heapq.heappop(event_queue)
+                running -= 1
+                finished_count += 1
+                free_processors.append(proc)
+                num_events += 1
+                tic = time.perf_counter()
+                self._on_task_finished(node)
+                decision_seconds += time.perf_counter() - tic
+            tic = time.perf_counter()
+            self._activate()
+            decision_seconds += time.perf_counter() - tic
+            dispatch_ready()
+            if invariant_hook is not None:
+                invariant_hook(self._invariant_state())
+            if running == 0 and finished_count < n:
+                failure = (
+                    f"deadlock at t={clock:.6g}: {n - finished_count} tasks remain but "
+                    "none is activated and available under the memory bound"
+                )
+
+        completed = finished_count == n
+        makespan = clock if completed else math.inf
+        result = ScheduleResult(
+            scheduler=self.name,
+            tree_size=n,
+            num_processors=num_processors,
+            memory_limit=memory_limit,
+            completed=completed,
+            makespan=makespan,
+            start_times=start_times,
+            finish_times=finish_times,
+            processor=processor,
+            peak_memory=math.nan,
+            scheduling_seconds=decision_seconds,
+            num_events=num_events,
+            activation_order=ao.name,
+            execution_order=eo.name,
+            failure_reason=failure,
+            extras=self._extra_results(),
+        )
+        result.peak_memory = memory_profile(tree, result).peak
+        return result

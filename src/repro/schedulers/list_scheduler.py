@@ -1,0 +1,52 @@
+"""Memory-oblivious list scheduling (reference point, not a paper heuristic).
+
+A classical list scheduler: whenever a processor is idle, start the
+highest-priority task (according to ``EO``) whose children have all
+completed, ignoring the memory bound entirely.  Its makespan is a natural
+reference for "how fast could we go if memory were unlimited", and its peak
+resident memory shows how much memory an unconstrained execution would need
+— useful background for the memory-pressure experiments and for sanity
+checks (no memory-constrained heuristic can beat it).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .._utils import IndexedHeap
+from ..core.task_tree import NO_PARENT
+from .engine import EventDrivenScheduler
+
+__all__ = ["ListScheduler"]
+
+
+class ListScheduler(EventDrivenScheduler):
+    """Priority list scheduling without any memory constraint."""
+
+    name = "ListNoMemory"
+
+    def _setup(self) -> None:
+        tree = self.tree
+        self._children_not_finished = [tree.num_children(i) for i in range(tree.n)]
+        self._ready = IndexedHeap()
+        for leaf in tree.leaves():
+            self._ready.push(int(leaf), priority=float(self.eo.rank[leaf]))
+
+    def _activate(self) -> None:
+        # Nothing to do: every task is implicitly activated.
+        return
+
+    def _on_task_finished(self, node: int) -> None:
+        parent = int(self.tree.parent[node])
+        if parent != NO_PARENT:
+            self._children_not_finished[parent] -= 1
+            if self._children_not_finished[parent] == 0:
+                self._ready.push(parent, priority=float(self.eo.rank[parent]))
+
+    def _pop_ready_task(self) -> int | None:
+        if not self._ready:
+            return None
+        return self._ready.pop()
+
+    def _extra_results(self) -> dict[str, Any]:
+        return {"memory_oblivious": True}

@@ -1,0 +1,321 @@
+"""MemBooking: the dynamic memory-booking heuristic of the paper (Section 4).
+
+MemBooking activates tasks following the activation order ``AO`` like the
+simple Activation policy, but activating a task ``i`` does **not** book the
+full ``n_i + f_i``: it only books what the subtree of ``i`` cannot provide
+later by itself (``MissingMem_i``), because the memory used by descendants of
+``i`` will be recycled when they complete.  Conversely, when a task ``j``
+finishes, the memory it was using is re-dispatched As-Late-As-Possible along
+its ancestor chain: an ancestor ``a`` only receives the part of ``j``'s
+memory that the rest of ``a``'s subtree will not be able to provide
+(``C_{j,a}``), the rest being returned to the global pool.
+
+Two per-node quantities drive the bookkeeping (Section 4):
+
+``Booked[i]``
+    memory currently booked *for* node ``i`` (its contribution to ``MBooked``);
+``BookedBySubtree[i]``
+    memory currently booked by the whole subtree rooted at ``i``; a node is
+    effectively activated once ``BookedBySubtree[i] >= MemNeeded_i``.
+
+Theorem 1: if the sequential execution of ``AO`` fits in ``M``, MemBooking
+processes the whole tree within ``M``, for any number of processors and any
+execution order ``EO``.
+
+Two implementations are provided:
+
+:class:`MemBookingScheduler`
+    the optimised version of Appendix B / Section 5.1 — ``CAND`` and
+    ``ACTf`` are heaps, ``BookedBySubtree`` is initialised lazily, children
+    counters (``ChNotAct``, ``ChNotFin``) provide O(1) state transitions —
+    giving the ``O(n (H + log n))`` bound of Theorem 2;
+:class:`MemBookingReferenceScheduler`
+    a direct transcription of Algorithms 2–4 using plain sets and linear
+    scans.  It performs exactly the same bookings and produces exactly the
+    same schedule; the test-suite uses it to validate the optimised data
+    structures.
+
+Note on Algorithm 3 vs Algorithm 6 arithmetic: the reference pseudo-code
+(Algorithm 3, line 5) adds ``f_j`` to ``BookedBySubtree[parent(j)]`` while
+the complete optimised version (Algorithm 6, line 11) does not.  Only the
+latter preserves the invariant of Lemma 3(3)
+(``BookedBySubtree[i] = Booked[i] + sum of children BookedBySubtree``), so
+both classes follow the Algorithm 6 arithmetic; the invariant is asserted in
+the property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .._utils import IndexedHeap
+from ..core.task_tree import NO_PARENT
+from .engine import EventDrivenScheduler
+from .memory import MemoryLedger
+
+__all__ = [
+    "MemBookingScheduler",
+    "MemBookingReferenceScheduler",
+    "UN",
+    "CAND",
+    "ACT",
+    "RUN",
+    "FN",
+]
+
+# Node states (Section 4): Unprocessed, Candidate, Activated, Running, Finished.
+UN, CAND, ACT, RUN, FN = 0, 1, 2, 3, 4
+
+#: BookedBySubtree sentinel for "not yet computed" (lazy initialisation).
+_UNSET = -1.0
+
+
+class _MemBookingCore(EventDrivenScheduler):
+    """Bookkeeping shared by the optimised and reference implementations."""
+
+    name = "MemBooking"
+
+    #: When True, extend the dispatch walk to candidate ancestors whose
+    #: ``BookedBySubtree`` has already been computed (the Section 5.1
+    #: optimisation); both implementations enable it so they stay identical.
+    #: Setting it to False reverts to the literal Algorithm 3 condition
+    #: (ancestors in ACT/RUN only) — exposed for the ablation benchmarks.
+    dispatch_to_candidates: bool = True
+
+    def __init__(self, *, dispatch_to_candidates: bool | None = None) -> None:
+        if dispatch_to_candidates is not None:
+            self.dispatch_to_candidates = bool(dispatch_to_candidates)
+
+    # ------------------------------------------------------------------ #
+    # setup
+    # ------------------------------------------------------------------ #
+    def _setup(self) -> None:
+        tree = self.tree
+        n = tree.n
+        self._ledger = MemoryLedger(self.memory_limit)
+        self._mem_needed = tree.mem_needed
+        self._booked = np.zeros(n, dtype=np.float64)
+        self._bbs = np.full(n, _UNSET, dtype=np.float64)
+        self._state = np.full(n, UN, dtype=np.int8)
+        self._ch_not_act = np.asarray([tree.num_children(i) for i in range(n)], dtype=np.int64)
+        self._ch_not_fin = self._ch_not_act.copy()
+        self._setup_structures()
+        for leaf in tree.leaves():
+            self._make_candidate(int(leaf))
+
+    # Structure-specific hooks -------------------------------------------------
+    def _setup_structures(self) -> None:
+        raise NotImplementedError
+
+    def _make_candidate(self, node: int) -> None:
+        """Move ``node`` (currently UN or a fresh leaf) into CAND."""
+        raise NotImplementedError
+
+    def _peek_candidate(self) -> int | None:
+        """Node of CAND with the highest AO priority (smallest rank), or None."""
+        raise NotImplementedError
+
+    def _remove_candidate(self, node: int) -> None:
+        raise NotImplementedError
+
+    def _mark_available(self, node: int) -> None:
+        """Record that ``node`` is activated and all its children are finished."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # DispatchMemory (Algorithm 3 / Algorithm 6 lines 4-17)
+    # ------------------------------------------------------------------ #
+    def _dispatch_memory(self, j: int) -> None:
+        tree = self.tree
+        booked = self._booked
+        bbs = self._bbs
+        parent = tree.parent
+        fout = tree.fout
+        mem_needed = self._mem_needed
+
+        amount = float(booked[j])
+        booked[j] = 0.0
+        self._ledger.release(amount)
+        bbs[j] = 0.0
+
+        i = int(parent[j])
+        if i == NO_PARENT:
+            return
+        fj = float(fout[j])
+        booked[i] += fj
+        self._ledger.book(fj, enforce=False)
+        amount -= fj
+
+        # Dispatch the remaining freed memory As-Late-As-Possible along the
+        # ancestors: an ancestor only keeps what its subtree cannot provide
+        # by itself (the contribution C_{j,i}).
+        while i != NO_PARENT and amount > 1e-12 and self._dispatch_reaches(i):
+            contribution = min(
+                amount, max(0.0, float(mem_needed[i]) - (float(bbs[i]) - amount))
+            )
+            if contribution > 0.0:
+                booked[i] += contribution
+                self._ledger.book(contribution, enforce=False)
+            bbs[i] -= amount - contribution
+            amount -= contribution
+            i = int(parent[i])
+
+    def _dispatch_reaches(self, node: int) -> bool:
+        """Loop condition of the dispatch walk for ancestor ``node``."""
+        if self.dispatch_to_candidates:
+            return self._bbs[node] != _UNSET
+        return self._state[node] in (ACT, RUN)
+
+    # ------------------------------------------------------------------ #
+    # UpdateCAND-ACT (Algorithm 4 / Algorithm 6 lines 18-30)
+    # ------------------------------------------------------------------ #
+    def _activate(self) -> None:
+        tree = self.tree
+        booked = self._booked
+        bbs = self._bbs
+        ledger = self._ledger
+        mem_needed = self._mem_needed
+        parent = tree.parent
+
+        while True:
+            node = self._peek_candidate()
+            if node is None:
+                break
+            if self.dispatch_to_candidates:
+                # Lazy initialisation (Section 5.1): compute BookedBySubtree
+                # once; it is then kept up to date by the dispatch walks.
+                if bbs[node] == _UNSET:
+                    bbs[node] = booked[node] + sum(float(bbs[c]) for c in tree.children(node))
+                subtree_booked = float(bbs[node])
+            else:
+                # Literal Algorithm 4: recompute the subtree booking at every
+                # attempt (the dispatch walks do not maintain it for
+                # candidates in this variant).
+                subtree_booked = float(booked[node]) + sum(
+                    float(bbs[c]) for c in tree.children(node)
+                )
+            missing = max(0.0, float(mem_needed[node]) - subtree_booked)
+            if not ledger.fits(missing):
+                break  # wait for more memory; activation keeps following AO
+            ledger.book(missing)
+            booked[node] += missing
+            bbs[node] = booked[node] + sum(float(bbs[c]) for c in tree.children(node))
+            self._remove_candidate(node)
+            self._state[node] = ACT
+            if self._ch_not_fin[node] == 0:
+                self._mark_available(node)
+            p = int(parent[node])
+            if p != NO_PARENT:
+                self._ch_not_act[p] -= 1
+                if self._ch_not_act[p] == 0:
+                    self._state[p] = CAND
+                    self._make_candidate(p)
+
+    # ------------------------------------------------------------------ #
+    # engine events
+    # ------------------------------------------------------------------ #
+    def _on_task_started(self, node: int) -> None:
+        self._state[node] = RUN
+
+    def _on_task_finished(self, node: int) -> None:
+        tree = self.tree
+        self._state[node] = FN
+        self._dispatch_memory(node)
+        p = int(tree.parent[node])
+        if p != NO_PARENT:
+            self._ch_not_fin[p] -= 1
+            if self._ch_not_fin[p] == 0 and self._state[p] == ACT:
+                self._mark_available(p)
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+    def _extra_results(self) -> dict[str, Any]:
+        return {"peak_booked_memory": self._ledger.peak_booked}
+
+    def _invariant_state(self) -> dict[str, Any]:
+        return {
+            "booked": self._booked.copy(),
+            "booked_by_subtree": self._bbs.copy(),
+            "state": self._state.copy(),
+            "mbooked": self._ledger.booked,
+            "limit": self._ledger.limit,
+            "mem_needed": self._mem_needed,
+            "tree": self.tree,
+        }
+
+
+class MemBookingScheduler(_MemBookingCore):
+    """Optimised MemBooking (Appendix B): heap-based CAND / ACTf structures.
+
+    Scheduling cost is ``O(n (H + log n))`` in total (Theorem 2): every node
+    is pushed/popped at most once on each heap, dispatch walks are bounded by
+    the node depth, and all state transitions use O(1) counters.
+    """
+
+    name = "MemBooking"
+
+    def _setup_structures(self) -> None:
+        self._cand = IndexedHeap()
+        self._actf = IndexedHeap()
+
+    def _make_candidate(self, node: int) -> None:
+        self._state[node] = CAND
+        self._cand.push(node, priority=float(self.ao.rank[node]))
+
+    def _peek_candidate(self) -> int | None:
+        return self._cand.peek() if self._cand else None
+
+    def _remove_candidate(self, node: int) -> None:
+        self._cand.remove(node)
+
+    def _mark_available(self, node: int) -> None:
+        self._actf.push(node, priority=float(self.eo.rank[node]))
+
+    def _pop_ready_task(self) -> int | None:
+        if not self._actf:
+            return None
+        return self._actf.pop()
+
+
+class MemBookingReferenceScheduler(_MemBookingCore):
+    """Reference MemBooking (Algorithms 2–4) with naive data structures.
+
+    ``CAND`` and the set of available activated tasks are plain Python sets
+    scanned linearly at every decision.  The bookings are identical to
+    :class:`MemBookingScheduler` — only the asymptotic cost differs — so both
+    classes must produce exactly the same schedule; the test-suite checks
+    this on every random instance it draws.
+    """
+
+    name = "MemBookingReference"
+
+    def _setup_structures(self) -> None:
+        self._cand_set: set[int] = set()
+        self._available: set[int] = set()
+
+    def _make_candidate(self, node: int) -> None:
+        self._state[node] = CAND
+        self._cand_set.add(node)
+
+    def _peek_candidate(self) -> int | None:
+        if not self._cand_set:
+            return None
+        rank = self.ao.rank
+        return min(self._cand_set, key=lambda i: rank[i])
+
+    def _remove_candidate(self, node: int) -> None:
+        self._cand_set.discard(node)
+
+    def _mark_available(self, node: int) -> None:
+        self._available.add(node)
+
+    def _pop_ready_task(self) -> int | None:
+        if not self._available:
+            return None
+        rank = self.eo.rank
+        node = min(self._available, key=lambda i: rank[i])
+        self._available.discard(node)
+        return node

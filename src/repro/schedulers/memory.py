@@ -1,0 +1,88 @@
+"""Booked-memory accounting shared by the activation/booking heuristics.
+
+The heuristics of the paper never track the *actual* resident memory during
+the simulation; they reason about **booked** memory (``MBooked`` in the
+pseudo-code): memory reserved ahead of time so that an activated task is
+always guaranteed to be able to run.  :class:`MemoryLedger` centralises that
+counter with defensive checks (never negative, never above the bound unless
+explicitly allowed) and records the peak booked value for diagnostics.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MemoryLedger"]
+
+
+class MemoryLedger:
+    """Tracks the total booked memory against a fixed bound.
+
+    Parameters
+    ----------
+    limit:
+        The memory bound ``M``.
+    tolerance:
+        Relative tolerance used in the ``fits``/overflow checks to absorb
+        floating-point rounding in long chains of additions.
+    """
+
+    __slots__ = ("limit", "_booked", "_peak", "_tolerance")
+
+    def __init__(self, limit: float, *, tolerance: float = 1e-9) -> None:
+        if limit <= 0:
+            raise ValueError("memory limit must be positive")
+        self.limit = float(limit)
+        self._tolerance = float(tolerance) * max(1.0, float(limit))
+        self._booked = 0.0
+        self._peak = 0.0
+
+    @property
+    def booked(self) -> float:
+        """Currently booked memory (``MBooked``)."""
+        return self._booked
+
+    @property
+    def peak_booked(self) -> float:
+        """Largest booked amount observed so far."""
+        return self._peak
+
+    @property
+    def available(self) -> float:
+        """Memory that can still be booked."""
+        return self.limit - self._booked
+
+    def fits(self, amount: float) -> bool:
+        """True when ``amount`` additional bytes can be booked within the bound."""
+        return self._booked + amount <= self.limit + self._tolerance
+
+    def book(self, amount: float, *, enforce: bool = True) -> None:
+        """Book ``amount`` bytes.
+
+        ``enforce=True`` (default) raises if the bound would be exceeded —
+        heuristics are expected to check :meth:`fits` first, so an overflow
+        here is a bug, not an infeasible instance.
+        """
+        if amount < 0:
+            raise ValueError("cannot book a negative amount; use release()")
+        if enforce and not self.fits(amount):
+            raise RuntimeError(
+                f"booking {amount:.6g} would exceed the memory bound "
+                f"({self._booked:.6g} booked, limit {self.limit:.6g})"
+            )
+        self._booked += amount
+        if self._booked > self._peak:
+            self._peak = self._booked
+
+    def release(self, amount: float) -> None:
+        """Release ``amount`` booked bytes."""
+        if amount < 0:
+            raise ValueError("cannot release a negative amount; use book()")
+        self._booked -= amount
+        if self._booked < -self._tolerance:
+            raise RuntimeError(
+                f"released more memory than was booked (booked={self._booked:.6g})"
+            )
+        if self._booked < 0.0:
+            self._booked = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MemoryLedger(booked={self._booked:.6g}, limit={self.limit:.6g})"

@@ -1,0 +1,82 @@
+"""Sequential execution of an ordering on a single processor.
+
+This is the degenerate schedule the paper uses as the memory-side anchor:
+executing the memory-minimising postorder sequentially uses the least
+possible postorder memory but the worst possible makespan (the total work).
+It is implemented on top of the same result/validation machinery as the
+parallel heuristics so it can be dropped into the experiment sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..core.task_tree import TaskTree
+from ..orders import Ordering
+from ..orders.peak_memory import sequential_peak_memory
+from .base import ScheduleResult, Scheduler
+
+__all__ = ["SequentialScheduler"]
+
+
+class SequentialScheduler(Scheduler):
+    """Execute the activation order sequentially on one processor.
+
+    The schedule is feasible whenever the sequential peak memory of the
+    activation order fits in ``M``; otherwise the result reports failure
+    (no partial schedule is attempted).
+    """
+
+    name = "Sequential"
+
+    def _run(
+        self,
+        tree: TaskTree,
+        num_processors: int,
+        memory_limit: float,
+        ao: Ordering,
+        eo: Ordering,
+        *,
+        invariant_hook: Callable[[Mapping[str, Any]], None] | None = None,
+    ) -> ScheduleResult:
+        peak = sequential_peak_memory(tree, ao, check=False)
+        n = tree.n
+        start = np.full(n, np.nan)
+        finish = np.full(n, np.nan)
+        processor = np.full(n, -1, dtype=np.int64)
+        completed = peak <= memory_limit * (1 + 1e-12)
+        failure = None
+        makespan = math.inf
+        if completed:
+            clock = 0.0
+            for node in ao.sequence:
+                node = int(node)
+                start[node] = clock
+                clock += float(tree.ptime[node])
+                finish[node] = clock
+                processor[node] = 0
+            makespan = clock
+        else:
+            failure = (
+                f"sequential peak memory {peak:.6g} exceeds the bound {memory_limit:.6g}"
+            )
+        return ScheduleResult(
+            scheduler=self.name,
+            tree_size=n,
+            num_processors=num_processors,
+            memory_limit=memory_limit,
+            completed=completed,
+            makespan=makespan,
+            start_times=start,
+            finish_times=finish,
+            processor=processor,
+            peak_memory=peak if completed else math.nan,
+            scheduling_seconds=0.0,
+            num_events=n if completed else 0,
+            activation_order=ao.name,
+            execution_order=eo.name,
+            failure_reason=failure,
+        )

@@ -1,0 +1,174 @@
+"""Schedule inspection: Gantt-style rendering, utilisation and trace export.
+
+The simulator returns flat arrays (start/finish/processor per task); this
+module turns them into things a human or a plotting pipeline can use:
+
+* :func:`schedule_events` — the chronological list of (time, event, task,
+  processor) tuples of a schedule;
+* :func:`processor_utilisation` — busy time per processor and overall
+  efficiency (the fraction of ``p x makespan`` actually spent computing);
+* :func:`render_gantt` — a plain-text Gantt chart (one row per processor),
+  handy to eyeball small schedules in examples and bug reports;
+* :func:`schedule_to_records` — one dictionary per task, ready for
+  :func:`repro.experiments.reporting.write_records_csv` or a DataFrame.
+
+Everything operates on a :class:`~repro.schedulers.base.ScheduleResult` and
+the corresponding :class:`~repro.core.task_tree.TaskTree`, so it works with
+any heuristic of the package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..core.task_tree import TaskTree
+from .base import UNSCHEDULED, ScheduleResult
+
+__all__ = [
+    "schedule_events",
+    "processor_utilisation",
+    "UtilisationReport",
+    "render_gantt",
+    "schedule_to_records",
+]
+
+
+def schedule_events(result: ScheduleResult) -> list[tuple[float, str, int, int]]:
+    """Chronological ``(time, "start"|"finish", task, processor)`` events.
+
+    Ties are ordered finish-before-start (so that resource reuse at the same
+    instant reads naturally) and then by task index.
+    """
+    events: list[tuple[float, str, int, int]] = []
+    for task in range(result.start_times.size):
+        start = result.start_times[task]
+        finish = result.finish_times[task]
+        if not np.isfinite(start):
+            continue
+        proc = int(result.processor[task])
+        events.append((float(start), "start", task, proc))
+        events.append((float(finish), "finish", task, proc))
+    order = {"finish": 0, "start": 1}
+    events.sort(key=lambda e: (e[0], order[e[1]], e[2]))
+    return events
+
+
+@dataclass(frozen=True)
+class UtilisationReport:
+    """Per-processor busy time and overall efficiency of a schedule."""
+
+    makespan: float
+    busy_time: tuple[float, ...]
+    num_processors: int
+
+    @property
+    def total_busy(self) -> float:
+        """Total computing time across every processor."""
+        return float(sum(self.busy_time))
+
+    @property
+    def efficiency(self) -> float:
+        """``total busy / (p * makespan)`` — 1.0 means perfectly packed."""
+        if self.makespan <= 0 or self.num_processors <= 0:
+            return float("nan")
+        return self.total_busy / (self.num_processors * self.makespan)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "makespan": self.makespan,
+            "num_processors": self.num_processors,
+            "total_busy": self.total_busy,
+            "efficiency": self.efficiency,
+            "busy_time": list(self.busy_time),
+        }
+
+
+def processor_utilisation(result: ScheduleResult) -> UtilisationReport:
+    """Compute the busy time of every processor and the overall efficiency."""
+    busy = [0.0] * result.num_processors
+    for task in range(result.start_times.size):
+        start = result.start_times[task]
+        if not np.isfinite(start):
+            continue
+        proc = int(result.processor[task])
+        if proc == UNSCHEDULED:
+            continue
+        busy[proc] += float(result.finish_times[task] - start)
+    makespan = result.makespan if np.isfinite(result.makespan) else float("nan")
+    return UtilisationReport(
+        makespan=float(makespan),
+        busy_time=tuple(busy),
+        num_processors=result.num_processors,
+    )
+
+
+def render_gantt(
+    tree: TaskTree,
+    result: ScheduleResult,
+    *,
+    width: int = 80,
+    show_labels: bool = True,
+) -> str:
+    """Render a plain-text Gantt chart of a (completed or partial) schedule.
+
+    Each processor is one row; time is discretised into ``width`` columns.
+    A column shows the task index (modulo 10) of the task occupying the
+    processor at that instant, or ``.`` when the processor is idle.  Zero
+    duration tasks are not drawn (they occupy no visible time).
+    """
+    if width < 10:
+        raise ValueError("width must be at least 10 columns")
+    finite = np.isfinite(result.finish_times)
+    horizon = float(np.nanmax(result.finish_times[finite])) if finite.any() else 0.0
+    if horizon <= 0:
+        return "(empty schedule)"
+    lines = []
+    scale = horizon / width
+    for proc in range(result.num_processors):
+        row = ["."] * width
+        for task in range(tree.n):
+            if int(result.processor[task]) != proc or not np.isfinite(result.start_times[task]):
+                continue
+            start = result.start_times[task]
+            finish = result.finish_times[task]
+            first = int(start / scale)
+            last = max(first, int(np.ceil(finish / scale)) - 1)
+            for column in range(first, min(last + 1, width)):
+                row[column] = str(task % 10)
+        lines.append(f"P{proc:<3d} |" + "".join(row) + "|")
+    if show_labels:
+        header = f"time 0 {'-' * (width - 12)} {horizon:.4g}"
+        lines.insert(0, header)
+        util = processor_utilisation(result)
+        lines.append(
+            f"makespan {result.makespan:.6g}   efficiency {util.efficiency:.1%}   "
+            f"peak memory {result.peak_memory:.6g}"
+        )
+    return "\n".join(lines)
+
+
+def schedule_to_records(tree: TaskTree, result: ScheduleResult) -> list[dict[str, Any]]:
+    """One dictionary per executed task (for CSV export / DataFrames)."""
+    records: list[dict[str, Any]] = []
+    for task in range(tree.n):
+        start = result.start_times[task]
+        if not np.isfinite(start):
+            continue
+        records.append(
+            {
+                "task": task,
+                "processor": int(result.processor[task]),
+                "start": float(start),
+                "finish": float(result.finish_times[task]),
+                "duration": float(tree.ptime[task]),
+                "fout": float(tree.fout[task]),
+                "nexec": float(tree.nexec[task]),
+                "mem_needed": float(tree.mem_needed[task]),
+                "parent": int(tree.parent[task]),
+            }
+        )
+    records.sort(key=lambda r: (r["start"], r["task"]))
+    return records

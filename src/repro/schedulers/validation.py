@@ -1,0 +1,241 @@
+"""Post-hoc analysis of produced schedules: memory profile and feasibility.
+
+The heuristics reason about *booked* memory; what the paper reports (and what
+actually matters for correctness) is the **resident** memory of the schedule
+they produce:
+
+* the output ``f_i`` of task ``i`` is allocated when ``i`` starts and freed
+  when its parent finishes (never freed for the root),
+* the execution data ``n_i`` and the inputs of ``i`` are only needed while
+  ``i`` runs (the inputs are the children outputs, already counted above).
+
+:func:`memory_profile` reconstructs that piecewise-constant profile from the
+start/finish times of a schedule, and :func:`validate_schedule` checks every
+feasibility condition of the model:
+
+1. every task runs exactly once, for exactly its processing time;
+2. precedence: a task starts only after all of its children finished;
+3. at most ``p`` tasks overlap at any instant;
+4. no two tasks overlap on the same processor;
+5. the resident memory never exceeds the bound ``M``.
+
+These checks are used pervasively by the test-suite and are cheap enough
+(``O(n log n)``) to run inside the experiment harness as a safety net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.task_tree import NO_PARENT, TaskTree
+from .base import UNSCHEDULED, ScheduleResult
+
+__all__ = ["MemoryProfile", "memory_profile", "validate_schedule", "ValidationReport"]
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Piecewise-constant resident-memory profile of a schedule.
+
+    ``times`` holds the breakpoints (sorted, unique) and ``memory[k]`` is the
+    resident memory on the interval ``[times[k], times[k+1])``.
+    """
+
+    times: np.ndarray
+    memory: np.ndarray
+
+    @property
+    def peak(self) -> float:
+        """Maximum resident memory over the whole execution."""
+        return float(self.memory.max()) if self.memory.size else 0.0
+
+    def at(self, t: float) -> float:
+        """Resident memory at time ``t`` (right-continuous)."""
+        index = int(np.searchsorted(self.times, t, side="right")) - 1
+        if index < 0:
+            return 0.0
+        return float(self.memory[index])
+
+    def average(self) -> float:
+        """Time-averaged resident memory over the schedule's span."""
+        if self.times.size < 2:
+            return float(self.memory[0]) if self.memory.size else 0.0
+        durations = np.diff(self.times)
+        total = float(durations.sum())
+        if total <= 0:
+            return float(self.memory.max())
+        return float(np.dot(self.memory[:-1], durations) / total)
+
+
+def memory_profile(tree: TaskTree, result: ScheduleResult) -> MemoryProfile:
+    """Reconstruct the resident-memory profile of a (possibly partial) schedule.
+
+    Only tasks that actually ran (finite start time) contribute.  Outputs of
+    tasks whose parent never ran stay resident until the end of the horizon,
+    which is the correct behaviour for failed/partial schedules.
+    """
+    start = result.start_times
+    finish = result.finish_times
+    ran = np.isfinite(start)
+    if not ran.any():
+        return MemoryProfile(times=np.asarray([0.0]), memory=np.asarray([0.0]))
+
+    horizon = float(np.nanmax(finish[ran]))
+    events: list[tuple[float, float]] = []
+    parent = tree.parent
+    for node in range(tree.n):
+        if not ran[node]:
+            continue
+        s, f = float(start[node]), float(finish[node])
+        # Execution data and input consumption are counted through nexec only:
+        # the children outputs are already resident (allocated at the child's
+        # start) so adding them here would double count.
+        if tree.nexec[node] > 0:
+            events.append((s, float(tree.nexec[node])))
+            events.append((f, -float(tree.nexec[node])))
+        # Output: allocated at start, freed when the parent finishes.
+        p = int(parent[node])
+        release_time = None
+        if p != NO_PARENT and ran[p]:
+            release_time = float(finish[p])
+        if tree.fout[node] > 0:
+            events.append((s, float(tree.fout[node])))
+            if release_time is not None:
+                events.append((release_time, -float(tree.fout[node])))
+            # Otherwise the output stays resident until the horizon.
+
+    if not events:
+        return MemoryProfile(times=np.asarray([0.0, horizon]), memory=np.asarray([0.0, 0.0]))
+
+    events.sort(key=lambda item: item[0])
+    times: list[float] = [0.0]
+    memory: list[float] = [0.0]
+    current = 0.0
+    index = 0
+    while index < len(events):
+        t = events[index][0]
+        delta = 0.0
+        while index < len(events) and events[index][0] == t:
+            delta += events[index][1]
+            index += 1
+        current += delta
+        if t == times[-1]:
+            memory[-1] = current
+        else:
+            times.append(t)
+            memory.append(current)
+    if times[-1] < horizon:
+        times.append(horizon)
+        memory.append(current)
+    return MemoryProfile(times=np.asarray(times), memory=np.asarray(memory))
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of :func:`validate_schedule`."""
+
+    valid: bool
+    errors: tuple[str, ...]
+    peak_memory: float
+
+    def raise_if_invalid(self) -> None:
+        """Raise ``AssertionError`` with every violation when invalid."""
+        if not self.valid:
+            raise AssertionError("invalid schedule:\n" + "\n".join(self.errors))
+
+
+def validate_schedule(
+    tree: TaskTree,
+    result: ScheduleResult,
+    *,
+    tolerance: float = 1e-6,
+) -> ValidationReport:
+    """Check a completed schedule against every constraint of the model.
+
+    For a schedule with ``completed=False`` the function only verifies the
+    consistency of the part that did run (durations, precedence among the
+    executed tasks, processor and memory constraints up to the failure
+    point).
+    """
+    errors: list[str] = []
+    start = result.start_times
+    finish = result.finish_times
+    proc = result.processor
+    n = tree.n
+    scale = max(1.0, float(np.nanmax(finish)) if np.isfinite(finish).any() else 1.0)
+    tol = tolerance * scale
+
+    ran = np.isfinite(start) & np.isfinite(finish)
+    if result.completed and not ran.all():
+        errors.append("schedule claims completion but some tasks never ran")
+
+    # 1. durations
+    for node in np.flatnonzero(ran):
+        expected = float(tree.ptime[node])
+        actual = float(finish[node] - start[node])
+        if abs(actual - expected) > tol:
+            errors.append(
+                f"task {node} ran for {actual:.6g} instead of {expected:.6g}"
+            )
+        if start[node] < -tol:
+            errors.append(f"task {node} starts before time 0")
+        if ran[node] and proc[node] == UNSCHEDULED:
+            errors.append(f"task {node} ran but has no processor assigned")
+
+    # 2. precedence
+    for child, parent in tree.edges():
+        if ran[parent]:
+            if not ran[child]:
+                errors.append(f"task {parent} ran before its child {child} was executed")
+            elif start[parent] < finish[child] - tol:
+                errors.append(
+                    f"task {parent} started at {start[parent]:.6g} before child {child} "
+                    f"finished at {finish[child]:.6g}"
+                )
+
+    # 3. processor count: sweep over start/finish events.
+    events: list[tuple[float, int]] = []
+    for node in np.flatnonzero(ran):
+        if tree.ptime[node] <= 0:
+            continue  # zero-duration tasks occupy no processor time
+        events.append((float(start[node]), +1))
+        events.append((float(finish[node]), -1))
+    events.sort(key=lambda item: (item[0], item[1]))
+    running = 0
+    for _, delta in events:
+        running += delta
+        if running > result.num_processors:
+            errors.append(
+                f"more than p={result.num_processors} tasks run simultaneously"
+            )
+            break
+
+    # 4. no overlap on a single processor
+    by_proc: dict[int, list[tuple[float, float, int]]] = {}
+    for node in np.flatnonzero(ran):
+        if tree.ptime[node] <= 0:
+            continue
+        by_proc.setdefault(int(proc[node]), []).append(
+            (float(start[node]), float(finish[node]), node)
+        )
+    for processor, intervals in by_proc.items():
+        if processor == UNSCHEDULED:
+            continue
+        intervals.sort()
+        for (s1, f1, n1), (s2, f2, n2) in zip(intervals, intervals[1:]):
+            if s2 < f1 - tol:
+                errors.append(
+                    f"tasks {n1} and {n2} overlap on processor {processor}"
+                )
+
+    # 5. memory bound
+    profile = memory_profile(tree, result)
+    if profile.peak > result.memory_limit * (1 + tolerance) + tol:
+        errors.append(
+            f"resident memory peaks at {profile.peak:.6g} above the bound "
+            f"{result.memory_limit:.6g}"
+        )
+
+    return ValidationReport(valid=not errors, errors=tuple(errors), peak_memory=profile.peak)

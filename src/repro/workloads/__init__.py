@@ -1,0 +1,62 @@
+"""Workload generation: structured families, synthetic trees, assembly trees."""
+
+from . import families
+from .datasets import DatasetSpec, assembly_dataset, height_study_dataset, synthetic_dataset
+from .elimination import (
+    Supernode,
+    assembly_tree_from_matrix,
+    column_counts,
+    elimination_tree,
+    front_flops,
+    fundamental_supernodes,
+    nested_dissection_2d,
+    nested_dissection_3d,
+)
+from .families import (
+    balanced_tree,
+    binary_reduction_tree,
+    caterpillar,
+    chain,
+    comb,
+    random_attachment_tree,
+    spine_with_subtrees,
+    star,
+)
+from .sparse_matrices import (
+    banded_matrix,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    random_symmetric_pattern,
+)
+from .synthetic import SyntheticTreeConfig, synthetic_tree, synthetic_trees
+
+__all__ = [
+    "families",
+    "DatasetSpec",
+    "assembly_dataset",
+    "height_study_dataset",
+    "synthetic_dataset",
+    "Supernode",
+    "assembly_tree_from_matrix",
+    "column_counts",
+    "elimination_tree",
+    "front_flops",
+    "fundamental_supernodes",
+    "nested_dissection_2d",
+    "nested_dissection_3d",
+    "balanced_tree",
+    "binary_reduction_tree",
+    "caterpillar",
+    "chain",
+    "comb",
+    "random_attachment_tree",
+    "spine_with_subtrees",
+    "star",
+    "banded_matrix",
+    "grid_laplacian_2d",
+    "grid_laplacian_3d",
+    "random_symmetric_pattern",
+    "SyntheticTreeConfig",
+    "synthetic_tree",
+    "synthetic_trees",
+]

@@ -1,0 +1,217 @@
+"""Named data sets used by the experiment harness.
+
+The paper evaluates its heuristics on two tree families (Section 7.1):
+
+* **assembly trees** of 608 sparse matrices from the University of Florida
+  collection (2k – 1M nodes), and
+* **synthetic trees** with the degree/weight distributions of Section 7.1
+  (50 trees of 1k, 10k and 100k nodes).
+
+This module builds laptop-scale surrogates of both:
+
+* :func:`assembly_dataset` generates assembly trees from synthetic sparse
+  matrices (grids with nested-dissection and band orderings, random
+  patterns, banded matrices) covering the same qualitative variety — broad
+  and balanced, deep and thin, and irregular trees with heavy-tailed front
+  sizes;
+* :func:`synthetic_dataset` simply wraps the Section 7.1 generator.
+
+Every dataset function accepts a ``scale`` knob so the benchmarks can be run
+quickly in CI (``scale="small"``) or closer to the paper's sizes
+(``scale="large"``).  Trees are deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Literal
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._utils import as_rng
+from ..core.task_tree import TaskTree
+from . import families
+from .elimination import (
+    assembly_tree_from_matrix,
+    nested_dissection_2d,
+    nested_dissection_3d,
+)
+from .sparse_matrices import (
+    banded_matrix,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    random_symmetric_pattern,
+)
+from .synthetic import SyntheticTreeConfig, synthetic_trees
+
+__all__ = ["DatasetSpec", "assembly_dataset", "synthetic_dataset", "height_study_dataset"]
+
+Scale = Literal["tiny", "small", "medium", "large"]
+
+#: Grid/matrix sizes per scale for the assembly surrogate.  Each entry is a
+#: list of (kind, parameters) pairs; every pair yields one tree.
+_ASSEMBLY_RECIPES: dict[str, list[tuple[str, dict]]] = {
+    "tiny": [
+        ("grid2d_nd", {"nx": 12, "relax": 2}),
+        ("grid2d_band", {"nx": 10, "relax": 2}),
+        ("random", {"n": 150, "nnz": 4.0, "relax": 2}),
+        ("banded", {"n": 120, "bandwidth": 2, "relax": 2}),
+    ],
+    "small": [
+        ("grid2d_nd", {"nx": 40, "relax": 2}),
+        ("grid2d_nd", {"nx": 56, "relax": 2}),
+        ("grid2d_band", {"nx": 32, "relax": 2}),
+        ("grid3d_nd", {"nx": 10, "relax": 2}),
+        ("random", {"n": 1200, "nnz": 4.0, "relax": 2}),
+        ("random", {"n": 1200, "nnz": 2.5, "relax": 2}),
+        ("random", {"n": 800, "nnz": 6.0, "relax": 2}),
+        ("banded", {"n": 1000, "bandwidth": 3, "relax": 2}),
+        ("banded", {"n": 1500, "bandwidth": 6, "relax": 2}),
+    ],
+    "medium": [
+        ("grid2d_nd", {"nx": 64, "relax": 2}),
+        ("grid2d_nd", {"nx": 90, "relax": 2}),
+        ("grid2d_band", {"nx": 48, "relax": 2}),
+        ("grid3d_nd", {"nx": 13, "relax": 2}),
+        ("random", {"n": 2500, "nnz": 4.0, "relax": 2}),
+        ("random", {"n": 2500, "nnz": 2.5, "relax": 2}),
+        ("random", {"n": 1500, "nnz": 6.0, "relax": 2}),
+        ("banded", {"n": 2500, "bandwidth": 3, "relax": 2}),
+        ("banded", {"n": 4000, "bandwidth": 6, "relax": 2}),
+    ],
+    "large": [
+        ("grid2d_nd", {"nx": 120, "relax": 2}),
+        ("grid2d_nd", {"nx": 160, "relax": 2}),
+        ("grid2d_band", {"nx": 80, "relax": 2}),
+        ("grid3d_nd", {"nx": 18, "relax": 2}),
+        ("random", {"n": 6000, "nnz": 4.0, "relax": 2}),
+        ("random", {"n": 6000, "nnz": 2.5, "relax": 2}),
+        ("random", {"n": 4000, "nnz": 6.0, "relax": 2}),
+        ("banded", {"n": 6000, "bandwidth": 3, "relax": 2}),
+        ("banded", {"n": 9000, "bandwidth": 8, "relax": 2}),
+    ],
+}
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Description of a generated dataset (kept alongside the trees)."""
+
+    name: str
+    scale: str
+    seed: int
+    num_trees: int
+
+
+def _assembly_tree(kind: str, params: dict, rng: np.random.Generator) -> TaskTree:
+    relax = int(params.get("relax", 0))
+    if kind == "grid2d_nd":
+        nx = int(params["nx"])
+        matrix = grid_laplacian_2d(nx, nx)
+        perm = nested_dissection_2d(nx, nx)
+        return assembly_tree_from_matrix(matrix, permutation=perm, relax_columns=relax)
+    if kind == "grid2d_band":
+        nx = int(params["nx"])
+        matrix = grid_laplacian_2d(nx, nx)
+        return assembly_tree_from_matrix(matrix, relax_columns=relax)
+    if kind == "grid3d_nd":
+        nx = int(params["nx"])
+        matrix = grid_laplacian_3d(nx, nx, nx)
+        perm = nested_dissection_3d(nx, nx, nx)
+        return assembly_tree_from_matrix(matrix, permutation=perm, relax_columns=relax)
+    if kind == "random":
+        matrix = random_symmetric_pattern(int(params["n"]), float(params["nnz"]), rng)
+        return assembly_tree_from_matrix(matrix, relax_columns=relax)
+    if kind == "banded":
+        matrix = banded_matrix(int(params["n"]), int(params["bandwidth"]))
+        return assembly_tree_from_matrix(matrix, relax_columns=relax)
+    raise ValueError(f"unknown assembly recipe kind {kind!r}")
+
+
+def assembly_dataset(
+    scale: Scale = "small",
+    *,
+    seed: int = 2017,
+    repetitions: int = 1,
+) -> tuple[list[TaskTree], DatasetSpec]:
+    """Assembly-tree surrogate dataset (UFL collection substitute).
+
+    ``repetitions > 1`` re-draws the randomised recipes (random sparsity
+    patterns) with fresh seeds, enlarging the dataset without changing its
+    composition.  Deterministic recipes (grids, banded matrices) are included
+    once per repetition as well so every repetition contributes the same mix.
+    """
+    if scale not in _ASSEMBLY_RECIPES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_ASSEMBLY_RECIPES)}")
+    if repetitions < 1:
+        raise ValueError("repetitions must be at least 1")
+    rng = as_rng(seed)
+    trees: list[TaskTree] = []
+    for repetition in range(repetitions):
+        for kind, params in _ASSEMBLY_RECIPES[scale]:
+            if repetition > 0 and kind in ("grid2d_nd", "grid2d_band", "grid3d_nd", "banded"):
+                # Vary the deterministic recipes slightly across repetitions so
+                # they are not exact duplicates.
+                params = dict(params)
+                if "nx" in params:
+                    params["nx"] = int(params["nx"]) + repetition
+                if "n" in params:
+                    params["n"] = int(params["n"]) + 37 * repetition
+            trees.append(_assembly_tree(kind, params, rng))
+    spec = DatasetSpec(name="assembly-surrogate", scale=scale, seed=seed, num_trees=len(trees))
+    return trees, spec
+
+
+#: Synthetic-tree sizes per scale (number of nodes, number of trees).
+_SYNTHETIC_SIZES: dict[str, tuple[int, int]] = {
+    "tiny": (200, 4),
+    "small": (1000, 10),
+    "medium": (5000, 20),
+    "large": (20000, 50),
+}
+
+
+def synthetic_dataset(
+    scale: Scale = "small",
+    *,
+    seed: int = 7011,
+    num_nodes: int | None = None,
+    num_trees: int | None = None,
+) -> tuple[list[TaskTree], DatasetSpec]:
+    """Synthetic dataset following the Section 7.1 distributions."""
+    if scale not in _SYNTHETIC_SIZES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_SYNTHETIC_SIZES)}")
+    default_nodes, default_trees = _SYNTHETIC_SIZES[scale]
+    nodes = num_nodes if num_nodes is not None else default_nodes
+    count = num_trees if num_trees is not None else default_trees
+    config = SyntheticTreeConfig(num_nodes=nodes)
+    trees = synthetic_trees(count, config, rng=seed)
+    spec = DatasetSpec(name="synthetic", scale=scale, seed=seed, num_trees=len(trees))
+    return trees, spec
+
+
+def height_study_dataset(
+    *,
+    seed: int = 99,
+    max_spine: int = 2000,
+) -> tuple[list[TaskTree], DatasetSpec]:
+    """Trees of widely varying heights for the overhead/height experiments.
+
+    Mixes spines with small subtrees (deep, limited parallelism), caterpillars
+    and bushy synthetic trees so the height axis of Figures 6 and 7 is well
+    covered.
+    """
+    rng = as_rng(seed)
+    trees: list[TaskTree] = []
+    for spine in (50, 200, 800, max_spine):
+        trees.append(
+            families.spine_with_subtrees(
+                spine, subtree_arity=2, subtree_depth=1, fout=4.0, nexec=1.0, ptime=2.0
+            )
+        )
+        trees.append(families.caterpillar(spine, legs_per_node=2, fout=3.0, nexec=1.0, ptime=1.0))
+    for nodes in (500, 2000):
+        trees.extend(synthetic_trees(2, SyntheticTreeConfig(num_nodes=nodes), rng=rng))
+    spec = DatasetSpec(name="height-study", scale="custom", seed=seed, num_trees=len(trees))
+    return trees, spec

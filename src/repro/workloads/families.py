@@ -1,0 +1,263 @@
+"""Structured tree families used in examples, tests and ablation benchmarks.
+
+These deterministic or lightly-randomised shapes stress specific aspects of
+the schedulers:
+
+* chains — no parallelism at all, the worst case for the ``n H`` term of the
+  MemBooking complexity (Figure 6 discussion);
+* stars / combs — massive bottom-level parallelism bounded only by memory;
+* balanced trees — the classic divide-and-conquer profile;
+* caterpillars and spines — deep trees with a trickle of side parallelism,
+  the regime where the paper observes the smallest speedups (Figure 7);
+* random attachment trees — shallow, bushy, irregular.
+
+Every builder accepts callables or scalars for the per-node data so the same
+shapes can be reused with different memory/time profiles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .._utils import as_rng
+from ..core.task_tree import NO_PARENT, TaskTree
+
+__all__ = [
+    "chain",
+    "star",
+    "balanced_tree",
+    "caterpillar",
+    "spine_with_subtrees",
+    "comb",
+    "random_attachment_tree",
+    "binary_reduction_tree",
+]
+
+_DataSpec = float | Sequence[float] | Callable[[int], float]
+
+
+def _resolve(spec: _DataSpec, n: int) -> np.ndarray:
+    """Turn a scalar / sequence / callable data specification into an array."""
+    if callable(spec):
+        return np.asarray([float(spec(i)) for i in range(n)], dtype=np.float64)
+    if np.isscalar(spec):
+        return np.full(n, float(spec), dtype=np.float64)  # type: ignore[arg-type]
+    values = np.asarray(spec, dtype=np.float64)
+    if values.shape != (n,):
+        raise ValueError(f"expected {n} per-node values, got shape {values.shape}")
+    return values
+
+
+def chain(
+    n: int,
+    *,
+    fout: _DataSpec = 1.0,
+    nexec: _DataSpec = 0.0,
+    ptime: _DataSpec = 1.0,
+) -> TaskTree:
+    """A chain of ``n`` tasks; node ``n-1`` is the root, node 0 the only leaf."""
+    if n < 1:
+        raise ValueError("a chain needs at least one node")
+    parent = np.arange(1, n + 1, dtype=np.int64)
+    parent[-1] = NO_PARENT
+    return TaskTree(parent, fout=_resolve(fout, n), nexec=_resolve(nexec, n), ptime=_resolve(ptime, n))
+
+
+def star(
+    num_leaves: int,
+    *,
+    fout: _DataSpec = 1.0,
+    nexec: _DataSpec = 0.0,
+    ptime: _DataSpec = 1.0,
+) -> TaskTree:
+    """A root (node 0) with ``num_leaves`` children (nodes 1..num_leaves)."""
+    if num_leaves < 1:
+        raise ValueError("a star needs at least one leaf")
+    n = num_leaves + 1
+    parent = np.zeros(n, dtype=np.int64)
+    parent[0] = NO_PARENT
+    return TaskTree(parent, fout=_resolve(fout, n), nexec=_resolve(nexec, n), ptime=_resolve(ptime, n))
+
+
+def balanced_tree(
+    arity: int,
+    depth: int,
+    *,
+    fout: _DataSpec = 1.0,
+    nexec: _DataSpec = 0.0,
+    ptime: _DataSpec = 1.0,
+) -> TaskTree:
+    """Complete ``arity``-ary in-tree of the given depth (depth 0 = single node).
+
+    Node 0 is the root; children are laid out level by level.
+    """
+    if arity < 1:
+        raise ValueError("arity must be at least 1")
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    parents: list[int] = [NO_PARENT]
+    previous_level = [0]
+    for _ in range(depth):
+        level: list[int] = []
+        for node in previous_level:
+            for _ in range(arity):
+                parents.append(node)
+                level.append(len(parents) - 1)
+        previous_level = level
+    n = len(parents)
+    return TaskTree(
+        np.asarray(parents, dtype=np.int64),
+        fout=_resolve(fout, n),
+        nexec=_resolve(nexec, n),
+        ptime=_resolve(ptime, n),
+    )
+
+
+def caterpillar(
+    spine_length: int,
+    legs_per_node: int = 1,
+    *,
+    fout: _DataSpec = 1.0,
+    nexec: _DataSpec = 0.0,
+    ptime: _DataSpec = 1.0,
+) -> TaskTree:
+    """A spine of ``spine_length`` nodes, each with ``legs_per_node`` leaf children.
+
+    The spine nodes are 0 (deepest) to ``spine_length - 1`` (root); leaves are
+    appended afterwards.
+    """
+    if spine_length < 1:
+        raise ValueError("spine_length must be at least 1")
+    if legs_per_node < 0:
+        raise ValueError("legs_per_node must be non-negative")
+    parents = list(range(1, spine_length)) + [NO_PARENT]
+    # ``parents`` currently: node i (< spine_length-1) -> i+1, last -> root.
+    parents = [i + 1 for i in range(spine_length - 1)] + [NO_PARENT]
+    for spine_node in range(spine_length):
+        for _ in range(legs_per_node):
+            parents.append(spine_node)
+    n = len(parents)
+    return TaskTree(
+        np.asarray(parents, dtype=np.int64),
+        fout=_resolve(fout, n),
+        nexec=_resolve(nexec, n),
+        ptime=_resolve(ptime, n),
+    )
+
+
+def spine_with_subtrees(
+    spine_length: int,
+    subtree_arity: int = 2,
+    subtree_depth: int = 2,
+    *,
+    fout: _DataSpec = 1.0,
+    nexec: _DataSpec = 0.0,
+    ptime: _DataSpec = 1.0,
+) -> TaskTree:
+    """A deep spine where every spine node also roots a small balanced subtree.
+
+    This is the "deep but not thin" profile used by the height-ablation
+    benchmark: the ``n H`` dispatch term is exercised while some parallelism
+    remains available.
+    """
+    if spine_length < 1:
+        raise ValueError("spine_length must be at least 1")
+    parents: list[int] = [i + 1 for i in range(spine_length - 1)] + [NO_PARENT]
+
+    def add_balanced(root_parent: int) -> None:
+        level = [root_parent]
+        for _ in range(subtree_depth):
+            next_level: list[int] = []
+            for node in level:
+                for _ in range(subtree_arity):
+                    parents.append(node)
+                    next_level.append(len(parents) - 1)
+            level = next_level
+
+    for spine_node in range(spine_length):
+        add_balanced(spine_node)
+    n = len(parents)
+    return TaskTree(
+        np.asarray(parents, dtype=np.int64),
+        fout=_resolve(fout, n),
+        nexec=_resolve(nexec, n),
+        ptime=_resolve(ptime, n),
+    )
+
+
+def comb(
+    teeth: int,
+    tooth_length: int,
+    *,
+    fout: _DataSpec = 1.0,
+    nexec: _DataSpec = 0.0,
+    ptime: _DataSpec = 1.0,
+) -> TaskTree:
+    """A root with ``teeth`` chains of length ``tooth_length`` hanging from it."""
+    if teeth < 1 or tooth_length < 1:
+        raise ValueError("teeth and tooth_length must be at least 1")
+    parents: list[int] = [NO_PARENT]
+    for _ in range(teeth):
+        previous = 0
+        for _ in range(tooth_length):
+            parents.append(previous)
+            previous = len(parents) - 1
+    n = len(parents)
+    return TaskTree(
+        np.asarray(parents, dtype=np.int64),
+        fout=_resolve(fout, n),
+        nexec=_resolve(nexec, n),
+        ptime=_resolve(ptime, n),
+    )
+
+
+def random_attachment_tree(
+    n: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    fout_range: tuple[float, float] = (1.0, 10.0),
+    nexec_range: tuple[float, float] = (0.0, 5.0),
+    ptime_range: tuple[float, float] = (1.0, 5.0),
+) -> TaskTree:
+    """Uniform random attachment tree (node ``i`` picks a parent among ``0..i-1``)."""
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    generator = as_rng(rng)
+    parent = np.full(n, NO_PARENT, dtype=np.int64)
+    for i in range(1, n):
+        parent[i] = generator.integers(0, i)
+    return TaskTree(
+        parent,
+        fout=generator.uniform(*fout_range, size=n),
+        nexec=generator.uniform(*nexec_range, size=n),
+        ptime=generator.uniform(*ptime_range, size=n),
+    )
+
+
+def binary_reduction_tree(
+    depth: int,
+    *,
+    leaf_output: float = 8.0,
+    reduction_factor: float = 0.5,
+    ptime: float = 1.0,
+) -> TaskTree:
+    """A complete binary tree whose outputs shrink towards the root.
+
+    Every internal node outputs ``reduction_factor`` times the sum of its
+    children outputs and carries no execution data, so the result is a true
+    reduction tree (Section 3.2) — useful to test the RedTree baseline in its
+    favourable regime.
+    """
+    if not 0 < reduction_factor <= 1.0:
+        raise ValueError("reduction_factor must be in (0, 1]")
+    tree = balanced_tree(2, depth, fout=1.0, nexec=0.0, ptime=ptime)
+    fout = np.zeros(tree.n)
+    for node in tree.topological_order():
+        kids = tree.children(node)
+        if not kids:
+            fout[node] = leaf_output
+        else:
+            fout[node] = reduction_factor * sum(fout[c] for c in kids)
+    return tree.with_data(fout=fout, nexec=np.zeros(tree.n))

@@ -1,0 +1,67 @@
+"""Common fixtures used across the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.task_tree import TaskTree
+
+# Property-based tests simulate schedulers and run exhaustive oracles; the
+# per-example deadline is therefore disabled and the example count kept
+# moderate so the whole suite stays fast and deterministic across machines.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for reproducible tests."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def chain3() -> TaskTree:
+    """A 3-node chain: 0 -> 1 -> 2 (node 2 is the root)."""
+    return TaskTree(
+        parent=[1, 2, -1],
+        fout=[2.0, 3.0, 4.0],
+        nexec=[1.0, 1.0, 1.0],
+        ptime=[1.0, 2.0, 3.0],
+    )
+
+
+@pytest.fixture
+def small_tree() -> TaskTree:
+    """The running example tree used in many unit tests.
+
+    Structure (node: children)::
+
+        6 (root): 4, 5
+        4: 0, 1
+        5: 2, 3
+        0, 1, 2, 3: leaves
+    """
+    return TaskTree(
+        parent=[4, 4, 5, 5, 6, 6, -1],
+        fout=[2.0, 3.0, 4.0, 1.0, 5.0, 2.0, 6.0],
+        nexec=[1.0, 0.0, 2.0, 0.0, 1.0, 1.0, 3.0],
+        ptime=[1.0, 2.0, 1.0, 1.0, 3.0, 2.0, 4.0],
+    )
+
+
+@pytest.fixture
+def star5() -> TaskTree:
+    """A star: root 0 with 5 leaf children."""
+    return TaskTree(
+        parent=[-1, 0, 0, 0, 0, 0],
+        fout=[10.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+        nexec=[2.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        ptime=[5.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+    )

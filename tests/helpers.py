@@ -1,0 +1,114 @@
+"""Shared helpers for the test-suite: small random trees and brute-force oracles."""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import numpy as np
+
+from repro.core.task_tree import NO_PARENT, TaskTree
+from repro.orders.base import Ordering
+from repro.orders.peak_memory import sequential_peak_memory
+
+
+def random_tree(
+    rng: np.random.Generator,
+    n: int,
+    *,
+    max_fout: float = 10.0,
+    max_nexec: float = 5.0,
+    max_ptime: float = 4.0,
+    integer_data: bool = True,
+) -> TaskTree:
+    """A random tree built by uniform random attachment.
+
+    Node ``0`` is the root; node ``i`` attaches to a uniformly random earlier
+    node.  Data sizes and durations are positive (integers by default, which
+    keeps comparisons exact in the oracles).
+    """
+    parent = np.full(n, NO_PARENT, dtype=np.int64)
+    for i in range(1, n):
+        parent[i] = rng.integers(0, i)
+
+    def draw(high: float) -> np.ndarray:
+        if integer_data:
+            return rng.integers(1, max(2, int(high)) + 1, size=n).astype(float)
+        return rng.uniform(0.5, high, size=n)
+
+    return TaskTree(parent, fout=draw(max_fout), nexec=draw(max_nexec), ptime=draw(max_ptime))
+
+
+def random_chainy_tree(rng: np.random.Generator, n: int) -> TaskTree:
+    """A random tree biased towards long chains (attach to the previous node often)."""
+    parent = np.full(n, NO_PARENT, dtype=np.int64)
+    for i in range(1, n):
+        if rng.random() < 0.7:
+            parent[i] = i - 1
+        else:
+            parent[i] = rng.integers(0, i)
+    return TaskTree(
+        parent,
+        fout=rng.integers(1, 10, size=n).astype(float),
+        nexec=rng.integers(0, 5, size=n).astype(float),
+        ptime=rng.integers(1, 5, size=n).astype(float),
+    )
+
+
+def enumerate_topological_orders(tree: TaskTree, *, limit: int = 2_000_000) -> list[list[int]]:
+    """Every topological order (children before parents) of a small tree.
+
+    Implemented as a simple backtracking enumeration; raises ``ValueError``
+    if more than ``limit`` orders would be produced.
+    """
+    n = tree.n
+    remaining_children = [tree.num_children(i) for i in range(n)]
+    available = [i for i in range(n) if remaining_children[i] == 0]
+    result: list[list[int]] = []
+    order: list[int] = []
+
+    def backtrack() -> None:
+        if len(result) > limit:
+            raise ValueError("too many topological orders to enumerate")
+        if len(order) == n:
+            result.append(list(order))
+            return
+        # Iterate over a snapshot since ``available`` mutates during recursion.
+        for node in list(available):
+            available.remove(node)
+            order.append(node)
+            parent = int(tree.parent[node])
+            unlocked = False
+            if parent != NO_PARENT:
+                remaining_children[parent] -= 1
+                if remaining_children[parent] == 0:
+                    available.append(parent)
+                    unlocked = True
+            backtrack()
+            if parent != NO_PARENT:
+                if unlocked:
+                    available.remove(parent)
+                remaining_children[parent] += 1
+            order.pop()
+            available.append(node)
+
+    backtrack()
+    return result
+
+
+def brute_force_optimal_peak(tree: TaskTree) -> float:
+    """Minimum sequential peak memory over all topological orders (exponential)."""
+    best = np.inf
+    for seq in enumerate_topological_orders(tree):
+        peak = sequential_peak_memory(tree, Ordering(seq), check=False)
+        best = min(best, peak)
+    return float(best)
+
+
+def brute_force_best_postorder_peak(tree: TaskTree) -> float:
+    """Minimum sequential peak memory over all postorders (exponential)."""
+    from repro.orders.postorder import enumerate_postorders
+
+    best = np.inf
+    for order in enumerate_postorders(tree):
+        best = min(best, sequential_peak_memory(tree, order, check=False))
+    return float(best)

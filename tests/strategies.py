@@ -1,0 +1,78 @@
+"""Hypothesis strategies shared by the property-based tests.
+
+The central strategy is :func:`task_trees`, which generates arbitrary rooted
+in-trees with integer data sizes and durations.  Integer data keeps the
+oracles exact (no floating-point tolerance juggling) while still exercising
+every structural edge case: single nodes, chains, stars, zero-size outputs,
+zero execution data and zero-duration tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.core.task_tree import NO_PARENT, TaskTree
+from repro.orders.base import Ordering
+
+__all__ = ["task_trees", "topological_orders", "tree_and_order"]
+
+
+@st.composite
+def task_trees(
+    draw,
+    *,
+    min_nodes: int = 1,
+    max_nodes: int = 24,
+    max_output: int = 12,
+    max_exec: int = 6,
+    max_time: int = 5,
+    allow_zero_output: bool = True,
+    allow_zero_time: bool = True,
+    chain_bias: bool = True,
+) -> TaskTree:
+    """Generate a random :class:`TaskTree`.
+
+    ``chain_bias`` occasionally attaches node ``i`` to node ``i - 1`` so the
+    generated population contains deep chains as well as bushy trees.
+    """
+    n = draw(st.integers(min_nodes, max_nodes))
+    parent = np.full(n, NO_PARENT, dtype=np.int64)
+    for i in range(1, n):
+        if chain_bias and draw(st.booleans()):
+            parent[i] = i - 1
+        else:
+            parent[i] = draw(st.integers(0, i - 1))
+
+    min_output = 0 if allow_zero_output else 1
+    min_time = 0 if allow_zero_time else 1
+    fout = [draw(st.integers(min_output, max_output)) for _ in range(n)]
+    nexec = [draw(st.integers(0, max_exec)) for _ in range(n)]
+    ptime = [draw(st.integers(min_time, max_time)) for _ in range(n)]
+    return TaskTree(parent, fout=fout, nexec=nexec, ptime=ptime)
+
+
+@st.composite
+def topological_orders(draw, tree: TaskTree) -> Ordering:
+    """A random topological order (children before parents) of ``tree``."""
+    remaining = [tree.num_children(i) for i in range(tree.n)]
+    available = sorted(i for i in range(tree.n) if remaining[i] == 0)
+    sequence: list[int] = []
+    while available:
+        index = draw(st.integers(0, len(available) - 1))
+        node = available.pop(index)
+        sequence.append(node)
+        p = int(tree.parent[node])
+        if p != NO_PARENT:
+            remaining[p] -= 1
+            if remaining[p] == 0:
+                available.append(p)
+    return Ordering(sequence, name="random-topo")
+
+
+@st.composite
+def tree_and_order(draw, **tree_kwargs) -> tuple[TaskTree, Ordering]:
+    """A random tree together with a random topological order of it."""
+    tree = draw(task_trees(**tree_kwargs))
+    order = draw(topological_orders(tree))
+    return tree, order

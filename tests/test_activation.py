@@ -1,0 +1,113 @@
+"""Unit tests for the Activation heuristic (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.orders import Ordering, minimum_memory_postorder, sequential_peak_memory
+from repro.schedulers.activation import ActivationScheduler
+from repro.schedulers.validation import validate_schedule
+
+from .helpers import random_tree
+
+
+class TestActivationBasics:
+    def test_single_node(self):
+        from repro.core.task_tree import TaskTree
+
+        tree = TaskTree(parent=[-1], fout=[2.0], nexec=[1.0], ptime=[4.0])
+        result = ActivationScheduler().schedule(tree, 2, 10.0)
+        assert result.completed
+        assert result.makespan == pytest.approx(4.0)
+        assert result.peak_memory == pytest.approx(3.0)
+        validate_schedule(tree, result).raise_if_invalid()
+
+    def test_small_tree_generous_memory(self, small_tree):
+        result = ActivationScheduler().schedule(small_tree, 4, 1000.0)
+        assert result.completed
+        validate_schedule(small_tree, result).raise_if_invalid()
+        # With plenty of memory and processors, all four leaves start at t=0.
+        assert np.count_nonzero(result.start_times == 0.0) == 4
+
+    def test_terminates_with_minimum_memory(self, rng):
+        # Theorem (for Activation): the tree completes whenever M is at least
+        # the sequential peak of the activation order.
+        for _ in range(15):
+            tree = random_tree(rng, int(rng.integers(2, 50)))
+            ao = minimum_memory_postorder(tree)
+            min_memory = sequential_peak_memory(tree, ao)
+            for p in (1, 3):
+                result = ActivationScheduler().schedule(tree, p, min_memory, ao=ao, eo=ao)
+                assert result.completed, result.failure_reason
+                validate_schedule(tree, result).raise_if_invalid()
+
+    def test_respects_memory_bound(self, rng):
+        for _ in range(10):
+            tree = random_tree(rng, 40)
+            ao = minimum_memory_postorder(tree)
+            bound = 2.0 * sequential_peak_memory(tree, ao)
+            result = ActivationScheduler().schedule(tree, 8, bound)
+            assert result.completed
+            assert result.peak_memory <= bound * (1 + 1e-9)
+            validate_schedule(tree, result).raise_if_invalid()
+
+    def test_failure_reported_not_raised(self, small_tree):
+        # A bound below the largest single task requirement cannot work.
+        result = ActivationScheduler().schedule(small_tree, 2, small_tree.max_mem_needed * 0.5)
+        assert not result.completed
+        assert result.failure_reason is not None
+        assert result.makespan == np.inf
+
+    def test_sequential_on_one_processor_matches_total_work(self, rng):
+        tree = random_tree(rng, 30)
+        result = ActivationScheduler().schedule(tree, 1, 1e9)
+        assert result.completed
+        assert result.makespan == pytest.approx(tree.total_work)
+
+    def test_parallel_never_slower_than_total_work(self, rng):
+        # Any completed schedule keeps at least one processor busy at all
+        # times, so its makespan never exceeds the total work (= the p=1
+        # makespan).  Note that monotonicity in p is *not* guaranteed in
+        # general (Graham-type anomalies), so we only compare against p=1.
+        for _ in range(5):
+            tree = random_tree(rng, 60)
+            bound = 3.0 * sequential_peak_memory(tree, minimum_memory_postorder(tree))
+            for p in (2, 4, 8):
+                result = ActivationScheduler().schedule(tree, p, bound)
+                assert result.completed
+                assert result.makespan <= tree.total_work + 1e-9
+
+
+class TestActivationBehaviour:
+    def test_books_conservatively_on_chain(self):
+        # On a chain, Activation books n_i + f_i for every activated node even
+        # though the tasks can never run concurrently (Section 3.1 example).
+        from repro.core.task_tree import TaskTree
+
+        tree = TaskTree(
+            parent=[1, 2, -1],
+            fout=[1.0, 1.0, 1.0],
+            nexec=[3.0, 3.0, 3.0],
+            ptime=[1.0, 1.0, 1.0],
+        )
+        generous = ActivationScheduler().schedule(tree, 2, 100.0)
+        assert generous.extras["peak_booked_memory"] == pytest.approx(12.0)
+        # The actual resident memory is much smaller than what was booked.
+        assert generous.peak_memory < generous.extras["peak_booked_memory"]
+
+    def test_extras_and_summary(self, small_tree):
+        result = ActivationScheduler().schedule(small_tree, 2, 1000.0)
+        assert result.extras["activated"] == small_tree.n
+        summary = result.summary()
+        assert summary["scheduler"] == "Activation"
+        assert summary["completed"] is True
+
+    def test_execution_order_changes_choices(self, star5):
+        # With one processor, the EO decides the leaf order.
+        ao = minimum_memory_postorder(star5)
+        eo = Ordering([4, 3, 2, 1, 5, 0], name="custom")
+        result = ActivationScheduler().schedule(star5, 1, 1e6, ao=ao, eo=eo)
+        assert result.completed
+        leaf_starts = result.start_times[[4, 3, 2, 1, 5]]
+        assert np.all(np.diff(leaf_starts) > 0)

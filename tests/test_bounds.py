@@ -1,0 +1,141 @@
+"""Unit tests for the makespan lower bounds (Section 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bounds import (
+    classical_lower_bound,
+    combined_lower_bound,
+    lower_bound_improvement_stats,
+    lower_bounds,
+    memory_lower_bound,
+)
+from repro.core.task_tree import TaskTree
+from repro.core.tree_metrics import critical_path_length
+from repro.orders import minimum_memory_postorder, sequential_peak_memory
+from repro.schedulers import ActivationScheduler, ListScheduler, MemBookingScheduler
+
+from .helpers import random_tree
+
+
+class TestClassicalBound:
+    def test_chain_is_critical_path(self, chain3):
+        assert classical_lower_bound(chain3, 4) == pytest.approx(chain3.total_work)
+
+    def test_star_is_work_bound(self, star5):
+        assert classical_lower_bound(star5, 1) == pytest.approx(star5.total_work)
+
+    def test_invalid_processors(self, chain3):
+        with pytest.raises(ValueError):
+            classical_lower_bound(chain3, 0)
+
+    def test_monotone_in_processors(self, rng):
+        tree = random_tree(rng, 40)
+        values = [classical_lower_bound(tree, p) for p in (1, 2, 4, 8, 1000)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(critical_path_length(tree))
+
+
+class TestMemoryBound:
+    def test_formula(self, chain3):
+        expected = float(np.dot(chain3.mem_needed, chain3.ptime)) / 10.0
+        assert memory_lower_bound(chain3, 10.0) == pytest.approx(expected)
+
+    def test_decreases_with_memory(self, rng):
+        tree = random_tree(rng, 30)
+        assert memory_lower_bound(tree, 10.0) > memory_lower_bound(tree, 100.0)
+
+    def test_invalid_memory(self, chain3):
+        with pytest.raises(ValueError):
+            memory_lower_bound(chain3, 0.0)
+
+    def test_tight_memory_dominates(self):
+        # Four independent 2-task chains under a common root, scheduled with
+        # barely enough memory: each chain needs ~11 units of memory for ~10
+        # time units, so the memory-time demand forces a long makespan even
+        # with many processors — the regime where Theorem 3 beats the
+        # classical bound.
+        #   leaves 0..3 (f=10, t=5) -> mids 4..7 (f=1, t=5) -> root 8 (f=1, t=1)
+        tree = TaskTree(
+            parent=[4, 5, 6, 7, 8, 8, 8, 8, -1],
+            fout=[10.0] * 4 + [1.0] * 4 + [1.0],
+            nexec=0.0,
+            ptime=[5.0] * 4 + [5.0] * 4 + [1.0],
+        )
+        ao = minimum_memory_postorder(tree)
+        memory = sequential_peak_memory(tree, ao)
+        bounds = lower_bounds(tree, 32, memory)
+        assert bounds.memory_bound_improves
+        assert bounds.combined == pytest.approx(bounds.memory_bound)
+        # And the bound is still valid: MemBooking at that memory respects it.
+        result = MemBookingScheduler().schedule(tree, 32, memory, ao=ao, eo=ao)
+        assert result.completed
+        assert result.makespan >= bounds.combined - 1e-9
+
+
+class TestValidity:
+    """Every lower bound must actually lower-bound every valid schedule."""
+
+    @pytest.mark.parametrize("scheduler_cls", [ActivationScheduler, MemBookingScheduler])
+    def test_bounds_below_heuristic_makespans(self, rng, scheduler_cls):
+        for _ in range(8):
+            tree = random_tree(rng, 50)
+            ao = minimum_memory_postorder(tree)
+            memory = float(rng.uniform(1.0, 3.0)) * sequential_peak_memory(tree, ao)
+            p = int(rng.integers(1, 9))
+            result = scheduler_cls().schedule(tree, p, memory, ao=ao, eo=ao)
+            assert result.completed
+            bound = combined_lower_bound(tree, p, memory)
+            assert result.makespan >= bound - 1e-9 * max(1.0, bound)
+
+    def test_memory_bound_valid_even_for_memory_oblivious(self, rng):
+        # The classical part must hold for the list scheduler too (it has no
+        # memory bound, so only compare with the classical term).
+        tree = random_tree(rng, 50)
+        result = ListScheduler().schedule(tree, 4, 1e18)
+        assert result.makespan >= classical_lower_bound(tree, 4) - 1e-9
+
+
+class TestImprovementStats:
+    def test_stats_structure(self, rng):
+        trees = [random_tree(rng, 30) for _ in range(10)]
+        limits = []
+        for tree in trees:
+            ao = minimum_memory_postorder(tree)
+            limits.append(2.0 * sequential_peak_memory(tree, ao))
+        stats = lower_bound_improvement_stats(trees, 8, limits)
+        assert stats["count"] == 10
+        assert 0.0 <= stats["improved_fraction"] <= 1.0
+        assert stats["average_improvement"] >= 0.0
+
+    def test_improvement_fraction_grows_when_memory_shrinks(self, rng):
+        trees = [random_tree(rng, 40) for _ in range(10)]
+        tight, loose = [], []
+        for tree in trees:
+            ao = minimum_memory_postorder(tree)
+            peak = sequential_peak_memory(tree, ao)
+            tight.append(1.0 * peak)
+            loose.append(20.0 * peak)
+        stats_tight = lower_bound_improvement_stats(trees, 8, tight)
+        stats_loose = lower_bound_improvement_stats(trees, 8, loose)
+        assert stats_tight["improved_fraction"] >= stats_loose["improved_fraction"]
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            lower_bound_improvement_stats([random_tree(rng, 10)], 8, [1.0, 2.0])
+
+
+class TestLowerBoundsObject:
+    def test_fields_and_properties(self, small_tree):
+        bounds = lower_bounds(small_tree, 2, 50.0)
+        assert bounds.work_bound == pytest.approx(small_tree.total_work / 2)
+        assert bounds.critical_path_bound == pytest.approx(critical_path_length(small_tree))
+        assert bounds.classical == pytest.approx(max(bounds.work_bound, bounds.critical_path_bound))
+        assert bounds.combined >= bounds.classical
+        assert bounds.improvement_ratio >= 0.0
+
+    def test_invalid_processors(self, small_tree):
+        with pytest.raises(ValueError):
+            lower_bounds(small_tree, 0, 10.0)

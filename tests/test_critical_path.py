@@ -1,0 +1,38 @@
+"""Unit tests for the critical-path (CP) ordering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.task_tree import TaskTree
+from repro.core.tree_metrics import bottom_levels
+from repro.orders.critical_path import critical_path_order
+
+from .helpers import random_tree
+
+
+class TestCriticalPathOrder:
+    def test_is_topological(self, rng):
+        for _ in range(20):
+            tree = random_tree(rng, int(rng.integers(2, 60)))
+            assert critical_path_order(tree).is_topological(tree)
+
+    def test_sorted_by_bottom_level(self, small_tree):
+        order = critical_path_order(small_tree)
+        bottom = bottom_levels(small_tree)
+        values = bottom[order.sequence]
+        assert all(values[i] >= values[i + 1] - 1e-12 for i in range(len(values) - 1))
+
+    def test_zero_duration_still_topological(self):
+        # With all-zero durations every bottom level ties; the depth tie-break
+        # must keep the order topological.
+        tree = TaskTree(parent=[1, 2, -1, 2], ptime=0.0)
+        assert critical_path_order(tree).is_topological(tree)
+
+    def test_root_is_last(self, rng):
+        tree = random_tree(rng, 30)
+        order = critical_path_order(tree)
+        assert order.sequence[-1] == tree.root
+
+    def test_name(self, small_tree):
+        assert critical_path_order(small_tree).name == "CP"

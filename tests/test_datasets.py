@@ -1,0 +1,67 @@
+"""Unit tests for the named datasets used by the experiment harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tree_metrics import height, tree_stats
+from repro.workloads.datasets import assembly_dataset, height_study_dataset, synthetic_dataset
+
+
+class TestAssemblyDataset:
+    def test_tiny_scale(self):
+        trees, spec = assembly_dataset("tiny")
+        assert spec.name == "assembly-surrogate"
+        assert spec.num_trees == len(trees) >= 4
+        for tree in trees:
+            stats = tree_stats(tree)
+            assert stats.n >= 2
+            assert stats.total_work > 0
+
+    def test_deterministic(self):
+        a, _ = assembly_dataset("tiny", seed=1)
+        b, _ = assembly_dataset("tiny", seed=1)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_repetitions_grow_dataset(self):
+        single, _ = assembly_dataset("tiny", repetitions=1)
+        double, _ = assembly_dataset("tiny", repetitions=2)
+        assert len(double) == 2 * len(single)
+
+    def test_contains_deep_and_shallow_trees(self):
+        trees, _ = assembly_dataset("small")
+        heights = sorted(height(t) for t in trees)
+        assert heights[-1] >= 3 * heights[0]
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            assembly_dataset("gigantic")
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            assembly_dataset("tiny", repetitions=0)
+
+
+class TestSyntheticDataset:
+    def test_tiny_scale(self):
+        trees, spec = synthetic_dataset("tiny")
+        assert spec.name == "synthetic"
+        assert len(trees) == spec.num_trees
+        assert all(t.n == 200 for t in trees)
+
+    def test_overrides(self):
+        trees, _ = synthetic_dataset("tiny", num_nodes=50, num_trees=3)
+        assert len(trees) == 3
+        assert all(t.n == 50 for t in trees)
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            synthetic_dataset("huge")
+
+
+class TestHeightStudyDataset:
+    def test_heights_span_a_wide_range(self):
+        trees, spec = height_study_dataset(max_spine=600)
+        heights = [height(t) for t in trees]
+        assert max(heights) > 10 * min(heights)
+        assert spec.num_trees == len(trees)

@@ -1,0 +1,213 @@
+"""Unit tests for the sparse symbolic-analysis substrate (assembly trees).
+
+The elimination tree and column counts are validated against a dense
+reference implementation that simulates the fill-in explicitly, so the fast
+algorithms are checked for exact structural correctness on small matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.task_tree import NO_PARENT
+from repro.core.tree_metrics import height, max_degree, tree_stats
+from repro.workloads.elimination import (
+    assembly_tree_from_matrix,
+    column_counts,
+    elimination_tree,
+    front_flops,
+    fundamental_supernodes,
+    nested_dissection_2d,
+    nested_dissection_3d,
+)
+from repro.workloads.sparse_matrices import (
+    banded_matrix,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    random_symmetric_pattern,
+)
+
+
+# --------------------------------------------------------------------------- #
+# dense reference oracle
+# --------------------------------------------------------------------------- #
+def dense_symbolic_factorization(matrix: sp.spmatrix) -> np.ndarray:
+    """Boolean lower-triangular fill pattern of the Cholesky factor (dense)."""
+    pattern = (np.abs(sp.csc_matrix(matrix).toarray()) > 0).astype(bool)
+    n = pattern.shape[0]
+    filled = np.tril(pattern).copy()
+    np.fill_diagonal(filled, True)
+    for k in range(n):
+        rows = np.flatnonzero(filled[:, k])
+        rows = rows[rows > k]
+        for a in rows:
+            filled[a, rows[rows <= a]] = True
+    return filled
+
+
+def reference_etree(matrix: sp.spmatrix) -> np.ndarray:
+    """Elimination tree derived from the dense fill pattern (first below-diagonal entry)."""
+    filled = dense_symbolic_factorization(matrix)
+    n = filled.shape[0]
+    parent = np.full(n, NO_PARENT, dtype=np.int64)
+    for j in range(n):
+        below = np.flatnonzero(filled[:, j])
+        below = below[below > j]
+        if below.size:
+            parent[j] = below.min()
+    return parent
+
+
+def small_test_matrices():
+    rng = np.random.default_rng(5)
+    yield grid_laplacian_2d(4, 5)
+    yield grid_laplacian_2d(6, 3)
+    yield banded_matrix(15, 2)
+    yield banded_matrix(12, 4)
+    yield random_symmetric_pattern(25, 3.0, rng)
+    yield random_symmetric_pattern(30, 2.0, rng)
+    yield grid_laplacian_3d(3, 3, 3)
+
+
+class TestEliminationTree:
+    @pytest.mark.parametrize("index", range(7))
+    def test_matches_dense_reference(self, index):
+        matrix = list(small_test_matrices())[index]
+        fast = elimination_tree(matrix)
+        reference = reference_etree(matrix)
+        assert fast.tolist() == reference.tolist()
+
+    def test_parent_always_larger(self):
+        matrix = grid_laplacian_2d(6, 6)
+        parent = elimination_tree(matrix)
+        for j in range(matrix.shape[0]):
+            assert parent[j] == NO_PARENT or parent[j] > j
+
+    def test_chain_for_tridiagonal(self):
+        parent = elimination_tree(banded_matrix(10, 1))
+        assert parent.tolist() == [1, 2, 3, 4, 5, 6, 7, 8, 9, NO_PARENT]
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            elimination_tree(sp.csc_matrix(np.ones((2, 3))))
+
+
+class TestColumnCounts:
+    @pytest.mark.parametrize("index", range(7))
+    def test_matches_dense_reference(self, index):
+        matrix = list(small_test_matrices())[index]
+        counts = column_counts(matrix)
+        filled = dense_symbolic_factorization(matrix)
+        expected = filled.sum(axis=0)  # nonzeros of each column of L (diag included)
+        assert counts.tolist() == expected.tolist()
+
+    def test_last_column_count_is_one(self):
+        counts = column_counts(grid_laplacian_2d(5, 5))
+        assert counts[-1] == 1
+
+
+class TestSupernodes:
+    def test_columns_partition(self):
+        matrix = grid_laplacian_2d(6, 6)
+        parent = elimination_tree(matrix)
+        counts = column_counts(matrix, parent)
+        supernodes, snode_parent = fundamental_supernodes(parent, counts)
+        all_columns = sorted(c for s in supernodes for c in s.columns)
+        assert all_columns == list(range(matrix.shape[0]))
+        assert len(snode_parent) == len(supernodes)
+
+    def test_tridiagonal_supernodes_form_a_chain(self):
+        matrix = banded_matrix(20, 1)
+        parent = elimination_tree(matrix)
+        counts = column_counts(matrix, parent)
+        supernodes, snode_parent = fundamental_supernodes(parent, counts)
+        # A tridiagonal factor is bidiagonal: column structures do not nest
+        # except for the last pair, so there are n-1 supernodes forming a
+        # chain and only the last two columns merge.
+        assert len(supernodes) == 19
+        assert max(s.num_columns for s in supernodes) == 2
+        # Chain structure: every supernode has at most one child.
+        child_counts = [0] * len(supernodes)
+        for p in snode_parent:
+            if p != NO_PARENT:
+                child_counts[p] += 1
+        assert max(child_counts) == 1
+
+    def test_relaxed_amalgamation_reduces_tree(self):
+        matrix = grid_laplacian_2d(10, 10)
+        parent = elimination_tree(matrix)
+        counts = column_counts(matrix, parent)
+        plain, _ = fundamental_supernodes(parent, counts, relax_columns=0)
+        relaxed, _ = fundamental_supernodes(parent, counts, relax_columns=3)
+        assert len(relaxed) <= len(plain)
+        # The partition property must be preserved.
+        all_columns = sorted(c for s in relaxed for c in s.columns)
+        assert all_columns == list(range(matrix.shape[0]))
+
+    def test_front_not_smaller_than_columns(self):
+        matrix = random_symmetric_pattern(60, 3.0, np.random.default_rng(1))
+        parent = elimination_tree(matrix)
+        counts = column_counts(matrix, parent)
+        supernodes, _ = fundamental_supernodes(parent, counts, relax_columns=2)
+        for snode in supernodes:
+            assert snode.front_size >= snode.num_columns
+            assert snode.border_size == snode.front_size - snode.num_columns
+
+
+class TestAssemblyTree:
+    def test_basic_properties(self):
+        tree = assembly_tree_from_matrix(grid_laplacian_2d(8, 8))
+        assert tree.n >= 1
+        assert np.all(tree.fout >= 0)
+        assert np.all(tree.nexec >= 0)
+        assert np.all(tree.ptime > 0)
+
+    def test_single_tree_even_for_reducible_matrix(self):
+        # A block-diagonal (disconnected) matrix has a forest; the builder
+        # must still return a single tree.
+        block = sp.block_diag([banded_matrix(6, 1), banded_matrix(5, 1)], format="csc")
+        tree = assembly_tree_from_matrix(block)
+        assert tree.n >= 2  # at least one supernode per block
+
+    def test_nested_dissection_gives_bushier_tree(self):
+        nx = 16
+        matrix = grid_laplacian_2d(nx, nx)
+        natural = assembly_tree_from_matrix(matrix, relax_columns=2)
+        nd = assembly_tree_from_matrix(
+            matrix, permutation=nested_dissection_2d(nx, nx), relax_columns=2
+        )
+        # The band ordering yields an (almost) chain-like assembly tree; the
+        # nested-dissection ordering yields a much shallower, bushier one.
+        assert height(nd) < height(natural)
+        assert max_degree(nd) >= 2
+
+    def test_permutation_validation(self):
+        matrix = grid_laplacian_2d(4, 4)
+        with pytest.raises(ValueError):
+            assembly_tree_from_matrix(matrix, permutation=np.zeros(16, dtype=int))
+
+    def test_mem_model_consistency(self):
+        # For every front: output + execution data = front^2 * data_unit.
+        matrix = grid_laplacian_2d(10, 10)
+        tree = assembly_tree_from_matrix(matrix, relax_columns=2, data_unit=8.0)
+        parent = elimination_tree(matrix)
+        counts = column_counts(matrix, parent)
+        supernodes, _ = fundamental_supernodes(parent, counts, relax_columns=2)
+        for k, snode in enumerate(supernodes):
+            total = tree.fout[k] + tree.nexec[k]
+            assert total == pytest.approx(8.0 * snode.front_size**2)
+
+
+class TestNestedDissection:
+    def test_2d_is_permutation(self):
+        order = nested_dissection_2d(7, 9)
+        assert sorted(order.tolist()) == list(range(63))
+
+    def test_3d_is_permutation(self):
+        order = nested_dissection_3d(4, 3, 5)
+        assert sorted(order.tolist()) == list(range(60))
+
+    def test_front_flops_monotone(self):
+        assert front_flops(2, 10) < front_flops(4, 10) < front_flops(4, 20)

@@ -1,0 +1,75 @@
+"""Smoke tests: every example script must run end-to-end.
+
+The examples double as documentation; running them here guarantees they stay
+in sync with the public API.  They are executed in-process (import + main)
+with small arguments so the whole module stays fast.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_examples_directory_contents(self):
+        names = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart",
+            "sparse_factorization",
+            "memory_pressure_study",
+            "ordering_study",
+            "runtime_overhead",
+        } <= names
+
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "MemBooking" in out
+        assert "FAILED" not in out
+
+    def test_sparse_factorization(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["sparse_factorization.py", "12"])
+        load_example("sparse_factorization").main()
+        out = capsys.readouterr().out
+        assert "assembly tree" in out
+        assert "speedup" in out
+
+    def test_memory_pressure_study(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["memory_pressure_study.py", "3", "120"])
+        load_example("memory_pressure_study").main()
+        out = capsys.readouterr().out
+        assert "memory factor" in out
+        assert "MemBooking" in out
+
+    def test_ordering_study(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["ordering_study.py", "2", "100"])
+        load_example("ordering_study").main()
+        out = capsys.readouterr().out
+        assert "memPO/CP" in out
+
+    def test_runtime_overhead_measures(self, capsys, monkeypatch):
+        # The full script sweeps large sizes; reuse its measure() helper on a
+        # small tree to keep the test fast, then check the helper's contract.
+        module = load_example("runtime_overhead")
+        from repro import MemBookingScheduler
+        from repro.workloads import SyntheticTreeConfig, synthetic_tree
+
+        tree = synthetic_tree(SyntheticTreeConfig(num_nodes=150), rng=2)
+        total, per_node = module.measure(tree, MemBookingScheduler())
+        assert total >= 0
+        assert per_node == pytest.approx(total / tree.n)

@@ -1,0 +1,135 @@
+"""Unit tests for experiment metrics and aggregation helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.metrics import (
+    completion_fraction,
+    decile_band,
+    group_by,
+    mean,
+    median,
+    quantile,
+    safe_ratio,
+    series_over,
+    speedup_records,
+)
+
+
+def make_record(**kwargs) -> dict:
+    base = {
+        "tree_index": 0,
+        "tree_size": 10,
+        "tree_height": 4,
+        "scheduler": "MemBooking",
+        "num_processors": 8,
+        "memory_factor": 2.0,
+        "completed": True,
+        "makespan": 10.0,
+        "normalized_makespan": 1.2,
+        "activation_order": "memPO",
+        "execution_order": "memPO",
+    }
+    base.update(kwargs)
+    return base
+
+
+class TestScalarHelpers:
+    def test_mean_median_quantile(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert median([1.0, 2.0, 30.0]) == pytest.approx(2.0)
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_empty_inputs_give_nan(self):
+        assert math.isnan(mean([]))
+        assert math.isnan(median([]))
+        assert math.isnan(quantile([], 0.5))
+        low, high = decile_band([])
+        assert math.isnan(low) and math.isnan(high)
+
+    def test_nan_values_ignored(self):
+        assert mean([1.0, float("nan"), 3.0]) == pytest.approx(2.0)
+
+    def test_decile_band(self):
+        low, high = decile_band(list(range(101)))
+        assert low == pytest.approx(10.0)
+        assert high == pytest.approx(90.0)
+
+    def test_safe_ratio(self):
+        assert safe_ratio(4.0, 2.0) == 2.0
+        assert math.isnan(safe_ratio(1.0, 0.0))
+        assert math.isnan(safe_ratio(float("inf"), 2.0))
+
+
+class TestGrouping:
+    def test_group_by(self):
+        records = [make_record(scheduler=s, memory_factor=f) for s in ("A", "B") for f in (1.0, 2.0)]
+        grouped = group_by(records, "scheduler")
+        assert set(grouped) == {("A",), ("B",)}
+        assert len(grouped[("A",)]) == 2
+
+    def test_completion_fraction(self):
+        records = [make_record(completed=True), make_record(completed=False)]
+        assert completion_fraction(records) == pytest.approx(0.5)
+        assert math.isnan(completion_fraction([]))
+
+
+class TestSpeedups:
+    def test_pairing(self):
+        records = [
+            make_record(scheduler="Activation", makespan=12.0),
+            make_record(scheduler="MemBooking", makespan=10.0),
+            make_record(scheduler="Activation", makespan=20.0, tree_index=1),
+            make_record(scheduler="MemBooking", makespan=20.0, tree_index=1),
+        ]
+        speedups = speedup_records(records)
+        assert len(speedups) == 2
+        values = sorted(s["speedup"] for s in speedups)
+        assert values == pytest.approx([1.0, 1.2])
+
+    def test_incomplete_pairs_skipped(self):
+        records = [
+            make_record(scheduler="Activation", makespan=12.0, completed=False),
+            make_record(scheduler="MemBooking", makespan=10.0),
+            make_record(scheduler="MemBooking", makespan=10.0, tree_index=2),
+        ]
+        assert speedup_records(records) == []
+
+
+class TestSeriesOver:
+    def test_basic_aggregation(self):
+        records = [
+            make_record(memory_factor=1.0, normalized_makespan=2.0),
+            make_record(memory_factor=1.0, normalized_makespan=4.0),
+            make_record(memory_factor=2.0, normalized_makespan=1.0),
+        ]
+        series = series_over(records, "memory_factor", "normalized_makespan")
+        assert series == [(1.0, pytest.approx(3.0)), (2.0, pytest.approx(1.0))]
+
+    def test_filter_and_completion_threshold(self):
+        records = [
+            make_record(memory_factor=1.0, completed=False),
+            make_record(memory_factor=1.0),
+            make_record(memory_factor=2.0),
+        ]
+        series = series_over(
+            records, "memory_factor", "normalized_makespan", min_completion=0.95
+        )
+        # The factor-1 bucket has 50% completion -> dropped.
+        assert [x for x, _ in series] == [2.0]
+
+    def test_where_filter(self):
+        records = [
+            make_record(scheduler="A", normalized_makespan=5.0),
+            make_record(scheduler="B", normalized_makespan=1.0),
+        ]
+        series = series_over(
+            records,
+            "memory_factor",
+            "normalized_makespan",
+            where=lambda r: r["scheduler"] == "B",
+        )
+        assert series == [(2.0, pytest.approx(1.0))]

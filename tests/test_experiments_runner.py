@@ -1,0 +1,101 @@
+"""Integration tests for the sweep runner and the configuration objects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import SweepConfig
+from repro.experiments.runner import prepare_instance, run_single, run_sweep
+from repro.workloads import SyntheticTreeConfig, synthetic_trees
+
+
+@pytest.fixture(scope="module")
+def small_batch():
+    return synthetic_trees(3, SyntheticTreeConfig(num_nodes=120), rng=11)
+
+
+class TestSweepConfig:
+    def test_defaults(self):
+        config = SweepConfig()
+        assert config.schedulers == ("Activation", "MemBookingRedTree", "MemBooking")
+        assert config.processors == (8,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepConfig(schedulers=())
+        with pytest.raises(ValueError):
+            SweepConfig(memory_factors=(0.5,))
+        with pytest.raises(ValueError):
+            SweepConfig(processors=(0,))
+        with pytest.raises(ValueError):
+            SweepConfig(min_completion_fraction=2.0)
+
+    def test_with_overrides(self):
+        config = SweepConfig().with_overrides(processors=(2, 4))
+        assert config.processors == (2, 4)
+        assert config.schedulers == SweepConfig().schedulers
+
+
+class TestRunner:
+    def test_record_count_and_fields(self, small_batch):
+        config = SweepConfig(
+            schedulers=("Activation", "MemBooking"),
+            memory_factors=(1.0, 2.0),
+            processors=(2,),
+        )
+        records = run_sweep(small_batch, config)
+        assert len(records) == len(small_batch) * 2 * 2
+        required = {
+            "tree_index",
+            "scheduler",
+            "memory_factor",
+            "completed",
+            "makespan",
+            "normalized_makespan",
+            "memory_fraction",
+            "scheduling_seconds",
+            "lower_bound",
+        }
+        assert required <= set(records[0])
+
+    def test_membooking_always_completes_at_factor_one(self, small_batch):
+        config = SweepConfig(schedulers=("MemBooking",), memory_factors=(1.0,))
+        records = run_sweep(small_batch, config)
+        assert all(r["completed"] for r in records)
+
+    def test_normalized_makespan_at_least_one(self, small_batch):
+        records = run_sweep(
+            small_batch,
+            SweepConfig(schedulers=("MemBooking",), memory_factors=(2.0,)),
+        )
+        assert all(r["normalized_makespan"] >= 1.0 - 1e-9 for r in records)
+
+    def test_memory_fraction_bounded(self, small_batch):
+        records = run_sweep(
+            small_batch,
+            SweepConfig(schedulers=("Activation", "MemBooking"), memory_factors=(1.5,)),
+        )
+        for record in records:
+            if record["completed"]:
+                assert record["memory_fraction"] <= 1.0 + 1e-9
+
+    def test_overrides_kwargs(self, small_batch):
+        records = run_sweep(
+            small_batch[:1],
+            SweepConfig(schedulers=("MemBooking",), memory_factors=(2.0,)),
+            processors=(1, 2),
+        )
+        assert {r["num_processors"] for r in records} == {1, 2}
+
+    def test_run_single(self, small_batch):
+        config = SweepConfig(schedulers=("MemBooking",))
+        context = prepare_instance(small_batch[0], 0, config)
+        record = run_single(context, "MemBooking", 4, 2.0, config)
+        assert record["completed"]
+        assert record["memory_limit"] == pytest.approx(2.0 * context.minimum_memory)
+
+    def test_unknown_order_rejected(self, small_batch):
+        config = SweepConfig(activation_order="mystery")
+        with pytest.raises(ValueError):
+            prepare_instance(small_batch[0], 0, config)

@@ -1,0 +1,117 @@
+"""Unit tests for the structured tree families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tree_metrics import degree_histogram, height, num_leaves
+from repro.core.tree_transform import is_reduction_tree
+from repro.workloads import families
+
+
+class TestChainStar:
+    def test_chain_shape(self):
+        tree = families.chain(5, fout=2.0, ptime=lambda i: float(i + 1))
+        assert tree.n == 5
+        assert height(tree) == 5
+        assert num_leaves(tree) == 1
+        assert tree.ptime[3] == 4.0
+
+    def test_chain_single_node(self):
+        assert families.chain(1).n == 1
+
+    def test_chain_invalid(self):
+        with pytest.raises(ValueError):
+            families.chain(0)
+
+    def test_star_shape(self):
+        tree = families.star(7)
+        assert tree.n == 8
+        assert tree.root == 0
+        assert num_leaves(tree) == 7
+        assert height(tree) == 2
+
+    def test_star_invalid(self):
+        with pytest.raises(ValueError):
+            families.star(0)
+
+
+class TestBalancedAndComb:
+    def test_balanced_tree_sizes(self):
+        tree = families.balanced_tree(2, 3)
+        assert tree.n == 15
+        assert height(tree) == 4
+        assert num_leaves(tree) == 8
+
+    def test_balanced_tree_depth_zero(self):
+        assert families.balanced_tree(3, 0).n == 1
+
+    def test_balanced_tree_invalid(self):
+        with pytest.raises(ValueError):
+            families.balanced_tree(0, 2)
+        with pytest.raises(ValueError):
+            families.balanced_tree(2, -1)
+
+    def test_comb(self):
+        tree = families.comb(3, 4)
+        assert tree.n == 1 + 3 * 4
+        assert height(tree) == 5
+        assert num_leaves(tree) == 3
+
+    def test_comb_invalid(self):
+        with pytest.raises(ValueError):
+            families.comb(0, 1)
+
+
+class TestCaterpillarSpine:
+    def test_caterpillar(self):
+        tree = families.caterpillar(4, legs_per_node=2)
+        assert tree.n == 4 + 8
+        assert height(tree) == 5
+
+    def test_caterpillar_leaf_count(self):
+        # Every spine node has legs, so only the 8 legs are leaves.
+        tree = families.caterpillar(4, legs_per_node=2)
+        assert num_leaves(tree) == 8
+
+    def test_caterpillar_no_legs_is_chain(self):
+        tree = families.caterpillar(6, legs_per_node=0)
+        assert tree.n == 6
+        assert height(tree) == 6
+
+    def test_spine_with_subtrees(self):
+        tree = families.spine_with_subtrees(5, subtree_arity=2, subtree_depth=1)
+        assert tree.n == 5 + 5 * 2
+        assert height(tree) >= 5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            families.caterpillar(0)
+        with pytest.raises(ValueError):
+            families.spine_with_subtrees(0)
+
+
+class TestRandomAndReduction:
+    def test_random_attachment_deterministic(self):
+        a = families.random_attachment_tree(50, rng=3)
+        b = families.random_attachment_tree(50, rng=3)
+        assert a == b
+
+    def test_random_attachment_valid(self):
+        tree = families.random_attachment_tree(200, rng=1)
+        assert tree.n == 200
+        assert 0 in dict(degree_histogram(tree))  # there are leaves
+
+    def test_binary_reduction_tree_is_reduction(self):
+        tree = families.binary_reduction_tree(4)
+        assert is_reduction_tree(tree)
+        assert tree.n == 31
+
+    def test_binary_reduction_invalid_factor(self):
+        with pytest.raises(ValueError):
+            families.binary_reduction_tree(3, reduction_factor=0.0)
+
+    def test_data_spec_validation(self):
+        with pytest.raises(ValueError):
+            families.chain(3, fout=[1.0, 2.0])  # wrong length

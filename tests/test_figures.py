@@ -1,0 +1,84 @@
+"""Smoke tests of the per-figure experiment entry points (tiny scale).
+
+The full reproduction (with the qualitative assertions at the default scale)
+lives in ``benchmarks/``; here we only check that every figure function runs
+end-to-end on the tiny datasets, produces well-formed series and renders to
+text.  A few cheap structural checks are asserted where they must hold at any
+scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import FIGURES, FigureResult, run_figure
+
+CHEAP_FIGURES = [
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "lb_stats",
+    "redtree_failures",
+    "ablation_lazy_subtree",
+]
+
+
+class TestFigureRegistry:
+    def test_registry_contains_every_paper_figure(self):
+        expected = {f"fig{i}" for i in range(2, 16)}
+        assert expected <= set(FIGURES)
+        assert {"lb_stats", "redtree_failures"} <= set(FIGURES)
+
+    def test_unknown_figure(self):
+        with pytest.raises(ValueError):
+            run_figure("fig99")
+
+
+@pytest.mark.parametrize("figure_id", CHEAP_FIGURES)
+class TestFigureSmoke:
+    def test_runs_and_renders(self, figure_id):
+        result = run_figure(figure_id, scale="tiny")
+        assert isinstance(result, FigureResult)
+        assert result.figure_id == figure_id
+        assert result.series, "every figure must produce at least one series"
+        for name, points in result.series.items():
+            assert isinstance(name, str)
+            for x, y in points:
+                assert math.isfinite(x)
+        text = result.as_text()
+        assert figure_id in text
+        assert "check[" in text
+
+
+class TestSelectedShapes:
+    """Scale-independent structural properties."""
+
+    def test_fig2_membooking_present_at_minimum_memory(self):
+        result = run_figure("fig2", scale="tiny")
+        mb = dict(result.series["MemBooking"])
+        assert 1.0 in mb
+        assert all(y >= 1.0 - 1e-9 for y in mb.values() if math.isfinite(y))
+
+    def test_redtree_failures_membooking_never_fails(self):
+        result = run_figure("redtree_failures", scale="tiny")
+        assert all(y == 0.0 for _, y in result.series["MemBooking"])
+
+    def test_lb_stats_fractions_in_range(self):
+        result = run_figure("lb_stats", scale="tiny")
+        for name, points in result.series.items():
+            if name.endswith("improved_fraction"):
+                assert all(0.0 <= y <= 1.0 for _, y in points)
+
+    def test_speedup_series_have_decile_bands(self):
+        result = run_figure("fig11", scale="tiny")
+        assert set(result.series) == {"mean", "median", "decile_1", "decile_9"}
+        for (x1, low), (x2, high) in zip(result.series["decile_1"], result.series["decile_9"]):
+            assert x1 == x2
+            assert low <= high + 1e-12

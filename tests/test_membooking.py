@@ -1,0 +1,251 @@
+"""Unit and invariant tests for the MemBooking heuristic (Sections 4-5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.task_tree import NO_PARENT, TaskTree
+from repro.orders import (
+    Ordering,
+    critical_path_order,
+    minimum_memory_postorder,
+    natural_postorder,
+    sequential_peak_memory,
+)
+from repro.schedulers.activation import ActivationScheduler
+from repro.schedulers.membooking import (
+    ACT,
+    CAND,
+    FN,
+    RUN,
+    UN,
+    MemBookingReferenceScheduler,
+    MemBookingScheduler,
+)
+from repro.schedulers.validation import validate_schedule
+
+from .helpers import random_chainy_tree, random_tree
+
+
+def check_booking_invariants(state: dict) -> None:
+    """Assert the bookkeeping invariants of Lemmas 2-5 on an engine snapshot."""
+    tree = state["tree"]
+    booked = state["booked"]
+    bbs = state["booked_by_subtree"]
+    node_state = state["state"]
+    mem_needed = state["mem_needed"]
+    tol = 1e-6 * max(1.0, float(state["limit"]))
+
+    # Global accounting: MBooked is the sum of all bookings and never exceeds M.
+    assert state["mbooked"] <= state["limit"] + tol
+    assert state["mbooked"] == pytest.approx(float(booked.sum()), abs=tol)
+
+    for node in range(tree.n):
+        children = tree.children(node)
+        finished_children_output = sum(
+            float(tree.fout[c]) for c in children if node_state[c] == FN
+        )
+        if node_state[node] in (UN, CAND):
+            if bbs[node] < 0:
+                # Lemma 2: only the outputs of finished children are booked.
+                assert booked[node] == pytest.approx(finished_children_output, abs=tol)
+            else:
+                # Candidate whose BookedBySubtree has been computed lazily: it
+                # may additionally hold memory dispatched by finished
+                # descendants (the Section 5.1 extension), but never less than
+                # the finished children outputs, and the subtree decomposition
+                # of Lemma 3(3) must already hold.
+                assert booked[node] >= finished_children_output - tol
+                expected = float(booked[node]) + sum(
+                    float(bbs[c]) for c in children if node_state[c] in (ACT, RUN, FN)
+                )
+                assert bbs[node] == pytest.approx(expected, abs=tol)
+        if node_state[node] in (ACT, RUN):
+            # Lemma 3 (1): at least the finished children outputs are booked.
+            assert booked[node] >= finished_children_output - tol
+            # Lemma 3 (2): the subtree has booked enough for the node to run.
+            assert bbs[node] >= mem_needed[node] - tol
+            # Lemma 3 (3): BookedBySubtree decomposition.
+            expected = float(booked[node]) + sum(
+                float(bbs[c]) for c in children if node_state[c] in (ACT, RUN, FN)
+            )
+            assert bbs[node] == pytest.approx(expected, abs=tol)
+            # Lemma 4: never book more than what cannot come from active children.
+            ceiling = float(mem_needed[node]) - sum(
+                float(tree.fout[c]) for c in children if node_state[c] in (ACT, RUN)
+            )
+            assert booked[node] <= ceiling + tol
+        if node_state[node] == RUN:
+            # Lemma 5: a running task has exactly its requirement booked.
+            assert booked[node] == pytest.approx(float(mem_needed[node]), abs=tol)
+        if node_state[node] == FN:
+            assert bbs[node] == pytest.approx(0.0, abs=tol)
+
+
+class TestMemBookingBasics:
+    def test_single_node(self):
+        tree = TaskTree(parent=[-1], fout=[2.0], nexec=[1.0], ptime=[4.0])
+        result = MemBookingScheduler().schedule(tree, 2, 3.0)
+        assert result.completed
+        assert result.makespan == pytest.approx(4.0)
+
+    def test_small_tree(self, small_tree):
+        result = MemBookingScheduler().schedule(small_tree, 2, 100.0)
+        assert result.completed
+        validate_schedule(small_tree, result).raise_if_invalid()
+
+    def test_theorem1_termination_at_minimum_memory(self, rng):
+        # Theorem 1: if the sequential AO execution fits in M, MemBooking
+        # completes the tree for any p and any EO.
+        for _ in range(20):
+            tree = random_tree(rng, int(rng.integers(2, 60)))
+            ao = minimum_memory_postorder(tree)
+            min_memory = sequential_peak_memory(tree, ao)
+            for p in (1, 2, 8):
+                for eo in (ao, critical_path_order(tree)):
+                    result = MemBookingScheduler().schedule(
+                        tree, p, min_memory, ao=ao, eo=eo
+                    )
+                    assert result.completed, result.failure_reason
+                    assert result.peak_memory <= min_memory * (1 + 1e-9)
+                    validate_schedule(tree, result).raise_if_invalid()
+
+    def test_theorem1_with_arbitrary_topological_ao(self, rng):
+        # The guarantee holds for any AO, not only postorders.
+        for _ in range(10):
+            tree = random_tree(rng, 30)
+            ao = Ordering(tree.topological_order(), name="natural")
+            bound = sequential_peak_memory(tree, ao)
+            result = MemBookingScheduler().schedule(tree, 4, bound, ao=ao, eo=ao)
+            assert result.completed, result.failure_reason
+            validate_schedule(tree, result).raise_if_invalid()
+
+    def test_failure_below_minimum(self, small_tree):
+        result = MemBookingScheduler().schedule(small_tree, 2, small_tree.max_mem_needed * 0.9)
+        assert not result.completed
+        assert result.failure_reason is not None
+
+    def test_one_processor_is_sequential(self, rng):
+        tree = random_tree(rng, 40)
+        ao = minimum_memory_postorder(tree)
+        result = MemBookingScheduler().schedule(
+            tree, 1, sequential_peak_memory(tree, ao), ao=ao, eo=ao
+        )
+        assert result.completed
+        assert result.makespan == pytest.approx(tree.total_work)
+
+    def test_never_exceeds_memory(self, rng):
+        for _ in range(10):
+            tree = random_tree(rng, 50)
+            ao = minimum_memory_postorder(tree)
+            bound = 1.5 * sequential_peak_memory(tree, ao)
+            result = MemBookingScheduler().schedule(tree, 8, bound)
+            assert result.completed
+            assert result.peak_memory <= bound * (1 + 1e-9)
+            validate_schedule(tree, result).raise_if_invalid()
+
+
+class TestInvariants:
+    def test_lemma_invariants_on_random_trees(self, rng):
+        for _ in range(10):
+            tree = random_tree(rng, int(rng.integers(3, 35)))
+            ao = minimum_memory_postorder(tree)
+            memory = sequential_peak_memory(tree, ao) * float(rng.uniform(1.0, 2.0))
+            MemBookingScheduler().schedule(
+                tree, int(rng.integers(1, 5)), memory, invariant_hook=check_booking_invariants
+            )
+
+    def test_lemma_invariants_on_chainy_trees(self, rng):
+        for _ in range(10):
+            tree = random_chainy_tree(rng, int(rng.integers(3, 30)))
+            ao = minimum_memory_postorder(tree)
+            memory = sequential_peak_memory(tree, ao)
+            MemBookingScheduler().schedule(
+                tree, 2, memory, invariant_hook=check_booking_invariants
+            )
+
+    def test_invariants_with_tight_and_loose_memory(self, small_tree):
+        ao = minimum_memory_postorder(small_tree)
+        tight = sequential_peak_memory(small_tree, ao)
+        for memory in (tight, 2 * tight, 10 * tight):
+            MemBookingScheduler().schedule(
+                small_tree, 3, memory, invariant_hook=check_booking_invariants
+            )
+
+
+class TestReferenceEquivalence:
+    """The optimised data structures must not change any decision."""
+
+    def test_identical_schedules(self, rng):
+        for _ in range(15):
+            tree = random_tree(rng, int(rng.integers(3, 45)))
+            ao = minimum_memory_postorder(tree)
+            eo = critical_path_order(tree)
+            memory = sequential_peak_memory(tree, ao) * float(rng.uniform(1.0, 2.5))
+            p = int(rng.integers(1, 6))
+            fast = MemBookingScheduler().schedule(tree, p, memory, ao=ao, eo=eo)
+            slow = MemBookingReferenceScheduler().schedule(tree, p, memory, ao=ao, eo=eo)
+            assert fast.completed and slow.completed
+            np.testing.assert_allclose(fast.start_times, slow.start_times)
+            np.testing.assert_allclose(fast.finish_times, slow.finish_times)
+            assert fast.makespan == pytest.approx(slow.makespan)
+
+    def test_identical_under_tight_memory(self, rng):
+        for _ in range(10):
+            tree = random_chainy_tree(rng, 25)
+            ao = natural_postorder(tree)
+            memory = sequential_peak_memory(tree, ao)
+            fast = MemBookingScheduler().schedule(tree, 3, memory, ao=ao, eo=ao)
+            slow = MemBookingReferenceScheduler().schedule(tree, 3, memory, ao=ao, eo=ao)
+            np.testing.assert_allclose(fast.start_times, slow.start_times)
+
+
+class TestComparativeBehaviour:
+    def test_not_slower_than_activation_on_average(self, rng):
+        # The paper's headline result: MemBooking dominates Activation.  On a
+        # single instance the two heuristics may tie, so we compare the sum of
+        # makespans over a batch of instances at a tight memory bound.
+        total_membooking = 0.0
+        total_activation = 0.0
+        for _ in range(12):
+            tree = random_tree(rng, 80)
+            ao = minimum_memory_postorder(tree)
+            memory = 1.5 * sequential_peak_memory(tree, ao)
+            mb = MemBookingScheduler().schedule(tree, 4, memory, ao=ao, eo=ao)
+            act = ActivationScheduler().schedule(tree, 4, memory, ao=ao, eo=ao)
+            assert mb.completed and act.completed
+            total_membooking += mb.makespan
+            total_activation += act.makespan
+        assert total_membooking <= total_activation * 1.02
+
+    def test_books_less_than_activation_on_chain(self):
+        # Section 3.1 chain example: MemBooking re-uses the chain memory while
+        # Activation books every stage at once.
+        tree = TaskTree(
+            parent=[1, 2, -1],
+            fout=[1.0, 1.0, 1.0],
+            nexec=[3.0, 3.0, 3.0],
+            ptime=[1.0, 1.0, 1.0],
+        )
+        mb = MemBookingScheduler().schedule(tree, 2, 100.0)
+        act = ActivationScheduler().schedule(tree, 2, 100.0)
+        assert mb.completed and act.completed
+        assert mb.extras["peak_booked_memory"] < act.extras["peak_booked_memory"]
+
+    def test_enables_parallelism_under_tight_memory(self):
+        # Two independent subtrees; memory for only ~one of them under
+        # Activation's conservative booking, but MemBooking can overlap them.
+        #   root 6 <- {2, 5};  2 <- {0, 1};  5 <- {3, 4}
+        tree = TaskTree(
+            parent=[2, 2, 6, 5, 5, 6, -1],
+            fout=[4.0, 4.0, 1.0, 4.0, 4.0, 1.0, 1.0],
+            nexec=[0.0] * 7,
+            ptime=[4.0, 4.0, 1.0, 4.0, 4.0, 1.0, 1.0],
+        )
+        ao = minimum_memory_postorder(tree)
+        memory = sequential_peak_memory(tree, ao) * 1.6
+        mb = MemBookingScheduler().schedule(tree, 4, memory, ao=ao, eo=ao)
+        act = ActivationScheduler().schedule(tree, 4, memory, ao=ao, eo=ao)
+        assert mb.completed and act.completed
+        assert mb.makespan <= act.makespan

@@ -1,0 +1,61 @@
+"""Unit tests for the booked-memory ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schedulers.memory import MemoryLedger
+
+
+class TestMemoryLedger:
+    def test_basic_book_release(self):
+        ledger = MemoryLedger(100.0)
+        assert ledger.available == 100.0
+        ledger.book(30.0)
+        ledger.book(20.0)
+        assert ledger.booked == pytest.approx(50.0)
+        assert ledger.available == pytest.approx(50.0)
+        ledger.release(10.0)
+        assert ledger.booked == pytest.approx(40.0)
+        assert ledger.peak_booked == pytest.approx(50.0)
+
+    def test_fits(self):
+        ledger = MemoryLedger(10.0)
+        ledger.book(4.0)
+        assert ledger.fits(6.0)
+        assert not ledger.fits(6.1)
+
+    def test_overflow_raises(self):
+        ledger = MemoryLedger(10.0)
+        with pytest.raises(RuntimeError):
+            ledger.book(11.0)
+
+    def test_overflow_allowed_when_not_enforced(self):
+        ledger = MemoryLedger(10.0)
+        ledger.book(11.0, enforce=False)
+        assert ledger.booked == pytest.approx(11.0)
+
+    def test_negative_amounts_rejected(self):
+        ledger = MemoryLedger(10.0)
+        with pytest.raises(ValueError):
+            ledger.book(-1.0)
+        with pytest.raises(ValueError):
+            ledger.release(-1.0)
+
+    def test_release_more_than_booked_raises(self):
+        ledger = MemoryLedger(10.0)
+        ledger.book(1.0)
+        with pytest.raises(RuntimeError):
+            ledger.release(5.0)
+
+    def test_tiny_negative_rounding_is_clamped(self):
+        ledger = MemoryLedger(10.0)
+        ledger.book(0.3)
+        ledger.release(0.1 + 0.2)  # slightly larger than 0.3 in binary floating point
+        assert ledger.booked == 0.0
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            MemoryLedger(0.0)
+        with pytest.raises(ValueError):
+            MemoryLedger(-5.0)

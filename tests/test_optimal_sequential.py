@@ -1,0 +1,73 @@
+"""Unit tests for the optimal sequential traversal (OptSeq, Liu 1987)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.task_tree import TaskTree
+from repro.orders.optimal_sequential import optimal_sequential_order, optimal_sequential_peak
+from repro.orders.peak_memory import sequential_peak_memory
+from repro.orders.postorder import minimum_memory_postorder
+
+from .helpers import brute_force_optimal_peak, random_chainy_tree, random_tree
+
+
+class TestBasics:
+    def test_returns_topological_order(self, rng):
+        for _ in range(20):
+            tree = random_tree(rng, int(rng.integers(2, 60)))
+            order = optimal_sequential_order(tree)
+            assert order.is_topological(tree)
+            assert sorted(order.sequence.tolist()) == list(range(tree.n))
+
+    def test_single_node(self):
+        tree = TaskTree(parent=[-1], fout=[2.0], nexec=[1.0])
+        order = optimal_sequential_order(tree)
+        assert order.sequence.tolist() == [0]
+        assert optimal_sequential_peak(tree) == pytest.approx(3.0)
+
+    def test_chain(self, chain3):
+        order = optimal_sequential_order(chain3)
+        assert order.sequence.tolist() == [0, 1, 2]
+
+    def test_never_worse_than_mempo(self, rng):
+        for _ in range(25):
+            tree = random_tree(rng, int(rng.integers(2, 80)))
+            opt = optimal_sequential_peak(tree)
+            mem_po = sequential_peak_memory(tree, minimum_memory_postorder(tree))
+            assert opt <= mem_po + 1e-9
+
+
+class TestOptimalityExhaustive:
+    """Compare against brute-force enumeration of every topological order."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_brute_force_small_random(self, seed):
+        rng = np.random.default_rng(seed)
+        tree = random_tree(rng, int(rng.integers(2, 8)))
+        assert optimal_sequential_peak(tree) == pytest.approx(brute_force_optimal_peak(tree))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force_chainy(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        tree = random_chainy_tree(rng, int(rng.integers(2, 8)))
+        assert optimal_sequential_peak(tree) == pytest.approx(brute_force_optimal_peak(tree))
+
+    def test_classic_non_postorder_win(self):
+        # A tree where interleaving subtrees beats every postorder:
+        # root with two children; each child is a node with a large temporary
+        # peak but a tiny output.  A postorder must keep one subtree's output
+        # while climbing the other's peak; the optimal order does the same —
+        # but with execution data the optimum can still only match the best
+        # postorder, so we simply check consistency on a crafted example
+        # where the known optimal value is easy to compute by hand.
+        #     structure: 4 <- {2, 3}; 2 <- {0}; 3 <- {1}
+        tree = TaskTree(
+            parent=[2, 3, 4, 4, -1],
+            fout=[10.0, 10.0, 1.0, 1.0, 1.0],
+            nexec=[0.0, 0.0, 0.0, 0.0, 0.0],
+            ptime=1.0,
+        )
+        opt = optimal_sequential_peak(tree)
+        assert opt == pytest.approx(brute_force_optimal_peak(tree))

@@ -1,0 +1,91 @@
+"""Unit tests for the Ordering wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.orders.base import Ordering
+
+from .helpers import random_tree
+
+
+class TestConstruction:
+    def test_valid_permutation(self):
+        order = Ordering([2, 0, 1], name="demo")
+        assert order.n == 3
+        assert order.name == "demo"
+        assert order.sequence.tolist() == [2, 0, 1]
+        assert order.rank.tolist() == [1, 2, 0]
+
+    def test_rank_and_node_at(self):
+        order = Ordering([2, 0, 1])
+        assert order.rank_of(2) == 0
+        assert order.node_at(0) == 2
+        assert order[1] == 0
+        assert len(order) == 3
+        assert list(order) == [2, 0, 1]
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            Ordering([0, 0, 1])
+        with pytest.raises(ValueError):
+            Ordering([0, 1, 5])
+        with pytest.raises(ValueError):
+            Ordering([])
+        with pytest.raises(ValueError):
+            Ordering([[0, 1]])
+
+    def test_equality_and_hash(self):
+        assert Ordering([0, 1]) == Ordering([0, 1])
+        assert Ordering([0, 1]) != Ordering([1, 0])
+        assert hash(Ordering([0, 1])) == hash(Ordering([0, 1]))
+
+    def test_sequence_read_only(self):
+        order = Ordering([1, 0])
+        with pytest.raises(ValueError):
+            order.sequence[0] = 0
+
+
+class TestTopologicalChecks:
+    def test_topological(self, small_tree):
+        assert Ordering(small_tree.topological_order()).is_topological(small_tree)
+        # Root first is definitely not topological (children must come first).
+        bad = [small_tree.root] + [i for i in range(small_tree.n) if i != small_tree.root]
+        assert not Ordering(bad).is_topological(small_tree)
+
+    def test_size_mismatch(self, small_tree):
+        with pytest.raises(ValueError):
+            Ordering([0, 1]).is_topological(small_tree)
+
+    def test_postorder_detection(self, small_tree):
+        postorder = Ordering(small_tree.topological_order())
+        assert postorder.is_postorder(small_tree)
+        # Interleaving the two subtrees of the root breaks the postorder
+        # property but keeps the order topological.
+        interleaved = Ordering([0, 2, 1, 3, 4, 5, 6])
+        assert interleaved.is_topological(small_tree)
+        assert not interleaved.is_postorder(small_tree)
+
+    def test_random_topological_orders(self, rng):
+        for _ in range(10):
+            tree = random_tree(rng, 30)
+            assert Ordering(tree.topological_order()).is_topological(tree)
+
+
+class TestFactories:
+    def test_from_priorities_descending(self):
+        order = Ordering.from_priorities([1.0, 5.0, 3.0])
+        assert order.sequence.tolist() == [1, 2, 0]
+
+    def test_from_priorities_ascending(self):
+        order = Ordering.from_priorities([1.0, 5.0, 3.0], descending=False)
+        assert order.sequence.tolist() == [0, 2, 1]
+
+    def test_from_priorities_tie_break_by_index(self):
+        order = Ordering.from_priorities([2.0, 2.0, 2.0])
+        assert order.sequence.tolist() == [0, 1, 2]
+
+    def test_restricted_to(self):
+        order = Ordering([3, 1, 0, 2])
+        assert order.restricted_to([0, 2, 3]).tolist() == [3, 0, 2]

@@ -1,0 +1,116 @@
+"""Tests for the reference schedulers (list, sequential) and the scheduler API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.task_tree import TaskTree
+from repro.core.tree_metrics import critical_path_length
+from repro.orders import Ordering, minimum_memory_postorder, sequential_peak_memory
+from repro.schedulers import (
+    SCHEDULER_FACTORIES,
+    ListScheduler,
+    Scheduler,
+    SchedulingError,
+    SequentialScheduler,
+    make_scheduler,
+)
+from repro.schedulers.validation import validate_schedule
+
+from .helpers import random_tree
+
+
+class TestListScheduler:
+    def test_ignores_memory(self, small_tree):
+        # Even with an absurdly small bound the list scheduler completes
+        # (it is memory-oblivious by design).
+        result = ListScheduler().schedule(small_tree, 2, 0.001)
+        assert result.completed
+        assert result.extras["memory_oblivious"] is True
+
+    def test_obeys_precedence_and_processors(self, rng):
+        for _ in range(10):
+            tree = random_tree(rng, 50)
+            result = ListScheduler().schedule(tree, 3, 1e18)
+            assert result.completed
+            validate_schedule(tree, result).raise_if_invalid()
+
+    def test_unbounded_processors_reach_critical_path(self, rng):
+        tree = random_tree(rng, 60)
+        result = ListScheduler().schedule(tree, tree.n, 1e18)
+        assert result.makespan == pytest.approx(critical_path_length(tree))
+
+    def test_respects_classical_lower_bound(self, rng):
+        for _ in range(5):
+            tree = random_tree(rng, 60)
+            p = 4
+            result = ListScheduler().schedule(tree, p, 1e18)
+            classical = max(tree.total_work / p, critical_path_length(tree))
+            assert result.makespan >= classical - 1e-9
+
+
+class TestSequentialScheduler:
+    def test_matches_profile_evaluator(self, rng):
+        tree = random_tree(rng, 40)
+        ao = minimum_memory_postorder(tree)
+        peak = sequential_peak_memory(tree, ao)
+        result = SequentialScheduler().schedule(tree, 1, peak, ao=ao, eo=ao)
+        assert result.completed
+        assert result.peak_memory == pytest.approx(peak)
+        assert result.makespan == pytest.approx(tree.total_work)
+        validate_schedule(tree, result).raise_if_invalid()
+
+    def test_fails_when_memory_too_small(self, rng):
+        tree = random_tree(rng, 30)
+        ao = minimum_memory_postorder(tree)
+        peak = sequential_peak_memory(tree, ao)
+        result = SequentialScheduler().schedule(tree, 1, 0.9 * peak, ao=ao, eo=ao)
+        assert not result.completed
+        assert result.failure_reason is not None
+
+    def test_start_times_follow_order(self):
+        tree = TaskTree(parent=[2, 2, -1], fout=1.0, ptime=[1.0, 2.0, 3.0])
+        ao = Ordering([1, 0, 2])
+        result = SequentialScheduler().schedule(tree, 1, 100.0, ao=ao, eo=ao)
+        assert result.start_times[1] == 0.0
+        assert result.start_times[0] == 2.0
+        assert result.start_times[2] == 3.0
+
+
+class TestSchedulerApi:
+    def test_factory_registry(self):
+        for name in SCHEDULER_FACTORIES:
+            scheduler = make_scheduler(name)
+            assert isinstance(scheduler, Scheduler)
+            assert scheduler.name in (name, "MemBookingReference")
+
+    def test_factory_unknown(self):
+        with pytest.raises(ValueError):
+            make_scheduler("NotAScheduler")
+
+    def test_invalid_processor_count(self, small_tree):
+        with pytest.raises(SchedulingError):
+            make_scheduler("MemBooking").schedule(small_tree, 0, 100.0)
+
+    def test_invalid_memory(self, small_tree):
+        with pytest.raises(SchedulingError):
+            make_scheduler("MemBooking").schedule(small_tree, 2, 0.0)
+        with pytest.raises(SchedulingError):
+            make_scheduler("MemBooking").schedule(small_tree, 2, float("inf"))
+
+    def test_non_topological_ao_rejected(self, small_tree):
+        bad = Ordering(np.arange(small_tree.n)[::-1])
+        with pytest.raises(SchedulingError):
+            make_scheduler("Activation").schedule(small_tree, 2, 100.0, ao=bad, eo=bad)
+
+    def test_wrong_size_order_rejected(self, small_tree, rng):
+        other = Ordering([0, 1, 2])
+        with pytest.raises(SchedulingError):
+            make_scheduler("Activation").schedule(small_tree, 2, 100.0, ao=other, eo=other)
+
+    def test_default_orders_are_mempo(self, small_tree):
+        scheduler = make_scheduler("MemBooking")
+        ao, eo = scheduler.default_orders(small_tree)
+        assert ao.name == "memPO"
+        assert ao == eo

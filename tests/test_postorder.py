@@ -1,0 +1,125 @@
+"""Unit tests for postorder traversals (memPO, perfPO, average-memory, ...)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.task_tree import TaskTree
+from repro.orders.base import Ordering
+from repro.orders.peak_memory import sequential_average_memory, sequential_peak_memory
+from repro.orders.postorder import (
+    average_memory_postorder,
+    enumerate_postorders,
+    minimum_memory_postorder,
+    natural_postorder,
+    performance_postorder,
+    postorder_from_child_keys,
+    postorder_peaks,
+    random_postorder,
+)
+
+from .helpers import random_tree
+
+
+class TestGenericPostorder:
+    def test_natural_postorder_is_postorder(self, small_tree):
+        order = natural_postorder(small_tree)
+        assert order.is_postorder(small_tree)
+
+    def test_child_keys_array_and_callable_agree(self, small_tree):
+        keys = np.arange(small_tree.n, dtype=float)
+        a = postorder_from_child_keys(small_tree, keys)
+        b = postorder_from_child_keys(small_tree, lambda i: float(i))
+        assert a == b
+
+    def test_child_keys_wrong_shape(self, small_tree):
+        with pytest.raises(ValueError):
+            postorder_from_child_keys(small_tree, np.ones(3))
+
+    def test_descending_vs_ascending(self, star5):
+        descending = postorder_from_child_keys(star5, star5.fout, descending=True)
+        ascending = postorder_from_child_keys(star5, star5.fout, descending=False)
+        assert descending.sequence.tolist() == [5, 4, 3, 2, 1, 0]
+        assert ascending.sequence.tolist() == [1, 2, 3, 4, 5, 0]
+
+    def test_random_postorder_valid(self, rng):
+        tree = random_tree(rng, 40)
+        order = random_postorder(tree, rng)
+        assert order.is_postorder(tree)
+
+    def test_all_generators_produce_postorders(self, rng):
+        for _ in range(10):
+            tree = random_tree(rng, 30)
+            for factory in (
+                minimum_memory_postorder,
+                performance_postorder,
+                average_memory_postorder,
+                natural_postorder,
+            ):
+                assert factory(tree).is_postorder(tree), factory.__name__
+
+
+class TestMinimumMemoryPostorder:
+    def test_chain_peak(self, chain3):
+        order = minimum_memory_postorder(chain3)
+        assert order.sequence.tolist() == [0, 1, 2]
+        assert sequential_peak_memory(chain3, order) == pytest.approx(8.0)
+
+    def test_peaks_recursion_matches_evaluator(self, rng):
+        # The recursion value at the root equals the simulated peak of the
+        # generated postorder.
+        for _ in range(25):
+            tree = random_tree(rng, int(rng.integers(2, 40)))
+            peaks = postorder_peaks(tree)
+            order = minimum_memory_postorder(tree)
+            simulated = sequential_peak_memory(tree, order)
+            assert simulated == pytest.approx(peaks[tree.root])
+
+    def test_optimal_among_postorders_exhaustive(self, rng):
+        # On small trees, memPO must match the best peak over *all* postorders.
+        for _ in range(15):
+            tree = random_tree(rng, int(rng.integers(2, 9)))
+            best = min(
+                sequential_peak_memory(tree, order) for order in enumerate_postorders(tree)
+            )
+            mem_po = sequential_peak_memory(tree, minimum_memory_postorder(tree))
+            assert mem_po == pytest.approx(best)
+
+    def test_beats_or_matches_other_postorders(self, rng):
+        for _ in range(10):
+            tree = random_tree(rng, 60)
+            mem_po = sequential_peak_memory(tree, minimum_memory_postorder(tree))
+            for other in (natural_postorder(tree), performance_postorder(tree)):
+                assert mem_po <= sequential_peak_memory(tree, other) + 1e-9
+
+
+class TestAverageMemoryPostorder:
+    def test_optimal_among_postorders_exhaustive(self, rng):
+        # Appendix A: the T_i/f_i rule minimises the average memory among postorders.
+        for _ in range(10):
+            tree = random_tree(rng, int(rng.integers(2, 8)))
+            best = min(
+                sequential_average_memory(tree, order) for order in enumerate_postorders(tree)
+            )
+            ours = sequential_average_memory(tree, average_memory_postorder(tree))
+            assert ours == pytest.approx(best, rel=1e-9)
+
+    def test_handles_zero_output(self):
+        tree = TaskTree(parent=[2, 2, -1], fout=[0.0, 1.0, 1.0], ptime=[5.0, 1.0, 1.0])
+        order = average_memory_postorder(tree)
+        assert order.is_postorder(tree)
+
+
+class TestEnumeratePostorders:
+    def test_count_star(self, star5):
+        # A star with 5 leaves has 5! postorders.
+        assert len(enumerate_postorders(star5)) == 120
+
+    def test_count_chain(self, chain3):
+        assert len(enumerate_postorders(chain3)) == 1
+
+    def test_limit(self, rng):
+        tree = random_tree(rng, 30)
+        with pytest.raises(ValueError):
+            enumerate_postorders(tree, limit=10)

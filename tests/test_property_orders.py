@@ -1,0 +1,105 @@
+"""Property-based tests of the ordering algorithms (hypothesis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.orders.critical_path import critical_path_order
+from repro.orders.optimal_sequential import optimal_sequential_order, optimal_sequential_peak
+from repro.orders.peak_memory import (
+    sequential_average_memory,
+    sequential_peak_memory,
+    sequential_profile,
+)
+from repro.orders.postorder import (
+    average_memory_postorder,
+    minimum_memory_postorder,
+    natural_postorder,
+    performance_postorder,
+    postorder_peaks,
+)
+
+from .helpers import brute_force_optimal_peak
+from .strategies import task_trees, topological_orders, tree_and_order
+
+
+class TestEvaluator:
+    @given(tree_and_order())
+    def test_peak_at_least_every_single_task(self, tree_order):
+        tree, order = tree_order
+        peak = sequential_peak_memory(tree, order)
+        assert peak >= tree.max_mem_needed - 1e-9
+
+    @given(tree_and_order())
+    def test_profile_residents_nonnegative_and_end_at_root_output(self, tree_order):
+        tree, order = tree_order
+        profile = sequential_profile(tree, order)
+        assert (profile.residents >= -1e-9).all()
+        assert profile.residents[-1] == pytest.approx(float(tree.fout[tree.root]))
+
+    @given(tree_and_order())
+    def test_average_never_exceeds_peak(self, tree_order):
+        tree, order = tree_order
+        assert (
+            sequential_average_memory(tree, order)
+            <= sequential_peak_memory(tree, order) + 1e-9
+        )
+
+
+class TestOrderGenerators:
+    @given(task_trees())
+    def test_every_named_order_is_topological(self, tree):
+        for factory in (
+            minimum_memory_postorder,
+            performance_postorder,
+            average_memory_postorder,
+            natural_postorder,
+            critical_path_order,
+            optimal_sequential_order,
+        ):
+            order = factory(tree)
+            assert order.is_topological(tree), factory.__name__
+
+    @given(task_trees())
+    def test_postorders_really_are_postorders(self, tree):
+        for factory in (minimum_memory_postorder, performance_postorder, average_memory_postorder):
+            assert factory(tree).is_postorder(tree), factory.__name__
+
+
+class TestMemPo:
+    @given(task_trees())
+    def test_recursion_matches_simulation(self, tree):
+        peaks = postorder_peaks(tree)
+        simulated = sequential_peak_memory(tree, minimum_memory_postorder(tree))
+        assert simulated == pytest.approx(float(peaks[tree.root]))
+
+    @given(tree_and_order())
+    def test_mempo_no_worse_than_random_topological_order_among_postorders(self, tree_order):
+        # memPO is optimal among postorders; an arbitrary topological order
+        # may beat it, but another *postorder* (the natural one) cannot.
+        tree, _ = tree_order
+        mem_po = sequential_peak_memory(tree, minimum_memory_postorder(tree))
+        natural = sequential_peak_memory(tree, natural_postorder(tree))
+        assert mem_po <= natural + 1e-9
+
+
+class TestOptSeq:
+    @given(task_trees(max_nodes=30))
+    @settings(max_examples=60)
+    def test_optseq_never_worse_than_mempo(self, tree):
+        opt = optimal_sequential_peak(tree)
+        mem_po = sequential_peak_memory(tree, minimum_memory_postorder(tree))
+        assert opt <= mem_po + 1e-9
+
+    @given(tree_and_order(max_nodes=30))
+    @settings(max_examples=60)
+    def test_optseq_never_worse_than_any_random_order(self, tree_order):
+        tree, order = tree_order
+        opt = optimal_sequential_peak(tree)
+        assert opt <= sequential_peak_memory(tree, order) + 1e-9
+
+    @given(task_trees(max_nodes=7))
+    @settings(max_examples=40, deadline=None)
+    def test_optseq_is_optimal_exhaustively(self, tree):
+        assert optimal_sequential_peak(tree) == pytest.approx(brute_force_optimal_peak(tree))

@@ -1,0 +1,158 @@
+"""Property-based tests of the scheduling heuristics (hypothesis).
+
+These are the highest-value properties of the whole reproduction:
+
+* **Theorem 1** — MemBooking processes the whole tree whenever the memory
+  bound is at least the sequential peak of the activation order, for *any*
+  number of processors and *any* execution order;
+* every schedule produced by any heuristic is feasible (precedence,
+  processor count, memory bound) and consistent with the makespan bounds;
+* the optimised MemBooking implementation takes exactly the same decisions
+  as the reference transcription of Algorithms 2–4;
+* the Lemma 2–5 bookkeeping invariants hold after every event.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds import combined_lower_bound
+from repro.orders import minimum_memory_postorder, sequential_peak_memory
+from repro.schedulers.activation import ActivationScheduler
+from repro.schedulers.list_scheduler import ListScheduler
+from repro.schedulers.membooking import MemBookingReferenceScheduler, MemBookingScheduler
+from repro.schedulers.membooking_redtree import MemBookingRedTreeScheduler
+from repro.schedulers.validation import validate_schedule
+
+from .strategies import task_trees, topological_orders
+from .test_membooking import check_booking_invariants
+
+
+def _minimum_memory(tree, order) -> float:
+    """Sequential peak of ``order``, bumped to a positive value for empty data."""
+    return max(sequential_peak_memory(tree, order, check=False), 1.0)
+
+
+@st.composite
+def scheduling_instances(draw, *, max_nodes=20, factor_range=(1.0, 3.0)):
+    """A tree, a random AO, a processor count and a feasible memory bound."""
+    tree = draw(task_trees(max_nodes=max_nodes))
+    ao = draw(topological_orders(tree))
+    eo = draw(topological_orders(tree))
+    processors = draw(st.integers(1, 8))
+    factor = draw(st.floats(*factor_range, allow_nan=False, allow_infinity=False))
+    memory = factor * _minimum_memory(tree, ao)
+    return tree, ao, eo, processors, memory
+
+
+class TestTheorem1:
+    @given(scheduling_instances(factor_range=(1.0, 1.0)))
+    @settings(max_examples=60)
+    def test_membooking_completes_at_exact_minimum(self, instance):
+        tree, ao, eo, processors, memory = instance
+        result = MemBookingScheduler().schedule(tree, processors, memory, ao=ao, eo=eo)
+        assert result.completed, result.failure_reason
+        assert result.peak_memory <= memory * (1 + 1e-9)
+        validate_schedule(tree, result).raise_if_invalid()
+
+    @given(scheduling_instances())
+    @settings(max_examples=40)
+    def test_membooking_completes_above_minimum(self, instance):
+        tree, ao, eo, processors, memory = instance
+        result = MemBookingScheduler().schedule(tree, processors, memory, ao=ao, eo=eo)
+        assert result.completed, result.failure_reason
+        validate_schedule(tree, result).raise_if_invalid()
+
+
+class TestFeasibilityAndBounds:
+    @given(scheduling_instances())
+    @settings(max_examples=40)
+    def test_all_heuristics_produce_feasible_schedules(self, instance):
+        tree, ao, eo, processors, memory = instance
+        for scheduler in (
+            ActivationScheduler(),
+            MemBookingScheduler(),
+            MemBookingRedTreeScheduler(),
+            ListScheduler(),
+        ):
+            result = scheduler.schedule(tree, processors, memory, ao=ao, eo=eo)
+            if not result.completed:
+                # Only the reduction-tree baseline is allowed to give up, and
+                # only with an explanation.
+                assert scheduler.name == "MemBookingRedTree"
+                assert result.failure_reason is not None
+                continue
+            if scheduler.name == "ListNoMemory":
+                # Memory-oblivious: check everything except the memory bound.
+                report = validate_schedule(
+                    tree,
+                    result,
+                )
+                memory_errors = [e for e in report.errors if "memory" in e]
+                assert len(report.errors) == len(memory_errors), report.errors
+            else:
+                validate_schedule(tree, result).raise_if_invalid()
+
+    @given(scheduling_instances())
+    @settings(max_examples=40)
+    def test_makespan_between_bounds(self, instance):
+        tree, ao, eo, processors, memory = instance
+        result = MemBookingScheduler().schedule(tree, processors, memory, ao=ao, eo=eo)
+        assert result.completed
+        lower = combined_lower_bound(tree, processors, memory)
+        assert result.makespan >= lower - 1e-9 * max(1.0, lower)
+        # A completed schedule never idles completely, so it cannot exceed the
+        # total work.
+        assert result.makespan <= tree.total_work + 1e-9
+
+    @given(scheduling_instances(factor_range=(1.0, 2.0)))
+    @settings(max_examples=40)
+    def test_activation_completes_whenever_memory_covers_its_ao(self, instance):
+        tree, ao, eo, processors, memory = instance
+        result = ActivationScheduler().schedule(tree, processors, memory, ao=ao, eo=eo)
+        assert result.completed, result.failure_reason
+        validate_schedule(tree, result).raise_if_invalid()
+
+
+class TestEquivalenceAndInvariants:
+    @given(scheduling_instances())
+    @settings(max_examples=30)
+    def test_optimised_equals_reference(self, instance):
+        tree, ao, eo, processors, memory = instance
+        fast = MemBookingScheduler().schedule(tree, processors, memory, ao=ao, eo=eo)
+        slow = MemBookingReferenceScheduler().schedule(tree, processors, memory, ao=ao, eo=eo)
+        assert fast.completed and slow.completed
+        np.testing.assert_allclose(fast.start_times, slow.start_times)
+        np.testing.assert_allclose(fast.finish_times, slow.finish_times)
+
+    @given(scheduling_instances(max_nodes=15))
+    @settings(max_examples=30)
+    def test_booking_invariants_hold_at_every_event(self, instance):
+        tree, ao, eo, processors, memory = instance
+        MemBookingScheduler().schedule(
+            tree, processors, memory, ao=ao, eo=eo, invariant_hook=check_booking_invariants
+        )
+
+    @given(scheduling_instances(max_nodes=15))
+    @settings(max_examples=20)
+    def test_strict_dispatch_variant_also_satisfies_theorem1(self, instance):
+        tree, ao, eo, processors, memory = instance
+        scheduler = MemBookingScheduler(dispatch_to_candidates=False)
+        result = scheduler.schedule(tree, processors, memory, ao=ao, eo=eo)
+        assert result.completed, result.failure_reason
+        validate_schedule(tree, result).raise_if_invalid()
+
+
+class TestDefaultOrderPath:
+    @given(task_trees(max_nodes=18))
+    @settings(max_examples=25)
+    def test_default_orders_used_when_not_supplied(self, tree):
+        order = minimum_memory_postorder(tree)
+        memory = _minimum_memory(tree, order)
+        result = MemBookingScheduler().schedule(tree, 4, memory)
+        assert result.completed
+        assert result.activation_order == "memPO"
+        assert result.execution_order == "memPO"

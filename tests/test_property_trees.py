@@ -1,0 +1,112 @@
+"""Property-based tests of the core tree substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import tree_io, tree_metrics, tree_transform
+from repro.core.task_tree import NO_PARENT
+from repro.orders.base import Ordering
+
+from .strategies import task_trees, tree_and_order
+
+
+class TestStructuralInvariants:
+    @given(task_trees())
+    def test_exactly_one_root_and_n_minus_one_edges(self, tree):
+        roots = [i for i in range(tree.n) if tree.parent[i] == NO_PARENT]
+        assert roots == [tree.root]
+        assert sum(1 for _ in tree.edges()) == tree.n - 1
+
+    @given(task_trees())
+    def test_children_and_parent_are_consistent(self, tree):
+        for node in range(tree.n):
+            for child in tree.children(node):
+                assert tree.parent[child] == node
+        assert sum(tree.num_children(i) for i in range(tree.n)) == tree.n - 1
+
+    @given(task_trees())
+    def test_mem_needed_equation(self, tree):
+        for node in range(tree.n):
+            expected = (
+                sum(tree.fout[c] for c in tree.children(node))
+                + tree.nexec[node]
+                + tree.fout[node]
+            )
+            assert tree.mem_needed[node] == pytest.approx(expected)
+
+    @given(task_trees())
+    def test_subtree_sizes_sum(self, tree):
+        sizes = tree_metrics.subtree_sizes(tree)
+        assert sizes[tree.root] == tree.n
+        depths = tree_metrics.depths(tree)
+        # Sum of subtree sizes equals sum over nodes of (depth + 1).
+        assert int(sizes.sum()) == int((depths + 1).sum())
+
+    @given(task_trees())
+    def test_height_consistent_with_depths(self, tree):
+        assert tree_metrics.height(tree) == int(tree_metrics.depths(tree).max()) + 1
+
+    @given(task_trees())
+    def test_bottom_levels_dominate_parents(self, tree):
+        bottom = tree_metrics.bottom_levels(tree)
+        for child, parent in tree.edges():
+            assert bottom[child] >= bottom[parent] - 1e-9
+
+    @given(task_trees())
+    def test_critical_path_at_most_total_work(self, tree):
+        assert tree_metrics.critical_path_length(tree) <= tree.total_work + 1e-9
+
+    @given(task_trees())
+    def test_topological_order_is_valid(self, tree):
+        order = Ordering(tree.topological_order())
+        assert order.is_topological(tree)
+        assert order.is_postorder(tree)
+
+
+class TestSerializationRoundTrips:
+    @given(task_trees())
+    @settings(max_examples=50)
+    def test_dict_roundtrip(self, tree):
+        assert tree_io.from_dict(tree_io.to_dict(tree)) == tree
+
+    @given(task_trees(max_nodes=15))
+    @settings(max_examples=30)
+    def test_text_roundtrip(self, tmp_path_factory, tree):
+        path = tmp_path_factory.mktemp("trees") / "tree.txt"
+        tree_io.save_text(tree, path)
+        assert tree_io.load_text(path) == tree
+
+
+class TestTransforms:
+    @given(task_trees())
+    def test_reduction_transform_properties(self, tree):
+        result = tree_transform.to_reduction_tree(tree)
+        reduced = result.tree
+        assert tree_transform.is_reduction_tree(reduced)
+        # Real nodes keep their index, output and duration.
+        assert np.allclose(reduced.fout[: tree.n], tree.fout)
+        assert np.allclose(reduced.ptime[: tree.n], tree.ptime)
+        # The transformation never shrinks a task's memory requirement.
+        for node in range(tree.n):
+            assert reduced.mem_needed[node] >= tree.mem_needed[node] - 1e-9
+
+    @given(tree_and_order(max_nodes=16))
+    def test_relabel_preserves_aggregates(self, tree_order):
+        tree, order = tree_order
+        relabelled, mapping = tree_transform.relabel_by_order(tree, order.sequence)
+        assert relabelled.n == tree.n
+        assert relabelled.total_work == pytest.approx(tree.total_work)
+        assert float(relabelled.fout.sum()) == pytest.approx(float(tree.fout.sum()))
+        assert tree_metrics.height(relabelled) == tree_metrics.height(tree)
+        # The mapping is a bijection.
+        assert sorted(mapping.tolist()) == list(range(tree.n))
+
+    @given(task_trees(max_nodes=16))
+    def test_extract_root_subtree_is_identity_up_to_relabel(self, tree):
+        sub, nodes = tree_transform.extract_subtree(tree, tree.root)
+        assert sub.n == tree.n
+        assert sub.total_work == pytest.approx(tree.total_work)
+        assert sorted(nodes.tolist()) == list(range(tree.n))

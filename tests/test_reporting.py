@@ -1,0 +1,67 @@
+"""Unit tests for the plain-text / CSV reporting helpers."""
+
+from __future__ import annotations
+
+import csv
+import math
+
+from repro.experiments.reporting import (
+    format_records_table,
+    format_series_table,
+    write_records_csv,
+    write_series_csv,
+)
+
+
+class TestSeriesTable:
+    def test_alignment_and_content(self):
+        series = {
+            "Activation": [(1.0, 1.5), (2.0, 1.2)],
+            "MemBooking": [(1.0, 1.3), (2.0, 1.0)],
+        }
+        text = format_series_table(series, x_label="memory", title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "Activation" in lines[1] and "MemBooking" in lines[1]
+        assert len(lines) == 3 + 2  # title, header, rule, two rows
+
+    def test_missing_points_rendered_as_dash(self):
+        series = {"A": [(1.0, 2.0)], "B": [(2.0, 3.0)]}
+        text = format_series_table(series)
+        assert "-" in text.splitlines()[-1]
+
+    def test_nan_rendered_as_dash(self):
+        text = format_series_table({"A": [(1.0, math.nan)]})
+        assert text.splitlines()[-1].split()[-1] == "-"
+
+
+class TestRecordsTable:
+    def test_columns_and_truncation(self):
+        records = [{"a": i, "b": i * 2.0} for i in range(10)]
+        text = format_records_table(records, ["a", "b"], max_rows=3, title="records")
+        lines = text.splitlines()
+        assert lines[0] == "records"
+        assert len(lines) == 3 + 3
+
+
+class TestCsvWriters:
+    def test_records_csv_roundtrip(self, tmp_path):
+        records = [
+            {"x": 1, "y": 2.5},
+            {"x": 2, "z": "hello"},
+        ]
+        path = write_records_csv(records, tmp_path / "out" / "records.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["x"] == "1"
+        assert rows[1]["z"] == "hello"
+        assert set(rows[0].keys()) == {"x", "y", "z"}
+
+    def test_series_csv(self, tmp_path):
+        series = {"A": [(1.0, 2.0), (2.0, 3.0)], "B": [(1.0, 5.0)]}
+        path = write_series_csv(series, tmp_path / "series.csv", x_label="factor")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["factor", "A", "B"]
+        assert rows[1][0] == "1.0"
+        assert rows[2][2] == ""  # B has no point at x=2

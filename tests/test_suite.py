@@ -1,0 +1,33 @@
+"""Tests of the consolidated evaluation-suite runner."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FIGURES
+from repro.experiments.suite import main, run_suite, write_suite_report
+
+
+class TestRunSuite:
+    def test_subset_run_and_report(self, tmp_path):
+        results = run_suite(["lb_stats", "fig5"], scale="tiny")
+        assert set(results) == {"lb_stats", "fig5"}
+        summary = write_suite_report(results, tmp_path / "report", scale="tiny", elapsed_seconds=1.0)
+        assert summary.exists()
+        text = summary.read_text()
+        assert "lb_stats" in text and "fig5" in text
+        assert (tmp_path / "report" / "fig5.txt").exists()
+        assert (tmp_path / "report" / "fig5.csv").exists()
+
+    def test_default_covers_every_registered_figure(self):
+        # Do not run them all here (the benchmarks do); only check the wiring.
+        ids = sorted(FIGURES)
+        assert ids  # non-empty registry
+        results = run_suite(["redtree_failures"], scale="tiny")
+        assert results["redtree_failures"].figure_id == "redtree_failures"
+
+
+class TestCommandLine:
+    def test_main_with_subset(self, tmp_path, capsys):
+        code = main(["--scale", "tiny", "--out", str(tmp_path / "out"), "--figures", "lb_stats"])
+        assert code == 0
+        assert (tmp_path / "out" / "summary.md").exists()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,86 @@
+"""Unit tests for the Section 7.1 synthetic tree generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tree_metrics import degree_histogram, height
+from repro.workloads.synthetic import SyntheticTreeConfig, synthetic_tree, synthetic_trees
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = SyntheticTreeConfig()
+        assert config.num_nodes == 1000
+        assert config.exec_fraction == pytest.approx(0.10)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SyntheticTreeConfig(num_nodes=0)
+        with pytest.raises(ValueError):
+            SyntheticTreeConfig(weight_range=(100.0, 10.0))
+        with pytest.raises(ValueError):
+            SyntheticTreeConfig(exec_fraction=-0.1)
+        with pytest.raises(ValueError):
+            SyntheticTreeConfig(expansion="zigzag")  # type: ignore[arg-type]
+
+
+class TestGenerator:
+    def test_exact_size(self):
+        for n in (1, 2, 10, 500):
+            tree = synthetic_tree(num_nodes=n, rng=0)
+            assert tree.n == n
+
+    def test_deterministic_for_seed(self):
+        a = synthetic_tree(num_nodes=300, rng=42)
+        b = synthetic_tree(num_nodes=300, rng=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = synthetic_tree(num_nodes=300, rng=1)
+        b = synthetic_tree(num_nodes=300, rng=2)
+        assert a != b
+
+    def test_weight_truncation(self):
+        tree = synthetic_tree(num_nodes=2000, rng=3)
+        assert tree.fout.min() >= 10.0
+        assert tree.fout.max() <= 10_000.0
+
+    def test_exec_and_time_proportional_to_output(self):
+        config = SyntheticTreeConfig(num_nodes=200, exec_fraction=0.1, time_factor=2.0)
+        tree = synthetic_tree(config, rng=5)
+        assert np.allclose(tree.nexec, 0.1 * tree.fout)
+        assert np.allclose(tree.ptime, 2.0 * tree.fout)
+
+    def test_degree_bounded_by_five(self):
+        tree = synthetic_tree(num_nodes=3000, rng=7)
+        assert max(degree_histogram(tree)) <= 5
+
+    def test_degree_distribution_roughly_matches(self):
+        # Over a large tree the interior-node degree histogram should put most
+        # of the mass on degree 1, as specified in Section 7.1.
+        tree = synthetic_tree(num_nodes=5000, rng=11)
+        histogram = degree_histogram(tree)
+        interior = {d: c for d, c in histogram.items() if d > 0}
+        total = sum(interior.values())
+        assert interior.get(1, 0) / total > 0.4
+
+    def test_expansion_modes_change_depth(self):
+        shallow = synthetic_tree(num_nodes=1000, expansion="breadth", rng=13)
+        deep = synthetic_tree(num_nodes=1000, expansion="depth", rng=13)
+        assert height(deep) > height(shallow)
+
+    def test_config_with_overrides(self):
+        config = SyntheticTreeConfig(num_nodes=100)
+        tree = synthetic_tree(config, rng=1, num_nodes=50)
+        assert tree.n == 50
+
+
+class TestBatch:
+    def test_batch_generation(self):
+        trees = synthetic_trees(5, SyntheticTreeConfig(num_nodes=200), rng=17)
+        assert len(trees) == 5
+        assert all(tree.n == 200 for tree in trees)
+        # Trees from the same stream must differ from each other.
+        assert len({hash(tree) for tree in trees}) == 5

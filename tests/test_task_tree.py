@@ -1,0 +1,161 @@
+"""Unit tests for the TaskTree data model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.task_tree import NO_PARENT, TaskTree
+
+from .helpers import random_tree
+
+
+class TestConstruction:
+    def test_single_node(self):
+        tree = TaskTree(parent=[-1], fout=[3.0], nexec=[2.0], ptime=[1.5])
+        assert tree.n == 1
+        assert tree.root == 0
+        assert tree.is_leaf(0)
+        assert tree.is_root(0)
+        assert tree.mem_needed[0] == pytest.approx(5.0)
+
+    def test_scalar_broadcast(self):
+        tree = TaskTree(parent=[1, -1], fout=2.0, nexec=1.0, ptime=3.0)
+        assert np.allclose(tree.fout, [2.0, 2.0])
+        assert np.allclose(tree.nexec, [1.0, 1.0])
+        assert np.allclose(tree.ptime, [3.0, 3.0])
+
+    def test_children_and_parent(self, small_tree):
+        assert small_tree.root == 6
+        assert small_tree.children(6) == (4, 5)
+        assert small_tree.children(4) == (0, 1)
+        assert small_tree.children(0) == ()
+        assert small_tree.parent[0] == 4
+        assert small_tree.parent[6] == NO_PARENT
+
+    def test_mem_needed_equation(self, small_tree):
+        # MemNeeded_i = sum of children outputs + n_i + f_i (Equation 1).
+        assert small_tree.mem_needed[0] == pytest.approx(1.0 + 2.0)
+        assert small_tree.mem_needed[4] == pytest.approx((2.0 + 3.0) + 1.0 + 5.0)
+        assert small_tree.mem_needed[6] == pytest.approx((5.0 + 2.0) + 3.0 + 6.0)
+
+    def test_leaves(self, small_tree):
+        assert small_tree.leaves().tolist() == [0, 1, 2, 3]
+
+    def test_edges(self, small_tree):
+        edges = set(small_tree.edges())
+        assert (0, 4) in edges
+        assert (4, 6) in edges
+        assert len(edges) == small_tree.n - 1
+
+    def test_names(self):
+        tree = TaskTree(parent=[-1, 0], names=["root", "leaf"])
+        assert tree.names == ("root", "leaf")
+
+    def test_arrays_are_read_only(self, small_tree):
+        with pytest.raises(ValueError):
+            small_tree.fout[0] = 99.0
+        with pytest.raises(ValueError):
+            small_tree.parent[0] = 2
+
+
+class TestValidation:
+    def test_no_root_rejected(self):
+        with pytest.raises(ValueError):
+            TaskTree(parent=[1, 0])
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(ValueError):
+            TaskTree(parent=[-1, -1])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            TaskTree(parent=[2, 0, 1, -1])
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(ValueError):
+            TaskTree(parent=[0, -1])
+
+    def test_out_of_range_parent_rejected(self):
+        with pytest.raises(ValueError):
+            TaskTree(parent=[5, -1])
+
+    def test_negative_data_rejected(self):
+        with pytest.raises(ValueError):
+            TaskTree(parent=[-1], fout=[-1.0])
+
+    def test_non_finite_data_rejected(self):
+        with pytest.raises(ValueError):
+            TaskTree(parent=[-1], ptime=[np.inf])
+
+    def test_wrong_length_data_rejected(self):
+        with pytest.raises(ValueError):
+            TaskTree(parent=[-1, 0], fout=[1.0, 2.0, 3.0])
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ValueError):
+            TaskTree(parent=[])
+
+    def test_wrong_names_length_rejected(self):
+        with pytest.raises(ValueError):
+            TaskTree(parent=[-1, 0], names=["only-one"])
+
+
+class TestTraversal:
+    def test_topological_order_children_first(self, small_tree):
+        order = small_tree.topological_order()
+        rank = {int(node): k for k, node in enumerate(order)}
+        for child, parent in small_tree.edges():
+            assert rank[child] < rank[parent]
+        assert sorted(order.tolist()) == list(range(small_tree.n))
+
+    def test_subtree(self, small_tree):
+        assert sorted(small_tree.subtree(4).tolist()) == [0, 1, 4]
+        assert sorted(small_tree.subtree(6).tolist()) == list(range(7))
+        assert small_tree.subtree(0).tolist() == [0]
+
+    def test_ancestors(self, small_tree):
+        assert list(small_tree.ancestors(0)) == [4, 6]
+        assert list(small_tree.ancestors(0, include_self=True)) == [0, 4, 6]
+        assert list(small_tree.ancestors(6)) == []
+
+    def test_topological_order_random_trees(self, rng):
+        for _ in range(20):
+            tree = random_tree(rng, int(rng.integers(2, 60)))
+            order = tree.topological_order()
+            rank = np.empty(tree.n, dtype=int)
+            rank[order] = np.arange(tree.n)
+            for child, parent in tree.edges():
+                assert rank[child] < rank[parent]
+
+
+class TestDerived:
+    def test_with_data_replaces_only_requested(self, small_tree):
+        new = small_tree.with_data(ptime=np.ones(small_tree.n))
+        assert np.allclose(new.ptime, 1.0)
+        assert np.allclose(new.fout, small_tree.fout)
+        assert new.check_same_structure(small_tree)
+
+    def test_to_networkx_roundtrip(self, small_tree):
+        from repro.core.tree_builders import from_networkx
+
+        graph = small_tree.to_networkx()
+        assert graph.number_of_nodes() == small_tree.n
+        rebuilt = from_networkx(graph)
+        assert rebuilt == small_tree
+
+    def test_equality_and_hash(self, small_tree):
+        clone = TaskTree(
+            small_tree.parent.copy(),
+            fout=small_tree.fout.copy(),
+            nexec=small_tree.nexec.copy(),
+            ptime=small_tree.ptime.copy(),
+        )
+        assert clone == small_tree
+        assert hash(clone) == hash(small_tree)
+        other = small_tree.with_data(fout=small_tree.fout + 1)
+        assert other != small_tree
+
+    def test_total_work_and_max_mem(self, small_tree):
+        assert small_tree.total_work == pytest.approx(float(small_tree.ptime.sum()))
+        assert small_tree.max_mem_needed == pytest.approx(float(small_tree.mem_needed.max()))

@@ -1,0 +1,118 @@
+"""Unit tests for schedule traces, utilisation and Gantt rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.orders import minimum_memory_postorder, sequential_peak_memory
+from repro.schedulers import MemBookingScheduler, SequentialScheduler
+from repro.schedulers.trace import (
+    processor_utilisation,
+    render_gantt,
+    schedule_events,
+    schedule_to_records,
+)
+
+from .helpers import random_tree
+
+
+@pytest.fixture
+def scheduled(small_tree):
+    order = minimum_memory_postorder(small_tree)
+    memory = 2.0 * sequential_peak_memory(small_tree, order)
+    result = MemBookingScheduler().schedule(small_tree, 2, memory, ao=order, eo=order)
+    assert result.completed
+    return small_tree, result
+
+
+class TestEvents:
+    def test_chronological_and_paired(self, scheduled):
+        tree, result = scheduled
+        events = schedule_events(result)
+        assert len(events) == 2 * tree.n
+        times = [t for t, *_ in events]
+        assert times == sorted(times)
+        starts = sum(1 for _, kind, *_ in events if kind == "start")
+        assert starts == tree.n
+
+    def test_partial_schedule_only_contains_started_tasks(self, small_tree):
+        # Half the root's requirement lets a few leaves start before the
+        # scheduler deadlocks; only those tasks appear in the event trace.
+        result = MemBookingScheduler().schedule(small_tree, 2, small_tree.max_mem_needed * 0.5)
+        assert not result.completed
+        events = schedule_events(result)
+        started = int(np.isfinite(result.start_times).sum())
+        assert 0 < started < small_tree.n
+        assert len(events) == 2 * started
+
+
+class TestUtilisation:
+    def test_busy_time_matches_total_work(self, scheduled):
+        tree, result = scheduled
+        report = processor_utilisation(result)
+        assert report.total_busy == pytest.approx(tree.total_work)
+        assert 0.0 < report.efficiency <= 1.0
+        assert report.num_processors == 2
+        assert "efficiency" in report.as_dict()
+
+    def test_sequential_efficiency_is_one(self, rng):
+        tree = random_tree(rng, 30)
+        order = minimum_memory_postorder(tree)
+        result = SequentialScheduler().schedule(
+            tree, 1, sequential_peak_memory(tree, order), ao=order, eo=order
+        )
+        report = processor_utilisation(result)
+        assert report.efficiency == pytest.approx(1.0)
+
+
+class TestGantt:
+    def test_contains_every_processor_row(self, scheduled):
+        tree, result = scheduled
+        text = render_gantt(tree, result, width=40)
+        assert "P0" in text and "P1" in text
+        assert f"makespan {result.makespan:.6g}" in text
+
+    def test_idle_marker_present_for_underused_processors(self, scheduled):
+        tree, result = scheduled
+        text = render_gantt(tree, result, width=40)
+        assert "." in text  # with 2 processors and a root chain there is idle time
+
+    def test_width_validation(self, scheduled):
+        tree, result = scheduled
+        with pytest.raises(ValueError):
+            render_gantt(tree, result, width=5)
+
+    def test_empty_schedule(self):
+        from repro.core.task_tree import TaskTree
+
+        # A single task that does not fit in memory: nothing ever runs.
+        lonely = TaskTree(parent=[-1], fout=[2.0], nexec=[2.0], ptime=[1.0])
+        result = MemBookingScheduler().schedule(lonely, 2, 1.0)
+        assert not result.completed
+        assert render_gantt(lonely, result) == "(empty schedule)"
+
+    def test_no_labels_variant(self, scheduled):
+        tree, result = scheduled
+        text = render_gantt(tree, result, width=40, show_labels=False)
+        assert "makespan" not in text
+
+
+class TestRecords:
+    def test_one_record_per_task_sorted_by_start(self, scheduled):
+        tree, result = scheduled
+        records = schedule_to_records(tree, result)
+        assert len(records) == tree.n
+        starts = [r["start"] for r in records]
+        assert starts == sorted(starts)
+        assert {r["task"] for r in records} == set(range(tree.n))
+        for record in records:
+            assert record["finish"] == pytest.approx(record["start"] + record["duration"])
+
+    def test_records_exportable_to_csv(self, scheduled, tmp_path):
+        from repro.experiments.reporting import write_records_csv
+
+        tree, result = scheduled
+        path = write_records_csv(schedule_to_records(tree, result), tmp_path / "trace.csv")
+        assert path.exists()
+        assert path.read_text().count("\n") == tree.n + 1

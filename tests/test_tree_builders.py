@@ -1,0 +1,139 @@
+"""Unit tests for tree construction helpers."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.tree_builders import (
+    TreeBuilder,
+    from_children_lists,
+    from_edges,
+    from_networkx,
+    from_parents,
+    relabelled_from_labels,
+)
+
+
+class TestFromParents:
+    def test_basic(self):
+        tree = from_parents([1, -1], fout=[1.0, 2.0])
+        assert tree.n == 2
+        assert tree.root == 1
+
+
+class TestFromEdges:
+    def test_with_labels(self):
+        tree, index = from_edges(
+            [("a", "c"), ("b", "c")],
+            fout={"a": 1.0, "b": 2.0, "c": 3.0},
+            ptime={"a": 1.0, "b": 1.0, "c": 5.0},
+        )
+        assert tree.n == 3
+        root = index["c"]
+        assert tree.is_root(root)
+        assert tree.fout[index["b"]] == pytest.approx(2.0)
+        assert tree.names is not None
+
+    def test_single_node_with_root(self):
+        tree, index = from_edges([], root="only")
+        assert tree.n == 1
+        assert index == {"only": 0}
+
+    def test_duplicate_parent_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges([("a", "b"), ("a", "c")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges([])
+
+    def test_missing_attribute_defaults(self):
+        tree, index = from_edges([("x", "y")], fout={"y": 7.0})
+        assert tree.fout[index["x"]] == pytest.approx(1.0)
+        assert tree.fout[index["y"]] == pytest.approx(7.0)
+
+
+class TestFromChildrenLists:
+    def test_basic(self):
+        tree = from_children_lists([[1, 2], [], []], fout=[3.0, 1.0, 2.0])
+        assert tree.root == 0
+        assert tree.children(0) == (1, 2)
+
+    def test_double_parent_rejected(self):
+        with pytest.raises(ValueError):
+            from_children_lists([[1], [2], [1]])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            from_children_lists([[5]])
+
+
+class TestFromNetworkx:
+    def test_child_to_parent(self):
+        graph = nx.DiGraph()
+        graph.add_node("r", fout=4.0, ptime=2.0)
+        graph.add_node("l", fout=1.0, nexec=0.5)
+        graph.add_edge("l", "r")
+        tree = from_networkx(graph)
+        assert tree.n == 2
+        assert tree.fout[tree.root] == pytest.approx(4.0)
+
+    def test_parent_to_child(self):
+        graph = nx.DiGraph()
+        graph.add_edge("r", "l")
+        tree = from_networkx(graph, orientation="parent_to_child")
+        assert tree.is_leaf([i for i in range(2) if not tree.is_root(i)][0])
+
+    def test_bad_orientation(self):
+        with pytest.raises(ValueError):
+            from_networkx(nx.DiGraph(), orientation="sideways")
+
+    def test_multi_parent_rejected(self):
+        graph = nx.DiGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("a", "c")
+        with pytest.raises(ValueError):
+            from_networkx(graph)
+
+
+class TestRelabelledFromLabels:
+    def test_basic(self):
+        tree, index = relabelled_from_labels({"root": None, "a": "root", "b": "root"})
+        assert tree.n == 3
+        assert tree.is_root(index["root"])
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ValueError):
+            relabelled_from_labels({"a": "ghost"})
+
+
+class TestTreeBuilder:
+    def test_incremental(self):
+        builder = TreeBuilder()
+        root = builder.add_node(fout=4.0, ptime=2.0, name="root")
+        a = builder.add_node(parent=root, fout=1.0)
+        b = builder.add_node(parent=root, fout=2.0)
+        builder.set_data(a, ptime=9.0)
+        assert len(builder) == 3
+        tree = builder.build()
+        assert tree.root == root
+        assert tree.children(root) == (a, b)
+        assert tree.ptime[a] == pytest.approx(9.0)
+        assert tree.names is not None and tree.names[root] == "root"
+
+    def test_unknown_parent_rejected(self):
+        builder = TreeBuilder()
+        with pytest.raises(ValueError):
+            builder.add_node(parent=3)
+
+    def test_set_data_unknown_node(self):
+        builder = TreeBuilder()
+        builder.add_node()
+        with pytest.raises(ValueError):
+            builder.set_data(5, fout=1.0)
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(ValueError):
+            TreeBuilder().build()

@@ -1,0 +1,105 @@
+"""Unit tests for tree serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import tree_io
+from repro.core.task_tree import TaskTree
+
+from .helpers import random_tree
+
+
+class TestDictRoundTrip:
+    def test_roundtrip(self, small_tree):
+        payload = tree_io.to_dict(small_tree, metadata={"origin": "unit-test"})
+        rebuilt = tree_io.from_dict(payload)
+        assert rebuilt == small_tree
+        assert payload["metadata"]["origin"] == "unit-test"
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(ValueError):
+            tree_io.from_dict({"format": "something-else"})
+
+    def test_rejects_future_version(self, small_tree):
+        payload = tree_io.to_dict(small_tree)
+        payload["version"] = 999
+        with pytest.raises(ValueError):
+            tree_io.from_dict(payload)
+
+    def test_names_preserved(self):
+        tree = TaskTree(parent=[-1, 0], names=["root", "leaf"])
+        rebuilt = tree_io.from_dict(tree_io.to_dict(tree))
+        assert rebuilt.names == ("root", "leaf")
+
+
+class TestJsonFiles:
+    def test_roundtrip(self, tmp_path, small_tree):
+        path = tree_io.save_json(small_tree, tmp_path / "tree.json")
+        assert path.exists()
+        assert tree_io.load_json(path) == small_tree
+
+    def test_creates_directories(self, tmp_path, chain3):
+        path = tree_io.save_json(chain3, tmp_path / "nested" / "dir" / "t.json")
+        assert path.exists()
+
+    def test_file_is_valid_json(self, tmp_path, chain3):
+        path = tree_io.save_json(chain3, tmp_path / "t.json")
+        json.loads(path.read_text())
+
+
+class TestTextFiles:
+    def test_roundtrip(self, tmp_path, small_tree):
+        path = tree_io.save_text(small_tree, tmp_path / "tree.txt")
+        assert tree_io.load_text(path) == small_tree
+
+    def test_roundtrip_random(self, tmp_path, rng):
+        tree = random_tree(rng, 50, integer_data=False)
+        path = tree_io.save_text(tree, tmp_path / "random.txt")
+        rebuilt = tree_io.load_text(path)
+        assert rebuilt == tree
+
+    def test_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 -1 1.0\n")
+        with pytest.raises(ValueError):
+            tree_io.load_text(path)
+
+    def test_rejects_duplicate_ids(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        path.write_text("0 -1 1 0 1\n0 -1 1 0 1\n")
+        with pytest.raises(ValueError):
+            tree_io.load_text(path)
+
+    def test_rejects_gapped_ids(self, tmp_path):
+        path = tmp_path / "gap.txt"
+        path.write_text("0 -1 1 0 1\n2 0 1 0 1\n")
+        with pytest.raises(ValueError):
+            tree_io.load_text(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# just a comment\n")
+        with pytest.raises(ValueError):
+            tree_io.load_text(path)
+
+
+class TestDataset:
+    def test_roundtrip(self, tmp_path, rng):
+        trees = [random_tree(rng, int(n)) for n in (5, 10, 20)]
+        directory = tree_io.save_dataset(trees, tmp_path / "ds", name="demo", metadata={"k": 1})
+        loaded = tree_io.load_dataset(directory)
+        assert len(loaded) == 3
+        for original, rebuilt in zip(trees, loaded):
+            assert original == rebuilt
+
+    def test_missing_index(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            tree_io.load_dataset(tmp_path)
+
+    def test_foreign_index_rejected(self, tmp_path):
+        (tmp_path / "index.json").write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ValueError):
+            tree_io.load_dataset(tmp_path)

@@ -1,0 +1,101 @@
+"""Unit tests for structural tree metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import tree_metrics as tm
+from repro.core.task_tree import TaskTree
+
+from .helpers import random_tree
+
+
+class TestDepthHeight:
+    def test_chain(self, chain3):
+        assert tm.depths(chain3).tolist() == [2, 1, 0]
+        assert tm.height(chain3) == 3
+
+    def test_small_tree(self, small_tree):
+        d = tm.depths(small_tree)
+        assert d[6] == 0
+        assert d[4] == d[5] == 1
+        assert d[0] == d[3] == 2
+        assert tm.height(small_tree) == 3
+
+    def test_single_node(self):
+        tree = TaskTree(parent=[-1])
+        assert tm.height(tree) == 1
+        assert tm.depths(tree).tolist() == [0]
+
+
+class TestLevels:
+    def test_bottom_levels_chain(self, chain3):
+        # ptime = [1, 2, 3], root = 2.
+        assert tm.bottom_levels(chain3).tolist() == [6.0, 5.0, 3.0]
+
+    def test_top_levels_chain(self, chain3):
+        assert tm.top_levels(chain3).tolist() == [1.0, 3.0, 6.0]
+
+    def test_critical_path_small_tree(self, small_tree):
+        # longest leaf-to-root chain: 1 (2) -> 4 (3) -> 6 (4) = 9
+        assert tm.critical_path_length(small_tree) == pytest.approx(9.0)
+
+    def test_bottom_ge_parent(self, rng):
+        for _ in range(10):
+            tree = random_tree(rng, 40)
+            bottom = tm.bottom_levels(tree)
+            for child, parent in tree.edges():
+                assert bottom[child] >= bottom[parent]
+
+    def test_custom_weights(self, chain3):
+        weights = np.asarray([1.0, 1.0, 1.0])
+        assert tm.bottom_levels(chain3, weights=weights).tolist() == [3.0, 2.0, 1.0]
+
+
+class TestSubtreeAggregates:
+    def test_subtree_sizes(self, small_tree):
+        sizes = tm.subtree_sizes(small_tree)
+        assert sizes[6] == 7
+        assert sizes[4] == 3
+        assert sizes[0] == 1
+
+    def test_subtree_work(self, small_tree):
+        work = tm.subtree_work(small_tree)
+        assert work[4] == pytest.approx(1.0 + 2.0 + 3.0)
+        assert work[6] == pytest.approx(small_tree.total_work)
+
+    def test_subtree_output(self, small_tree):
+        out = tm.subtree_output(small_tree)
+        assert out[5] == pytest.approx(4.0 + 1.0 + 2.0)
+        assert out[6] == pytest.approx(float(small_tree.fout.sum()))
+
+    def test_consistency_random(self, rng):
+        tree = random_tree(rng, 80)
+        sizes = tm.subtree_sizes(tree)
+        for node in range(tree.n):
+            assert sizes[node] == tree.subtree(node).size
+
+
+class TestDegreesAndStats:
+    def test_num_leaves(self, small_tree, star5):
+        assert tm.num_leaves(small_tree) == 4
+        assert tm.num_leaves(star5) == 5
+
+    def test_degree_histogram(self, star5):
+        assert tm.degree_histogram(star5) == {0: 5, 5: 1}
+
+    def test_max_degree(self, small_tree, star5):
+        assert tm.max_degree(small_tree) == 2
+        assert tm.max_degree(star5) == 5
+
+    def test_tree_stats(self, small_tree):
+        stats = tm.tree_stats(small_tree)
+        assert stats.n == 7
+        assert stats.height == 3
+        assert stats.num_leaves == 4
+        assert stats.max_degree == 2
+        assert stats.total_work == pytest.approx(small_tree.total_work)
+        assert stats.max_mem_needed == pytest.approx(small_tree.max_mem_needed)
+        d = stats.as_dict()
+        assert d["n"] == 7 and "critical_path" in d

@@ -1,0 +1,115 @@
+"""Unit tests for tree transformations (reduction trees, subtrees, relabelling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import tree_transform as tt
+from repro.core.task_tree import TaskTree
+
+from .helpers import random_tree
+
+
+class TestIsReductionTree:
+    def test_true_case(self):
+        tree = TaskTree(parent=[2, 2, -1], fout=[3.0, 4.0, 5.0], nexec=0.0)
+        assert tt.is_reduction_tree(tree)
+
+    def test_execution_data_breaks_it(self):
+        tree = TaskTree(parent=[2, 2, -1], fout=[3.0, 4.0, 5.0], nexec=[0.0, 0.0, 1.0])
+        assert not tt.is_reduction_tree(tree)
+
+    def test_large_output_breaks_it(self):
+        tree = TaskTree(parent=[2, 2, -1], fout=[1.0, 1.0, 5.0], nexec=0.0)
+        assert not tt.is_reduction_tree(tree)
+
+    def test_leaves_always_fine(self):
+        # A single leaf with huge output is still a reduction tree (no children).
+        tree = TaskTree(parent=[-1], fout=[100.0], nexec=[0.0])
+        assert tt.is_reduction_tree(tree)
+
+
+class TestToReductionTree:
+    def test_interior_reduction_nodes_untouched(self):
+        tree = TaskTree(parent=[2, 2, -1], fout=[3.0, 4.0, 5.0], nexec=0.0)
+        result = tt.to_reduction_tree(tree)
+        # Leaves always receive a fictitious child (their own output must be
+        # covered by inputs); interior node 2 already satisfies the reduction
+        # property so it is untouched.
+        assert result.num_fictitious == 2
+        assert set(result.fictitious_parent) == {0, 1}
+
+    def test_result_is_reduction_tree(self, small_tree, rng):
+        for tree in [small_tree] + [random_tree(rng, 30) for _ in range(10)]:
+            result = tt.to_reduction_tree(tree)
+            assert tt.is_reduction_tree(result.tree)
+
+    def test_original_nodes_preserved(self, small_tree):
+        result = tt.to_reduction_tree(small_tree)
+        reduced = result.tree
+        assert reduced.n >= small_tree.n
+        # Original indices keep their output size and processing time.
+        assert np.allclose(reduced.fout[: small_tree.n], small_tree.fout)
+        assert np.allclose(reduced.ptime[: small_tree.n], small_tree.ptime)
+        # Execution data is folded into fictitious inputs.
+        assert np.allclose(reduced.nexec, 0.0)
+
+    def test_fictitious_nodes_are_leaves_with_zero_time(self, small_tree):
+        result = tt.to_reduction_tree(small_tree)
+        for node in range(result.original_n, result.tree.n):
+            assert result.tree.is_leaf(node)
+            assert result.tree.ptime[node] == 0.0
+            assert result.is_fictitious(node)
+            assert result.to_original(node) is None
+        assert result.to_original(0) == 0
+
+    def test_added_output_accounting(self, small_tree):
+        result = tt.to_reduction_tree(small_tree)
+        added = float(result.tree.fout[small_tree.n :].sum())
+        assert added == pytest.approx(result.added_output)
+
+    def test_total_work_unchanged(self, rng):
+        tree = random_tree(rng, 40)
+        result = tt.to_reduction_tree(tree)
+        assert result.tree.total_work == pytest.approx(tree.total_work)
+
+
+class TestExtractSubtree:
+    def test_extract(self, small_tree):
+        sub, nodes = tt.extract_subtree(small_tree, 4)
+        assert sub.n == 3
+        assert sorted(nodes.tolist()) == [0, 1, 4]
+        assert sub.total_work == pytest.approx(1.0 + 2.0 + 3.0)
+
+    def test_extract_leaf(self, small_tree):
+        sub, nodes = tt.extract_subtree(small_tree, 2)
+        assert sub.n == 1
+        assert nodes.tolist() == [2]
+
+    def test_extract_root_is_whole_tree(self, small_tree):
+        sub, nodes = tt.extract_subtree(small_tree, small_tree.root)
+        assert sub.n == small_tree.n
+        assert sub.total_work == pytest.approx(small_tree.total_work)
+
+
+class TestRelabelByOrder:
+    def test_relabel_by_topological_order(self, small_tree):
+        order = small_tree.topological_order()
+        relabelled, new_of_old = tt.relabel_by_order(small_tree, order)
+        # After relabelling by a topological order, every parent has a larger index.
+        for child, parent in relabelled.edges():
+            assert child < parent
+        # Data follows the nodes.
+        for old in range(small_tree.n):
+            assert relabelled.fout[new_of_old[old]] == pytest.approx(small_tree.fout[old])
+
+    def test_identity_relabel(self, small_tree):
+        identity = np.arange(small_tree.n)
+        relabelled, mapping = tt.relabel_by_order(small_tree, identity)
+        assert relabelled == small_tree
+        assert mapping.tolist() == identity.tolist()
+
+    def test_invalid_permutation_rejected(self, small_tree):
+        with pytest.raises(ValueError):
+            tt.relabel_by_order(small_tree, np.zeros(small_tree.n, dtype=int))

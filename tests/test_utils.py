@@ -1,0 +1,122 @@
+"""Unit tests for internal utilities (indexed heap, array validation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._utils import IndexedHeap, argsort_stable, as_float_array, as_int_array, as_rng
+
+
+class TestIndexedHeap:
+    def test_push_pop_order(self):
+        heap = IndexedHeap()
+        heap.push(1, priority=5.0)
+        heap.push(2, priority=1.0)
+        heap.push(3, priority=3.0)
+        assert [heap.pop(), heap.pop(), heap.pop()] == [2, 3, 1]
+
+    def test_tie_break_by_item(self):
+        heap = IndexedHeap([(5, 1.0), (2, 1.0), (9, 1.0)])
+        assert [heap.pop(), heap.pop(), heap.pop()] == [2, 5, 9]
+
+    def test_membership_and_len(self):
+        heap = IndexedHeap([(4, 0.0)])
+        assert 4 in heap
+        assert 5 not in heap
+        assert len(heap) == 1
+        assert bool(heap)
+        heap.pop()
+        assert not heap
+
+    def test_peek_does_not_remove(self):
+        heap = IndexedHeap([(7, 2.0), (8, 1.0)])
+        assert heap.peek() == 8
+        assert heap.peek_priority() == 1.0
+        assert len(heap) == 2
+
+    def test_remove_arbitrary(self):
+        heap = IndexedHeap([(i, float(i)) for i in range(10)])
+        heap.remove(0)
+        heap.remove(5)
+        popped = [heap.pop() for _ in range(len(heap))]
+        assert popped == [1, 2, 3, 4, 6, 7, 8, 9]
+
+    def test_remove_missing_raises(self):
+        heap = IndexedHeap()
+        with pytest.raises(KeyError):
+            heap.remove(3)
+
+    def test_duplicate_push_raises(self):
+        heap = IndexedHeap([(1, 0.0)])
+        with pytest.raises(ValueError):
+            heap.push(1, priority=2.0)
+
+    def test_empty_pop_peek_raise(self):
+        heap = IndexedHeap()
+        with pytest.raises(IndexError):
+            heap.pop()
+        with pytest.raises(IndexError):
+            heap.peek()
+
+    def test_priority_lookup_and_clear(self):
+        heap = IndexedHeap([(1, 4.0)])
+        assert heap.priority(1) == 4.0
+        heap.clear()
+        assert len(heap) == 0
+
+    def test_random_stress_matches_sorted(self):
+        rng = np.random.default_rng(7)
+        heap = IndexedHeap()
+        entries = {}
+        for item in rng.permutation(200):
+            prio = float(rng.integers(0, 50))
+            heap.push(int(item), prio)
+            entries[int(item)] = prio
+        # Remove a random subset.
+        removed = [int(x) for x in rng.choice(list(entries), size=50, replace=False)]
+        for item in removed:
+            heap.remove(item)
+            del entries[item]
+        drained = [heap.pop() for _ in range(len(heap))]
+        expected = sorted(entries, key=lambda item: (entries[item], item))
+        assert drained == expected
+
+    def test_iteration_lists_members(self):
+        heap = IndexedHeap([(i, float(-i)) for i in range(5)])
+        assert sorted(heap) == [0, 1, 2, 3, 4]
+
+
+class TestArrayHelpers:
+    def test_as_float_array_scalar(self):
+        arr = as_float_array(2.5, 4, "x")
+        assert arr.tolist() == [2.5] * 4
+
+    def test_as_float_array_wrong_shape(self):
+        with pytest.raises(ValueError):
+            as_float_array([1.0, 2.0], 3, "x")
+
+    def test_as_float_array_negative(self):
+        with pytest.raises(ValueError):
+            as_float_array([-1.0], 1, "x")
+        assert as_float_array([-1.0], 1, "x", nonnegative=False)[0] == -1.0
+
+    def test_as_float_array_nan(self):
+        with pytest.raises(ValueError):
+            as_float_array([np.nan], 1, "x")
+
+    def test_as_int_array(self):
+        assert as_int_array([1, 2], 2, "k").dtype == np.int64
+        with pytest.raises(ValueError):
+            as_int_array([1], 2, "k")
+
+    def test_as_rng(self):
+        gen = np.random.default_rng(3)
+        assert as_rng(gen) is gen
+        assert isinstance(as_rng(5), np.random.Generator)
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_argsort_stable_descending_keeps_ties(self):
+        keys = np.asarray([2.0, 1.0, 2.0, 3.0])
+        order = argsort_stable(keys, descending=True)
+        assert order.tolist() == [3, 0, 2, 1]
