@@ -8,7 +8,10 @@ series (the same rows the paper plots) and asserting the qualitative checks
 The dataset scale is controlled with the ``REPRO_BENCH_SCALE`` environment
 variable (``small`` by default, which keeps the whole suite within a few
 minutes; ``tiny`` gives a fast smoke run and ``medium`` results closer to
-the paper's setup).  Each figure's text output is also written to
+the paper's setup).  ``REPRO_BENCH_JOBS`` sets the number of sweep worker
+processes per figure (default ``1`` — serial; ``0`` means one per CPU): the
+reported series are identical for any value, only the wall-clock changes.
+Each figure's text output is also written to
 ``benchmarks/results/<figure>.txt`` so EXPERIMENTS.md can be refreshed from
 the latest run.
 """
@@ -31,15 +34,21 @@ def bench_scale() -> str:
     return os.environ.get("REPRO_BENCH_SCALE", "small")
 
 
+@pytest.fixture(scope="session")
+def bench_jobs() -> int:
+    """Sweep worker processes per figure (``REPRO_BENCH_JOBS``, default 1)."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
 @pytest.fixture
-def figure_runner(benchmark, bench_scale):
+def figure_runner(benchmark, bench_scale, bench_jobs):
     """Run a figure under pytest-benchmark, print and persist its series."""
 
     def run(figure_id: str, **kwargs):
         result = benchmark.pedantic(
             run_figure,
             args=(figure_id,),
-            kwargs={"scale": bench_scale, **kwargs},
+            kwargs={"scale": bench_scale, "jobs": bench_jobs, **kwargs},
             rounds=1,
             iterations=1,
         )

@@ -1,0 +1,77 @@
+"""Serial-vs-parallel sweep benchmark: the speedup of ``run_sweep(jobs=N)``.
+
+Runs the same cartesian sweep (the fig15-style processor sweep on synthetic
+trees, the heaviest configuration of the figure suite) serially and with a
+worker pool, records both wall-clocks and their ratio in
+``benchmarks/results/parallel_sweep.txt``, and asserts
+
+* the parallel records are identical to the serial ones (timing fields
+  excluded — they are wall-clock measurements), and
+* on machines with at least two available CPUs, the pool is not slower than
+  the serial sweep beyond pool-startup noise; the ≥2x speedup target of the
+  sweep engine only materialises with real cores, so it is asserted only
+  when 4+ CPUs are available.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.experiments import SweepConfig, run_sweep
+from repro.workloads.datasets import synthetic_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+TIMING_FIELDS = frozenset({"scheduling_seconds", "scheduling_seconds_per_node"})
+
+#: Heaviest figure-style configuration: 5 processor counts x 4 factors x 3
+#: heuristics per tree (fig15's sweep shape).
+SWEEP = SweepConfig(memory_factors=(1.5, 2.0, 5.0, 10.0), processors=(2, 4, 8, 16, 32))
+
+# Dedicated variable: REPRO_BENCH_JOBS controls the *figure* sweeps (default
+# serial), which must stay independent of this benchmark's parallel leg.
+JOBS = int(os.environ.get("REPRO_BENCH_SPEEDUP_JOBS", "4")) or (os.cpu_count() or 1)
+
+
+def _strip(records):
+    return [{k: v for k, v in r.items() if k not in TIMING_FIELDS} for r in records]
+
+
+def test_parallel_sweep_speedup(bench_scale):
+    trees, _ = synthetic_dataset(bench_scale, seed=7011)
+
+    start = time.perf_counter()
+    serial = run_sweep(trees, SWEEP, jobs=1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_sweep(trees, SWEEP, jobs=JOBS)
+    parallel_seconds = time.perf_counter() - start
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else float("inf")
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+    text = "\n".join(
+        [
+            "== parallel_sweep: serial vs parallel run_sweep ==",
+            f"trees={len(trees)} runs={len(serial)} scale={bench_scale} "
+            f"jobs={JOBS} available_cpus={cpus}",
+            f"serial_seconds   : {serial_seconds:.3f}",
+            f"parallel_seconds : {parallel_seconds:.3f}",
+            f"speedup          : {speedup:.2f}x",
+        ]
+    )
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "parallel_sweep.txt").write_text(text + "\n")
+
+    assert _strip(parallel) == _strip(serial), "parallel sweep diverged from serial records"
+    # The speedup assertions need real cores AND a workload long enough to
+    # amortise pool startup — a sub-second tiny-scale sweep on a shared CI
+    # runner would make a hard timing assertion flaky.
+    if serial_seconds >= 2.0 and cpus and cpus >= 4 and JOBS >= 4:
+        assert speedup >= 2.0, f"expected >=2x speedup with {JOBS} workers, got {speedup:.2f}x"
+    elif serial_seconds >= 2.0 and cpus and cpus >= 2 and JOBS >= 2:
+        assert speedup >= 1.0, f"expected no slowdown with {JOBS} workers, got {speedup:.2f}x"

@@ -78,6 +78,13 @@ def main() -> None:
     print("MemBooking reuses the memory freed by finished descendants, so it can")
     print("activate both branches at once where Activation books too much and")
     print("serialises them.")
+    print()
+    print("To compare the heuristics over a whole dataset, use the sweep engine:")
+    print("  from repro.experiments import run_sweep")
+    print("  records = run_sweep(trees, jobs=4)   # fan out over 4 processes")
+    print("(or `memtree schedule trees/ --jobs 4` / `memtree figure fig2 --jobs 4`).")
+    print("Per-tree orders and minimum memory are computed once and shared by every")
+    print("run on the tree, and the records are identical for any worker count.")
 
 
 if __name__ == "__main__":

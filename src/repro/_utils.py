@@ -8,10 +8,12 @@ Contents
 --------
 ``IndexedHeap``
     A binary min-heap over integer node identifiers keyed by an arbitrary
-    priority, with O(log n) push/pop/remove and O(1) membership tests.  Used
-    to implement the ``CAND`` and ``ACTf`` structures of the optimised
-    MemBooking algorithm (Appendix B of the paper) and the ready queues of
-    the other heuristics.
+    priority, with O(log n) push/pop/remove and O(1) membership tests.  The
+    schedulers' ready pools now use the faster, rank-keyed
+    :class:`repro.schedulers.ReadyQueue` (C ``heapq`` + lazy deletion), so
+    ``IndexedHeap`` currently has no production callers; it is retained as a
+    tested general-purpose utility (eager removal, arbitrary float
+    priorities) for future subsystems.
 ``as_rng``
     Normalise the many ways a caller may specify randomness (``None``, seed,
     ``numpy.random.Generator``) into a :class:`numpy.random.Generator`.

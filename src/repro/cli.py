@@ -9,11 +9,15 @@ Four sub-commands cover the typical workflows of the library:
     Print the structural statistics of a tree file (or of every tree of a
     dataset directory).
 ``memtree schedule``
-    Schedule one tree file with a chosen heuristic, memory factor and
-    processor count, and print the outcome.
+    Schedule one tree file — or sweep a whole dataset directory — with a
+    chosen heuristic, memory factor and processor count, and print the
+    outcome.  On a directory, ``--jobs N`` fans the trees out over ``N``
+    worker processes (per-tree orders and minimum memory are computed once
+    per tree, and the rows come back in deterministic dataset order).
 ``memtree figure``
     Reproduce one of the paper's figures/tables and print its series, with
-    an optional CSV export.
+    an optional CSV export.  ``--jobs N`` parallelises the underlying sweep
+    without changing the reported series.
 
 Examples
 --------
@@ -23,7 +27,8 @@ Examples
     memtree info trees/tree_00000.json
     memtree schedule trees/tree_00000.json --scheduler MemBooking \\
             --processors 8 --memory-factor 2
-    memtree figure fig10 --scale tiny
+    memtree schedule trees/ --scheduler MemBooking --memory-factor 2 --jobs 4
+    memtree figure fig10 --scale tiny --jobs 4
 """
 
 from __future__ import annotations
@@ -35,12 +40,20 @@ from pathlib import Path
 from . import __version__
 from .core import load_dataset, load_json, save_dataset, tree_stats
 from .core.task_tree import TaskTree
-from .experiments import FIGURES, run_figure, write_series_csv
+from .experiments import FIGURES, SweepConfig, run_figure, run_sweep, write_series_csv
 from .orders import ORDER_FACTORIES, make_order, minimum_memory_postorder, sequential_peak_memory
 from .schedulers import SCHEDULER_FACTORIES, make_scheduler
 from .workloads import assembly_dataset, synthetic_dataset
 
 __all__ = ["main", "build_parser"]
+
+
+def _jobs_count(value: str) -> int:
+    """argparse type for ``--jobs``: a non-negative int (0 = one per CPU)."""
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 means one worker per CPU)")
+    return jobs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,8 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
     info = subparsers.add_parser("info", help="print tree statistics")
     info.add_argument("path", type=Path, help="a tree JSON file or a dataset directory")
 
-    schedule = subparsers.add_parser("schedule", help="schedule one tree file")
-    schedule.add_argument("path", type=Path, help="tree JSON file")
+    schedule = subparsers.add_parser(
+        "schedule", help="schedule one tree file or sweep a dataset directory"
+    )
+    schedule.add_argument("path", type=Path, help="tree JSON file or dataset directory")
     schedule.add_argument(
         "--scheduler", default="MemBooking", choices=sorted(SCHEDULER_FACTORIES)
     )
@@ -80,11 +95,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     schedule.add_argument("--ao", default="memPO", choices=sorted(ORDER_FACTORIES))
     schedule.add_argument("--eo", default="memPO", choices=sorted(ORDER_FACTORIES))
+    schedule.add_argument(
+        "--jobs",
+        type=_jobs_count,
+        default=1,
+        help="worker processes when PATH is a dataset directory (0 = one per CPU)",
+    )
 
     figure = subparsers.add_parser("figure", help="reproduce a figure of the paper")
     figure.add_argument("figure_id", choices=sorted(FIGURES))
     figure.add_argument("--scale", default="small")
     figure.add_argument("--csv", type=Path, default=None, help="write the series to a CSV file")
+    figure.add_argument(
+        "--jobs",
+        type=_jobs_count,
+        default=1,
+        help="worker processes for the figure's sweep (0 = one per CPU, default 1)",
+    )
 
     return parser
 
@@ -130,7 +157,45 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_schedule_dataset(args: argparse.Namespace) -> int:
+    """Sweep every tree of a dataset directory (parallel with ``--jobs``)."""
+    if args.memory is not None:
+        raise SystemExit("--memory applies to a single tree; use --memory-factor on datasets")
+    trees = list(load_dataset(args.path))
+    if not trees:
+        raise SystemExit(f"no trees found in {args.path}")
+    config = SweepConfig(
+        schedulers=(args.scheduler,),
+        memory_factors=(args.memory_factor,),
+        processors=(args.processors,),
+        activation_order=args.ao,
+        execution_order=args.eo,
+        jobs=args.jobs,
+    )
+    records = run_sweep(trees, config)
+    print(
+        f"{'tree':>5} {'n':>7} {'makespan':>12} {'norm.':>7} {'peak mem':>12} "
+        f"{'sched ms':>9}  status"
+    )
+    for record in records:
+        status = "ok" if record["completed"] else f"FAILED ({record['failure_reason']})"
+        print(
+            f"{record['tree_index']:>5} {record['tree_size']:>7} "
+            f"{record['makespan']:>12.6g} {record['normalized_makespan']:>7.3f} "
+            f"{record['peak_memory']:>12.6g} {record['scheduling_seconds'] * 1e3:>9.2f}  {status}"
+        )
+    failures = sum(1 for record in records if not record["completed"])
+    print(
+        f"{len(records)} trees, {len(records) - failures} completed, {failures} failed "
+        f"(scheduler={args.scheduler}, factor={args.memory_factor}, "
+        f"p={args.processors}, jobs={args.jobs})"
+    )
+    return 1 if failures else 0
+
+
 def _cmd_schedule(args: argparse.Namespace) -> int:
+    if args.path.is_dir():
+        return _cmd_schedule_dataset(args)
     tree: TaskTree = load_json(args.path)
     ao = make_order(tree, args.ao)
     eo = ao if args.eo == args.ao else make_order(tree, args.eo)
@@ -153,7 +218,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    result = run_figure(args.figure_id, scale=args.scale)
+    result = run_figure(args.figure_id, scale=args.scale, jobs=args.jobs)
     print(result.as_text())
     if args.csv is not None:
         write_series_csv(result.series, args.csv, x_label=result.x_label)

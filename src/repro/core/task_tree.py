@@ -79,6 +79,9 @@ class TaskTree:
         "_root",
         "_mem_needed",
         "_names",
+        # Weak referenceability lets the experiment harness memoise per-tree
+        # derived data (orders, minimum memory) without keeping trees alive.
+        "__weakref__",
     )
 
     def __init__(

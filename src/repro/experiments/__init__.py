@@ -19,7 +19,7 @@ from .reporting import (
     write_records_csv,
     write_series_csv,
 )
-from .runner import InstanceContext, prepare_instance, run_single, run_sweep
+from .runner import InstanceContext, prepare_instance, run_instance, run_single, run_sweep
 from .suite import run_suite, write_suite_report
 
 __all__ = [
@@ -44,6 +44,7 @@ __all__ = [
     "write_series_csv",
     "InstanceContext",
     "prepare_instance",
+    "run_instance",
     "run_single",
     "run_sweep",
     "run_suite",

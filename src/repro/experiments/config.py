@@ -46,6 +46,13 @@ class SweepConfig:
         :func:`repro.schedulers.validate_schedule` (slower, used in tests and
         benchmarks; the experiment scripts keep it on by default because the
         trees are laptop-scale).
+    jobs:
+        Number of worker processes used by
+        :func:`repro.experiments.runner.run_sweep`.  ``1`` (the default)
+        keeps the sweep in-process; ``0`` means "one worker per available
+        CPU".  Instances are chunked per tree so each worker computes the
+        orders and minimum memory of a tree exactly once, and the records
+        are merged back in the exact order the serial sweep would produce.
     """
 
     schedulers: tuple[str, ...] = PAPER_HEURISTICS
@@ -55,6 +62,7 @@ class SweepConfig:
     execution_order: str = "memPO"
     min_completion_fraction: float = 0.95
     validate: bool = True
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if not self.schedulers:
@@ -65,6 +73,8 @@ class SweepConfig:
             raise ValueError("processor counts must be positive")
         if not 0.0 <= self.min_completion_fraction <= 1.0:
             raise ValueError("min_completion_fraction must be in [0, 1]")
+        if self.jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 means one worker per CPU)")
 
     def with_overrides(self, **kwargs) -> "SweepConfig":
         """Return a copy with some fields replaced."""

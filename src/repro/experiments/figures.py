@@ -125,9 +125,12 @@ def _makespan_figure(
     seed: int,
     memory_factors: Sequence[float],
     processors: Sequence[int] = (8,),
+    jobs: int = 1,
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed)
-    config = SweepConfig(memory_factors=tuple(memory_factors), processors=tuple(processors))
+    config = SweepConfig(
+        memory_factors=tuple(memory_factors), processors=tuple(processors), jobs=jobs
+    )
     records = run_sweep(trees, config)
     series: Series = {}
     for scheduler in config.schedulers:
@@ -187,10 +190,13 @@ def _speedup_figure(
     scale: str,
     seed: int,
     memory_factors: Sequence[float],
+    jobs: int = 1,
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed)
     config = SweepConfig(
-        schedulers=("Activation", "MemBooking"), memory_factors=tuple(memory_factors)
+        schedulers=("Activation", "MemBooking"),
+        memory_factors=tuple(memory_factors),
+        jobs=jobs,
     )
     records = run_sweep(trees, config)
     speedups = speedup_records(records)
@@ -236,9 +242,10 @@ def _memory_fraction_figure(
     scale: str,
     seed: int,
     memory_factors: Sequence[float],
+    jobs: int = 1,
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed)
-    config = SweepConfig(memory_factors=tuple(memory_factors))
+    config = SweepConfig(memory_factors=tuple(memory_factors), jobs=jobs)
     records = run_sweep(trees, config)
     series: Series = {}
     for scheduler in config.schedulers:
@@ -286,9 +293,10 @@ def _timing_figure(
     x_key: str,
     y_key: str,
     title: str,
+    jobs: int = 1,
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed)
-    config = SweepConfig(memory_factors=(2.0,), processors=(8,))
+    config = SweepConfig(memory_factors=(2.0,), processors=(8,), jobs=jobs)
     records = run_sweep(trees, config)
     series: Series = {}
     for scheduler in config.schedulers:
@@ -328,6 +336,7 @@ def _order_choice_figure(
     scale: str,
     seed: int,
     memory_factors: Sequence[float],
+    jobs: int = 1,
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed)
     combos = [
@@ -346,6 +355,7 @@ def _order_choice_figure(
             memory_factors=tuple(memory_factors),
             activation_order=ao_name,
             execution_order=eo_name,
+            jobs=jobs,
         )
         records = run_sweep(trees, config)
         all_records.extend(records)
@@ -388,9 +398,12 @@ def _processor_sweep_figure(
     seed: int,
     memory_factors: Sequence[float],
     processors: Sequence[int],
+    jobs: int = 1,
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed)
-    config = SweepConfig(memory_factors=tuple(memory_factors), processors=tuple(processors))
+    config = SweepConfig(
+        memory_factors=tuple(memory_factors), processors=tuple(processors), jobs=jobs
+    )
     records = run_sweep(trees, config)
     series: Series = {}
     for p in processors:
@@ -432,22 +445,22 @@ def _processor_sweep_figure(
 # --------------------------------------------------------------------------- #
 # assembly-tree figures (2-9)
 # --------------------------------------------------------------------------- #
-def fig2(scale: str = "small", seed: int = 2017) -> FigureResult:
+def fig2(scale: str = "small", seed: int = 2017, jobs: int = 1) -> FigureResult:
     """Figure 2: normalised makespan of the three heuristics, assembly trees."""
-    return _makespan_figure("fig2", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS)
+    return _makespan_figure("fig2", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs)
 
 
-def fig3(scale: str = "small", seed: int = 2017) -> FigureResult:
+def fig3(scale: str = "small", seed: int = 2017, jobs: int = 1) -> FigureResult:
     """Figure 3: speedup of MemBooking over Activation, assembly trees."""
-    return _speedup_figure("fig3", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS)
+    return _speedup_figure("fig3", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs)
 
 
-def fig4(scale: str = "small", seed: int = 2017) -> FigureResult:
+def fig4(scale: str = "small", seed: int = 2017, jobs: int = 1) -> FigureResult:
     """Figure 4: fraction of the available memory actually used, assembly trees."""
-    return _memory_fraction_figure("fig4", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS)
+    return _memory_fraction_figure("fig4", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs)
 
 
-def fig5(scale: str = "small", seed: int = 2017) -> FigureResult:
+def fig5(scale: str = "small", seed: int = 2017, jobs: int = 1) -> FigureResult:
     """Figure 5: scheduling time as a function of the tree size, assembly trees."""
     return _timing_figure(
         "fig5",
@@ -457,10 +470,11 @@ def fig5(scale: str = "small", seed: int = 2017) -> FigureResult:
         x_key="tree_size",
         y_key="scheduling_seconds",
         title="Scheduling time vs tree size (assembly trees)",
+        jobs=jobs,
     )
 
 
-def fig6(scale: str = "small", seed: int = 99) -> FigureResult:
+def fig6(scale: str = "small", seed: int = 99, jobs: int = 1) -> FigureResult:
     """Figure 6: scheduling time per node as a function of the tree height."""
     return _timing_figure(
         "fig6",
@@ -470,13 +484,16 @@ def fig6(scale: str = "small", seed: int = 99) -> FigureResult:
         x_key="tree_height",
         y_key="scheduling_seconds_per_node",
         title="Per-node scheduling time vs tree height",
+        jobs=jobs,
     )
 
 
-def fig7(scale: str = "small", seed: int = 2017) -> FigureResult:
+def fig7(scale: str = "small", seed: int = 2017, jobs: int = 1) -> FigureResult:
     """Figure 7: speedup over Activation as a function of the tree height (factor 2)."""
     trees = _dataset("assembly", scale, seed) + _dataset("height", scale, seed + 1)
-    config = SweepConfig(schedulers=("Activation", "MemBooking"), memory_factors=(2.0,))
+    config = SweepConfig(
+        schedulers=("Activation", "MemBooking"), memory_factors=(2.0,), jobs=jobs
+    )
     records = run_sweep(trees, config)
     speedups = speedup_records(records)
     points = sorted((float(s["tree_height"]), float(s["speedup"])) for s in speedups)
@@ -501,37 +518,37 @@ def fig7(scale: str = "small", seed: int = 2017) -> FigureResult:
     )
 
 
-def fig8(scale: str = "small", seed: int = 2017) -> FigureResult:
+def fig8(scale: str = "small", seed: int = 2017, jobs: int = 1) -> FigureResult:
     """Figure 8: impact of the activation/execution order choice, assembly trees."""
-    return _order_choice_figure("fig8", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0))
+    return _order_choice_figure("fig8", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), jobs=jobs)
 
 
-def fig9(scale: str = "small", seed: int = 2017) -> FigureResult:
+def fig9(scale: str = "small", seed: int = 2017, jobs: int = 1) -> FigureResult:
     """Figure 9: normalised makespan for p in {2, 4, 8, 16, 32}, assembly trees."""
     return _processor_sweep_figure(
-        "fig9", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), (2, 4, 8, 16, 32)
+        "fig9", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), (2, 4, 8, 16, 32), jobs=jobs
     )
 
 
 # --------------------------------------------------------------------------- #
 # synthetic-tree figures (10-15)
 # --------------------------------------------------------------------------- #
-def fig10(scale: str = "small", seed: int = 7011) -> FigureResult:
+def fig10(scale: str = "small", seed: int = 7011, jobs: int = 1) -> FigureResult:
     """Figure 10: normalised makespan of the three heuristics, synthetic trees."""
-    return _makespan_figure("fig10", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0))
+    return _makespan_figure("fig10", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs)
 
 
-def fig11(scale: str = "small", seed: int = 7011) -> FigureResult:
+def fig11(scale: str = "small", seed: int = 7011, jobs: int = 1) -> FigureResult:
     """Figure 11: speedup of MemBooking over Activation, synthetic trees."""
-    return _speedup_figure("fig11", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0))
+    return _speedup_figure("fig11", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs)
 
 
-def fig12(scale: str = "small", seed: int = 7011) -> FigureResult:
+def fig12(scale: str = "small", seed: int = 7011, jobs: int = 1) -> FigureResult:
     """Figure 12: fraction of the available memory actually used, synthetic trees."""
-    return _memory_fraction_figure("fig12", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0))
+    return _memory_fraction_figure("fig12", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs)
 
 
-def fig13(scale: str = "small", seed: int = 7011) -> FigureResult:
+def fig13(scale: str = "small", seed: int = 7011, jobs: int = 1) -> FigureResult:
     """Figure 13: scheduling time as a function of the tree size, synthetic trees."""
     return _timing_figure(
         "fig13",
@@ -541,26 +558,32 @@ def fig13(scale: str = "small", seed: int = 7011) -> FigureResult:
         x_key="tree_size",
         y_key="scheduling_seconds",
         title="Scheduling time vs tree size (synthetic trees)",
+        jobs=jobs,
     )
 
 
-def fig14(scale: str = "small", seed: int = 7011) -> FigureResult:
+def fig14(scale: str = "small", seed: int = 7011, jobs: int = 1) -> FigureResult:
     """Figure 14: impact of the activation/execution order choice, synthetic trees."""
-    return _order_choice_figure("fig14", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0))
+    return _order_choice_figure("fig14", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), jobs=jobs)
 
 
-def fig15(scale: str = "small", seed: int = 7011) -> FigureResult:
+def fig15(scale: str = "small", seed: int = 7011, jobs: int = 1) -> FigureResult:
     """Figure 15: normalised makespan for p in {2, 4, 8, 16, 32}, synthetic trees."""
     return _processor_sweep_figure(
-        "fig15", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), (2, 4, 8, 16, 32)
+        "fig15", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), (2, 4, 8, 16, 32), jobs=jobs
     )
 
 
 # --------------------------------------------------------------------------- #
 # text statistics and ablations
 # --------------------------------------------------------------------------- #
-def lb_stats(scale: str = "small", seed: int = 2017) -> FigureResult:
-    """Section 6 statistics: how often the memory-aware bound improves the classical one."""
+def lb_stats(scale: str = "small", seed: int = 2017, jobs: int = 1) -> FigureResult:
+    """Section 6 statistics: how often the memory-aware bound improves the classical one.
+
+    ``jobs`` is accepted for interface uniformity with the sweep-based
+    figures; the bound statistics are cheap and computed in-process.
+    """
+    _ = jobs
     series: Series = {}
     checks: dict[str, bool] = {}
     for kind, tree_seed in (("assembly", seed), ("synthetic", seed + 1)):
@@ -591,7 +614,7 @@ def lb_stats(scale: str = "small", seed: int = 2017) -> FigureResult:
     )
 
 
-def redtree_failures(scale: str = "small", seed: int = 7011) -> FigureResult:
+def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1) -> FigureResult:
     """Section 7.4: MemBookingRedTree cannot schedule many trees under tight memory."""
     trees = _dataset("synthetic", scale, seed)
     config = SweepConfig(
@@ -599,6 +622,7 @@ def redtree_failures(scale: str = "small", seed: int = 7011) -> FigureResult:
         memory_factors=(1.0, 1.2, 1.4, 2.0, 5.0),
         min_completion_fraction=0.0,
         validate=False,
+        jobs=jobs,
     )
     records = run_sweep(trees, config)
     series: Series = {}
@@ -635,8 +659,13 @@ def redtree_failures(scale: str = "small", seed: int = 7011) -> FigureResult:
     )
 
 
-def ablation_dispatch(scale: str = "small", seed: int = 7011) -> FigureResult:
-    """Ablation: ALAP dispatch to computed candidates vs strict Algorithm 3 dispatch."""
+def ablation_dispatch(scale: str = "small", seed: int = 7011, jobs: int = 1) -> FigureResult:
+    """Ablation: ALAP dispatch to computed candidates vs strict Algorithm 3 dispatch.
+
+    ``jobs`` is accepted for interface uniformity; the ablation drives
+    hand-constructed scheduler variants and stays in-process.
+    """
+    _ = jobs
     trees = _dataset("synthetic", scale, seed)
     factors = (1.0, 1.5, 2.0, 5.0)
     series: Series = {"alap_dispatch": [], "strict_dispatch": []}
@@ -683,8 +712,19 @@ def ablation_dispatch(scale: str = "small", seed: int = 7011) -> FigureResult:
     )
 
 
-def ablation_lazy_subtree(scale: str = "small", seed: int = 99) -> FigureResult:
-    """Ablation: optimised data structures vs the reference implementation (timing)."""
+def ablation_lazy_subtree(scale: str = "small", seed: int = 99, jobs: int = 1) -> FigureResult:
+    """Ablation: optimised data structures vs the reference implementation (timing).
+
+    Both implementations now share the heap-based ``ReadyQueue`` for their
+    ready pool, so the remaining difference this ablation measures is the
+    lazy ``BookedBySubtree`` initialisation plus the heap ``CAND`` structure
+    versus the reference's linear candidate scan (the seed additionally
+    differed on an O(n) ready-pool scan, since replaced in both).
+
+    ``jobs`` is accepted for interface uniformity; this ablation measures
+    in-process scheduling time, which parallel workers would distort.
+    """
+    _ = jobs
     sizes = (200, 500, 1000, 2000) if scale != "tiny" else (100, 200, 400)
     from ..workloads.synthetic import SyntheticTreeConfig, synthetic_tree
 

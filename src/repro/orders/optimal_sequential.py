@@ -38,7 +38,7 @@ from heapq import heapify, heappop, heappush
 
 import numpy as np
 
-from ..core.task_tree import TaskTree
+from ..core.task_tree import NO_PARENT, TaskTree
 from .base import Ordering
 
 __all__ = ["optimal_sequential_order", "optimal_sequential_peak"]
@@ -82,32 +82,32 @@ def _merge_children_segments(children_segments: list[list[_Segment]]) -> list[_S
     return merged
 
 
-def _canonical_segments(tree: TaskTree, nodes: list[int]) -> list[_Segment]:
+def _canonical_segments(
+    tree: TaskTree, nodes: list[int], child_fout: np.ndarray
+) -> list[_Segment]:
     """Canonical hill–valley decomposition of executing ``nodes`` in order.
 
     ``nodes`` must be the full node set of a subtree, listed in a valid
     topological order of that subtree.  The profile is computed relative to
     an empty memory (only data internal to the subtree is accounted for,
     which is correct because data from other subtrees is an additive offset).
+
+    ``child_fout`` is the per-node sum of children outputs, precomputed once
+    per tree: because ``nodes`` is a complete subtree, the inputs a node
+    consumes when it executes are exactly the outputs of all its children,
+    which lets the whole profile be built with vectorised prefix sums
+    instead of the seed's per-node Python walk (this function runs once per
+    internal node, so the walk made ``OptSeq`` quadratic in Python ops).
     """
-    fout = tree.fout
-    nexec = tree.nexec
-    parent = tree.parent
-    member = set(nodes)
+    nodes_arr = np.asarray(nodes, dtype=np.int64)
+    out = tree.fout[nodes_arr]
+    # Memory step of each node: allocate its output, free its inputs.
+    delta = out - child_fout[nodes_arr]
+    residents = np.cumsum(delta)
+    # Peak while a node runs: memory before it, plus execution data + output.
+    peaks = residents - delta + tree.nexec[nodes_arr] + out
 
     n = len(nodes)
-    peaks = np.empty(n, dtype=np.float64)
-    residents = np.empty(n, dtype=np.float64)
-    child_output_sum: dict[int, float] = {}
-    current = 0.0
-    for k, node in enumerate(nodes):
-        peaks[k] = current + nexec[node] + fout[node]
-        current = current - child_output_sum.pop(node, 0.0) + fout[node]
-        residents[k] = current
-        p = int(parent[node])
-        if p in member:
-            child_output_sum[p] = child_output_sum.get(p, 0.0) + fout[node]
-
     segments: list[_Segment] = []
     start = 0
     base = 0.0  # resident memory at the start of the current segment
@@ -130,6 +130,11 @@ def _subtree_segments(tree: TaskTree) -> list[_Segment]:
     """Canonical segments of the optimal traversal of the whole tree."""
     fout = tree.fout
     nexec = tree.nexec
+    # Per-node sum of children outputs, accumulated directly (not recovered
+    # from ``mem_needed`` by subtraction, which could lose bits).
+    child_fout = np.zeros(tree.n, dtype=np.float64)
+    has_parent = tree.parent != NO_PARENT
+    np.add.at(child_fout, tree.parent[has_parent], fout[has_parent])
     segments_of: dict[int, list[_Segment]] = {}
     for node in tree.topological_order():  # children before parents
         kids = tree.children(node)
@@ -143,7 +148,7 @@ def _subtree_segments(tree: TaskTree) -> list[_Segment]:
         for segment in merged:
             order_nodes.extend(segment.nodes)
         order_nodes.append(node)
-        segments_of[node] = _canonical_segments(tree, order_nodes)
+        segments_of[node] = _canonical_segments(tree, order_nodes, child_fout)
     return segments_of[tree.root]
 
 

@@ -1,7 +1,7 @@
 """Scheduling heuristics: the paper's three strategies plus reference points."""
 
 from .activation import ActivationScheduler
-from .base import UNSCHEDULED, ScheduleResult, Scheduler, SchedulingError
+from .base import UNSCHEDULED, ReadyQueue, ScheduleResult, Scheduler, SchedulingError
 from .engine import EventDrivenScheduler
 from .list_scheduler import ListScheduler
 from .membooking import MemBookingReferenceScheduler, MemBookingScheduler
@@ -19,6 +19,7 @@ from .validation import MemoryProfile, ValidationReport, memory_profile, validat
 
 __all__ = [
     "ActivationScheduler",
+    "ReadyQueue",
     "UNSCHEDULED",
     "ScheduleResult",
     "Scheduler",

@@ -19,8 +19,10 @@ from __future__ import annotations
 
 from typing import Any
 
-from .._utils import IndexedHeap
+import numpy as np
+
 from ..core.task_tree import NO_PARENT
+from .base import ReadyQueue
 from .engine import EventDrivenScheduler
 from .memory import MemoryLedger
 
@@ -45,8 +47,16 @@ class ActivationScheduler(EventDrivenScheduler):
         # Number of children not yet finished, to detect availability in O(1).
         self._children_not_finished = [tree.num_children(i) for i in range(n)]
         self._finished = [False] * n
+        # Per-node booking request and total input volume (children outputs),
+        # precomputed so the activation/release hot loops stay scalar.
+        self._request = tree.nexec + tree.fout
+        self._children_fout = np.zeros(n, dtype=np.float64)
+        has_parent = tree.parent != NO_PARENT
+        np.add.at(self._children_fout, tree.parent[has_parent], tree.fout[has_parent])
         # Ready tasks (activated + all children finished), keyed by EO rank.
-        self._ready = IndexedHeap()
+        # Registering the queue with the engine enables its empty-queue fast
+        # path and the default ``_pop_ready_task``.
+        self.ready_queue = ReadyQueue(self.eo.rank)
 
     def _activate(self) -> None:
         tree = self.tree
@@ -54,14 +64,14 @@ class ActivationScheduler(EventDrivenScheduler):
         ledger = self._ledger
         while self._next_activation < tree.n:
             node = int(ao[self._next_activation])
-            request = float(tree.nexec[node] + tree.fout[node])
+            request = float(self._request[node])
             if not ledger.fits(request):
                 break
             ledger.book(request)
             self._activated[node] = True
             self._next_activation += 1
             if self._children_not_finished[node] == 0:
-                self._ready.push(node, priority=float(self.eo.rank[node]))
+                self.ready_queue.add(node)
 
     def _on_task_finished(self, node: int) -> None:
         tree = self.tree
@@ -70,20 +80,14 @@ class ActivationScheduler(EventDrivenScheduler):
         # (the outputs of its children, booked when the children were
         # activated).  The output of ``node`` itself stays booked for the
         # parent.
-        released = float(tree.nexec[node])
-        released += float(sum(tree.fout[c] for c in tree.children(node)))
+        released = float(tree.nexec[node]) + float(self._children_fout[node])
         self._ledger.release(released)
 
         parent = int(tree.parent[node])
         if parent != NO_PARENT:
             self._children_not_finished[parent] -= 1
             if self._children_not_finished[parent] == 0 and self._activated[parent]:
-                self._ready.push(parent, priority=float(self.eo.rank[parent]))
-
-    def _pop_ready_task(self) -> int | None:
-        if not self._ready:
-            return None
-        return self._ready.pop()
+                self.ready_queue.add(parent)
 
     def _extra_results(self) -> dict[str, Any]:
         return {

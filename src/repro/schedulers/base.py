@@ -17,20 +17,102 @@ paper does.
 
 from __future__ import annotations
 
+import heapq
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 import numpy as np
 
 from ..core.task_tree import TaskTree
 from ..orders import Ordering, minimum_memory_postorder
 
-__all__ = ["ScheduleResult", "Scheduler", "SchedulingError", "UNSCHEDULED"]
+__all__ = ["ReadyQueue", "ScheduleResult", "Scheduler", "SchedulingError", "UNSCHEDULED"]
 
 #: Sentinel processor id for tasks that never ran (failed schedules).
 UNSCHEDULED: int = -1
+
+
+class ReadyQueue:
+    """Heap-backed queue of ready tasks keyed by an order's rank array.
+
+    Every dynamic heuristic keeps a pool of tasks that may start right now
+    and repeatedly extracts the one with the highest priority of the
+    execution order ``EO`` (smallest rank).  The seed implementations used a
+    mix of ad-hoc structures for this — ``IndexedHeap`` with hand-computed
+    priorities in ``Activation``/``MemBooking``, an O(n) ``min`` scan over a
+    plain set in ``MemBookingReference`` — so the hot decision path of large
+    sweeps paid a linear scan per started task.  ``ReadyQueue`` centralises
+    the pattern: it stores the rank array once and provides amortised
+    O(log n) ``add``/``pop`` on the C-implemented :mod:`heapq`, with
+    ``remove`` handled by lazy deletion (stale heap entries are skipped when
+    they surface).  Entries are ``(rank, node)`` pairs, so extraction is
+    deterministic: ranks are permutations, ties cannot occur between
+    distinct nodes, and a re-added node is indistinguishable from its stale
+    entry — schedules stay exactly reproducible.
+
+    ``pop`` and ``peek`` return ``None`` on an empty queue, matching the
+    engine's ``_pop_ready_task`` contract.
+    """
+
+    __slots__ = ("_heap", "_live", "_rank")
+
+    def __init__(self, rank: np.ndarray, items: Iterable[int] = ()) -> None:
+        self._rank = np.asarray(rank)
+        self._heap: list[tuple[int, int]] = []
+        self._live: set[int] = set()
+        for item in items:
+            self.add(int(item))
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __bool__(self) -> bool:
+        return bool(self._live)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._live
+
+    def add(self, node: int) -> None:
+        """Insert ``node`` with the priority of its rank (raise if present)."""
+        if node in self._live:
+            raise ValueError(f"item {node!r} already in heap")
+        self._live.add(node)
+        heapq.heappush(self._heap, (int(self._rank[node]), node))
+
+    def pop(self) -> int | None:
+        """Remove and return the best-ranked node, or ``None`` when empty."""
+        live = self._live
+        if not live:
+            return None
+        heap = self._heap
+        while True:
+            node = heapq.heappop(heap)[1]
+            if node in live:
+                live.remove(node)
+                return node
+
+    def peek(self) -> int | None:
+        """Return the best-ranked node without removing it (``None`` if empty)."""
+        live = self._live
+        if not live:
+            return None
+        heap = self._heap
+        while heap[0][1] not in live:  # drop stale entries of removed nodes
+            heapq.heappop(heap)
+        return heap[0][1]
+
+    def remove(self, node: int) -> None:
+        """Remove an arbitrary ``node`` (raise ``KeyError`` when absent).
+
+        Lazy: the heap entry stays behind and is skipped when it surfaces.
+        """
+        self._live.remove(node)
+
+    def discard(self, node: int) -> None:
+        """Remove ``node`` when present, do nothing otherwise."""
+        self._live.discard(node)
 
 
 class SchedulingError(RuntimeError):

@@ -13,8 +13,8 @@ from __future__ import annotations
 
 from typing import Any
 
-from .._utils import IndexedHeap
 from ..core.task_tree import NO_PARENT
+from .base import ReadyQueue
 from .engine import EventDrivenScheduler
 
 __all__ = ["ListScheduler"]
@@ -28,9 +28,7 @@ class ListScheduler(EventDrivenScheduler):
     def _setup(self) -> None:
         tree = self.tree
         self._children_not_finished = [tree.num_children(i) for i in range(tree.n)]
-        self._ready = IndexedHeap()
-        for leaf in tree.leaves():
-            self._ready.push(int(leaf), priority=float(self.eo.rank[leaf]))
+        self.ready_queue = ReadyQueue(self.eo.rank, tree.leaves())
 
     def _activate(self) -> None:
         # Nothing to do: every task is implicitly activated.
@@ -41,12 +39,7 @@ class ListScheduler(EventDrivenScheduler):
         if parent != NO_PARENT:
             self._children_not_finished[parent] -= 1
             if self._children_not_finished[parent] == 0:
-                self._ready.push(parent, priority=float(self.eo.rank[parent]))
-
-    def _pop_ready_task(self) -> int | None:
-        if not self._ready:
-            return None
-        return self._ready.pop()
+                self.ready_queue.add(parent)
 
     def _extra_results(self) -> dict[str, Any]:
         return {"memory_oblivious": True}

@@ -30,10 +30,11 @@ Two implementations are provided:
     counters (``ChNotAct``, ``ChNotFin``) provide O(1) state transitions —
     giving the ``O(n (H + log n))`` bound of Theorem 2;
 :class:`MemBookingReferenceScheduler`
-    a direct transcription of Algorithms 2–4 using plain sets and linear
-    scans.  It performs exactly the same bookings and produces exactly the
-    same schedule; the test-suite uses it to validate the optimised data
-    structures.
+    a direct transcription of Algorithms 2–4 whose ``CAND`` structure is a
+    plain set scanned linearly (the ready pool shares the heap-based
+    ``ReadyQueue`` of the optimised version).  It performs exactly the same
+    bookings and produces exactly the same schedule; the test-suite uses it
+    to validate the optimised data structures.
 
 Note on Algorithm 3 vs Algorithm 6 arithmetic: the reference pseudo-code
 (Algorithm 3, line 5) adds ``f_j`` to ``BookedBySubtree[parent(j)]`` while
@@ -50,8 +51,8 @@ from typing import Any
 
 import numpy as np
 
-from .._utils import IndexedHeap
 from ..core.task_tree import NO_PARENT
+from .base import ReadyQueue
 from .engine import EventDrivenScheduler
 from .memory import MemoryLedger
 
@@ -258,43 +259,45 @@ class MemBookingScheduler(_MemBookingCore):
     name = "MemBooking"
 
     def _setup_structures(self) -> None:
-        self._cand = IndexedHeap()
-        self._actf = IndexedHeap()
+        self._cand = ReadyQueue(self.ao.rank)
+        # ACTf: the engine pops ready tasks straight from this queue.
+        self.ready_queue = ReadyQueue(self.eo.rank)
 
     def _make_candidate(self, node: int) -> None:
         self._state[node] = CAND
-        self._cand.push(node, priority=float(self.ao.rank[node]))
+        self._cand.add(node)
 
     def _peek_candidate(self) -> int | None:
-        return self._cand.peek() if self._cand else None
+        return self._cand.peek()
 
     def _remove_candidate(self, node: int) -> None:
         self._cand.remove(node)
 
     def _mark_available(self, node: int) -> None:
-        self._actf.push(node, priority=float(self.eo.rank[node]))
-
-    def _pop_ready_task(self) -> int | None:
-        if not self._actf:
-            return None
-        return self._actf.pop()
+        self.ready_queue.add(node)
 
 
 class MemBookingReferenceScheduler(_MemBookingCore):
-    """Reference MemBooking (Algorithms 2–4) with naive data structures.
+    """Reference MemBooking (Algorithms 2–4) with a naive ``CAND`` structure.
 
-    ``CAND`` and the set of available activated tasks are plain Python sets
-    scanned linearly at every decision.  The bookings are identical to
-    :class:`MemBookingScheduler` — only the asymptotic cost differs — so both
-    classes must produce exactly the same schedule; the test-suite checks
-    this on every random instance it draws.
+    ``CAND`` is a plain Python set scanned linearly at every activation
+    attempt, as in the literal pseudo-code.  The pool of available activated
+    tasks used to be a plain set as well, with an O(n) ``min`` scan per
+    started task; that scan dominated the decision path on large sweeps, so
+    it now shares the heap-based :class:`~repro.schedulers.base.ReadyQueue`
+    with the optimised implementation (EO ranks are permutations, so the
+    extracted task — the unique rank minimiser — is unchanged).  The bookings
+    are identical to :class:`MemBookingScheduler` — only the asymptotic cost
+    of the candidate scan differs — so both classes must produce exactly the
+    same schedule; the test-suite checks this on every random instance it
+    draws.
     """
 
     name = "MemBookingReference"
 
     def _setup_structures(self) -> None:
         self._cand_set: set[int] = set()
-        self._available: set[int] = set()
+        self.ready_queue = ReadyQueue(self.eo.rank)
 
     def _make_candidate(self, node: int) -> None:
         self._state[node] = CAND
@@ -310,12 +313,4 @@ class MemBookingReferenceScheduler(_MemBookingCore):
         self._cand_set.discard(node)
 
     def _mark_available(self, node: int) -> None:
-        self._available.add(node)
-
-    def _pop_ready_task(self) -> int | None:
-        if not self._available:
-            return None
-        rank = self.eo.rank
-        node = min(self._available, key=lambda i: rank[i])
-        self._available.discard(node)
-        return node
+        self.ready_queue.add(node)

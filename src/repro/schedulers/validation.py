@@ -75,6 +75,10 @@ def memory_profile(tree: TaskTree, result: ScheduleResult) -> MemoryProfile:
     Only tasks that actually ran (finite start time) contribute.  Outputs of
     tasks whose parent never ran stay resident until the end of the horizon,
     which is the correct behaviour for failed/partial schedules.
+
+    The reconstruction is fully vectorised (allocation/release events are
+    aggregated with :func:`numpy.unique` and a cumulative sum) because it
+    runs once per simulated schedule — on the hot path of every sweep.
     """
     start = result.start_times
     finish = result.finish_times
@@ -83,53 +87,54 @@ def memory_profile(tree: TaskTree, result: ScheduleResult) -> MemoryProfile:
         return MemoryProfile(times=np.asarray([0.0]), memory=np.asarray([0.0]))
 
     horizon = float(np.nanmax(finish[ran]))
-    events: list[tuple[float, float]] = []
     parent = tree.parent
-    for node in range(tree.n):
-        if not ran[node]:
-            continue
-        s, f = float(start[node]), float(finish[node])
-        # Execution data and input consumption are counted through nexec only:
-        # the children outputs are already resident (allocated at the child's
-        # start) so adding them here would double count.
-        if tree.nexec[node] > 0:
-            events.append((s, float(tree.nexec[node])))
-            events.append((f, -float(tree.nexec[node])))
-        # Output: allocated at start, freed when the parent finishes.
-        p = int(parent[node])
-        release_time = None
-        if p != NO_PARENT and ran[p]:
-            release_time = float(finish[p])
-        if tree.fout[node] > 0:
-            events.append((s, float(tree.fout[node])))
-            if release_time is not None:
-                events.append((release_time, -float(tree.fout[node])))
-            # Otherwise the output stays resident until the horizon.
+    nexec = tree.nexec
+    fout = tree.fout
 
-    if not events:
+    # Execution data and input consumption are counted through nexec only:
+    # the children outputs are already resident (allocated at the child's
+    # start) so adding them here would double count.
+    exec_mask = ran & (nexec > 0)
+    # Output: allocated at start, freed when the parent finishes; when the
+    # parent never ran the output stays resident until the horizon.
+    out_mask = ran & (fout > 0)
+    parent_ran = np.zeros(tree.n, dtype=bool)
+    has_parent = parent != NO_PARENT
+    parent_ran[has_parent] = ran[parent[has_parent]]
+    release_mask = out_mask & parent_ran
+
+    times = np.concatenate(
+        [
+            start[exec_mask],
+            finish[exec_mask],
+            start[out_mask],
+            finish[parent[release_mask]],
+        ]
+    )
+    deltas = np.concatenate(
+        [
+            nexec[exec_mask],
+            -nexec[exec_mask],
+            fout[out_mask],
+            -fout[release_mask],
+        ]
+    ).astype(np.float64)
+
+    if times.size == 0:
         return MemoryProfile(times=np.asarray([0.0, horizon]), memory=np.asarray([0.0, 0.0]))
 
-    events.sort(key=lambda item: item[0])
-    times: list[float] = [0.0]
-    memory: list[float] = [0.0]
-    current = 0.0
-    index = 0
-    while index < len(events):
-        t = events[index][0]
-        delta = 0.0
-        while index < len(events) and events[index][0] == t:
-            delta += events[index][1]
-            index += 1
-        current += delta
-        if t == times[-1]:
-            memory[-1] = current
-        else:
-            times.append(t)
-            memory.append(current)
-    if times[-1] < horizon:
-        times.append(horizon)
-        memory.append(current)
-    return MemoryProfile(times=np.asarray(times), memory=np.asarray(memory))
+    # The profile always starts at t=0 with zero resident memory; a zero
+    # sentinel event merges with any real events happening exactly at 0.
+    times = np.concatenate([[0.0], times])
+    deltas = np.concatenate([[0.0], deltas])
+    unique_times, inverse = np.unique(times, return_inverse=True)
+    summed = np.zeros(unique_times.size, dtype=np.float64)
+    np.add.at(summed, inverse, deltas)
+    memory = np.cumsum(summed)
+    if unique_times[-1] < horizon:
+        unique_times = np.concatenate([unique_times, [horizon]])
+        memory = np.concatenate([memory, memory[-1:]])
+    return MemoryProfile(times=unique_times, memory=memory)
 
 
 @dataclass(frozen=True)
@@ -171,64 +176,70 @@ def validate_schedule(
     if result.completed and not ran.all():
         errors.append("schedule claims completion but some tasks never ran")
 
+    # Every check below is vectorised: the validator runs on every schedule
+    # of a sweep (SweepConfig.validate defaults to True), so per-node Python
+    # loops would dominate the experiment wall-clock on large trees.  Python
+    # iteration only happens over the (normally empty) violation sets.
+
     # 1. durations
-    for node in np.flatnonzero(ran):
-        expected = float(tree.ptime[node])
-        actual = float(finish[node] - start[node])
-        if abs(actual - expected) > tol:
-            errors.append(
-                f"task {node} ran for {actual:.6g} instead of {expected:.6g}"
-            )
-        if start[node] < -tol:
-            errors.append(f"task {node} starts before time 0")
-        if ran[node] and proc[node] == UNSCHEDULED:
-            errors.append(f"task {node} ran but has no processor assigned")
+    ran_nodes = np.flatnonzero(ran)
+    actual = finish[ran_nodes] - start[ran_nodes]
+    expected = tree.ptime[ran_nodes]
+    wrong_duration = np.abs(actual - expected) > tol
+    for node, act, exp in zip(
+        ran_nodes[wrong_duration], actual[wrong_duration], expected[wrong_duration]
+    ):
+        errors.append(f"task {node} ran for {act:.6g} instead of {exp:.6g}")
+    for node in ran_nodes[start[ran_nodes] < -tol]:
+        errors.append(f"task {node} starts before time 0")
+    for node in ran_nodes[proc[ran_nodes] == UNSCHEDULED]:
+        errors.append(f"task {node} ran but has no processor assigned")
 
-    # 2. precedence
-    for child, parent in tree.edges():
-        if ran[parent]:
-            if not ran[child]:
-                errors.append(f"task {parent} ran before its child {child} was executed")
-            elif start[parent] < finish[child] - tol:
-                errors.append(
-                    f"task {parent} started at {start[parent]:.6g} before child {child} "
-                    f"finished at {finish[child]:.6g}"
-                )
+    # 2. precedence (edges run child -> parent)
+    children = np.flatnonzero(tree.parent != NO_PARENT)
+    parents = tree.parent[children]
+    parent_ran = ran[parents]
+    for child in children[parent_ran & ~ran[children]]:
+        errors.append(
+            f"task {tree.parent[child]} ran before its child {child} was executed"
+        )
+    both = parent_ran & ran[children]
+    late = both & (start[parents] < finish[children] - tol)
+    for child, parent in zip(children[late], parents[late]):
+        errors.append(
+            f"task {parent} started at {start[parent]:.6g} before child {child} "
+            f"finished at {finish[child]:.6g}"
+        )
 
-    # 3. processor count: sweep over start/finish events.
-    events: list[tuple[float, int]] = []
-    for node in np.flatnonzero(ran):
-        if tree.ptime[node] <= 0:
-            continue  # zero-duration tasks occupy no processor time
-        events.append((float(start[node]), +1))
-        events.append((float(finish[node]), -1))
-    events.sort(key=lambda item: (item[0], item[1]))
-    running = 0
-    for _, delta in events:
-        running += delta
-        if running > result.num_processors:
+    # 3. processor count: sweep over start/finish events (finish events sort
+    # before start events at the same instant, as in an event-driven runtime).
+    busy = ran & (tree.ptime > 0)  # zero-duration tasks occupy no processor time
+    busy_nodes = np.flatnonzero(busy)
+    if busy_nodes.size:
+        event_times = np.concatenate([start[busy_nodes], finish[busy_nodes]])
+        event_deltas = np.concatenate(
+            [np.ones(busy_nodes.size), -np.ones(busy_nodes.size)]
+        )
+        order = np.lexsort((event_deltas, event_times))
+        running_count = np.cumsum(event_deltas[order])
+        if running_count.max() > result.num_processors:
             errors.append(
                 f"more than p={result.num_processors} tasks run simultaneously"
             )
-            break
 
-    # 4. no overlap on a single processor
-    by_proc: dict[int, list[tuple[float, float, int]]] = {}
-    for node in np.flatnonzero(ran):
-        if tree.ptime[node] <= 0:
-            continue
-        by_proc.setdefault(int(proc[node]), []).append(
-            (float(start[node]), float(finish[node]), node)
-        )
-    for processor, intervals in by_proc.items():
-        if processor == UNSCHEDULED:
-            continue
-        intervals.sort()
-        for (s1, f1, n1), (s2, f2, n2) in zip(intervals, intervals[1:]):
-            if s2 < f1 - tol:
-                errors.append(
-                    f"tasks {n1} and {n2} overlap on processor {processor}"
-                )
+    # 4. no overlap on a single processor: sort by (processor, start) and
+    # compare each interval with its successor on the same processor.
+    assigned = busy & (proc != UNSCHEDULED)
+    nodes = np.flatnonzero(assigned)
+    if nodes.size > 1:
+        order = np.lexsort((finish[nodes], start[nodes], proc[nodes]))
+        nodes = nodes[order]
+        same_proc = proc[nodes[:-1]] == proc[nodes[1:]]
+        overlap = same_proc & (start[nodes[1:]] < finish[nodes[:-1]] - tol)
+        for n1, n2 in zip(nodes[:-1][overlap], nodes[1:][overlap]):
+            errors.append(
+                f"tasks {n1} and {n2} overlap on processor {proc[n1]}"
+            )
 
     # 5. memory bound
     profile = memory_profile(tree, result)

@@ -1,0 +1,6 @@
+"""Test package marker.
+
+The test modules import their shared helpers with relative imports
+(``from .helpers import random_tree``), which requires ``tests`` to be a
+proper package; without this file pytest cannot even collect the suite.
+"""
