@@ -1,0 +1,136 @@
+"""Backend equivalence and transfer-cost benchmark for the sweep engine.
+
+Two guarantees of the zero-copy refactor are asserted here, on the real
+figure workloads rather than toy trees:
+
+* **Byte-identical records** — ``run_sweep`` with the
+  :class:`~repro.experiments.backends.SharedMemoryBackend` must reproduce
+  the :class:`~repro.experiments.backends.SerialBackend` records exactly on
+  the fig8 (AO/EO-choice, assembly trees) and fig15 (processor sweep,
+  synthetic trees) configurations.  Records are compared as pickled bytes —
+  literally byte-identical — after dropping the wall-clock
+  ``scheduling_seconds`` measurements, which are non-deterministic even
+  between two serial runs.
+* **Dispatch payload drop** — on a multi-tree dataset the per-task bytes a
+  worker receives must shrink by >= 10x versus the per-tree
+  :class:`~repro.experiments.backends.ProcessPoolBackend`, because the
+  shared-memory backend ships node arrays once (through the arena) and
+  dispatches index tuples.  The measured sizes are recorded in
+  ``benchmarks/results/backend_payloads.txt``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import SweepConfig, run_sweep
+from repro.experiments.backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    SharedMemoryBackend,
+    dispatch_payload_stats,
+)
+from repro.workloads.datasets import assembly_dataset, synthetic_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+TIMING_FIELDS = frozenset({"scheduling_seconds", "scheduling_seconds_per_node"})
+
+#: fig8's sweep shape: MemBooking under the six AO/EO combinations.
+FIG8_COMBOS = (
+    ("memPO", "memPO"),
+    ("memPO", "CP"),
+    ("OptSeq", "CP"),
+    ("OptSeq", "OptSeq"),
+    ("perfPO", "CP"),
+    ("perfPO", "perfPO"),
+)
+FIG8_FACTORS = (1.5, 2.0, 5.0, 20.0)
+
+#: fig15's sweep shape: three heuristics, five processor counts.
+FIG15_SWEEP = SweepConfig(memory_factors=(1.5, 2.0, 5.0, 10.0), processors=(2, 4, 8, 16, 32))
+
+
+def record_bytes(records):
+    """Pickle each record minus the wall-clock timing fields.
+
+    Comparing serialised bytes (rather than dict equality) makes the
+    byte-identity claim literal and keeps NaN-valued fields of failed
+    instances comparable.
+    """
+    return [
+        pickle.dumps({k: v for k, v in r.items() if k not in TIMING_FIELDS})
+        for r in records
+    ]
+
+
+def test_fig8_configuration_byte_identical(bench_scale):
+    trees, _ = assembly_dataset(bench_scale, seed=2017)
+    for ao_name, eo_name in FIG8_COMBOS:
+        config = SweepConfig(
+            schedulers=("MemBooking",),
+            memory_factors=FIG8_FACTORS,
+            activation_order=ao_name,
+            execution_order=eo_name,
+        )
+        serial = run_sweep(trees, config, backend=SerialBackend())
+        shared = run_sweep(trees, config, backend=SharedMemoryBackend(jobs=2))
+        assert record_bytes(shared) == record_bytes(serial), (
+            f"shared-memory records diverged from serial on fig8 {ao_name}/{eo_name}"
+        )
+
+
+def test_fig15_configuration_byte_identical(bench_scale):
+    trees, _ = synthetic_dataset(bench_scale, seed=7011)
+    serial = run_sweep(trees, FIG15_SWEEP, backend=SerialBackend())
+    shared = run_sweep(trees, FIG15_SWEEP, backend=SharedMemoryBackend(jobs=2))
+    assert record_bytes(shared) == record_bytes(serial), (
+        "shared-memory records diverged from serial on the fig15 configuration"
+    )
+
+
+def test_dispatch_payload_bytes_drop(bench_scale):
+    trees, _ = synthetic_dataset(bench_scale, seed=7011)
+    config = FIG15_SWEEP
+    process = dispatch_payload_stats(ProcessPoolBackend(4), trees, config)
+    shared = dispatch_payload_stats(SharedMemoryBackend(4), trees, config)
+
+    mean_ratio = process["mean_bytes"] / shared["mean_bytes"]
+    total_ratio = process["total_bytes"] / shared["total_bytes"]
+    text = "\n".join(
+        [
+            "== backend_payloads: per-task dispatch payload bytes ==",
+            f"trees={len(trees)} scale={bench_scale} "
+            f"instances={int(shared['num_payloads'])}",
+            f"process pool : {int(process['num_payloads'])} payloads, "
+            f"mean {process['mean_bytes']:.0f} B, max {process['max_bytes']:.0f} B, "
+            f"total {process['total_bytes']:.0f} B",
+            f"shared memory: {int(shared['num_payloads'])} payloads, "
+            f"mean {shared['mean_bytes']:.0f} B, max {shared['max_bytes']:.0f} B, "
+            f"total {shared['total_bytes']:.0f} B",
+            f"mean payload drop : {mean_ratio:.1f}x",
+            f"total bytes drop  : {total_ratio:.1f}x",
+        ]
+    )
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "backend_payloads.txt").write_text(text + "\n")
+
+    assert mean_ratio >= 10.0, (
+        f"expected >= 10x smaller per-worker dispatch payloads, got {mean_ratio:.1f}x"
+    )
+
+
+@pytest.mark.parametrize("jobs", [2])
+def test_shared_memory_backend_through_figure_api(bench_scale, jobs):
+    """The --backend plumbing end to end: figure sweep via shared memory."""
+    from repro.experiments import run_figure
+
+    serial = run_figure("fig12", scale=bench_scale, backend="serial")
+    shared = run_figure("fig12", scale=bench_scale, jobs=jobs, backend="shared-memory")
+    assert record_bytes(shared.records) == record_bytes(serial.records)
+    assert shared.series == serial.series

@@ -85,6 +85,13 @@ def main() -> None:
     print("(or `memtree schedule trees/ --jobs 4` / `memtree figure fig2 --jobs 4`).")
     print("Per-tree orders and minimum memory are computed once and shared by every")
     print("run on the tree, and the records are identical for any worker count.")
+    print()
+    print("With few (or huge) trees, pick the zero-copy shared-memory backend:")
+    print("  records = run_sweep(trees, jobs=4, backend='shared-memory')")
+    print("(or `memtree figure fig2 --jobs 4 --backend shared-memory`).")
+    print("It packs the dataset into one TreeStore arena, ships it to the workers")
+    print("once via multiprocessing.shared_memory, and schedules at instance")
+    print("granularity — same records, tiny per-task payloads.")
 
 
 if __name__ == "__main__":

@@ -216,17 +216,23 @@ def as_float_array(
     name: str,
     *,
     nonnegative: bool = True,
+    copy: bool = True,
 ) -> np.ndarray:
     """Validate per-node floating point data.
 
     ``values`` may be a scalar (broadcast to every node) or a sequence of
-    length ``n``.  The returned array is a fresh ``float64`` array of shape
-    ``(n,)``.
+    length ``n``.  By default the returned array is a fresh ``float64`` array
+    of shape ``(n,)``; with ``copy=False`` an input that is already a
+    ``float64`` array is used as-is (the zero-copy path of
+    :meth:`repro.core.task_tree.TaskTree.from_arrays`), so views into a
+    larger arena keep referencing the arena's buffer.
     """
     if np.isscalar(values):
         array = np.full(n, float(values), dtype=np.float64)  # type: ignore[arg-type]
     else:
-        array = np.asarray(values, dtype=np.float64).copy()
+        array = np.asarray(values, dtype=np.float64)
+        if copy:
+            array = array.copy()
         if array.shape != (n,):
             raise ValueError(f"{name} must have shape ({n},), got {array.shape}")
     if not np.all(np.isfinite(array)):

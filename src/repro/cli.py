@@ -19,6 +19,15 @@ Four sub-commands cover the typical workflows of the library:
     an optional CSV export.  ``--jobs N`` parallelises the underlying sweep
     without changing the reported series.
 
+Both sweep commands take ``--backend`` to pick the execution strategy
+(:mod:`repro.experiments.backends`): ``serial``, ``process`` (one pickled
+tree per worker task) or ``shared-memory``, which packs the dataset into a
+:class:`~repro.core.tree_store.TreeStore` arena shipped once through
+:mod:`multiprocessing.shared_memory` and schedules at instance granularity —
+the right choice when a few huge trees must saturate many workers.  The
+default ``auto`` keeps the historical behaviour (serial for ``--jobs 1``,
+per-tree chunking otherwise); the records are identical for every backend.
+
 Examples
 --------
 ::
@@ -29,6 +38,7 @@ Examples
             --processors 8 --memory-factor 2
     memtree schedule trees/ --scheduler MemBooking --memory-factor 2 --jobs 4
     memtree figure fig10 --scale tiny --jobs 4
+    memtree figure fig15 --scale tiny --jobs 2 --backend shared-memory
 """
 
 from __future__ import annotations
@@ -40,7 +50,7 @@ from pathlib import Path
 from . import __version__
 from .core import load_dataset, load_json, save_dataset, tree_stats
 from .core.task_tree import TaskTree
-from .experiments import FIGURES, SweepConfig, run_figure, run_sweep, write_series_csv
+from .experiments import BACKEND_NAMES, FIGURES, SweepConfig, run_figure, run_sweep, write_series_csv
 from .orders import ORDER_FACTORIES, make_order, minimum_memory_postorder, sequential_peak_memory
 from .schedulers import SCHEDULER_FACTORIES, make_scheduler
 from .workloads import assembly_dataset, synthetic_dataset
@@ -101,6 +111,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes when PATH is a dataset directory (0 = one per CPU)",
     )
+    schedule.add_argument(
+        "--backend",
+        choices=sorted(BACKEND_NAMES),
+        default="auto",
+        help="sweep execution backend for dataset directories "
+        "(shared-memory = ship the dataset once as a zero-copy arena)",
+    )
 
     figure = subparsers.add_parser("figure", help="reproduce a figure of the paper")
     figure.add_argument("figure_id", choices=sorted(FIGURES))
@@ -111,6 +128,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=_jobs_count,
         default=1,
         help="worker processes for the figure's sweep (0 = one per CPU, default 1)",
+    )
+    figure.add_argument(
+        "--backend",
+        choices=sorted(BACKEND_NAMES),
+        default="auto",
+        help="sweep execution backend (shared-memory = zero-copy arena transfer "
+        "+ instance-granularity scheduling)",
     )
 
     return parser
@@ -171,6 +195,7 @@ def _cmd_schedule_dataset(args: argparse.Namespace) -> int:
         activation_order=args.ao,
         execution_order=args.eo,
         jobs=args.jobs,
+        backend=args.backend,
     )
     records = run_sweep(trees, config)
     print(
@@ -218,7 +243,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    result = run_figure(args.figure_id, scale=args.scale, jobs=args.jobs)
+    result = run_figure(args.figure_id, scale=args.scale, jobs=args.jobs, backend=args.backend)
     print(result.as_text())
     if args.csv is not None:
         write_series_csv(result.series, args.csv, x_label=result.x_label)

@@ -62,6 +62,12 @@ class TaskTree:
     validate:
         When true (default) the structure is fully checked; building very
         large trees from trusted generators may disable it.
+    copy:
+        When true (default) the per-node arrays are defensively copied.
+        ``copy=False`` adopts suitably typed input arrays *without* copying
+        (they are marked read-only in place), which is how
+        :class:`~repro.core.tree_store.TreeStore` materialises zero-copy
+        tree views over a shared arena; see :meth:`from_arrays`.
 
     Notes
     -----
@@ -73,6 +79,7 @@ class TaskTree:
     __slots__ = (
         "_parent",
         "_children",
+        "_child_counts",
         "_fout",
         "_nexec",
         "_ptime",
@@ -93,16 +100,19 @@ class TaskTree:
         *,
         names: Sequence[str] | None = None,
         validate: bool = True,
+        copy: bool = True,
     ) -> None:
-        parent_arr = np.asarray(parent, dtype=np.int64).copy()
+        parent_arr = np.asarray(parent, dtype=np.int64)
+        if copy:
+            parent_arr = parent_arr.copy()
         if parent_arr.ndim != 1 or parent_arr.size == 0:
             raise ValueError("parent must be a non-empty 1-D sequence")
         n = int(parent_arr.size)
 
         self._parent = parent_arr
-        self._fout = as_float_array(fout, n, "fout")
-        self._nexec = as_float_array(nexec, n, "nexec")
-        self._ptime = as_float_array(ptime, n, "ptime")
+        self._fout = as_float_array(fout, n, "fout", copy=copy)
+        self._nexec = as_float_array(nexec, n, "nexec", copy=copy)
+        self._ptime = as_float_array(ptime, n, "ptime", copy=copy)
 
         roots = np.flatnonzero(parent_arr == NO_PARENT)
         if validate:
@@ -111,17 +121,21 @@ class TaskTree:
             raise ValueError(f"a TaskTree must have exactly one root, found {roots.size}")
         self._root = int(roots[0])
 
-        # Children lists (tuples for immutability).  Built in O(n).
-        children: list[list[int]] = [[] for _ in range(n)]
-        for node in range(n):
-            p = parent_arr[node]
-            if p != NO_PARENT:
-                children[p].append(node)
-        self._children: tuple[tuple[int, ...], ...] = tuple(tuple(c) for c in children)
+        # Children lists (tuples for immutability), via one stable argsort of
+        # the parent pointers: children of the same parent keep increasing
+        # index order, exactly as the former per-node append loop produced.
+        child_nodes = np.flatnonzero(parent_arr != NO_PARENT)
+        child_parents = parent_arr[child_nodes]
+        child_counts = np.bincount(child_parents, minlength=n)
+        grouped = child_nodes[np.argsort(child_parents, kind="stable")].tolist()
+        bounds = np.concatenate(([0], np.cumsum(child_counts))).tolist()
+        self._children: tuple[tuple[int, ...], ...] = tuple(
+            tuple(grouped[bounds[i] : bounds[i + 1]]) for i in range(n)
+        )
+        self._child_counts = child_counts
 
         # MemNeeded_i  =  sum_{j in children(i)} f_j + n_i + f_i   (Equation (1))
-        child_sum = np.zeros(n, dtype=np.float64)
-        np.add.at(child_sum, parent_arr[parent_arr != NO_PARENT], self._fout[parent_arr != NO_PARENT])
+        child_sum = np.bincount(child_parents, weights=self._fout[child_nodes], minlength=n)
         self._mem_needed = child_sum + self._nexec + self._fout
 
         if names is not None:
@@ -131,7 +145,14 @@ class TaskTree:
         else:
             self._names = None
 
-        for array in (self._parent, self._fout, self._nexec, self._ptime, self._mem_needed):
+        for array in (
+            self._parent,
+            self._fout,
+            self._nexec,
+            self._ptime,
+            self._mem_needed,
+            self._child_counts,
+        ):
             array.setflags(write=False)
 
     # ------------------------------------------------------------------ #
@@ -233,7 +254,7 @@ class TaskTree:
 
     def leaves(self) -> np.ndarray:
         """Indices of all leaves, in increasing index order."""
-        return np.asarray([i for i in range(self.n) if not self._children[i]], dtype=np.int64)
+        return np.flatnonzero(self._child_counts == 0)
 
     def nodes(self) -> range:
         """All node indices, ``0 .. n-1``."""
@@ -294,6 +315,40 @@ class TaskTree:
     # ------------------------------------------------------------------ #
     # derived constructors
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_arrays(
+        cls,
+        parent: Sequence[int] | np.ndarray,
+        fout: Sequence[float] | np.ndarray | float = 1.0,
+        nexec: Sequence[float] | np.ndarray | float = 0.0,
+        ptime: Sequence[float] | np.ndarray | float = 1.0,
+        *,
+        names: Sequence[str] | None = None,
+        validate: bool = True,
+        copy: bool = True,
+    ) -> "TaskTree":
+        """Build a tree from per-node arrays, optionally without copying them.
+
+        With ``copy=False`` the arrays are adopted as-is when they already
+        have the right dtype (``int64`` parents, ``float64`` data) and are
+        marked read-only **in place** — the caller hands over ownership and
+        must not mutate them afterwards.  This is the zero-copy path used by
+        :class:`~repro.core.tree_store.TreeStore` views and by workers that
+        receive tree data through :mod:`multiprocessing.shared_memory`:
+        the resulting :class:`TaskTree` keeps referencing the external
+        buffer instead of duplicating megabytes of node data per transfer.
+        Arrays of a different dtype (or scalars) are still materialised.
+        """
+        return cls(
+            parent,
+            fout=fout,
+            nexec=nexec,
+            ptime=ptime,
+            names=names,
+            validate=validate,
+            copy=copy,
+        )
+
     def with_data(
         self,
         *,

@@ -12,6 +12,11 @@ Two formats are supported:
 :func:`save_dataset` / :func:`load_dataset` persist a whole collection of
 trees (one file per tree plus an ``index.json``), which is how the experiment
 harness caches generated data sets.
+
+For large collections there is also the binary **arena format** of
+:class:`~repro.core.tree_store.TreeStore`: :func:`save_store` packs every
+tree into one contiguous file and :func:`load_store` memory-maps it back, so
+per-tree access is a zero-copy view instead of a parse.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from typing import Any, Iterable, Mapping
 import numpy as np
 
 from .task_tree import NO_PARENT, TaskTree
+from .tree_store import TreeStore
 
 __all__ = [
     "to_dict",
@@ -33,6 +39,8 @@ __all__ = [
     "load_text",
     "save_dataset",
     "load_dataset",
+    "save_store",
+    "load_store",
 ]
 
 _FORMAT_VERSION = 1
@@ -168,6 +176,44 @@ def save_dataset(
     }
     (directory / "index.json").write_text(json.dumps(index, indent=2))
     return directory
+
+
+def save_store(
+    trees: Iterable[TaskTree] | TreeStore,
+    path: str | Path,
+    *,
+    metadata: Mapping[str, Any] | None = None,
+) -> Path:
+    """Write ``trees`` to ``path`` in the binary arena format.
+
+    Accepts either an iterable of trees (packed on the fly) or an existing
+    :class:`~repro.core.tree_store.TreeStore`.  Returns the path.
+    """
+    if isinstance(trees, TreeStore):
+        if metadata is not None:
+            raise ValueError(
+                "metadata can only be set when packing trees, "
+                "not when re-saving an existing store"
+            )
+        store = trees
+    else:
+        store = TreeStore.pack(trees, metadata=metadata)
+    return store.save(path)
+
+
+def load_store(path: str | Path, *, use_mmap: bool = True, validate: bool = False) -> TreeStore:
+    """Open an arena file written by :func:`save_store`.
+
+    The default is an mmap-backed store: tree data stays on disk until a
+    :meth:`~repro.core.tree_store.TreeStore.tree` view actually touches it.
+    ``validate=True`` eagerly runs the full per-tree structure checks — use
+    it for files that did not come from this library's own :func:`save_store`
+    (the arena header checks cannot vouch for the parent pointers inside).
+    """
+    store = TreeStore.load(path, use_mmap=use_mmap)
+    if validate:
+        store.trees(validate=True)
+    return store
 
 
 def load_dataset(directory: str | Path) -> list[TaskTree]:

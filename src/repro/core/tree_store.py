@@ -1,0 +1,428 @@
+"""Contiguous arena storage for whole datasets of task trees.
+
+A :class:`TreeStore` packs the node data of many :class:`~repro.core.task_tree.TaskTree`
+instances into **one contiguous buffer** (the *arena*):
+
+* the same arena bytes serve as the on-disk format (:meth:`TreeStore.save` /
+  :meth:`TreeStore.load`, mmap-backed so loading a multi-gigabyte dataset
+  touches no data until it is used),
+* as the transport format for :mod:`multiprocessing.shared_memory`
+  (:meth:`TreeStore.to_shared_memory` / :meth:`TreeStore.attach`), and
+* as the backing buffer of **zero-copy per-tree views**: :meth:`TreeStore.tree`
+  slices the arena in O(1) and materialises a :class:`TaskTree` through
+  :meth:`TaskTree.from_arrays(..., copy=False) <repro.core.task_tree.TaskTree.from_arrays>`,
+  so every tree's ``parent``/``fout``/``nexec``/``ptime`` arrays reference the
+  arena directly instead of owning private copies.
+
+This is what lets the shared-memory sweep backend
+(:class:`repro.experiments.backends.SharedMemoryBackend`) ship a whole
+dataset to every worker once, as a named shared-memory block, and afterwards
+dispatch work items that carry only ``(arena name, tree index, instance
+parameters)`` — a few dozen bytes — instead of pickling full NumPy arrays
+per task.
+
+Arena layout (version 1, little-endian)::
+
+    0   8 bytes   magic  b"MTARENA1"
+    8   u64       format version
+    16  u64       number of trees
+    24  u64       total number of nodes over all trees
+    32  u64       length of the JSON metadata block
+    40  u64       offset of the data section (8-byte aligned)
+    48  ...       JSON metadata (per-tree names, free-form dataset metadata)
+    data_offset   int64[n_trees + 1]   node offsets (prefix sums of sizes)
+                  int64[total_nodes]   parent pointers (tree-local, root = -1)
+                  f64[total_nodes]     fout
+                  f64[total_nodes]     nexec
+                  f64[total_nodes]     ptime
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import struct
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping
+
+import numpy as np
+
+from .task_tree import NO_PARENT, TaskTree
+
+__all__ = ["TreeStore"]
+
+_MAGIC = b"MTARENA1"
+_VERSION = 1
+#: magic, version, n_trees, total_nodes, meta_len, data_offset
+_HEADER = struct.Struct("<8sQQQQQ")
+
+
+def _align8(offset: int) -> int:
+    return (offset + 7) & ~7
+
+
+class TreeStore:
+    """A read-only collection of task trees backed by one contiguous arena.
+
+    Instances are created through one of the classmethods:
+
+    * :meth:`pack` — build an arena from existing :class:`TaskTree` objects;
+    * :meth:`load` — map (or read) an arena file written by :meth:`save`;
+    * :meth:`attach` — open an arena living in named shared memory.
+
+    The store itself only holds NumPy views into the arena; :meth:`view`
+    returns the raw per-tree arrays in O(1) and :meth:`tree` wraps them into
+    a :class:`TaskTree` without copying any node data.
+    """
+
+    def __init__(
+        self,
+        buffer,
+        *,
+        shm=None,
+        mmap_obj: mmap.mmap | None = None,
+    ) -> None:
+        """Wrap an existing arena ``buffer`` (bytes, bytearray, mmap or shm view).
+
+        ``shm`` / ``mmap_obj`` are the owning resources, kept alive with the
+        store and released by :meth:`close`.  Most callers should use the
+        :meth:`pack` / :meth:`load` / :meth:`attach` classmethods instead.
+        """
+        self._buffer = buffer
+        self._shm = shm
+        self._mmap = mmap_obj
+
+        size = memoryview(buffer).nbytes
+        if size < _HEADER.size:
+            raise ValueError("buffer too small to hold a TreeStore arena header")
+        magic, version, n_trees, total_nodes, meta_len, data_offset = _HEADER.unpack_from(
+            buffer, 0
+        )
+        if magic != _MAGIC:
+            raise ValueError("not a TreeStore arena (bad magic)")
+        if version > _VERSION:
+            raise ValueError(f"unsupported TreeStore arena version {version}")
+        # Bound every header field before trusting it: a corrupt data_offset
+        # or meta_len must fail here, not surface as garbage tree views.
+        if data_offset % 8 != 0 or data_offset < _align8(_HEADER.size + meta_len):
+            raise ValueError("not a TreeStore arena (invalid data offset)")
+        if size < _HEADER.size + meta_len:
+            raise ValueError("truncated TreeStore arena: metadata exceeds the buffer")
+        expected = data_offset + 8 * (n_trees + 1) + 8 * total_nodes * 4
+        if size < expected:
+            raise ValueError(
+                f"truncated TreeStore arena: {size} bytes, layout needs {expected}"
+            )
+        meta = json.loads(bytes(memoryview(buffer)[_HEADER.size : _HEADER.size + meta_len]))
+
+        self._n_trees = int(n_trees)
+        self._total_nodes = int(total_nodes)
+        self._nbytes = int(expected)
+        self._names: list[list[str] | None] = meta.get("names") or [None] * self._n_trees
+        self.metadata: dict[str, Any] = meta.get("metadata", {})
+
+        def view(dtype, count, offset):
+            array = np.frombuffer(buffer, dtype=dtype, count=count, offset=offset)
+            array.setflags(write=False)
+            return array
+
+        cursor = int(data_offset)
+        self._offsets = view(np.int64, n_trees + 1, cursor)
+        cursor += 8 * (n_trees + 1)
+        if n_trees and (
+            int(self._offsets[0]) != 0
+            or int(self._offsets[-1]) != total_nodes
+            or bool(np.any(np.diff(self._offsets) <= 0))
+        ):
+            raise ValueError("not a TreeStore arena (tree offsets are not monotone)")
+        self._parent = view(np.int64, total_nodes, cursor)
+        cursor += 8 * total_nodes
+        self._fout = view(np.float64, total_nodes, cursor)
+        cursor += 8 * total_nodes
+        self._nexec = view(np.float64, total_nodes, cursor)
+        cursor += 8 * total_nodes
+        self._ptime = view(np.float64, total_nodes, cursor)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _layout(
+        trees: Iterable[TaskTree], metadata: Mapping[str, Any] | None
+    ) -> tuple[list[TaskTree], np.ndarray, bytes, int, int]:
+        """Compute the arena layout: (trees, offsets, meta bytes, data offset, nbytes)."""
+        tree_list = list(trees)
+        if not tree_list:
+            raise ValueError("cannot pack an empty collection of trees")
+        sizes = np.asarray([t.n for t in tree_list], dtype=np.int64)
+        offsets = np.zeros(len(tree_list) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+
+        names: list[list[str] | None] = [
+            list(t.names) if t.names is not None else None for t in tree_list
+        ]
+        meta = {
+            "names": names if any(n is not None for n in names) else None,
+            "metadata": dict(metadata or {}),
+        }
+        meta_bytes = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+        data_offset = _align8(_HEADER.size + len(meta_bytes))
+        nbytes = data_offset + 8 * (len(tree_list) + 1) + 8 * int(offsets[-1]) * 4
+        return tree_list, offsets, meta_bytes, data_offset, nbytes
+
+    @staticmethod
+    def _write_arena(
+        buffer,
+        tree_list: list[TaskTree],
+        offsets: np.ndarray,
+        meta_bytes: bytes,
+        data_offset: int,
+    ) -> None:
+        """Serialise ``tree_list`` into ``buffer`` (bytearray or shm view)."""
+        total = int(offsets[-1])
+        _HEADER.pack_into(
+            buffer, 0, _MAGIC, _VERSION, len(tree_list), total, len(meta_bytes), data_offset
+        )
+        buffer[_HEADER.size : _HEADER.size + len(meta_bytes)] = meta_bytes
+
+        cursor = data_offset
+        off_view = np.frombuffer(buffer, dtype=np.int64, count=len(tree_list) + 1, offset=cursor)
+        off_view[:] = offsets
+        cursor += off_view.nbytes
+        for dtype, attr in (
+            (np.int64, "parent"),
+            (np.float64, "fout"),
+            (np.float64, "nexec"),
+            (np.float64, "ptime"),
+        ):
+            column = np.frombuffer(buffer, dtype=dtype, count=total, offset=cursor)
+            for i, tree in enumerate(tree_list):
+                column[offsets[i] : offsets[i + 1]] = getattr(tree, attr)
+            cursor += column.nbytes
+
+    @classmethod
+    def pack(
+        cls,
+        trees: Iterable[TaskTree],
+        *,
+        metadata: Mapping[str, Any] | None = None,
+    ) -> "TreeStore":
+        """Pack ``trees`` into a fresh in-memory arena."""
+        tree_list, offsets, meta_bytes, data_offset, nbytes = cls._layout(trees, metadata)
+        arena = bytearray(nbytes)
+        cls._write_arena(arena, tree_list, offsets, meta_bytes, data_offset)
+        return cls(arena)
+
+    @classmethod
+    def pack_to_shared_memory(
+        cls,
+        trees: Iterable[TaskTree],
+        *,
+        metadata: Mapping[str, Any] | None = None,
+        name: str | None = None,
+    ):
+        """Pack ``trees`` straight into a new named shared-memory block.
+
+        Unlike ``pack(...).to_shared_memory()`` this serialises directly into
+        the segment — no intermediate arena copy, so peak memory stays at one
+        arena regardless of dataset size (what the sweep backend uses).
+        Ownership semantics are those of :meth:`to_shared_memory`.
+        """
+        from multiprocessing import shared_memory
+
+        tree_list, offsets, meta_bytes, data_offset, nbytes = cls._layout(trees, metadata)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes, name=name)
+        try:
+            cls._write_arena(shm.buf, tree_list, offsets, meta_bytes, data_offset)
+        except BaseException:
+            shm.unlink()
+            try:
+                shm.close()
+            except BufferError:  # the unwinding frame may still hold views
+                pass
+            raise
+        return shm
+
+    @classmethod
+    def load(cls, path: str | Path, *, use_mmap: bool = True) -> "TreeStore":
+        """Open an arena file written by :meth:`save`.
+
+        With ``use_mmap=True`` (default) the file is memory-mapped read-only:
+        tree data is paged in lazily by the OS, so opening a huge dataset is
+        O(1) in I/O and several stores/processes can share the page cache.
+        """
+        path = Path(path)
+        if use_mmap:
+            with open(path, "rb") as handle:
+                mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            return cls(mapped, mmap_obj=mapped)
+        return cls(path.read_bytes())
+
+    @classmethod
+    def attach(cls, name: str) -> "TreeStore":
+        """Attach to an arena published with :meth:`to_shared_memory`.
+
+        The returned store keeps the shared-memory segment open for its
+        lifetime; the segment itself stays owned (and is eventually unlinked)
+        by the publishing process.
+        """
+        shm = _open_shared_memory(name)
+        return cls(shm.buf, shm=shm)
+
+    # ------------------------------------------------------------------ #
+    # persistence and sharing
+    # ------------------------------------------------------------------ #
+    def _arena_view(self) -> memoryview:
+        """Zero-copy view of the arena bytes (exactly :attr:`nbytes` long)."""
+        return memoryview(self._buffer)[: self._nbytes]
+
+    def tobytes(self) -> bytes:
+        """Return a copy of the arena bytes (exactly :attr:`nbytes` long)."""
+        return bytes(self._arena_view())
+
+    def save(self, path: str | Path) -> Path:
+        """Write the arena to ``path`` and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(self._arena_view())
+        return path
+
+    def to_shared_memory(self, name: str | None = None):
+        """Copy the arena into a named shared-memory block and return it.
+
+        The arena is copied straight from the backing buffer (no intermediate
+        ``bytes`` duplicate — for the multi-gigabyte datasets the arena
+        targets, a transient second copy would double the peak footprint).
+        The caller owns the returned
+        :class:`multiprocessing.shared_memory.SharedMemory` and must
+        ``close()`` and ``unlink()`` it when every consumer is done; workers
+        attach with :meth:`attach` using ``shm.name``.
+        """
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=self._nbytes, name=name)
+        shm.buf[: self._nbytes] = self._arena_view()
+        return shm
+
+    def close(self) -> None:
+        """Drop the arena views and release any mmap / shared-memory handle.
+
+        Every :class:`TaskTree` view previously handed out must have been
+        dropped first — their arrays reference the arena buffer, and closing
+        a buffer with live exports raises :class:`BufferError`.
+        """
+        self._offsets = self._parent = self._fout = self._nexec = self._ptime = None  # type: ignore[assignment]
+        self._buffer = None
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def nbytes(self) -> int:
+        """Size of the arena in bytes."""
+        return self._nbytes
+
+    @property
+    def total_nodes(self) -> int:
+        """Total number of nodes over all stored trees."""
+        return self._total_nodes
+
+    def __len__(self) -> int:
+        return self._n_trees
+
+    def num_nodes(self, index: int) -> int:
+        """Number of nodes of tree ``index``."""
+        start, stop = self._slice(index)
+        return stop - start
+
+    def _slice(self, index: int) -> tuple[int, int]:
+        if not 0 <= index < self._n_trees:
+            raise IndexError(f"tree index {index} out of range [0, {self._n_trees})")
+        return int(self._offsets[index]), int(self._offsets[index + 1])
+
+    def view(self, index: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """O(1) raw views ``(parent, fout, nexec, ptime)`` of tree ``index``.
+
+        The arrays are read-only slices of the arena; parents are tree-local
+        (the root holds :data:`~repro.core.task_tree.NO_PARENT`).
+        """
+        start, stop = self._slice(index)
+        return (
+            self._parent[start:stop],
+            self._fout[start:stop],
+            self._nexec[start:stop],
+            self._ptime[start:stop],
+        )
+
+    def tree(self, index: int, *, validate: bool = False) -> TaskTree:
+        """Materialise tree ``index`` as a zero-copy :class:`TaskTree` view.
+
+        Node data arrays of the result alias the arena (no bytes are
+        duplicated).  ``validate`` defaults to False because arenas are
+        produced from already-validated trees; pass True for untrusted files.
+        """
+        parent, fout, nexec, ptime = self.view(index)
+        return TaskTree.from_arrays(
+            parent,
+            fout=fout,
+            nexec=nexec,
+            ptime=ptime,
+            names=self._names[index],
+            validate=validate,
+            copy=False,
+        )
+
+    def trees(self, *, validate: bool = False) -> list[TaskTree]:
+        """Materialise every stored tree (each one a zero-copy view).
+
+        ``validate=True`` runs the full :class:`TaskTree` structure checks on
+        every view — the option to use on arenas from untrusted sources,
+        whose parent pointers the header checks alone cannot vouch for.
+        """
+        return [self.tree(i, validate=validate) for i in range(self._n_trees)]
+
+    def __iter__(self) -> Iterator[TaskTree]:
+        return iter(self.trees())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TreeStore(trees={self._n_trees}, total_nodes={self._total_nodes}, "
+            f"nbytes={self._nbytes})"
+        )
+
+
+def _open_shared_memory(name: str):
+    """Open an existing named shared-memory block without tracker churn.
+
+    On Python >= 3.13 ``track=False`` prevents the per-process resource
+    tracker from registering a segment this process does not own.  Older
+    interpreters always register on attach, and because forked workers share
+    one tracker process, N attachments to the same arena would race their
+    (de)registrations and spam ``KeyError`` warnings when the owner unlinks.
+    There the registration is suppressed for the duration of the attach —
+    ownership (and cleanup responsibility) stays with the publishing process.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def register_without_shm(rname, rtype):  # pragma: no cover - py<3.13 shim
+            if rtype != "shared_memory":
+                original(rname, rtype)
+
+        resource_tracker.register = register_without_shm
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original

@@ -1,5 +1,14 @@
 """Experiment harness: sweeps, metrics and per-figure reproductions."""
 
+from .backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    SharedMemoryBackend,
+    dispatch_payload_stats,
+    resolve_backend,
+)
 from .config import DEFAULT_MEMORY_FACTORS, PAPER_HEURISTICS, SweepConfig
 from .figures import FIGURES, FigureResult, run_figure
 from .metrics import (
@@ -23,6 +32,13 @@ from .runner import InstanceContext, prepare_instance, run_instance, run_single,
 from .suite import run_suite, write_suite_report
 
 __all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "SharedMemoryBackend",
+    "dispatch_payload_stats",
+    "resolve_backend",
     "DEFAULT_MEMORY_FACTORS",
     "PAPER_HEURISTICS",
     "SweepConfig",

@@ -1,0 +1,371 @@
+"""Pluggable execution backends for the sweep engine.
+
+:func:`repro.experiments.runner.run_sweep` delegates the *execution* of a
+sweep — which process simulates which (tree, processors, memory factor,
+heuristic) instance — to an :class:`ExecutionBackend`.  Three are provided:
+
+:class:`SerialBackend` (``"serial"``)
+    Everything in-process, one instance after the other.  The canonical
+    record order of the library; every other backend must reproduce it.
+:class:`ProcessPoolBackend` (``"process"``)
+    The PR-1 strategy: one :mod:`multiprocessing` task per tree, the whole
+    tree pickled to the worker, every instance of that tree simulated there.
+    Scales while there are more trees than workers, but ships the full node
+    arrays of each tree through the pipe and cannot split one tree's
+    instances across workers.
+:class:`SharedMemoryBackend` (``"shared-memory"``)
+    Packs the dataset into a :class:`~repro.core.tree_store.TreeStore`
+    arena, publishes it once through :mod:`multiprocessing.shared_memory`,
+    and dispatches at **instance** granularity: each work item is a
+    ``(global index, tree index, scheduler, processors, factor)`` tuple of a
+    few dozen bytes, and workers materialise zero-copy tree views from the
+    arena.  A dataset of a few huge trees therefore saturates every worker,
+    and per-task transfer cost is independent of tree size.
+
+All backends funnel their results through the same deterministic
+**instance-keyed merge** (:func:`merge_records`): every instance has a fixed
+global index in the canonical enumeration (:func:`iter_instances` — trees
+outer, then processors, memory factors, schedulers), and records are placed
+by that index.  Record *values* are pure functions of (tree, config) — only
+the wall-clock ``scheduling_seconds`` measurements differ between runs — so
+the merged output is identical whichever backend produced it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Any, Iterable, Iterator, Sequence
+
+from ..core.task_tree import TaskTree
+from ..core.tree_store import TreeStore
+from .config import SweepConfig
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "SharedMemoryBackend",
+    "BACKEND_NAMES",
+    "resolve_backend",
+    "iter_instances",
+    "runs_per_tree",
+    "merge_records",
+    "dispatch_payload_stats",
+]
+
+#: Backend names accepted by ``SweepConfig.backend`` and the ``--backend``
+#: CLI flags; ``"auto"`` resolves to serial or process depending on ``jobs``.
+BACKEND_NAMES: tuple[str, ...] = ("auto", "serial", "process", "shared-memory")
+
+
+# --------------------------------------------------------------------------- #
+# canonical instance enumeration and merge
+# --------------------------------------------------------------------------- #
+def runs_per_tree(config: SweepConfig) -> int:
+    """Number of simulation instances each tree contributes to a sweep."""
+    return len(config.processors) * len(config.memory_factors) * len(config.schedulers)
+
+
+def iter_instances(
+    config: SweepConfig, num_trees: int
+) -> Iterator[tuple[int, str, int, float]]:
+    """Yield ``(tree_index, scheduler, processors, factor)`` in canonical order.
+
+    The enumeration order *is* the record order of the serial sweep; the
+    position of an instance in this iteration is its global merge index.
+    """
+    for tree_index in range(num_trees):
+        for num_processors in config.processors:
+            for memory_factor in config.memory_factors:
+                for scheduler in config.schedulers:
+                    yield tree_index, scheduler, num_processors, memory_factor
+
+
+def merge_records(
+    total: int, keyed: Iterable[tuple[int, dict[str, Any]]]
+) -> list[dict[str, Any]]:
+    """Place ``(global index, record)`` pairs into canonical order.
+
+    This is the single merge every backend uses, so record order cannot
+    depend on worker scheduling; duplicates and gaps are hard errors rather
+    than silent corruption.
+    """
+    merged: list[dict[str, Any] | None] = [None] * total
+    for index, record in keyed:
+        if not 0 <= index < total:
+            raise ValueError(f"record index {index} outside sweep of {total} instances")
+        if merged[index] is not None:
+            raise ValueError(f"duplicate record for instance {index}")
+        merged[index] = record
+    missing = sum(1 for record in merged if record is None)
+    if missing:
+        raise ValueError(f"sweep incomplete: {missing} of {total} instances missing")
+    return merged  # type: ignore[return-value]
+
+
+def _worker_count(jobs: int, cap: int) -> int:
+    """Resolve a ``jobs`` setting (0 = one per CPU) against a unit cap.
+
+    The single jobs-resolution policy of the sweep engine:
+    :func:`repro.experiments.runner._resolve_jobs` delegates here too, so
+    ``"auto"`` resolution and the explicit backends cannot drift apart.
+    """
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0 (0 means one worker per CPU)")
+    effective = jobs if jobs else (os.cpu_count() or 1)
+    return max(1, min(effective, cap))
+
+
+# --------------------------------------------------------------------------- #
+# the backend interface
+# --------------------------------------------------------------------------- #
+class ExecutionBackend(ABC):
+    """Strategy for executing every instance of a sweep."""
+
+    #: Registry name (also shown in CLI help and reports).
+    name: str = "backend"
+
+    @abstractmethod
+    def run(
+        self, trees: Sequence[TaskTree], config: SweepConfig
+    ) -> list[dict[str, Any]]:
+        """Simulate every instance of ``config`` over ``trees``.
+
+        Must return records equal (timing fields aside) and identically
+        ordered to :class:`SerialBackend`'s output.
+        """
+
+    def dispatch_payloads(
+        self, trees: Sequence[TaskTree], config: SweepConfig
+    ) -> list[Any]:
+        """The per-task objects this backend ships to workers.
+
+        Used by :func:`dispatch_payload_stats` (and the transfer-cost
+        benchmark) so the measured payloads are exactly the objects
+        ``run`` hands to the pool.  In-process backends ship nothing.
+        """
+        return []
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every instance in-process (the canonical reference order)."""
+
+    name = "serial"
+
+    def run(self, trees, config):
+        from .runner import run_instance
+
+        records: list[dict[str, Any]] = []
+        for index, tree in enumerate(trees):
+            records.extend(run_instance(tree, index, config))
+        return records
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Per-tree chunking over a process pool (the PR-1 strategy).
+
+    Each worker task pickles a whole tree plus the config; the tree's
+    :class:`~repro.experiments.runner.InstanceContext` is built once in the
+    worker and reused by all its instances.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int = 0) -> None:
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 means one worker per CPU)")
+        self.jobs = int(jobs)
+
+    def dispatch_payloads(self, trees, config):
+        return [(index, tree, config) for index, tree in enumerate(trees)]
+
+    def run(self, trees, config):
+        from .runner import _run_instance_star
+
+        jobs = _worker_count(self.jobs, len(trees))
+        if jobs <= 1 or len(trees) <= 1:
+            return SerialBackend().run(trees, config)
+        payloads = self.dispatch_payloads(trees, config)
+        per_tree = runs_per_tree(config)
+        # chunksize=1 keeps the scheduling granularity at one tree so a few
+        # large trees cannot serialise behind each other within one worker.
+        with multiprocessing.get_context().Pool(processes=jobs) as pool:
+            chunks = pool.map(_run_instance_star, payloads, chunksize=1)
+        keyed = (
+            (tree_index * per_tree + position, record)
+            for tree_index, chunk in enumerate(chunks)
+            for position, record in enumerate(chunk)
+        )
+        return merge_records(len(trees) * per_tree, keyed)
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory backend
+# --------------------------------------------------------------------------- #
+#: Worker-process state installed by the pool initializer: the attached
+#: arena, the sweep config (shipped once, not per task) and a per-worker
+#: cache of InstanceContexts so repeated instances of one tree share the
+#: order/minimum-memory pre-computation exactly like the per-tree chunking.
+_SHM_WORKER: dict[str, Any] = {}
+
+#: Per-worker LRU bound on cached InstanceContexts.  Instances are
+#: dispatched in canonical (tree-major) order, so a worker touches one or
+#: two trees at a time and a small cache almost never misses; the bound
+#: keeps N workers from each accumulating the derived data (orders,
+#: minimum-memory memo) of the *entire* dataset over a long sweep — the
+#: per-worker duplication the zero-copy arena exists to avoid.
+_SHM_CONTEXT_CACHE_SIZE = 8
+
+
+def _shm_worker_init(arena_name: str, config: SweepConfig) -> None:
+    _SHM_WORKER["store"] = TreeStore.attach(arena_name)
+    _SHM_WORKER["config"] = config
+    _SHM_WORKER["contexts"] = OrderedDict()
+
+
+def _shm_run_instance(
+    payload: tuple[int, int, str, int, float]
+) -> tuple[int, dict[str, Any]]:
+    from .runner import prepare_instance, run_single
+
+    global_index, tree_index, scheduler, num_processors, memory_factor = payload
+    contexts: OrderedDict[int, Any] = _SHM_WORKER["contexts"]
+    context = contexts.get(tree_index)
+    if context is None:
+        config = _SHM_WORKER["config"]
+        tree = _SHM_WORKER["store"].tree(tree_index)
+        context = contexts[tree_index] = prepare_instance(tree, tree_index, config)
+        if len(contexts) > _SHM_CONTEXT_CACHE_SIZE:
+            contexts.popitem(last=False)
+    else:
+        contexts.move_to_end(tree_index)
+    record = run_single(
+        context, scheduler, num_processors, memory_factor, _SHM_WORKER["config"]
+    )
+    return global_index, record
+
+
+class SharedMemoryBackend(ExecutionBackend):
+    """Zero-copy arena transfer plus instance-granularity scheduling.
+
+    The dataset crosses the process boundary exactly once, as a named
+    shared-memory arena; each dispatched task is a tuple of indices and
+    scalars.  Because the unit of work is a single (tree, processors,
+    factor, heuristic) instance, a dataset with fewer trees than workers
+    still spreads across the whole pool — the regime where per-tree
+    chunking degenerates to serial execution.
+    """
+
+    name = "shared-memory"
+
+    def __init__(self, jobs: int = 0) -> None:
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 means one worker per CPU)")
+        self.jobs = int(jobs)
+
+    def dispatch_payloads(self, trees, config):
+        return [
+            (global_index, tree_index, scheduler, num_processors, memory_factor)
+            for global_index, (tree_index, scheduler, num_processors, memory_factor) in enumerate(
+                iter_instances(config, len(trees))
+            )
+        ]
+
+    def run(self, trees, config):
+        trees = list(trees)
+        if not trees:
+            return []
+        total = len(trees) * runs_per_tree(config)
+        jobs = _worker_count(self.jobs, total)
+        if jobs <= 1:
+            return SerialBackend().run(trees, config)
+        payloads = self.dispatch_payloads(trees, config)
+        # Serialise straight into the segment: no intermediate arena copy.
+        shm = TreeStore.pack_to_shared_memory(trees)
+        try:
+            with multiprocessing.get_context().Pool(
+                processes=jobs,
+                initializer=_shm_worker_init,
+                initargs=(shm.name, config),
+            ) as pool:
+                # Unordered completion maximises load balance; the keyed
+                # merge restores the canonical order regardless.
+                keyed = list(pool.imap_unordered(_shm_run_instance, payloads, chunksize=1))
+        finally:
+            shm.close()
+            shm.unlink()
+        return merge_records(total, keyed)
+
+
+# --------------------------------------------------------------------------- #
+# resolution and accounting
+# --------------------------------------------------------------------------- #
+def resolve_backend(
+    spec: "str | ExecutionBackend | None",
+    config: SweepConfig,
+    num_trees: int,
+    jobs: int | None = None,
+) -> ExecutionBackend:
+    """Turn a backend spec (name, instance or None) into a backend object.
+
+    ``None`` defers to ``config.backend``; ``"auto"`` preserves the
+    historical behaviour of ``run_sweep``: serial for an effective worker
+    count of one, otherwise the per-tree process pool.  An explicit ``jobs``
+    (the ``run_sweep`` keyword) wins over ``config.jobs`` — including over
+    the worker count a pre-built backend *instance* was configured with, in
+    which case a shallow copy of the instance carries the override.  An
+    invalid ``jobs`` is rejected on every path, serial included, exactly as
+    the pre-backend ``run_sweep`` did.
+    """
+    if jobs is not None and int(jobs) < 0:
+        raise ValueError("jobs must be >= 0 (0 means one worker per CPU)")
+    if isinstance(spec, ExecutionBackend):
+        if jobs is not None and getattr(spec, "jobs", None) not in (None, int(jobs)):
+            import copy
+
+            override = copy.copy(spec)
+            override.jobs = int(jobs)
+            return override
+        return spec
+    name = spec if spec is not None else config.backend
+    effective_jobs = config.jobs if jobs is None else int(jobs)
+    if name == "auto":
+        from .runner import _resolve_jobs
+
+        resolved = _resolve_jobs(jobs, config, num_trees)
+        return SerialBackend() if resolved <= 1 else ProcessPoolBackend(resolved)
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessPoolBackend(effective_jobs)
+    if name == "shared-memory":
+        return SharedMemoryBackend(effective_jobs)
+    raise ValueError(f"unknown backend {name!r}; available: {sorted(BACKEND_NAMES)}")
+
+
+def dispatch_payload_stats(
+    backend: ExecutionBackend,
+    trees: Sequence[TaskTree],
+    config: SweepConfig,
+) -> dict[str, float]:
+    """Pickled sizes of the exact payloads ``backend`` would ship to workers.
+
+    Returns ``num_payloads``, ``total_bytes``, ``mean_bytes`` and
+    ``max_bytes``.  This is what the transfer-cost benchmark records: for the
+    per-tree pool every payload embeds full node arrays, while the
+    shared-memory backend ships index tuples (the arena crosses once,
+    out of band).
+    """
+    payloads = backend.dispatch_payloads(trees, config)
+    sizes = [len(pickle.dumps(p, protocol=pickle.HIGHEST_PROTOCOL)) for p in payloads]
+    total = float(sum(sizes))
+    return {
+        "num_payloads": float(len(sizes)),
+        "total_bytes": total,
+        "mean_bytes": total / len(sizes) if sizes else 0.0,
+        "max_bytes": float(max(sizes, default=0)),
+    }

@@ -50,9 +50,15 @@ class SweepConfig:
         Number of worker processes used by
         :func:`repro.experiments.runner.run_sweep`.  ``1`` (the default)
         keeps the sweep in-process; ``0`` means "one worker per available
-        CPU".  Instances are chunked per tree so each worker computes the
-        orders and minimum memory of a tree exactly once, and the records
-        are merged back in the exact order the serial sweep would produce.
+        CPU".  Records are always merged back in the exact order the serial
+        sweep would produce.
+    backend:
+        Execution backend used by :func:`~repro.experiments.runner.run_sweep`
+        (see :mod:`repro.experiments.backends`): ``"serial"`` (in-process),
+        ``"process"`` (one pickled tree per pool task), ``"shared-memory"``
+        (zero-copy arena transfer, instance-granularity scheduling) or
+        ``"auto"`` (the default — serial for one worker, ``"process"``
+        otherwise, the historical behaviour).
     """
 
     schedulers: tuple[str, ...] = PAPER_HEURISTICS
@@ -63,6 +69,7 @@ class SweepConfig:
     min_completion_fraction: float = 0.95
     validate: bool = True
     jobs: int = 1
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if not self.schedulers:
@@ -75,6 +82,13 @@ class SweepConfig:
             raise ValueError("min_completion_fraction must be in [0, 1]")
         if self.jobs < 0:
             raise ValueError("jobs must be >= 0 (0 means one worker per CPU)")
+        # Local import: backends imports this module for type information.
+        from .backends import BACKEND_NAMES
+
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; available: {sorted(BACKEND_NAMES)}"
+            )
 
     def with_overrides(self, **kwargs) -> "SweepConfig":
         """Return a copy with some fields replaced."""

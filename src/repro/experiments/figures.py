@@ -126,10 +126,14 @@ def _makespan_figure(
     memory_factors: Sequence[float],
     processors: Sequence[int] = (8,),
     jobs: int = 1,
+    backend: str = "auto",
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed)
     config = SweepConfig(
-        memory_factors=tuple(memory_factors), processors=tuple(processors), jobs=jobs
+        memory_factors=tuple(memory_factors),
+        processors=tuple(processors),
+        jobs=jobs,
+        backend=backend,
     )
     records = run_sweep(trees, config)
     series: Series = {}
@@ -191,12 +195,14 @@ def _speedup_figure(
     seed: int,
     memory_factors: Sequence[float],
     jobs: int = 1,
+    backend: str = "auto",
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed)
     config = SweepConfig(
         schedulers=("Activation", "MemBooking"),
         memory_factors=tuple(memory_factors),
         jobs=jobs,
+        backend=backend,
     )
     records = run_sweep(trees, config)
     speedups = speedup_records(records)
@@ -243,9 +249,10 @@ def _memory_fraction_figure(
     seed: int,
     memory_factors: Sequence[float],
     jobs: int = 1,
+    backend: str = "auto",
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed)
-    config = SweepConfig(memory_factors=tuple(memory_factors), jobs=jobs)
+    config = SweepConfig(memory_factors=tuple(memory_factors), jobs=jobs, backend=backend)
     records = run_sweep(trees, config)
     series: Series = {}
     for scheduler in config.schedulers:
@@ -294,9 +301,12 @@ def _timing_figure(
     y_key: str,
     title: str,
     jobs: int = 1,
+    backend: str = "auto",
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed)
-    config = SweepConfig(memory_factors=(2.0,), processors=(8,), jobs=jobs)
+    config = SweepConfig(
+        memory_factors=(2.0,), processors=(8,), jobs=jobs, backend=backend
+    )
     records = run_sweep(trees, config)
     series: Series = {}
     for scheduler in config.schedulers:
@@ -337,6 +347,7 @@ def _order_choice_figure(
     seed: int,
     memory_factors: Sequence[float],
     jobs: int = 1,
+    backend: str = "auto",
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed)
     combos = [
@@ -356,6 +367,7 @@ def _order_choice_figure(
             activation_order=ao_name,
             execution_order=eo_name,
             jobs=jobs,
+            backend=backend,
         )
         records = run_sweep(trees, config)
         all_records.extend(records)
@@ -399,10 +411,14 @@ def _processor_sweep_figure(
     memory_factors: Sequence[float],
     processors: Sequence[int],
     jobs: int = 1,
+    backend: str = "auto",
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed)
     config = SweepConfig(
-        memory_factors=tuple(memory_factors), processors=tuple(processors), jobs=jobs
+        memory_factors=tuple(memory_factors),
+        processors=tuple(processors),
+        jobs=jobs,
+        backend=backend,
     )
     records = run_sweep(trees, config)
     series: Series = {}
@@ -445,22 +461,22 @@ def _processor_sweep_figure(
 # --------------------------------------------------------------------------- #
 # assembly-tree figures (2-9)
 # --------------------------------------------------------------------------- #
-def fig2(scale: str = "small", seed: int = 2017, jobs: int = 1) -> FigureResult:
+def fig2(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto") -> FigureResult:
     """Figure 2: normalised makespan of the three heuristics, assembly trees."""
-    return _makespan_figure("fig2", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs)
+    return _makespan_figure("fig2", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend)
 
 
-def fig3(scale: str = "small", seed: int = 2017, jobs: int = 1) -> FigureResult:
+def fig3(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto") -> FigureResult:
     """Figure 3: speedup of MemBooking over Activation, assembly trees."""
-    return _speedup_figure("fig3", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs)
+    return _speedup_figure("fig3", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend)
 
 
-def fig4(scale: str = "small", seed: int = 2017, jobs: int = 1) -> FigureResult:
+def fig4(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto") -> FigureResult:
     """Figure 4: fraction of the available memory actually used, assembly trees."""
-    return _memory_fraction_figure("fig4", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs)
+    return _memory_fraction_figure("fig4", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend)
 
 
-def fig5(scale: str = "small", seed: int = 2017, jobs: int = 1) -> FigureResult:
+def fig5(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto") -> FigureResult:
     """Figure 5: scheduling time as a function of the tree size, assembly trees."""
     return _timing_figure(
         "fig5",
@@ -471,10 +487,11 @@ def fig5(scale: str = "small", seed: int = 2017, jobs: int = 1) -> FigureResult:
         y_key="scheduling_seconds",
         title="Scheduling time vs tree size (assembly trees)",
         jobs=jobs,
+        backend=backend,
     )
 
 
-def fig6(scale: str = "small", seed: int = 99, jobs: int = 1) -> FigureResult:
+def fig6(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "auto") -> FigureResult:
     """Figure 6: scheduling time per node as a function of the tree height."""
     return _timing_figure(
         "fig6",
@@ -485,14 +502,15 @@ def fig6(scale: str = "small", seed: int = 99, jobs: int = 1) -> FigureResult:
         y_key="scheduling_seconds_per_node",
         title="Per-node scheduling time vs tree height",
         jobs=jobs,
+        backend=backend,
     )
 
 
-def fig7(scale: str = "small", seed: int = 2017, jobs: int = 1) -> FigureResult:
+def fig7(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto") -> FigureResult:
     """Figure 7: speedup over Activation as a function of the tree height (factor 2)."""
     trees = _dataset("assembly", scale, seed) + _dataset("height", scale, seed + 1)
     config = SweepConfig(
-        schedulers=("Activation", "MemBooking"), memory_factors=(2.0,), jobs=jobs
+        schedulers=("Activation", "MemBooking"), memory_factors=(2.0,), jobs=jobs, backend=backend
     )
     records = run_sweep(trees, config)
     speedups = speedup_records(records)
@@ -518,37 +536,37 @@ def fig7(scale: str = "small", seed: int = 2017, jobs: int = 1) -> FigureResult:
     )
 
 
-def fig8(scale: str = "small", seed: int = 2017, jobs: int = 1) -> FigureResult:
+def fig8(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto") -> FigureResult:
     """Figure 8: impact of the activation/execution order choice, assembly trees."""
-    return _order_choice_figure("fig8", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), jobs=jobs)
+    return _order_choice_figure("fig8", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), jobs=jobs, backend=backend)
 
 
-def fig9(scale: str = "small", seed: int = 2017, jobs: int = 1) -> FigureResult:
+def fig9(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto") -> FigureResult:
     """Figure 9: normalised makespan for p in {2, 4, 8, 16, 32}, assembly trees."""
     return _processor_sweep_figure(
-        "fig9", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), (2, 4, 8, 16, 32), jobs=jobs
+        "fig9", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), (2, 4, 8, 16, 32), jobs=jobs, backend=backend
     )
 
 
 # --------------------------------------------------------------------------- #
 # synthetic-tree figures (10-15)
 # --------------------------------------------------------------------------- #
-def fig10(scale: str = "small", seed: int = 7011, jobs: int = 1) -> FigureResult:
+def fig10(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto") -> FigureResult:
     """Figure 10: normalised makespan of the three heuristics, synthetic trees."""
-    return _makespan_figure("fig10", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs)
+    return _makespan_figure("fig10", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend)
 
 
-def fig11(scale: str = "small", seed: int = 7011, jobs: int = 1) -> FigureResult:
+def fig11(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto") -> FigureResult:
     """Figure 11: speedup of MemBooking over Activation, synthetic trees."""
-    return _speedup_figure("fig11", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs)
+    return _speedup_figure("fig11", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend)
 
 
-def fig12(scale: str = "small", seed: int = 7011, jobs: int = 1) -> FigureResult:
+def fig12(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto") -> FigureResult:
     """Figure 12: fraction of the available memory actually used, synthetic trees."""
-    return _memory_fraction_figure("fig12", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs)
+    return _memory_fraction_figure("fig12", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend)
 
 
-def fig13(scale: str = "small", seed: int = 7011, jobs: int = 1) -> FigureResult:
+def fig13(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto") -> FigureResult:
     """Figure 13: scheduling time as a function of the tree size, synthetic trees."""
     return _timing_figure(
         "fig13",
@@ -559,31 +577,32 @@ def fig13(scale: str = "small", seed: int = 7011, jobs: int = 1) -> FigureResult
         y_key="scheduling_seconds",
         title="Scheduling time vs tree size (synthetic trees)",
         jobs=jobs,
+        backend=backend,
     )
 
 
-def fig14(scale: str = "small", seed: int = 7011, jobs: int = 1) -> FigureResult:
+def fig14(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto") -> FigureResult:
     """Figure 14: impact of the activation/execution order choice, synthetic trees."""
-    return _order_choice_figure("fig14", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), jobs=jobs)
+    return _order_choice_figure("fig14", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), jobs=jobs, backend=backend)
 
 
-def fig15(scale: str = "small", seed: int = 7011, jobs: int = 1) -> FigureResult:
+def fig15(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto") -> FigureResult:
     """Figure 15: normalised makespan for p in {2, 4, 8, 16, 32}, synthetic trees."""
     return _processor_sweep_figure(
-        "fig15", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), (2, 4, 8, 16, 32), jobs=jobs
+        "fig15", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), (2, 4, 8, 16, 32), jobs=jobs, backend=backend
     )
 
 
 # --------------------------------------------------------------------------- #
 # text statistics and ablations
 # --------------------------------------------------------------------------- #
-def lb_stats(scale: str = "small", seed: int = 2017, jobs: int = 1) -> FigureResult:
+def lb_stats(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto") -> FigureResult:
     """Section 6 statistics: how often the memory-aware bound improves the classical one.
 
-    ``jobs`` is accepted for interface uniformity with the sweep-based
-    figures; the bound statistics are cheap and computed in-process.
+    ``jobs`` and ``backend`` are accepted for interface uniformity with the
+    sweep-based figures; the bound statistics are cheap and computed in-process.
     """
-    _ = jobs
+    _ = (jobs, backend)
     series: Series = {}
     checks: dict[str, bool] = {}
     for kind, tree_seed in (("assembly", seed), ("synthetic", seed + 1)):
@@ -614,7 +633,7 @@ def lb_stats(scale: str = "small", seed: int = 2017, jobs: int = 1) -> FigureRes
     )
 
 
-def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1) -> FigureResult:
+def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto") -> FigureResult:
     """Section 7.4: MemBookingRedTree cannot schedule many trees under tight memory."""
     trees = _dataset("synthetic", scale, seed)
     config = SweepConfig(
@@ -623,6 +642,7 @@ def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1) -> F
         min_completion_fraction=0.0,
         validate=False,
         jobs=jobs,
+        backend=backend,
     )
     records = run_sweep(trees, config)
     series: Series = {}
@@ -659,13 +679,13 @@ def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1) -> F
     )
 
 
-def ablation_dispatch(scale: str = "small", seed: int = 7011, jobs: int = 1) -> FigureResult:
+def ablation_dispatch(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto") -> FigureResult:
     """Ablation: ALAP dispatch to computed candidates vs strict Algorithm 3 dispatch.
 
-    ``jobs`` is accepted for interface uniformity; the ablation drives
-    hand-constructed scheduler variants and stays in-process.
+    ``jobs`` and ``backend`` are accepted for interface uniformity; the
+    ablation drives hand-constructed scheduler variants and stays in-process.
     """
-    _ = jobs
+    _ = (jobs, backend)
     trees = _dataset("synthetic", scale, seed)
     factors = (1.0, 1.5, 2.0, 5.0)
     series: Series = {"alap_dispatch": [], "strict_dispatch": []}
@@ -712,7 +732,7 @@ def ablation_dispatch(scale: str = "small", seed: int = 7011, jobs: int = 1) -> 
     )
 
 
-def ablation_lazy_subtree(scale: str = "small", seed: int = 99, jobs: int = 1) -> FigureResult:
+def ablation_lazy_subtree(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "auto") -> FigureResult:
     """Ablation: optimised data structures vs the reference implementation (timing).
 
     Both implementations now share the heap-based ``ReadyQueue`` for their
@@ -721,10 +741,11 @@ def ablation_lazy_subtree(scale: str = "small", seed: int = 99, jobs: int = 1) -
     versus the reference's linear candidate scan (the seed additionally
     differed on an O(n) ready-pool scan, since replaced in both).
 
-    ``jobs`` is accepted for interface uniformity; this ablation measures
-    in-process scheduling time, which parallel workers would distort.
+    ``jobs`` and ``backend`` are accepted for interface uniformity; this
+    ablation measures in-process scheduling time, which parallel workers
+    would distort.
     """
-    _ = jobs
+    _ = (jobs, backend)
     sizes = (200, 500, 1000, 2000) if scale != "tiny" else (100, 200, 400)
     from ..workloads.synthetic import SyntheticTreeConfig, synthetic_tree
 

@@ -15,24 +15,21 @@ The per-tree normalisations follow Section 7.2:
 
 Parallel execution
 ------------------
-The cartesian sweep is embarrassingly parallel across trees, and the paper's
-campaigns (Figures 2–15) multiply trees x memory factors x processor counts
-x heuristics into thousands of simulations.  ``run_sweep(..., jobs=N)`` fans
-the instances out over a :mod:`multiprocessing` pool, chunked **per tree**:
-each worker receives a whole tree and runs every (processors, factor,
-heuristic) combination on it, so the :class:`InstanceContext` — the AO/EO
-orders and the minimum sequential memory, the expensive per-tree
-pre-computation — is built exactly once per tree, never once per run.  The
-per-tree record lists come back through an order-preserving ``pool.map``, so
-the merged result is byte-for-byte the order the serial loop produces and
-every record value except the wall-clock ``scheduling_seconds`` timings is
-identical for any ``jobs``.
+The cartesian sweep is embarrassingly parallel, and the paper's campaigns
+(Figures 2–15) multiply trees x memory factors x processor counts x
+heuristics into thousands of simulations.  *How* the instances execute is
+delegated to the pluggable backends of
+:mod:`repro.experiments.backends`: in-process (``"serial"``), one pickled
+tree per pool task (``"process"``, the historical ``jobs=N`` behaviour) or
+zero-copy shared-memory transfer with instance-granularity scheduling
+(``"shared-memory"``).  All backends place their records through the same
+deterministic instance-keyed merge, so the output is identical — order and
+values, wall-clock ``scheduling_seconds`` measurements aside — whichever
+backend (and worker count) ran the sweep.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 import weakref
 from typing import Any, Iterable, Sequence
 
@@ -186,13 +183,15 @@ def _run_instance_star(payload: tuple[int, TaskTree, SweepConfig]) -> list[dict[
 
 
 def _resolve_jobs(jobs: int | None, config: SweepConfig, num_trees: int) -> int:
-    """Effective worker count: explicit ``jobs`` wins over ``config.jobs``."""
-    effective = config.jobs if jobs is None else int(jobs)
-    if effective < 0:
-        raise ValueError("jobs must be >= 0 (0 means one worker per CPU)")
-    if effective == 0:
-        effective = os.cpu_count() or 1
-    return max(1, min(effective, num_trees))
+    """Effective worker count: explicit ``jobs`` wins over ``config.jobs``.
+
+    The validation / CPU-expansion / capping policy itself lives in
+    :func:`repro.experiments.backends._worker_count` so every resolution
+    path shares one implementation.
+    """
+    from .backends import _worker_count
+
+    return _worker_count(config.jobs if jobs is None else int(jobs), num_trees)
 
 
 def run_sweep(
@@ -200,6 +199,7 @@ def run_sweep(
     config: SweepConfig | None = None,
     *,
     jobs: int | None = None,
+    backend: "str | Any | None" = None,
     **overrides,
 ) -> list[dict[str, Any]]:
     """Run the full cartesian sweep described by ``config`` over ``trees``.
@@ -211,30 +211,23 @@ def run_sweep(
     ----------
     jobs:
         Number of worker processes (overrides ``config.jobs`` when given).
-        ``1`` runs in-process; ``0`` uses one worker per available CPU.  The
-        sweep is chunked per tree so each worker builds one
-        :class:`InstanceContext` per tree, and the records are returned in
-        exactly the serial order whatever the worker count: every field
-        except the wall-clock ``scheduling_seconds`` measurements is
-        identical for any ``jobs``.
+        ``1`` runs in-process; ``0`` uses one worker per available CPU.
+    backend:
+        Execution backend: a name (``"auto"``, ``"serial"``, ``"process"``,
+        ``"shared-memory"``) or an
+        :class:`~repro.experiments.backends.ExecutionBackend` instance;
+        ``None`` defers to ``config.backend`` (default ``"auto"``, which
+        keeps the historical behaviour: serial for one worker, the per-tree
+        process pool otherwise).  Whatever the backend and worker count, the
+        records come back in the serial order with the serial values —
+        only the wall-clock ``scheduling_seconds`` measurements differ.
     """
     if config is None:
         config = SweepConfig(**overrides)
     elif overrides:
         config = config.with_overrides(**overrides)
     tree_list = list(trees)
-    effective_jobs = _resolve_jobs(jobs, config, len(tree_list))
 
-    if effective_jobs <= 1:
-        records: list[dict[str, Any]] = []
-        for index, tree in enumerate(tree_list):
-            records.extend(run_instance(tree, index, config))
-        return records
+    from .backends import resolve_backend
 
-    payloads = [(index, tree, config) for index, tree in enumerate(tree_list)]
-    # chunksize=1 keeps the scheduling granularity at one tree so a few large
-    # trees cannot serialise behind each other; pool.map preserves input
-    # order, which is what makes the merge deterministic.
-    with multiprocessing.get_context().Pool(processes=effective_jobs) as pool:
-        chunks = pool.map(_run_instance_star, payloads, chunksize=1)
-    return [record for chunk in chunks for record in chunk]
+    return resolve_backend(backend, config, len(tree_list), jobs).run(tree_list, config)

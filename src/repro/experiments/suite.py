@@ -22,6 +22,7 @@ import time
 from pathlib import Path
 from typing import Iterable, Mapping
 
+from .backends import BACKEND_NAMES
 from .figures import FIGURES, FigureResult, run_figure
 from .reporting import write_series_csv
 
@@ -33,17 +34,20 @@ def run_suite(
     *,
     scale: str = "small",
     jobs: int = 1,
+    backend: str = "auto",
 ) -> dict[str, FigureResult]:
     """Run the selected figures (all of them by default) and return the results.
 
-    ``jobs`` is forwarded to every figure's sweep: the instances of each
-    figure fan out over that many worker processes (``0`` = one per CPU)
-    while the reported series stay identical to a serial run.
+    ``jobs`` and ``backend`` are forwarded to every figure's sweep: the
+    instances of each figure fan out over that many worker processes (``0``
+    = one per CPU) using the chosen execution backend (``"shared-memory"``
+    ships each dataset once through a shared arena and schedules at instance
+    granularity) while the reported series stay identical to a serial run.
     """
     ids = list(figure_ids) if figure_ids is not None else sorted(FIGURES)
     results: dict[str, FigureResult] = {}
     for figure_id in ids:
-        results[figure_id] = run_figure(figure_id, scale=scale, jobs=jobs)
+        results[figure_id] = run_figure(figure_id, scale=scale, jobs=jobs, backend=backend)
     return results
 
 
@@ -103,9 +107,15 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="worker processes per sweep (0 = one per CPU, default 1)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKEND_NAMES),
+        default="auto",
+        help="sweep execution backend (shared-memory = zero-copy arena transfer)",
+    )
     args = parser.parse_args(argv)
     start = time.perf_counter()
-    results = run_suite(args.figures, scale=args.scale, jobs=args.jobs)
+    results = run_suite(args.figures, scale=args.scale, jobs=args.jobs, backend=args.backend)
     elapsed = time.perf_counter() - start
     summary = write_suite_report(results, args.out, scale=args.scale, elapsed_seconds=elapsed)
     failures = [fid for fid, result in results.items() if not result.all_checks_pass]

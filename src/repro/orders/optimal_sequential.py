@@ -25,6 +25,18 @@ form.  We re-normalise from the exact node-level profile (via
 :func:`repro.orders.peak_memory.sequential_profile` arithmetic) so no
 approximation is introduced at segment boundaries.
 
+Representation
+--------------
+A subtree's decomposition is held as four NumPy arrays — the traversal
+``order``, segment ``bounds`` (``order[bounds[j]:bounds[j+1]]`` is segment
+``j``) and per-segment ``hills``/``valleys`` — processed iteratively over a
+bottom-up topological order.  The seed implementation materialised one
+``_Segment`` dataclass (with a Python node list) per segment per level,
+which dominated the pre-computation cost of order-choice sweeps; the
+array accumulation performs the identical merge and re-normalisation
+(same tie-breaking, same first-occurrence argmax/argmin semantics, hence
+bit-identical traversals) without the per-node object churn.
+
 Complexity is ``O(n^2)`` in the worst case (deep chains) and close to
 ``O(n log n)`` on bushy trees; the optimal traversal is only used on the
 moderate-size instances of the ordering-comparison experiments, as in the
@@ -33,7 +45,6 @@ paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from heapq import heapify, heappop, heappush
 
 import numpy as np
@@ -44,90 +55,88 @@ from .base import Ordering
 __all__ = ["optimal_sequential_order", "optimal_sequential_peak"]
 
 
-@dataclass
-class _Segment:
-    """A hill–valley segment: ``nodes`` executed as an atomic block."""
-
-    hill: float  # peak memory reached, relative to the segment start
-    valley: float  # resident memory at the end, relative to the segment start
-    nodes: list[int]
-
-    @property
-    def key(self) -> float:
-        """Sort key of Liu's combining theorem (larger first)."""
-        return self.hill - self.valley
+#: A subtree decomposition: (order, bounds, hills, valleys).  ``order`` lists
+#: the subtree's nodes in traversal order; segment ``j`` spans
+#: ``order[bounds[j]:bounds[j+1]]`` and has hill ``hills[j]`` / valley
+#: ``valleys[j]`` relative to the memory level at its start.
+_Decomposition = tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 
 
-def _merge_children_segments(children_segments: list[list[_Segment]]) -> list[_Segment]:
-    """Merge canonical segment lists by non-increasing ``hill - valley``.
+def _canonical_decomposition(
+    order: np.ndarray, tree: TaskTree, child_fout: np.ndarray
+) -> _Decomposition:
+    """Canonical hill–valley decomposition of executing ``order`` as given.
 
-    Within each child list the key is non-increasing (canonical property), so
-    a k-way merge preserves every child's internal order.  Ties are broken by
-    child position for determinism.
-    """
-    if len(children_segments) == 1:
-        return list(children_segments[0])
-    heap: list[tuple[float, int, int]] = []
-    for child_pos, segments in enumerate(children_segments):
-        if segments:
-            heap.append((-segments[0].key, child_pos, 0))
-    heapify(heap)
-    merged: list[_Segment] = []
-    while heap:
-        _, child_pos, index = heappop(heap)
-        segments = children_segments[child_pos]
-        merged.append(segments[index])
-        if index + 1 < len(segments):
-            heappush(heap, (-segments[index + 1].key, child_pos, index + 1))
-    return merged
-
-
-def _canonical_segments(
-    tree: TaskTree, nodes: list[int], child_fout: np.ndarray
-) -> list[_Segment]:
-    """Canonical hill–valley decomposition of executing ``nodes`` in order.
-
-    ``nodes`` must be the full node set of a subtree, listed in a valid
-    topological order of that subtree.  The profile is computed relative to
-    an empty memory (only data internal to the subtree is accounted for,
-    which is correct because data from other subtrees is an additive offset).
+    ``order`` must be the full node set of a subtree in a valid topological
+    order of that subtree.  The profile is computed relative to an empty
+    memory (only data internal to the subtree is accounted for, which is
+    correct because data from other subtrees is an additive offset).
 
     ``child_fout`` is the per-node sum of children outputs, precomputed once
-    per tree: because ``nodes`` is a complete subtree, the inputs a node
+    per tree: because ``order`` is a complete subtree, the inputs a node
     consumes when it executes are exactly the outputs of all its children,
-    which lets the whole profile be built with vectorised prefix sums
-    instead of the seed's per-node Python walk (this function runs once per
-    internal node, so the walk made ``OptSeq`` quadratic in Python ops).
+    which lets the whole profile be built with vectorised prefix sums.
     """
-    nodes_arr = np.asarray(nodes, dtype=np.int64)
-    out = tree.fout[nodes_arr]
+    out = tree.fout[order]
     # Memory step of each node: allocate its output, free its inputs.
-    delta = out - child_fout[nodes_arr]
+    delta = out - child_fout[order]
     residents = np.cumsum(delta)
     # Peak while a node runs: memory before it, plus execution data + output.
-    peaks = residents - delta + tree.nexec[nodes_arr] + out
+    peaks = residents - delta + tree.nexec[order] + out
 
-    n = len(nodes)
-    segments: list[_Segment] = []
+    n = order.size
+    bounds = [0]
+    hills: list[float] = []
+    valleys: list[float] = []
     start = 0
     base = 0.0  # resident memory at the start of the current segment
     while start < n:
         # Position of the (first) maximum peak in the remaining suffix.
         hill_pos = start + int(np.argmax(peaks[start:]))
-        hill = float(peaks[hill_pos])
         # Position of the (first) minimum resident at or after the hill.
         valley_pos = hill_pos + int(np.argmin(residents[hill_pos:]))
-        valley = float(residents[valley_pos])
-        segments.append(
-            _Segment(hill=hill - base, valley=valley - base, nodes=list(nodes[start : valley_pos + 1]))
-        )
-        base = valley
+        hills.append(float(peaks[hill_pos]) - base)
+        valleys.append(float(residents[valley_pos]) - base)
+        base = float(residents[valley_pos])
         start = valley_pos + 1
-    return segments
+        bounds.append(start)
+    return (
+        order,
+        np.asarray(bounds, dtype=np.int64),
+        np.asarray(hills, dtype=np.float64),
+        np.asarray(valleys, dtype=np.float64),
+    )
 
 
-def _subtree_segments(tree: TaskTree) -> list[_Segment]:
-    """Canonical segments of the optimal traversal of the whole tree."""
+def _merge_children(parts: list[_Decomposition]) -> list[np.ndarray]:
+    """Merge canonical decompositions by non-increasing ``hill - valley``.
+
+    Within each child the key is non-increasing (canonical property), so a
+    k-way merge preserves every child's internal segment order; ties are
+    broken by child position for determinism.  Returns the merged segment
+    node-chunks (views into the children's order arrays).
+    """
+    if len(parts) == 1:
+        order, bounds, _, _ = parts[0]
+        return [order[bounds[j] : bounds[j + 1]] for j in range(bounds.size - 1)]
+    heap: list[tuple[float, int, int]] = []
+    for child_pos, (_, _, hills, valleys) in enumerate(parts):
+        if hills.size:
+            heap.append((-(float(hills[0]) - float(valleys[0])), child_pos, 0))
+    heapify(heap)
+    chunks: list[np.ndarray] = []
+    while heap:
+        _, child_pos, index = heappop(heap)
+        order, bounds, hills, valleys = parts[child_pos]
+        chunks.append(order[bounds[index] : bounds[index + 1]])
+        if index + 1 < hills.size:
+            key = -(float(hills[index + 1]) - float(valleys[index + 1]))
+            heappush(heap, (key, child_pos, index + 1))
+    return chunks
+
+
+def _subtree_segments(tree: TaskTree) -> _Decomposition:
+    """Canonical decomposition of the optimal traversal of the whole tree."""
     fout = tree.fout
     nexec = tree.nexec
     # Per-node sum of children outputs, accumulated directly (not recovered
@@ -135,21 +144,24 @@ def _subtree_segments(tree: TaskTree) -> list[_Segment]:
     child_fout = np.zeros(tree.n, dtype=np.float64)
     has_parent = tree.parent != NO_PARENT
     np.add.at(child_fout, tree.parent[has_parent], fout[has_parent])
-    segments_of: dict[int, list[_Segment]] = {}
+    leaf_bounds = np.asarray([0, 1], dtype=np.int64)
+    decompositions: dict[int, _Decomposition] = {}
     for node in tree.topological_order():  # children before parents
         kids = tree.children(node)
         if not kids:
-            segments_of[node] = [
-                _Segment(hill=float(nexec[node] + fout[node]), valley=float(fout[node]), nodes=[node])
-            ]
+            decompositions[node] = (
+                np.asarray([node], dtype=np.int64),
+                leaf_bounds,
+                np.asarray([float(nexec[node] + fout[node])]),
+                np.asarray([float(fout[node])]),
+            )
             continue
-        merged = _merge_children_segments([segments_of.pop(c) for c in kids])
-        order_nodes: list[int] = []
-        for segment in merged:
-            order_nodes.extend(segment.nodes)
-        order_nodes.append(node)
-        segments_of[node] = _canonical_segments(tree, order_nodes, child_fout)
-    return segments_of[tree.root]
+        chunks = _merge_children([decompositions.pop(c) for c in kids])
+        chunks.append(np.asarray([node], dtype=np.int64))
+        decompositions[node] = _canonical_decomposition(
+            np.concatenate(chunks), tree, child_fout
+        )
+    return decompositions[tree.root]
 
 
 def optimal_sequential_order(tree: TaskTree, *, name: str = "OptSeq") -> Ordering:
@@ -159,10 +171,8 @@ def optimal_sequential_order(tree: TaskTree, *, name: str = "OptSeq") -> Orderin
     non-postorder) topological order whose sequential peak memory is minimal
     over *all* topological orders of the tree.
     """
-    sequence: list[int] = []
-    for segment in _subtree_segments(tree):
-        sequence.extend(segment.nodes)
-    return Ordering(np.asarray(sequence, dtype=np.int64), name=name)
+    order, _, _, _ = _subtree_segments(tree)
+    return Ordering(order, name=name)
 
 
 def optimal_sequential_peak(tree: TaskTree) -> float:

@@ -108,7 +108,43 @@ class EventDrivenScheduler(Scheduler):
     ao: Ordering
     eo: Ordering
 
+    def _reset_engine_state(self) -> None:
+        """Drop the per-run engine references once a simulation is over.
+
+        Scheduler objects are routinely reused across instances (the sweep
+        runner builds one per record, but the CLI, the ablations and user
+        code call ``schedule`` repeatedly on one object).  Every run fully
+        re-initialises its bookkeeping in ``_setup``, so reuse was already
+        *correct*; clearing the references also stops a finished scheduler
+        from keeping the last tree, its orders and the ready queue alive —
+        which matters because the experiment harness memoises per-tree data
+        behind weak references and relies on trees becoming collectable.
+        """
+        self.tree = None  # type: ignore[assignment]
+        self.ao = None  # type: ignore[assignment]
+        self.eo = None  # type: ignore[assignment]
+        self.ready_queue = None
+
     def _run(
+        self,
+        tree: TaskTree,
+        num_processors: int,
+        memory_limit: float,
+        ao: Ordering,
+        eo: Ordering,
+        *,
+        invariant_hook: Callable[[Mapping[str, Any]], None] | None = None,
+    ) -> ScheduleResult:
+        try:
+            return self._run_simulation(
+                tree, num_processors, memory_limit, ao, eo, invariant_hook=invariant_hook
+            )
+        finally:
+            # Clear the per-run references even when a hook raises, so a
+            # long-lived scheduler object never pins the last tree.
+            self._reset_engine_state()
+
+    def _run_simulation(
         self,
         tree: TaskTree,
         num_processors: int,

@@ -1,0 +1,214 @@
+"""Unit tests for the pluggable sweep execution backends.
+
+Every backend must produce the serial records — same order, same values
+(wall-clock timing fields aside) — and the shared instance-keyed merge must
+fail loudly on duplicates or gaps instead of silently corrupting a sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.backends import (
+    BACKEND_NAMES,
+    ProcessPoolBackend,
+    SerialBackend,
+    SharedMemoryBackend,
+    dispatch_payload_stats,
+    iter_instances,
+    merge_records,
+    resolve_backend,
+    runs_per_tree,
+)
+from repro.experiments.config import SweepConfig
+from repro.experiments.runner import run_sweep
+from repro.workloads import SyntheticTreeConfig, synthetic_trees
+
+TIMING_FIELDS = frozenset({"scheduling_seconds", "scheduling_seconds_per_node"})
+
+
+def strip_timings(records):
+    return [{k: v for k, v in r.items() if k not in TIMING_FIELDS} for r in records]
+
+
+@pytest.fixture(scope="module")
+def trees():
+    return synthetic_trees(4, SyntheticTreeConfig(num_nodes=70), rng=17)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SweepConfig(
+        schedulers=("Activation", "MemBooking"),
+        memory_factors=(1.0, 2.0),
+        processors=(2, 8),
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_records(trees, config):
+    return SerialBackend().run(trees, config)
+
+
+class TestBackendParity:
+    def test_process_pool_matches_serial(self, trees, config, serial_records):
+        records = ProcessPoolBackend(jobs=2).run(trees, config)
+        assert strip_timings(records) == strip_timings(serial_records)
+
+    def test_shared_memory_matches_serial(self, trees, config, serial_records):
+        records = SharedMemoryBackend(jobs=2).run(trees, config)
+        assert strip_timings(records) == strip_timings(serial_records)
+
+    def test_shared_memory_single_tree_fans_out(self, trees, config):
+        """Instance granularity: one tree still spreads over several workers."""
+        serial = SerialBackend().run(trees[:1], config)
+        parallel = SharedMemoryBackend(jobs=3).run(trees[:1], config)
+        assert strip_timings(parallel) == strip_timings(serial)
+
+    def test_shared_memory_empty_dataset(self, config):
+        assert SharedMemoryBackend(jobs=2).run([], config) == []
+
+    def test_run_sweep_backend_keyword(self, trees, config, serial_records):
+        for backend in ("serial", "process", "shared-memory"):
+            records = run_sweep(trees, config, jobs=2, backend=backend)
+            assert strip_timings(records) == strip_timings(serial_records), backend
+
+    def test_run_sweep_backend_instance(self, trees, config, serial_records):
+        records = run_sweep(trees, config, backend=SharedMemoryBackend(jobs=2))
+        assert strip_timings(records) == strip_timings(serial_records)
+
+    def test_config_backend_field(self, trees, config, serial_records):
+        shm_config = config.with_overrides(backend="shared-memory", jobs=2)
+        records = run_sweep(trees, shm_config)
+        assert strip_timings(records) == strip_timings(serial_records)
+
+
+class TestInstanceEnumeration:
+    def test_canonical_order_matches_records(self, trees, config, serial_records):
+        expected = [
+            (tree_index, scheduler, p, factor)
+            for tree_index, scheduler, p, factor in iter_instances(config, len(trees))
+        ]
+        actual = [
+            (r["tree_index"], r["scheduler"], r["num_processors"], r["memory_factor"])
+            for r in serial_records
+        ]
+        assert actual == expected
+
+    def test_runs_per_tree(self, config):
+        assert runs_per_tree(config) == 2 * 2 * 2
+        assert len(list(iter_instances(config, 3))) == 3 * runs_per_tree(config)
+
+
+class TestMerge:
+    def test_restores_order(self):
+        records = [{"i": i} for i in range(5)]
+        shuffled = [(4, records[4]), (0, records[0]), (2, records[2]), (1, records[1]), (3, records[3])]
+        assert merge_records(5, shuffled) == records
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            merge_records(2, [(0, {}), (0, {})])
+
+    def test_rejects_gaps(self):
+        with pytest.raises(ValueError, match="incomplete"):
+            merge_records(3, [(0, {}), (2, {})])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            merge_records(1, [(5, {})])
+
+
+class TestResolution:
+    def test_auto_serial_for_one_worker(self, config):
+        backend = resolve_backend("auto", config, num_trees=5, jobs=1)
+        assert isinstance(backend, SerialBackend)
+
+    def test_auto_process_for_many_workers(self, config):
+        backend = resolve_backend("auto", config, num_trees=5, jobs=4)
+        assert isinstance(backend, ProcessPoolBackend)
+
+    def test_none_defers_to_config(self, config):
+        backend = resolve_backend(None, config.with_overrides(backend="shared-memory", jobs=2), 5)
+        assert isinstance(backend, SharedMemoryBackend)
+
+    def test_instance_passthrough(self, config):
+        backend = SharedMemoryBackend(jobs=2)
+        assert resolve_backend(backend, config, 5) is backend
+        # No explicit jobs, or a matching one, keeps the caller's instance.
+        assert resolve_backend(backend, config, 5, jobs=2) is backend
+
+    def test_explicit_jobs_overrides_instance(self, config):
+        """run_sweep's 'jobs wins' contract also applies to instance specs."""
+        backend = SharedMemoryBackend(jobs=0)  # one worker per CPU
+        resolved = resolve_backend(backend, config, 5, jobs=1)
+        assert isinstance(resolved, SharedMemoryBackend)
+        assert resolved is not backend
+        assert resolved.jobs == 1
+        assert backend.jobs == 0  # the caller's object is untouched
+
+    def test_unknown_name_rejected(self, config):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("teleport", config, 5)
+
+    def test_negative_jobs_rejected_on_every_path(self, trees, config):
+        """Pre-backend run_sweep raised for jobs<0 even in-process; keep that."""
+        for backend in ("auto", "serial", "process", "shared-memory"):
+            with pytest.raises(ValueError, match="jobs must be >= 0"):
+                run_sweep(trees, config, jobs=-3, backend=backend)
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            run_sweep(trees, config, jobs=-3, backend=SharedMemoryBackend(jobs=2))
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            ProcessPoolBackend(jobs=-1)
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            SharedMemoryBackend(jobs=-1)
+
+    def test_config_validates_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            SweepConfig(backend="teleport")
+        for name in BACKEND_NAMES:
+            assert SweepConfig(backend=name).backend == name
+
+
+class TestPayloadAccounting:
+    def test_shared_memory_payloads_are_small(self, trees, config):
+        process = dispatch_payload_stats(ProcessPoolBackend(2), trees, config)
+        shared = dispatch_payload_stats(SharedMemoryBackend(2), trees, config)
+        assert process["num_payloads"] == len(trees)
+        assert shared["num_payloads"] == len(trees) * runs_per_tree(config)
+        # The per-task transfer must not embed node arrays: even on these
+        # 70-node toy trees the per-tree payload dwarfs the index tuple.
+        assert shared["max_bytes"] < 200
+        assert process["mean_bytes"] / shared["mean_bytes"] >= 10
+
+    def test_serial_ships_nothing(self, trees, config):
+        assert dispatch_payload_stats(SerialBackend(), trees, config)["num_payloads"] == 0
+
+
+class TestWorkerContextCache:
+    def test_cache_is_bounded_and_correct(self, config):
+        """A worker's context cache must not grow past the LRU bound."""
+        from repro.core import TreeStore
+        from repro.experiments import backends
+
+        trees = synthetic_trees(
+            backends._SHM_CONTEXT_CACHE_SIZE + 4, SyntheticTreeConfig(num_nodes=30), rng=23
+        )
+        store = TreeStore.pack(trees)
+        shm = store.to_shared_memory()
+        saved = dict(backends._SHM_WORKER)
+        try:
+            backends._shm_worker_init(shm.name, config)
+            payloads = backends.SharedMemoryBackend().dispatch_payloads(trees, config)
+            keyed = [backends._shm_run_instance(p) for p in payloads]
+            assert len(backends._SHM_WORKER["contexts"]) <= backends._SHM_CONTEXT_CACHE_SIZE
+            serial = SerialBackend().run(trees, config)
+            merged = backends.merge_records(len(serial), keyed)
+            assert strip_timings(merged) == strip_timings(serial)
+        finally:
+            backends._SHM_WORKER["contexts"].clear()
+            backends._SHM_WORKER["store"].close()
+            backends._SHM_WORKER.clear()
+            backends._SHM_WORKER.update(saved)
+            shm.close()
+            shm.unlink()

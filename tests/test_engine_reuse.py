@@ -1,0 +1,98 @@
+"""Reusing one scheduler object must be indistinguishable from a fresh one.
+
+``EventDrivenScheduler._run`` re-initialises every piece of bookkeeping in
+``_setup`` and clears the per-run engine references (tree, orders, ready
+queue) when the simulation ends, so calling ``schedule`` repeatedly on the
+same object — as the CLI, the ablations and user code do — must produce
+identical :class:`~repro.schedulers.base.ScheduleResult`\\ s every time, and
+must not keep the previously scheduled tree alive.
+"""
+
+from __future__ import annotations
+
+import gc
+import weakref
+
+import numpy as np
+import pytest
+
+from repro.orders import minimum_memory_postorder, sequential_peak_memory
+from repro.schedulers import SCHEDULER_FACTORIES
+
+from .helpers import random_tree
+
+ENGINE_SCHEDULERS = sorted(SCHEDULER_FACTORIES)
+
+
+def _schedule(scheduler, tree, factor=1.5):
+    order = minimum_memory_postorder(tree)
+    minimum = sequential_peak_memory(tree, order, check=False)
+    return scheduler.schedule(tree, 4, factor * minimum, ao=order, eo=order)
+
+
+def _assert_identical(first, second):
+    assert second.completed == first.completed
+    assert second.makespan == first.makespan
+    assert second.peak_memory == first.peak_memory
+    assert second.num_events == first.num_events
+    assert second.failure_reason == first.failure_reason
+    np.testing.assert_array_equal(second.start_times, first.start_times)
+    np.testing.assert_array_equal(second.finish_times, first.finish_times)
+    np.testing.assert_array_equal(second.processor, first.processor)
+
+
+class TestSchedulerReuse:
+    @pytest.mark.parametrize("name", ENGINE_SCHEDULERS)
+    def test_two_runs_identical(self, name, rng):
+        tree = random_tree(rng, 60)
+        scheduler = SCHEDULER_FACTORIES[name]()
+        first = _schedule(scheduler, tree)
+        second = _schedule(scheduler, tree)
+        _assert_identical(first, second)
+
+    @pytest.mark.parametrize("name", ENGINE_SCHEDULERS)
+    def test_interleaved_trees_identical_to_fresh(self, name, rng):
+        """A run on tree B between two runs on tree A must not leak state."""
+        tree_a = random_tree(rng, 50)
+        tree_b = random_tree(rng, 70)
+        reused = SCHEDULER_FACTORIES[name]()
+        first = _schedule(reused, tree_a)
+        _schedule(reused, tree_b)
+        again = _schedule(reused, tree_a)
+        fresh = _schedule(SCHEDULER_FACTORIES[name](), tree_a)
+        _assert_identical(first, again)
+        _assert_identical(fresh, again)
+
+    def test_engine_state_cleared_after_run(self, rng):
+        tree = random_tree(rng, 40)
+        scheduler = SCHEDULER_FACTORIES["Activation"]()
+        _schedule(scheduler, tree)
+        assert scheduler.tree is None
+        assert scheduler.ao is None and scheduler.eo is None
+        assert scheduler.ready_queue is None
+
+    def test_engine_state_cleared_when_hook_raises(self, rng):
+        """The reset must run on the failure path too (try/finally)."""
+        from repro.schedulers.activation import ActivationScheduler
+
+        class ExplodingScheduler(ActivationScheduler):
+            def _activate(self) -> None:
+                raise RuntimeError("boom")
+
+        tree = random_tree(rng, 20)
+        scheduler = ExplodingScheduler()
+        with pytest.raises(RuntimeError, match="boom"):
+            _schedule(scheduler, tree)
+        assert scheduler.tree is None
+        assert scheduler.ao is None and scheduler.eo is None
+        assert scheduler.ready_queue is None
+
+    def test_scheduler_does_not_keep_tree_alive(self, rng):
+        """The weak-keyed sweep memo relies on trees becoming collectable."""
+        tree = random_tree(rng, 40)
+        ref = weakref.ref(tree)
+        scheduler = SCHEDULER_FACTORIES["MemBooking"]()
+        _schedule(scheduler, tree)
+        del tree
+        gc.collect()
+        assert ref() is None, "a finished scheduler must not pin the tree"

@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
+
 import numpy as np
 import pytest
 
-from repro.core.task_tree import TaskTree
+from repro.core.task_tree import NO_PARENT, TaskTree
+from repro.orders.base import Ordering
 from repro.orders.optimal_sequential import optimal_sequential_order, optimal_sequential_peak
 from repro.orders.peak_memory import sequential_peak_memory
 from repro.orders.postorder import minimum_memory_postorder
@@ -37,6 +41,123 @@ class TestBasics:
             opt = optimal_sequential_peak(tree)
             mem_po = sequential_peak_memory(tree, minimum_memory_postorder(tree))
             assert opt <= mem_po + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# Reference implementation for the parity test: the pre-rewrite algorithm,
+# which accumulated one ``_Segment`` dataclass (with a Python node list) per
+# hill–valley segment per level.  The production version performs the same
+# merge and re-normalisation over flat arrays; this transcription pins down
+# the behaviour the rewrite must reproduce *exactly* (same tie-breaking, same
+# first-occurrence argmax/argmin), so the traversals must be bit-identical.
+# --------------------------------------------------------------------------- #
+@dataclass
+class _Segment:
+    hill: float
+    valley: float
+    nodes: list[int]
+
+    @property
+    def key(self) -> float:
+        return self.hill - self.valley
+
+
+def _reference_merge(children_segments: list[list[_Segment]]) -> list[_Segment]:
+    if len(children_segments) == 1:
+        return list(children_segments[0])
+    heap: list[tuple[float, int, int]] = []
+    for child_pos, segments in enumerate(children_segments):
+        if segments:
+            heap.append((-segments[0].key, child_pos, 0))
+    heapify(heap)
+    merged: list[_Segment] = []
+    while heap:
+        _, child_pos, index = heappop(heap)
+        segments = children_segments[child_pos]
+        merged.append(segments[index])
+        if index + 1 < len(segments):
+            heappush(heap, (-segments[index + 1].key, child_pos, index + 1))
+    return merged
+
+
+def _reference_canonical(
+    tree: TaskTree, nodes: list[int], child_fout: np.ndarray
+) -> list[_Segment]:
+    nodes_arr = np.asarray(nodes, dtype=np.int64)
+    out = tree.fout[nodes_arr]
+    delta = out - child_fout[nodes_arr]
+    residents = np.cumsum(delta)
+    peaks = residents - delta + tree.nexec[nodes_arr] + out
+    n = len(nodes)
+    segments: list[_Segment] = []
+    start = 0
+    base = 0.0
+    while start < n:
+        hill_pos = start + int(np.argmax(peaks[start:]))
+        hill = float(peaks[hill_pos])
+        valley_pos = hill_pos + int(np.argmin(residents[hill_pos:]))
+        valley = float(residents[valley_pos])
+        segments.append(
+            _Segment(hill=hill - base, valley=valley - base, nodes=list(nodes[start : valley_pos + 1]))
+        )
+        base = valley
+        start = valley_pos + 1
+    return segments
+
+
+def reference_optimal_order(tree: TaskTree) -> Ordering:
+    child_fout = np.zeros(tree.n, dtype=np.float64)
+    has_parent = tree.parent != NO_PARENT
+    np.add.at(child_fout, tree.parent[has_parent], tree.fout[has_parent])
+    segments_of: dict[int, list[_Segment]] = {}
+    for node in tree.topological_order():
+        kids = tree.children(node)
+        if not kids:
+            segments_of[node] = [
+                _Segment(
+                    hill=float(tree.nexec[node] + tree.fout[node]),
+                    valley=float(tree.fout[node]),
+                    nodes=[node],
+                )
+            ]
+            continue
+        merged = _reference_merge([segments_of.pop(c) for c in kids])
+        order_nodes: list[int] = []
+        for segment in merged:
+            order_nodes.extend(segment.nodes)
+        order_nodes.append(node)
+        segments_of[node] = _reference_canonical(tree, order_nodes, child_fout)
+    sequence: list[int] = []
+    for segment in segments_of[tree.root]:
+        sequence.extend(segment.nodes)
+    return Ordering(np.asarray(sequence, dtype=np.int64), name="OptSeq-reference")
+
+
+class TestArrayRewriteParity:
+    """The array-based accumulation must match the reference bit-for-bit."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_identical_traversal_random_trees(self, seed):
+        rng = np.random.default_rng(seed)
+        tree = random_tree(rng, int(rng.integers(1, 120)), integer_data=False)
+        fast = optimal_sequential_order(tree)
+        reference = reference_optimal_order(tree)
+        assert fast.sequence.tolist() == reference.sequence.tolist()
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_identical_traversal_chainy_trees(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        tree = random_chainy_tree(rng, int(rng.integers(2, 80)))
+        fast = optimal_sequential_order(tree)
+        reference = reference_optimal_order(tree)
+        assert fast.sequence.tolist() == reference.sequence.tolist()
+
+    def test_identical_peak(self, rng):
+        for _ in range(10):
+            tree = random_tree(rng, int(rng.integers(2, 100)))
+            assert optimal_sequential_peak(tree) == pytest.approx(
+                sequential_peak_memory(tree, reference_optimal_order(tree), check=False)
+            )
 
 
 class TestOptimalityExhaustive:

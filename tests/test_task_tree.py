@@ -159,3 +159,93 @@ class TestDerived:
     def test_total_work_and_max_mem(self, small_tree):
         assert small_tree.total_work == pytest.approx(float(small_tree.ptime.sum()))
         assert small_tree.max_mem_needed == pytest.approx(float(small_tree.mem_needed.max()))
+
+
+class TestFromArrays:
+    """The zero-copy construction path used by TreeStore views."""
+
+    def _arrays(self):
+        parent = np.asarray([4, 4, 5, 5, 6, 6, -1], dtype=np.int64)
+        fout = np.asarray([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+        nexec = np.asarray([0.5] * 7)
+        ptime = np.asarray([1.0] * 7)
+        return parent, fout, nexec, ptime
+
+    def test_copy_true_is_defensive(self):
+        parent, fout, nexec, ptime = self._arrays()
+        tree = TaskTree.from_arrays(parent, fout=fout, nexec=nexec, ptime=ptime)
+        assert not np.shares_memory(tree.parent, parent)
+        assert not np.shares_memory(tree.fout, fout)
+        fout[0] = 99.0  # the caller's array stays writable and independent
+        assert tree.fout[0] == 1.0
+
+    def test_copy_false_adopts_buffers(self):
+        parent, fout, nexec, ptime = self._arrays()
+        tree = TaskTree.from_arrays(parent, fout=fout, nexec=nexec, ptime=ptime, copy=False)
+        assert np.shares_memory(tree.parent, parent)
+        assert np.shares_memory(tree.fout, fout)
+        assert np.shares_memory(tree.nexec, nexec)
+        assert np.shares_memory(tree.ptime, ptime)
+
+    def test_copy_false_marks_read_only_in_place(self):
+        parent, fout, nexec, ptime = self._arrays()
+        TaskTree.from_arrays(parent, fout=fout, nexec=nexec, ptime=ptime, copy=False)
+        assert not fout.flags.writeable
+        with pytest.raises(ValueError):
+            fout[0] = 99.0
+
+    def test_copy_false_equivalent_tree(self, rng):
+        reference = random_tree(rng, 40, integer_data=False)
+        view = TaskTree.from_arrays(
+            reference.parent,
+            fout=reference.fout,
+            nexec=reference.nexec,
+            ptime=reference.ptime,
+            copy=False,
+            validate=False,
+        )
+        assert view == reference
+        assert view.root == reference.root
+        assert np.array_equal(view.mem_needed, reference.mem_needed)
+        assert [view.children(i) for i in view.nodes()] == [
+            reference.children(i) for i in reference.nodes()
+        ]
+
+    def test_copy_false_still_materialises_scalars(self):
+        parent = np.asarray([1, -1], dtype=np.int64)
+        tree = TaskTree.from_arrays(parent, fout=2.0, copy=False)
+        assert np.allclose(tree.fout, [2.0, 2.0])
+
+    def test_copy_false_converts_foreign_dtype(self):
+        parent = np.asarray([1, -1], dtype=np.int64)
+        fout32 = np.asarray([1.0, 2.0], dtype=np.float32)
+        tree = TaskTree.from_arrays(parent, fout=fout32, copy=False)
+        assert tree.fout.dtype == np.float64
+        assert not np.shares_memory(tree.fout, fout32)
+
+    def test_validation_still_applies(self):
+        with pytest.raises(ValueError):
+            TaskTree.from_arrays(np.asarray([0, -1, -1], dtype=np.int64), copy=False)
+
+
+class TestVectorisedStructure:
+    """leaves()/children are built from bincount + argsort, not Python loops."""
+
+    def test_leaves_matches_definition(self, rng):
+        for _ in range(10):
+            tree = random_tree(rng, int(rng.integers(1, 80)))
+            expected = [i for i in range(tree.n) if not tree.children(i)]
+            assert tree.leaves().tolist() == expected
+
+    def test_children_sorted_by_index(self, rng):
+        for _ in range(10):
+            tree = random_tree(rng, int(rng.integers(2, 80)))
+            for node in tree.nodes():
+                kids = tree.children(node)
+                assert list(kids) == sorted(kids)
+                assert all(tree.parent[c] == node for c in kids)
+            assert sum(len(tree.children(i)) for i in tree.nodes()) == tree.n - 1
+
+    def test_children_are_plain_ints(self, small_tree):
+        for node in small_tree.nodes():
+            assert all(type(c) is int for c in small_tree.children(node))

@@ -1,0 +1,219 @@
+"""Unit tests for the :class:`~repro.core.tree_store.TreeStore` arena format.
+
+Covers the satellite requirements of the zero-copy refactor: packing a
+dataset into one arena, per-tree views aliasing the arena buffer (no node
+data copied), the ``save -> mmap load -> view equality`` round-trip —
+including trees with names and default ``nexec``/``ptime`` — and the
+shared-memory publish/attach cycle the sweep backend uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TreeStore, load_store, save_store
+from repro.core.task_tree import TaskTree
+
+from .helpers import random_tree
+
+
+@pytest.fixture()
+def mixed_trees(rng):
+    """Random trees plus the edge cases the arena must preserve."""
+    trees = [random_tree(rng, int(n), integer_data=False) for n in (5, 23, 57)]
+    # Names, and data left at the constructor defaults (nexec=0, ptime=1).
+    trees.append(TaskTree([-1, 0, 0, 1], fout=[4.0, 3.0, 2.0, 1.0], names=["r", "a", "b", "c"]))
+    # Single-node tree.
+    trees.append(TaskTree([-1], fout=[2.5], nexec=[1.5], ptime=[0.5]))
+    return trees
+
+
+class TestPackAndViews:
+    def test_roundtrip_equality(self, mixed_trees):
+        store = TreeStore.pack(mixed_trees)
+        assert len(store) == len(mixed_trees)
+        assert store.total_nodes == sum(t.n for t in mixed_trees)
+        for i, original in enumerate(mixed_trees):
+            view = store.tree(i)
+            assert view == original
+            assert view.names == original.names
+            assert view.root == original.root
+
+    def test_views_are_zero_copy(self, mixed_trees):
+        store = TreeStore.pack(mixed_trees)
+        for i in range(len(store)):
+            tree = store.tree(i)
+            parent, fout, nexec, ptime = store.view(i)
+            assert np.shares_memory(tree.parent, parent)
+            assert np.shares_memory(tree.fout, fout)
+            assert np.shares_memory(tree.nexec, nexec)
+            assert np.shares_memory(tree.ptime, ptime)
+            # All four columns live in the single arena buffer.
+            assert np.shares_memory(fout, store._fout)
+
+    def test_views_are_read_only(self, mixed_trees):
+        store = TreeStore.pack(mixed_trees)
+        tree = store.tree(0)
+        with pytest.raises(ValueError):
+            tree.fout[0] = 99.0
+
+    def test_num_nodes_and_iteration(self, mixed_trees):
+        store = TreeStore.pack(mixed_trees)
+        assert [store.num_nodes(i) for i in range(len(store))] == [t.n for t in mixed_trees]
+        assert list(store) == mixed_trees
+
+    def test_metadata_preserved(self, mixed_trees):
+        store = TreeStore.pack(mixed_trees, metadata={"scale": "tiny", "seed": 7})
+        assert store.metadata == {"scale": "tiny", "seed": 7}
+
+    def test_index_bounds(self, mixed_trees):
+        store = TreeStore.pack(mixed_trees)
+        with pytest.raises(IndexError):
+            store.tree(len(mixed_trees))
+        with pytest.raises(IndexError):
+            store.view(-1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TreeStore.pack([])
+
+
+class TestFileRoundTrip:
+    def test_save_mmap_load(self, tmp_path, mixed_trees):
+        """save -> mmap load -> per-tree view equality with the originals."""
+        path = save_store(mixed_trees, tmp_path / "arena.bin", metadata={"k": 1})
+        loaded = load_store(path)
+        assert len(loaded) == len(mixed_trees)
+        assert loaded.metadata == {"k": 1}
+        for i, original in enumerate(mixed_trees):
+            view = loaded.tree(i)
+            assert view == original
+            assert view.names == original.names
+
+    def test_load_without_mmap(self, tmp_path, mixed_trees):
+        path = save_store(mixed_trees, tmp_path / "arena.bin")
+        loaded = load_store(path, use_mmap=False)
+        assert list(loaded) == mixed_trees
+
+    def test_load_with_validation(self, tmp_path, mixed_trees):
+        path = save_store(mixed_trees, tmp_path / "arena.bin")
+        loaded = load_store(path, validate=True)
+        assert list(loaded) == mixed_trees
+        # An in-bounds structural corruption (a two-node parent cycle) passes
+        # the header checks but must be caught by validate=True.
+        arena = bytearray(loaded.tobytes())
+        data_offset = int.from_bytes(arena[40:48], "little")
+        n_trees = int.from_bytes(arena[16:24], "little")
+        parent_base = data_offset + 8 * (n_trees + 1)
+        # Point node 1 at node 0 and node 0 at node 1 within tree 0.
+        arena[parent_base : parent_base + 8] = (1).to_bytes(8, "little", signed=True)
+        arena[parent_base + 8 : parent_base + 16] = (0).to_bytes(8, "little", signed=True)
+        bad = tmp_path / "cycle.bin"
+        bad.write_bytes(bytes(arena))
+        with pytest.raises(ValueError):
+            load_store(bad, validate=True)
+
+    def test_resave_existing_store(self, tmp_path, mixed_trees):
+        store = TreeStore.pack(mixed_trees, metadata={"k": 2})
+        path = save_store(store, tmp_path / "arena.bin")
+        assert load_store(path).metadata == {"k": 2}
+        with pytest.raises(ValueError):
+            save_store(store, tmp_path / "other.bin", metadata={"k": 3})
+
+    def test_file_size_matches_nbytes(self, tmp_path, mixed_trees):
+        store = TreeStore.pack(mixed_trees)
+        path = store.save(tmp_path / "arena.bin")
+        assert path.stat().st_size == store.nbytes
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "bogus.bin"
+        path.write_bytes(b"NOTANARENA" + b"\0" * 64)
+        with pytest.raises(ValueError, match="magic"):
+            load_store(path)
+
+    def test_rejects_truncated_file(self, tmp_path, mixed_trees):
+        store = TreeStore.pack(mixed_trees)
+        path = tmp_path / "cut.bin"
+        path.write_bytes(store.tobytes()[: store.nbytes // 2])
+        with pytest.raises(ValueError, match="truncated"):
+            load_store(path, use_mmap=False)
+
+    def test_rejects_future_version(self, tmp_path, mixed_trees):
+        arena = bytearray(TreeStore.pack(mixed_trees).tobytes())
+        arena[8:16] = (999).to_bytes(8, "little")
+        with pytest.raises(ValueError, match="version"):
+            TreeStore(bytes(arena))
+
+    def test_rejects_corrupt_data_offset(self, mixed_trees):
+        arena = bytearray(TreeStore.pack(mixed_trees).tobytes())
+        arena[40:48] = (0).to_bytes(8, "little")  # data_offset inside the header
+        with pytest.raises(ValueError, match="data offset"):
+            TreeStore(bytes(arena))
+        arena = bytearray(TreeStore.pack(mixed_trees).tobytes())
+        arena[40:48] = (49).to_bytes(8, "little")  # unaligned
+        with pytest.raises(ValueError, match="data offset"):
+            TreeStore(bytes(arena))
+
+    def test_rejects_oversized_meta_len(self, mixed_trees):
+        arena = bytearray(TreeStore.pack(mixed_trees).tobytes())
+        arena[32:40] = (2**40).to_bytes(8, "little")
+        with pytest.raises(ValueError):
+            TreeStore(bytes(arena))
+
+    def test_rejects_non_monotone_offsets(self, mixed_trees):
+        store = TreeStore.pack(mixed_trees)
+        arena = bytearray(store.tobytes())
+        # Corrupt the second tree offset to go backwards.
+        header_struct_size = 48
+        data_offset = int.from_bytes(arena[40:48], "little")
+        entry = data_offset + 8  # offsets[1]
+        arena[entry : entry + 8] = (-5).to_bytes(8, "little", signed=True)
+        assert header_struct_size <= entry
+        with pytest.raises(ValueError, match="monotone"):
+            TreeStore(bytes(arena))
+
+
+class TestSharedMemoryRoundTrip:
+    def test_pack_to_shared_memory_direct(self, mixed_trees):
+        """The single-copy publish path must produce the exact arena bytes."""
+        reference = TreeStore.pack(mixed_trees, metadata={"k": 9})
+        shm = TreeStore.pack_to_shared_memory(mixed_trees, metadata={"k": 9})
+        attached = None
+        try:
+            attached = TreeStore.attach(shm.name)
+            assert attached.tobytes() == reference.tobytes()
+            assert list(attached) == mixed_trees
+        finally:
+            if attached is not None:
+                attached.close()
+            shm.close()
+            shm.unlink()
+
+    def test_publish_attach_roundtrip(self, mixed_trees):
+        store = TreeStore.pack(mixed_trees)
+        shm = store.to_shared_memory()
+        attached = None
+        try:
+            attached = TreeStore.attach(shm.name)
+            for i, original in enumerate(mixed_trees):
+                assert attached.tree(i) == original
+                assert attached.tree(i).names == original.names
+        finally:
+            if attached is not None:
+                attached.close()
+            shm.close()
+            shm.unlink()
+
+    def test_attached_views_alias_shared_buffer(self, mixed_trees):
+        store = TreeStore.pack(mixed_trees)
+        shm = store.to_shared_memory()
+        attached = TreeStore.attach(shm.name)
+        try:
+            tree = attached.tree(1)
+            assert np.shares_memory(tree.fout, attached._fout)
+        finally:
+            del tree
+            attached.close()
+            shm.close()
+            shm.unlink()
