@@ -29,12 +29,14 @@ def main() -> None:
     print(f"running {len(trees)} synthetic trees of {num_nodes} nodes on p=8 ...")
     records = run_sweep(trees, config)
 
+    # The mapping `where` keeps the aggregation vectorised over the
+    # RecordTable columns (a callable filter would fall back to a row loop).
     series = {
         scheduler: series_over(
             records,
             "memory_factor",
             "normalized_makespan",
-            where=lambda r, s=scheduler: r["scheduler"] == s,
+            where={"scheduler": scheduler},
             min_completion=config.min_completion_fraction,
         )
         for scheduler in config.schedulers

@@ -92,6 +92,13 @@ def main() -> None:
     print("It packs the dataset into one TreeStore arena, ships it to the workers")
     print("once via multiprocessing.shared_memory, and schedules at instance")
     print("granularity — same records, tiny per-task payloads.")
+    print()
+    print("run_sweep returns a columnar RecordTable (one typed NumPy column per")
+    print("record field; iterate it for plain dicts, `table.column(name)` for")
+    print("vectorised post-processing, `table.save/load` for an mmap-able file).")
+    print("Figures and the suite accept a persistent result cache built on it:")
+    print("  python -m repro.experiments.suite --scale tiny   # second run: cache hits")
+    print("  memtree figure fig2 --cache-dir results-cache/")
 
 
 if __name__ == "__main__":

@@ -17,7 +17,11 @@ Four sub-commands cover the typical workflows of the library:
 ``memtree figure``
     Reproduce one of the paper's figures/tables and print its series, with
     an optional CSV export.  ``--jobs N`` parallelises the underlying sweep
-    without changing the reported series.
+    without changing the reported series; ``--cache-dir DIR`` keeps a
+    persistent result cache (saved
+    :class:`~repro.experiments.records.RecordTable` files keyed by dataset
+    and sweep config), so re-running a figure at the same scale loads the
+    recorded results instead of re-simulating.
 
 Both sweep commands take ``--backend`` to pick the execution strategy
 (:mod:`repro.experiments.backends`): ``serial``, ``process`` (one pickled
@@ -50,7 +54,15 @@ from pathlib import Path
 from . import __version__
 from .core import load_dataset, load_json, save_dataset, tree_stats
 from .core.task_tree import TaskTree
-from .experiments import BACKEND_NAMES, FIGURES, SweepConfig, run_figure, run_sweep, write_series_csv
+from .experiments import (
+    BACKEND_NAMES,
+    FIGURES,
+    ResultCache,
+    SweepConfig,
+    run_figure,
+    run_sweep,
+    write_series_csv,
+)
 from .orders import ORDER_FACTORIES, make_order, minimum_memory_postorder, sequential_peak_memory
 from .schedulers import SCHEDULER_FACTORIES, make_scheduler
 from .workloads import assembly_dataset, synthetic_dataset
@@ -135,6 +147,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="sweep execution backend (shared-memory = zero-copy arena transfer "
         "+ instance-granularity scheduling)",
+    )
+    figure.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persistent result-cache directory: sweeps already recorded there "
+        "are loaded instead of re-simulated",
     )
 
     return parser
@@ -243,7 +262,10 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    result = run_figure(args.figure_id, scale=args.scale, jobs=args.jobs, backend=args.backend)
+    cache = ResultCache(args.cache_dir) if args.cache_dir is not None else None
+    result = run_figure(
+        args.figure_id, scale=args.scale, jobs=args.jobs, backend=args.backend, cache=cache
+    )
     print(result.as_text())
     if args.csv is not None:
         write_series_csv(result.series, args.csv, x_label=result.x_label)

@@ -8,9 +8,11 @@ from .backends import (
     SharedMemoryBackend,
     dispatch_payload_stats,
     resolve_backend,
+    result_payload_stats,
 )
 from .config import DEFAULT_MEMORY_FACTORS, PAPER_HEURISTICS, SweepConfig
 from .figures import FIGURES, FigureResult, run_figure
+from .records import RECORD_FIELDS, RecordTable, ResultCache, records_equal
 from .metrics import (
     completion_fraction,
     decile_band,
@@ -25,6 +27,8 @@ from .metrics import (
 from .reporting import (
     format_records_table,
     format_series_table,
+    quantize_x,
+    read_records_csv,
     write_records_csv,
     write_series_csv,
 )
@@ -39,12 +43,17 @@ __all__ = [
     "SharedMemoryBackend",
     "dispatch_payload_stats",
     "resolve_backend",
+    "result_payload_stats",
     "DEFAULT_MEMORY_FACTORS",
     "PAPER_HEURISTICS",
     "SweepConfig",
     "FIGURES",
     "FigureResult",
     "run_figure",
+    "RECORD_FIELDS",
+    "RecordTable",
+    "ResultCache",
+    "records_equal",
     "completion_fraction",
     "decile_band",
     "group_by",
@@ -56,6 +65,8 @@ __all__ = [
     "speedup_records",
     "format_records_table",
     "format_series_table",
+    "quantize_x",
+    "read_records_csv",
     "write_records_csv",
     "write_series_csv",
     "InstanceContext",

@@ -23,12 +23,16 @@ heuristic) instance — to an :class:`ExecutionBackend`.  Three are provided:
     and per-task transfer cost is independent of tree size.
 
 All backends funnel their results through the same deterministic
-**instance-keyed merge** (:func:`merge_records`): every instance has a fixed
-global index in the canonical enumeration (:func:`iter_instances` — trees
-outer, then processors, memory factors, schedulers), and records are placed
-by that index.  Record *values* are pure functions of (tree, config) — only
-the wall-clock ``scheduling_seconds`` measurements differ between runs — so
-the merged output is identical whichever backend produced it.
+**instance-keyed merge**: every instance has a fixed global index in the
+canonical enumeration (:func:`iter_instances` — trees outer, then
+processors, memory factors, schedulers), and records are placed by that
+index into a columnar :class:`~repro.experiments.records.RecordTable`
+(:func:`merge_records` for backends that ship dicts; the shared-memory
+backend's workers write their rows straight into a preallocated
+shared-memory result table and ship back only the row index).  Record
+*values* are pure functions of (tree, config) — only the wall-clock
+``scheduling_seconds`` measurements differ between runs — so the merged
+output is identical whichever backend produced it.
 """
 
 from __future__ import annotations
@@ -36,13 +40,17 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import warnings
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from typing import Any, Iterable, Iterator, Sequence
 
+import numpy as np
+
 from ..core.task_tree import TaskTree
 from ..core.tree_store import TreeStore
 from .config import SweepConfig
+from .records import RecordTable
 
 __all__ = [
     "ExecutionBackend",
@@ -55,6 +63,7 @@ __all__ = [
     "runs_per_tree",
     "merge_records",
     "dispatch_payload_stats",
+    "result_payload_stats",
 ]
 
 #: Backend names accepted by ``SweepConfig.backend`` and the ``--backend``
@@ -85,26 +94,41 @@ def iter_instances(
                     yield tree_index, scheduler, num_processors, memory_factor
 
 
-def merge_records(
-    total: int, keyed: Iterable[tuple[int, dict[str, Any]]]
-) -> list[dict[str, Any]]:
-    """Place ``(global index, record)`` pairs into canonical order.
+def _claim_index(seen: np.ndarray, index: int, total: int) -> None:
+    """Mark instance ``index`` as produced; out-of-range/duplicates are errors."""
+    if not 0 <= index < total:
+        raise ValueError(f"record index {index} outside sweep of {total} instances")
+    if seen[index]:
+        raise ValueError(f"duplicate record for instance {index}")
+    seen[index] = True
 
-    This is the single merge every backend uses, so record order cannot
-    depend on worker scheduling; duplicates and gaps are hard errors rather
-    than silent corruption.
-    """
-    merged: list[dict[str, Any] | None] = [None] * total
-    for index, record in keyed:
-        if not 0 <= index < total:
-            raise ValueError(f"record index {index} outside sweep of {total} instances")
-        if merged[index] is not None:
-            raise ValueError(f"duplicate record for instance {index}")
-        merged[index] = record
-    missing = sum(1 for record in merged if record is None)
+
+def _check_coverage(total: int, seen: np.ndarray) -> None:
+    """Common duplicate/gap accounting of the instance-keyed merges."""
+    missing = total - int(np.count_nonzero(seen))
     if missing:
         raise ValueError(f"sweep incomplete: {missing} of {total} instances missing")
-    return merged  # type: ignore[return-value]
+
+
+def merge_records(
+    total: int, keyed: Iterable[tuple[int, dict[str, Any]]]
+) -> RecordTable:
+    """Place ``(global index, record)`` pairs into a canonical-order table.
+
+    This is the merge used by every backend that ships record dicts through
+    the pipe: each record is written straight into its row of a columnar
+    :class:`~repro.experiments.records.RecordTable` (O(1) per row, no
+    intermediate list-of-dicts), so record order cannot depend on worker
+    scheduling; duplicates and gaps are hard errors rather than silent
+    corruption.
+    """
+    table = RecordTable.empty(total)
+    seen = np.zeros(total, dtype=bool)
+    for index, record in keyed:
+        _claim_index(seen, index, total)
+        table.set_row(index, record)
+    _check_coverage(total, seen)
+    return table
 
 
 def _worker_count(jobs: int, cap: int) -> int:
@@ -132,11 +156,12 @@ class ExecutionBackend(ABC):
     @abstractmethod
     def run(
         self, trees: Sequence[TaskTree], config: SweepConfig
-    ) -> list[dict[str, Any]]:
+    ) -> RecordTable:
         """Simulate every instance of ``config`` over ``trees``.
 
-        Must return records equal (timing fields aside) and identically
-        ordered to :class:`SerialBackend`'s output.
+        Must return a :class:`~repro.experiments.records.RecordTable` equal
+        (timing fields aside) and identically ordered to
+        :class:`SerialBackend`'s output.
         """
 
     def dispatch_payloads(
@@ -159,10 +184,14 @@ class SerialBackend(ExecutionBackend):
     def run(self, trees, config):
         from .runner import run_instance
 
-        records: list[dict[str, Any]] = []
-        for index, tree in enumerate(trees):
-            records.extend(run_instance(tree, index, config))
-        return records
+        total = len(trees) * runs_per_tree(config)
+        table = RecordTable.empty(total)
+        index = 0
+        for tree_index, tree in enumerate(trees):
+            for record in run_instance(tree, tree_index, config):
+                table.set_row(index, record)
+                index += 1
+        return table
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -207,9 +236,11 @@ class ProcessPoolBackend(ExecutionBackend):
 # shared-memory backend
 # --------------------------------------------------------------------------- #
 #: Worker-process state installed by the pool initializer: the attached
-#: arena, the sweep config (shipped once, not per task) and a per-worker
-#: cache of InstanceContexts so repeated instances of one tree share the
-#: order/minimum-memory pre-computation exactly like the per-tree chunking.
+#: tree arena, the attached shared-memory result table (workers write their
+#: rows in place), the sweep config (shipped once, not per task) and a
+#: per-worker cache of InstanceContexts so repeated instances of one tree
+#: share the order/minimum-memory pre-computation exactly like the per-tree
+#: chunking.
 _SHM_WORKER: dict[str, Any] = {}
 
 #: Per-worker LRU bound on cached InstanceContexts.  Instances are
@@ -221,15 +252,22 @@ _SHM_WORKER: dict[str, Any] = {}
 _SHM_CONTEXT_CACHE_SIZE = 8
 
 
-def _shm_worker_init(arena_name: str, config: SweepConfig) -> None:
+def _shm_worker_init(arena_name: str, results_name: str, config: SweepConfig) -> None:
     _SHM_WORKER["store"] = TreeStore.attach(arena_name)
+    _SHM_WORKER["results"] = RecordTable.attach(results_name)
     _SHM_WORKER["config"] = config
     _SHM_WORKER["contexts"] = OrderedDict()
 
 
-def _shm_run_instance(
-    payload: tuple[int, int, str, int, float]
-) -> tuple[int, dict[str, Any]]:
+def _shm_run_instance(payload: tuple[int, int, str, int, float]) -> int:
+    """Simulate one instance, write its row in shared memory, return its index.
+
+    The record itself never crosses the pool pipe: the worker places it into
+    row ``global_index`` of the shared result table (rows are disjoint, so no
+    locking is needed) and the parent only receives the pickled ``int`` —
+    the ``result_payload_stats`` benchmark quantifies the drop versus
+    pickled dicts.
+    """
     from .runner import prepare_instance, run_single
 
     global_index, tree_index, scheduler, num_processors, memory_factor = payload
@@ -246,7 +284,8 @@ def _shm_run_instance(
     record = run_single(
         context, scheduler, num_processors, memory_factor, _SHM_WORKER["config"]
     )
-    return global_index, record
+    _SHM_WORKER["results"].set_row(global_index, record)
+    return global_index
 
 
 class SharedMemoryBackend(ExecutionBackend):
@@ -278,7 +317,7 @@ class SharedMemoryBackend(ExecutionBackend):
     def run(self, trees, config):
         trees = list(trees)
         if not trees:
-            return []
+            return RecordTable.empty(0)
         total = len(trees) * runs_per_tree(config)
         jobs = _worker_count(self.jobs, total)
         if jobs <= 1:
@@ -286,19 +325,35 @@ class SharedMemoryBackend(ExecutionBackend):
         payloads = self.dispatch_payloads(trees, config)
         # Serialise straight into the segment: no intermediate arena copy.
         shm = TreeStore.pack_to_shared_memory(trees)
+        result_shm = result_table = None
         try:
+            # The result plane mirrors the input arena: one preallocated
+            # shared-memory table, workers write disjoint rows in place and
+            # ship back only the row index.
+            result_shm, result_table = RecordTable.create_shared(total)
             with multiprocessing.get_context().Pool(
                 processes=jobs,
                 initializer=_shm_worker_init,
-                initargs=(shm.name, config),
+                initargs=(shm.name, result_shm.name, config),
             ) as pool:
-                # Unordered completion maximises load balance; the keyed
-                # merge restores the canonical order regardless.
-                keyed = list(pool.imap_unordered(_shm_run_instance, payloads, chunksize=1))
+                # Unordered completion maximises load balance; rows land at
+                # their canonical index regardless, so no reorder is needed.
+                indices = list(pool.imap_unordered(_shm_run_instance, payloads, chunksize=1))
+            seen = np.zeros(total, dtype=bool)
+            for index in indices:
+                _claim_index(seen, index, total)
+            _check_coverage(total, seen)
+            # One arena copy detaches the records from the segment lifetime.
+            merged = result_table.copy()
         finally:
+            if result_table is not None:
+                result_table.close()
+            if result_shm is not None:
+                result_shm.close()
+                result_shm.unlink()
             shm.close()
             shm.unlink()
-        return merge_records(total, keyed)
+        return merged
 
 
 # --------------------------------------------------------------------------- #
@@ -317,14 +372,28 @@ def resolve_backend(
     count of one, otherwise the per-tree process pool.  An explicit ``jobs``
     (the ``run_sweep`` keyword) wins over ``config.jobs`` — including over
     the worker count a pre-built backend *instance* was configured with, in
-    which case a shallow copy of the instance carries the override.  An
-    invalid ``jobs`` is rejected on every path, serial included, exactly as
-    the pre-backend ``run_sweep`` did.
+    which case a shallow copy of the instance carries the override.  A
+    backend instance *without* a ``jobs`` attribute (e.g.
+    :class:`SerialBackend`) cannot carry a multi-worker override: passing
+    ``jobs > 1`` alongside such an instance raises a :class:`RuntimeWarning`
+    instead of silently dropping the request (``jobs=1`` is accepted — a
+    single worker is exactly what a jobs-less backend runs).  An invalid
+    ``jobs`` is rejected on every path, serial included, exactly as the
+    pre-backend ``run_sweep`` did.
     """
     if jobs is not None and int(jobs) < 0:
         raise ValueError("jobs must be >= 0 (0 means one worker per CPU)")
     if isinstance(spec, ExecutionBackend):
-        if jobs is not None and getattr(spec, "jobs", None) not in (None, int(jobs)):
+        if jobs is not None and not hasattr(spec, "jobs"):
+            if int(jobs) != 1:
+                warnings.warn(
+                    f"explicit jobs={int(jobs)} override ignored: backend "
+                    f"{spec.name!r} ({type(spec).__name__}) has no 'jobs' "
+                    "setting and always runs a single worker",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+        elif jobs is not None and spec.jobs != int(jobs):
             import copy
 
             override = copy.copy(spec)
@@ -361,6 +430,27 @@ def dispatch_payload_stats(
     out of band).
     """
     payloads = backend.dispatch_payloads(trees, config)
+    return _payload_sizes(payloads)
+
+
+def result_payload_stats(records: "RecordTable | Sequence[dict[str, Any]]") -> dict[str, dict[str, float]]:
+    """Per-result pipe payload sizes: pickled dicts versus row indices.
+
+    For each produced record, the pre-RecordTable pipeline shipped the whole
+    pickled dict back through the pool pipe; the shared-memory result plane
+    ships only the pickled row index (the record bytes live in the shared
+    table, out of band).  Returns ``{"dict_records": stats, "row_indices":
+    stats}`` with the same keys as :func:`dispatch_payload_stats` — what the
+    result-plane benchmark asserts the >= 10x drop on.
+    """
+    dicts = list(records)
+    return {
+        "dict_records": _payload_sizes(dicts),
+        "row_indices": _payload_sizes(list(range(len(dicts)))),
+    }
+
+
+def _payload_sizes(payloads: Sequence[Any]) -> dict[str, float]:
     sizes = [len(pickle.dumps(p, protocol=pickle.HIGHEST_PROTOCOL)) for p in payloads]
     total = float(sum(sizes))
     return {

@@ -47,6 +47,7 @@ from ..schedulers.membooking import MemBookingReferenceScheduler, MemBookingSche
 from ..workloads.datasets import assembly_dataset, height_study_dataset, synthetic_dataset
 from .config import DEFAULT_MEMORY_FACTORS, PAPER_HEURISTICS, SweepConfig
 from .metrics import decile_band, mean, median, series_over, speedup_records
+from .records import RecordTable, ResultCache
 from .reporting import format_series_table
 from .runner import prepare_instance, run_single, run_sweep
 
@@ -66,7 +67,10 @@ class FigureResult:
     series: Series
     checks: dict[str, bool] = field(default_factory=dict)
     notes: str = ""
-    records: list[dict[str, Any]] = field(default_factory=list)
+    #: The raw sweep records behind the series: a columnar
+    #: :class:`~repro.experiments.records.RecordTable` for single-sweep
+    #: figures (iterable as dict records), a plain record list otherwise.
+    records: "RecordTable | list[dict[str, Any]]" = field(default_factory=list)
 
     def as_text(self) -> str:
         """Human-readable rendering (table + check outcomes)."""
@@ -103,6 +107,31 @@ def _dataset(kind: str, scale: str, seed: int) -> list[TaskTree]:
     raise ValueError(f"unknown dataset kind {kind!r}")
 
 
+def _cached_sweep(
+    trees: Sequence[TaskTree],
+    config: SweepConfig,
+    *,
+    cache: ResultCache | None,
+    dataset_key: Sequence[Any],
+) -> RecordTable:
+    """``run_sweep`` with an optional persistent result cache in front.
+
+    ``dataset_key`` identifies the tree collection (kind, scale, seed —
+    whatever regenerates it deterministically); together with the
+    value-relevant ``config`` fields it keys the cache, so a re-run of the
+    same figure at the same scale loads the saved
+    :class:`~repro.experiments.records.RecordTable` instead of simulating.
+    """
+    if cache is None:
+        return run_sweep(trees, config)
+    key = cache.key(dataset_key, config)
+    table = cache.get(key)
+    if table is None:
+        table = run_sweep(trees, config)
+        cache.put(key, table)
+    return table
+
+
 def _series_value(series: Series, name: str, x: float) -> float:
     for px, py in series.get(name, []):
         if px == x:
@@ -127,6 +156,7 @@ def _makespan_figure(
     processors: Sequence[int] = (8,),
     jobs: int = 1,
     backend: str = "auto",
+    cache: ResultCache | None = None,
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed)
     config = SweepConfig(
@@ -135,14 +165,14 @@ def _makespan_figure(
         jobs=jobs,
         backend=backend,
     )
-    records = run_sweep(trees, config)
+    records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
     series: Series = {}
     for scheduler in config.schedulers:
         series[scheduler] = series_over(
             records,
             "memory_factor",
             "normalized_makespan",
-            where=lambda r, s=scheduler: r["scheduler"] == s,
+            where={"scheduler": scheduler},
             min_completion=config.min_completion_fraction,
         )
     checks = _makespan_checks(series, memory_factors)
@@ -196,6 +226,7 @@ def _speedup_figure(
     memory_factors: Sequence[float],
     jobs: int = 1,
     backend: str = "auto",
+    cache: ResultCache | None = None,
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed)
     config = SweepConfig(
@@ -204,7 +235,7 @@ def _speedup_figure(
         jobs=jobs,
         backend=backend,
     )
-    records = run_sweep(trees, config)
+    records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
     speedups = speedup_records(records)
     series: Series = {"mean": [], "median": [], "decile_1": [], "decile_9": []}
     for factor in sorted(set(memory_factors)):
@@ -250,17 +281,18 @@ def _memory_fraction_figure(
     memory_factors: Sequence[float],
     jobs: int = 1,
     backend: str = "auto",
+    cache: ResultCache | None = None,
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed)
     config = SweepConfig(memory_factors=tuple(memory_factors), jobs=jobs, backend=backend)
-    records = run_sweep(trees, config)
+    records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
     series: Series = {}
     for scheduler in config.schedulers:
         series[scheduler] = series_over(
             records,
             "memory_factor",
             "memory_fraction",
-            where=lambda r, s=scheduler: r["scheduler"] == s,
+            where={"scheduler": scheduler},
             min_completion=config.min_completion_fraction,
         )
     mb_curve = dict(series.get("MemBooking", []))
@@ -302,22 +334,22 @@ def _timing_figure(
     title: str,
     jobs: int = 1,
     backend: str = "auto",
+    cache: ResultCache | None = None,
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed)
     config = SweepConfig(
         memory_factors=(2.0,), processors=(8,), jobs=jobs, backend=backend
     )
-    records = run_sweep(trees, config)
+    records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
     series: Series = {}
     for scheduler in config.schedulers:
-        points = sorted(
-            (
-                (float(r[x_key]), float(r[y_key]))
-                for r in records
-                if r["scheduler"] == scheduler and r["completed"]
+        mask = (records.column("scheduler") == scheduler) & records.column("completed")
+        series[scheduler] = sorted(
+            zip(
+                records.column(x_key)[mask].astype(np.float64).tolist(),
+                records.column(y_key)[mask].astype(np.float64).tolist(),
             )
         )
-        series[scheduler] = points
     mb_points = series.get("MemBooking", [])
     checks = {
         "timings_positive": all(y >= 0 for pts in series.values() for _, y in pts),
@@ -348,6 +380,7 @@ def _order_choice_figure(
     memory_factors: Sequence[float],
     jobs: int = 1,
     backend: str = "auto",
+    cache: ResultCache | None = None,
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed)
     combos = [
@@ -369,7 +402,9 @@ def _order_choice_figure(
             jobs=jobs,
             backend=backend,
         )
-        records = run_sweep(trees, config)
+        records = _cached_sweep(
+            trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed)
+        )
         all_records.extend(records)
         series[f"{ao_name}/{eo_name}"] = series_over(
             records,
@@ -412,6 +447,7 @@ def _processor_sweep_figure(
     processors: Sequence[int],
     jobs: int = 1,
     backend: str = "auto",
+    cache: ResultCache | None = None,
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed)
     config = SweepConfig(
@@ -420,7 +456,7 @@ def _processor_sweep_figure(
         jobs=jobs,
         backend=backend,
     )
-    records = run_sweep(trees, config)
+    records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
     series: Series = {}
     for p in processors:
         for scheduler in config.schedulers:
@@ -428,8 +464,7 @@ def _processor_sweep_figure(
                 records,
                 "memory_factor",
                 "normalized_makespan",
-                where=lambda r, s=scheduler, pp=p: r["scheduler"] == s
-                and r["num_processors"] == pp,
+                where={"scheduler": scheduler, "num_processors": p},
                 min_completion=config.min_completion_fraction,
             )
     # The gain of MemBooking over Activation grows with the processor count.
@@ -461,22 +496,22 @@ def _processor_sweep_figure(
 # --------------------------------------------------------------------------- #
 # assembly-tree figures (2-9)
 # --------------------------------------------------------------------------- #
-def fig2(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto") -> FigureResult:
+def fig2(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
     """Figure 2: normalised makespan of the three heuristics, assembly trees."""
-    return _makespan_figure("fig2", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend)
+    return _makespan_figure("fig2", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, cache=cache)
 
 
-def fig3(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto") -> FigureResult:
+def fig3(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
     """Figure 3: speedup of MemBooking over Activation, assembly trees."""
-    return _speedup_figure("fig3", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend)
+    return _speedup_figure("fig3", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, cache=cache)
 
 
-def fig4(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto") -> FigureResult:
+def fig4(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
     """Figure 4: fraction of the available memory actually used, assembly trees."""
-    return _memory_fraction_figure("fig4", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend)
+    return _memory_fraction_figure("fig4", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, cache=cache)
 
 
-def fig5(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto") -> FigureResult:
+def fig5(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
     """Figure 5: scheduling time as a function of the tree size, assembly trees."""
     return _timing_figure(
         "fig5",
@@ -488,10 +523,11 @@ def fig5(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "
         title="Scheduling time vs tree size (assembly trees)",
         jobs=jobs,
         backend=backend,
+        cache=cache,
     )
 
 
-def fig6(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "auto") -> FigureResult:
+def fig6(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
     """Figure 6: scheduling time per node as a function of the tree height."""
     return _timing_figure(
         "fig6",
@@ -503,16 +539,19 @@ def fig6(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "au
         title="Per-node scheduling time vs tree height",
         jobs=jobs,
         backend=backend,
+        cache=cache,
     )
 
 
-def fig7(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto") -> FigureResult:
+def fig7(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
     """Figure 7: speedup over Activation as a function of the tree height (factor 2)."""
     trees = _dataset("assembly", scale, seed) + _dataset("height", scale, seed + 1)
     config = SweepConfig(
         schedulers=("Activation", "MemBooking"), memory_factors=(2.0,), jobs=jobs, backend=backend
     )
-    records = run_sweep(trees, config)
+    records = _cached_sweep(
+        trees, config, cache=cache, dataset_key=("assembly+height", scale, seed)
+    )
     speedups = speedup_records(records)
     points = sorted((float(s["tree_height"]), float(s["speedup"])) for s in speedups)
     shallow = [y for x, y in points if x <= np.median([x for x, _ in points])]
@@ -536,37 +575,37 @@ def fig7(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "
     )
 
 
-def fig8(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto") -> FigureResult:
+def fig8(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
     """Figure 8: impact of the activation/execution order choice, assembly trees."""
-    return _order_choice_figure("fig8", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), jobs=jobs, backend=backend)
+    return _order_choice_figure("fig8", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), jobs=jobs, backend=backend, cache=cache)
 
 
-def fig9(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto") -> FigureResult:
+def fig9(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
     """Figure 9: normalised makespan for p in {2, 4, 8, 16, 32}, assembly trees."""
     return _processor_sweep_figure(
-        "fig9", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), (2, 4, 8, 16, 32), jobs=jobs, backend=backend
+        "fig9", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), (2, 4, 8, 16, 32), jobs=jobs, backend=backend, cache=cache
     )
 
 
 # --------------------------------------------------------------------------- #
 # synthetic-tree figures (10-15)
 # --------------------------------------------------------------------------- #
-def fig10(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto") -> FigureResult:
+def fig10(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
     """Figure 10: normalised makespan of the three heuristics, synthetic trees."""
-    return _makespan_figure("fig10", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend)
+    return _makespan_figure("fig10", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, cache=cache)
 
 
-def fig11(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto") -> FigureResult:
+def fig11(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
     """Figure 11: speedup of MemBooking over Activation, synthetic trees."""
-    return _speedup_figure("fig11", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend)
+    return _speedup_figure("fig11", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, cache=cache)
 
 
-def fig12(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto") -> FigureResult:
+def fig12(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
     """Figure 12: fraction of the available memory actually used, synthetic trees."""
-    return _memory_fraction_figure("fig12", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend)
+    return _memory_fraction_figure("fig12", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, cache=cache)
 
 
-def fig13(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto") -> FigureResult:
+def fig13(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
     """Figure 13: scheduling time as a function of the tree size, synthetic trees."""
     return _timing_figure(
         "fig13",
@@ -578,31 +617,32 @@ def fig13(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = 
         title="Scheduling time vs tree size (synthetic trees)",
         jobs=jobs,
         backend=backend,
+        cache=cache,
     )
 
 
-def fig14(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto") -> FigureResult:
+def fig14(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
     """Figure 14: impact of the activation/execution order choice, synthetic trees."""
-    return _order_choice_figure("fig14", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), jobs=jobs, backend=backend)
+    return _order_choice_figure("fig14", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), jobs=jobs, backend=backend, cache=cache)
 
 
-def fig15(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto") -> FigureResult:
+def fig15(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
     """Figure 15: normalised makespan for p in {2, 4, 8, 16, 32}, synthetic trees."""
     return _processor_sweep_figure(
-        "fig15", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), (2, 4, 8, 16, 32), jobs=jobs, backend=backend
+        "fig15", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), (2, 4, 8, 16, 32), jobs=jobs, backend=backend, cache=cache
     )
 
 
 # --------------------------------------------------------------------------- #
 # text statistics and ablations
 # --------------------------------------------------------------------------- #
-def lb_stats(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto") -> FigureResult:
+def lb_stats(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
     """Section 6 statistics: how often the memory-aware bound improves the classical one.
 
     ``jobs`` and ``backend`` are accepted for interface uniformity with the
     sweep-based figures; the bound statistics are cheap and computed in-process.
     """
-    _ = (jobs, backend)
+    _ = (jobs, backend, cache)
     series: Series = {}
     checks: dict[str, bool] = {}
     for kind, tree_seed in (("assembly", seed), ("synthetic", seed + 1)):
@@ -633,7 +673,7 @@ def lb_stats(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str
     )
 
 
-def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto") -> FigureResult:
+def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
     """Section 7.4: MemBookingRedTree cannot schedule many trees under tight memory."""
     trees = _dataset("synthetic", scale, seed)
     config = SweepConfig(
@@ -644,17 +684,19 @@ def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1, back
         jobs=jobs,
         backend=backend,
     )
-    records = run_sweep(trees, config)
+    records = _cached_sweep(
+        trees, config, cache=cache, dataset_key=("synthetic", scale, seed)
+    )
+    scheduler_column = records.column("scheduler")
+    factor_column = records.column("memory_factor")
+    completed_column = records.column("completed")
     series: Series = {}
     for scheduler in config.schedulers:
         points = []
         for factor in config.memory_factors:
-            bucket = [
-                r
-                for r in records
-                if r["scheduler"] == scheduler and r["memory_factor"] == factor
-            ]
-            failure_fraction = sum(1 for r in bucket if not r["completed"]) / len(bucket)
+            bucket = (scheduler_column == scheduler) & (factor_column == factor)
+            count = int(np.count_nonzero(bucket))
+            failure_fraction = int(np.count_nonzero(bucket & ~completed_column)) / count
             points.append((factor, failure_fraction))
         series[scheduler] = points
     red = dict(series["MemBookingRedTree"])
@@ -679,13 +721,13 @@ def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1, back
     )
 
 
-def ablation_dispatch(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto") -> FigureResult:
+def ablation_dispatch(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
     """Ablation: ALAP dispatch to computed candidates vs strict Algorithm 3 dispatch.
 
     ``jobs`` and ``backend`` are accepted for interface uniformity; the
     ablation drives hand-constructed scheduler variants and stays in-process.
     """
-    _ = (jobs, backend)
+    _ = (jobs, backend, cache)
     trees = _dataset("synthetic", scale, seed)
     factors = (1.0, 1.5, 2.0, 5.0)
     series: Series = {"alap_dispatch": [], "strict_dispatch": []}
@@ -732,7 +774,7 @@ def ablation_dispatch(scale: str = "small", seed: int = 7011, jobs: int = 1, bac
     )
 
 
-def ablation_lazy_subtree(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "auto") -> FigureResult:
+def ablation_lazy_subtree(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
     """Ablation: optimised data structures vs the reference implementation (timing).
 
     Both implementations now share the heap-based ``ReadyQueue`` for their
@@ -745,7 +787,7 @@ def ablation_lazy_subtree(scale: str = "small", seed: int = 99, jobs: int = 1, b
     ablation measures in-process scheduling time, which parallel workers
     would distort.
     """
-    _ = (jobs, backend)
+    _ = (jobs, backend, cache)
     sizes = (200, 500, 1000, 2000) if scale != "tiny" else (100, 200, 400)
     from ..workloads.synthetic import SyntheticTreeConfig, synthetic_tree
 

@@ -13,9 +13,13 @@ deciles) of per-instance quantities:
   memory divided by the memory limit (Figures 4 and 12);
 * the **scheduling time**, total or per node (Figures 5, 6 and 13).
 
-The helpers below operate on the plain ``dict`` records produced by
-:mod:`repro.experiments.runner` so that the benchmark scripts and the CLI can
-post-process results without any heavyweight dependency.
+The helpers accept either the columnar
+:class:`~repro.experiments.records.RecordTable` produced by
+:mod:`repro.experiments.runner` — in which case grouping, filtering and
+reduction run as **vectorised column operations** (one NumPy pass instead of
+a Python loop per record) — or any iterable of plain ``dict`` records, the
+historical format, through an equivalent fallback path.  Both paths compute
+the same values.
 """
 
 from __future__ import annotations
@@ -25,6 +29,8 @@ from collections import defaultdict
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
+
+from .records import RecordTable
 
 __all__ = [
     "group_by",
@@ -40,29 +46,40 @@ __all__ = [
 
 Record = Mapping[str, Any]
 
+#: A record filter: either a predicate over one record dict, or a mapping of
+#: ``{column name: required value}`` — the mapping form is what enables the
+#: vectorised path on a :class:`RecordTable`.
+Where = Callable[[Record], bool] | Mapping[str, Any]
+
+
+def _finite(values: Iterable[float]) -> np.ndarray:
+    """Finite float64 array from any iterable (the common reduce input)."""
+    data = np.asarray(values if isinstance(values, np.ndarray) else list(values), dtype=np.float64)
+    return data[np.isfinite(data)]
+
 
 def mean(values: Iterable[float]) -> float:
-    """Arithmetic mean, ``nan`` for an empty input (keeps plots honest)."""
-    data = [float(v) for v in values if math.isfinite(float(v))]
-    return float(np.mean(data)) if data else math.nan
+    """Arithmetic mean over finite values, ``nan`` for an empty input."""
+    data = _finite(values)
+    return float(np.mean(data)) if data.size else math.nan
 
 
 def median(values: Iterable[float]) -> float:
-    """Median, ``nan`` for an empty input."""
-    data = [float(v) for v in values if math.isfinite(float(v))]
-    return float(np.median(data)) if data else math.nan
+    """Median over finite values, ``nan`` for an empty input."""
+    data = _finite(values)
+    return float(np.median(data)) if data.size else math.nan
 
 
 def quantile(values: Iterable[float], q: float) -> float:
-    """Quantile ``q`` in [0, 1], ``nan`` for an empty input."""
-    data = [float(v) for v in values if math.isfinite(float(v))]
-    return float(np.quantile(data, q)) if data else math.nan
+    """Quantile ``q`` in [0, 1] over finite values, ``nan`` for an empty input."""
+    data = _finite(values)
+    return float(np.quantile(data, q)) if data.size else math.nan
 
 
 def decile_band(values: Iterable[float]) -> tuple[float, float]:
     """First and ninth decile (the ribbon of Figure 3)."""
-    data = [float(v) for v in values if math.isfinite(float(v))]
-    if not data:
+    data = _finite(values)
+    if not data.size:
         return math.nan, math.nan
     return float(np.quantile(data, 0.1)), float(np.quantile(data, 0.9))
 
@@ -74,6 +91,14 @@ def safe_ratio(numerator: float, denominator: float) -> float:
     return numerator / denominator
 
 
+def _safe_ratio_array(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`safe_ratio` (``nan`` where degenerate)."""
+    valid = np.isfinite(numerator) & np.isfinite(denominator) & (denominator > 0)
+    out = np.full(numerator.shape, math.nan)
+    np.divide(numerator, denominator, out=out, where=valid)
+    return out
+
+
 def group_by(records: Iterable[Record], *keys: str) -> dict[tuple, list[Record]]:
     """Group records by the values of ``keys`` (in order)."""
     grouped: dict[tuple, list[Record]] = defaultdict(list)
@@ -82,15 +107,42 @@ def group_by(records: Iterable[Record], *keys: str) -> dict[tuple, list[Record]]
     return dict(grouped)
 
 
-def completion_fraction(records: Sequence[Record]) -> float:
-    """Fraction of records whose schedule completed."""
+def completion_fraction(records: "RecordTable | Sequence[Record]") -> float:
+    """Fraction of records whose schedule completed (``nan`` when empty)."""
+    if isinstance(records, RecordTable):
+        if not len(records):
+            return math.nan
+        completed = records.column("completed")
+        return int(np.count_nonzero(completed)) / len(records)
     if not records:
         return math.nan
     return sum(1 for r in records if r["completed"]) / len(records)
 
 
+def _where_mask(table: RecordTable, where: Where | None) -> np.ndarray:
+    """Row mask for a mapping filter (vectorised) or a callable (row loop)."""
+    mask = np.ones(len(table), dtype=bool)
+    if where is None:
+        return mask
+    if isinstance(where, Mapping):
+        for key, value in where.items():
+            mask &= table.column(key) == value
+        return mask
+    for index, record in enumerate(table):
+        mask[index] = bool(where(record))
+    return mask
+
+
+def _matches(record: Record, where: Where | None) -> bool:
+    if where is None:
+        return True
+    if isinstance(where, Mapping):
+        return all(record[k] == v for k, v in where.items())
+    return bool(where(record))
+
+
 def speedup_records(
-    records: Iterable[Record],
+    records: "RecordTable | Iterable[Record]",
     *,
     baseline: str = "Activation",
     target: str = "MemBooking",
@@ -99,8 +151,14 @@ def speedup_records(
 
     Records are matched on ``(tree_index, num_processors, memory_factor,
     activation_order, execution_order)``.  Only instances where *both*
-    heuristics completed produce a speedup record.
+    heuristics completed produce a speedup record.  On a
+    :class:`RecordTable` the pairing is a vectorised group-by over the key
+    columns; the output order (first appearance of each instance) and values
+    match the dict-records fallback exactly.
     """
+    if isinstance(records, RecordTable):
+        return _speedup_records_table(records, baseline=baseline, target=target)
+
     keys = ("tree_index", "num_processors", "memory_factor", "activation_order", "execution_order")
     by_instance = group_by(records, *keys)
     output: list[dict[str, Any]] = []
@@ -126,13 +184,65 @@ def speedup_records(
     return output
 
 
+def _speedup_records_table(
+    table: RecordTable, *, baseline: str, target: str
+) -> list[dict[str, Any]]:
+    """Columnar pairing: one lexicographic group-by instead of a dict of lists."""
+    n = len(table)
+    if not n:
+        return []
+    keys = ("tree_index", "num_processors", "memory_factor", "activation_order", "execution_order")
+    key_arrays = [table.column(k) for k in keys]
+    composite = np.empty(
+        n, dtype=[(k, a.dtype) for k, a in zip(keys, key_arrays)]
+    )
+    for k, a in zip(keys, key_arrays):
+        composite[k] = a
+    _, inverse = np.unique(composite, return_inverse=True)
+    num_groups = int(inverse.max()) + 1
+
+    scheduler = table.column("scheduler")
+    # First matching row of each (instance, role); `n` marks "absent".
+    base_row = np.full(num_groups, n, dtype=np.int64)
+    target_row = np.full(num_groups, n, dtype=np.int64)
+    first_row = np.full(num_groups, n, dtype=np.int64)
+    rows = np.arange(n, dtype=np.int64)
+    np.minimum.at(first_row, inverse, rows)
+    base_rows = rows[scheduler == baseline]
+    np.minimum.at(base_row, inverse[base_rows], base_rows)
+    tgt_rows = rows[scheduler == target]
+    np.minimum.at(target_row, inverse[tgt_rows], tgt_rows)
+
+    completed = table.column("completed")
+    present = (base_row < n) & (target_row < n)
+    valid = present.copy()
+    valid[present] &= completed[base_row[present]] & completed[target_row[present]]
+    # Emit in first-appearance order, like the dict-grouping fallback.
+    order = np.argsort(first_row[valid], kind="stable")
+    base_idx = base_row[valid][order]
+    tgt_idx = target_row[valid][order]
+
+    makespan = table.column("makespan")
+    speedups = _safe_ratio_array(makespan[base_idx], makespan[tgt_idx])
+    columns: dict[str, list] = {
+        k: table.column(k)[tgt_idx].tolist() for k in keys
+    }
+    columns["speedup"] = speedups.tolist()
+    columns["baseline_makespan"] = makespan[base_idx].tolist()
+    columns["target_makespan"] = makespan[tgt_idx].tolist()
+    columns["tree_size"] = table.column("tree_size")[tgt_idx].tolist()
+    columns["tree_height"] = table.column("tree_height")[tgt_idx].tolist()
+    names = list(columns)
+    return [dict(zip(names, row)) for row in zip(*columns.values())]
+
+
 def series_over(
-    records: Iterable[Record],
+    records: "RecordTable | Iterable[Record]",
     x_key: str,
     y_key: str,
     *,
     reduce: Callable[[Iterable[float]], float] = mean,
-    where: Callable[[Record], bool] | None = None,
+    where: Where | None = None,
     min_completion: float | None = None,
 ) -> list[tuple[float, float]]:
     """Aggregate ``y_key`` as a function of ``x_key``.
@@ -140,21 +250,43 @@ def series_over(
     Parameters
     ----------
     reduce:
-        Aggregation function applied to the y values of each x bucket.
+        Aggregation function applied to the y values of each x bucket
+        (of the *completed* records; the default :func:`mean` additionally
+        drops non-finite values).
     where:
-        Optional record filter applied before grouping.
+        Optional record filter applied before grouping: either a predicate
+        over one record dict, or a ``{column: value}`` mapping — the mapping
+        form keeps the whole computation vectorised on a
+        :class:`RecordTable`.
     min_completion:
         When given, x buckets whose completion fraction is below this
         threshold are dropped entirely — this reproduces the paper's rule of
         only plotting a point when at least 95% of the trees could be
         scheduled (Section 7.2).
     """
-    filtered = [r for r in records if where is None or where(r)]
+    if isinstance(records, RecordTable):
+        mask = _where_mask(records, where)
+        x = records.column(x_key)[mask]
+        y = records.column(y_key)[mask]
+        completed = records.column("completed")[mask]
+        series: list[tuple[float, float]] = []
+        for x_value in np.unique(x):
+            bucket = x == x_value
+            if (
+                min_completion is not None
+                and int(np.count_nonzero(completed[bucket])) / int(np.count_nonzero(bucket))
+                < min_completion
+            ):
+                continue
+            series.append((float(x_value), reduce(y[bucket & completed])))
+        return series
+
+    filtered = [r for r in records if _matches(r, where)]
     buckets = group_by(filtered, x_key)
-    series: list[tuple[float, float]] = []
+    series = []
     for (x_value,), bucket in sorted(buckets.items()):
         if min_completion is not None and completion_fraction(bucket) < min_completion:
             continue
-        completed = [r for r in bucket if r["completed"]]
-        series.append((float(x_value), reduce(r[y_key] for r in completed)))
+        completed_records = [r for r in bucket if r["completed"]]
+        series.append((float(x_value), reduce(r[y_key] for r in completed_records)))
     return series

@@ -1,0 +1,540 @@
+"""Columnar storage for sweep result records (the *result plane*).
+
+:mod:`repro.experiments.runner` produces one flat record per simulated
+(tree, processors, memory factor, heuristic) instance.  Up to PR 2 those
+records lived as a ``list[dict]``: every worker pickled full dicts through
+the pool pipe and every aggregation walked Python objects — the first
+bottleneck ROADMAP flags for the paper's million-instance campaigns.
+
+:class:`RecordTable` replaces the list-of-dicts as the canonical sweep
+output.  It is **columnar**: one typed NumPy array per record field, all of
+them slices of a single contiguous arena (mirroring
+:class:`~repro.core.tree_store.TreeStore`), so that
+
+* the :class:`~repro.experiments.backends.SharedMemoryBackend` can
+  preallocate the whole result buffer in named shared memory, let workers
+  write rows in place and ship back only **row indices** (a pickled ``int``
+  instead of a pickled dict — see ``benchmarks/results/result_payloads.txt``),
+* :mod:`repro.experiments.metrics` aggregates over columns with vectorised
+  NumPy operations instead of per-record Python loops, and
+* :meth:`RecordTable.save` / :meth:`RecordTable.load` persist the same arena
+  bytes to disk (mmap-able, versioned header like
+  :mod:`repro.core.tree_store`), which backs the :class:`ResultCache` used
+  by :func:`repro.experiments.suite.run_suite` to skip already-computed
+  sweeps.
+
+Compatibility: a :class:`RecordTable` behaves as a read-only sequence of
+plain-``dict`` records (:meth:`RecordTable.to_dicts`, ``__iter__``,
+``__getitem__``, ``==`` against a list of dicts), so every call site written
+against the PR 2 list-of-dicts pipeline keeps working unchanged, and the
+round-tripped values are identical to the dicts :func:`~repro.experiments.runner.run_single`
+produced (Python ``int``/``float``/``bool``/``str``/``None``, exact bits).
+
+Arena layout (version 1, little-endian)::
+
+    0   8 bytes   magic  b"MTRECTB1"
+    8   u64       format version
+    16  u64       number of rows
+    24  u64       length of the JSON metadata block
+    32  u64       offset of the data section (8-byte aligned)
+    40  ...       JSON metadata: {"fields": [[name, dtype], ...],
+                                  "metadata": {...free form...}}
+    data_offset   one contiguous column per field, in schema order,
+                  each column start 8-byte aligned
+
+The record schema (:data:`RECORD_FIELDS`) is fixed and derived from
+:func:`repro.experiments.runner.run_single` — a unit test asserts the two
+never drift apart.  String fields use fixed-width unicode columns so rows
+have a fixed size (a worker can write row ``i`` without coordination);
+``failure_reason`` is nullable: the empty string encodes ``None``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Field", "RECORD_FIELDS", "RecordTable", "ResultCache", "records_equal"]
+
+_MAGIC = b"MTRECTB1"
+_VERSION = 1
+#: magic, version, n_rows, meta_len, data_offset
+_HEADER = struct.Struct("<8sQQQQ")
+
+
+def _align8(offset: int) -> int:
+    return (offset + 7) & ~7
+
+
+@dataclass(frozen=True)
+class Field:
+    """One column of the record schema."""
+
+    name: str
+    dtype: str  #: NumPy dtype string (``"<i8"``, ``"<f8"``, ``"|b1"``, ``"<U24"``)
+    nullable: bool = False  #: string fields only: ``""`` encodes ``None``
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(self.dtype)
+
+    @property
+    def str_width(self) -> int | None:
+        """Character capacity for unicode columns, ``None`` for scalars."""
+        dt = self.np_dtype
+        return dt.itemsize // 4 if dt.kind == "U" else None
+
+
+#: The fixed sweep-record schema, in the exact key order of
+#: :func:`repro.experiments.runner.run_single`'s output dict.
+RECORD_FIELDS: tuple[Field, ...] = (
+    Field("tree_index", "<i8"),
+    Field("tree_size", "<i8"),
+    Field("tree_height", "<i8"),
+    Field("scheduler", "<U24"),
+    Field("num_processors", "<i8"),
+    Field("memory_factor", "<f8"),
+    Field("memory_limit", "<f8"),
+    Field("minimum_memory", "<f8"),
+    Field("completed", "|b1"),
+    Field("makespan", "<f8"),
+    Field("lower_bound", "<f8"),
+    Field("classical_lower_bound", "<f8"),
+    Field("memory_lower_bound", "<f8"),
+    Field("normalized_makespan", "<f8"),
+    Field("peak_memory", "<f8"),
+    Field("memory_fraction", "<f8"),
+    Field("scheduling_seconds", "<f8"),
+    Field("scheduling_seconds_per_node", "<f8"),
+    Field("activation_order", "<U16"),
+    Field("execution_order", "<U16"),
+    Field("failure_reason", "<U128", nullable=True),
+)
+
+
+def _column_offsets(
+    fields: Sequence[Field], n_rows: int, data_offset: int
+) -> tuple[list[int], int]:
+    """Per-column arena offsets from ``data_offset`` on, and the total size."""
+    offsets: list[int] = []
+    cursor = int(data_offset)
+    for field in fields:
+        cursor = _align8(cursor)
+        offsets.append(cursor)
+        cursor += field.np_dtype.itemsize * n_rows
+    return offsets, _align8(cursor)
+
+
+def _layout(fields: Sequence[Field], n_rows: int, meta_bytes: bytes) -> tuple[int, list[int], int]:
+    """Arena layout: (data offset, per-column offsets, total bytes)."""
+    data_offset = _align8(_HEADER.size + len(meta_bytes))
+    offsets, nbytes = _column_offsets(fields, n_rows, data_offset)
+    return data_offset, offsets, nbytes
+
+
+def _meta_bytes(fields: Sequence[Field], metadata: Mapping[str, Any] | None) -> bytes:
+    meta = {
+        "fields": [[f.name, f.dtype, f.nullable] for f in fields],
+        "metadata": dict(metadata or {}),
+    }
+    return json.dumps(meta, separators=(",", ":")).encode("utf-8")
+
+
+class RecordTable:
+    """A fixed-schema, arena-backed, columnar table of sweep records.
+
+    Construct through the classmethods:
+
+    * :meth:`empty` — preallocate ``n`` zeroed rows (writable);
+    * :meth:`from_dicts` — convert a list of record dicts;
+    * :meth:`load` — mmap (or read) a file written by :meth:`save`;
+    * :meth:`create_shared` / :meth:`attach` — the shared-memory result
+      buffer of the sweep backends.
+
+    The table is also a read-only *sequence of dict records*: iterating
+    yields plain dicts identical to the historical pipeline's, ``table[i]``
+    materialises one row and ``table == [ {...}, ... ]`` compares values.
+    """
+
+    def __init__(self, buffer, *, shm=None, mmap_obj: mmap.mmap | None = None) -> None:
+        """Wrap an existing arena ``buffer`` (bytearray, mmap or shm view).
+
+        Most callers should use the classmethod constructors instead.
+        """
+        self._buffer = buffer
+        self._shm = shm
+        self._mmap = mmap_obj
+
+        size = memoryview(buffer).nbytes
+        if size < _HEADER.size:
+            raise ValueError("buffer too small to hold a RecordTable header")
+        magic, version, n_rows, meta_len, data_offset = _HEADER.unpack_from(buffer, 0)
+        if magic != _MAGIC:
+            raise ValueError("not a RecordTable arena (bad magic)")
+        if version > _VERSION:
+            raise ValueError(f"unsupported RecordTable version {version}")
+        if data_offset % 8 != 0 or data_offset < _align8(_HEADER.size + meta_len):
+            raise ValueError("not a RecordTable arena (invalid data offset)")
+        if size < _HEADER.size + meta_len:
+            raise ValueError("truncated RecordTable arena: metadata exceeds the buffer")
+        meta = json.loads(bytes(memoryview(buffer)[_HEADER.size : _HEADER.size + meta_len]))
+        fields = tuple(
+            Field(name, dtype, bool(nullable)) for name, dtype, nullable in meta["fields"]
+        )
+
+        offsets, nbytes = _column_offsets(fields, int(n_rows), int(data_offset))
+        if size < nbytes:
+            raise ValueError(f"truncated RecordTable arena: {size} bytes, layout needs {nbytes}")
+
+        self._n_rows = int(n_rows)
+        self._nbytes = int(nbytes)
+        self.fields = fields
+        self.metadata: dict[str, Any] = meta.get("metadata", {})
+        self._columns: dict[str, np.ndarray] = {}
+        for field, offset in zip(fields, offsets):
+            self._columns[field.name] = np.frombuffer(
+                buffer, dtype=field.np_dtype, count=self._n_rows, offset=offset
+            )
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, n_rows: int, *, metadata: Mapping[str, Any] | None = None) -> "RecordTable":
+        """Preallocate a writable table of ``n_rows`` zeroed records."""
+        if n_rows < 0:
+            raise ValueError("n_rows must be >= 0")
+        meta = _meta_bytes(RECORD_FIELDS, metadata)
+        data_offset, _, nbytes = _layout(RECORD_FIELDS, n_rows, meta)
+        arena = bytearray(nbytes)
+        _HEADER.pack_into(arena, 0, _MAGIC, _VERSION, n_rows, len(meta), data_offset)
+        arena[_HEADER.size : _HEADER.size + len(meta)] = meta
+        return cls(arena)
+
+    @classmethod
+    def from_dicts(
+        cls,
+        records: Iterable[Mapping[str, Any]],
+        *,
+        metadata: Mapping[str, Any] | None = None,
+    ) -> "RecordTable":
+        """Build a table from record dicts (the historical pipeline format)."""
+        records = list(records)
+        table = cls.empty(len(records), metadata=metadata)
+        for index, record in enumerate(records):
+            table.set_row(index, record)
+        return table
+
+    @classmethod
+    def load(cls, path: str | Path, *, use_mmap: bool = True) -> "RecordTable":
+        """Open a table file written by :meth:`save`.
+
+        With ``use_mmap=True`` (default) the file is memory-mapped read-only,
+        so opening a huge result set is O(1) in I/O; the column arrays page
+        in lazily.
+        """
+        path = Path(path)
+        if use_mmap:
+            with open(path, "rb") as handle:
+                mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            return cls(mapped, mmap_obj=mapped)
+        return cls(path.read_bytes())
+
+    @classmethod
+    def create_shared(
+        cls, n_rows: int, *, metadata: Mapping[str, Any] | None = None, name: str | None = None
+    ):
+        """Preallocate a table in a fresh named shared-memory block.
+
+        Returns ``(shm, table)``: the caller owns the
+        :class:`multiprocessing.shared_memory.SharedMemory` (``close()`` +
+        ``unlink()`` when done — and :meth:`close` the table first, its
+        column views pin the buffer); workers :meth:`attach` by ``shm.name``
+        and write disjoint rows with :meth:`set_row` without any locking.
+        """
+        from multiprocessing import shared_memory
+
+        meta = _meta_bytes(RECORD_FIELDS, metadata)
+        data_offset, _, nbytes = _layout(RECORD_FIELDS, n_rows, meta)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes, name=name)
+        try:
+            _HEADER.pack_into(shm.buf, 0, _MAGIC, _VERSION, n_rows, len(meta), data_offset)
+            shm.buf[_HEADER.size : _HEADER.size + len(meta)] = meta
+            table = cls(shm.buf)
+        except BaseException:
+            shm.unlink()
+            try:
+                shm.close()
+            except BufferError:  # the unwinding frame may still hold views
+                pass
+            raise
+        return shm, table
+
+    @classmethod
+    def attach(cls, name: str) -> "RecordTable":
+        """Attach to a table published with :meth:`create_shared` (writable)."""
+        from ..core.tree_store import _open_shared_memory
+
+        shm = _open_shared_memory(name)
+        return cls(shm.buf, shm=shm)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def _arena_view(self) -> memoryview:
+        return memoryview(self._buffer)[: self._nbytes]
+
+    def save(self, path: str | Path) -> Path:
+        """Write the arena to ``path`` (atomically) and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(self._arena_view())
+        os.replace(tmp, path)
+        return path
+
+    def copy(self) -> "RecordTable":
+        """Deep copy into a private in-memory arena (detached from shm/mmap)."""
+        arena = bytearray(self._arena_view())
+        return RecordTable(arena)
+
+    def close(self) -> None:
+        """Drop the column views and release any mmap / shared-memory handle.
+
+        Required before the owning shared-memory segment can be closed:
+        the column arrays hold buffer exports into it.
+        """
+        self._columns = {}
+        self._buffer = None
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+
+    # ------------------------------------------------------------------ #
+    # columnar access
+    # ------------------------------------------------------------------ #
+    @property
+    def nbytes(self) -> int:
+        """Size of the arena in bytes."""
+        return self._nbytes
+
+    def column(self, name: str) -> np.ndarray:
+        """The raw NumPy column for ``name`` (a view into the arena)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown record field {name!r}; available: {[f.name for f in self.fields]}"
+            ) from None
+
+    def set_row(self, index: int, record: Mapping[str, Any]) -> None:
+        """Write one record dict into row ``index`` (O(1), columnar placement).
+
+        Every schema field must be present in ``record``; string values that
+        exceed their column's fixed width raise (silent truncation would
+        break the value-identity guarantee of the table).
+        """
+        for field in self.fields:
+            value = record[field.name]
+            width = field.str_width
+            if width is not None:
+                if value is None:
+                    if not field.nullable:
+                        raise ValueError(f"field {field.name!r} is not nullable")
+                    value = ""
+                elif len(value) > width:
+                    raise ValueError(
+                        f"value of field {field.name!r} is {len(value)} characters, "
+                        f"column capacity is {width}: {value!r}"
+                    )
+            self._columns[field.name][index] = value
+
+    # ------------------------------------------------------------------ #
+    # dict-records view (compatibility with the list-of-dicts pipeline)
+    # ------------------------------------------------------------------ #
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Materialise every row as a plain dict (schema key order).
+
+        Values come back as native Python scalars with exact bits —
+        ``int`` / ``float`` / ``bool`` / ``str`` / ``None`` — so the result
+        is value-identical to the historical ``run_single`` dicts.
+        """
+        names = []
+        columns = []
+        for field in self.fields:
+            data = self._columns[field.name].tolist()
+            if field.nullable:
+                data = [None if value == "" else value for value in data]
+            names.append(field.name)
+            columns.append(data)
+        return [dict(zip(names, row)) for row in zip(*columns)]
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Materialise one row as a plain dict."""
+        if not -self._n_rows <= index < self._n_rows:
+            raise IndexError(f"row index {index} out of range [0, {self._n_rows})")
+        out: dict[str, Any] = {}
+        for field in self.fields:
+            value = self._columns[field.name][index].item()
+            if field.nullable and value == "":
+                value = None
+            out[field.name] = value
+        return out
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __getitem__(self, key):
+        if isinstance(key, str):
+            return self.column(key)
+        if isinstance(key, slice):
+            return self.to_dicts()[key]
+        return self.row(key)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.to_dicts())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RecordTable):
+            if len(self) != len(other) or self.fields != other.fields:
+                return False
+            return all(
+                np.array_equal(
+                    self._columns[f.name],
+                    other._columns[f.name],
+                    equal_nan=f.np_dtype.kind == "f",
+                )
+                for f in self.fields
+            )
+        if isinstance(other, (list, tuple)):
+            return self.to_dicts() == list(other)
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]  # mutable rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RecordTable(rows={self._n_rows}, fields={len(self.fields)}, nbytes={self._nbytes})"
+
+
+def records_equal(
+    a: Iterable[Mapping[str, Any]],
+    b: Iterable[Mapping[str, Any]],
+    *,
+    ignore: Iterable[str] = (),
+) -> bool:
+    """Value equality of two record sequences, NaN-tolerant.
+
+    Plain ``list[dict] ==`` treats ``nan != nan``, which makes failed
+    instances (``normalized_makespan`` is NaN) incomparable; this helper
+    compares field by field and counts two NaNs as equal.  ``ignore`` drops
+    fields (e.g. the wall-clock timings) from the comparison.
+    """
+    ignored = frozenset(ignore)
+    a, b = list(a), list(b)
+    if len(a) != len(b):
+        return False
+    for ra, rb in zip(a, b):
+        keys = set(ra) - ignored
+        if keys != set(rb) - ignored:
+            return False
+        for key in keys:
+            va, vb = ra[key], rb[key]
+            if isinstance(va, float) and isinstance(vb, float):
+                if not (va == vb or (np.isnan(va) and np.isnan(vb))):
+                    return False
+            elif va != vb or type(va) is not type(vb):
+                return False
+    return True
+
+
+# --------------------------------------------------------------------------- #
+# persistent result cache
+# --------------------------------------------------------------------------- #
+class ResultCache:
+    """A directory of saved :class:`RecordTable` files keyed by sweep identity.
+
+    The key is a digest of *what determines the record values*: the dataset
+    descriptor (kind, scale, seed) and the :class:`~repro.experiments.config.SweepConfig`
+    fields **minus** the execution-only knobs (``jobs``, ``backend`` — every
+    backend/worker count produces identical records, timing fields aside)
+    plus the schema version.  Layout: one ``<key>.records`` arena file per
+    sweep under the cache directory (see the module docstring for the file
+    format).
+
+    Used by :func:`repro.experiments.suite.run_suite` and ``memtree figure
+    --cache-dir`` so a re-run at the same scale loads results instead of
+    re-simulating.
+    """
+
+    #: Config fields excluded from the key: they change how a sweep runs,
+    #: never what it produces.
+    EXECUTION_ONLY_FIELDS = frozenset({"jobs", "backend"})
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, dataset_key: Sequence[Any], config) -> str:
+        """Stable digest of one sweep's identity.
+
+        The package version participates in the key so upgrading the
+        simulator invalidates recorded results instead of silently serving
+        numbers an older code base produced.
+        """
+        from dataclasses import asdict
+
+        from .. import __version__
+
+        fields = {
+            k: v for k, v in sorted(asdict(config).items()) if k not in self.EXECUTION_ONLY_FIELDS
+        }
+        payload = {
+            "schema_version": _VERSION,
+            "package_version": __version__,
+            "dataset": list(dataset_key),
+            "config": fields,
+        }
+        blob = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()[:40]
+
+    def path(self, key: str) -> Path:
+        return self.directory / f"{key}.records"
+
+    def get(self, key: str) -> RecordTable | None:
+        """Load the cached table for ``key``, or ``None`` on a miss.
+
+        A corrupt/truncated cache file counts as a miss (the entry is
+        recomputed and overwritten), never an error.
+        """
+        path = self.path(key)
+        if path.exists():
+            try:
+                table = RecordTable.load(path)
+            except (ValueError, OSError):
+                pass
+            else:
+                self.hits += 1
+                return table
+        self.misses += 1
+        return None
+
+    def put(self, key: str, table: RecordTable) -> Path:
+        """Persist ``table`` under ``key`` (atomic replace)."""
+        return table.save(self.path(key))
+
+    def stats(self) -> str:
+        """One-line human-readable hit/miss summary."""
+        return f"{self.hits} hits / {self.misses} misses ({self.directory})"

@@ -6,29 +6,74 @@ paper's figures (absolute numbers will differ — the substrate is a simulator
 
 * a :class:`FigureResult`-style series dictionary as an aligned text table
   (x values as rows, one column per series), and
-* arbitrary record lists as CSV files for offline plotting.
+* arbitrary record lists as CSV files for offline plotting, with a
+  **round-trippable cell encoding** (:func:`write_records_csv` /
+  :func:`read_records_csv`): every ``int``/``float`` (NaN and ±inf
+  included)/``bool``/``str``/``None`` value and every *missing* key survives
+  a write/read cycle with its exact value and type.
+
+Series tables and series CSVs match x values across series through one
+shared quantisation (:func:`quantize_x`): two series whose x values differ
+only by float noise land in the same row instead of silently splitting.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 import math
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
-__all__ = ["format_series_table", "format_records_table", "write_records_csv", "write_series_csv"]
+__all__ = [
+    "format_series_table",
+    "format_records_table",
+    "write_records_csv",
+    "read_records_csv",
+    "write_series_csv",
+    "quantize_x",
+]
 
 
 def _format_value(value: Any) -> str:
     if isinstance(value, float):
+        # Non-finite values first: ±inf would otherwise fall through the
+        # magnitude checks into the "%.3e" branch, and NaN into "%.3f".
         if math.isnan(value):
             return "-"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
         if value == 0:
-            return "0"
+            # -0.0 passes `value == 0`; keep the sign instead of silently
+            # flipping it to an unsigned "0".
+            return "-0" if math.copysign(1.0, value) < 0 else "0"
         if abs(value) >= 1000 or abs(value) < 0.01:
             return f"{value:.3e}"
         return f"{value:.3f}"
     return str(value)
+
+
+def quantize_x(x: float) -> float:
+    """Canonical x-axis key: round to 12 significant digits.
+
+    Series produced by independent sweeps can carry x values that differ by
+    float noise (e.g. ``2.0`` vs ``2.0000000000000004``); matching rows by
+    exact float equality would silently split them.  All series table/CSV
+    writers quantise through this one helper so x keys from different series
+    collide exactly when they agree to 12 significant digits.
+    """
+    return float(f"{float(x):.12g}")
+
+
+def _series_lookup(
+    series: Mapping[str, Sequence[tuple[float, float]]]
+) -> tuple[list[float], dict[str, dict[float, float]]]:
+    """Quantised sorted x values and per-series ``{x: y}`` lookups."""
+    x_values = sorted({quantize_x(x) for points in series.values() for x, _ in points})
+    lookup = {
+        name: {quantize_x(x): y for x, y in points} for name, points in series.items()
+    }
+    return x_values, lookup
 
 
 def format_series_table(
@@ -38,10 +83,7 @@ def format_series_table(
     title: str | None = None,
 ) -> str:
     """Render ``{series name: [(x, y), ...]}`` as an aligned text table."""
-    x_values = sorted({x for points in series.values() for x, _ in points})
-    lookup = {
-        name: {x: y for x, y in points} for name, points in series.items()
-    }
+    x_values, lookup = _series_lookup(series)
     headers = [x_label] + list(series.keys())
     rows: list[list[str]] = []
     for x in x_values:
@@ -89,8 +131,74 @@ def format_records_table(
     return "\n".join(lines)
 
 
+# --------------------------------------------------------------------------- #
+# round-trippable CSV cell encoding
+# --------------------------------------------------------------------------- #
+# One encoding for every cell, shared by the writer and the reader:
+#
+#   missing key -> ""            None  -> "null"
+#   True/False  -> "true"/"false"
+#   int         -> repr          float -> repr ("nan", "inf", "-inf" included)
+#   str         -> as-is, EXCEPT strings the reader would mistake for one of
+#                  the above (or for a number), which are JSON-quoted.
+#
+# ``repr`` of a float round-trips exactly (shortest-repr guarantee), and the
+# quoting rule is self-consistent by construction: a string is quoted iff
+# decoding its raw form would not return the same string.
+
+
+def _decode_cell(cell: str) -> Any:
+    """Inverse of :func:`_encode_cell`; ``""`` means "missing"."""
+    if cell == "":
+        return None  # callers treat "" as a missing key
+    if cell.startswith('"'):
+        # A JSON-quoted string from _encode_cell — but a raw value that
+        # merely *starts* with a quote must come back unchanged.
+        try:
+            decoded = json.loads(cell)
+        except json.JSONDecodeError:
+            return cell
+        return decoded if isinstance(decoded, str) else cell
+    if cell == "null":
+        return None
+    if cell == "true":
+        return True
+    if cell == "false":
+        return False
+    try:
+        return int(cell)
+    except ValueError:
+        pass
+    try:
+        return float(cell)
+    except ValueError:
+        pass
+    return cell
+
+
+def _encode_cell(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    value = str(value)
+    decoded = _decode_cell(value)
+    if type(decoded) is not str or decoded != value:
+        return json.dumps(value)
+    return value
+
+
 def write_records_csv(records: Iterable[Mapping[str, Any]], path: str | Path) -> Path:
-    """Write records to CSV (columns = union of keys, in first-seen order)."""
+    """Write records to CSV (columns = union of keys, in first-seen order).
+
+    Cells use the round-trippable encoding documented above, so
+    :func:`read_records_csv` recovers the exact values *and types* — a key
+    missing from a record stays missing, ``None`` stays ``None``, ``nan`` /
+    ``±inf`` stay floats and ``"true"``-the-string is distinguishable from
+    ``True``-the-bool.
+    """
     records = list(records)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -100,21 +208,54 @@ def write_records_csv(records: Iterable[Mapping[str, Any]], path: str | Path) ->
             if key not in columns:
                 columns.append(key)
     with path.open("w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=columns)
-        writer.writeheader()
+        writer = csv.writer(handle)
+        writer.writerow(columns)
         for record in records:
-            writer.writerow({k: record.get(k, "") for k in columns})
+            writer.writerow(
+                [_encode_cell(record[k]) if k in record else "" for k in columns]
+            )
     return path
+
+
+def read_records_csv(path: str | Path) -> list[dict[str, Any]]:
+    """Read a CSV written by :func:`write_records_csv` back into record dicts.
+
+    The counterpart :func:`write_records_csv` was historically missing,
+    which let the lossy encoding (missing key / ``nan`` / ``True`` all
+    stringified ad hoc) go unnoticed; reading with this function recovers
+    the original values, with keys that were missing in a record absent
+    again rather than empty strings.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            columns = next(reader)
+        except StopIteration:
+            return []
+        records: list[dict[str, Any]] = []
+        for row in reader:
+            record: dict[str, Any] = {}
+            for key, cell in zip(columns, row):
+                if cell == "":
+                    continue  # missing key
+                record[key] = _decode_cell(cell)
+            records.append(record)
+    return records
 
 
 def write_series_csv(
     series: Mapping[str, Sequence[tuple[float, float]]], path: str | Path, *, x_label: str = "x"
 ) -> Path:
-    """Write ``{series name: [(x, y), ...]}`` to a wide-format CSV."""
+    """Write ``{series name: [(x, y), ...]}`` to a wide-format CSV.
+
+    X values are matched across series through :func:`quantize_x` (the same
+    helper :func:`format_series_table` uses), so float noise between sweeps
+    cannot split one logical row into several.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    x_values = sorted({x for points in series.values() for x, _ in points})
-    lookup = {name: {x: y for x, y in points} for name, points in series.items()}
+    x_values, lookup = _series_lookup(series)
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow([x_label] + list(series.keys()))

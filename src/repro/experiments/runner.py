@@ -2,9 +2,11 @@
 
 :func:`run_sweep` simulates every (tree, memory factor, processor count,
 heuristic) combination of a :class:`~repro.experiments.config.SweepConfig`
-and returns one flat record (plain ``dict``) per simulation.  Records carry
-everything the figures need: the normalised makespan, the peak/booked memory,
-the scheduling time and the instance characteristics.
+and returns one flat record per simulation, collected in a columnar
+:class:`~repro.experiments.records.RecordTable` (which also behaves as a
+read-only sequence of plain ``dict`` records, the historical output format).
+Records carry everything the figures need: the normalised makespan, the
+peak/booked memory, the scheduling time and the instance characteristics.
 
 The per-tree normalisations follow Section 7.2:
 
@@ -40,6 +42,7 @@ from ..orders import ORDER_FACTORIES, Ordering, minimum_memory_postorder, sequen
 from ..schedulers import SCHEDULER_FACTORIES, validate_schedule
 from .config import SweepConfig
 from .metrics import safe_ratio
+from .records import RecordTable
 
 __all__ = ["run_sweep", "run_single", "run_instance", "prepare_instance", "InstanceContext"]
 
@@ -201,11 +204,14 @@ def run_sweep(
     jobs: int | None = None,
     backend: "str | Any | None" = None,
     **overrides,
-) -> list[dict[str, Any]]:
+) -> "RecordTable":
     """Run the full cartesian sweep described by ``config`` over ``trees``.
 
     Keyword overrides are applied on top of ``config`` (e.g.
-    ``run_sweep(trees, processors=(2, 4))``).
+    ``run_sweep(trees, processors=(2, 4))``).  The result is a columnar
+    :class:`~repro.experiments.records.RecordTable`; iterate it (or call
+    ``.to_dicts()``) for the historical list-of-dicts view, or read whole
+    columns with ``table.column(name)`` for vectorised post-processing.
 
     Parameters
     ----------

@@ -13,6 +13,16 @@ which is how the EXPERIMENTS.md numbers were collected.  The benchmark suite
 (`pytest benchmarks/ --benchmark-only`) remains the canonical way to *assert*
 the checks; this module is the convenience front-end for regenerating all the
 data in one go.
+
+Result cache
+------------
+By default the suite keeps a **persistent result cache** under
+``<out>/.result-cache/``: every sweep's
+:class:`~repro.experiments.records.RecordTable` is saved keyed by (dataset,
+config, schema version), so re-running the suite at the same scale loads the
+recorded results instead of re-simulating (``--no-cache`` disables this,
+``--cache-dir`` relocates it).  Records are value-identical either way; only
+the wall-clock ``scheduling_seconds`` fields are those of the original run.
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ from typing import Iterable, Mapping
 
 from .backends import BACKEND_NAMES
 from .figures import FIGURES, FigureResult, run_figure
+from .records import ResultCache
 from .reporting import write_series_csv
 
 __all__ = ["run_suite", "write_suite_report", "main"]
@@ -35,19 +46,25 @@ def run_suite(
     scale: str = "small",
     jobs: int = 1,
     backend: str = "auto",
+    cache: ResultCache | None = None,
 ) -> dict[str, FigureResult]:
     """Run the selected figures (all of them by default) and return the results.
 
     ``jobs`` and ``backend`` are forwarded to every figure's sweep: the
     instances of each figure fan out over that many worker processes (``0``
     = one per CPU) using the chosen execution backend (``"shared-memory"``
-    ships each dataset once through a shared arena and schedules at instance
-    granularity) while the reported series stay identical to a serial run.
+    ships each dataset once through a shared arena, schedules at instance
+    granularity and collects the records through a shared-memory result
+    table) while the reported series stay identical to a serial run.
+    ``cache`` (a :class:`~repro.experiments.records.ResultCache`) makes every
+    sweep consult/fill the persistent result cache.
     """
     ids = list(figure_ids) if figure_ids is not None else sorted(FIGURES)
     results: dict[str, FigureResult] = {}
     for figure_id in ids:
-        results[figure_id] = run_figure(figure_id, scale=scale, jobs=jobs, backend=backend)
+        results[figure_id] = run_figure(
+            figure_id, scale=scale, jobs=jobs, backend=backend, cache=cache
+        )
     return results
 
 
@@ -57,6 +74,7 @@ def write_suite_report(
     *,
     scale: str = "small",
     elapsed_seconds: float | None = None,
+    cache: ResultCache | None = None,
 ) -> Path:
     """Write per-figure text/CSV files plus a ``summary.md`` into ``out_dir``."""
     out = Path(out_dir)
@@ -69,6 +87,8 @@ def write_suite_report(
     ]
     if elapsed_seconds is not None:
         lines.append(f"* total runtime: {elapsed_seconds:.1f} s")
+    if cache is not None:
+        lines.append(f"* result cache: {cache.stats()}")
     lines.append("")
     lines.append("| figure | title | checks |")
     lines.append("|---|---|---|")
@@ -113,13 +133,33 @@ def main(argv: list[str] | None = None) -> int:
         default="auto",
         help="sweep execution backend (shared-memory = zero-copy arena transfer)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persistent result-cache directory (default: <out>/.result-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache (always re-simulate)",
+    )
     args = parser.parse_args(argv)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir if args.cache_dir is not None else args.out / ".result-cache")
     start = time.perf_counter()
-    results = run_suite(args.figures, scale=args.scale, jobs=args.jobs, backend=args.backend)
+    results = run_suite(
+        args.figures, scale=args.scale, jobs=args.jobs, backend=args.backend, cache=cache
+    )
     elapsed = time.perf_counter() - start
-    summary = write_suite_report(results, args.out, scale=args.scale, elapsed_seconds=elapsed)
+    summary = write_suite_report(
+        results, args.out, scale=args.scale, elapsed_seconds=elapsed, cache=cache
+    )
     failures = [fid for fid, result in results.items() if not result.all_checks_pass]
     print(f"wrote {summary} ({len(results)} figures, {elapsed:.1f} s)")
+    if cache is not None:
+        print(f"result cache: {cache.stats()}")
     if failures:
         print("figures with failed checks:", ", ".join(failures))
         return 1

@@ -7,6 +7,8 @@ fail loudly on duplicates or gaps instead of silently corrupting a sweep.
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.experiments.backends import (
@@ -18,9 +20,11 @@ from repro.experiments.backends import (
     iter_instances,
     merge_records,
     resolve_backend,
+    result_payload_stats,
     runs_per_tree,
 )
 from repro.experiments.config import SweepConfig
+from repro.experiments.records import RecordTable
 from repro.experiments.runner import run_sweep
 from repro.workloads import SyntheticTreeConfig, synthetic_trees
 
@@ -29,6 +33,35 @@ TIMING_FIELDS = frozenset({"scheduling_seconds", "scheduling_seconds_per_node"})
 
 def strip_timings(records):
     return [{k: v for k, v in r.items() if k not in TIMING_FIELDS} for r in records]
+
+
+def make_record(**overrides) -> dict:
+    """A schema-complete sweep record for merge/table unit tests."""
+    record = {
+        "tree_index": 0,
+        "tree_size": 10,
+        "tree_height": 4,
+        "scheduler": "MemBooking",
+        "num_processors": 8,
+        "memory_factor": 2.0,
+        "memory_limit": 100.0,
+        "minimum_memory": 50.0,
+        "completed": True,
+        "makespan": 10.0,
+        "lower_bound": 8.0,
+        "classical_lower_bound": 8.0,
+        "memory_lower_bound": 7.0,
+        "normalized_makespan": 1.25,
+        "peak_memory": 90.0,
+        "memory_fraction": 0.9,
+        "scheduling_seconds": 0.001,
+        "scheduling_seconds_per_node": 0.0001,
+        "activation_order": "memPO",
+        "execution_order": "memPO",
+        "failure_reason": None,
+    }
+    record.update(overrides)
+    return record
 
 
 @pytest.fixture(scope="module")
@@ -102,21 +135,37 @@ class TestInstanceEnumeration:
 
 class TestMerge:
     def test_restores_order(self):
-        records = [{"i": i} for i in range(5)]
+        records = [make_record(tree_index=i, makespan=10.0 + i) for i in range(5)]
         shuffled = [(4, records[4]), (0, records[0]), (2, records[2]), (1, records[1]), (3, records[3])]
-        assert merge_records(5, shuffled) == records
+        merged = merge_records(5, shuffled)
+        assert isinstance(merged, RecordTable)
+        assert merged == records
 
     def test_rejects_duplicates(self):
         with pytest.raises(ValueError, match="duplicate"):
-            merge_records(2, [(0, {}), (0, {})])
+            merge_records(2, [(0, make_record()), (0, make_record())])
 
     def test_rejects_gaps(self):
         with pytest.raises(ValueError, match="incomplete"):
-            merge_records(3, [(0, {}), (2, {})])
+            merge_records(3, [(0, make_record()), (2, make_record())])
 
     def test_rejects_out_of_range(self):
         with pytest.raises(ValueError, match="outside"):
-            merge_records(1, [(5, {})])
+            merge_records(1, [(5, make_record())])
+
+    def test_preserves_failure_and_nonfinite_values(self):
+        failed = make_record(
+            completed=False,
+            makespan=math.inf,
+            normalized_makespan=math.nan,
+            failure_reason="deadlock at t=3: 7 tasks remain",
+        )
+        merged = merge_records(1, [(0, failed)])
+        row = merged[0]
+        assert row["completed"] is False
+        assert row["makespan"] == math.inf
+        assert math.isnan(row["normalized_makespan"])
+        assert row["failure_reason"] == "deadlock at t=3: 7 tasks remain"
 
 
 class TestResolution:
@@ -194,21 +243,62 @@ class TestWorkerContextCache:
         trees = synthetic_trees(
             backends._SHM_CONTEXT_CACHE_SIZE + 4, SyntheticTreeConfig(num_nodes=30), rng=23
         )
+        total = len(trees) * runs_per_tree(config)
         store = TreeStore.pack(trees)
         shm = store.to_shared_memory()
+        result_shm, result_table = RecordTable.create_shared(total)
         saved = dict(backends._SHM_WORKER)
         try:
-            backends._shm_worker_init(shm.name, config)
+            backends._shm_worker_init(shm.name, result_shm.name, config)
             payloads = backends.SharedMemoryBackend().dispatch_payloads(trees, config)
-            keyed = [backends._shm_run_instance(p) for p in payloads]
+            indices = [backends._shm_run_instance(p) for p in payloads]
             assert len(backends._SHM_WORKER["contexts"]) <= backends._SHM_CONTEXT_CACHE_SIZE
+            assert sorted(indices) == list(range(total))
             serial = SerialBackend().run(trees, config)
-            merged = backends.merge_records(len(serial), keyed)
-            assert strip_timings(merged) == strip_timings(serial)
+            # The worker wrote every record straight into the shared table.
+            assert strip_timings(result_table) == strip_timings(serial)
         finally:
             backends._SHM_WORKER["contexts"].clear()
             backends._SHM_WORKER["store"].close()
+            backends._SHM_WORKER["results"].close()
             backends._SHM_WORKER.clear()
             backends._SHM_WORKER.update(saved)
+            result_table.close()
+            result_shm.close()
+            result_shm.unlink()
             shm.close()
             shm.unlink()
+
+
+class TestResultPlane:
+    def test_run_sweep_returns_record_table(self, trees, config):
+        table = run_sweep(trees, config)
+        assert isinstance(table, RecordTable)
+        assert len(table) == len(trees) * runs_per_tree(config)
+
+    def test_result_payload_drop(self, trees, config, serial_records):
+        """Row indices through the pipe must dwarf pickled record dicts."""
+        stats = result_payload_stats(serial_records)
+        assert stats["dict_records"]["num_payloads"] == len(serial_records)
+        assert stats["row_indices"]["num_payloads"] == len(serial_records)
+        assert (
+            stats["dict_records"]["mean_bytes"] / stats["row_indices"]["mean_bytes"] >= 10
+        )
+
+
+class TestJobsOverrideOnInstances:
+    def test_jobsless_instance_with_explicit_jobs_warns(self, trees, config):
+        """A jobs= override a SerialBackend cannot honour must not vanish."""
+        with pytest.warns(RuntimeWarning, match="jobs=4"):
+            resolve_backend(SerialBackend(), config, len(trees), jobs=4)
+
+    def test_jobsless_instance_accepts_single_worker(self, config, recwarn):
+        """jobs=1 matches what a jobs-less backend runs: no warning."""
+        backend = SerialBackend()
+        assert resolve_backend(backend, config, 5, jobs=1) is backend
+        assert not [w for w in recwarn.list if issubclass(w.category, RuntimeWarning)]
+
+    def test_warned_sweep_still_runs_serially(self, trees, config, serial_records):
+        with pytest.warns(RuntimeWarning):
+            records = run_sweep(trees, config, jobs=3, backend=SerialBackend())
+        assert strip_timings(records) == strip_timings(serial_records)

@@ -133,3 +133,71 @@ class TestSeriesOver:
             where=lambda r: r["scheduler"] == "B",
         )
         assert series == [(2.0, pytest.approx(1.0))]
+
+    def test_where_mapping_filter(self):
+        records = [
+            make_record(scheduler="A", normalized_makespan=5.0),
+            make_record(scheduler="B", normalized_makespan=1.0),
+        ]
+        series = series_over(
+            records, "memory_factor", "normalized_makespan", where={"scheduler": "B"}
+        )
+        assert series == [(2.0, pytest.approx(1.0))]
+
+
+class TestRecordTablePath:
+    """The vectorised columnar paths must agree with the dict fallback."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.experiments import SweepConfig, run_sweep
+        from repro.workloads import SyntheticTreeConfig, synthetic_trees
+
+        trees = synthetic_trees(4, SyntheticTreeConfig(num_nodes=60), rng=13)
+        config = SweepConfig(
+            schedulers=("Activation", "MemBooking"),
+            memory_factors=(1.0, 2.0),
+            processors=(2, 8),
+        )
+        table = run_sweep(trees, config)
+        return table, table.to_dicts()
+
+    def test_completion_fraction_matches(self, sweep):
+        table, dicts = sweep
+        assert completion_fraction(table) == completion_fraction(dicts)
+
+    def test_series_over_matches(self, sweep):
+        table, dicts = sweep
+        for where in (None, {"scheduler": "MemBooking"}, {"scheduler": "MemBooking", "num_processors": 8}):
+            for min_completion in (None, 0.95):
+                assert series_over(
+                    table, "memory_factor", "normalized_makespan",
+                    where=where, min_completion=min_completion,
+                ) == series_over(
+                    dicts, "memory_factor", "normalized_makespan",
+                    where=where, min_completion=min_completion,
+                )
+
+    def test_series_over_callable_where_on_table(self, sweep):
+        table, dicts = sweep
+        predicate = lambda r: r["scheduler"] == "Activation"  # noqa: E731
+        assert series_over(
+            table, "memory_factor", "memory_fraction", where=predicate
+        ) == series_over(dicts, "memory_factor", "memory_fraction", where=predicate)
+
+    def test_speedup_records_match(self, sweep):
+        table, dicts = sweep
+        from_table = speedup_records(table)
+        from_dicts = speedup_records(dicts)
+        assert from_table == from_dicts
+        assert [type(v) for v in from_table[0].values()] == [
+            type(v) for v in from_dicts[0].values()
+        ]
+
+    def test_empty_table(self):
+        from repro.experiments.records import RecordTable
+
+        empty = RecordTable.empty(0)
+        assert math.isnan(completion_fraction(empty))
+        assert series_over(empty, "memory_factor", "makespan") == []
+        assert speedup_records(empty) == []

@@ -1,0 +1,238 @@
+"""Unit tests for the columnar RecordTable result plane and the result cache."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import SweepConfig, run_sweep
+from repro.experiments.records import (
+    RECORD_FIELDS,
+    RecordTable,
+    ResultCache,
+    records_equal,
+)
+from repro.experiments.runner import prepare_instance, run_single
+from repro.workloads import SyntheticTreeConfig, synthetic_trees
+
+TIMING_FIELDS = ("scheduling_seconds", "scheduling_seconds_per_node")
+
+
+def make_record(**overrides) -> dict:
+    record = {
+        "tree_index": 3,
+        "tree_size": 42,
+        "tree_height": 7,
+        "scheduler": "MemBookingRedTree",
+        "num_processors": 8,
+        "memory_factor": 1.5,
+        "memory_limit": 120.0,
+        "minimum_memory": 80.0,
+        "completed": True,
+        "makespan": 33.5,
+        "lower_bound": 30.0,
+        "classical_lower_bound": 28.0,
+        "memory_lower_bound": 30.0,
+        "normalized_makespan": 33.5 / 30.0,
+        "peak_memory": 110.0,
+        "memory_fraction": 110.0 / 120.0,
+        "scheduling_seconds": 0.25,
+        "scheduling_seconds_per_node": 0.25 / 42,
+        "activation_order": "memPO",
+        "execution_order": "CP",
+        "failure_reason": None,
+    }
+    record.update(overrides)
+    return record
+
+
+@pytest.fixture(scope="module")
+def sweep_table() -> RecordTable:
+    trees = synthetic_trees(3, SyntheticTreeConfig(num_nodes=60), rng=5)
+    config = SweepConfig(
+        schedulers=("Activation", "MemBooking"), memory_factors=(1.0, 2.0), processors=(4,)
+    )
+    return run_sweep(trees, config)
+
+
+class TestSchema:
+    def test_schema_matches_run_single_exactly(self):
+        """The fixed schema is derived from run_single: same keys, same order."""
+        tree = synthetic_trees(1, SyntheticTreeConfig(num_nodes=40), rng=9)[0]
+        config = SweepConfig(schedulers=("MemBooking",))
+        record = run_single(prepare_instance(tree, 0, config), "MemBooking", 4, 2.0, config)
+        assert list(record) == [field.name for field in RECORD_FIELDS]
+
+    def test_scheduler_and_order_names_fit_their_columns(self):
+        from repro.orders import ORDER_FACTORIES
+        from repro.schedulers import SCHEDULER_FACTORIES
+
+        widths = {field.name: field.str_width for field in RECORD_FIELDS}
+        assert all(len(name) <= widths["scheduler"] for name in SCHEDULER_FACTORIES)
+        assert all(len(name) <= widths["activation_order"] for name in ORDER_FACTORIES)
+
+
+class TestRoundTrip:
+    def test_from_dicts_to_dicts_is_value_identical(self):
+        records = [
+            make_record(tree_index=0),
+            make_record(
+                tree_index=1,
+                completed=False,
+                makespan=math.inf,
+                normalized_makespan=math.nan,
+                memory_fraction=math.nan,
+                failure_reason="deadlock at t=1.5: 3 tasks remain",
+            ),
+        ]
+        out = RecordTable.from_dicts(records).to_dicts()
+        assert records_equal(out, records)
+        # Exact native types, not NumPy scalars.
+        assert type(out[0]["tree_index"]) is int
+        assert type(out[0]["makespan"]) is float
+        assert type(out[0]["completed"]) is bool
+        assert type(out[0]["scheduler"]) is str
+        assert out[0]["failure_reason"] is None
+        assert out[1]["failure_reason"] == "deadlock at t=1.5: 3 tasks remain"
+
+    def test_save_load_roundtrip(self, sweep_table, tmp_path):
+        path = sweep_table.save(tmp_path / "cache" / "sweep.records")
+        for use_mmap in (True, False):
+            loaded = RecordTable.load(path, use_mmap=use_mmap)
+            assert loaded == sweep_table
+            assert loaded.to_dicts() == sweep_table.to_dicts()
+
+    def test_empty_table_roundtrip(self, tmp_path):
+        empty = RecordTable.from_dicts([])
+        assert len(empty) == 0
+        assert empty.to_dicts() == []
+        assert empty == []
+        path = empty.save(tmp_path / "empty.records")
+        assert RecordTable.load(path) == empty
+
+    def test_metadata_persists(self, tmp_path):
+        table = RecordTable.from_dicts([make_record()], metadata={"scale": "tiny", "seed": 7})
+        loaded = RecordTable.load(table.save(tmp_path / "meta.records"))
+        assert loaded.metadata == {"scale": "tiny", "seed": 7}
+
+
+class TestSequenceView:
+    def test_len_iter_getitem(self, sweep_table):
+        dicts = sweep_table.to_dicts()
+        assert len(sweep_table) == len(dicts)
+        assert list(sweep_table) == dicts
+        assert sweep_table[0] == dicts[0]
+        assert sweep_table[-1] == dicts[-1]
+        assert sweep_table[1:3] == dicts[1:3]
+
+    def test_string_key_returns_column(self, sweep_table):
+        column = sweep_table["normalized_makespan"]
+        assert isinstance(column, np.ndarray)
+        assert column.dtype == np.float64
+        assert len(column) == len(sweep_table)
+
+    def test_unknown_column_rejected(self, sweep_table):
+        with pytest.raises(KeyError, match="unknown record field"):
+            sweep_table.column("nope")
+
+    def test_row_out_of_range(self, sweep_table):
+        with pytest.raises(IndexError):
+            sweep_table.row(len(sweep_table))
+
+    def test_equality_against_table_and_list(self, sweep_table):
+        assert sweep_table == sweep_table.copy()
+        assert sweep_table == sweep_table.to_dicts()
+        other = sweep_table.copy()
+        other.column("makespan")[0] += 1.0
+        assert sweep_table != other
+
+
+class TestSetRow:
+    def test_missing_field_rejected(self):
+        table = RecordTable.empty(1)
+        with pytest.raises(KeyError):
+            table.set_row(0, {"tree_index": 0})
+
+    def test_oversized_string_rejected(self):
+        table = RecordTable.empty(1)
+        with pytest.raises(ValueError, match="capacity"):
+            table.set_row(0, make_record(failure_reason="x" * 1000))
+
+
+class TestSharedMemory:
+    def test_create_attach_write_read(self):
+        records = [make_record(tree_index=i) for i in range(4)]
+        shm, table = RecordTable.create_shared(len(records))
+        attached = None
+        try:
+            attached = RecordTable.attach(shm.name)
+            for i, record in enumerate(records):
+                attached.set_row(i, record)
+            # Writes through the attachment are visible to the owner's view.
+            assert table.to_dicts() == records
+            copy = table.copy()
+            assert copy == records
+        finally:
+            if attached is not None:
+                attached.close()
+            table.close()
+            shm.close()
+            shm.unlink()
+
+
+class TestCorruptInput:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            RecordTable(bytearray(b"NOTATBL1" + b"\0" * 64))
+
+    def test_truncated_rejected(self, tmp_path):
+        table = RecordTable.from_dicts([make_record()])
+        path = table.save(tmp_path / "t.records")
+        path.write_bytes(path.read_bytes()[:-16])
+        with pytest.raises(ValueError, match="truncated"):
+            RecordTable.load(path, use_mmap=False)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, sweep_table, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = cache.key(("synthetic", "tiny", 5), SweepConfig())
+        assert cache.get(key) is None
+        assert cache.misses == 1
+        cache.put(key, sweep_table)
+        again = cache.get(key)
+        assert again is not None and again == sweep_table
+        assert cache.hits == 1
+
+    def test_key_ignores_execution_only_fields(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = SweepConfig()
+        assert cache.key(("d",), base) == cache.key(
+            ("d",), base.with_overrides(jobs=8, backend="shared-memory")
+        )
+        assert cache.key(("d",), base) != cache.key(
+            ("d",), base.with_overrides(memory_factors=(1.0, 2.0))
+        )
+        assert cache.key(("d", "tiny"), base) != cache.key(("d", "small"), base)
+
+    def test_corrupt_cache_file_is_a_miss(self, sweep_table, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key(("d",), SweepConfig())
+        cache.put(key, sweep_table)
+        cache.path(key).write_bytes(b"garbage")
+        assert cache.get(key) is None
+
+    def test_figure_cache_roundtrip(self, tmp_path):
+        """A cached figure re-run produces identical series without sweeping."""
+        from repro.experiments import run_figure
+
+        cache = ResultCache(tmp_path / "figcache")
+        first = run_figure("fig5", scale="tiny", cache=cache)
+        assert cache.hits == 0 and cache.misses == 1
+        second = run_figure("fig5", scale="tiny", cache=cache)
+        assert cache.hits == 1
+        assert second.series == first.series
+        assert second.checks == first.checks
+        assert records_equal(second.records, first.records)

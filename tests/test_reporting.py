@@ -6,8 +6,11 @@ import csv
 import math
 
 from repro.experiments.reporting import (
+    _format_value,
     format_records_table,
     format_series_table,
+    quantize_x,
+    read_records_csv,
     write_records_csv,
     write_series_csv,
 )
@@ -33,6 +36,38 @@ class TestSeriesTable:
     def test_nan_rendered_as_dash(self):
         text = format_series_table({"A": [(1.0, math.nan)]})
         assert text.splitlines()[-1].split()[-1] == "-"
+
+    def test_float_noise_x_values_share_a_row(self):
+        """Two series whose x keys differ by float noise must not split rows."""
+        noisy = 2.0 + 2.0 * math.ulp(2.0)
+        series = {"A": [(2.0, 1.0)], "B": [(noisy, 3.0)]}
+        lines = format_series_table(series).splitlines()
+        assert len(lines) == 3  # header, rule, ONE shared row
+        assert "1.000" in lines[-1] and "3.000" in lines[-1]
+
+
+class TestFormatValue:
+    def test_non_finite_rendered_explicitly(self):
+        assert _format_value(math.inf) == "inf"
+        assert _format_value(-math.inf) == "-inf"
+        assert _format_value(math.nan) == "-"
+
+    def test_zero_keeps_its_sign(self):
+        assert _format_value(0.0) == "0"
+        assert _format_value(-0.0) == "-0"
+
+    def test_finite_formatting_unchanged(self):
+        assert _format_value(1.5) == "1.500"
+        assert _format_value(12345.0) == "1.234e+04"
+        assert _format_value(0.001) == "1.000e-03"
+        assert _format_value("text") == "text"
+
+
+class TestQuantizeX:
+    def test_noise_collapses_exact_preserved(self):
+        assert quantize_x(2.0 + 2.0 * math.ulp(2.0)) == quantize_x(2.0)
+        assert quantize_x(1.5) == 1.5
+        assert quantize_x(1.5) != quantize_x(1.6)
 
 
 class TestRecordsTable:
@@ -65,3 +100,60 @@ class TestCsvWriters:
         assert rows[0] == ["factor", "A", "B"]
         assert rows[1][0] == "1.0"
         assert rows[2][2] == ""  # B has no point at x=2
+
+    def test_series_csv_quantises_x_keys(self, tmp_path):
+        noisy = 2.0 + 2.0 * math.ulp(2.0)
+        series = {"A": [(2.0, 1.0)], "B": [(noisy, 3.0)]}
+        path = write_series_csv(series, tmp_path / "series.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 2  # header + the ONE merged row
+        assert rows[1] == ["2.0", "1.0", "3.0"]
+
+
+class TestCsvRoundTrip:
+    def test_types_and_missing_keys_survive(self, tmp_path):
+        records = [
+            {"i": 1, "f": 2.5, "b": True, "s": "hello", "none": None},
+            {"i": 2, "f": math.nan, "b": False, "s": "true"},  # "s" is a *string*
+            {"f": math.inf, "s": "-3.5", "extra": "1_0"},
+        ]
+        path = write_records_csv(records, tmp_path / "r.csv")
+        out = read_records_csv(path)
+        assert len(out) == 3
+        assert out[0] == {"i": 1, "f": 2.5, "b": True, "s": "hello", "none": None}
+        assert type(out[0]["i"]) is int and type(out[0]["f"]) is float
+        assert out[1]["s"] == "true" and out[1]["b"] is False
+        assert math.isnan(out[1]["f"])
+        assert "i" not in out[2] and "b" not in out[2]  # missing stays missing
+        assert out[2]["f"] == math.inf
+        assert out[2]["s"] == "-3.5" and type(out[2]["s"]) is str
+        assert out[2]["extra"] == "1_0"  # would int()-parse; must stay a string
+
+    def test_empty_string_and_quotes_survive(self, tmp_path):
+        records = [{"a": "", "b": 'say "hi"', "c": "null"}]
+        out = read_records_csv(write_records_csv(records, tmp_path / "q.csv"))
+        assert out == records
+
+    def test_leading_quote_strings_survive(self, tmp_path):
+        """Strings starting with a double quote must not crash the encoder."""
+        records = [{"a": '"hi" she said', "b": '"fully quoted"', "c": '"'}]
+        out = read_records_csv(write_records_csv(records, tmp_path / "lq.csv"))
+        assert out == records
+
+    def test_empty_inputs(self, tmp_path):
+        path = write_records_csv([], tmp_path / "none.csv")
+        assert read_records_csv(path) == []
+
+    def test_sweep_records_roundtrip_exactly(self, tmp_path):
+        """The CSV path must agree with the RecordTable encoding end to end."""
+        from repro.experiments import SweepConfig, records_equal, run_sweep
+        from repro.workloads import SyntheticTreeConfig, synthetic_trees
+
+        trees = synthetic_trees(2, SyntheticTreeConfig(num_nodes=40), rng=3)
+        table = run_sweep(
+            trees,
+            SweepConfig(schedulers=("Activation", "MemBooking"), memory_factors=(1.0, 2.0)),
+        )
+        out = read_records_csv(write_records_csv(table, tmp_path / "sweep.csv"))
+        assert records_equal(out, table.to_dicts())

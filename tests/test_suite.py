@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
-from repro.experiments.figures import FIGURES
+import math
+
+from repro.experiments.figures import FIGURES, FigureResult
+from repro.experiments.metrics import completion_fraction
+from repro.experiments.records import ResultCache, records_equal
+from repro.experiments.reporting import format_records_table
 from repro.experiments.suite import main, run_suite, write_suite_report
 
 
@@ -25,9 +30,77 @@ class TestRunSuite:
         assert results["redtree_failures"].figure_id == "redtree_failures"
 
 
+class TestResultCacheIntegration:
+    def test_second_suite_run_hits_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = run_suite(["fig5"], scale="tiny", cache=cache)
+        assert cache.hits == 0 and cache.misses == 1
+        second = run_suite(["fig5"], scale="tiny", cache=cache)
+        assert cache.hits == 1 and cache.misses == 1
+        assert second["fig5"].series == first["fig5"].series
+        assert records_equal(second["fig5"].records, first["fig5"].records)
+
+    def test_report_mentions_cache_stats(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        results = run_suite(["fig5"], scale="tiny", cache=cache)
+        summary = write_suite_report(results, tmp_path / "report", scale="tiny", cache=cache)
+        assert "result cache" in summary.read_text()
+
+
+class TestDegenerateResults:
+    """Empty/degenerate result sets must render, not crash."""
+
+    def test_format_records_table_zero_rows(self):
+        text = format_records_table([], ["scheduler", "makespan"], title="empty")
+        lines = text.splitlines()
+        assert lines[0] == "empty"
+        assert "scheduler" in lines[1] and "makespan" in lines[1]
+        assert len(lines) == 3  # title, header, rule — no data rows
+
+    def test_empty_completion_fraction_propagates_into_report(self, tmp_path):
+        fraction = completion_fraction([])
+        assert math.isnan(fraction)
+        empty_figure = FigureResult(
+            figure_id="empty",
+            title="degenerate sweep",
+            x_label="x",
+            y_label="y",
+            series={"only": [(1.0, fraction)]},
+            checks={"has_data": False},
+        )
+        summary = write_suite_report({"empty": empty_figure}, tmp_path / "report", scale="tiny")
+        assert "FAILURES: has_data" in summary.read_text()
+        figure_text = (tmp_path / "report" / "empty.txt").read_text()
+        assert "-" in figure_text  # the NaN cell renders as a dash
+
+    def test_empty_series_render(self, tmp_path):
+        empty_figure = FigureResult(
+            figure_id="blank", title="no series", x_label="x", y_label="y", series={"s": []}
+        )
+        summary = write_suite_report({"blank": empty_figure}, tmp_path / "report", scale="tiny")
+        assert summary.exists()
+        assert (tmp_path / "report" / "blank.csv").exists()
+
+
 class TestCommandLine:
     def test_main_with_subset(self, tmp_path, capsys):
         code = main(["--scale", "tiny", "--out", str(tmp_path / "out"), "--figures", "lb_stats"])
         assert code == 0
         assert (tmp_path / "out" / "summary.md").exists()
         assert "wrote" in capsys.readouterr().out
+
+    def test_main_uses_cache_on_rerun(self, tmp_path, capsys):
+        args = ["--scale", "tiny", "--out", str(tmp_path / "out"), "--figures", "fig5"]
+        assert main(args) == 0
+        assert (tmp_path / "out" / ".result-cache").is_dir()
+        assert main(args) == 0
+        assert "1 hits" in capsys.readouterr().out
+
+    def test_main_no_cache(self, tmp_path, capsys):
+        args = [
+            "--scale", "tiny", "--out", str(tmp_path / "out"), "--figures", "lb_stats",
+            "--no-cache",
+        ]
+        assert main(args) == 0
+        assert not (tmp_path / "out" / ".result-cache").exists()
+        assert "result cache" not in capsys.readouterr().out
