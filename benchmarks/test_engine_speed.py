@@ -1,0 +1,148 @@
+"""Engine speed benchmark: array engine vs the frozen pre-rewrite reference.
+
+Measures, on the same machine and the same inputs,
+
+* the **events/second micro-benchmark** on the fig15 configuration (the
+  synthetic processor-sweep of the paper): every (tree, p, factor,
+  heuristic) instance simulated back to back with the production array
+  schedulers and with the frozen PR 3 implementations of
+  :mod:`repro.schedulers.reference`.  At non-tiny scales the array engine
+  must be **>= 2x** faster (the ISSUE 4 acceptance bar); at ``tiny`` scale
+  the numbers are recorded without gating (sub-millisecond totals are all
+  noise).
+* the **per-figure serial wall-clock** of the scheduling-time figures
+  (fig5, fig6, fig15), before/after: the "before" run monkeypatches the
+  reference schedulers into the factory registry, so both runs share the
+  dataset generators, bounds, validation and reporting — the delta is the
+  engine.
+
+Everything lands in ``benchmarks/results/BENCH_engine.json`` — a
+machine-readable perf trajectory (uploaded as a CI artifact) that future
+PRs can regress against.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_figure
+from repro.experiments.runner import prepare_instance
+from repro.experiments.config import SweepConfig
+from repro.schedulers import SCHEDULER_FACTORIES
+from repro.schedulers.reference import REFERENCE_FACTORIES
+from repro.workloads.datasets import synthetic_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_PATH = RESULTS_DIR / "BENCH_engine.json"
+
+#: The fig15 sweep configuration (synthetic trees, processor sweep).
+FIG15_CONFIG = SweepConfig(memory_factors=(1.5, 2.0, 5.0, 10.0), processors=(2, 4, 8, 16, 32))
+FIG15_SEED = 7011
+
+
+def _update_bench_json(scale: str, section: str, payload: dict) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    data: dict = {}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except ValueError:
+            data = {}
+    data.setdefault("schema", 1)
+    data["scale"] = scale
+    data.setdefault("sections", {})[section] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _simulate_fig15(factories, trees, contexts) -> tuple[float, int]:
+    """Run every fig15 instance back to back; return (seconds, total events).
+
+    Order precomputation (the InstanceContext) happens outside the timed
+    region for both sides, as in the paper's timing figures.
+    """
+    config = FIG15_CONFIG
+    total_events = 0
+    tic = time.perf_counter()
+    for tree, context in zip(trees, contexts):
+        for p in config.processors:
+            for factor in config.memory_factors:
+                memory = factor * context.minimum_memory
+                for name in config.schedulers:
+                    result = factories[name]().schedule(
+                        tree, p, memory, ao=context.ao, eo=context.eo,
+                        workspace=context.workspace,
+                    )
+                    total_events += result.num_events
+    return time.perf_counter() - tic, total_events
+
+
+def test_fig15_engine_events_per_second(bench_scale):
+    trees, _ = synthetic_dataset(bench_scale, seed=FIG15_SEED)
+    contexts = [prepare_instance(tree, i, FIG15_CONFIG) for i, tree in enumerate(trees)]
+
+    after_seconds, after_events = _simulate_fig15(SCHEDULER_FACTORIES, trees, contexts)
+    before_seconds, before_events = _simulate_fig15(REFERENCE_FACTORIES, trees, contexts)
+    assert after_events == before_events, "bit-identical engines must count identical events"
+
+    speedup = before_seconds / after_seconds
+    payload = {
+        "config": "fig15 (synthetic processor sweep)",
+        "instances": len(trees) * len(FIG15_CONFIG.processors)
+        * len(FIG15_CONFIG.memory_factors) * len(FIG15_CONFIG.schedulers),
+        "events": after_events,
+        "before_seconds": before_seconds,
+        "after_seconds": after_seconds,
+        "events_per_second_before": before_events / before_seconds,
+        "events_per_second_after": after_events / after_seconds,
+        "speedup": speedup,
+    }
+    _update_bench_json(bench_scale, "fig15_engine", payload)
+    print(
+        f"\nfig15 engine: {after_events} events | "
+        f"before {before_seconds:.3f}s ({payload['events_per_second_before']:,.0f} ev/s) | "
+        f"after {after_seconds:.3f}s ({payload['events_per_second_after']:,.0f} ev/s) | "
+        f"speedup {speedup:.2f}x"
+    )
+    if bench_scale != "tiny":
+        # The ISSUE 4 acceptance bar, gated on the fig15 configuration.
+        assert speedup >= 2.0, (
+            f"array engine is only {speedup:.2f}x faster than the PR 3 reference "
+            f"on the fig15 configuration (required: >= 2x)"
+        )
+
+
+@pytest.mark.parametrize("figure_id", ["fig5", "fig6", "fig15"])
+def test_scheduling_time_figures_before_after(figure_id, bench_scale, monkeypatch):
+    """Serial wall-clock of each scheduling-time figure, reference vs array.
+
+    Runs serially on purpose: worker processes would not inherit the
+    monkeypatched registry, and wall-clock comparisons across pool runs
+    measure the pool, not the engine.
+    """
+    tic = time.perf_counter()
+    result_after = run_figure(figure_id, scale=bench_scale, backend="serial")
+    after_seconds = time.perf_counter() - tic
+
+    for name, factory in REFERENCE_FACTORIES.items():
+        monkeypatch.setitem(SCHEDULER_FACTORIES, name, factory)
+    tic = time.perf_counter()
+    result_before = run_figure(figure_id, scale=bench_scale, backend="serial")
+    before_seconds = time.perf_counter() - tic
+
+    assert result_after.series.keys() == result_before.series.keys()
+    payload = {
+        "before_seconds": before_seconds,
+        "after_seconds": after_seconds,
+        "speedup": before_seconds / after_seconds,
+    }
+    _update_bench_json(bench_scale, figure_id, payload)
+    print(
+        f"\n{figure_id} serial wall-clock: before {before_seconds:.3f}s, "
+        f"after {after_seconds:.3f}s ({payload['speedup']:.2f}x)"
+    )
+    failed = [name for name, ok in result_after.checks.items() if not ok]
+    assert not failed, f"{figure_id}: qualitative checks failed: {failed}"

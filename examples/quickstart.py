@@ -99,6 +99,12 @@ def main() -> None:
     print("Figures and the suite accept a persistent result cache built on it:")
     print("  python -m repro.experiments.suite --scale tiny   # second run: cache hits")
     print("  memtree figure fig2 --cache-dir results-cache/")
+    print()
+    print("Generated datasets are cached the same way: the suite keeps a workload")
+    print("cache of packed TreeStore arenas under <out>/.workload-cache, keyed by")
+    print("(dataset, scale, seed, generator version), and mmap-loads them on later")
+    print("figures instead of regenerating (--no-workload-cache disables it;")
+    print("`memtree figure fig2 --workload-cache-dir trees-cache/` on the CLI).")
 
 
 if __name__ == "__main__":

@@ -21,7 +21,10 @@ Four sub-commands cover the typical workflows of the library:
     persistent result cache (saved
     :class:`~repro.experiments.records.RecordTable` files keyed by dataset
     and sweep config), so re-running a figure at the same scale loads the
-    recorded results instead of re-simulating.
+    recorded results instead of re-simulating; ``--workload-cache-dir DIR``
+    does the same for the *generated datasets* (packed
+    :class:`~repro.core.tree_store.TreeStore` arenas keyed by dataset,
+    scale, seed and generator version, mmap-loaded as zero-copy views).
 
 Both sweep commands take ``--backend`` to pick the execution strategy
 (:mod:`repro.experiments.backends`): ``serial``, ``process`` (one pickled
@@ -65,7 +68,7 @@ from .experiments import (
 )
 from .orders import ORDER_FACTORIES, make_order, minimum_memory_postorder, sequential_peak_memory
 from .schedulers import SCHEDULER_FACTORIES, make_scheduler
-from .workloads import assembly_dataset, synthetic_dataset
+from .workloads import WorkloadCache, assembly_dataset, synthetic_dataset
 
 __all__ = ["main", "build_parser"]
 
@@ -154,6 +157,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persistent result-cache directory: sweeps already recorded there "
         "are loaded instead of re-simulated",
+    )
+    figure.add_argument(
+        "--workload-cache-dir",
+        type=Path,
+        default=None,
+        help="persistent workload-cache directory: generated datasets are saved "
+        "once as TreeStore arenas and mmap-loaded on later runs",
+    )
+    figure.add_argument(
+        "--no-workload-cache",
+        action="store_true",
+        help="ignore --workload-cache-dir and always regenerate the datasets",
     )
 
     return parser
@@ -263,13 +278,23 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir) if args.cache_dir is not None else None
+    workload_cache = None
+    if args.workload_cache_dir is not None and not args.no_workload_cache:
+        workload_cache = WorkloadCache(args.workload_cache_dir)
     result = run_figure(
-        args.figure_id, scale=args.scale, jobs=args.jobs, backend=args.backend, cache=cache
+        args.figure_id,
+        scale=args.scale,
+        jobs=args.jobs,
+        backend=args.backend,
+        cache=cache,
+        workload_cache=workload_cache,
     )
     print(result.as_text())
     if args.csv is not None:
         write_series_csv(result.series, args.csv, x_label=result.x_label)
         print(f"series written to {args.csv}")
+    if workload_cache is not None:
+        print(f"workload cache: {workload_cache.stats()}")
     return 0 if result.all_checks_pass else 1
 
 

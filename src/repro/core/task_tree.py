@@ -80,6 +80,8 @@ class TaskTree:
         "_parent",
         "_children",
         "_child_counts",
+        "_child_offsets",
+        "_child_nodes",
         "_fout",
         "_nexec",
         "_ptime",
@@ -121,21 +123,13 @@ class TaskTree:
             raise ValueError(f"a TaskTree must have exactly one root, found {roots.size}")
         self._root = int(roots[0])
 
-        # Children lists (tuples for immutability), via one stable argsort of
-        # the parent pointers: children of the same parent keep increasing
-        # index order, exactly as the former per-node append loop produced.
-        child_nodes = np.flatnonzero(parent_arr != NO_PARENT)
-        child_parents = parent_arr[child_nodes]
-        child_counts = np.bincount(child_parents, minlength=n)
-        grouped = child_nodes[np.argsort(child_parents, kind="stable")].tolist()
-        bounds = np.concatenate(([0], np.cumsum(child_counts))).tolist()
-        self._children: tuple[tuple[int, ...], ...] = tuple(
-            tuple(grouped[bounds[i] : bounds[i + 1]]) for i in range(n)
-        )
-        self._child_counts = child_counts
+        self._init_child_planes()
 
         # MemNeeded_i  =  sum_{j in children(i)} f_j + n_i + f_i   (Equation (1))
-        child_sum = np.bincount(child_parents, weights=self._fout[child_nodes], minlength=n)
+        child_nodes = np.flatnonzero(parent_arr != NO_PARENT)
+        child_sum = np.bincount(
+            parent_arr[child_nodes], weights=self._fout[child_nodes], minlength=n
+        )
         self._mem_needed = child_sum + self._nexec + self._fout
 
         if names is not None:
@@ -151,9 +145,56 @@ class TaskTree:
             self._nexec,
             self._ptime,
             self._mem_needed,
-            self._child_counts,
         ):
             array.setflags(write=False)
+
+    def _init_child_planes(self) -> None:
+        """Build the CSR children plane from the parent pointers.
+
+        ``_child_nodes[_child_offsets[i]:_child_offsets[i+1]]`` are the
+        children of ``i`` in increasing index order, via one stable argsort
+        — exactly as the former per-node append loop produced.  The flat
+        arrays are the *children plane* the array-native simulation kernels
+        walk; the tuple-of-tuples view is materialised lazily for the
+        (cold) callers that want per-node tuples.  Everything here is a
+        pure function of ``_parent``, so pickling skips it (see
+        ``__getstate__``) and the receiving process rebuilds it.
+        """
+        parent_arr = self._parent
+        n = int(parent_arr.size)
+        child_nodes = np.flatnonzero(parent_arr != NO_PARENT)
+        child_parents = parent_arr[child_nodes]
+        child_counts = np.bincount(child_parents, minlength=n)
+        self._child_nodes = child_nodes[np.argsort(child_parents, kind="stable")]
+        self._child_offsets = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(child_counts, dtype=np.int64))
+        )
+        self._children: tuple[tuple[int, ...], ...] | None = None
+        self._child_counts = child_counts
+        for array in (self._child_counts, self._child_offsets, self._child_nodes):
+            array.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # pickling (worker dispatch payloads)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Pickle only the defining planes, not the derived children state.
+
+        The CSR arrays (16 bytes/node) and any materialised tuple view are
+        pure functions of the parent pointers; shipping them would inflate
+        the per-tree payload of the process-pool backend by ~20%+.
+        """
+        drop = {"_children", "_child_nodes", "_child_offsets", "_child_counts"}
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "__weakref__" and slot not in drop
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._init_child_planes()
 
     # ------------------------------------------------------------------ #
     # validation
@@ -236,17 +277,39 @@ class TaskTree:
         """Optional node names (informational only)."""
         return self._names
 
+    @property
+    def children_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """The flat children plane ``(offsets, nodes)`` in CSR form.
+
+        ``nodes[offsets[i]:offsets[i+1]]`` are the children of node ``i`` in
+        increasing index order.  Both arrays are read-only; this is the
+        representation the array-native simulation kernels iterate, without
+        materialising per-node tuples.
+        """
+        return self._child_offsets, self._child_nodes
+
+    def _children_tuples(self) -> tuple[tuple[int, ...], ...]:
+        """Materialise (and cache) the tuple-of-tuples children view."""
+        children = self._children
+        if children is None:
+            grouped = self._child_nodes.tolist()
+            bounds = self._child_offsets.tolist()
+            children = self._children = tuple(
+                tuple(grouped[bounds[i] : bounds[i + 1]]) for i in range(self.n)
+            )
+        return children
+
     def children(self, node: int) -> tuple[int, ...]:
         """Return the children of ``node`` (empty tuple for a leaf)."""
-        return self._children[node]
+        return self._children_tuples()[node]
 
     def num_children(self, node: int) -> int:
         """Number of children of ``node``."""
-        return len(self._children[node])
+        return int(self._child_counts[node])
 
     def is_leaf(self, node: int) -> bool:
         """True when ``node`` has no children."""
-        return not self._children[node]
+        return not self._child_counts[node]
 
     def is_root(self, node: int) -> bool:
         """True when ``node`` is the root of the tree."""
@@ -281,12 +344,14 @@ class TaskTree:
 
     def subtree(self, node: int) -> np.ndarray:
         """Indices of the subtree rooted at ``node`` (preorder), as an array."""
+        offsets = self._child_offsets.tolist()
+        nodes = self._child_nodes.tolist()
         out: list[int] = []
         stack = [node]
         while stack:
             current = stack.pop()
             out.append(current)
-            stack.extend(self._children[current])
+            stack.extend(nodes[offsets[current] : offsets[current + 1]])
         return np.asarray(out, dtype=np.int64)
 
     def topological_order(self) -> np.ndarray:
@@ -297,8 +362,10 @@ class TaskTree:
         :mod:`repro.orders` for the orderings studied in the paper.
         """
         order = np.empty(self.n, dtype=np.int64)
+        offsets = self._child_offsets.tolist()
+        nodes = self._child_nodes.tolist()
         cursor = 0
-        # Iterative postorder.
+        # Iterative postorder over the CSR children plane.
         stack: list[tuple[int, bool]] = [(self._root, False)]
         while stack:
             node, expanded = stack.pop()
@@ -308,7 +375,7 @@ class TaskTree:
             else:
                 stack.append((node, True))
                 # Reverse so the smallest-index child is processed first.
-                for child in reversed(self._children[node]):
+                for child in reversed(nodes[offsets[node] : offsets[node + 1]]):
                     stack.append((child, False))
         return order
 

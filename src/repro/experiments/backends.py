@@ -259,14 +259,18 @@ def _shm_worker_init(arena_name: str, results_name: str, config: SweepConfig) ->
     _SHM_WORKER["contexts"] = OrderedDict()
 
 
-def _shm_run_instance(payload: tuple[int, int, str, int, float]) -> int:
+def _shm_run_instance(payload: tuple[int, int, str, int, float]) -> "int | tuple[int, str]":
     """Simulate one instance, write its row in shared memory, return its index.
 
     The record itself never crosses the pool pipe: the worker places it into
     row ``global_index`` of the shared result table (rows are disjoint, so no
     locking is needed) and the parent only receives the pickled ``int`` —
     the ``result_payload_stats`` benchmark quantifies the drop versus
-    pickled dicts.
+    pickled dicts.  The one exception is the dictionary-encoded
+    ``failure_reason`` column: workers cannot coordinate a shared growing
+    codes table, so a *failed* instance returns ``(index, reason)`` and the
+    parent assigns the canonical code (failures are the rare case, so the
+    typical payload stays a lone integer).
     """
     from .runner import prepare_instance, run_single
 
@@ -285,6 +289,9 @@ def _shm_run_instance(payload: tuple[int, int, str, int, float]) -> int:
         context, scheduler, num_processors, memory_factor, _SHM_WORKER["config"]
     )
     _SHM_WORKER["results"].set_row(global_index, record)
+    reason = record["failure_reason"]
+    if reason is not None:
+        return global_index, reason
     return global_index
 
 
@@ -338,11 +345,22 @@ class SharedMemoryBackend(ExecutionBackend):
             ) as pool:
                 # Unordered completion maximises load balance; rows land at
                 # their canonical index regardless, so no reorder is needed.
-                indices = list(pool.imap_unordered(_shm_run_instance, payloads, chunksize=1))
+                outcomes = list(pool.imap_unordered(_shm_run_instance, payloads, chunksize=1))
             seen = np.zeros(total, dtype=bool)
-            for index in indices:
+            failures: list[tuple[int, str]] = []
+            for outcome in outcomes:
+                if isinstance(outcome, tuple):
+                    index, reason = outcome
+                    failures.append((index, reason))
+                else:
+                    index = outcome
                 _claim_index(seen, index, total)
             _check_coverage(total, seen)
+            # Workers wrote provisional (worker-local) failure codes; assign
+            # the canonical ones in row order so the merged table is
+            # byte-identical to the serial backend's.
+            for index, reason in sorted(failures):
+                result_table.set_value(index, "failure_reason", reason)
             # One arena copy detaches the records from the segment lifetime.
             merged = result_table.copy()
         finally:
@@ -438,15 +456,23 @@ def result_payload_stats(records: "RecordTable | Sequence[dict[str, Any]]") -> d
 
     For each produced record, the pre-RecordTable pipeline shipped the whole
     pickled dict back through the pool pipe; the shared-memory result plane
-    ships only the pickled row index (the record bytes live in the shared
-    table, out of band).  Returns ``{"dict_records": stats, "row_indices":
-    stats}`` with the same keys as :func:`dispatch_payload_stats` — what the
-    result-plane benchmark asserts the >= 10x drop on.
+    ships only the pickled row index — or ``(index, failure_reason)`` for
+    the rare failed instance, whose message the merge side must
+    dictionary-encode (the record bytes live in the shared table, out of
+    band).  Returns ``{"dict_records": stats, "row_indices": stats}`` with
+    the same keys as :func:`dispatch_payload_stats` — what the result-plane
+    benchmark asserts the >= 10x drop on.
     """
     dicts = list(records)
+    outcomes = [
+        (index, record["failure_reason"])
+        if record.get("failure_reason") is not None
+        else index
+        for index, record in enumerate(dicts)
+    ]
     return {
         "dict_records": _payload_sizes(dicts),
-        "row_indices": _payload_sizes(list(range(len(dicts)))),
+        "row_indices": _payload_sizes(outcomes),
     }
 
 

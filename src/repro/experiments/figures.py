@@ -44,7 +44,12 @@ from ..core.tree_metrics import height
 from ..orders import minimum_memory_postorder, sequential_peak_memory
 from ..schedulers import SCHEDULER_FACTORIES
 from ..schedulers.membooking import MemBookingReferenceScheduler, MemBookingScheduler
-from ..workloads.datasets import assembly_dataset, height_study_dataset, synthetic_dataset
+from ..workloads.datasets import (
+    WorkloadCache,
+    assembly_dataset,
+    height_study_dataset,
+    synthetic_dataset,
+)
 from .config import DEFAULT_MEMORY_FACTORS, PAPER_HEURISTICS, SweepConfig
 from .metrics import decile_band, mean, median, series_over, speedup_records
 from .records import RecordTable, ResultCache
@@ -94,17 +99,34 @@ class FigureResult:
 # --------------------------------------------------------------------------- #
 # dataset helpers
 # --------------------------------------------------------------------------- #
-def _dataset(kind: str, scale: str, seed: int) -> list[TaskTree]:
-    if kind == "assembly":
-        trees, _ = assembly_dataset(scale, seed=seed)  # type: ignore[arg-type]
-        return trees
-    if kind == "synthetic":
-        trees, _ = synthetic_dataset(scale, seed=seed)  # type: ignore[arg-type]
-        return trees
-    if kind == "height":
-        trees, _ = height_study_dataset(seed=seed)
-        return trees
-    raise ValueError(f"unknown dataset kind {kind!r}")
+def _dataset(
+    kind: str, scale: str, seed: int, workload_cache: WorkloadCache | None = None
+) -> list[TaskTree]:
+    """Generate (or load from the workload cache) one named dataset.
+
+    With a :class:`~repro.workloads.datasets.WorkloadCache` the trees come
+    back as zero-copy views over a saved ``TreeStore`` arena keyed by
+    (kind, scale, seed, generator version) — generation runs at most once
+    per key, whichever figures ask for the dataset.
+    """
+    def generate() -> list[TaskTree]:
+        if kind == "assembly":
+            trees, _ = assembly_dataset(scale, seed=seed)  # type: ignore[arg-type]
+            return trees
+        if kind == "synthetic":
+            trees, _ = synthetic_dataset(scale, seed=seed)  # type: ignore[arg-type]
+            return trees
+        if kind == "height":
+            trees, _ = height_study_dataset(seed=seed)
+            return trees
+        raise ValueError(f"unknown dataset kind {kind!r}")
+
+    if workload_cache is None:
+        return generate()
+    # The height-study dataset ignores the scale knob, so keying on it
+    # would store identical arenas once per scale.
+    cache_key = (kind, seed) if kind == "height" else (kind, scale, seed)
+    return workload_cache.fetch(cache_key, generate)
 
 
 def _cached_sweep(
@@ -157,8 +179,9 @@ def _makespan_figure(
     jobs: int = 1,
     backend: str = "auto",
     cache: ResultCache | None = None,
+    workload_cache: WorkloadCache | None = None,
 ) -> FigureResult:
-    trees = _dataset(dataset_kind, scale, seed)
+    trees = _dataset(dataset_kind, scale, seed, workload_cache)
     config = SweepConfig(
         memory_factors=tuple(memory_factors),
         processors=tuple(processors),
@@ -227,8 +250,9 @@ def _speedup_figure(
     jobs: int = 1,
     backend: str = "auto",
     cache: ResultCache | None = None,
+    workload_cache: WorkloadCache | None = None,
 ) -> FigureResult:
-    trees = _dataset(dataset_kind, scale, seed)
+    trees = _dataset(dataset_kind, scale, seed, workload_cache)
     config = SweepConfig(
         schedulers=("Activation", "MemBooking"),
         memory_factors=tuple(memory_factors),
@@ -282,8 +306,9 @@ def _memory_fraction_figure(
     jobs: int = 1,
     backend: str = "auto",
     cache: ResultCache | None = None,
+    workload_cache: WorkloadCache | None = None,
 ) -> FigureResult:
-    trees = _dataset(dataset_kind, scale, seed)
+    trees = _dataset(dataset_kind, scale, seed, workload_cache)
     config = SweepConfig(memory_factors=tuple(memory_factors), jobs=jobs, backend=backend)
     records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
     series: Series = {}
@@ -335,8 +360,9 @@ def _timing_figure(
     jobs: int = 1,
     backend: str = "auto",
     cache: ResultCache | None = None,
+    workload_cache: WorkloadCache | None = None,
 ) -> FigureResult:
-    trees = _dataset(dataset_kind, scale, seed)
+    trees = _dataset(dataset_kind, scale, seed, workload_cache)
     config = SweepConfig(
         memory_factors=(2.0,), processors=(8,), jobs=jobs, backend=backend
     )
@@ -381,8 +407,9 @@ def _order_choice_figure(
     jobs: int = 1,
     backend: str = "auto",
     cache: ResultCache | None = None,
+    workload_cache: WorkloadCache | None = None,
 ) -> FigureResult:
-    trees = _dataset(dataset_kind, scale, seed)
+    trees = _dataset(dataset_kind, scale, seed, workload_cache)
     combos = [
         ("memPO", "memPO"),
         ("memPO", "CP"),
@@ -448,8 +475,9 @@ def _processor_sweep_figure(
     jobs: int = 1,
     backend: str = "auto",
     cache: ResultCache | None = None,
+    workload_cache: WorkloadCache | None = None,
 ) -> FigureResult:
-    trees = _dataset(dataset_kind, scale, seed)
+    trees = _dataset(dataset_kind, scale, seed, workload_cache)
     config = SweepConfig(
         memory_factors=tuple(memory_factors),
         processors=tuple(processors),
@@ -496,22 +524,22 @@ def _processor_sweep_figure(
 # --------------------------------------------------------------------------- #
 # assembly-tree figures (2-9)
 # --------------------------------------------------------------------------- #
-def fig2(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
+def fig2(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 2: normalised makespan of the three heuristics, assembly trees."""
-    return _makespan_figure("fig2", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, cache=cache)
+    return _makespan_figure("fig2", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, cache=cache, workload_cache=workload_cache)
 
 
-def fig3(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
+def fig3(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 3: speedup of MemBooking over Activation, assembly trees."""
-    return _speedup_figure("fig3", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, cache=cache)
+    return _speedup_figure("fig3", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, cache=cache, workload_cache=workload_cache)
 
 
-def fig4(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
+def fig4(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 4: fraction of the available memory actually used, assembly trees."""
-    return _memory_fraction_figure("fig4", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, cache=cache)
+    return _memory_fraction_figure("fig4", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, cache=cache, workload_cache=workload_cache)
 
 
-def fig5(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
+def fig5(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 5: scheduling time as a function of the tree size, assembly trees."""
     return _timing_figure(
         "fig5",
@@ -524,10 +552,11 @@ def fig5(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "
         jobs=jobs,
         backend=backend,
         cache=cache,
+        workload_cache=workload_cache,
     )
 
 
-def fig6(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
+def fig6(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 6: scheduling time per node as a function of the tree height."""
     return _timing_figure(
         "fig6",
@@ -540,12 +569,15 @@ def fig6(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "au
         jobs=jobs,
         backend=backend,
         cache=cache,
+        workload_cache=workload_cache,
     )
 
 
-def fig7(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
+def fig7(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 7: speedup over Activation as a function of the tree height (factor 2)."""
-    trees = _dataset("assembly", scale, seed) + _dataset("height", scale, seed + 1)
+    trees = _dataset("assembly", scale, seed, workload_cache) + _dataset(
+        "height", scale, seed + 1, workload_cache
+    )
     config = SweepConfig(
         schedulers=("Activation", "MemBooking"), memory_factors=(2.0,), jobs=jobs, backend=backend
     )
@@ -575,37 +607,37 @@ def fig7(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "
     )
 
 
-def fig8(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
+def fig8(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 8: impact of the activation/execution order choice, assembly trees."""
-    return _order_choice_figure("fig8", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), jobs=jobs, backend=backend, cache=cache)
+    return _order_choice_figure("fig8", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), jobs=jobs, backend=backend, cache=cache, workload_cache=workload_cache)
 
 
-def fig9(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
+def fig9(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 9: normalised makespan for p in {2, 4, 8, 16, 32}, assembly trees."""
     return _processor_sweep_figure(
-        "fig9", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), (2, 4, 8, 16, 32), jobs=jobs, backend=backend, cache=cache
+        "fig9", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), (2, 4, 8, 16, 32), jobs=jobs, backend=backend, cache=cache, workload_cache=workload_cache
     )
 
 
 # --------------------------------------------------------------------------- #
 # synthetic-tree figures (10-15)
 # --------------------------------------------------------------------------- #
-def fig10(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
+def fig10(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 10: normalised makespan of the three heuristics, synthetic trees."""
-    return _makespan_figure("fig10", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, cache=cache)
+    return _makespan_figure("fig10", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, cache=cache, workload_cache=workload_cache)
 
 
-def fig11(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
+def fig11(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 11: speedup of MemBooking over Activation, synthetic trees."""
-    return _speedup_figure("fig11", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, cache=cache)
+    return _speedup_figure("fig11", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, cache=cache, workload_cache=workload_cache)
 
 
-def fig12(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
+def fig12(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 12: fraction of the available memory actually used, synthetic trees."""
-    return _memory_fraction_figure("fig12", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, cache=cache)
+    return _memory_fraction_figure("fig12", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, cache=cache, workload_cache=workload_cache)
 
 
-def fig13(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
+def fig13(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 13: scheduling time as a function of the tree size, synthetic trees."""
     return _timing_figure(
         "fig13",
@@ -618,25 +650,26 @@ def fig13(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = 
         jobs=jobs,
         backend=backend,
         cache=cache,
+        workload_cache=workload_cache,
     )
 
 
-def fig14(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
+def fig14(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 14: impact of the activation/execution order choice, synthetic trees."""
-    return _order_choice_figure("fig14", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), jobs=jobs, backend=backend, cache=cache)
+    return _order_choice_figure("fig14", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), jobs=jobs, backend=backend, cache=cache, workload_cache=workload_cache)
 
 
-def fig15(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
+def fig15(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 15: normalised makespan for p in {2, 4, 8, 16, 32}, synthetic trees."""
     return _processor_sweep_figure(
-        "fig15", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), (2, 4, 8, 16, 32), jobs=jobs, backend=backend, cache=cache
+        "fig15", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), (2, 4, 8, 16, 32), jobs=jobs, backend=backend, cache=cache, workload_cache=workload_cache
     )
 
 
 # --------------------------------------------------------------------------- #
 # text statistics and ablations
 # --------------------------------------------------------------------------- #
-def lb_stats(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
+def lb_stats(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Section 6 statistics: how often the memory-aware bound improves the classical one.
 
     ``jobs`` and ``backend`` are accepted for interface uniformity with the
@@ -646,7 +679,7 @@ def lb_stats(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str
     series: Series = {}
     checks: dict[str, bool] = {}
     for kind, tree_seed in (("assembly", seed), ("synthetic", seed + 1)):
-        trees = _dataset(kind, scale, tree_seed)
+        trees = _dataset(kind, scale, tree_seed, workload_cache)
         points_fraction = []
         points_gain = []
         for factor in (1.0, 2.0, 5.0):
@@ -673,9 +706,9 @@ def lb_stats(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str
     )
 
 
-def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
+def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Section 7.4: MemBookingRedTree cannot schedule many trees under tight memory."""
-    trees = _dataset("synthetic", scale, seed)
+    trees = _dataset("synthetic", scale, seed, workload_cache)
     config = SweepConfig(
         schedulers=("MemBookingRedTree", "MemBooking"),
         memory_factors=(1.0, 1.2, 1.4, 2.0, 5.0),
@@ -721,14 +754,14 @@ def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1, back
     )
 
 
-def ablation_dispatch(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
+def ablation_dispatch(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Ablation: ALAP dispatch to computed candidates vs strict Algorithm 3 dispatch.
 
     ``jobs`` and ``backend`` are accepted for interface uniformity; the
     ablation drives hand-constructed scheduler variants and stays in-process.
     """
     _ = (jobs, backend, cache)
-    trees = _dataset("synthetic", scale, seed)
+    trees = _dataset("synthetic", scale, seed, workload_cache)
     factors = (1.0, 1.5, 2.0, 5.0)
     series: Series = {"alap_dispatch": [], "strict_dispatch": []}
     records: list[dict[str, Any]] = []
@@ -774,7 +807,7 @@ def ablation_dispatch(scale: str = "small", seed: int = 7011, jobs: int = 1, bac
     )
 
 
-def ablation_lazy_subtree(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None) -> FigureResult:
+def ablation_lazy_subtree(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Ablation: optimised data structures vs the reference implementation (timing).
 
     Both implementations now share the heap-based ``ReadyQueue`` for their
@@ -787,7 +820,7 @@ def ablation_lazy_subtree(scale: str = "small", seed: int = 99, jobs: int = 1, b
     ablation measures in-process scheduling time, which parallel workers
     would distort.
     """
-    _ = (jobs, backend, cache)
+    _ = (jobs, backend, cache, workload_cache)
     sizes = (200, 500, 1000, 2000) if scale != "tiny" else (100, 200, 400)
     from ..workloads.synthetic import SyntheticTreeConfig, synthetic_tree
 

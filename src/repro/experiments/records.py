@@ -45,8 +45,19 @@ Arena layout (version 1, little-endian)::
 The record schema (:data:`RECORD_FIELDS`) is fixed and derived from
 :func:`repro.experiments.runner.run_single` — a unit test asserts the two
 never drift apart.  String fields use fixed-width unicode columns so rows
-have a fixed size (a worker can write row ``i`` without coordination);
-``failure_reason`` is nullable: the empty string encodes ``None``.
+have a fixed size (a worker can write row ``i`` without coordination).
+
+``failure_reason`` is nullable and **dictionary-encoded** (format version 2):
+the column stores ``int32`` codes (``0`` encodes ``None``, ``k > 0`` the
+``k``-th distinct message) and the small codes table travels in the arena's
+JSON metadata.  Failure messages are few and templated while the historical
+``U128`` column paid 512 bytes per row whether or not anything failed, so
+failure-heavy sweeps shrink roughly 4x — and messages are no longer
+truncated at 128 characters.  Codes are assigned in canonical row order by
+whoever owns the table (the merge side of every backend), so equal sweeps
+still produce byte-equal tables.  Version-1 files (fixed-width
+``failure_reason``) still load: the column layout is described by the
+embedded metadata, not hard-coded.
 """
 
 from __future__ import annotations
@@ -65,7 +76,7 @@ import numpy as np
 __all__ = ["Field", "RECORD_FIELDS", "RecordTable", "ResultCache", "records_equal"]
 
 _MAGIC = b"MTRECTB1"
-_VERSION = 1
+_VERSION = 2
 #: magic, version, n_rows, meta_len, data_offset
 _HEADER = struct.Struct("<8sQQQQ")
 
@@ -80,7 +91,10 @@ class Field:
 
     name: str
     dtype: str  #: NumPy dtype string (``"<i8"``, ``"<f8"``, ``"|b1"``, ``"<U24"``)
-    nullable: bool = False  #: string fields only: ``""`` encodes ``None``
+    nullable: bool = False  #: ``None`` is representable (``""`` / code ``0``)
+    #: ``"dict"`` for dictionary-encoded string columns: the column stores
+    #: integer codes, the value table lives in the arena metadata.
+    encoding: str | None = None
 
     @property
     def np_dtype(self) -> np.dtype:
@@ -116,7 +130,7 @@ RECORD_FIELDS: tuple[Field, ...] = (
     Field("scheduling_seconds_per_node", "<f8"),
     Field("activation_order", "<U16"),
     Field("execution_order", "<U16"),
-    Field("failure_reason", "<U128", nullable=True),
+    Field("failure_reason", "<i4", nullable=True, encoding="dict"),
 )
 
 
@@ -140,11 +154,19 @@ def _layout(fields: Sequence[Field], n_rows: int, meta_bytes: bytes) -> tuple[in
     return data_offset, offsets, nbytes
 
 
-def _meta_bytes(fields: Sequence[Field], metadata: Mapping[str, Any] | None) -> bytes:
-    meta = {
-        "fields": [[f.name, f.dtype, f.nullable] for f in fields],
+def _meta_bytes(
+    fields: Sequence[Field],
+    metadata: Mapping[str, Any] | None,
+    codes: Mapping[str, Sequence[str]] | None = None,
+) -> bytes:
+    meta: dict[str, Any] = {
+        "fields": [[f.name, f.dtype, f.nullable, f.encoding] for f in fields],
         "metadata": dict(metadata or {}),
     }
+    if codes:  # only dictionary-encoded columns with at least one value
+        non_empty = {name: list(values) for name, values in codes.items() if values}
+        if non_empty:
+            meta["codes"] = non_empty
     return json.dumps(meta, separators=(",", ":")).encode("utf-8")
 
 
@@ -187,7 +209,10 @@ class RecordTable:
             raise ValueError("truncated RecordTable arena: metadata exceeds the buffer")
         meta = json.loads(bytes(memoryview(buffer)[_HEADER.size : _HEADER.size + meta_len]))
         fields = tuple(
-            Field(name, dtype, bool(nullable)) for name, dtype, nullable in meta["fields"]
+            # Version-1 metadata carried [name, dtype, nullable]; version 2
+            # appends the encoding.  Both load.
+            Field(entry[0], entry[1], bool(entry[2]), entry[3] if len(entry) > 3 else None)
+            for entry in meta["fields"]
         )
 
         offsets, nbytes = _column_offsets(fields, int(n_rows), int(data_offset))
@@ -198,6 +223,18 @@ class RecordTable:
         self._nbytes = int(nbytes)
         self.fields = fields
         self.metadata: dict[str, Any] = meta.get("metadata", {})
+        # Dictionary-encoded columns: value tables (code k-1 -> string) and
+        # the reverse index used when encoding rows.  They live Python-side
+        # and are embedded into the arena metadata by ``save``.
+        stored_codes = meta.get("codes", {})
+        self._meta_raw = bytes(memoryview(buffer)[_HEADER.size : _HEADER.size + meta_len])
+        self._dict_codes: dict[str, list[str]] = {}
+        self._dict_index: dict[str, dict[str, int]] = {}
+        for field in fields:
+            if field.encoding == "dict":
+                values = [str(v) for v in stored_codes.get(field.name, [])]
+                self._dict_codes[field.name] = values
+                self._dict_index[field.name] = {v: k + 1 for k, v in enumerate(values)}
         self._columns: dict[str, np.ndarray] = {}
         for field, offset in zip(fields, offsets):
             self._columns[field.name] = np.frombuffer(
@@ -292,19 +329,56 @@ class RecordTable:
     def _arena_view(self) -> memoryview:
         return memoryview(self._buffer)[: self._nbytes]
 
+    def _rebuild_arena(self, meta: bytes) -> bytearray:
+        """Repack the table into a fresh arena carrying ``meta``.
+
+        Needed when the dictionary-code tables grew after the arena header
+        was written: the metadata block changes length, which shifts every
+        column offset, so the columns are copied into the new layout.
+        """
+        data_offset, offsets, nbytes = _layout(self.fields, self._n_rows, meta)
+        arena = bytearray(nbytes)
+        _HEADER.pack_into(arena, 0, _MAGIC, _VERSION, self._n_rows, len(meta), data_offset)
+        arena[_HEADER.size : _HEADER.size + len(meta)] = meta
+        for field, offset in zip(self.fields, offsets):
+            view = np.frombuffer(arena, dtype=field.np_dtype, count=self._n_rows, offset=offset)
+            view[:] = self._columns[field.name]
+        return arena
+
     def save(self, path: str | Path) -> Path:
-        """Write the arena to ``path`` (atomically) and return the path."""
+        """Write the arena to ``path`` (atomically) and return the path.
+
+        Dictionary-code tables accumulated since the arena was created are
+        embedded into the metadata block first, so a saved file always
+        round-trips its encoded columns.  When that forces a repack, the
+        table adopts the rebuilt arena (codes included), so a second save
+        of an unchanged table writes zero-copy again.
+        """
+        meta = _meta_bytes(self.fields, self.metadata, self._dict_codes)
+        if meta != self._meta_raw:
+            # Re-initialise around the rebuilt arena: the embedded metadata
+            # now carries the codes, so parsing restores them and _meta_raw
+            # matches on the next save.  Previously handed-out column views
+            # (and any old mmap/shm handle) stay alive on the old arena
+            # until their last reference dies.
+            self.__init__(self._rebuild_arena(meta))
+        payload = self._arena_view()
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(path.name + ".tmp")
-        tmp.write_bytes(self._arena_view())
+        tmp.write_bytes(payload)
         os.replace(tmp, path)
         return path
 
     def copy(self) -> "RecordTable":
         """Deep copy into a private in-memory arena (detached from shm/mmap)."""
         arena = bytearray(self._arena_view())
-        return RecordTable(arena)
+        table = RecordTable(arena)
+        # Carry the runtime dictionary-code tables (the arena metadata only
+        # catches up on save).
+        table._dict_codes = {name: list(values) for name, values in self._dict_codes.items()}
+        table._dict_index = {name: dict(index) for name, index in self._dict_index.items()}
+        return table
 
     def close(self) -> None:
         """Drop the column views and release any mmap / shared-memory handle.
@@ -330,35 +404,84 @@ class RecordTable:
         return self._nbytes
 
     def column(self, name: str) -> np.ndarray:
-        """The raw NumPy column for ``name`` (a view into the arena)."""
-        try:
-            return self._columns[name]
-        except KeyError:
-            raise KeyError(
-                f"unknown record field {name!r}; available: {[f.name for f in self.fields]}"
-            ) from None
+        """The NumPy column for ``name``.
+
+        Plain fields return the arena view directly.  Dictionary-encoded
+        fields are **decoded** into an object array of ``str | None`` so the
+        values match the row views — callers filtering with
+        ``table.column("failure_reason") == "deadlock..."`` compare strings,
+        not private integer codes.  Use :meth:`raw_column` for the arena
+        bytes.
+        """
+        field = self._field(name)
+        if field.encoding == "dict":
+            return np.asarray(self._decode_column(field), dtype=object)
+        return self._columns[name]
+
+    def raw_column(self, name: str) -> np.ndarray:
+        """The raw arena view for ``name`` (integer codes for encoded fields)."""
+        self._field(name)
+        return self._columns[name]
+
+    def _field(self, name: str) -> Field:
+        for field in self.fields:
+            if field.name == name:
+                return field
+        raise KeyError(
+            f"unknown record field {name!r}; available: {[f.name for f in self.fields]}"
+        )
+
+    def _encode(self, field: Field, value: Any) -> int:
+        """Dictionary-encode ``value`` for ``field`` (``None`` -> code 0)."""
+        if value is None:
+            if not field.nullable:
+                raise ValueError(f"field {field.name!r} is not nullable")
+            return 0
+        index = self._dict_index[field.name]
+        code = index.get(value)
+        if code is None:
+            codes = self._dict_codes[field.name]
+            codes.append(value)
+            code = index[value] = len(codes)
+        return code
 
     def set_row(self, index: int, record: Mapping[str, Any]) -> None:
         """Write one record dict into row ``index`` (O(1), columnar placement).
 
         Every schema field must be present in ``record``; string values that
         exceed their column's fixed width raise (silent truncation would
-        break the value-identity guarantee of the table).
+        break the value-identity guarantee of the table).  Dictionary-encoded
+        fields have no width limit — new values grow the codes table.
         """
         for field in self.fields:
             value = record[field.name]
-            width = field.str_width
-            if width is not None:
-                if value is None:
-                    if not field.nullable:
-                        raise ValueError(f"field {field.name!r} is not nullable")
-                    value = ""
-                elif len(value) > width:
-                    raise ValueError(
-                        f"value of field {field.name!r} is {len(value)} characters, "
-                        f"column capacity is {width}: {value!r}"
-                    )
+            if field.encoding == "dict":
+                value = self._encode(field, value)
+            else:
+                width = field.str_width
+                if width is not None:
+                    if value is None:
+                        if not field.nullable:
+                            raise ValueError(f"field {field.name!r} is not nullable")
+                        value = ""
+                    elif len(value) > width:
+                        raise ValueError(
+                            f"value of field {field.name!r} is {len(value)} characters, "
+                            f"column capacity is {width}: {value!r}"
+                        )
             self._columns[field.name][index] = value
+
+    def set_value(self, index: int, name: str, value: Any) -> None:
+        """Write one field of one row (encoding-aware).
+
+        The shared-memory backend uses this to place canonical failure codes
+        after the unordered worker results are collected: workers cannot
+        share a growing codes table, so the merge side owns the encoding.
+        """
+        field = self._field(name)
+        if field.encoding == "dict":
+            value = self._encode(field, value)
+        self._columns[name][index] = value
 
     # ------------------------------------------------------------------ #
     # dict-records view (compatibility with the list-of-dicts pipeline)
@@ -374,7 +497,10 @@ class RecordTable:
         columns = []
         for field in self.fields:
             data = self._columns[field.name].tolist()
-            if field.nullable:
+            if field.encoding == "dict":
+                codes = self._dict_codes[field.name]
+                data = [None if code == 0 else codes[code - 1] for code in data]
+            elif field.nullable:
                 data = [None if value == "" else value for value in data]
             names.append(field.name)
             columns.append(data)
@@ -387,7 +513,10 @@ class RecordTable:
         out: dict[str, Any] = {}
         for field in self.fields:
             value = self._columns[field.name][index].item()
-            if field.nullable and value == "":
+            if field.encoding == "dict":
+                codes = self._dict_codes[field.name]
+                value = None if value == 0 else codes[value - 1]
+            elif field.nullable and value == "":
                 value = None
             out[field.name] = value
         return out
@@ -405,18 +534,30 @@ class RecordTable:
     def __iter__(self) -> Iterator[dict[str, Any]]:
         return iter(self.to_dicts())
 
+    def _decode_column(self, field: Field) -> list[str | None]:
+        codes = self._dict_codes[field.name]
+        return [
+            None if code == 0 else codes[code - 1]
+            for code in self._columns[field.name].tolist()
+        ]
+
     def __eq__(self, other: object) -> bool:
         if isinstance(other, RecordTable):
             if len(self) != len(other) or self.fields != other.fields:
                 return False
-            return all(
-                np.array_equal(
+            for f in self.fields:
+                if f.encoding == "dict":
+                    # Compare decoded values: equal tables may have assigned
+                    # codes in a different first-seen order.
+                    if self._decode_column(f) != other._decode_column(f):
+                        return False
+                elif not np.array_equal(
                     self._columns[f.name],
                     other._columns[f.name],
                     equal_nan=f.np_dtype.kind == "f",
-                )
-                for f in self.fields
-            )
+                ):
+                    return False
+            return True
         if isinstance(other, (list, tuple)):
             return self.to_dicts() == list(other)
         return NotImplemented

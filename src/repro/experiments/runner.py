@@ -35,11 +35,13 @@ from __future__ import annotations
 import weakref
 from typing import Any, Iterable, Sequence
 
-from ..bounds import lower_bounds
+import numpy as np
+
+from ..bounds.makespan import LowerBounds
 from ..core.task_tree import TaskTree
-from ..core.tree_metrics import height
+from ..core.tree_metrics import critical_path_length, height
 from ..orders import ORDER_FACTORIES, Ordering, minimum_memory_postorder, sequential_peak_memory
-from ..schedulers import SCHEDULER_FACTORIES, validate_schedule
+from ..schedulers import SCHEDULER_FACTORIES, SimWorkspace, validate_schedule
 from .config import SweepConfig
 from .metrics import safe_ratio
 from .records import RecordTable
@@ -75,7 +77,16 @@ def _tree_memo(tree: TaskTree) -> dict[str, Any]:
 
 
 class InstanceContext:
-    """Per-tree data shared by every run on that tree (orders, minimum memory)."""
+    """Per-tree data shared by every run on that tree.
+
+    Besides the orders and the Section 7.2 minimum memory this now carries
+    the whole *static simulation plane* of the tree: the
+    :class:`~repro.schedulers.engine.SimWorkspace` (children CSR, AO/EO
+    ranks, activation request/release planes) every run's kernels read, and
+    the tree-pure ingredients of the makespan lower bounds (critical path,
+    total work, memory-time demand) that used to be recomputed for every
+    (processors, factor, heuristic) combination.
+    """
 
     def __init__(self, tree: TaskTree, index: int, config: SweepConfig) -> None:
         self.tree = tree
@@ -99,6 +110,20 @@ class InstanceContext:
             minimum = sequential_peak_memory(tree, reference_order, check=False)
             memo["minimum_memory"] = minimum
         self.minimum_memory = minimum
+        # Tree-pure lower-bound ingredients (Section 6): the critical path
+        # and the memory-time demand of Theorem 3 do not depend on (p, M),
+        # so computing them per run wasted an O(n) pass per record.
+        critical_path = memo.get("critical_path")
+        if critical_path is None:
+            critical_path = memo["critical_path"] = critical_path_length(tree)
+        self.critical_path = critical_path
+        demand = memo.get("memtime_demand")
+        if demand is None:
+            demand = memo["memtime_demand"] = float(np.dot(tree.mem_needed, tree.ptime))
+        self.memtime_demand = demand
+        self.total_work = tree.total_work
+        # Static simulation planes, shared by every run on this instance.
+        self.workspace = SimWorkspace(tree, self.ao, self.eo)
 
 
 def _make_order(tree: TaskTree, name: str) -> Ordering:
@@ -131,11 +156,22 @@ def run_single(
     memory_limit = memory_factor * context.minimum_memory
     scheduler = SCHEDULER_FACTORIES[scheduler_name]()
     result = scheduler.schedule(
-        tree, num_processors, memory_limit, ao=context.ao, eo=context.eo
+        tree,
+        num_processors,
+        memory_limit,
+        ao=context.ao,
+        eo=context.eo,
+        workspace=context.workspace,
     )
     if config.validate and result.completed:
         validate_schedule(tree, result).raise_if_invalid()
-    bounds = lower_bounds(tree, num_processors, memory_limit)
+    # Same values as ``repro.bounds.lower_bounds`` with the tree-pure parts
+    # (critical path, memory-time demand) read from the per-tree context.
+    bounds = LowerBounds(
+        work_bound=context.total_work / num_processors,
+        critical_path_bound=context.critical_path,
+        memory_bound=context.memtime_demand / float(memory_limit),
+    )
     record: dict[str, Any] = {
         "tree_index": context.index,
         "tree_size": tree.n,

@@ -32,6 +32,7 @@ import time
 from pathlib import Path
 from typing import Iterable, Mapping
 
+from ..workloads.datasets import WorkloadCache
 from .backends import BACKEND_NAMES
 from .figures import FIGURES, FigureResult, run_figure
 from .records import ResultCache
@@ -47,6 +48,7 @@ def run_suite(
     jobs: int = 1,
     backend: str = "auto",
     cache: ResultCache | None = None,
+    workload_cache: WorkloadCache | None = None,
 ) -> dict[str, FigureResult]:
     """Run the selected figures (all of them by default) and return the results.
 
@@ -57,13 +59,22 @@ def run_suite(
     granularity and collects the records through a shared-memory result
     table) while the reported series stay identical to a serial run.
     ``cache`` (a :class:`~repro.experiments.records.ResultCache`) makes every
-    sweep consult/fill the persistent result cache.
+    sweep consult/fill the persistent result cache;  ``workload_cache`` (a
+    :class:`~repro.workloads.datasets.WorkloadCache`) does the same for the
+    *generated datasets* — each (kind, scale, seed) is generated at most
+    once and mmap-loaded as a zero-copy ``TreeStore`` arena afterwards,
+    including across figures of one run that share a dataset.
     """
     ids = list(figure_ids) if figure_ids is not None else sorted(FIGURES)
     results: dict[str, FigureResult] = {}
     for figure_id in ids:
         results[figure_id] = run_figure(
-            figure_id, scale=scale, jobs=jobs, backend=backend, cache=cache
+            figure_id,
+            scale=scale,
+            jobs=jobs,
+            backend=backend,
+            cache=cache,
+            workload_cache=workload_cache,
         )
     return results
 
@@ -75,6 +86,7 @@ def write_suite_report(
     scale: str = "small",
     elapsed_seconds: float | None = None,
     cache: ResultCache | None = None,
+    workload_cache: WorkloadCache | None = None,
 ) -> Path:
     """Write per-figure text/CSV files plus a ``summary.md`` into ``out_dir``."""
     out = Path(out_dir)
@@ -89,6 +101,8 @@ def write_suite_report(
         lines.append(f"* total runtime: {elapsed_seconds:.1f} s")
     if cache is not None:
         lines.append(f"* result cache: {cache.stats()}")
+    if workload_cache is not None:
+        lines.append(f"* workload cache: {workload_cache.stats()}")
     lines.append("")
     lines.append("| figure | title | checks |")
     lines.append("|---|---|---|")
@@ -144,22 +158,53 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable the persistent result cache (always re-simulate)",
     )
+    parser.add_argument(
+        "--workload-cache-dir",
+        type=Path,
+        default=None,
+        help="persistent workload (dataset arena) cache directory "
+        "(default: <out>/.workload-cache)",
+    )
+    parser.add_argument(
+        "--no-workload-cache",
+        action="store_true",
+        help="disable the persistent workload cache (always regenerate datasets)",
+    )
     args = parser.parse_args(argv)
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir if args.cache_dir is not None else args.out / ".result-cache")
+    workload_cache = None
+    if not args.no_workload_cache:
+        workload_cache = WorkloadCache(
+            args.workload_cache_dir
+            if args.workload_cache_dir is not None
+            else args.out / ".workload-cache"
+        )
     start = time.perf_counter()
     results = run_suite(
-        args.figures, scale=args.scale, jobs=args.jobs, backend=args.backend, cache=cache
+        args.figures,
+        scale=args.scale,
+        jobs=args.jobs,
+        backend=args.backend,
+        cache=cache,
+        workload_cache=workload_cache,
     )
     elapsed = time.perf_counter() - start
     summary = write_suite_report(
-        results, args.out, scale=args.scale, elapsed_seconds=elapsed, cache=cache
+        results,
+        args.out,
+        scale=args.scale,
+        elapsed_seconds=elapsed,
+        cache=cache,
+        workload_cache=workload_cache,
     )
     failures = [fid for fid, result in results.items() if not result.all_checks_pass]
     print(f"wrote {summary} ({len(results)} figures, {elapsed:.1f} s)")
     if cache is not None:
         print(f"result cache: {cache.stats()}")
+    if workload_cache is not None:
+        print(f"workload cache: {workload_cache.stats()}")
     if failures:
         print("figures with failed checks:", ", ".join(failures))
         return 1

@@ -117,11 +117,10 @@ class Ordering:
             raise ValueError("ordering and tree sizes differ")
         parent = tree.parent
         rank = self._rank
-        for node in range(tree.n):
-            p = parent[node]
-            if p != NO_PARENT and rank[node] > rank[p]:
-                return False
-        return True
+        # Vectorised: this check runs on every ``schedule()`` call, so a
+        # per-node Python loop would tax every simulation of a sweep.
+        children = np.flatnonzero(parent != NO_PARENT)
+        return bool(np.all(rank[children] < rank[parent[children]]))
 
     def is_postorder(self, tree: TaskTree) -> bool:
         """True when the ordering is a postorder traversal of ``tree``.

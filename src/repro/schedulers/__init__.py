@@ -2,7 +2,7 @@
 
 from .activation import ActivationScheduler
 from .base import UNSCHEDULED, ReadyQueue, ScheduleResult, Scheduler, SchedulingError
-from .engine import EventDrivenScheduler
+from .engine import EventDrivenScheduler, SimWorkspace
 from .list_scheduler import ListScheduler
 from .membooking import MemBookingReferenceScheduler, MemBookingScheduler
 from .membooking_redtree import MemBookingRedTreeScheduler, extend_order_to_reduction
@@ -25,6 +25,7 @@ __all__ = [
     "Scheduler",
     "SchedulingError",
     "EventDrivenScheduler",
+    "SimWorkspace",
     "ListScheduler",
     "MemBookingReferenceScheduler",
     "MemBookingScheduler",

@@ -13,20 +13,41 @@ task of the chain simultaneously even though they can never run
 concurrently, which starves other branches of memory and therefore of
 parallelism.  Quantifying that loss (and recovering it with MemBooking) is
 the core of the paper.
+
+Implementation: array-native.  The per-node state lives in flat vectors
+(activation flags, children-remaining counters) indexed by node id; the
+booking requests along the AO are a precomputed
+:class:`~repro.schedulers.engine.SimWorkspace` plane, and the activation
+loop is a **vectorised prefix scan**: a chunked exact ``cumsum`` over the
+remaining AO suffix finds every activation the current budget admits in one
+NumPy kernel instead of one ledger transaction per node.  The scan
+reproduces the sequential ledger arithmetic bit for bit (``cumsum`` is the
+same left-fold of IEEE additions the one-at-a-time bookings performed), so
+schedules are identical to
+:class:`repro.schedulers.reference.ReferenceActivationScheduler` — the
+parity suite asserts it.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from heapq import heappush
+from typing import Any, Sequence
 
 import numpy as np
 
-from ..core.task_tree import NO_PARENT
-from .base import ReadyQueue
 from .engine import EventDrivenScheduler
-from .memory import MemoryLedger
 
 __all__ = ["ActivationScheduler"]
+
+#: Activations taken one at a time before switching to the vector scan.
+#: Most ``_activate`` calls admit zero or a couple of nodes — a NumPy kernel
+#: for those costs more than it saves — while the large bursts (t = 0, big
+#: frees) run through the cumsum scan.
+_SCALAR_BURST = 16
+
+#: First vector-scan chunk; doubled while a chunk activates fully, so a
+#: burst of k activations costs O(k) scanned entries, not O(n).
+_SCAN_CHUNK = 64
 
 
 class ActivationScheduler(EventDrivenScheduler):
@@ -38,66 +59,146 @@ class ActivationScheduler(EventDrivenScheduler):
     # engine hooks
     # ------------------------------------------------------------------ #
     def _setup(self) -> None:
-        tree = self.tree
-        n = tree.n
-        self._ledger = MemoryLedger(self.memory_limit)
+        ws = self.workspace
+        assert ws is not None  # the engine installs it before _setup
+        limit = self.memory_limit
+        # Inlined MemoryLedger: same bound, tolerance and clamp semantics,
+        # kept in local floats instead of method calls on the hot path.
+        self._limit = limit
+        self._tol = 1e-9 * max(1.0, limit)
+        self._threshold = limit + self._tol
+        self._booked = 0.0
+        self._peak_booked = 0.0
         # Position of the next node of AO to try to activate.
         self._next_activation = 0
-        self._activated = [False] * n
-        # Number of children not yet finished, to detect availability in O(1).
-        self._children_not_finished = [tree.num_children(i) for i in range(n)]
-        self._finished = [False] * n
-        # Per-node booking request and total input volume (children outputs),
-        # precomputed so the activation/release hot loops stay scalar.
-        self._request = tree.nexec + tree.fout
-        self._children_fout = np.zeros(n, dtype=np.float64)
-        has_parent = tree.parent != NO_PARENT
-        np.add.at(self._children_fout, tree.parent[has_parent], tree.fout[has_parent])
-        # Ready tasks (activated + all children finished), keyed by EO rank.
-        # Registering the queue with the engine enables its empty-queue fast
-        # path and the default ``_pop_ready_task``.
-        self.ready_queue = ReadyQueue(self.eo.rank)
+        self._total = ws.n
+        # Flat per-node state vectors (indexed by node id).
+        self._activated = bytearray(ws.n)
+        self._ch_not_fin = ws.num_children_list.copy()
+        # Static planes shared by every run on this (tree, AO, EO).
+        self._parent_list = ws.parent_list
+        self._release_list = ws.release_list
+        self._req_ao = ws.request_ao
+        self._req_ao_list = ws.request_ao_list
+        self._ao_seq_list = ws.ao_sequence_list
+        self._eo_rank_list = ws.eo_rank_list
+        # Ready tasks (activated + all children finished), keyed by EO rank:
+        # a plain (rank, node) heap the engine pops directly (fast path).
+        self.ready_heap = []
 
     def _activate(self) -> None:
-        tree = self.tree
-        ao = self.ao.sequence
-        ledger = self._ledger
-        while self._next_activation < tree.n:
-            node = int(ao[self._next_activation])
-            request = float(self._request[node])
-            if not ledger.fits(request):
-                break
-            ledger.book(request)
-            self._activated[node] = True
-            self._next_activation += 1
-            if self._children_not_finished[node] == 0:
-                self.ready_queue.add(node)
+        pos = self._next_activation
+        total = self._total
+        if pos >= total:
+            return
+        booked = self._booked
+        threshold = self._threshold
+        req_list = self._req_ao_list
+        # Scalar fast path: the first candidate not fitting is by far the
+        # common case mid-run; don't pay a NumPy kernel to find that out.
+        if booked + req_list[pos] > threshold:
+            return
+        ao_seq = self._ao_seq_list
+        activated = self._activated
+        ch_not_fin = self._ch_not_fin
+        eo_rank = self._eo_rank_list
+        ready = self.ready_heap
+        peak = self._peak_booked
+
+        # One-at-a-time burst first (the typical call admits a handful of
+        # nodes): exactly the sequential ledger fold.
+        burst_end = min(total, pos + _SCALAR_BURST)
+        while pos < burst_end:
+            grown = booked + req_list[pos]
+            if grown > threshold:
+                self._next_activation = pos
+                self._booked = booked
+                self._peak_booked = peak
+                return
+            booked = grown
+            if booked > peak:
+                peak = booked
+            node = ao_seq[pos]
+            activated[node] = 1
+            if ch_not_fin[node] == 0:
+                heappush(ready, (eo_rank[node], node))
+            pos += 1
+
+        # Long activation burst: switch to the vectorised prefix scan over
+        # the remaining AO suffix, in doubling chunks.
+        if pos < total:
+            req_ao = self._req_ao
+            chunk = _SCAN_CHUNK
+            while pos < total:
+                end = min(pos + chunk, total)
+                seg = req_ao[pos:end]
+                # Exact prefix fold: cum[k] is the booked total after the
+                # k-th activation of this chunk, the same chain of additions
+                # the sequential ledger performed.
+                cum = np.empty(seg.size + 1, dtype=np.float64)
+                cum[0] = booked
+                cum[1:] = seg
+                np.cumsum(cum, out=cum)
+                over = np.nonzero(cum[1:] > threshold)[0]
+                take = int(over[0]) if over.size else seg.size
+                if take:
+                    high = float(cum[1 : take + 1].max())
+                    if high > peak:
+                        peak = high
+                    booked = float(cum[take])
+                    for node in ao_seq[pos : pos + take]:
+                        activated[node] = 1
+                        if ch_not_fin[node] == 0:
+                            heappush(ready, (eo_rank[node], node))
+                    pos += take
+                if take < seg.size:
+                    break
+                chunk <<= 1
+
+        self._next_activation = pos
+        self._booked = booked
+        self._peak_booked = peak
+
+    def _on_tasks_finished(self, nodes: Sequence[int]) -> None:
+        # Free the execution data of each completed node and the inputs it
+        # consumed (the outputs of its children, booked when the children
+        # were activated).  The node's own output stays booked for the
+        # parent.  Releases clamp at zero per node, exactly like the ledger.
+        booked = self._booked
+        neg_tol = -self._tol
+        release = self._release_list
+        parent = self._parent_list
+        ch_not_fin = self._ch_not_fin
+        activated = self._activated
+        eo_rank = self._eo_rank_list
+        ready = self.ready_heap
+        for node in nodes:
+            booked -= release[node]
+            if booked < 0.0:
+                if booked < neg_tol:
+                    raise RuntimeError(
+                        f"released more memory than was booked (booked={booked:.6g})"
+                    )
+                booked = 0.0
+            p = parent[node]
+            if p >= 0:
+                ch_not_fin[p] -= 1
+                if ch_not_fin[p] == 0 and activated[p]:
+                    heappush(ready, (eo_rank[p], p))
+        self._booked = booked
 
     def _on_task_finished(self, node: int) -> None:
-        tree = self.tree
-        self._finished[node] = True
-        # Free the execution data of ``node`` and the inputs it consumed
-        # (the outputs of its children, booked when the children were
-        # activated).  The output of ``node`` itself stays booked for the
-        # parent.
-        released = float(tree.nexec[node]) + float(self._children_fout[node])
-        self._ledger.release(released)
-
-        parent = int(tree.parent[node])
-        if parent != NO_PARENT:
-            self._children_not_finished[parent] -= 1
-            if self._children_not_finished[parent] == 0 and self._activated[parent]:
-                self.ready_queue.add(parent)
+        self._on_tasks_finished((node,))
 
     def _extra_results(self) -> dict[str, Any]:
         return {
-            "peak_booked_memory": self._ledger.peak_booked,
+            "peak_booked_memory": self._peak_booked,
             "activated": self._next_activation,
         }
 
     def _invariant_state(self) -> dict[str, Any]:
         return {
-            "booked": self._ledger.booked,
-            "limit": self._ledger.limit,
+            "booked": self._booked,
+            "limit": self._limit,
             "activated_prefix": self._next_activation,
         }

@@ -54,12 +54,18 @@ class ReadyQueue:
 
     ``pop`` and ``peek`` return ``None`` on an empty queue, matching the
     engine's ``_pop_ready_task`` contract.
+
+    ``rank`` may be a NumPy rank array or a plain Python list of ranks; the
+    queue indexes it on every ``add``, so hot callers (the array kernels)
+    pass the precomputed rank *list* of their
+    :class:`~repro.schedulers.engine.SimWorkspace` — CPython list indexing
+    avoids the NumPy scalar-extraction overhead on the per-task hot path.
     """
 
     __slots__ = ("_heap", "_live", "_rank")
 
-    def __init__(self, rank: np.ndarray, items: Iterable[int] = ()) -> None:
-        self._rank = np.asarray(rank)
+    def __init__(self, rank: "np.ndarray | list[int]", items: Iterable[int] = ()) -> None:
+        self._rank: list[int] = rank if isinstance(rank, list) else np.asarray(rank).tolist()
         self._heap: list[tuple[int, int]] = []
         self._live: set[int] = set()
         for item in items:
@@ -79,7 +85,7 @@ class ReadyQueue:
         if node in self._live:
             raise ValueError(f"item {node!r} already in heap")
         self._live.add(node)
-        heapq.heappush(self._heap, (int(self._rank[node]), node))
+        heapq.heappush(self._heap, (self._rank[node], node))
 
     def pop(self) -> int | None:
         """Remove and return the best-ranked node, or ``None`` when empty."""
@@ -239,6 +245,7 @@ class Scheduler(ABC):
         ao: Ordering | None = None,
         eo: Ordering | None = None,
         invariant_hook: Callable[[Mapping[str, Any]], None] | None = None,
+        workspace: Any = None,
     ) -> ScheduleResult:
         """Simulate the heuristic on ``tree``.
 
@@ -257,6 +264,12 @@ class Scheduler(ABC):
             Optional callback invoked by engine-based heuristics after every
             event with a dictionary of internal state; used by the test-suite
             to assert the bookkeeping invariants (Lemmas 2–5) at every step.
+        workspace:
+            Optional :class:`~repro.schedulers.engine.SimWorkspace` with the
+            static planes of (tree, ao, eo), reused across repeated runs on
+            one tree (the sweep harness passes its per-instance workspace).
+            A workspace built for different inputs is ignored and replaced,
+            so a stale one can cost time but never correctness.
         """
         if num_processors < 1:
             raise SchedulingError("num_processors must be at least 1")
@@ -277,6 +290,7 @@ class Scheduler(ABC):
             ao,
             eo,
             invariant_hook=invariant_hook,
+            workspace=workspace,
         )
 
     @abstractmethod
@@ -289,6 +303,7 @@ class Scheduler(ABC):
         eo: Ordering,
         *,
         invariant_hook: Callable[[Mapping[str, Any]], None] | None = None,
+        workspace: Any = None,
     ) -> ScheduleResult:
         """Heuristic-specific simulation (implemented by subclasses)."""
         raise NotImplementedError

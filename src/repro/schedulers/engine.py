@@ -1,4 +1,4 @@
-"""Event-driven simulation engine shared by the dynamic heuristics.
+"""Array-native event-driven simulation engine for the dynamic heuristics.
 
 All three heuristics of the paper (Activation, MemBookingRedTree and
 MemBooking) follow the same outer loop (Algorithms 1 and 2): wait for an
@@ -6,14 +6,41 @@ event (``t = 0`` or a task completion), update the heuristic's bookkeeping,
 activate new tasks if memory allows, then greedily assign activated & ready
 tasks to idle processors following the execution order ``EO``.
 
-:class:`EventDrivenScheduler` implements that outer loop once — event queue,
-processor pool, schedule recording, deadlock detection, decision-time
-measurement — and delegates the heuristic-specific parts to four hooks:
+:class:`EventDrivenScheduler` implements that outer loop once.  Since the
+array-engine rewrite the hot path is organised around **flat per-node state**
+rather than per-node Python objects:
+
+* the event queue holds primitive ``(finish_time, node)`` pairs (ties break
+  by node index, exactly as the historical ``(time, node, proc)`` entries
+  did — node indices are unique); the processor of a completing task is read
+  from a flat per-node list;
+* per-task results (start/finish times, processor assignment) accumulate in
+  plain Python lists and are materialised as NumPy arrays once, at the end
+  of the run;
+* all completions at one instant are handed to the heuristic as **one
+  batch** (:meth:`EventDrivenScheduler._on_tasks_finished`; the default
+  implementation loops over the historical per-node
+  :meth:`~EventDrivenScheduler._on_task_finished` hook, so subclasses keep
+  working unchanged);
+* decision-time measurement is **batched per event instant**: a single
+  ``perf_counter`` pair brackets the completion hooks, the activation scan
+  and the dispatch decisions of one instant, instead of two timer calls per
+  hook invocation.  On large sweeps the historical per-hook pairs spent a
+  measurable share of the "scheduling time" of Figures 5, 6 and 13 inside
+  ``perf_counter`` itself;
+* the static per-tree planes every run re-derived (children CSR, AO/EO
+  ranks, activation requests along the AO, per-node release volumes) are
+  computed once per (tree, AO, EO) in a :class:`SimWorkspace` and shared by
+  every run on that tree — the experiment harness builds one per
+  :class:`~repro.experiments.runner.InstanceContext`, so the 60+ simulations
+  a sweep runs on one tree pay for the conversion exactly once.
+
+The heuristic-specific parts remain four hooks:
 
 ``_setup()``
     initialise the bookkeeping (called once, before the ``t = 0`` event);
-``_on_task_finished(node)``
-    a task just completed: release / re-dispatch its memory;
+``_on_tasks_finished(nodes)`` / ``_on_task_finished(node)``
+    tasks just completed: release / re-dispatch their memory;
 ``_activate()``
     activate candidate tasks while memory allows (``UpdateCAND-ACT`` /
     the activation loop of Algorithm 1);
@@ -23,13 +50,13 @@ measurement — and delegates the heuristic-specific parts to four hooks:
     that keep their ready pool in a :class:`~repro.schedulers.base.ReadyQueue`
     simply assign it to :attr:`EventDrivenScheduler.ready_queue` during
     ``_setup()`` and inherit the default implementation; the engine also uses
-    the queue's O(1) emptiness check to skip the timed pop entirely when
-    nothing is ready, so idle events do not inflate the measured scheduling
-    time (Figures 5, 6 and 13) with pure timer overhead.
+    the queue's O(1) emptiness check to skip idle pops entirely.
 
-The engine measures the cumulative wall-clock time spent inside those hooks;
-this is the "scheduling time" of Figures 5, 6 and 13 (order pre-computation
-excluded, as in the paper).
+Schedule results are **bit-identical** to the pre-array engine preserved in
+:mod:`repro.schedulers.reference` (event order, tie-breaking, deadlock
+semantics and floating-point bookkeeping — pinned by
+``tests/test_array_engine_parity.py``); only the wall-clock
+``scheduling_seconds`` measurements differ.
 
 Deadlock handling: if at some event no task is running and the hooks cannot
 produce a ready task while unprocessed tasks remain, the heuristic cannot
@@ -44,16 +71,116 @@ from __future__ import annotations
 import heapq
 import math
 import time
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
-from ..core.task_tree import TaskTree
+from ..core.task_tree import NO_PARENT, TaskTree
 from ..orders import Ordering
 from .base import UNSCHEDULED, ReadyQueue, ScheduleResult, Scheduler
 from .validation import memory_profile
 
-__all__ = ["EventDrivenScheduler"]
+__all__ = ["EventDrivenScheduler", "SimWorkspace"]
+
+
+class SimWorkspace:
+    """Static per-(tree, AO, EO) simulation planes, computed once, reused per run.
+
+    The array kernels of the heuristics take per-node decisions with scalar
+    reads and vectorised scans; both want the tree data in flat, cheap-to-
+    index form.  A workspace precomputes, once per (tree, activation order,
+    execution order):
+
+    * plain-list mirrors of the node planes (``parent``, ``ptime``, ``fout``,
+      ``mem_needed``) — CPython list indexing is several times faster than
+      NumPy scalar indexing on the one-node-at-a-time walks;
+    * the children CSR plane (:attr:`child_offsets` / :attr:`child_nodes`)
+      straight from :attr:`repro.core.task_tree.TaskTree.children_csr`;
+    * AO/EO rank lists and the AO sequence;
+    * the Activation-family planes, packed into **one contiguous float64
+      scratch block** (one allocation per tree): the booking request of every
+      node *in AO position order* (``nexec + fout`` along the activation
+      sequence — the vectorised prefix scan of ``UpdateCAND-ACT`` cumsums
+      this row directly) and the per-node release volume on completion
+      (``nexec + sum of children fout``).
+
+    Workspaces are plain value objects: building one is O(n), holds no
+    mutable simulation state (per-run state lives in the scheduler), and is
+    only ever *read* by runs.  The engine validates that a workspace matches
+    the (tree, AO, EO) of the run and silently builds a fresh one otherwise,
+    so passing a stale workspace cannot corrupt a schedule.  All node arrays
+    are derived from the tree's own (possibly arena-backed) buffers, so
+    shared-memory workers build their workspaces from the zero-copy planes
+    they inherited.
+    """
+
+    __slots__ = (
+        "tree",
+        "ao",
+        "eo",
+        "n",
+        "parent_list",
+        "ptime_list",
+        "fout_list",
+        "mem_needed_list",
+        "num_children_list",
+        "child_offsets",
+        "child_nodes",
+        "leaves_list",
+        "ao_sequence_list",
+        "ao_rank_list",
+        "eo_rank_list",
+        "_block",
+        "request_ao",
+        "request_ao_list",
+        "release_list",
+    )
+
+    def __init__(self, tree: TaskTree, ao: Ordering, eo: Ordering) -> None:
+        self.tree = tree
+        self.ao = ao
+        self.eo = eo
+        n = self.n = tree.n
+
+        self.parent_list: list[int] = tree.parent.tolist()
+        self.ptime_list: list[float] = tree.ptime.tolist()
+        self.fout_list: list[float] = tree.fout.tolist()
+        self.mem_needed_list: list[float] = tree.mem_needed.tolist()
+
+        offsets, nodes = tree.children_csr
+        self.child_offsets: list[int] = offsets.tolist()
+        self.child_nodes: list[int] = nodes.tolist()
+        self.num_children_list: list[int] = np.diff(offsets).tolist()
+        self.leaves_list: list[int] = tree.leaves().tolist()
+
+        self.ao_sequence_list: list[int] = ao.sequence.tolist()
+        self.ao_rank_list: list[int] = ao.rank.tolist()
+        self.eo_rank_list: list[int] = (
+            self.ao_rank_list if eo is ao else eo.rank.tolist()
+        )
+
+        # One contiguous scratch block for the Activation-family float
+        # planes; row views keep the block alive and cache-friendly.
+        block = self._block = np.empty((2, n), dtype=np.float64)
+        request_ao = block[0]
+        release = block[1]
+        # Booking request of the node activated at each AO position
+        # (n_i + f_i, Algorithm 1), ready for the vectorised prefix scan.
+        np.add(tree.nexec, tree.fout, out=release)  # reuse row as temp
+        request_ao[:] = release[ao.sequence]
+        # Release volume on completion: n_i plus the inputs consumed
+        # (children outputs, booked by the children's own activations).
+        children_fout = np.zeros(n, dtype=np.float64)
+        has_parent = tree.parent != NO_PARENT
+        np.add.at(children_fout, tree.parent[has_parent], tree.fout[has_parent])
+        np.add(tree.nexec, children_fout, out=release)
+        self.request_ao = request_ao
+        self.request_ao_list: list[float] = request_ao.tolist()
+        self.release_list: list[float] = release.tolist()
+
+    def matches(self, tree: TaskTree, ao: Ordering, eo: Ordering) -> bool:
+        """True when this workspace was built for exactly this run's inputs."""
+        return self.tree is tree and self.ao is ao and self.eo is eo
 
 
 class EventDrivenScheduler(Scheduler):
@@ -61,8 +188,18 @@ class EventDrivenScheduler(Scheduler):
 
     #: EO-rank-keyed pool of tasks that may start right now.  Subclasses set
     #: it in ``_setup()``; the engine uses its O(1) emptiness test to avoid
-    #: timing no-op pops, and the default ``_pop_ready_task`` pops from it.
+    #: idle pops, and the default ``_pop_ready_task`` pops from it.
     ready_queue: ReadyQueue | None = None
+
+    #: Fast-path ready pool: a plain ``heapq`` list of ``(EO rank, node)``
+    #: pairs.  An array kernel that never removes arbitrary entries assigns
+    #: ``self.ready_heap = []`` in ``_setup()`` (instead of a
+    #: :class:`~repro.schedulers.base.ReadyQueue`) and pushes pairs
+    #: directly; the engine then pops the heap itself — no wrapper calls, no
+    #: liveness set.  Ranks are permutations, so extraction order is
+    #: identical to the queue's.  When set, it takes precedence over
+    #: :attr:`ready_queue` and the ``_pop_ready_task`` hook.
+    ready_heap: list[tuple[int, int]] | None = None
 
     # ------------------------------------------------------------------ #
     # hooks to be provided by subclasses
@@ -72,6 +209,19 @@ class EventDrivenScheduler(Scheduler):
 
     def _on_task_finished(self, node: int) -> None:  # pragma: no cover - abstract hook
         raise NotImplementedError
+
+    def _on_tasks_finished(self, nodes: Sequence[int]) -> None:
+        """Batch hook: every task completing at the current instant.
+
+        The engine always delivers completions through this hook, one call
+        per event instant, in ascending node order (the historical per-node
+        delivery order).  The default forwards to ``_on_task_finished`` so
+        per-node subclasses keep working; array kernels override the batch
+        directly.
+        """
+        on_finished = self._on_task_finished
+        for node in nodes:
+            on_finished(node)
 
     def _activate(self) -> None:  # pragma: no cover - abstract hook
         raise NotImplementedError
@@ -107,6 +257,8 @@ class EventDrivenScheduler(Scheduler):
     memory_limit: float
     ao: Ordering
     eo: Ordering
+    #: Static planes of the current run (set by the engine before ``_setup``).
+    workspace: SimWorkspace | None = None
 
     def _reset_engine_state(self) -> None:
         """Drop the per-run engine references once a simulation is over.
@@ -118,12 +270,14 @@ class EventDrivenScheduler(Scheduler):
         *correct*; clearing the references also stops a finished scheduler
         from keeping the last tree, its orders and the ready queue alive —
         which matters because the experiment harness memoises per-tree data
-        behind weak references and relies on trees becoming collectable.
+        behind weak references and relies on trees being collectable.
         """
         self.tree = None  # type: ignore[assignment]
         self.ao = None  # type: ignore[assignment]
         self.eo = None  # type: ignore[assignment]
         self.ready_queue = None
+        self.ready_heap = None
+        self.workspace = None
 
     def _run(
         self,
@@ -134,10 +288,17 @@ class EventDrivenScheduler(Scheduler):
         eo: Ordering,
         *,
         invariant_hook: Callable[[Mapping[str, Any]], None] | None = None,
+        workspace: SimWorkspace | None = None,
     ) -> ScheduleResult:
         try:
             return self._run_simulation(
-                tree, num_processors, memory_limit, ao, eo, invariant_hook=invariant_hook
+                tree,
+                num_processors,
+                memory_limit,
+                ao,
+                eo,
+                invariant_hook=invariant_hook,
+                workspace=workspace,
             )
         finally:
             # Clear the per-run references even when a hook raises, so a
@@ -153,17 +314,24 @@ class EventDrivenScheduler(Scheduler):
         eo: Ordering,
         *,
         invariant_hook: Callable[[Mapping[str, Any]], None] | None = None,
+        workspace: SimWorkspace | None = None,
     ) -> ScheduleResult:
         self.tree = tree
         self.num_processors = num_processors
         self.memory_limit = memory_limit
         self.ao = ao
         self.eo = eo
+        if workspace is None or not workspace.matches(tree, ao, eo):
+            workspace = SimWorkspace(tree, ao, eo)
+        self.workspace = workspace
 
         n = tree.n
-        start_times = np.full(n, np.nan)
-        finish_times = np.full(n, np.nan)
-        processor = np.full(n, UNSCHEDULED, dtype=np.int64)
+        nan = math.nan
+        # Flat per-task result state; materialised as arrays once, at the end.
+        start_times: list[float] = [nan] * n
+        finish_times: list[float] = [nan] * n
+        processor: list[int] = [UNSCHEDULED] * n
+        proc_of = processor  # completing tasks read their processor back here
 
         free_processors = list(range(num_processors - 1, -1, -1))  # pop() gives proc 0 first
         running = 0
@@ -173,53 +341,88 @@ class EventDrivenScheduler(Scheduler):
         decision_seconds = 0.0
         failure: str | None = None
 
-        # Completion events: (finish_time, node, processor)
-        event_queue: list[tuple[float, int, int]] = []
+        # Completion events as primitive (finish_time, node) pairs: node
+        # indices are unique, so ties at one instant break by node index —
+        # the same order the historical (time, node, proc) entries produced.
+        event_queue: list[tuple[float, int]] = []
 
+        heappush = heapq.heappush
+        heappop = heapq.heappop
         perf_counter = time.perf_counter  # hot loop: avoid attribute lookups
-        ptime = tree.ptime
+        ptime = workspace.ptime_list
 
-        self.ready_queue = None  # reset any queue left over from a previous run
+        self.ready_queue = None  # reset any pool left over from a previous run
+        self.ready_heap = None
         tic = perf_counter()
         self._setup()
         decision_seconds += perf_counter() - tic
 
-        def dispatch_ready() -> None:
-            """Assign activated & available tasks to idle processors (EO order)."""
-            nonlocal running, decision_seconds
-            ready = self.ready_queue
-            while free_processors:
-                # Fast path: when the heuristic exposes its ready pool and the
-                # pool is empty there is no decision to take, so charge
-                # nothing.  Without this guard every idle event paid a timed
-                # ``None`` pop whose measured duration is mostly perf_counter
-                # overhead, inflating ``scheduling_seconds`` on large sweeps.
-                if ready is not None and not ready:
-                    break
-                # One timed region covers the pop and the start hook: the
-                # engine bookkeeping in between is not a heuristic decision,
-                # and fewer perf_counter pairs mean less timer noise.
-                tic = perf_counter()
-                node = self._pop_ready_task()
-                if node is not None:
-                    self._on_task_started(node)
-                decision_seconds += perf_counter() - tic
-                if node is None:
-                    break
-                proc = free_processors.pop()
-                start_times[node] = clock
-                finish = clock + float(ptime[node])
-                finish_times[node] = finish
-                processor[node] = proc
-                running += 1
-                heapq.heappush(event_queue, (finish, node, proc))
+        # Hook resolution, once per run: skip the no-op start hook entirely
+        # when a subclass did not override it, and pop the fast-path ready
+        # heap directly when the kernel registered one.
+        cls = type(self)
+        on_started = (
+            None
+            if cls._on_task_started is EventDrivenScheduler._on_task_started
+            else self._on_task_started
+        )
+        on_finished_batch = self._on_tasks_finished
+        activate = self._activate
+        ready_heap = self.ready_heap
+
+        if ready_heap is not None:
+
+            def dispatch_ready() -> None:
+                """Assign activated & available tasks to idle processors (EO order).
+
+                Fast path: the kernel's ready pool is a plain (rank, node)
+                heap the engine pops itself.  Runs inside the caller's timed
+                region (one perf_counter pair per event instant).
+                """
+                nonlocal running
+                while free_processors and ready_heap:
+                    node = heappop(ready_heap)[1]
+                    if on_started is not None:
+                        on_started(node)
+                    proc = free_processors.pop()
+                    start_times[node] = clock
+                    finish = clock + ptime[node]
+                    finish_times[node] = finish
+                    proc_of[node] = proc
+                    running += 1
+                    heappush(event_queue, (finish, node))
+
+        else:
+
+            def dispatch_ready() -> None:
+                """Hook-based dispatch (ReadyQueue / ``_pop_ready_task``)."""
+                nonlocal running
+                ready = self.ready_queue
+                pop_ready = self._pop_ready_task
+                while free_processors:
+                    # When the heuristic exposes its ready pool and the pool
+                    # is empty there is no decision to take.
+                    if ready is not None and not ready:
+                        break
+                    node = pop_ready()
+                    if node is None:
+                        break
+                    if on_started is not None:
+                        on_started(node)
+                    proc = free_processors.pop()
+                    start_times[node] = clock
+                    finish = clock + ptime[node]
+                    finish_times[node] = finish
+                    proc_of[node] = proc
+                    running += 1
+                    heappush(event_queue, (finish, node))
 
         # --- t = 0 event ---------------------------------------------------
         tic = perf_counter()
-        self._activate()
+        activate()
+        dispatch_ready()
         decision_seconds += perf_counter() - tic
         num_events += 1
-        dispatch_ready()
         if invariant_hook is not None:
             invariant_hook(self._invariant_state())
 
@@ -230,23 +433,26 @@ class EventDrivenScheduler(Scheduler):
             )
 
         # --- main loop ------------------------------------------------------
+        finished_now: list[int] = []
         while failure is None and event_queue:
             clock = event_queue[0][0]
-            # Process every completion at this instant before re-activating, as
-            # in Algorithm 2 ("foreach just finished node j").
+            # Process every completion at this instant before re-activating,
+            # as in Algorithm 2 ("foreach just finished node j").
+            finished_now.clear()
+            append_finished = finished_now.append
             while event_queue and event_queue[0][0] == clock:
-                _, node, proc = heapq.heappop(event_queue)
-                running -= 1
-                finished_count += 1
-                free_processors.append(proc)
-                num_events += 1
-                tic = perf_counter()
-                self._on_task_finished(node)
-                decision_seconds += perf_counter() - tic
+                append_finished(heappop(event_queue)[1])
+            completed_now = len(finished_now)
+            running -= completed_now
+            finished_count += completed_now
+            num_events += completed_now
+            for node in finished_now:
+                free_processors.append(proc_of[node])
             tic = perf_counter()
-            self._activate()
-            decision_seconds += perf_counter() - tic
+            on_finished_batch(finished_now)
+            activate()
             dispatch_ready()
+            decision_seconds += perf_counter() - tic
             if invariant_hook is not None:
                 invariant_hook(self._invariant_state())
             if running == 0 and finished_count < n:
@@ -264,9 +470,9 @@ class EventDrivenScheduler(Scheduler):
             memory_limit=memory_limit,
             completed=completed,
             makespan=makespan,
-            start_times=start_times,
-            finish_times=finish_times,
-            processor=processor,
+            start_times=np.asarray(start_times, dtype=np.float64),
+            finish_times=np.asarray(finish_times, dtype=np.float64),
+            processor=np.asarray(processor, dtype=np.int64),
             peak_memory=math.nan,
             scheduling_seconds=decision_seconds,
             num_events=num_events,

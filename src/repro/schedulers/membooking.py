@@ -22,13 +22,25 @@ Theorem 1: if the sequential execution of ``AO`` fits in ``M``, MemBooking
 processes the whole tree within ``M``, for any number of processors and any
 execution order ``EO``.
 
-Two implementations are provided:
+Implementation: array-native.  All per-node bookkeeping lives in flat
+vectors indexed by node id (``Booked``/``BookedBySubtree`` planes, a state
+byte-vector, children counters); subtree sums walk the tree's CSR children
+plane and the ancestor dispatch walk reads flat parent/fout planes from the
+run's :class:`~repro.schedulers.engine.SimWorkspace`.  The global ``MBooked``
+ledger is inlined into local floats with the exact arithmetic (fold order,
+tolerance, clamps) of the historical
+:class:`~repro.schedulers.memory.MemoryLedger`, so the schedules are
+bit-identical to :class:`repro.schedulers.reference.ReferenceMemBookingScheduler`
+(asserted by the parity suite).
+
+Two classes are provided:
 
 :class:`MemBookingScheduler`
-    the optimised version of Appendix B / Section 5.1 — ``CAND`` and
-    ``ACTf`` are heaps, ``BookedBySubtree`` is initialised lazily, children
-    counters (``ChNotAct``, ``ChNotFin``) provide O(1) state transitions —
-    giving the ``O(n (H + log n))`` bound of Theorem 2;
+    the optimised version of Appendix B / Section 5.1 — ``CAND`` is a lazy
+    heap over AO ranks (stale entries are recognised by the state vector),
+    ``BookedBySubtree`` is initialised lazily, children counters
+    (``ChNotAct``, ``ChNotFin``) provide O(1) state transitions — giving the
+    ``O(n (H + log n))`` bound of Theorem 2;
 :class:`MemBookingReferenceScheduler`
     a direct transcription of Algorithms 2–4 whose ``CAND`` structure is a
     plain set scanned linearly (the ready pool shares the heap-based
@@ -47,14 +59,13 @@ the property tests.
 
 from __future__ import annotations
 
-from typing import Any
+import heapq
+from typing import Any, Sequence
 
 import numpy as np
 
-from ..core.task_tree import NO_PARENT
 from .base import ReadyQueue
 from .engine import EventDrivenScheduler
-from .memory import MemoryLedger
 
 __all__ = [
     "MemBookingScheduler",
@@ -93,18 +104,33 @@ class _MemBookingCore(EventDrivenScheduler):
     # setup
     # ------------------------------------------------------------------ #
     def _setup(self) -> None:
-        tree = self.tree
-        n = tree.n
-        self._ledger = MemoryLedger(self.memory_limit)
-        self._mem_needed = tree.mem_needed
-        self._booked = np.zeros(n, dtype=np.float64)
-        self._bbs = np.full(n, _UNSET, dtype=np.float64)
-        self._state = np.full(n, UN, dtype=np.int8)
-        self._ch_not_act = np.asarray([tree.num_children(i) for i in range(n)], dtype=np.int64)
-        self._ch_not_fin = self._ch_not_act.copy()
+        ws = self.workspace
+        assert ws is not None  # the engine installs it before _setup
+        n = ws.n
+        limit = self.memory_limit
+        # Inlined MemoryLedger (MBooked): identical bound, tolerance, peak
+        # tracking and clamp-at-zero semantics, in local floats.
+        self._limit = limit
+        self._tol = 1e-9 * max(1.0, limit)
+        self._threshold = limit + self._tol
+        self._mbooked = 0.0
+        self._peak_booked = 0.0
+        # Flat per-node state planes.
+        self._booked: list[float] = [0.0] * n
+        self._bbs: list[float] = [_UNSET] * n
+        self._state = bytearray(n)  # UN everywhere
+        self._ch_not_act = ws.num_children_list.copy()
+        self._ch_not_fin = ws.num_children_list.copy()
+        # Static planes of the workspace (read-only).
+        self._parent_list = ws.parent_list
+        self._fout_list = ws.fout_list
+        self._mem_needed_list = ws.mem_needed_list
+        self._child_offsets = ws.child_offsets
+        self._child_nodes = ws.child_nodes
+        self._ao_rank_list = ws.ao_rank_list
         self._setup_structures()
-        for leaf in tree.leaves():
-            self._make_candidate(int(leaf))
+        for leaf in ws.leaves_list:
+            self._make_candidate(leaf)
 
     # Structure-specific hooks -------------------------------------------------
     def _setup_structures(self) -> None:
@@ -123,96 +149,133 @@ class _MemBookingCore(EventDrivenScheduler):
 
     def _mark_available(self, node: int) -> None:
         """Record that ``node`` is activated and all its children are finished."""
-        raise NotImplementedError
+        self.ready_queue.add(node)
 
     # ------------------------------------------------------------------ #
     # DispatchMemory (Algorithm 3 / Algorithm 6 lines 4-17)
     # ------------------------------------------------------------------ #
     def _dispatch_memory(self, j: int) -> None:
-        tree = self.tree
         booked = self._booked
         bbs = self._bbs
-        parent = tree.parent
-        fout = tree.fout
-        mem_needed = self._mem_needed
+        parent = self._parent_list
+        fout = self._fout_list
+        mem_needed = self._mem_needed_list
 
-        amount = float(booked[j])
+        amount = booked[j]
         booked[j] = 0.0
-        self._ledger.release(amount)
+        # MBooked release with the ledger's clamp semantics.
+        mbooked = self._mbooked - amount
+        if mbooked < 0.0:
+            if mbooked < -self._tol:
+                raise RuntimeError(
+                    f"released more memory than was booked (booked={mbooked:.6g})"
+                )
+            mbooked = 0.0
         bbs[j] = 0.0
 
-        i = int(parent[j])
-        if i == NO_PARENT:
+        i = parent[j]
+        if i < 0:
+            self._mbooked = mbooked
             return
-        fj = float(fout[j])
+        fj = fout[j]
         booked[i] += fj
-        self._ledger.book(fj, enforce=False)
+        mbooked += fj  # unenforced book (the freed amount covers it)
+        peak = self._peak_booked
+        if mbooked > peak:
+            peak = mbooked
         amount -= fj
 
         # Dispatch the remaining freed memory As-Late-As-Possible along the
         # ancestors: an ancestor only keeps what its subtree cannot provide
         # by itself (the contribution C_{j,i}).
-        while i != NO_PARENT and amount > 1e-12 and self._dispatch_reaches(i):
-            contribution = min(
-                amount, max(0.0, float(mem_needed[i]) - (float(bbs[i]) - amount))
-            )
-            if contribution > 0.0:
-                booked[i] += contribution
-                self._ledger.book(contribution, enforce=False)
-            bbs[i] -= amount - contribution
-            amount -= contribution
-            i = int(parent[i])
-
-    def _dispatch_reaches(self, node: int) -> bool:
-        """Loop condition of the dispatch walk for ancestor ``node``."""
         if self.dispatch_to_candidates:
-            return self._bbs[node] != _UNSET
-        return self._state[node] in (ACT, RUN)
+            while i >= 0 and amount > 1e-12 and bbs[i] != _UNSET:
+                contribution = min(amount, max(0.0, mem_needed[i] - (bbs[i] - amount)))
+                if contribution > 0.0:
+                    booked[i] += contribution
+                    mbooked += contribution
+                    if mbooked > peak:
+                        peak = mbooked
+                bbs[i] -= amount - contribution
+                amount -= contribution
+                i = parent[i]
+        else:
+            state = self._state
+            while i >= 0 and amount > 1e-12 and state[i] in (ACT, RUN):
+                contribution = min(amount, max(0.0, mem_needed[i] - (bbs[i] - amount)))
+                if contribution > 0.0:
+                    booked[i] += contribution
+                    mbooked += contribution
+                    if mbooked > peak:
+                        peak = mbooked
+                bbs[i] -= amount - contribution
+                amount -= contribution
+                i = parent[i]
+        self._mbooked = mbooked
+        self._peak_booked = peak
 
     # ------------------------------------------------------------------ #
     # UpdateCAND-ACT (Algorithm 4 / Algorithm 6 lines 18-30)
     # ------------------------------------------------------------------ #
     def _activate(self) -> None:
-        tree = self.tree
         booked = self._booked
         bbs = self._bbs
-        ledger = self._ledger
-        mem_needed = self._mem_needed
-        parent = tree.parent
+        state = self._state
+        parent = self._parent_list
+        mem_needed = self._mem_needed_list
+        offsets = self._child_offsets
+        child_nodes = self._child_nodes
+        ch_not_act = self._ch_not_act
+        ch_not_fin = self._ch_not_fin
+        mbooked = self._mbooked
+        threshold = self._threshold
+        peak = self._peak_booked
+        dispatch_to_candidates = self.dispatch_to_candidates
 
         while True:
             node = self._peek_candidate()
             if node is None:
                 break
-            if self.dispatch_to_candidates:
+            if dispatch_to_candidates:
                 # Lazy initialisation (Section 5.1): compute BookedBySubtree
                 # once; it is then kept up to date by the dispatch walks.
                 if bbs[node] == _UNSET:
-                    bbs[node] = booked[node] + sum(float(bbs[c]) for c in tree.children(node))
-                subtree_booked = float(bbs[node])
+                    total = 0.0
+                    for c in child_nodes[offsets[node] : offsets[node + 1]]:
+                        total += bbs[c]
+                    bbs[node] = booked[node] + total
+                subtree_booked = bbs[node]
             else:
                 # Literal Algorithm 4: recompute the subtree booking at every
                 # attempt (the dispatch walks do not maintain it for
                 # candidates in this variant).
-                subtree_booked = float(booked[node]) + sum(
-                    float(bbs[c]) for c in tree.children(node)
-                )
-            missing = max(0.0, float(mem_needed[node]) - subtree_booked)
-            if not ledger.fits(missing):
+                total = 0.0
+                for c in child_nodes[offsets[node] : offsets[node + 1]]:
+                    total += bbs[c]
+                subtree_booked = booked[node] + total
+            missing = max(0.0, mem_needed[node] - subtree_booked)
+            if mbooked + missing > threshold:
                 break  # wait for more memory; activation keeps following AO
-            ledger.book(missing)
+            mbooked += missing
+            if mbooked > peak:
+                peak = mbooked
             booked[node] += missing
-            bbs[node] = booked[node] + sum(float(bbs[c]) for c in tree.children(node))
+            total = 0.0
+            for c in child_nodes[offsets[node] : offsets[node + 1]]:
+                total += bbs[c]
+            bbs[node] = booked[node] + total
             self._remove_candidate(node)
-            self._state[node] = ACT
-            if self._ch_not_fin[node] == 0:
+            state[node] = ACT
+            if ch_not_fin[node] == 0:
                 self._mark_available(node)
-            p = int(parent[node])
-            if p != NO_PARENT:
-                self._ch_not_act[p] -= 1
-                if self._ch_not_act[p] == 0:
-                    self._state[p] = CAND
+            p = parent[node]
+            if p >= 0:
+                ch_not_act[p] -= 1
+                if ch_not_act[p] == 0:
+                    state[p] = CAND
                     self._make_candidate(p)
+        self._mbooked = mbooked
+        self._peak_booked = peak
 
     # ------------------------------------------------------------------ #
     # engine events
@@ -220,30 +283,38 @@ class _MemBookingCore(EventDrivenScheduler):
     def _on_task_started(self, node: int) -> None:
         self._state[node] = RUN
 
+    def _on_tasks_finished(self, nodes: Sequence[int]) -> None:
+        state = self._state
+        parent = self._parent_list
+        ch_not_fin = self._ch_not_fin
+        dispatch = self._dispatch_memory
+        mark_available = self._mark_available
+        for node in nodes:
+            state[node] = FN
+            dispatch(node)
+            p = parent[node]
+            if p >= 0:
+                ch_not_fin[p] -= 1
+                if ch_not_fin[p] == 0 and state[p] == ACT:
+                    mark_available(p)
+
     def _on_task_finished(self, node: int) -> None:
-        tree = self.tree
-        self._state[node] = FN
-        self._dispatch_memory(node)
-        p = int(tree.parent[node])
-        if p != NO_PARENT:
-            self._ch_not_fin[p] -= 1
-            if self._ch_not_fin[p] == 0 and self._state[p] == ACT:
-                self._mark_available(p)
+        self._on_tasks_finished((node,))
 
     # ------------------------------------------------------------------ #
     # diagnostics
     # ------------------------------------------------------------------ #
     def _extra_results(self) -> dict[str, Any]:
-        return {"peak_booked_memory": self._ledger.peak_booked}
+        return {"peak_booked_memory": self._peak_booked}
 
     def _invariant_state(self) -> dict[str, Any]:
         return {
-            "booked": self._booked.copy(),
-            "booked_by_subtree": self._bbs.copy(),
-            "state": self._state.copy(),
-            "mbooked": self._ledger.booked,
-            "limit": self._ledger.limit,
-            "mem_needed": self._mem_needed,
+            "booked": np.asarray(self._booked, dtype=np.float64),
+            "booked_by_subtree": np.asarray(self._bbs, dtype=np.float64),
+            "state": np.frombuffer(bytes(self._state), dtype=np.int8),
+            "mbooked": self._mbooked,
+            "limit": self._limit,
+            "mem_needed": self.tree.mem_needed,
             "tree": self.tree,
         }
 
@@ -253,28 +324,41 @@ class MemBookingScheduler(_MemBookingCore):
 
     Scheduling cost is ``O(n (H + log n))`` in total (Theorem 2): every node
     is pushed/popped at most once on each heap, dispatch walks are bounded by
-    the node depth, and all state transitions use O(1) counters.
+    the node depth, and all state transitions use O(1) counters.  ``CAND``
+    is a plain AO-rank heap with lazy deletion: an entry whose node is no
+    longer in state CAND is stale and skipped when it surfaces (a node
+    enters CAND at most once, so stale entries can never shadow live ones).
     """
 
     name = "MemBooking"
 
     def _setup_structures(self) -> None:
-        self._cand = ReadyQueue(self.ao.rank)
-        # ACTf: the engine pops ready tasks straight from this queue.
-        self.ready_queue = ReadyQueue(self.eo.rank)
+        self._cand_heap: list[tuple[int, int]] = []
+        self._eo_rank_list = self.workspace.eo_rank_list
+        # ACTf: a plain (EO rank, node) heap the engine pops directly.
+        self.ready_heap = []
+
+    def _mark_available(self, node: int) -> None:
+        heapq.heappush(self.ready_heap, (self._eo_rank_list[node], node))
 
     def _make_candidate(self, node: int) -> None:
         self._state[node] = CAND
-        self._cand.add(node)
+        heapq.heappush(self._cand_heap, (self._ao_rank_list[node], node))
 
     def _peek_candidate(self) -> int | None:
-        return self._cand.peek()
+        heap = self._cand_heap
+        state = self._state
+        while heap:
+            node = heap[0][1]
+            if state[node] == CAND:
+                return node
+            heapq.heappop(heap)  # stale entry of an already-activated node
+        return None
 
     def _remove_candidate(self, node: int) -> None:
-        self._cand.remove(node)
-
-    def _mark_available(self, node: int) -> None:
-        self.ready_queue.add(node)
+        # Lazy: the caller flips the node's state out of CAND right after,
+        # which is exactly what invalidates the heap entry.
+        pass
 
 
 class MemBookingReferenceScheduler(_MemBookingCore):
@@ -297,7 +381,7 @@ class MemBookingReferenceScheduler(_MemBookingCore):
 
     def _setup_structures(self) -> None:
         self._cand_set: set[int] = set()
-        self.ready_queue = ReadyQueue(self.eo.rank)
+        self.ready_queue = ReadyQueue(self.workspace.eo_rank_list)
 
     def _make_candidate(self, node: int) -> None:
         self._state[node] = CAND
@@ -306,11 +390,7 @@ class MemBookingReferenceScheduler(_MemBookingCore):
     def _peek_candidate(self) -> int | None:
         if not self._cand_set:
             return None
-        rank = self.ao.rank
-        return min(self._cand_set, key=lambda i: rank[i])
+        return min(self._cand_set, key=self._ao_rank_list.__getitem__)
 
     def _remove_candidate(self, node: int) -> None:
         self._cand_set.discard(node)
-
-    def _mark_available(self, node: int) -> None:
-        self.ready_queue.add(node)

@@ -23,11 +23,20 @@ The activation and execution orders supplied for the original tree are
 extended to the transformed tree by inserting every fictitious leaf
 immediately before the node it feeds, which preserves topological validity
 and the relative order of the real tasks.
+
+The transformation, the extended orders and the reduced tree's
+:class:`~repro.schedulers.engine.SimWorkspace` are pure functions of
+(tree, AO, EO), so they are **memoised per tree**: a sweep that simulates
+the same tree under many (processors, memory factor) combinations pays for
+the reduction once instead of once per run.  Entries hold strong references
+to their orders (so an ``id``-based key can never alias a collected object)
+and die with the tree.
 """
 
 from __future__ import annotations
 
 import math
+import weakref
 from typing import Any, Callable, Mapping
 
 import numpy as np
@@ -37,7 +46,7 @@ from ..core.tree_transform import ReductionTreeResult, to_reduction_tree
 from ..orders import Ordering
 from .activation import ActivationScheduler
 from .base import ScheduleResult
-from .engine import EventDrivenScheduler
+from .engine import EventDrivenScheduler, SimWorkspace
 from .validation import memory_profile
 
 __all__ = ["MemBookingRedTreeScheduler", "extend_order_to_reduction"]
@@ -64,6 +73,40 @@ def extend_order_to_reduction(
     return Ordering(np.asarray(sequence, dtype=np.int64), name=order.name + "+red")
 
 
+#: Per-tree memo of reduction contexts, keyed by tree identity (evicted by a
+#: ``weakref.finalize`` when the tree is collected, before its id can be
+#: reused).  The inner mapping is keyed by the identity of the (AO, EO) pair
+#: and holds strong references to both orders, so an entry can never outlive
+#: — and therefore never alias — the orders it was built from.  Bounded so a
+#: long-lived tree scheduled under many ad-hoc order pairs cannot grow it
+#: without limit.
+_REDUCTION_MEMO: dict[int, dict[tuple[int, int], tuple]] = {}
+_REDUCTION_MEMO_PER_TREE = 4
+
+
+def _reduction_context(
+    tree: TaskTree, ao: Ordering, eo: Ordering
+) -> tuple[ReductionTreeResult, Ordering, Ordering, SimWorkspace]:
+    per_tree = _REDUCTION_MEMO.get(id(tree))
+    if per_tree is None:
+        per_tree = _REDUCTION_MEMO[id(tree)] = {}
+        weakref.finalize(tree, _REDUCTION_MEMO.pop, id(tree), None)
+    key = (id(ao), id(eo))
+    entry = per_tree.get(key)
+    if entry is None:
+        reduction = to_reduction_tree(tree)
+        reduced_ao = extend_order_to_reduction(tree, reduction, ao)
+        reduced_eo = (
+            reduced_ao if eo is ao else extend_order_to_reduction(tree, reduction, eo)
+        )
+        workspace = SimWorkspace(reduction.tree, reduced_ao, reduced_eo)
+        if len(per_tree) >= _REDUCTION_MEMO_PER_TREE:
+            per_tree.pop(next(iter(per_tree)))
+        # ao/eo are stored to pin their ids for the lifetime of the entry.
+        entry = per_tree[key] = (ao, eo, reduction, reduced_ao, reduced_eo, workspace)
+    return entry[2], entry[3], entry[4], entry[5]
+
+
 class MemBookingRedTreeScheduler(ActivationScheduler):
     """Reduction-tree booking baseline (``MemBookingRedTree`` in the figures)."""
 
@@ -78,10 +121,12 @@ class MemBookingRedTreeScheduler(ActivationScheduler):
         eo: Ordering,
         *,
         invariant_hook: Callable[[Mapping[str, Any]], None] | None = None,
+        workspace: SimWorkspace | None = None,
     ) -> ScheduleResult:
-        reduction = to_reduction_tree(tree)
-        reduced_ao = extend_order_to_reduction(tree, reduction, ao)
-        reduced_eo = extend_order_to_reduction(tree, reduction, eo)
+        _ = workspace  # the inner run uses the memoised *reduced* workspace
+        reduction, reduced_ao, reduced_eo, reduced_workspace = _reduction_context(
+            tree, ao, eo
+        )
 
         inner = EventDrivenScheduler._run(
             self,
@@ -91,6 +136,7 @@ class MemBookingRedTreeScheduler(ActivationScheduler):
             reduced_ao,
             reduced_eo,
             invariant_hook=invariant_hook,
+            workspace=reduced_workspace,
         )
 
         # Translate the schedule back to the original node indices (fictitious

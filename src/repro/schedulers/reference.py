@@ -1,0 +1,509 @@
+"""Frozen pre-array-engine reference implementations (parity + benchmark pins).
+
+The array-native rewrite of :mod:`repro.schedulers.engine` and of the three
+dynamic heuristics promises **bit-identical schedules**: same event order,
+same tie-breaking, same deadlock semantics, same floating-point bookkeeping
+— only the wall-clock ``scheduling_seconds`` measurements may differ.  That
+promise needs something to be identical *to*, so this module preserves the
+previous generation verbatim:
+
+* :class:`ReferenceEventDrivenScheduler` — the object-at-a-time engine loop
+  (per-hook ``perf_counter`` pairs, ``(finish, node, proc)`` event entries,
+  one timed pop per dispatched task);
+* :class:`ReferenceActivationScheduler` — Algorithm 1 with per-node Python
+  lists and a :class:`~repro.schedulers.memory.MemoryLedger`;
+* :class:`ReferenceMemBookingScheduler` — the Appendix B heap/counter
+  implementation over NumPy state vectors with per-node scalar indexing;
+* :class:`ReferenceMemBookingRedTreeScheduler` — the reduction-tree baseline
+  recomputing the transformation on every run.
+
+The parity suite (``tests/test_array_engine_parity.py``) asserts that the
+production schedulers reproduce these schedules exactly, and the engine
+benchmark (``benchmarks/test_engine_speed.py``) measures the speedup of the
+array kernels against these classes on the same machine and inputs.
+
+Do not "improve" this module: its value is that it does not change.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..core.task_tree import NO_PARENT, TaskTree
+from ..core.tree_transform import to_reduction_tree
+from ..orders import Ordering
+from .base import UNSCHEDULED, ReadyQueue, ScheduleResult, Scheduler
+from .membooking_redtree import extend_order_to_reduction
+from .memory import MemoryLedger
+from .validation import memory_profile
+
+__all__ = [
+    "ReferenceEventDrivenScheduler",
+    "ReferenceActivationScheduler",
+    "ReferenceMemBookingScheduler",
+    "ReferenceMemBookingRedTreeScheduler",
+    "REFERENCE_FACTORIES",
+]
+
+
+class ReferenceEventDrivenScheduler(Scheduler):
+    """The pre-rewrite template-method engine, preserved verbatim."""
+
+    ready_queue: ReadyQueue | None = None
+
+    # ------------------------------------------------------------------ #
+    # hooks to be provided by subclasses
+    # ------------------------------------------------------------------ #
+    def _setup(self) -> None:  # pragma: no cover - abstract hook
+        raise NotImplementedError
+
+    def _on_task_finished(self, node: int) -> None:  # pragma: no cover - abstract hook
+        raise NotImplementedError
+
+    def _activate(self) -> None:  # pragma: no cover - abstract hook
+        raise NotImplementedError
+
+    def _pop_ready_task(self) -> int | None:
+        queue = self.ready_queue
+        if queue is None:
+            raise NotImplementedError(
+                f"{type(self).__name__}._setup() must assign self.ready_queue "
+                "or the class must override _pop_ready_task()"
+            )
+        return queue.pop()
+
+    def _on_task_started(self, node: int) -> None:
+        """Optional hook called when a task is placed on a processor."""
+
+    def _extra_results(self) -> dict[str, Any]:
+        return {}
+
+    def _invariant_state(self) -> dict[str, Any]:
+        return {}
+
+    # ------------------------------------------------------------------ #
+    # engine state
+    # ------------------------------------------------------------------ #
+    tree: TaskTree
+    num_processors: int
+    memory_limit: float
+    ao: Ordering
+    eo: Ordering
+
+    def _reset_engine_state(self) -> None:
+        self.tree = None  # type: ignore[assignment]
+        self.ao = None  # type: ignore[assignment]
+        self.eo = None  # type: ignore[assignment]
+        self.ready_queue = None
+
+    def _run(
+        self,
+        tree: TaskTree,
+        num_processors: int,
+        memory_limit: float,
+        ao: Ordering,
+        eo: Ordering,
+        *,
+        invariant_hook: Callable[[Mapping[str, Any]], None] | None = None,
+        workspace=None,
+    ) -> ScheduleResult:
+        _ = workspace  # the reference engine predates the workspace plane
+        try:
+            return self._run_simulation(
+                tree, num_processors, memory_limit, ao, eo, invariant_hook=invariant_hook
+            )
+        finally:
+            self._reset_engine_state()
+
+    def _run_simulation(
+        self,
+        tree: TaskTree,
+        num_processors: int,
+        memory_limit: float,
+        ao: Ordering,
+        eo: Ordering,
+        *,
+        invariant_hook: Callable[[Mapping[str, Any]], None] | None = None,
+    ) -> ScheduleResult:
+        self.tree = tree
+        self.num_processors = num_processors
+        self.memory_limit = memory_limit
+        self.ao = ao
+        self.eo = eo
+
+        n = tree.n
+        start_times = np.full(n, np.nan)
+        finish_times = np.full(n, np.nan)
+        processor = np.full(n, UNSCHEDULED, dtype=np.int64)
+
+        free_processors = list(range(num_processors - 1, -1, -1))  # pop() gives proc 0 first
+        running = 0
+        finished_count = 0
+        clock = 0.0
+        num_events = 0
+        decision_seconds = 0.0
+        failure: str | None = None
+
+        # Completion events: (finish_time, node, processor)
+        event_queue: list[tuple[float, int, int]] = []
+
+        perf_counter = time.perf_counter
+        ptime = tree.ptime
+
+        self.ready_queue = None
+        tic = perf_counter()
+        self._setup()
+        decision_seconds += perf_counter() - tic
+
+        def dispatch_ready() -> None:
+            nonlocal running, decision_seconds
+            ready = self.ready_queue
+            while free_processors:
+                if ready is not None and not ready:
+                    break
+                tic = perf_counter()
+                node = self._pop_ready_task()
+                if node is not None:
+                    self._on_task_started(node)
+                decision_seconds += perf_counter() - tic
+                if node is None:
+                    break
+                proc = free_processors.pop()
+                start_times[node] = clock
+                finish = clock + float(ptime[node])
+                finish_times[node] = finish
+                processor[node] = proc
+                running += 1
+                heapq.heappush(event_queue, (finish, node, proc))
+
+        # --- t = 0 event ---------------------------------------------------
+        tic = perf_counter()
+        self._activate()
+        decision_seconds += perf_counter() - tic
+        num_events += 1
+        dispatch_ready()
+        if invariant_hook is not None:
+            invariant_hook(self._invariant_state())
+
+        if running == 0 and finished_count < n:
+            failure = (
+                "no task can be started at t=0: the memory bound is too small "
+                "for the first activations"
+            )
+
+        # --- main loop ------------------------------------------------------
+        while failure is None and event_queue:
+            clock = event_queue[0][0]
+            while event_queue and event_queue[0][0] == clock:
+                _, node, proc = heapq.heappop(event_queue)
+                running -= 1
+                finished_count += 1
+                free_processors.append(proc)
+                num_events += 1
+                tic = perf_counter()
+                self._on_task_finished(node)
+                decision_seconds += perf_counter() - tic
+            tic = perf_counter()
+            self._activate()
+            decision_seconds += perf_counter() - tic
+            dispatch_ready()
+            if invariant_hook is not None:
+                invariant_hook(self._invariant_state())
+            if running == 0 and finished_count < n:
+                failure = (
+                    f"deadlock at t={clock:.6g}: {n - finished_count} tasks remain but "
+                    "none is activated and available under the memory bound"
+                )
+
+        completed = finished_count == n
+        makespan = clock if completed else math.inf
+        result = ScheduleResult(
+            scheduler=self.name,
+            tree_size=n,
+            num_processors=num_processors,
+            memory_limit=memory_limit,
+            completed=completed,
+            makespan=makespan,
+            start_times=start_times,
+            finish_times=finish_times,
+            processor=processor,
+            peak_memory=math.nan,
+            scheduling_seconds=decision_seconds,
+            num_events=num_events,
+            activation_order=ao.name,
+            execution_order=eo.name,
+            failure_reason=failure,
+            extras=self._extra_results(),
+        )
+        result.peak_memory = memory_profile(tree, result).peak
+        return result
+
+
+class ReferenceActivationScheduler(ReferenceEventDrivenScheduler):
+    """Algorithm 1 with per-node Python lists (the pre-array implementation)."""
+
+    name = "Activation"
+
+    def _setup(self) -> None:
+        tree = self.tree
+        n = tree.n
+        self._ledger = MemoryLedger(self.memory_limit)
+        self._next_activation = 0
+        self._activated = [False] * n
+        self._children_not_finished = [tree.num_children(i) for i in range(n)]
+        self._finished = [False] * n
+        self._request = tree.nexec + tree.fout
+        self._children_fout = np.zeros(n, dtype=np.float64)
+        has_parent = tree.parent != NO_PARENT
+        np.add.at(self._children_fout, tree.parent[has_parent], tree.fout[has_parent])
+        self.ready_queue = ReadyQueue(self.eo.rank)
+
+    def _activate(self) -> None:
+        tree = self.tree
+        ao = self.ao.sequence
+        ledger = self._ledger
+        while self._next_activation < tree.n:
+            node = int(ao[self._next_activation])
+            request = float(self._request[node])
+            if not ledger.fits(request):
+                break
+            ledger.book(request)
+            self._activated[node] = True
+            self._next_activation += 1
+            if self._children_not_finished[node] == 0:
+                self.ready_queue.add(node)
+
+    def _on_task_finished(self, node: int) -> None:
+        tree = self.tree
+        self._finished[node] = True
+        released = float(tree.nexec[node]) + float(self._children_fout[node])
+        self._ledger.release(released)
+
+        parent = int(tree.parent[node])
+        if parent != NO_PARENT:
+            self._children_not_finished[parent] -= 1
+            if self._children_not_finished[parent] == 0 and self._activated[parent]:
+                self.ready_queue.add(parent)
+
+    def _extra_results(self) -> dict[str, Any]:
+        return {
+            "peak_booked_memory": self._ledger.peak_booked,
+            "activated": self._next_activation,
+        }
+
+    def _invariant_state(self) -> dict[str, Any]:
+        return {
+            "booked": self._ledger.booked,
+            "limit": self._ledger.limit,
+            "activated_prefix": self._next_activation,
+        }
+
+
+# Node states, duplicated here so the frozen module stands alone.
+_UN, _CAND, _ACT, _RUN, _FN = 0, 1, 2, 3, 4
+_UNSET = -1.0
+
+
+class ReferenceMemBookingScheduler(ReferenceEventDrivenScheduler):
+    """Appendix B MemBooking over NumPy state vectors with scalar indexing."""
+
+    name = "MemBooking"
+
+    dispatch_to_candidates: bool = True
+
+    def __init__(self, *, dispatch_to_candidates: bool | None = None) -> None:
+        if dispatch_to_candidates is not None:
+            self.dispatch_to_candidates = bool(dispatch_to_candidates)
+
+    def _setup(self) -> None:
+        tree = self.tree
+        n = tree.n
+        self._ledger = MemoryLedger(self.memory_limit)
+        self._mem_needed = tree.mem_needed
+        self._booked = np.zeros(n, dtype=np.float64)
+        self._bbs = np.full(n, _UNSET, dtype=np.float64)
+        self._state = np.full(n, _UN, dtype=np.int8)
+        self._ch_not_act = np.asarray([tree.num_children(i) for i in range(n)], dtype=np.int64)
+        self._ch_not_fin = self._ch_not_act.copy()
+        self._cand = ReadyQueue(self.ao.rank)
+        self.ready_queue = ReadyQueue(self.eo.rank)
+        for leaf in tree.leaves():
+            self._make_candidate(int(leaf))
+
+    def _make_candidate(self, node: int) -> None:
+        self._state[node] = _CAND
+        self._cand.add(node)
+
+    def _dispatch_memory(self, j: int) -> None:
+        tree = self.tree
+        booked = self._booked
+        bbs = self._bbs
+        parent = tree.parent
+        fout = tree.fout
+        mem_needed = self._mem_needed
+
+        amount = float(booked[j])
+        booked[j] = 0.0
+        self._ledger.release(amount)
+        bbs[j] = 0.0
+
+        i = int(parent[j])
+        if i == NO_PARENT:
+            return
+        fj = float(fout[j])
+        booked[i] += fj
+        self._ledger.book(fj, enforce=False)
+        amount -= fj
+
+        while i != NO_PARENT and amount > 1e-12 and self._dispatch_reaches(i):
+            contribution = min(
+                amount, max(0.0, float(mem_needed[i]) - (float(bbs[i]) - amount))
+            )
+            if contribution > 0.0:
+                booked[i] += contribution
+                self._ledger.book(contribution, enforce=False)
+            bbs[i] -= amount - contribution
+            amount -= contribution
+            i = int(parent[i])
+
+    def _dispatch_reaches(self, node: int) -> bool:
+        if self.dispatch_to_candidates:
+            return self._bbs[node] != _UNSET
+        return self._state[node] in (_ACT, _RUN)
+
+    def _activate(self) -> None:
+        tree = self.tree
+        booked = self._booked
+        bbs = self._bbs
+        ledger = self._ledger
+        mem_needed = self._mem_needed
+        parent = tree.parent
+
+        while True:
+            node = self._cand.peek()
+            if node is None:
+                break
+            if self.dispatch_to_candidates:
+                if bbs[node] == _UNSET:
+                    bbs[node] = booked[node] + sum(float(bbs[c]) for c in tree.children(node))
+                subtree_booked = float(bbs[node])
+            else:
+                subtree_booked = float(booked[node]) + sum(
+                    float(bbs[c]) for c in tree.children(node)
+                )
+            missing = max(0.0, float(mem_needed[node]) - subtree_booked)
+            if not ledger.fits(missing):
+                break
+            ledger.book(missing)
+            booked[node] += missing
+            bbs[node] = booked[node] + sum(float(bbs[c]) for c in tree.children(node))
+            self._cand.remove(node)
+            self._state[node] = _ACT
+            if self._ch_not_fin[node] == 0:
+                self.ready_queue.add(node)
+            p = int(parent[node])
+            if p != NO_PARENT:
+                self._ch_not_act[p] -= 1
+                if self._ch_not_act[p] == 0:
+                    self._state[p] = _CAND
+                    self._make_candidate(p)
+
+    def _on_task_started(self, node: int) -> None:
+        self._state[node] = _RUN
+
+    def _on_task_finished(self, node: int) -> None:
+        tree = self.tree
+        self._state[node] = _FN
+        self._dispatch_memory(node)
+        p = int(tree.parent[node])
+        if p != NO_PARENT:
+            self._ch_not_fin[p] -= 1
+            if self._ch_not_fin[p] == 0 and self._state[p] == _ACT:
+                self.ready_queue.add(p)
+
+    def _extra_results(self) -> dict[str, Any]:
+        return {"peak_booked_memory": self._ledger.peak_booked}
+
+    def _invariant_state(self) -> dict[str, Any]:
+        return {
+            "booked": self._booked.copy(),
+            "booked_by_subtree": self._bbs.copy(),
+            "state": self._state.copy(),
+            "mbooked": self._ledger.booked,
+            "limit": self._ledger.limit,
+            "mem_needed": self._mem_needed,
+            "tree": self.tree,
+        }
+
+
+class ReferenceMemBookingRedTreeScheduler(ReferenceActivationScheduler):
+    """Reduction-tree baseline recomputing the transformation per run."""
+
+    name = "MemBookingRedTree"
+
+    def _run(
+        self,
+        tree: TaskTree,
+        num_processors: int,
+        memory_limit: float,
+        ao: Ordering,
+        eo: Ordering,
+        *,
+        invariant_hook: Callable[[Mapping[str, Any]], None] | None = None,
+        workspace=None,
+    ) -> ScheduleResult:
+        _ = workspace
+        reduction = to_reduction_tree(tree)
+        reduced_ao = extend_order_to_reduction(tree, reduction, ao)
+        reduced_eo = extend_order_to_reduction(tree, reduction, eo)
+
+        inner = ReferenceEventDrivenScheduler._run(
+            self,
+            reduction.tree,
+            num_processors,
+            memory_limit,
+            reduced_ao,
+            reduced_eo,
+            invariant_hook=invariant_hook,
+        )
+
+        n = tree.n
+        result = ScheduleResult(
+            scheduler=self.name,
+            tree_size=n,
+            num_processors=num_processors,
+            memory_limit=memory_limit,
+            completed=inner.completed,
+            makespan=inner.makespan if inner.completed else math.inf,
+            start_times=inner.start_times[:n].copy(),
+            finish_times=inner.finish_times[:n].copy(),
+            processor=inner.processor[:n].copy(),
+            peak_memory=math.nan,
+            scheduling_seconds=inner.scheduling_seconds,
+            num_events=inner.num_events,
+            activation_order=ao.name,
+            execution_order=eo.name,
+            failure_reason=inner.failure_reason,
+            extras={
+                **inner.extras,
+                "num_fictitious_nodes": reduction.num_fictitious,
+                "fictitious_output_volume": reduction.added_output,
+                "transformed_tree_size": reduction.tree.n,
+            },
+        )
+        result.peak_memory = memory_profile(tree, result).peak
+        return result
+
+
+#: The frozen heuristics under their production names, for drop-in
+#: before/after comparisons (parity tests, engine benchmark).
+REFERENCE_FACTORIES: dict[str, Callable[[], Scheduler]] = {
+    "Activation": ReferenceActivationScheduler,
+    "MemBooking": ReferenceMemBookingScheduler,
+    "MemBookingRedTree": ReferenceMemBookingRedTreeScheduler,
+}

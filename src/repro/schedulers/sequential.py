@@ -41,7 +41,9 @@ class SequentialScheduler(Scheduler):
         eo: Ordering,
         *,
         invariant_hook: Callable[[Mapping[str, Any]], None] | None = None,
+        workspace=None,
     ) -> ScheduleResult:
+        _ = workspace  # the closed-form schedule has no per-run scratch
         peak = sequential_peak_memory(tree, ao, check=False)
         n = tree.n
         start = np.full(n, np.nan)

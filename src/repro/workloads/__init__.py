@@ -1,7 +1,14 @@
 """Workload generation: structured families, synthetic trees, assembly trees."""
 
 from . import families
-from .datasets import DatasetSpec, assembly_dataset, height_study_dataset, synthetic_dataset
+from .datasets import (
+    GENERATOR_VERSION,
+    DatasetSpec,
+    WorkloadCache,
+    assembly_dataset,
+    height_study_dataset,
+    synthetic_dataset,
+)
 from .elimination import (
     Supernode,
     assembly_tree_from_matrix,
@@ -33,6 +40,8 @@ from .synthetic import SyntheticTreeConfig, synthetic_tree, synthetic_trees
 __all__ = [
     "families",
     "DatasetSpec",
+    "GENERATOR_VERSION",
+    "WorkloadCache",
     "assembly_dataset",
     "height_study_dataset",
     "synthetic_dataset",

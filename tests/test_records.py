@@ -118,6 +118,95 @@ class TestRoundTrip:
         assert loaded.metadata == {"scale": "tiny", "seed": 7}
 
 
+class TestFailureReasonDictionaryEncoding:
+    """The failure_reason column is int32 codes + a codes table in the meta."""
+
+    REASONS = [None, "deadlock at t=3: 7 tasks remain", None, "memory bound too small",
+               "deadlock at t=3: 7 tasks remain", None]
+
+    def _table(self) -> RecordTable:
+        return RecordTable.from_dicts(
+            [
+                make_record(tree_index=i, completed=reason is None, failure_reason=reason)
+                for i, reason in enumerate(self.REASONS)
+            ]
+        )
+
+    def test_raw_column_stores_small_integer_codes(self):
+        table = self._table()
+        column = table.raw_column("failure_reason")
+        assert column.dtype == np.dtype("<i4")
+        # Codes are assigned in first-seen row order; 0 encodes None.
+        assert column.tolist() == [0, 1, 0, 2, 1, 0]
+
+    def test_column_returns_decoded_values(self):
+        """column() must agree with the row views, not expose private codes."""
+        table = self._table()
+        decoded = table.column("failure_reason")
+        assert decoded.dtype == object
+        assert decoded.tolist() == self.REASONS
+        # The vectorised-filter idiom of metrics.py compares strings.
+        mask = table.column("failure_reason") == "memory bound too small"
+        assert mask.tolist() == [False, False, False, True, False, False]
+
+    def test_decoding_roundtrips_through_every_view(self):
+        table = self._table()
+        assert [row["failure_reason"] for row in table.to_dicts()] == self.REASONS
+        assert table[3]["failure_reason"] == "memory bound too small"
+
+    def test_save_embeds_codes_and_loads_back(self, tmp_path):
+        table = self._table()
+        path = table.save(tmp_path / "failures.records")
+        for use_mmap in (True, False):
+            loaded = RecordTable.load(path, use_mmap=use_mmap)
+            assert loaded == table
+            assert [row["failure_reason"] for row in loaded.to_dicts()] == self.REASONS
+        # Saving the loaded table again is a no-op rebuild (codes unchanged).
+        again = RecordTable.load(loaded.save(tmp_path / "failures2.records"))
+        assert again == table
+
+    def test_copy_carries_codes(self):
+        table = self._table()
+        clone = table.copy()
+        assert clone == table
+        assert [row["failure_reason"] for row in clone.to_dicts()] == self.REASONS
+
+    def test_set_value_encodes_canonically(self):
+        table = RecordTable.empty(2)
+        table.set_row(0, make_record(tree_index=0))
+        table.set_row(1, make_record(tree_index=1))
+        table.set_value(1, "failure_reason", "boom")
+        assert table[1]["failure_reason"] == "boom"
+        assert table[0]["failure_reason"] is None
+
+    def test_equality_ignores_code_assignment_order(self):
+        a = RecordTable.from_dicts(
+            [make_record(tree_index=0, failure_reason="x"),
+             make_record(tree_index=1, failure_reason="y")]
+        )
+        b = RecordTable.empty(2)
+        # Assign codes in the opposite first-seen order.
+        b.set_value(0, "failure_reason", "y")
+        b.set_row(1, make_record(tree_index=1, failure_reason="y"))
+        b.set_row(0, make_record(tree_index=0, failure_reason="x"))
+        assert a == b
+
+    def test_column_bytes_shrank_versus_fixed_width(self):
+        """The stored column really is 4 B/row (the U128 one was 512 B/row)."""
+        table = self._table()
+        stored = table.raw_column("failure_reason").nbytes
+        assert stored == 4 * len(table)
+        assert np.dtype("<U128").itemsize * len(table) == 128 * stored
+
+    def test_repeated_saves_are_stable(self, tmp_path):
+        """After the first save embeds the codes, saving again is a no-op repack."""
+        table = self._table()
+        first = table.save(tmp_path / "a.records").read_bytes()
+        second = table.save(tmp_path / "b.records").read_bytes()
+        assert first == second
+        assert RecordTable.load(tmp_path / "b.records") == table
+
+
 class TestSequenceView:
     def test_len_iter_getitem(self, sweep_table):
         dicts = sweep_table.to_dicts()
@@ -158,7 +247,13 @@ class TestSetRow:
     def test_oversized_string_rejected(self):
         table = RecordTable.empty(1)
         with pytest.raises(ValueError, match="capacity"):
-            table.set_row(0, make_record(failure_reason="x" * 1000))
+            table.set_row(0, make_record(scheduler="x" * 1000))
+
+    def test_long_failure_reason_roundtrips(self):
+        """Dictionary encoding removed the historical 128-character cap."""
+        long_reason = "deadlock: " + "x" * 1000
+        table = RecordTable.from_dicts([make_record(completed=False, failure_reason=long_reason)])
+        assert table[0]["failure_reason"] == long_reason
 
 
 class TestSharedMemory:

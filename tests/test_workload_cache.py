@@ -1,0 +1,105 @@
+"""Tests for the persistent workload (dataset arena) cache."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import _dataset
+from repro.experiments.suite import main as suite_main
+from repro.workloads import WorkloadCache, synthetic_dataset
+from repro.workloads.datasets import GENERATOR_VERSION
+
+
+class TestWorkloadCacheBasics:
+    def test_cold_then_warm(self, tmp_path):
+        cache = WorkloadCache(tmp_path / "wc")
+        generated, _ = synthetic_dataset("tiny", seed=3)
+        first = cache.fetch(("synthetic", "tiny", 3), lambda: generated)
+        assert cache.misses == 1 and cache.hits == 0
+        assert first is generated  # the miss returns exactly what was generated
+
+        calls = []
+
+        def must_not_generate():
+            calls.append(1)
+            return generated
+
+        second = cache.fetch(("synthetic", "tiny", 3), must_not_generate)
+        assert not calls, "warm fetch must not regenerate"
+        assert cache.hits == 1
+        assert len(second) == len(generated)
+        for a, b in zip(second, generated):
+            assert a == b  # structure + node data equality
+
+    def test_loaded_trees_are_zero_copy_views(self, tmp_path):
+        cache = WorkloadCache(tmp_path / "wc")
+        generated, _ = synthetic_dataset("tiny", seed=3)
+        cache.fetch(("synthetic", "tiny", 3), lambda: generated)
+        loaded = cache.fetch(("synthetic", "tiny", 3), lambda: [])
+        # Arena-backed views: read-only arrays not owning their data.
+        tree = loaded[0]
+        assert not tree.parent.flags.writeable
+        assert tree.parent.base is not None
+
+    def test_key_depends_on_every_component(self, tmp_path):
+        cache = WorkloadCache(tmp_path / "wc")
+        base = cache.key(("synthetic", "tiny", 3))
+        assert cache.key(("synthetic", "tiny", 4)) != base
+        assert cache.key(("synthetic", "small", 3)) != base
+        assert cache.key(("assembly", "tiny", 3)) != base
+        assert cache.key(("synthetic", "tiny", 3)) == base
+
+    def test_generator_version_participates_in_key(self, tmp_path, monkeypatch):
+        cache = WorkloadCache(tmp_path / "wc")
+        base = cache.key(("synthetic", "tiny", 3))
+        monkeypatch.setattr("repro.workloads.datasets.GENERATOR_VERSION", GENERATOR_VERSION + 1)
+        assert cache.key(("synthetic", "tiny", 3)) != base
+
+    def test_corrupt_arena_counts_as_miss(self, tmp_path):
+        cache = WorkloadCache(tmp_path / "wc")
+        generated, _ = synthetic_dataset("tiny", seed=3)
+        key = cache.key(("synthetic", "tiny", 3))
+        cache.put(key, generated)
+        cache.path(key).write_bytes(b"not an arena")
+        trees = cache.fetch(("synthetic", "tiny", 3), lambda: generated)
+        assert cache.misses == 1
+        assert trees is generated
+        # The corrupt file was overwritten with a fresh arena.
+        assert cache.get(key) is not None
+
+
+class TestDatasetIntegration:
+    def test_dataset_identical_with_and_without_cache(self, tmp_path):
+        cache = WorkloadCache(tmp_path / "wc")
+        plain = _dataset("synthetic", "tiny", 7)
+        cold = _dataset("synthetic", "tiny", 7, cache)
+        warm = _dataset("synthetic", "tiny", 7, cache)
+        assert cache.misses == 1 and cache.hits == 1
+        for a, b, c in zip(plain, cold, warm):
+            assert a == b == c
+            np.testing.assert_array_equal(a.parent, c.parent)
+            np.testing.assert_array_equal(a.ptime, c.ptime)
+
+    def test_height_dataset_cached_across_scales(self, tmp_path):
+        """height_study_dataset ignores scale, so the cache key must too."""
+        cache = WorkloadCache(tmp_path / "wc")
+        _dataset("height", "tiny", 99, cache)
+        _dataset("height", "small", 99, cache)
+        assert cache.misses == 1 and cache.hits == 1
+
+
+class TestSuiteIntegration:
+    def test_warm_suite_run_regenerates_nothing(self, tmp_path, capsys):
+        """Two identical suite runs: the warm one must load every dataset."""
+        out = tmp_path / "suite"
+        argv = ["--scale", "tiny", "--figures", "fig10", "fig13", "--out", str(out),
+                "--no-cache"]
+        assert suite_main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "workload cache:" in cold
+        assert suite_main(argv) == 0
+        warm = capsys.readouterr().out
+        # Same dataset for both figures: one arena, zero regenerations warm.
+        assert "0 misses" in warm.split("workload cache:")[1]
+        summary = (out / "summary.md").read_text()
+        assert "workload cache:" in summary
