@@ -26,6 +26,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.batch import BatchedBackend
 from repro.experiments import SweepConfig, run_sweep
 from repro.experiments.backends import (
     ProcessPoolBackend,
@@ -76,19 +77,27 @@ def test_fig8_configuration_byte_identical(bench_scale):
             activation_order=ao_name,
             execution_order=eo_name,
         )
-        serial = run_sweep(trees, config, backend=SerialBackend())
-        shared = run_sweep(trees, config, backend=SharedMemoryBackend(jobs=2))
-        assert record_bytes(shared) == record_bytes(serial), (
+        serial = record_bytes(run_sweep(trees, config, backend=SerialBackend()))
+        shared = record_bytes(run_sweep(trees, config, backend=SharedMemoryBackend(jobs=2)))
+        assert shared == serial, (
             f"shared-memory records diverged from serial on fig8 {ao_name}/{eo_name}"
+        )
+        batched = record_bytes(run_sweep(trees, config, backend=BatchedBackend()))
+        assert batched == serial, (
+            f"batched records diverged from serial on fig8 {ao_name}/{eo_name}"
         )
 
 
 def test_fig15_configuration_byte_identical(bench_scale):
     trees, _ = synthetic_dataset(bench_scale, seed=7011)
-    serial = run_sweep(trees, FIG15_SWEEP, backend=SerialBackend())
-    shared = run_sweep(trees, FIG15_SWEEP, backend=SharedMemoryBackend(jobs=2))
-    assert record_bytes(shared) == record_bytes(serial), (
+    serial = record_bytes(run_sweep(trees, FIG15_SWEEP, backend=SerialBackend()))
+    shared = record_bytes(run_sweep(trees, FIG15_SWEEP, backend=SharedMemoryBackend(jobs=2)))
+    assert shared == serial, (
         "shared-memory records diverged from serial on the fig15 configuration"
+    )
+    batched = record_bytes(run_sweep(trees, FIG15_SWEEP, backend=BatchedBackend()))
+    assert batched == serial, (
+        "batched records diverged from serial on the fig15 configuration"
     )
 
 

@@ -1,0 +1,183 @@
+"""Batched lane engine benchmark: sweep-level instance throughput.
+
+Measures, on the same machine and the same inputs, the instance throughput
+(instances simulated per second, records included) of the
+:class:`~repro.batch.BatchedBackend` against the
+:class:`~repro.experiments.backends.SerialBackend` running the PR 4 scalar
+kernels — the single-core baseline the lane engine is built to beat
+through lane collapse and shared per-batch setup.
+
+Two configurations are timed, both restricted to the two lane-kernel
+heuristics (``Activation`` + ``MemBooking`` — everything else runs the
+identical scalar path in both backends and would only dilute the
+measurement):
+
+* the **saturation sweep** — the heavy-leaf caterpillar family under a
+  hardware-saturation processor axis (``p`` up to 128) across the full
+  memory-factor range.  This is the grid shape the batch subsystem
+  targets: most of the processor axis collapses onto one simulation per
+  factor (saturation rule) and the generous factor tail collapses per
+  ``p`` (memory-slack/starvation rules).  The **>= 2x acceptance bar** is
+  asserted here at non-tiny scales;
+* the **fig15 grid** — the paper's synthetic processor sweep, recorded as
+  the everyday-workload data point (no gate beyond a sanity floor: wide
+  random trees offer less provable collapse).
+
+Byte-identical records are asserted on every timed run, so the speedups
+can never come from divergence.  Everything lands in
+``benchmarks/results/BENCH_batch.json`` (uploaded as a CI artifact), the
+machine-readable trajectory future PRs regress against.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import pickle
+import time
+from pathlib import Path
+
+import repro.batch.lanes as lanes_mod
+from repro.batch import BatchedBackend
+from repro.experiments import SweepConfig, run_sweep
+from repro.experiments.backends import SerialBackend
+from repro.workloads.datasets import heavyleaf_dataset, synthetic_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_PATH = RESULTS_DIR / "BENCH_batch.json"
+
+TIMING_FIELDS = frozenset({"scheduling_seconds", "scheduling_seconds_per_node"})
+
+#: The two lane-kernel heuristics (see module docstring).
+KERNEL_SCHEDULERS = ("Activation", "MemBooking")
+
+SATURATION_CONFIG = SweepConfig(
+    schedulers=KERNEL_SCHEDULERS,
+    memory_factors=(1.5, 2.0, 5.0, 10.0, 20.0),
+    processors=(2, 4, 8, 16, 32, 64, 128),
+    min_completion_fraction=0.0,
+)
+
+FIG15_CONFIG = SweepConfig(
+    schedulers=KERNEL_SCHEDULERS,
+    memory_factors=(1.5, 2.0, 5.0, 10.0),
+    processors=(2, 4, 8, 16, 32),
+    min_completion_fraction=0.0,
+)
+
+
+def _record_bytes(records):
+    return [
+        pickle.dumps({k: v for k, v in r.items() if k not in TIMING_FIELDS})
+        for r in records
+    ]
+
+
+def _update_bench_json(scale: str, section: str, payload: dict) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    data: dict = {}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except ValueError:
+            data = {}
+    data.setdefault("schema", 1)
+    data["scale"] = scale
+    data.setdefault("sections", {})[section] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _timed_sweep(trees, config, backend):
+    """One timed run: GC-quiesced, returning (seconds, table)."""
+    gc.collect()
+    tic = time.perf_counter()
+    table = run_sweep(trees, config, backend=backend)
+    return time.perf_counter() - tic, table
+
+
+def _measure(trees, config, repetitions: int = 2):
+    """Time both backends on one grid; returns the payload + parity check.
+
+    Each side is measured ``repetitions`` times and the fastest run kept —
+    the standard guard against one-off scheduler/GC noise deciding a gated
+    comparison.
+    """
+    serial_seconds = min(
+        _timed_sweep(trees, config, SerialBackend())[0] for _ in range(repetitions)
+    )
+    serial_table = run_sweep(trees, config, backend=SerialBackend())
+
+    simulated = {"lanes": 0}
+    original = lanes_mod._run_batch
+
+    def counting(kernel_cls, workspace, lanes):
+        simulated["lanes"] += len(lanes)
+        return original(kernel_cls, workspace, lanes)
+
+    batched_seconds = min(
+        _timed_sweep(trees, config, BatchedBackend())[0] for _ in range(repetitions)
+    )
+    lanes_mod._run_batch = counting
+    try:
+        _, batched_table = _timed_sweep(trees, config, BatchedBackend())
+    finally:
+        lanes_mod._run_batch = original
+
+    assert _record_bytes(batched_table) == _record_bytes(serial_table), (
+        "batched records diverged from serial — a speedup would be meaningless"
+    )
+    instances = len(serial_table)
+    return {
+        "instances": instances,
+        "trees": len(trees),
+        "lanes_simulated": simulated["lanes"],
+        "lanes_collapsed": instances - simulated["lanes"],
+        "serial_seconds": serial_seconds,
+        "batched_seconds": batched_seconds,
+        "instances_per_second_serial": instances / serial_seconds,
+        "instances_per_second_batched": instances / batched_seconds,
+        "speedup": serial_seconds / batched_seconds,
+    }
+
+
+def test_saturation_sweep_instance_throughput(bench_scale):
+    trees, _ = heavyleaf_dataset(bench_scale)
+    payload = _measure(trees, SATURATION_CONFIG)
+    payload["config"] = "heavy-leaf saturation sweep (p up to 128)"
+    _update_bench_json(bench_scale, "saturation_sweep", payload)
+    print(
+        f"\nsaturation sweep: {payload['instances']} instances "
+        f"({payload['lanes_simulated']} simulated, {payload['lanes_collapsed']} collapsed) | "
+        f"serial {payload['serial_seconds']:.2f}s "
+        f"({payload['instances_per_second_serial']:.1f}/s) | "
+        f"batched {payload['batched_seconds']:.2f}s "
+        f"({payload['instances_per_second_batched']:.1f}/s) | "
+        f"speedup {payload['speedup']:.2f}x"
+    )
+    if bench_scale != "tiny":
+        # The ISSUE 5 acceptance bar: >= 2x instance throughput over the
+        # serial scalar kernels at non-tiny scale (tiny runs record the
+        # trajectory without gating — sub-second totals are noise).
+        assert payload["speedup"] >= 2.0, (
+            f"batched backend is only {payload['speedup']:.2f}x faster than the "
+            f"serial scalar kernels on the saturation sweep (required: >= 2x)"
+        )
+
+
+def test_fig15_grid_instance_throughput(bench_scale):
+    trees, _ = synthetic_dataset(bench_scale, seed=7011)
+    payload = _measure(trees, FIG15_CONFIG)
+    payload["config"] = "fig15 grid (synthetic processor sweep, lane kernels)"
+    _update_bench_json(bench_scale, "fig15_grid", payload)
+    print(
+        f"\nfig15 grid: {payload['instances']} instances "
+        f"({payload['lanes_simulated']} simulated, {payload['lanes_collapsed']} collapsed) | "
+        f"serial {payload['serial_seconds']:.2f}s | batched {payload['batched_seconds']:.2f}s | "
+        f"speedup {payload['speedup']:.2f}x"
+    )
+    if bench_scale != "tiny":
+        # Regression floor for the everyday grid: the batched backend must
+        # never lose to serial at real scales (it measured ~2x when added).
+        assert payload["speedup"] >= 1.2, (
+            f"batched backend regressed to {payload['speedup']:.2f}x on the fig15 grid"
+        )

@@ -86,12 +86,24 @@ def main() -> None:
     print("Per-tree orders and minimum memory are computed once and shared by every")
     print("run on the tree, and the records are identical for any worker count.")
     print()
-    print("With few (or huge) trees, pick the zero-copy shared-memory backend:")
+    print("Execution backends (records are byte-identical whichever you pick):")
+    print("  backend          when to use")
+    print("  -------------    ------------------------------------------------")
+    print("  auto (default)   serial for --jobs 1, per-tree workers otherwise")
+    print("  serial           debugging / the canonical reference order")
+    print("  process          many similar trees, a few worker processes")
+    print("  shared-memory    few (or huge) trees that must saturate many")
+    print("                   workers: the dataset ships once as a zero-copy")
+    print("                   TreeStore arena, work items are ~45-byte tuples")
+    print("  batched          big per-tree (p x memory-factor) grids on one")
+    print("                   core: all instances of a tree run through one")
+    print("                   lane engine that detects provably identical")
+    print("                   lanes (saturated p-axis, generous factor tail)")
+    print("                   and simulates each distinct schedule once")
     print("  records = run_sweep(trees, jobs=4, backend='shared-memory')")
-    print("(or `memtree figure fig2 --jobs 4 --backend shared-memory`).")
-    print("It packs the dataset into one TreeStore arena, ships it to the workers")
-    print("once via multiprocessing.shared_memory, and schedules at instance")
-    print("granularity — same records, tiny per-task payloads.")
+    print("  records = run_sweep(trees, backend='batched')")
+    print("(or `memtree figure fig2 --backend batched`; `--batch-size` caps the")
+    print("lanes per batch, 0 = every instance of a tree in one batch).")
     print()
     print("run_sweep returns a columnar RecordTable (one typed NumPy column per")
     print("record field; iterate it for plain dicts, `table.column(name)` for")

@@ -1,0 +1,31 @@
+"""Batched lane engine: vectorised multi-instance simulation.
+
+The paper's experiment grids simulate ~60 independent (processors, memory
+factor, heuristic) instances of every tree.  This subsystem runs them as
+**lanes**: stacked instances of one (tree, AO, EO) advanced in lock-step by
+one stepper over shared static planes and ``[B, n]`` state planes, with
+provably identical lanes collapsed to one simulation
+(:mod:`repro.batch.lanes`), exposed as the ``"batched"`` execution backend
+(:mod:`repro.batch.backend`), and fed zero-copy static planes through the
+:class:`~repro.core.tree_store.TreeStore` arena's workspace plane columns
+(:mod:`repro.batch.planes`).
+"""
+
+from .backend import BatchedBackend
+from .lanes import (
+    LANE_KERNELS,
+    ActivationLaneKernel,
+    MemBookingLaneKernel,
+    simulate_lanes,
+)
+from .planes import WORKSPACE_PLANE_NAMES, workspace_planes
+
+__all__ = [
+    "BatchedBackend",
+    "ActivationLaneKernel",
+    "MemBookingLaneKernel",
+    "LANE_KERNELS",
+    "simulate_lanes",
+    "WORKSPACE_PLANE_NAMES",
+    "workspace_planes",
+]

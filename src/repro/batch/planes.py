@@ -1,0 +1,102 @@
+"""Workspace plane columns: arena-resident static simulation planes.
+
+A :class:`~repro.schedulers.engine.SimWorkspace` (children CSR, AO/EO
+ranks, activation request/release blocks) and the tree-pure scalars of an
+:class:`~repro.experiments.runner.InstanceContext` (minimum memory,
+critical path, memory-time demand, height) are pure functions of
+(tree, AO, EO) — yet before the arena grew plane columns every worker
+process recomputed them per tree.  :func:`workspace_planes` computes them
+once (through the exact same ``prepare_instance`` code path the workers
+would run, so the values are bit-identical) and lays them out as the
+optional **plane columns** of the version-2
+:class:`~repro.core.tree_store.TreeStore` arena format; consumers pass the
+per-tree plane dict to :func:`~repro.experiments.runner.prepare_instance`,
+which rebuilds the orders and the workspace from the stored planes instead
+of deriving them from scratch.
+
+Plane names (per tree; dtypes int64 unless noted):
+
+========================  ====================================================
+``ws:child_offsets``      children CSR offsets (length ``n + 1``)
+``ws:child_nodes``        children CSR node ids (length ``n - 1``)
+``ws:ao_sequence``        activation order, position -> node
+``ws:ao_rank``            activation order, node -> position
+``ws:eo_sequence``        execution order, position -> node
+``ws:eo_rank``            execution order, node -> position
+``ws:request_ao``         float64 — booking request along the AO (Algorithm 1)
+``ws:release``            float64 — per-node release volume on completion
+``ws:scalars``            float64 — ``[minimum memory, critical path,``
+                          ``memory-time demand, height]``
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.task_tree import TaskTree
+    from ..experiments.config import SweepConfig
+
+__all__ = ["WORKSPACE_PLANE_NAMES", "context_planes_present", "workspace_planes"]
+
+#: The canonical plane-column set (see the module docstring for semantics).
+WORKSPACE_PLANE_NAMES: tuple[str, ...] = (
+    "ws:child_offsets",
+    "ws:child_nodes",
+    "ws:ao_sequence",
+    "ws:ao_rank",
+    "ws:eo_sequence",
+    "ws:eo_rank",
+    "ws:request_ao",
+    "ws:release",
+    "ws:scalars",
+)
+
+
+def workspace_planes(
+    trees: "Sequence[TaskTree]", config: "SweepConfig"
+) -> dict[str, list[np.ndarray]]:
+    """Compute the workspace plane columns of every tree for one sweep config.
+
+    Returns ``{plane name: [one array per tree]}`` in the layout
+    :meth:`repro.core.tree_store.TreeStore.pack` accepts as ``planes=``.
+    The values are produced by :func:`~repro.experiments.runner.prepare_instance`
+    itself — the code every worker would otherwise run — so a context
+    rebuilt from these planes is indistinguishable from a freshly computed
+    one.
+    """
+    from ..experiments.runner import prepare_instance
+
+    planes: dict[str, list[np.ndarray]] = {name: [] for name in WORKSPACE_PLANE_NAMES}
+    for index, tree in enumerate(trees):
+        context = prepare_instance(tree, index, config)
+        workspace = context.workspace
+        offsets, nodes = tree.children_csr
+        planes["ws:child_offsets"].append(np.asarray(offsets, dtype=np.int64))
+        planes["ws:child_nodes"].append(np.asarray(nodes, dtype=np.int64))
+        planes["ws:ao_sequence"].append(context.ao.sequence)
+        planes["ws:ao_rank"].append(context.ao.rank)
+        planes["ws:eo_sequence"].append(context.eo.sequence)
+        planes["ws:eo_rank"].append(context.eo.rank)
+        planes["ws:request_ao"].append(np.asarray(workspace.request_ao, dtype=np.float64))
+        planes["ws:release"].append(np.asarray(workspace.release_list, dtype=np.float64))
+        planes["ws:scalars"].append(
+            np.asarray(
+                [
+                    context.minimum_memory,
+                    context.critical_path,
+                    context.memtime_demand,
+                    float(context.height),
+                ],
+                dtype=np.float64,
+            )
+        )
+    return planes
+
+
+def context_planes_present(planes: Mapping[str, np.ndarray]) -> bool:
+    """True when ``planes`` carries the full workspace plane-column set."""
+    return all(name in planes for name in WORKSPACE_PLANE_NAMES)

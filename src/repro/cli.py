@@ -27,13 +27,18 @@ Four sub-commands cover the typical workflows of the library:
     scale, seed and generator version, mmap-loaded as zero-copy views).
 
 Both sweep commands take ``--backend`` to pick the execution strategy
-(:mod:`repro.experiments.backends`): ``serial``, ``process`` (one pickled
-tree per worker task) or ``shared-memory``, which packs the dataset into a
+(registered through :func:`repro.experiments.backends.register_backend`):
+``serial``, ``process`` (one pickled tree per worker task),
+``shared-memory``, which packs the dataset into a
 :class:`~repro.core.tree_store.TreeStore` arena shipped once through
 :mod:`multiprocessing.shared_memory` and schedules at instance granularity —
-the right choice when a few huge trees must saturate many workers.  The
-default ``auto`` keeps the historical behaviour (serial for ``--jobs 1``,
-per-tree chunking otherwise); the records are identical for every backend.
+the right choice when a few huge trees must saturate many workers — or
+``batched``, the lane engine of :mod:`repro.batch`: all instances of one
+tree advance through one in-process stepper with provably identical lanes
+collapsed to a single simulation (``--batch-size`` bounds the lanes per
+batch; ``0`` = all instances of a tree).  The default ``auto`` keeps the
+historical behaviour (serial for ``--jobs 1``, per-tree chunking
+otherwise); the records are identical for every backend.
 
 Examples
 --------
@@ -58,17 +63,17 @@ from . import __version__
 from .core import load_dataset, load_json, save_dataset, tree_stats
 from .core.task_tree import TaskTree
 from .experiments import (
-    BACKEND_NAMES,
     FIGURES,
     ResultCache,
     SweepConfig,
+    backends as _backends,
     run_figure,
     run_sweep,
     write_series_csv,
 )
 from .orders import ORDER_FACTORIES, make_order, minimum_memory_postorder, sequential_peak_memory
 from .schedulers import SCHEDULER_FACTORIES, make_scheduler
-from .workloads import WorkloadCache, assembly_dataset, synthetic_dataset
+from .workloads import WorkloadCache, assembly_dataset, heavyleaf_dataset, synthetic_dataset
 
 __all__ = ["main", "build_parser"]
 
@@ -91,7 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     generate = subparsers.add_parser("generate", help="generate a tree dataset")
-    generate.add_argument("kind", choices=["synthetic", "assembly"])
+    generate.add_argument("kind", choices=["synthetic", "assembly", "heavyleaf"])
     generate.add_argument("--out", type=Path, required=True, help="output directory")
     generate.add_argument("--scale", default="small", help="dataset scale (tiny/small/medium/large)")
     generate.add_argument("--seed", type=int, default=0)
@@ -128,10 +133,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     schedule.add_argument(
         "--backend",
-        choices=sorted(BACKEND_NAMES),
+        choices=sorted(_backends.BACKEND_NAMES),
         default="auto",
         help="sweep execution backend for dataset directories "
-        "(shared-memory = ship the dataset once as a zero-copy arena)",
+        "(shared-memory = ship the dataset once as a zero-copy arena; "
+        "batched = lane-batched in-process stepper)",
+    )
+    schedule.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        help="lanes per batch for --backend batched (0 = auto: all instances "
+        "of one tree per batch)",
     )
 
     figure = subparsers.add_parser("figure", help="reproduce a figure of the paper")
@@ -146,10 +159,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figure.add_argument(
         "--backend",
-        choices=sorted(BACKEND_NAMES),
+        choices=sorted(_backends.BACKEND_NAMES),
         default="auto",
         help="sweep execution backend (shared-memory = zero-copy arena transfer "
-        "+ instance-granularity scheduling)",
+        "+ instance-granularity scheduling; batched = lane-batched in-process "
+        "stepper with provable lane collapse)",
+    )
+    figure.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        help="lanes per batch for --backend batched (0 = auto: all instances "
+        "of one tree per batch)",
     )
     figure.add_argument(
         "--cache-dir",
@@ -182,6 +203,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         if args.num_nodes is not None:
             kwargs["num_nodes"] = args.num_nodes
         trees, spec = synthetic_dataset(args.scale, seed=args.seed, **kwargs)
+    elif args.kind == "heavyleaf":
+        trees, spec = heavyleaf_dataset(args.scale, seed=args.seed)
     else:
         trees, spec = assembly_dataset(args.scale, seed=args.seed)
     save_dataset(
@@ -230,6 +253,7 @@ def _cmd_schedule_dataset(args: argparse.Namespace) -> int:
         execution_order=args.eo,
         jobs=args.jobs,
         backend=args.backend,
+        batch_size=args.batch_size,
     )
     records = run_sweep(trees, config)
     print(
@@ -286,6 +310,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         scale=args.scale,
         jobs=args.jobs,
         backend=args.backend,
+        batch_size=args.batch_size,
         cache=cache,
         workload_cache=workload_cache,
     )

@@ -183,21 +183,26 @@ def save_store(
     path: str | Path,
     *,
     metadata: Mapping[str, Any] | None = None,
+    planes=None,
 ) -> Path:
     """Write ``trees`` to ``path`` in the binary arena format.
 
     Accepts either an iterable of trees (packed on the fly) or an existing
-    :class:`~repro.core.tree_store.TreeStore`.  Returns the path.
+    :class:`~repro.core.tree_store.TreeStore`.  ``planes`` (optional named
+    per-tree plane columns, e.g. the workspace planes of
+    :func:`repro.batch.planes.workspace_planes`) writes the version-2 arena
+    format; without planes the bytes are the version-1 format unchanged,
+    and both versions load through :func:`load_store`.  Returns the path.
     """
     if isinstance(trees, TreeStore):
-        if metadata is not None:
+        if metadata is not None or planes is not None:
             raise ValueError(
-                "metadata can only be set when packing trees, "
+                "metadata/planes can only be set when packing trees, "
                 "not when re-saving an existing store"
             )
         store = trees
     else:
-        store = TreeStore.pack(trees, metadata=metadata)
+        store = TreeStore.pack(trees, metadata=metadata, planes=planes)
     return store.save(path)
 
 

@@ -21,20 +21,34 @@ dispatch work items that carry only ``(arena name, tree index, instance
 parameters)`` — a few dozen bytes — instead of pickling full NumPy arrays
 per task.
 
-Arena layout (version 1, little-endian)::
+Arena layout (little-endian)::
 
     0   8 bytes   magic  b"MTARENA1"
-    8   u64       format version
+    8   u64       format version (1, or 2 when plane columns are present)
     16  u64       number of trees
     24  u64       total number of nodes over all trees
     32  u64       length of the JSON metadata block
     40  u64       offset of the data section (8-byte aligned)
-    48  ...       JSON metadata (per-tree names, free-form dataset metadata)
+    48  ...       JSON metadata (per-tree names, free-form dataset metadata;
+                  version 2 adds "planes": [[name, dtype], ...])
     data_offset   int64[n_trees + 1]   node offsets (prefix sums of sizes)
                   int64[total_nodes]   parent pointers (tree-local, root = -1)
                   f64[total_nodes]     fout
                   f64[total_nodes]     nexec
                   f64[total_nodes]     ptime
+    (version 2)   per plane, in metadata order:
+                  int64[n_trees + 1]   value offsets (prefix sums of lengths)
+                  dtype[total_values]  the concatenated per-tree plane values
+
+**Plane columns** (format version 2) are optional named per-tree arrays of
+arbitrary length riding in the same arena: the batch subsystem stores the
+static simulation planes of every tree (children CSR, AO/EO orders,
+activation request/release blocks, tree-pure scalars — see
+:mod:`repro.batch.planes`) so shared-memory workers and batch lanes inherit
+them zero-copy instead of recomputing them per process.  Version-1 files
+(no planes) load unchanged, and arenas packed without planes are written as
+version 1 byte for byte, so every pre-existing artefact and cache key is
+untouched.
 """
 
 from __future__ import annotations
@@ -43,7 +57,7 @@ import json
 import mmap
 import struct
 from pathlib import Path
-from typing import Any, Iterable, Iterator, Mapping
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -52,9 +66,15 @@ from .task_tree import NO_PARENT, TaskTree
 __all__ = ["TreeStore"]
 
 _MAGIC = b"MTARENA1"
-_VERSION = 1
+#: Highest format version this build reads; arenas without plane columns
+#: are still *written* as version 1 (byte-identical to the PR 2 format).
+_VERSION = 2
 #: magic, version, n_trees, total_nodes, meta_len, data_offset
 _HEADER = struct.Struct("<8sQQQQQ")
+
+#: Plane-column dtypes the arena accepts (8-byte scalars keep every section
+#: 8-aligned without padding bookkeeping).
+_PLANE_DTYPES = {"<i8", "<f8"}
 
 
 def _align8(offset: int) -> int:
@@ -117,7 +137,6 @@ class TreeStore:
 
         self._n_trees = int(n_trees)
         self._total_nodes = int(total_nodes)
-        self._nbytes = int(expected)
         self._names: list[list[str] | None] = meta.get("names") or [None] * self._n_trees
         self.metadata: dict[str, Any] = meta.get("metadata", {})
 
@@ -142,21 +161,82 @@ class TreeStore:
         self._nexec = view(np.float64, total_nodes, cursor)
         cursor += 8 * total_nodes
         self._ptime = view(np.float64, total_nodes, cursor)
+        cursor += 8 * total_nodes
+
+        # Version-2 plane columns, described by the embedded metadata; every
+        # section is bounds-checked before any view is materialised.
+        self._planes: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        plane_meta = meta.get("planes") or []
+        if version < 2 and plane_meta:
+            raise ValueError("not a TreeStore arena (version 1 cannot carry planes)")
+        for entry in plane_meta:
+            name, dtype_str = str(entry[0]), str(entry[1])
+            if dtype_str not in _PLANE_DTYPES:
+                raise ValueError(f"unsupported plane dtype {dtype_str!r} in arena")
+            expected += 8 * (n_trees + 1)
+            if size < expected:
+                raise ValueError("truncated TreeStore arena: plane offsets exceed the buffer")
+            plane_offsets = view(np.int64, n_trees + 1, cursor)
+            cursor += 8 * (n_trees + 1)
+            total_values = int(plane_offsets[-1]) if n_trees else 0
+            if int(plane_offsets[0]) != 0 or bool(np.any(np.diff(plane_offsets) < 0)):
+                raise ValueError("not a TreeStore arena (plane offsets are not monotone)")
+            expected += 8 * total_values
+            if size < expected:
+                raise ValueError("truncated TreeStore arena: plane values exceed the buffer")
+            values = view(np.dtype(dtype_str), total_values, cursor)
+            cursor += 8 * total_values
+            self._planes[name] = (plane_offsets, values)
+        self._nbytes = int(expected)
 
     # ------------------------------------------------------------------ #
     # constructors
     # ------------------------------------------------------------------ #
     @staticmethod
+    def _normalise_planes(
+        planes: "Mapping[str, Sequence[np.ndarray]] | None", n_trees: int
+    ) -> list[tuple[str, str, np.ndarray, list[np.ndarray]]]:
+        """Validate plane columns: ``(name, dtype str, offsets, arrays)`` each."""
+        if not planes:
+            return []
+        normalised = []
+        for name, arrays in planes.items():
+            arrays = [np.ascontiguousarray(a) for a in arrays]
+            if len(arrays) != n_trees:
+                raise ValueError(
+                    f"plane {name!r} has {len(arrays)} arrays for {n_trees} trees"
+                )
+            dtype = arrays[0].dtype if arrays else np.dtype(np.float64)
+            dtype_str = dtype.newbyteorder("<").str
+            if dtype_str not in _PLANE_DTYPES:
+                raise ValueError(
+                    f"plane {name!r} has dtype {dtype}; planes must be int64 or float64"
+                )
+            offsets = np.zeros(n_trees + 1, dtype=np.int64)
+            for i, array in enumerate(arrays):
+                if array.ndim != 1:
+                    raise ValueError(f"plane {name!r} arrays must be 1-D")
+                if array.dtype != dtype:
+                    raise ValueError(f"plane {name!r} mixes dtypes across trees")
+                offsets[i + 1] = offsets[i] + array.size
+            normalised.append((name, dtype_str, offsets, arrays))
+        return normalised
+
+    @classmethod
     def _layout(
-        trees: Iterable[TaskTree], metadata: Mapping[str, Any] | None
-    ) -> tuple[list[TaskTree], np.ndarray, bytes, int, int]:
-        """Compute the arena layout: (trees, offsets, meta bytes, data offset, nbytes)."""
+        cls,
+        trees: Iterable[TaskTree],
+        metadata: Mapping[str, Any] | None,
+        planes: "Mapping[str, Sequence[np.ndarray]] | None" = None,
+    ):
+        """Compute the arena layout: (trees, offsets, planes, meta bytes, data offset, nbytes)."""
         tree_list = list(trees)
         if not tree_list:
             raise ValueError("cannot pack an empty collection of trees")
         sizes = np.asarray([t.n for t in tree_list], dtype=np.int64)
         offsets = np.zeros(len(tree_list) + 1, dtype=np.int64)
         np.cumsum(sizes, out=offsets[1:])
+        plane_list = cls._normalise_planes(planes, len(tree_list))
 
         names: list[list[str] | None] = [
             list(t.names) if t.names is not None else None for t in tree_list
@@ -165,23 +245,30 @@ class TreeStore:
             "names": names if any(n is not None for n in names) else None,
             "metadata": dict(metadata or {}),
         }
+        if plane_list:
+            meta["planes"] = [[name, dtype_str] for name, dtype_str, _, _ in plane_list]
         meta_bytes = json.dumps(meta, separators=(",", ":")).encode("utf-8")
         data_offset = _align8(_HEADER.size + len(meta_bytes))
         nbytes = data_offset + 8 * (len(tree_list) + 1) + 8 * int(offsets[-1]) * 4
-        return tree_list, offsets, meta_bytes, data_offset, nbytes
+        for _, _, plane_offsets, _ in plane_list:
+            nbytes += 8 * (len(tree_list) + 1) + 8 * int(plane_offsets[-1])
+        return tree_list, offsets, plane_list, meta_bytes, data_offset, nbytes
 
     @staticmethod
     def _write_arena(
         buffer,
         tree_list: list[TaskTree],
         offsets: np.ndarray,
+        plane_list,
         meta_bytes: bytes,
         data_offset: int,
     ) -> None:
         """Serialise ``tree_list`` into ``buffer`` (bytearray or shm view)."""
         total = int(offsets[-1])
+        # Plane-less arenas keep the historical version-1 bytes.
+        version = 2 if plane_list else 1
         _HEADER.pack_into(
-            buffer, 0, _MAGIC, _VERSION, len(tree_list), total, len(meta_bytes), data_offset
+            buffer, 0, _MAGIC, version, len(tree_list), total, len(meta_bytes), data_offset
         )
         buffer[_HEADER.size : _HEADER.size + len(meta_bytes)] = meta_bytes
 
@@ -199,6 +286,18 @@ class TreeStore:
             for i, tree in enumerate(tree_list):
                 column[offsets[i] : offsets[i + 1]] = getattr(tree, attr)
             cursor += column.nbytes
+        for _, dtype_str, plane_offsets, arrays in plane_list:
+            off_view = np.frombuffer(
+                buffer, dtype=np.int64, count=len(tree_list) + 1, offset=cursor
+            )
+            off_view[:] = plane_offsets
+            cursor += off_view.nbytes
+            values = np.frombuffer(
+                buffer, dtype=np.dtype(dtype_str), count=int(plane_offsets[-1]), offset=cursor
+            )
+            for i, array in enumerate(arrays):
+                values[plane_offsets[i] : plane_offsets[i + 1]] = array
+            cursor += values.nbytes
 
     @classmethod
     def pack(
@@ -206,11 +305,19 @@ class TreeStore:
         trees: Iterable[TaskTree],
         *,
         metadata: Mapping[str, Any] | None = None,
+        planes: "Mapping[str, Sequence[np.ndarray]] | None" = None,
     ) -> "TreeStore":
-        """Pack ``trees`` into a fresh in-memory arena."""
-        tree_list, offsets, meta_bytes, data_offset, nbytes = cls._layout(trees, metadata)
+        """Pack ``trees`` (and optional plane columns) into a fresh arena.
+
+        ``planes`` maps plane names to one int64/float64 array per tree of
+        arbitrary per-tree length (see the module docstring); packing
+        without planes produces the version-1 bytes unchanged.
+        """
+        tree_list, offsets, plane_list, meta_bytes, data_offset, nbytes = cls._layout(
+            trees, metadata, planes
+        )
         arena = bytearray(nbytes)
-        cls._write_arena(arena, tree_list, offsets, meta_bytes, data_offset)
+        cls._write_arena(arena, tree_list, offsets, plane_list, meta_bytes, data_offset)
         return cls(arena)
 
     @classmethod
@@ -219,6 +326,7 @@ class TreeStore:
         trees: Iterable[TaskTree],
         *,
         metadata: Mapping[str, Any] | None = None,
+        planes: "Mapping[str, Sequence[np.ndarray]] | None" = None,
         name: str | None = None,
     ):
         """Pack ``trees`` straight into a new named shared-memory block.
@@ -230,10 +338,12 @@ class TreeStore:
         """
         from multiprocessing import shared_memory
 
-        tree_list, offsets, meta_bytes, data_offset, nbytes = cls._layout(trees, metadata)
+        tree_list, offsets, plane_list, meta_bytes, data_offset, nbytes = cls._layout(
+            trees, metadata, planes
+        )
         shm = shared_memory.SharedMemory(create=True, size=nbytes, name=name)
         try:
-            cls._write_arena(shm.buf, tree_list, offsets, meta_bytes, data_offset)
+            cls._write_arena(shm.buf, tree_list, offsets, plane_list, meta_bytes, data_offset)
         except BaseException:
             shm.unlink()
             try:
@@ -312,6 +422,7 @@ class TreeStore:
         a buffer with live exports raises :class:`BufferError`.
         """
         self._offsets = self._parent = self._fout = self._nexec = self._ptime = None  # type: ignore[assignment]
+        self._planes = {}
         self._buffer = None
         if self._shm is not None:
             self._shm.close()
@@ -359,6 +470,27 @@ class TreeStore:
             self._nexec[start:stop],
             self._ptime[start:stop],
         )
+
+    @property
+    def plane_names(self) -> tuple[str, ...]:
+        """Names of the plane columns carried by this arena (may be empty)."""
+        return tuple(self._planes)
+
+    def plane(self, name: str, index: int) -> np.ndarray:
+        """O(1) read-only view of plane ``name`` for tree ``index``."""
+        try:
+            offsets, values = self._planes[name]
+        except KeyError:
+            raise KeyError(
+                f"arena has no plane {name!r}; available: {sorted(self._planes)}"
+            ) from None
+        if not 0 <= index < self._n_trees:
+            raise IndexError(f"tree index {index} out of range [0, {self._n_trees})")
+        return values[int(offsets[index]) : int(offsets[index + 1])]
+
+    def planes_for(self, index: int) -> dict[str, np.ndarray]:
+        """All plane views of tree ``index`` as ``{name: array}`` (zero-copy)."""
+        return {name: self.plane(name, index) for name in self._planes}
 
     def tree(self, index: int, *, validate: bool = False) -> TaskTree:
         """Materialise tree ``index`` as a zero-copy :class:`TaskTree` view.

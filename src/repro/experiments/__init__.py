@@ -4,6 +4,7 @@ from .backends import (
     BACKEND_NAMES,
     ExecutionBackend,
     ProcessPoolBackend,
+    register_backend,
     SerialBackend,
     SharedMemoryBackend,
     dispatch_payload_stats,
@@ -39,6 +40,7 @@ __all__ = [
     "BACKEND_NAMES",
     "ExecutionBackend",
     "ProcessPoolBackend",
+    "register_backend",
     "SerialBackend",
     "SharedMemoryBackend",
     "dispatch_payload_stats",

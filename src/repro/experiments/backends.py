@@ -2,7 +2,11 @@
 
 :func:`repro.experiments.runner.run_sweep` delegates the *execution* of a
 sweep — which process simulates which (tree, processors, memory factor,
-heuristic) instance — to an :class:`ExecutionBackend`.  Three are provided:
+heuristic) instance — to an :class:`ExecutionBackend`.  Backends live in a
+:func:`register_backend` registry (so new strategies plug in without
+touching the resolver); four are built in — the three below plus
+:class:`repro.batch.BatchedBackend` (``"batched"``), which batches all the
+instances of one tree into a lock-step lane engine in-process:
 
 :class:`SerialBackend` (``"serial"``)
     Everything in-process, one instance after the other.  The canonical
@@ -58,6 +62,7 @@ __all__ = [
     "ProcessPoolBackend",
     "SharedMemoryBackend",
     "BACKEND_NAMES",
+    "register_backend",
     "resolve_backend",
     "iter_instances",
     "runs_per_tree",
@@ -66,9 +71,39 @@ __all__ = [
     "result_payload_stats",
 ]
 
+#: Registered backend factories: ``name -> factory(jobs, config)``.  Filled
+#: by :func:`register_backend`; the built-ins register at the bottom of this
+#: module, so importing it always yields the full set.
+_BACKEND_FACTORIES: dict[str, Any] = {}
+
 #: Backend names accepted by ``SweepConfig.backend`` and the ``--backend``
 #: CLI flags; ``"auto"`` resolves to serial or process depending on ``jobs``.
-BACKEND_NAMES: tuple[str, ...] = ("auto", "serial", "process", "shared-memory")
+#: Rebuilt by :func:`register_backend` — read it late (or via this module)
+#: rather than caching a from-import at startup.
+BACKEND_NAMES: tuple[str, ...] = ("auto",)
+
+
+def register_backend(name: str, factory) -> None:
+    """Register an execution backend under ``name``.
+
+    ``factory(jobs, config)`` must return an :class:`ExecutionBackend`;
+    ``jobs`` is the resolved worker-count request (which jobs-less backends
+    simply ignore, like :class:`SerialBackend` always has) and ``config``
+    the :class:`~repro.experiments.config.SweepConfig` being executed, so a
+    backend can pick up its own knobs (the batched backend reads
+    ``config.batch_size``).  Registration makes the name valid everywhere a
+    backend is spelled: ``SweepConfig.backend``, ``run_sweep(backend=...)``
+    and the ``--backend`` CLI flags.  ``"auto"`` is reserved (it is a
+    resolution rule, not a backend) and duplicate names are rejected so two
+    plugins cannot silently shadow each other.
+    """
+    global BACKEND_NAMES
+    if name == "auto":
+        raise ValueError('"auto" is a resolution rule, not a registrable backend')
+    if name in _BACKEND_FACTORIES:
+        raise ValueError(f"backend {name!r} is already registered")
+    _BACKEND_FACTORIES[name] = factory
+    BACKEND_NAMES = ("auto", *sorted(_BACKEND_FACTORIES))
 
 
 # --------------------------------------------------------------------------- #
@@ -279,8 +314,22 @@ def _shm_run_instance(payload: tuple[int, int, str, int, float]) -> "int | tuple
     context = contexts.get(tree_index)
     if context is None:
         config = _SHM_WORKER["config"]
-        tree = _SHM_WORKER["store"].tree(tree_index)
-        context = contexts[tree_index] = prepare_instance(tree, tree_index, config)
+        store = _SHM_WORKER["store"]
+        tree = store.tree(tree_index)
+        # Arenas published with the full workspace plane-column set hand the
+        # worker its static planes (orders, children CSR, request/release
+        # blocks, tree-pure scalars) zero-copy instead of recomputing them
+        # here; arenas with other/partial plane sets fall back to deriving.
+        planes = None
+        if store.plane_names:
+            from ..batch.planes import context_planes_present
+
+            candidate = store.planes_for(tree_index)
+            if context_planes_present(candidate):
+                planes = candidate
+        context = contexts[tree_index] = prepare_instance(
+            tree, tree_index, config, planes
+        )
         if len(contexts) > _SHM_CONTEXT_CACHE_SIZE:
             contexts.popitem(last=False)
     else:
@@ -308,10 +357,17 @@ class SharedMemoryBackend(ExecutionBackend):
 
     name = "shared-memory"
 
-    def __init__(self, jobs: int = 0) -> None:
+    def __init__(self, jobs: int = 0, *, share_planes: bool = False) -> None:
         if jobs < 0:
             raise ValueError("jobs must be >= 0 (0 means one worker per CPU)")
         self.jobs = int(jobs)
+        #: When set, the published arena carries the workspace plane columns
+        #: of every tree (:func:`repro.batch.planes.workspace_planes`):
+        #: workers adopt orders/workspaces/scalars zero-copy instead of
+        #: recomputing them per process.  The parent pays one derivation
+        #: pass up front, so this wins when (workers x trees) derivations
+        #: outweigh one serial pass — off by default.
+        self.share_planes = bool(share_planes)
 
     def dispatch_payloads(self, trees, config):
         return [
@@ -330,8 +386,13 @@ class SharedMemoryBackend(ExecutionBackend):
         if jobs <= 1:
             return SerialBackend().run(trees, config)
         payloads = self.dispatch_payloads(trees, config)
+        planes = None
+        if self.share_planes:
+            from ..batch.planes import workspace_planes
+
+            planes = workspace_planes(trees, config)
         # Serialise straight into the segment: no intermediate arena copy.
-        shm = TreeStore.pack_to_shared_memory(trees)
+        shm = TreeStore.pack_to_shared_memory(trees, planes=planes)
         result_shm = result_table = None
         try:
             # The result plane mirrors the input arena: one preallocated
@@ -425,13 +486,10 @@ def resolve_backend(
 
         resolved = _resolve_jobs(jobs, config, num_trees)
         return SerialBackend() if resolved <= 1 else ProcessPoolBackend(resolved)
-    if name == "serial":
-        return SerialBackend()
-    if name == "process":
-        return ProcessPoolBackend(effective_jobs)
-    if name == "shared-memory":
-        return SharedMemoryBackend(effective_jobs)
-    raise ValueError(f"unknown backend {name!r}; available: {sorted(BACKEND_NAMES)}")
+    factory = _BACKEND_FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(f"unknown backend {name!r}; available: {sorted(BACKEND_NAMES)}")
+    return factory(effective_jobs, config)
 
 
 def dispatch_payload_stats(
@@ -485,3 +543,21 @@ def _payload_sizes(payloads: Sequence[Any]) -> dict[str, float]:
         "mean_bytes": total / len(sizes) if sizes else 0.0,
         "max_bytes": float(max(sizes, default=0)),
     }
+
+
+# --------------------------------------------------------------------------- #
+# built-in backend registrations
+# --------------------------------------------------------------------------- #
+def _batched_factory(jobs: int, config: SweepConfig) -> ExecutionBackend:
+    # Imported lazily: the batch subsystem sits above this module and pulls
+    # in the scheduler kernels, which cold CLI paths should not pay for.
+    from ..batch import BatchedBackend
+
+    _ = jobs  # in-process, like SerialBackend
+    return BatchedBackend(batch_size=getattr(config, "batch_size", 0))
+
+
+register_backend("serial", lambda jobs, config: SerialBackend())
+register_backend("process", lambda jobs, config: ProcessPoolBackend(jobs))
+register_backend("shared-memory", lambda jobs, config: SharedMemoryBackend(jobs))
+register_backend("batched", _batched_factory)

@@ -54,11 +54,18 @@ class SweepConfig:
         sweep would produce.
     backend:
         Execution backend used by :func:`~repro.experiments.runner.run_sweep`
-        (see :mod:`repro.experiments.backends`): ``"serial"`` (in-process),
-        ``"process"`` (one pickled tree per pool task), ``"shared-memory"``
-        (zero-copy arena transfer, instance-granularity scheduling) or
-        ``"auto"`` (the default — serial for one worker, ``"process"``
-        otherwise, the historical behaviour).
+        (resolved through the :func:`repro.experiments.backends.register_backend`
+        registry): ``"serial"`` (in-process), ``"process"`` (one pickled tree
+        per pool task), ``"shared-memory"`` (zero-copy arena transfer,
+        instance-granularity scheduling), ``"batched"`` (the lane-batched
+        in-process stepper of :mod:`repro.batch` — all instances of one tree
+        advanced in lock-step) or ``"auto"`` (the default — serial for one
+        worker, ``"process"`` otherwise, the historical behaviour).
+    batch_size:
+        Lanes per batch for the ``"batched"`` backend; ``0`` (the CLI's
+        ``auto``) keeps every instance of one (tree, heuristic) in a single
+        batch, which maximises lane collapse.  Execution-only — like
+        ``jobs`` and ``backend`` it never changes the records produced.
     """
 
     schedulers: tuple[str, ...] = PAPER_HEURISTICS
@@ -70,6 +77,7 @@ class SweepConfig:
     validate: bool = True
     jobs: int = 1
     backend: str = "auto"
+    batch_size: int = 0
 
     def __post_init__(self) -> None:
         if not self.schedulers:
@@ -82,6 +90,8 @@ class SweepConfig:
             raise ValueError("min_completion_fraction must be in [0, 1]")
         if self.jobs < 0:
             raise ValueError("jobs must be >= 0 (0 means one worker per CPU)")
+        if self.batch_size < 0:
+            raise ValueError("batch_size must be >= 0 (0 means one batch per tree)")
         # Local import: backends imports this module for type information.
         from .backends import BACKEND_NAMES
 

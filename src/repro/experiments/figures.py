@@ -47,6 +47,7 @@ from ..schedulers.membooking import MemBookingReferenceScheduler, MemBookingSche
 from ..workloads.datasets import (
     WorkloadCache,
     assembly_dataset,
+    heavyleaf_dataset,
     height_study_dataset,
     synthetic_dataset,
 )
@@ -116,6 +117,9 @@ def _dataset(
         if kind == "synthetic":
             trees, _ = synthetic_dataset(scale, seed=seed)  # type: ignore[arg-type]
             return trees
+        if kind == "heavyleaf":
+            trees, _ = heavyleaf_dataset(scale, seed=seed)  # type: ignore[arg-type]
+            return trees
         if kind == "height":
             trees, _ = height_study_dataset(seed=seed)
             return trees
@@ -178,6 +182,7 @@ def _makespan_figure(
     processors: Sequence[int] = (8,),
     jobs: int = 1,
     backend: str = "auto",
+    batch_size: int = 0,
     cache: ResultCache | None = None,
     workload_cache: WorkloadCache | None = None,
 ) -> FigureResult:
@@ -186,7 +191,7 @@ def _makespan_figure(
         memory_factors=tuple(memory_factors),
         processors=tuple(processors),
         jobs=jobs,
-        backend=backend,
+        backend=backend, batch_size=batch_size,
     )
     records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
     series: Series = {}
@@ -249,6 +254,7 @@ def _speedup_figure(
     memory_factors: Sequence[float],
     jobs: int = 1,
     backend: str = "auto",
+    batch_size: int = 0,
     cache: ResultCache | None = None,
     workload_cache: WorkloadCache | None = None,
 ) -> FigureResult:
@@ -257,7 +263,7 @@ def _speedup_figure(
         schedulers=("Activation", "MemBooking"),
         memory_factors=tuple(memory_factors),
         jobs=jobs,
-        backend=backend,
+        backend=backend, batch_size=batch_size,
     )
     records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
     speedups = speedup_records(records)
@@ -305,11 +311,12 @@ def _memory_fraction_figure(
     memory_factors: Sequence[float],
     jobs: int = 1,
     backend: str = "auto",
+    batch_size: int = 0,
     cache: ResultCache | None = None,
     workload_cache: WorkloadCache | None = None,
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed, workload_cache)
-    config = SweepConfig(memory_factors=tuple(memory_factors), jobs=jobs, backend=backend)
+    config = SweepConfig(memory_factors=tuple(memory_factors), jobs=jobs, backend=backend, batch_size=batch_size)
     records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
     series: Series = {}
     for scheduler in config.schedulers:
@@ -359,12 +366,13 @@ def _timing_figure(
     title: str,
     jobs: int = 1,
     backend: str = "auto",
+    batch_size: int = 0,
     cache: ResultCache | None = None,
     workload_cache: WorkloadCache | None = None,
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed, workload_cache)
     config = SweepConfig(
-        memory_factors=(2.0,), processors=(8,), jobs=jobs, backend=backend
+        memory_factors=(2.0,), processors=(8,), jobs=jobs, backend=backend, batch_size=batch_size
     )
     records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
     series: Series = {}
@@ -406,6 +414,7 @@ def _order_choice_figure(
     memory_factors: Sequence[float],
     jobs: int = 1,
     backend: str = "auto",
+    batch_size: int = 0,
     cache: ResultCache | None = None,
     workload_cache: WorkloadCache | None = None,
 ) -> FigureResult:
@@ -427,7 +436,7 @@ def _order_choice_figure(
             activation_order=ao_name,
             execution_order=eo_name,
             jobs=jobs,
-            backend=backend,
+            backend=backend, batch_size=batch_size,
         )
         records = _cached_sweep(
             trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed)
@@ -474,6 +483,7 @@ def _processor_sweep_figure(
     processors: Sequence[int],
     jobs: int = 1,
     backend: str = "auto",
+    batch_size: int = 0,
     cache: ResultCache | None = None,
     workload_cache: WorkloadCache | None = None,
 ) -> FigureResult:
@@ -482,7 +492,7 @@ def _processor_sweep_figure(
         memory_factors=tuple(memory_factors),
         processors=tuple(processors),
         jobs=jobs,
-        backend=backend,
+        backend=backend, batch_size=batch_size,
     )
     records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
     series: Series = {}
@@ -524,22 +534,22 @@ def _processor_sweep_figure(
 # --------------------------------------------------------------------------- #
 # assembly-tree figures (2-9)
 # --------------------------------------------------------------------------- #
-def fig2(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig2(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 2: normalised makespan of the three heuristics, assembly trees."""
-    return _makespan_figure("fig2", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, cache=cache, workload_cache=workload_cache)
+    return _makespan_figure("fig2", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, batch_size=batch_size, cache=cache, workload_cache=workload_cache)
 
 
-def fig3(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig3(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 3: speedup of MemBooking over Activation, assembly trees."""
-    return _speedup_figure("fig3", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, cache=cache, workload_cache=workload_cache)
+    return _speedup_figure("fig3", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, batch_size=batch_size, cache=cache, workload_cache=workload_cache)
 
 
-def fig4(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig4(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 4: fraction of the available memory actually used, assembly trees."""
-    return _memory_fraction_figure("fig4", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, cache=cache, workload_cache=workload_cache)
+    return _memory_fraction_figure("fig4", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, batch_size=batch_size, cache=cache, workload_cache=workload_cache)
 
 
-def fig5(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig5(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 5: scheduling time as a function of the tree size, assembly trees."""
     return _timing_figure(
         "fig5",
@@ -550,13 +560,13 @@ def fig5(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "
         y_key="scheduling_seconds",
         title="Scheduling time vs tree size (assembly trees)",
         jobs=jobs,
-        backend=backend,
+        backend=backend, batch_size=batch_size,
         cache=cache,
         workload_cache=workload_cache,
     )
 
 
-def fig6(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig6(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 6: scheduling time per node as a function of the tree height."""
     return _timing_figure(
         "fig6",
@@ -567,19 +577,19 @@ def fig6(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "au
         y_key="scheduling_seconds_per_node",
         title="Per-node scheduling time vs tree height",
         jobs=jobs,
-        backend=backend,
+        backend=backend, batch_size=batch_size,
         cache=cache,
         workload_cache=workload_cache,
     )
 
 
-def fig7(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig7(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 7: speedup over Activation as a function of the tree height (factor 2)."""
     trees = _dataset("assembly", scale, seed, workload_cache) + _dataset(
         "height", scale, seed + 1, workload_cache
     )
     config = SweepConfig(
-        schedulers=("Activation", "MemBooking"), memory_factors=(2.0,), jobs=jobs, backend=backend
+        schedulers=("Activation", "MemBooking"), memory_factors=(2.0,), jobs=jobs, backend=backend, batch_size=batch_size
     )
     records = _cached_sweep(
         trees, config, cache=cache, dataset_key=("assembly+height", scale, seed)
@@ -607,37 +617,37 @@ def fig7(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "
     )
 
 
-def fig8(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig8(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 8: impact of the activation/execution order choice, assembly trees."""
-    return _order_choice_figure("fig8", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), jobs=jobs, backend=backend, cache=cache, workload_cache=workload_cache)
+    return _order_choice_figure("fig8", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), jobs=jobs, backend=backend, batch_size=batch_size, cache=cache, workload_cache=workload_cache)
 
 
-def fig9(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig9(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 9: normalised makespan for p in {2, 4, 8, 16, 32}, assembly trees."""
     return _processor_sweep_figure(
-        "fig9", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), (2, 4, 8, 16, 32), jobs=jobs, backend=backend, cache=cache, workload_cache=workload_cache
+        "fig9", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), (2, 4, 8, 16, 32), jobs=jobs, backend=backend, batch_size=batch_size, cache=cache, workload_cache=workload_cache
     )
 
 
 # --------------------------------------------------------------------------- #
 # synthetic-tree figures (10-15)
 # --------------------------------------------------------------------------- #
-def fig10(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig10(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 10: normalised makespan of the three heuristics, synthetic trees."""
-    return _makespan_figure("fig10", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, cache=cache, workload_cache=workload_cache)
+    return _makespan_figure("fig10", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, batch_size=batch_size, cache=cache, workload_cache=workload_cache)
 
 
-def fig11(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig11(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 11: speedup of MemBooking over Activation, synthetic trees."""
-    return _speedup_figure("fig11", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, cache=cache, workload_cache=workload_cache)
+    return _speedup_figure("fig11", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, batch_size=batch_size, cache=cache, workload_cache=workload_cache)
 
 
-def fig12(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig12(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 12: fraction of the available memory actually used, synthetic trees."""
-    return _memory_fraction_figure("fig12", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, cache=cache, workload_cache=workload_cache)
+    return _memory_fraction_figure("fig12", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, batch_size=batch_size, cache=cache, workload_cache=workload_cache)
 
 
-def fig13(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig13(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 13: scheduling time as a function of the tree size, synthetic trees."""
     return _timing_figure(
         "fig13",
@@ -648,34 +658,34 @@ def fig13(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = 
         y_key="scheduling_seconds",
         title="Scheduling time vs tree size (synthetic trees)",
         jobs=jobs,
-        backend=backend,
+        backend=backend, batch_size=batch_size,
         cache=cache,
         workload_cache=workload_cache,
     )
 
 
-def fig14(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig14(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 14: impact of the activation/execution order choice, synthetic trees."""
-    return _order_choice_figure("fig14", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), jobs=jobs, backend=backend, cache=cache, workload_cache=workload_cache)
+    return _order_choice_figure("fig14", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), jobs=jobs, backend=backend, batch_size=batch_size, cache=cache, workload_cache=workload_cache)
 
 
-def fig15(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig15(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 15: normalised makespan for p in {2, 4, 8, 16, 32}, synthetic trees."""
     return _processor_sweep_figure(
-        "fig15", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), (2, 4, 8, 16, 32), jobs=jobs, backend=backend, cache=cache, workload_cache=workload_cache
+        "fig15", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), (2, 4, 8, 16, 32), jobs=jobs, backend=backend, batch_size=batch_size, cache=cache, workload_cache=workload_cache
     )
 
 
 # --------------------------------------------------------------------------- #
 # text statistics and ablations
 # --------------------------------------------------------------------------- #
-def lb_stats(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def lb_stats(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Section 6 statistics: how often the memory-aware bound improves the classical one.
 
     ``jobs`` and ``backend`` are accepted for interface uniformity with the
     sweep-based figures; the bound statistics are cheap and computed in-process.
     """
-    _ = (jobs, backend, cache)
+    _ = (jobs, backend, batch_size, cache)
     series: Series = {}
     checks: dict[str, bool] = {}
     for kind, tree_seed in (("assembly", seed), ("synthetic", seed + 1)):
@@ -706,7 +716,7 @@ def lb_stats(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str
     )
 
 
-def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Section 7.4: MemBookingRedTree cannot schedule many trees under tight memory."""
     trees = _dataset("synthetic", scale, seed, workload_cache)
     config = SweepConfig(
@@ -715,7 +725,7 @@ def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1, back
         min_completion_fraction=0.0,
         validate=False,
         jobs=jobs,
-        backend=backend,
+        backend=backend, batch_size=batch_size,
     )
     records = _cached_sweep(
         trees, config, cache=cache, dataset_key=("synthetic", scale, seed)
@@ -754,13 +764,13 @@ def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1, back
     )
 
 
-def ablation_dispatch(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def ablation_dispatch(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Ablation: ALAP dispatch to computed candidates vs strict Algorithm 3 dispatch.
 
     ``jobs`` and ``backend`` are accepted for interface uniformity; the
     ablation drives hand-constructed scheduler variants and stays in-process.
     """
-    _ = (jobs, backend, cache)
+    _ = (jobs, backend, batch_size, cache)
     trees = _dataset("synthetic", scale, seed, workload_cache)
     factors = (1.0, 1.5, 2.0, 5.0)
     series: Series = {"alap_dispatch": [], "strict_dispatch": []}
@@ -807,7 +817,7 @@ def ablation_dispatch(scale: str = "small", seed: int = 7011, jobs: int = 1, bac
     )
 
 
-def ablation_lazy_subtree(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "auto", cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def ablation_lazy_subtree(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Ablation: optimised data structures vs the reference implementation (timing).
 
     Both implementations now share the heap-based ``ReadyQueue`` for their
@@ -820,7 +830,7 @@ def ablation_lazy_subtree(scale: str = "small", seed: int = 99, jobs: int = 1, b
     ablation measures in-process scheduling time, which parallel workers
     would distort.
     """
-    _ = (jobs, backend, cache, workload_cache)
+    _ = (jobs, backend, batch_size, cache, workload_cache)
     sizes = (200, 500, 1000, 2000) if scale != "tiny" else (100, 200, 400)
     from ..workloads.synthetic import SyntheticTreeConfig, synthetic_tree
 

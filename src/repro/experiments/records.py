@@ -620,7 +620,7 @@ class ResultCache:
 
     #: Config fields excluded from the key: they change how a sweep runs,
     #: never what it produces.
-    EXECUTION_ONLY_FIELDS = frozenset({"jobs", "backend"})
+    EXECUTION_ONLY_FIELDS = frozenset({"jobs", "backend", "batch_size"})
 
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)

@@ -33,7 +33,7 @@ backend (and worker count) ran the sweep.
 from __future__ import annotations
 
 import weakref
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -46,7 +46,14 @@ from .config import SweepConfig
 from .metrics import safe_ratio
 from .records import RecordTable
 
-__all__ = ["run_sweep", "run_single", "run_instance", "prepare_instance", "InstanceContext"]
+__all__ = [
+    "run_sweep",
+    "run_single",
+    "run_instance",
+    "complete_record",
+    "prepare_instance",
+    "InstanceContext",
+]
 
 
 #: Process-local memo of per-tree derived data keyed by tree *identity*:
@@ -86,9 +93,28 @@ class InstanceContext:
     the tree-pure ingredients of the makespan lower bounds (critical path,
     total work, memory-time demand) that used to be recomputed for every
     (processors, factor, heuristic) combination.
+
+    ``planes`` — the workspace plane columns of a
+    :class:`~repro.core.tree_store.TreeStore` arena (see
+    :mod:`repro.batch.planes`) — short-circuits every derivation: the
+    orders, the scalars and the workspace are adopted from the stored
+    arrays instead of recomputed, which is how shared-memory workers
+    inherit the static planes zero-copy instead of re-deriving them per
+    process.  The stored values were produced by this very code path in the
+    publishing process, so a plane-built context is indistinguishable from
+    a computed one.
     """
 
-    def __init__(self, tree: TaskTree, index: int, config: SweepConfig) -> None:
+    def __init__(
+        self,
+        tree: TaskTree,
+        index: int,
+        config: SweepConfig,
+        planes: "Mapping[str, Any] | None" = None,
+    ) -> None:
+        if planes is not None:
+            self._init_from_planes(tree, index, config, planes)
+            return
         self.tree = tree
         self.index = index
         self.height = height(tree)
@@ -125,6 +151,42 @@ class InstanceContext:
         # Static simulation planes, shared by every run on this instance.
         self.workspace = SimWorkspace(tree, self.ao, self.eo)
 
+    def _init_from_planes(
+        self,
+        tree: TaskTree,
+        index: int,
+        config: SweepConfig,
+        planes: "Mapping[str, Any]",
+    ) -> None:
+        """Adopt arena-resident workspace planes instead of recomputing."""
+        self.tree = tree
+        self.index = index
+        scalars = planes["ws:scalars"]
+        self.height = int(scalars[3])
+        ao_name = config.activation_order
+        eo_name = config.execution_order
+        self.ao = Ordering(planes["ws:ao_sequence"], name=ao_name)
+        self.eo = (
+            self.ao
+            if eo_name == ao_name
+            else Ordering(planes["ws:eo_sequence"], name=eo_name)
+        )
+        self.minimum_memory = float(scalars[0])
+        self.critical_path = float(scalars[1])
+        self.memtime_demand = float(scalars[2])
+        self.total_work = tree.total_work
+        self.workspace = SimWorkspace.from_planes(
+            tree,
+            self.ao,
+            self.eo,
+            child_offsets=planes["ws:child_offsets"],
+            child_nodes=planes["ws:child_nodes"],
+            request_ao=planes["ws:request_ao"],
+            release=planes["ws:release"],
+            ao_rank=planes["ws:ao_rank"],
+            eo_rank=planes["ws:eo_rank"],
+        )
+
 
 def _make_order(tree: TaskTree, name: str) -> Ordering:
     try:
@@ -139,31 +201,43 @@ def _make_order(tree: TaskTree, name: str) -> Ordering:
     return order
 
 
-def prepare_instance(tree: TaskTree, index: int, config: SweepConfig) -> InstanceContext:
-    """Precompute the orders and minimum memory of one tree."""
-    return InstanceContext(tree, index, config)
+def prepare_instance(
+    tree: TaskTree,
+    index: int,
+    config: SweepConfig,
+    planes: "Mapping[str, Any] | None" = None,
+) -> InstanceContext:
+    """Precompute the orders and minimum memory of one tree.
+
+    ``planes`` (the workspace plane columns of a ``TreeStore`` arena, see
+    :mod:`repro.batch.planes`) adopts the stored derivations instead of
+    recomputing them.
+    """
+    return InstanceContext(tree, index, config, planes)
 
 
-def run_single(
+def complete_record(
     context: InstanceContext,
     scheduler_name: str,
     num_processors: int,
     memory_factor: float,
     config: SweepConfig,
+    result,
+    *,
+    run_validation: bool = True,
 ) -> dict[str, Any]:
-    """Run one heuristic on one instance and return its flat record."""
+    """Validate a :class:`~repro.schedulers.base.ScheduleResult` and build its record.
+
+    This is the single definition of "simulation outcome -> sweep record":
+    :func:`run_single` feeds it the scalar schedulers' results and the
+    batched backend (:mod:`repro.batch`) feeds it lane results, so the two
+    paths cannot diverge on record contents.  ``run_validation=False`` lets
+    the batched backend skip re-validating a collapsed lane whose identical
+    schedule was already validated through its representative.
+    """
     tree = context.tree
     memory_limit = memory_factor * context.minimum_memory
-    scheduler = SCHEDULER_FACTORIES[scheduler_name]()
-    result = scheduler.schedule(
-        tree,
-        num_processors,
-        memory_limit,
-        ao=context.ao,
-        eo=context.eo,
-        workspace=context.workspace,
-    )
-    if config.validate and result.completed:
+    if run_validation and config.validate and result.completed:
         validate_schedule(tree, result).raise_if_invalid()
     # Same values as ``repro.bounds.lower_bounds`` with the tree-pure parts
     # (critical path, memory-time demand) read from the per-tree context.
@@ -196,6 +270,29 @@ def run_single(
         "failure_reason": result.failure_reason,
     }
     return record
+
+
+def run_single(
+    context: InstanceContext,
+    scheduler_name: str,
+    num_processors: int,
+    memory_factor: float,
+    config: SweepConfig,
+) -> dict[str, Any]:
+    """Run one heuristic on one instance and return its flat record."""
+    memory_limit = memory_factor * context.minimum_memory
+    scheduler = SCHEDULER_FACTORIES[scheduler_name]()
+    result = scheduler.schedule(
+        context.tree,
+        num_processors,
+        memory_limit,
+        ao=context.ao,
+        eo=context.eo,
+        workspace=context.workspace,
+    )
+    return complete_record(
+        context, scheduler_name, num_processors, memory_factor, config, result
+    )
 
 
 def run_instance(tree: TaskTree, index: int, config: SweepConfig) -> list[dict[str, Any]]:

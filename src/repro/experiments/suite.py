@@ -33,7 +33,7 @@ from pathlib import Path
 from typing import Iterable, Mapping
 
 from ..workloads.datasets import WorkloadCache
-from .backends import BACKEND_NAMES
+from . import backends as _backends
 from .figures import FIGURES, FigureResult, run_figure
 from .records import ResultCache
 from .reporting import write_series_csv
@@ -47,6 +47,7 @@ def run_suite(
     scale: str = "small",
     jobs: int = 1,
     backend: str = "auto",
+    batch_size: int = 0,
     cache: ResultCache | None = None,
     workload_cache: WorkloadCache | None = None,
 ) -> dict[str, FigureResult]:
@@ -73,6 +74,7 @@ def run_suite(
             scale=scale,
             jobs=jobs,
             backend=backend,
+            batch_size=batch_size,
             cache=cache,
             workload_cache=workload_cache,
         )
@@ -143,9 +145,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--backend",
-        choices=sorted(BACKEND_NAMES),
+        choices=sorted(_backends.BACKEND_NAMES),
         default="auto",
-        help="sweep execution backend (shared-memory = zero-copy arena transfer)",
+        help="sweep execution backend (shared-memory = zero-copy arena transfer, "
+        "batched = lane-batched in-process stepper)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        help="lanes per batch for --backend batched (0 = auto: all instances "
+        "of one tree per batch)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -187,6 +197,7 @@ def main(argv: list[str] | None = None) -> int:
         scale=args.scale,
         jobs=args.jobs,
         backend=args.backend,
+        batch_size=args.batch_size,
         cache=cache,
         workload_cache=workload_cache,
     )

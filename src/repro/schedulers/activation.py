@@ -31,13 +31,13 @@ parity suite asserts it.
 from __future__ import annotations
 
 from heapq import heappush
-from typing import Any, Sequence
+from typing import Any, MutableSequence, Sequence
 
 import numpy as np
 
 from .engine import EventDrivenScheduler
 
-__all__ = ["ActivationScheduler"]
+__all__ = ["ActivationScheduler", "run_activation_scan"]
 
 #: Activations taken one at a time before switching to the vector scan.
 #: Most ``_activate`` calls admit zero or a couple of nodes — a NumPy kernel
@@ -48,6 +48,82 @@ _SCALAR_BURST = 16
 #: First vector-scan chunk; doubled while a chunk activates fully, so a
 #: burst of k activations costs O(k) scanned entries, not O(n).
 _SCAN_CHUNK = 64
+
+
+def run_activation_scan(
+    pos: int,
+    total: int,
+    booked: float,
+    peak: float,
+    threshold: float,
+    req_list: Sequence[float],
+    req_ao: np.ndarray,
+    ao_seq: Sequence[int],
+    activated: "MutableSequence[int] | np.ndarray",
+    ch_not_fin: "Sequence[int] | np.ndarray",
+    eo_rank: Sequence[int],
+    ready: list[tuple[int, int]],
+) -> tuple[int, float, float]:
+    """The ``UpdateCAND-ACT`` transition of Algorithm 1, as a pure function.
+
+    Shared by the scalar :class:`ActivationScheduler` and the batched lane
+    kernel of :mod:`repro.batch.lanes`, so the two implementations cannot
+    drift: the exact ledger fold (scalar burst first, then the chunked
+    exact-``cumsum`` prefix scan) lives here once.  The per-node containers
+    are duck-typed — the scalar kernel passes a ``bytearray``/``list`` pair,
+    the lane kernel passes rows of its ``[B, n]`` NumPy planes — and the
+    arithmetic is pure-Python floats either way, so schedules are identical.
+
+    Returns the advanced ``(next position, booked, peak booked)``; activation
+    flags are set and newly available tasks pushed onto ``ready`` in place.
+    """
+    # One-at-a-time burst first (the typical call admits a handful of
+    # nodes): exactly the sequential ledger fold.
+    burst_end = min(total, pos + _SCALAR_BURST)
+    while pos < burst_end:
+        grown = booked + req_list[pos]
+        if grown > threshold:
+            return pos, booked, peak
+        booked = grown
+        if booked > peak:
+            peak = booked
+        node = ao_seq[pos]
+        activated[node] = 1
+        if ch_not_fin[node] == 0:
+            heappush(ready, (eo_rank[node], node))
+        pos += 1
+
+    # Long activation burst: switch to the vectorised prefix scan over
+    # the remaining AO suffix, in doubling chunks.
+    if pos < total:
+        chunk = _SCAN_CHUNK
+        while pos < total:
+            end = min(pos + chunk, total)
+            seg = req_ao[pos:end]
+            # Exact prefix fold: cum[k] is the booked total after the
+            # k-th activation of this chunk, the same chain of additions
+            # the sequential ledger performed.
+            cum = np.empty(seg.size + 1, dtype=np.float64)
+            cum[0] = booked
+            cum[1:] = seg
+            np.cumsum(cum, out=cum)
+            over = np.nonzero(cum[1:] > threshold)[0]
+            take = int(over[0]) if over.size else seg.size
+            if take:
+                high = float(cum[1 : take + 1].max())
+                if high > peak:
+                    peak = high
+                booked = float(cum[take])
+                for node in ao_seq[pos : pos + take]:
+                    activated[node] = 1
+                    if ch_not_fin[node] == 0:
+                        heappush(ready, (eo_rank[node], node))
+                pos += take
+            if take < seg.size:
+                break
+            chunk <<= 1
+
+    return pos, booked, peak
 
 
 class ActivationScheduler(EventDrivenScheduler):
@@ -95,66 +171,23 @@ class ActivationScheduler(EventDrivenScheduler):
         threshold = self._threshold
         req_list = self._req_ao_list
         # Scalar fast path: the first candidate not fitting is by far the
-        # common case mid-run; don't pay a NumPy kernel to find that out.
+        # common case mid-run; don't pay a function call to find that out.
         if booked + req_list[pos] > threshold:
             return
-        ao_seq = self._ao_seq_list
-        activated = self._activated
-        ch_not_fin = self._ch_not_fin
-        eo_rank = self._eo_rank_list
-        ready = self.ready_heap
-        peak = self._peak_booked
-
-        # One-at-a-time burst first (the typical call admits a handful of
-        # nodes): exactly the sequential ledger fold.
-        burst_end = min(total, pos + _SCALAR_BURST)
-        while pos < burst_end:
-            grown = booked + req_list[pos]
-            if grown > threshold:
-                self._next_activation = pos
-                self._booked = booked
-                self._peak_booked = peak
-                return
-            booked = grown
-            if booked > peak:
-                peak = booked
-            node = ao_seq[pos]
-            activated[node] = 1
-            if ch_not_fin[node] == 0:
-                heappush(ready, (eo_rank[node], node))
-            pos += 1
-
-        # Long activation burst: switch to the vectorised prefix scan over
-        # the remaining AO suffix, in doubling chunks.
-        if pos < total:
-            req_ao = self._req_ao
-            chunk = _SCAN_CHUNK
-            while pos < total:
-                end = min(pos + chunk, total)
-                seg = req_ao[pos:end]
-                # Exact prefix fold: cum[k] is the booked total after the
-                # k-th activation of this chunk, the same chain of additions
-                # the sequential ledger performed.
-                cum = np.empty(seg.size + 1, dtype=np.float64)
-                cum[0] = booked
-                cum[1:] = seg
-                np.cumsum(cum, out=cum)
-                over = np.nonzero(cum[1:] > threshold)[0]
-                take = int(over[0]) if over.size else seg.size
-                if take:
-                    high = float(cum[1 : take + 1].max())
-                    if high > peak:
-                        peak = high
-                    booked = float(cum[take])
-                    for node in ao_seq[pos : pos + take]:
-                        activated[node] = 1
-                        if ch_not_fin[node] == 0:
-                            heappush(ready, (eo_rank[node], node))
-                    pos += take
-                if take < seg.size:
-                    break
-                chunk <<= 1
-
+        pos, booked, peak = run_activation_scan(
+            pos,
+            total,
+            booked,
+            self._peak_booked,
+            threshold,
+            req_list,
+            self._req_ao,
+            self._ao_seq_list,
+            self._activated,
+            self._ch_not_fin,
+            self._eo_rank_list,
+            self.ready_heap,
+        )
         self._next_activation = pos
         self._booked = booked
         self._peak_booked = peak

@@ -182,6 +182,66 @@ class SimWorkspace:
         """True when this workspace was built for exactly this run's inputs."""
         return self.tree is tree and self.ao is ao and self.eo is eo
 
+    @classmethod
+    def from_planes(
+        cls,
+        tree: TaskTree,
+        ao: Ordering,
+        eo: Ordering,
+        *,
+        child_offsets: np.ndarray,
+        child_nodes: np.ndarray,
+        request_ao: np.ndarray,
+        release: np.ndarray,
+        ao_rank: "np.ndarray | None" = None,
+        eo_rank: "np.ndarray | None" = None,
+    ) -> "SimWorkspace":
+        """Rebuild a workspace from precomputed (arena-resident) planes.
+
+        The derived planes — the children CSR and the Activation
+        request/release block — are adopted instead of recomputed, which is
+        what lets shared-memory workers and batch lanes inherit them
+        zero-copy from a :class:`~repro.core.tree_store.TreeStore` arena
+        carrying workspace plane columns (see :mod:`repro.batch.planes`).
+        The planes must have been produced by a workspace built for the same
+        (tree, AO, EO); values are adopted verbatim, so the result is
+        indistinguishable from ``SimWorkspace(tree, ao, eo)``.
+        """
+        ws = cls.__new__(cls)
+        ws.tree = tree
+        ws.ao = ao
+        ws.eo = eo
+        ws.n = tree.n
+        ws.parent_list = tree.parent.tolist()
+        ws.ptime_list = tree.ptime.tolist()
+        ws.fout_list = tree.fout.tolist()
+        ws.mem_needed_list = tree.mem_needed.tolist()
+        offsets = np.asarray(child_offsets, dtype=np.int64)
+        ws.child_offsets = offsets.tolist()
+        ws.child_nodes = np.asarray(child_nodes, dtype=np.int64).tolist()
+        ws.num_children_list = np.diff(offsets).tolist()
+        ws.leaves_list = tree.leaves().tolist()
+        ws.ao_sequence_list = ao.sequence.tolist()
+        # Rank planes, when stored, are adopted like the other columns (the
+        # orders could re-derive them, but the arena already paid for them).
+        ws.ao_rank_list = (
+            ao.rank.tolist()
+            if ao_rank is None
+            else np.asarray(ao_rank, dtype=np.int64).tolist()
+        )
+        if eo is ao:
+            ws.eo_rank_list = ws.ao_rank_list
+        elif eo_rank is None:
+            ws.eo_rank_list = eo.rank.tolist()
+        else:
+            ws.eo_rank_list = np.asarray(eo_rank, dtype=np.int64).tolist()
+        ws._block = None
+        request = np.asarray(request_ao, dtype=np.float64)
+        ws.request_ao = request
+        ws.request_ao_list = request.tolist()
+        ws.release_list = np.asarray(release, dtype=np.float64).tolist()
+        return ws
+
 
 class EventDrivenScheduler(Scheduler):
     """Template-method implementation of the paper's dynamic schedulers."""

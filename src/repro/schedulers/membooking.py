@@ -70,6 +70,8 @@ from .engine import EventDrivenScheduler
 __all__ = [
     "MemBookingScheduler",
     "MemBookingReferenceScheduler",
+    "dispatch_memory",
+    "run_membooking_activation",
     "UN",
     "CAND",
     "ACT",
@@ -82,6 +84,157 @@ UN, CAND, ACT, RUN, FN = 0, 1, 2, 3, 4
 
 #: BookedBySubtree sentinel for "not yet computed" (lazy initialisation).
 _UNSET = -1.0
+
+
+def dispatch_memory(
+    j: int,
+    booked: list[float],
+    bbs: list[float],
+    state: bytearray,
+    parent: Sequence[int],
+    fout: Sequence[float],
+    mem_needed: Sequence[float],
+    mbooked: float,
+    tol: float,
+    peak: float,
+    dispatch_to_candidates: bool,
+) -> tuple[float, float]:
+    """``DispatchMemory`` (Algorithm 3 / Algorithm 6 lines 4-17) as a pure function.
+
+    Shared by the scalar :class:`_MemBookingCore` and the batched lane kernel
+    of :mod:`repro.batch.lanes` so both run the exact same ALAP dispatch
+    arithmetic (fold order, tolerance, clamps).  ``booked`` / ``bbs`` /
+    ``state`` are mutated in place; the updated global ledger
+    ``(mbooked, peak)`` is returned.
+    """
+    amount = booked[j]
+    booked[j] = 0.0
+    # MBooked release with the ledger's clamp semantics.
+    mbooked = mbooked - amount
+    if mbooked < 0.0:
+        if mbooked < -tol:
+            raise RuntimeError(
+                f"released more memory than was booked (booked={mbooked:.6g})"
+            )
+        mbooked = 0.0
+    bbs[j] = 0.0
+
+    i = parent[j]
+    if i < 0:
+        return mbooked, peak
+    fj = fout[j]
+    booked[i] += fj
+    mbooked += fj  # unenforced book (the freed amount covers it)
+    if mbooked > peak:
+        peak = mbooked
+    amount -= fj
+
+    # Dispatch the remaining freed memory As-Late-As-Possible along the
+    # ancestors: an ancestor only keeps what its subtree cannot provide
+    # by itself (the contribution C_{j,i}).
+    if dispatch_to_candidates:
+        while i >= 0 and amount > 1e-12 and bbs[i] != _UNSET:
+            contribution = min(amount, max(0.0, mem_needed[i] - (bbs[i] - amount)))
+            if contribution > 0.0:
+                booked[i] += contribution
+                mbooked += contribution
+                if mbooked > peak:
+                    peak = mbooked
+            bbs[i] -= amount - contribution
+            amount -= contribution
+            i = parent[i]
+    else:
+        while i >= 0 and amount > 1e-12 and state[i] in (ACT, RUN):
+            contribution = min(amount, max(0.0, mem_needed[i] - (bbs[i] - amount)))
+            if contribution > 0.0:
+                booked[i] += contribution
+                mbooked += contribution
+                if mbooked > peak:
+                    peak = mbooked
+            bbs[i] -= amount - contribution
+            amount -= contribution
+            i = parent[i]
+    return mbooked, peak
+
+
+def run_membooking_activation(
+    peek_candidate,
+    remove_candidate,
+    make_candidate,
+    mark_available,
+    booked: list[float],
+    bbs: list[float],
+    state: bytearray,
+    parent: Sequence[int],
+    mem_needed: Sequence[float],
+    offsets: Sequence[int],
+    child_nodes: Sequence[int],
+    ch_not_act: list[int],
+    ch_not_fin: list[int],
+    mbooked: float,
+    threshold: float,
+    peak: float,
+    dispatch_to_candidates: bool,
+) -> tuple[float, float, int, bool]:
+    """``UpdateCAND-ACT`` (Algorithm 4 / Algorithm 6 lines 18-30) as a pure function.
+
+    The candidate-structure specifics stay behind the four callables
+    (``peek`` / ``remove`` / ``make_candidate`` / ``mark_available``), which
+    is how the optimised heap structure, the reference linear scan and the
+    batched lane kernel all drive one transition definition.  Returns the
+    updated ``(mbooked, peak, activations, budget_blocked)``:
+    ``activations`` counts the nodes moved into ACT by this call and
+    ``budget_blocked`` reports whether the loop stopped because a candidate
+    did not fit the budget — the lane engine uses the pair to detect
+    fully-activated and never-memory-bound lanes.
+    """
+    activations = 0
+    budget_blocked = False
+    while True:
+        node = peek_candidate()
+        if node is None:
+            break
+        if dispatch_to_candidates:
+            # Lazy initialisation (Section 5.1): compute BookedBySubtree
+            # once; it is then kept up to date by the dispatch walks.
+            if bbs[node] == _UNSET:
+                total = 0.0
+                for c in child_nodes[offsets[node] : offsets[node + 1]]:
+                    total += bbs[c]
+                bbs[node] = booked[node] + total
+            subtree_booked = bbs[node]
+        else:
+            # Literal Algorithm 4: recompute the subtree booking at every
+            # attempt (the dispatch walks do not maintain it for
+            # candidates in this variant).
+            total = 0.0
+            for c in child_nodes[offsets[node] : offsets[node + 1]]:
+                total += bbs[c]
+            subtree_booked = booked[node] + total
+        missing = max(0.0, mem_needed[node] - subtree_booked)
+        if mbooked + missing > threshold:
+            budget_blocked = True
+            break  # wait for more memory; activation keeps following AO
+        mbooked += missing
+        if mbooked > peak:
+            peak = mbooked
+        booked[node] += missing
+        total = 0.0
+        for c in child_nodes[offsets[node] : offsets[node + 1]]:
+            total += bbs[c]
+        bbs[node] = booked[node] + total
+        remove_candidate(node)
+        state[node] = ACT
+        activations += 1
+        if ch_not_fin[node] == 0:
+            mark_available(node)
+        p = parent[node]
+        if p >= 0:
+            ch_not_act[p] -= 1
+            if ch_not_act[p] == 0:
+                state[p] = CAND
+                make_candidate(p)
+    return mbooked, peak, activations, budget_blocked
 
 
 class _MemBookingCore(EventDrivenScheduler):
@@ -155,127 +308,43 @@ class _MemBookingCore(EventDrivenScheduler):
     # DispatchMemory (Algorithm 3 / Algorithm 6 lines 4-17)
     # ------------------------------------------------------------------ #
     def _dispatch_memory(self, j: int) -> None:
-        booked = self._booked
-        bbs = self._bbs
-        parent = self._parent_list
-        fout = self._fout_list
-        mem_needed = self._mem_needed_list
-
-        amount = booked[j]
-        booked[j] = 0.0
-        # MBooked release with the ledger's clamp semantics.
-        mbooked = self._mbooked - amount
-        if mbooked < 0.0:
-            if mbooked < -self._tol:
-                raise RuntimeError(
-                    f"released more memory than was booked (booked={mbooked:.6g})"
-                )
-            mbooked = 0.0
-        bbs[j] = 0.0
-
-        i = parent[j]
-        if i < 0:
-            self._mbooked = mbooked
-            return
-        fj = fout[j]
-        booked[i] += fj
-        mbooked += fj  # unenforced book (the freed amount covers it)
-        peak = self._peak_booked
-        if mbooked > peak:
-            peak = mbooked
-        amount -= fj
-
-        # Dispatch the remaining freed memory As-Late-As-Possible along the
-        # ancestors: an ancestor only keeps what its subtree cannot provide
-        # by itself (the contribution C_{j,i}).
-        if self.dispatch_to_candidates:
-            while i >= 0 and amount > 1e-12 and bbs[i] != _UNSET:
-                contribution = min(amount, max(0.0, mem_needed[i] - (bbs[i] - amount)))
-                if contribution > 0.0:
-                    booked[i] += contribution
-                    mbooked += contribution
-                    if mbooked > peak:
-                        peak = mbooked
-                bbs[i] -= amount - contribution
-                amount -= contribution
-                i = parent[i]
-        else:
-            state = self._state
-            while i >= 0 and amount > 1e-12 and state[i] in (ACT, RUN):
-                contribution = min(amount, max(0.0, mem_needed[i] - (bbs[i] - amount)))
-                if contribution > 0.0:
-                    booked[i] += contribution
-                    mbooked += contribution
-                    if mbooked > peak:
-                        peak = mbooked
-                bbs[i] -= amount - contribution
-                amount -= contribution
-                i = parent[i]
-        self._mbooked = mbooked
-        self._peak_booked = peak
+        self._mbooked, self._peak_booked = dispatch_memory(
+            j,
+            self._booked,
+            self._bbs,
+            self._state,
+            self._parent_list,
+            self._fout_list,
+            self._mem_needed_list,
+            self._mbooked,
+            self._tol,
+            self._peak_booked,
+            self.dispatch_to_candidates,
+        )
 
     # ------------------------------------------------------------------ #
     # UpdateCAND-ACT (Algorithm 4 / Algorithm 6 lines 18-30)
     # ------------------------------------------------------------------ #
     def _activate(self) -> None:
-        booked = self._booked
-        bbs = self._bbs
-        state = self._state
-        parent = self._parent_list
-        mem_needed = self._mem_needed_list
-        offsets = self._child_offsets
-        child_nodes = self._child_nodes
-        ch_not_act = self._ch_not_act
-        ch_not_fin = self._ch_not_fin
-        mbooked = self._mbooked
-        threshold = self._threshold
-        peak = self._peak_booked
-        dispatch_to_candidates = self.dispatch_to_candidates
-
-        while True:
-            node = self._peek_candidate()
-            if node is None:
-                break
-            if dispatch_to_candidates:
-                # Lazy initialisation (Section 5.1): compute BookedBySubtree
-                # once; it is then kept up to date by the dispatch walks.
-                if bbs[node] == _UNSET:
-                    total = 0.0
-                    for c in child_nodes[offsets[node] : offsets[node + 1]]:
-                        total += bbs[c]
-                    bbs[node] = booked[node] + total
-                subtree_booked = bbs[node]
-            else:
-                # Literal Algorithm 4: recompute the subtree booking at every
-                # attempt (the dispatch walks do not maintain it for
-                # candidates in this variant).
-                total = 0.0
-                for c in child_nodes[offsets[node] : offsets[node + 1]]:
-                    total += bbs[c]
-                subtree_booked = booked[node] + total
-            missing = max(0.0, mem_needed[node] - subtree_booked)
-            if mbooked + missing > threshold:
-                break  # wait for more memory; activation keeps following AO
-            mbooked += missing
-            if mbooked > peak:
-                peak = mbooked
-            booked[node] += missing
-            total = 0.0
-            for c in child_nodes[offsets[node] : offsets[node + 1]]:
-                total += bbs[c]
-            bbs[node] = booked[node] + total
-            self._remove_candidate(node)
-            state[node] = ACT
-            if ch_not_fin[node] == 0:
-                self._mark_available(node)
-            p = parent[node]
-            if p >= 0:
-                ch_not_act[p] -= 1
-                if ch_not_act[p] == 0:
-                    state[p] = CAND
-                    self._make_candidate(p)
-        self._mbooked = mbooked
-        self._peak_booked = peak
+        self._mbooked, self._peak_booked, _, _ = run_membooking_activation(
+            self._peek_candidate,
+            self._remove_candidate,
+            self._make_candidate,
+            self._mark_available,
+            self._booked,
+            self._bbs,
+            self._state,
+            self._parent_list,
+            self._mem_needed_list,
+            self._child_offsets,
+            self._child_nodes,
+            self._ch_not_act,
+            self._ch_not_fin,
+            self._mbooked,
+            self._threshold,
+            self._peak_booked,
+            self.dispatch_to_candidates,
+        )
 
     # ------------------------------------------------------------------ #
     # engine events

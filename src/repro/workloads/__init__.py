@@ -6,6 +6,7 @@ from .datasets import (
     DatasetSpec,
     WorkloadCache,
     assembly_dataset,
+    heavyleaf_dataset,
     height_study_dataset,
     synthetic_dataset,
 )
@@ -23,6 +24,7 @@ from .families import (
     balanced_tree,
     binary_reduction_tree,
     caterpillar,
+    heavy_leaf_caterpillar,
     chain,
     comb,
     random_attachment_tree,
@@ -43,6 +45,7 @@ __all__ = [
     "GENERATOR_VERSION",
     "WorkloadCache",
     "assembly_dataset",
+    "heavyleaf_dataset",
     "height_study_dataset",
     "synthetic_dataset",
     "Supernode",
@@ -56,6 +59,7 @@ __all__ = [
     "balanced_tree",
     "binary_reduction_tree",
     "caterpillar",
+    "heavy_leaf_caterpillar",
     "chain",
     "comb",
     "random_attachment_tree",

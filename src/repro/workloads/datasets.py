@@ -67,6 +67,7 @@ __all__ = [
     "WorkloadCache",
     "assembly_dataset",
     "synthetic_dataset",
+    "heavyleaf_dataset",
     "height_study_dataset",
 ]
 
@@ -75,7 +76,11 @@ Scale = Literal["tiny", "small", "medium", "large"]
 #: Version of the tree generators; part of every workload-cache key.  Bump
 #: it whenever any generator's output changes for the same (scale, seed), so
 #: previously cached arenas are invalidated instead of silently reused.
-GENERATOR_VERSION = 1
+#: v2: the heavy-leaf caterpillar family joined the generated datasets — a
+#: new kind rather than a change to an existing one, so the bump is a
+#: conservative one-time invalidation marking the revision of the keyed
+#: generator set (pre-bump caches regenerate once on the next run).
+GENERATOR_VERSION = 2
 
 #: Grid/matrix sizes per scale for the assembly surrogate.  Each entry is a
 #: list of (kind, parameters) pairs; every pair yields one tree.
@@ -291,6 +296,49 @@ def synthetic_dataset(
     config = SyntheticTreeConfig(num_nodes=nodes)
     trees = synthetic_trees(count, config, rng=seed)
     spec = DatasetSpec(name="synthetic", scale=scale, seed=seed, num_trees=len(trees))
+    return trees, spec
+
+
+#: Heavy-leaf caterpillar recipes per scale: (spine, legs, leaf_output) plus
+#: a jitter so the dataset is a family, not one repeated tree.
+_HEAVYLEAF_SIZES: dict[str, tuple[tuple[int, int], ...]] = {
+    "tiny": ((40, 2), (60, 1), (30, 3)),
+    "small": ((300, 2), (500, 1), (200, 3), (400, 2), (250, 4)),
+    "medium": ((800, 2), (1200, 1), (600, 3), (1000, 2), (700, 4), (900, 3)),
+    "large": ((2000, 2), (3000, 1), (1500, 3), (2500, 2), (1800, 4), (2200, 3)),
+}
+
+
+def heavyleaf_dataset(
+    scale: Scale = "small",
+    *,
+    seed: int = 4099,
+) -> tuple[list[TaskTree], DatasetSpec]:
+    """Heavy-leaf caterpillar dataset (deep chains fed by heavy leaf inputs).
+
+    The worst-case family for conservative memory booking (the Activation
+    policy books the whole chain at once) and the saturation regime of the
+    batched lane engine: parallelism is bounded by the legs per spine node,
+    so most of a processor-sweep grid collapses onto a few distinct
+    schedules.  Leaf volumes are jittered per tree (seeded), so the trees
+    are a family rather than copies.
+    """
+    if scale not in _HEAVYLEAF_SIZES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_HEAVYLEAF_SIZES)}")
+    rng = as_rng(seed)
+    trees = [
+        families.heavy_leaf_caterpillar(
+            spine,
+            legs,
+            leaf_output=50.0,
+            spine_output=1.0,
+            nexec=2.0,
+            rng=rng,
+            leaf_jitter=0.3,
+        )
+        for spine, legs in _HEAVYLEAF_SIZES[scale]
+    ]
+    spec = DatasetSpec(name="heavy-leaf", scale=scale, seed=seed, num_trees=len(trees))
     return trees, spec
 
 

@@ -29,6 +29,7 @@ __all__ = [
     "star",
     "balanced_tree",
     "caterpillar",
+    "heavy_leaf_caterpillar",
     "spine_with_subtrees",
     "comb",
     "random_attachment_tree",
@@ -144,6 +145,70 @@ def caterpillar(
         fout=_resolve(fout, n),
         nexec=_resolve(nexec, n),
         ptime=_resolve(ptime, n),
+    )
+
+
+def heavy_leaf_caterpillar(
+    spine_length: int,
+    legs_per_node: int = 2,
+    *,
+    leaf_output: float = 50.0,
+    spine_output: float = 1.0,
+    nexec: _DataSpec = 0.0,
+    leaf_ptime: float = 1.0,
+    spine_ptime: float = 2.0,
+    rng: np.random.Generator | int | None = None,
+    leaf_jitter: float = 0.0,
+) -> TaskTree:
+    """A caterpillar whose leaves carry (almost all of) the data volume.
+
+    Each spine node consumes ``legs_per_node`` heavy leaf inputs
+    (``leaf_output`` each) and emits a light ``spine_output`` up the chain.
+    This is a worst case for conservative memory booking: the Activation
+    policy books the execution data of the *whole* chain although the spine
+    can only ever run one node at a time, which starves the heavy leaves of
+    memory and serialises the little parallelism there is; MemBooking
+    recycles each spine step's leaf volume and keeps the legs parallel.  It
+    is also the saturation regime of the batched lane engine — available
+    parallelism is ``legs_per_node + 1`` no matter how many processors the
+    grid asks for — which is what makes the family the scenario axis of the
+    batch benchmarks.
+
+    ``leaf_jitter > 0`` draws each leaf output uniformly from
+    ``leaf_output * [1 - jitter, 1 + jitter]`` (seeded via ``rng``) so a
+    dataset of these trees is not a single repeated instance.
+    """
+    if spine_length < 1:
+        raise ValueError("spine_length must be at least 1")
+    if legs_per_node < 1:
+        raise ValueError("legs_per_node must be at least 1 (leaves are the point)")
+    if leaf_output <= 0 or spine_output <= 0:
+        raise ValueError("outputs must be positive")
+    if not 0.0 <= leaf_jitter < 1.0:
+        raise ValueError("leaf_jitter must be in [0, 1)")
+    parents = [i + 1 for i in range(spine_length - 1)] + [NO_PARENT]
+    for spine_node in range(spine_length):
+        for _ in range(legs_per_node):
+            parents.append(spine_node)
+    n = len(parents)
+    num_leaves = spine_length * legs_per_node
+    fout = np.empty(n, dtype=np.float64)
+    fout[:spine_length] = spine_output
+    if leaf_jitter > 0.0:
+        generator = as_rng(rng)
+        fout[spine_length:] = leaf_output * generator.uniform(
+            1.0 - leaf_jitter, 1.0 + leaf_jitter, size=num_leaves
+        )
+    else:
+        fout[spine_length:] = leaf_output
+    ptime = np.empty(n, dtype=np.float64)
+    ptime[:spine_length] = spine_ptime
+    ptime[spine_length:] = leaf_ptime
+    return TaskTree(
+        np.asarray(parents, dtype=np.int64),
+        fout=fout,
+        nexec=_resolve(nexec, n),
+        ptime=ptime,
     )
 
 

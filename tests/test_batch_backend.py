@@ -1,0 +1,136 @@
+"""The ``batched`` execution backend and the backend registry."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.batch import BatchedBackend
+from repro.experiments import SweepConfig, run_sweep
+from repro.experiments.backends import (
+    BACKEND_NAMES,
+    SerialBackend,
+    register_backend,
+    resolve_backend,
+)
+import repro.experiments.backends as backends_mod
+from repro.schedulers import SCHEDULER_FACTORIES
+from repro.schedulers.reference import REFERENCE_FACTORIES
+from repro.workloads.synthetic import SyntheticTreeConfig, synthetic_trees
+
+TIMING_FIELDS = frozenset({"scheduling_seconds", "scheduling_seconds_per_node"})
+
+
+def record_bytes(records):
+    return [
+        pickle.dumps({k: v for k, v in r.items() if k not in TIMING_FIELDS})
+        for r in records
+    ]
+
+
+@pytest.fixture
+def trees():
+    return synthetic_trees(3, SyntheticTreeConfig(num_nodes=90), rng=5)
+
+
+@pytest.fixture
+def config():
+    return SweepConfig(
+        memory_factors=(1.0, 1.5, 4.0),
+        processors=(2, 8),
+        min_completion_fraction=0.0,
+    )
+
+
+class TestRegistry:
+    def test_builtin_names_registered(self):
+        assert set(BACKEND_NAMES) == {"auto", "serial", "process", "shared-memory", "batched"}
+
+    def test_register_and_resolve_custom_backend(self, config):
+        calls = []
+
+        def factory(jobs, cfg):
+            calls.append((jobs, cfg))
+            return SerialBackend()
+
+        register_backend("custom-test", factory)
+        try:
+            assert "custom-test" in backends_mod.BACKEND_NAMES
+            backend = resolve_backend("custom-test", config, 3, jobs=4)
+            assert isinstance(backend, SerialBackend)
+            assert calls == [(4, config)]
+        finally:
+            backends_mod._BACKEND_FACTORIES.pop("custom-test")
+            backends_mod.BACKEND_NAMES = (
+                "auto", *sorted(backends_mod._BACKEND_FACTORIES)
+            )
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("serial", lambda jobs, cfg: SerialBackend())
+
+    def test_auto_is_reserved(self):
+        with pytest.raises(ValueError, match="resolution rule"):
+            register_backend("auto", lambda jobs, cfg: SerialBackend())
+
+    def test_unknown_backend_lists_names(self, config):
+        with pytest.raises(ValueError, match="batched"):
+            resolve_backend("teleport", config, 3)
+
+    def test_batched_resolves_with_config_batch_size(self, config):
+        backend = resolve_backend("batched", config.with_overrides(batch_size=7), 3)
+        assert isinstance(backend, BatchedBackend)
+        assert backend.batch_size == 7
+
+    def test_jobsless_batched_instance_with_explicit_jobs_warns(self, config):
+        """The jobs-override warning semantics survive the registry refactor."""
+        with pytest.warns(RuntimeWarning, match="jobs=4"):
+            resolve_backend(BatchedBackend(), config, 3, jobs=4)
+
+    def test_batched_instance_accepts_single_worker(self, config, recwarn):
+        backend = BatchedBackend()
+        assert resolve_backend(backend, config, 3, jobs=1) is backend
+        assert not [w for w in recwarn.list if issubclass(w.category, RuntimeWarning)]
+
+
+class TestBatchedBackend:
+    def test_config_spelling_matches_serial(self, trees, config):
+        serial = run_sweep(trees, config, backend=SerialBackend())
+        batched = run_sweep(trees, config.with_overrides(backend="batched"))
+        assert record_bytes(batched) == record_bytes(serial)
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 5])
+    def test_batch_size_chunking_is_invisible(self, trees, config, batch_size):
+        serial = run_sweep(trees, config, backend=SerialBackend())
+        chunked = run_sweep(trees, config, backend=BatchedBackend(batch_size=batch_size))
+        assert record_bytes(chunked) == record_bytes(serial)
+
+    def test_negative_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            BatchedBackend(batch_size=-1)
+        with pytest.raises(ValueError, match="batch_size"):
+            SweepConfig(batch_size=-1)
+
+    def test_empty_sweep(self, config):
+        assert len(BatchedBackend().run([], config)) == 0
+
+    def test_patched_scheduler_registry_falls_back_to_scalar(
+        self, trees, config, monkeypatch
+    ):
+        """A factory registry pointing elsewhere must bypass the lane kernels.
+
+        The engine-speed benchmarks monkeypatch the reference schedulers into
+        ``SCHEDULER_FACTORIES``; the batched backend must then produce what
+        those factories produce, not what its (now stale) kernels would.
+        """
+        for name, factory in REFERENCE_FACTORIES.items():
+            monkeypatch.setitem(SCHEDULER_FACTORIES, name, factory)
+        serial = run_sweep(trees, config, backend=SerialBackend())
+        batched = run_sweep(trees, config, backend=BatchedBackend())
+        assert record_bytes(batched) == record_bytes(serial)
+
+    def test_batch_size_excluded_from_result_cache_key(self, config):
+        from repro.experiments.records import ResultCache
+
+        assert "batch_size" in ResultCache.EXECUTION_ONLY_FIELDS

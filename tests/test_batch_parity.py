@@ -1,0 +1,192 @@
+"""Cross-kernel parity of the batched lane engine.
+
+The contract of :mod:`repro.batch` is *bit-identical* records: for any
+sweep, ``BatchedBackend`` must reproduce ``SerialBackend`` exactly (timing
+fields aside), across heuristics, AO/EO choices, memory factors — failure
+paths included — and regardless of which internal path (lock-step
+wavefront, per-lane heap drain, lane collapse) resolved each lane.  The
+seeded randomized fuzz below drives random trees through the full grid and
+asserts three-way equality: batched == scalar kernels == the frozen
+:mod:`repro.schedulers.reference` generation (the serial path with the
+reference factories patched in), with exact float comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.batch.lanes as lanes_mod
+from repro.batch import BatchedBackend, LANE_KERNELS, simulate_lanes
+from repro.experiments import SweepConfig, run_sweep
+from repro.experiments.backends import SerialBackend
+from repro.experiments.runner import prepare_instance
+from repro.schedulers import SCHEDULER_FACTORIES
+from repro.schedulers.reference import REFERENCE_FACTORIES
+from repro.workloads.families import heavy_leaf_caterpillar, random_attachment_tree
+from repro.workloads.synthetic import SyntheticTreeConfig, synthetic_tree
+
+TIMING_FIELDS = frozenset({"scheduling_seconds", "scheduling_seconds_per_node"})
+
+
+def record_bytes(records):
+    """Pickled records minus wall-clock fields: literal byte identity."""
+    return [
+        pickle.dumps({k: v for k, v in r.items() if k not in TIMING_FIELDS})
+        for r in records
+    ]
+
+
+def fuzz_trees(seed: int):
+    """A small zoo of random trees: bushy, chainy, and heavy-leaf shapes."""
+    rng = np.random.default_rng(seed)
+    return [
+        synthetic_tree(SyntheticTreeConfig(num_nodes=int(rng.integers(60, 220))), rng=rng),
+        random_attachment_tree(int(rng.integers(40, 120)), rng=rng),
+        heavy_leaf_caterpillar(
+            int(rng.integers(15, 50)),
+            int(rng.integers(1, 4)),
+            leaf_output=40.0,
+            nexec=1.5,
+            rng=rng,
+            leaf_jitter=0.4,
+        ),
+    ]
+
+
+#: Sweep shapes covering AO == EO and AO != EO, tight factors (failure
+#: paths: MemBookingRedTree fails routinely at 1.0, Activation under
+#: pressure) and the saturation/slack regimes the collapse rules target.
+FUZZ_CONFIGS = [
+    SweepConfig(
+        memory_factors=(1.0, 1.3, 2.0, 6.0, 20.0),
+        processors=(1, 2, 5, 16),
+        min_completion_fraction=0.0,
+        validate=False,
+    ),
+    SweepConfig(
+        schedulers=("Activation", "MemBooking", "MemBookingReference"),
+        memory_factors=(1.0, 1.5, 4.0),
+        processors=(3, 8),
+        activation_order="memPO",
+        execution_order="CP",
+        min_completion_fraction=0.0,
+    ),
+    SweepConfig(
+        schedulers=("MemBooking", "Activation"),
+        memory_factors=(1.5, 2.0, 5.0, 20.0),
+        processors=(2, 4, 8, 16, 32),
+        activation_order="OptSeq",
+        execution_order="OptSeq",
+        min_completion_fraction=0.0,
+    ),
+]
+
+
+@pytest.mark.parametrize("seed", [11, 4242, 90210])
+@pytest.mark.parametrize("config_index", range(len(FUZZ_CONFIGS)))
+def test_batched_equals_scalar_equals_reference(seed, config_index, monkeypatch):
+    """Randomized three-way parity with exact float equality."""
+    trees = fuzz_trees(seed)
+    config = FUZZ_CONFIGS[config_index]
+
+    serial = record_bytes(run_sweep(trees, config, backend=SerialBackend()))
+    batched = record_bytes(run_sweep(trees, config, backend=BatchedBackend()))
+    assert batched == serial, "batched records diverged from the scalar kernels"
+
+    # The scalar kernels are themselves pinned to the frozen reference
+    # generation: replay the sweep with the reference factories and require
+    # the same bytes again, closing the batched -> scalar -> reference chain.
+    for name, factory in REFERENCE_FACTORIES.items():
+        monkeypatch.setitem(SCHEDULER_FACTORIES, name, factory)
+    reference = record_bytes(run_sweep(trees, config, backend=SerialBackend()))
+    assert serial == reference, "scalar kernels diverged from the reference engine"
+
+
+@pytest.mark.parametrize("seed", [7, 365])
+def test_failure_paths_covered_and_identical(seed):
+    """The fuzz grid genuinely exercises deadlocks, with identical reasons."""
+    trees = fuzz_trees(seed)
+    config = SweepConfig(
+        memory_factors=(1.0, 1.05),
+        processors=(2, 8),
+        min_completion_fraction=0.0,
+        validate=False,
+    )
+    serial = run_sweep(trees, config, backend=SerialBackend())
+    batched = run_sweep(trees, config, backend=BatchedBackend())
+    assert record_bytes(batched) == record_bytes(serial)
+    failed = int(np.count_nonzero(~serial.column("completed")))
+    assert failed > 0, "tight-memory grid produced no failures to compare"
+    assert list(batched.column("failure_reason")) == list(serial.column("failure_reason"))
+
+
+@pytest.mark.parametrize("kernel_name", sorted(LANE_KERNELS))
+def test_lane_results_match_scalar_schedules_exactly(kernel_name, rng):
+    """simulate_lanes reproduces full ScheduleResults, not just records.
+
+    Start/finish times, processor assignment, event counts, failure strings
+    and the booked-memory extras must all be bit-identical to running the
+    scalar scheduler once per lane.
+    """
+    tree = synthetic_tree(SyntheticTreeConfig(num_nodes=150), rng=rng)
+    config = SweepConfig()
+    context = prepare_instance(tree, 0, config)
+    kernel_cls = LANE_KERNELS[kernel_name]
+    lanes = [
+        (p, factor * context.minimum_memory)
+        for p in (1, 2, 7, 32)
+        for factor in (1.0, 1.4, 3.0, 25.0)
+    ]
+    outcomes = simulate_lanes(
+        kernel_cls, tree, context.ao, context.eo, context.workspace, lanes
+    )
+    assert len(outcomes) == len(lanes)
+    assert any(clone for _, clone in outcomes), "grid chosen to exercise lane collapse"
+    for (p, limit), (result, is_clone) in zip(lanes, outcomes):
+        scalar = kernel_cls.scheduler_class().schedule(
+            tree, p, limit, ao=context.ao, eo=context.eo, workspace=context.workspace
+        )
+        assert result.scheduler == scalar.scheduler
+        assert result.completed == scalar.completed
+        assert result.failure_reason == scalar.failure_reason
+        assert result.num_events == scalar.num_events
+        assert result.makespan == scalar.makespan or (
+            math.isinf(result.makespan) and math.isinf(scalar.makespan)
+        )
+        np.testing.assert_array_equal(result.start_times, scalar.start_times)
+        np.testing.assert_array_equal(result.finish_times, scalar.finish_times)
+        np.testing.assert_array_equal(result.processor, scalar.processor)
+        assert result.peak_memory == scalar.peak_memory
+        if not is_clone:
+            # Clones share their donor's booked-memory *diagnostics* (a
+            # starvation clone's real booking trajectory differs even though
+            # its schedule — and therefore every record field — does not).
+            assert (
+                result.extras["peak_booked_memory"]
+                == scalar.extras["peak_booked_memory"]
+            )
+
+
+def test_wavefront_and_drain_paths_agree(monkeypatch, rng):
+    """Both engine paths (lock-step wavefront / heap drain) are exercised.
+
+    The drain threshold is forced to the extremes so the same sweep runs
+    entirely through each path; records must be identical to serial both
+    times.
+    """
+    trees = [synthetic_tree(SyntheticTreeConfig(num_nodes=120), rng=rng)]
+    config = SweepConfig(
+        memory_factors=(1.0, 1.5, 2.0, 10.0),
+        processors=(2, 4, 16),
+        min_completion_fraction=0.0,
+    )
+    serial = record_bytes(run_sweep(trees, config, backend=SerialBackend()))
+    for threshold in (0, 10_000):
+        monkeypatch.setattr(lanes_mod, "_WAVEFRONT_MIN_LANES", threshold)
+        assert record_bytes(run_sweep(trees, config, backend=BatchedBackend())) == serial, (
+            f"engine path with threshold {threshold} diverged"
+        )

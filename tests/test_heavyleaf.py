@@ -1,0 +1,93 @@
+"""The heavy-leaf caterpillar workload family and its dataset wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.task_tree import NO_PARENT
+from repro.workloads import WorkloadCache, heavy_leaf_caterpillar, heavyleaf_dataset
+from repro.workloads.datasets import GENERATOR_VERSION
+
+
+class TestFamily:
+    def test_structure(self):
+        tree = heavy_leaf_caterpillar(4, 3, leaf_output=20.0, spine_output=1.0)
+        assert tree.n == 4 + 4 * 3
+        # Spine: node i feeds node i + 1, the last spine node is the root.
+        assert [int(p) for p in tree.parent[:4]] == [1, 2, 3, NO_PARENT]
+        # Legs: three leaves per spine node, heavy outputs.
+        for spine_node in range(4):
+            legs = [
+                node
+                for node in range(4, tree.n)
+                if int(tree.parent[node]) == spine_node
+            ]
+            assert len(legs) == 3
+        assert np.all(tree.fout[4:] == 20.0)
+        assert np.all(tree.fout[:4] == 1.0)
+
+    def test_leaves_dominate_volume(self):
+        tree = heavy_leaf_caterpillar(10, 2, leaf_output=50.0, spine_output=1.0)
+        leaves = tree.fout[10:].sum()
+        spine = tree.fout[:10].sum()
+        assert leaves > 20 * spine
+
+    def test_jitter_is_seeded(self):
+        a = heavy_leaf_caterpillar(6, 2, rng=9, leaf_jitter=0.3)
+        b = heavy_leaf_caterpillar(6, 2, rng=9, leaf_jitter=0.3)
+        c = heavy_leaf_caterpillar(6, 2, rng=10, leaf_jitter=0.3)
+        np.testing.assert_array_equal(a.fout, b.fout)
+        assert not np.array_equal(a.fout, c.fout)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heavy_leaf_caterpillar(0, 2)
+        with pytest.raises(ValueError):
+            heavy_leaf_caterpillar(3, 0)
+        with pytest.raises(ValueError):
+            heavy_leaf_caterpillar(3, 2, leaf_output=-1.0)
+        with pytest.raises(ValueError):
+            heavy_leaf_caterpillar(3, 2, leaf_jitter=1.0)
+
+
+class TestDataset:
+    def test_scales_and_determinism(self):
+        trees, spec = heavyleaf_dataset("tiny", seed=77)
+        again, _ = heavyleaf_dataset("tiny", seed=77)
+        assert spec.name == "heavy-leaf"
+        assert spec.num_trees == len(trees) > 1
+        for a, b in zip(trees, again):
+            np.testing.assert_array_equal(a.fout, b.fout)
+        with pytest.raises(ValueError, match="unknown scale"):
+            heavyleaf_dataset("galactic")
+
+    def test_keyed_through_workload_cache(self, tmp_path):
+        """The family is cacheable like every generated dataset (v2 keys)."""
+        assert GENERATOR_VERSION >= 2  # the heavy-leaf family bumped it
+        cache = WorkloadCache(tmp_path)
+        key = ("heavyleaf", "tiny", 4099)
+        first = cache.fetch(key, lambda: heavyleaf_dataset("tiny")[0])
+        assert cache.misses == 1
+        second = cache.fetch(key, lambda: pytest.fail("must hit the cache"))
+        assert cache.hits == 1
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.fout, b.fout)
+
+    def test_reachable_from_figure_dataset_helper(self, tmp_path):
+        from repro.experiments.figures import _dataset
+
+        cache = WorkloadCache(tmp_path)
+        trees = _dataset("heavyleaf", "tiny", 4099, cache)
+        assert len(trees) == heavyleaf_dataset("tiny")[1].num_trees
+        assert cache.misses == 1
+
+    def test_reachable_from_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["generate", "heavyleaf", "--scale", "tiny", "--out", str(tmp_path / "d"), "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert (tmp_path / "d" / "index.json").exists()
