@@ -9,6 +9,11 @@ MemBookingRedTree, MemBooking) on 4 processors with a memory bound equal to
 Run with::
 
     python examples/quickstart.py
+
+Hacking on the schedulers themselves?  The hot kernels are held to a
+restricted, compilable subset of Python by the static contract analyzer —
+run ``memtree lint`` (or ``python -m repro.analysis``) before sending a
+change, and see CONTRIBUTING.md for what the subset allows and why.
 """
 
 from __future__ import annotations

@@ -20,7 +20,10 @@ The package provides:
 * :mod:`repro.workloads` — synthetic trees (Section 7.1) and an
   assembly-tree surrogate built by real symbolic sparse factorization;
 * :mod:`repro.experiments` — the sweep runner and one entry point per paper
-  figure.
+  figure;
+* :mod:`repro.analysis` — the static kernel-contract analyzer
+  (``memtree lint``): compilable-subset purity of the registered hot
+  kernels, plane dtype contracts, and the scalar/lane anti-drift rule.
 
 Quick start
 -----------
@@ -35,7 +38,7 @@ Quick start
 True
 """
 
-from . import bounds, core, experiments, orders, schedulers, workloads
+from . import analysis, bounds, core, experiments, orders, schedulers, workloads
 from .bounds import (
     classical_lower_bound,
     combined_lower_bound,
@@ -69,9 +72,10 @@ from .workloads import (
     synthetic_tree,
 )
 
-__version__ = "1.0.0"
+__version__: str = "1.0.0"
 
-__all__ = [
+__all__: list[str] = [
+    "analysis",
     "bounds",
     "core",
     "experiments",

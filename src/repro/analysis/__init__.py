@@ -1,0 +1,58 @@
+"""Static kernel-contract analyzer (``memtree lint``).
+
+An AST-based analysis subsystem that turns the repo's implicit architecture
+rules into machine-checked invariants, ahead of the compiled kernel plane
+(ROADMAP direction 1).  Three rule families:
+
+* **kernel purity** (KP1xx, :mod:`.kernel_rules`) — functions registered
+  ``@hot_kernel`` must stay inside the compilable subset;
+* **plane contracts** (PC2xx, :mod:`.plane_rules`) — the RecordTable
+  schema, workspace plane columns, arena plane dtypes and named result
+  planes must match the declarative registry in :mod:`.contracts`;
+* **anti-drift** (AD301, :mod:`.drift_rules`) — only registered kernels and
+  ``@plane_mutator`` defs may mutate the protected state planes.
+
+The analyzer never imports the modules it scans; registration is
+discovered from decorator syntax, and the runtime registries in
+:mod:`.registry` exist so tests can assert scan and live tree agree.
+
+Run it as ``memtree lint`` or ``python -m repro.analysis``.
+"""
+
+from __future__ import annotations
+
+from .contracts import WAIVER_TOKENS
+from .registry import HOT_KERNELS, PLANE_MUTATORS, hot_kernel, plane_mutator, registration_key
+from .report import build_parser, load_baseline, main, run_lint, write_baseline
+from .rules import (
+    Finding,
+    SourceFile,
+    analyze_package,
+    analyze_paths,
+    apply_baseline,
+    collect_files,
+    failing,
+    iter_registered,
+)
+
+__all__ = [
+    "Finding",
+    "HOT_KERNELS",
+    "PLANE_MUTATORS",
+    "SourceFile",
+    "WAIVER_TOKENS",
+    "analyze_package",
+    "analyze_paths",
+    "apply_baseline",
+    "build_parser",
+    "collect_files",
+    "failing",
+    "hot_kernel",
+    "iter_registered",
+    "load_baseline",
+    "main",
+    "plane_mutator",
+    "registration_key",
+    "run_lint",
+    "write_baseline",
+]

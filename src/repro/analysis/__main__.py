@@ -1,0 +1,10 @@
+"""``python -m repro.analysis`` — run the kernel contract analyzer."""
+
+from __future__ import annotations
+
+import sys
+
+from .report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,318 @@
+"""Kernel-purity rules (KP1xx): the compilable kernel subset.
+
+Every def decorated ``@hot_kernel`` is checked against the restricted
+Python the planned compiled stepper (ROADMAP direction 1) can port
+one-to-one.  ``@plane_mutator`` defs are exempt — they may touch state
+planes but are not hot-path code.
+
+========  ==================================================================
+KP101     ``dict``/``set`` creation (literals, comprehensions, constructor
+          calls): hash-based containers have no compiled equivalent in the
+          kernel plane and box their contents.
+KP102     object-dtype arrays (``dtype=object`` in any spelling): every
+          element is a boxed PyObject.
+KP103     ``try``/``except``/``finally``: the compiled stepper has no
+          exception machinery; kernels signal failure through sentinel
+          values (e.g. ``ScheduleResult.completed``).
+KP104     generators / ``yield`` / ``await``: kernels must be plain calls
+          with materialised outputs.
+KP105     ``**kwargs`` in the kernel signature: compiled entry points take
+          a fixed argument plane.
+KP106     array/list allocations inside ``for``/``while`` loop bodies
+          (``np.empty``-family calls, list literals/comprehensions,
+          ``list()``/``bytearray()`` calls, list ``+``/``*``): the compiled
+          port pre-allocates every buffer.  Comprehensions *at* statement
+          level are setup idiom and allowed; the same comprehension inside
+          a loop body is a per-iteration allocation and flagged.
+KP107     nested defs/lambdas that close over enclosing-scope variables
+          (free variables or ``nonlocal``): closure cells do not port.
+          Parameter-default binding (``def f(x, plane=plane)``) is the
+          sanctioned alternative and is not flagged.
+========  ==================================================================
+
+Any rule is waivable in place with ``# kernel-ok: <token>`` (see
+:data:`repro.analysis.contracts.WAIVER_TOKENS`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .contracts import ALLOCATING_CONSTRUCTORS
+from .rules import (
+    Finding,
+    SourceFile,
+    call_keyword,
+    is_object_dtype_node,
+    np_constructor_name,
+)
+
+__all__ = ["check_kernel_purity"]
+
+_CATEGORY = "kernel-purity"
+
+#: Builtin/collections constructor names whose call creates a hash container.
+_HASH_CONTAINER_CALLS = frozenset(
+    {"dict", "set", "frozenset", "defaultdict", "OrderedDict", "Counter"}
+)
+
+#: Calls that allocate a fresh sequence buffer (KP106, loop context only).
+_SEQUENCE_ALLOC_CALLS = frozenset({"list", "bytearray"})
+
+
+def _plain_call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _object_dtype_site(node: ast.Call) -> ast.expr | None:
+    """The dtype expression of ``node`` when it spells the object dtype."""
+    candidates: list[ast.expr] = []
+    keyword = call_keyword(node, "dtype")
+    if keyword is not None:
+        candidates.append(keyword)
+    constructor = np_constructor_name(node)
+    if constructor in ALLOCATING_CONSTRUCTORS and len(node.args) >= 2:
+        candidates.append(node.args[1])
+    if (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == "astype"
+        and node.args
+    ):
+        candidates.append(node.args[0])
+    for candidate in candidates:
+        if is_object_dtype_node(candidate):
+            return candidate
+    return None
+
+
+class _KernelVisitor(ast.NodeVisitor):
+    """Walks one registered kernel body, tracking loop context."""
+
+    def __init__(self, module: SourceFile, qualname: str) -> None:
+        self.module = module
+        self.qualname = qualname
+        self.findings: list[Finding] = []
+        self.loop_depth = 0
+
+    # -- reporting ------------------------------------------------------ #
+    def report(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            self.module.finding(rule, _CATEGORY, node, self.qualname, message)
+        )
+
+    # -- containers / dtypes (any position in the kernel) --------------- #
+    def visit_Dict(self, node: ast.Dict) -> None:
+        self.report("KP101", node, "dict literal in kernel body")
+        self.generic_visit(node)
+
+    def visit_Set(self, node: ast.Set) -> None:
+        self.report("KP101", node, "set literal in kernel body")
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self.report("KP101", node, "dict comprehension in kernel body")
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self.report("KP101", node, "set comprehension in kernel body")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _plain_call_name(node)
+        if isinstance(node.func, ast.Name) and name in _HASH_CONTAINER_CALLS:
+            self.report("KP101", node, f"{name}() construction in kernel body")
+        dtype_site = _object_dtype_site(node)
+        if dtype_site is not None:
+            self.report("KP102", dtype_site, "object-dtype array in kernel body")
+        if self.loop_depth > 0:
+            constructor = np_constructor_name(node)
+            if constructor in ALLOCATING_CONSTRUCTORS:
+                self.report(
+                    "KP106",
+                    node,
+                    f"np.{constructor}(...) allocates inside a kernel loop body",
+                )
+            elif isinstance(node.func, ast.Name) and name in _SEQUENCE_ALLOC_CALLS:
+                self.report(
+                    "KP106", node, f"{name}() allocates inside a kernel loop body"
+                )
+        self.generic_visit(node)
+
+    # -- statements ------------------------------------------------------ #
+    def visit_Try(self, node: ast.Try) -> None:
+        self.report("KP103", node, "try/except in kernel body")
+        self.generic_visit(node)
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        self.report("KP104", node, "yield in kernel body (generator)")
+        self.generic_visit(node)
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        self.report("KP104", node, "yield from in kernel body (generator)")
+        self.generic_visit(node)
+
+    def visit_Await(self, node: ast.Await) -> None:
+        self.report("KP104", node, "await in kernel body")
+        self.generic_visit(node)
+
+    # -- loops ----------------------------------------------------------- #
+    def _visit_loop(self, node: "ast.For | ast.While") -> None:
+        # The iterable / condition is evaluated once (for) or is hot anyway
+        # (while) — only the *body* gains loop context.
+        if isinstance(node, ast.For):
+            self.visit(node.target)
+            self.visit(node.iter)
+        else:
+            self.visit(node.test)
+        self.loop_depth += 1
+        for statement in node.body:
+            self.visit(statement)
+        self.loop_depth -= 1
+        for statement in node.orelse:
+            self.visit(statement)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_loop(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_loop(node)
+
+    # -- loop-context allocations ---------------------------------------- #
+    def visit_List(self, node: ast.List) -> None:
+        if self.loop_depth > 0:
+            self.report("KP106", node, "list literal allocates inside a kernel loop body")
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        if self.loop_depth > 0:
+            self.report(
+                "KP106", node, "list comprehension allocates inside a kernel loop body"
+            )
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        if self.loop_depth > 0:
+            self.report(
+                "KP106",
+                node,
+                "generator expression allocates inside a kernel loop body",
+            )
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if self.loop_depth > 0 and isinstance(node.op, (ast.Add, ast.Mult)):
+            if isinstance(node.left, ast.List) or isinstance(node.right, ast.List):
+                self.report(
+                    "KP106",
+                    node,
+                    "list concatenation/repetition allocates inside a kernel loop body",
+                )
+        self.generic_visit(node)
+
+    # -- nested scopes ---------------------------------------------------- #
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.report("KP104", node, "async def in kernel body")
+        self._visit_nested(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_closure(node, "<lambda>")
+        # Defaults evaluate in the enclosing scope; the body in its own.
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            self.visit(default)
+        nested = _KernelVisitor(self.module, self.qualname)
+        nested.visit(node.body)
+        self.findings.extend(nested.findings)
+
+    def _visit_nested(self, node: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        self._check_closure(node, node.name)
+        if node.args.kwarg is not None:
+            self.report("KP105", node, f"**{node.args.kwarg.arg} in nested kernel def")
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            self.visit(default)
+        # A nested def's body runs per call (the dispatch closures run per
+        # event), so it is scanned with the same rules; loop context restarts
+        # at its own loops.
+        nested = _KernelVisitor(self.module, self.qualname)
+        for statement in node.body:
+            nested.visit(statement)
+        self.findings.extend(nested.findings)
+
+    def _check_closure(self, node: ast.AST, name: str) -> None:
+        free = _free_variables(self.module, node)
+        if free:
+            self.report(
+                "KP107",
+                node,
+                f"nested {name!r} closes over {sorted(free)!r}; "
+                "bind through parameter defaults instead",
+            )
+
+    # -- skip annotation-only subtrees ------------------------------------ #
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        # The annotation is typing syntax, not runtime kernel code.
+        self.visit(node.target)
+        if node.value is not None:
+            self.visit(node.value)
+
+
+def _free_variables(module: SourceFile, node: ast.AST) -> frozenset[str]:
+    """Free + nonlocal names of a nested function node, via ``symtable``."""
+    line = getattr(node, "lineno", None)
+    name = node.name if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) else "lambda"
+    block = _find_block(module.symbol_table(), name, line)
+    if block is None:
+        return frozenset()
+    free = set(block.get_frees())
+    for symbol in block.get_symbols():
+        if symbol.is_nonlocal():
+            free.add(symbol.get_name())
+    return frozenset(free)
+
+
+def _find_block(
+    table: "object", name: str, line: "int | None"
+) -> "object | None":
+    """Locate the symtable function block matching ``(name, line)``."""
+    stack = [table]
+    while stack:
+        current = stack.pop()
+        if (
+            current.get_type() == "function"
+            and current.get_name() == name
+            and current.get_lineno() == line
+        ):
+            return current
+        stack.extend(current.get_children())
+    return None
+
+
+def check_kernel_purity(module: SourceFile) -> Iterable[Finding]:
+    findings: list[Finding] = []
+    for registered in module.registered:
+        if registered.kind != "kernel":
+            continue
+        node = registered.node
+        visitor = _KernelVisitor(module, registered.qualname)
+        if isinstance(node, ast.AsyncFunctionDef):
+            visitor.report("KP104", node, "kernel is an async def")
+        if node.args.kwarg is not None:
+            visitor.report(
+                "KP105", node, f"**{node.args.kwarg.arg} in kernel signature"
+            )
+        for statement in node.body:
+            visitor.visit(statement)
+        findings.extend(visitor.findings)
+    return findings

@@ -1,0 +1,411 @@
+"""Plane-contract rules (PC2xx): static dtype/schema cross-checks.
+
+The contracts in :mod:`repro.analysis.contracts` pin the dtypes and layouts
+that *other* code indexes by — the RecordTable schema read back by the
+result cache, the arena plane columns rebuilt into workspaces, the schedule
+result planes consumed by validation and batch collapse.  This family diffs
+the source literals and array-construction sites against those contracts so
+schema drift fails lint, not a fuzz run three layers later.
+
+========  ==================================================================
+PC201     ``RECORD_FIELDS`` literal in ``experiments/records.py`` differs
+          from :data:`RECORD_FIELD_CONTRACT` (name/dtype/nullable/encoding,
+          order-sensitive — on-disk layout is positional).
+PC202     a contract-registered array target (named array, workspace plane
+          append, or contract call keyword) is constructed with a dtype
+          that statically resolves to something else.
+PC203     a contract-registered array target is constructed by an
+          ``np.<constructor>`` call with **no** explicit dtype: the result
+          would depend on numpy promotion rules, which the contracts exist
+          to keep out of the planes.
+PC205     workspace plane-name drift: the ``WORKSPACE_PLANE_NAMES`` literal
+          differs from the contract keys, or an append targets an
+          unregistered ``ws:`` plane.
+PC206     the ``_PLANE_DTYPES`` literal of ``core/tree_store.py`` differs
+          from :data:`ARENA_PLANE_DTYPES`.
+========  ==================================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+import numpy as np
+
+from .contracts import (
+    ARENA_PLANE_DTYPES,
+    CALL_KEYWORD_DTYPES,
+    NAMED_ARRAY_DTYPES,
+    RECORD_FIELD_CONTRACT,
+    WORKSPACE_PLANE_DTYPES,
+)
+from .rules import Finding, SourceFile, call_keyword, dtype_from_node, np_constructor_name
+
+__all__ = ["check_plane_contracts"]
+
+_CATEGORY = "plane-contract"
+
+
+def _target_names(target: ast.expr) -> list[str]:
+    """Assignable names a contract can pin: ``x``, ``self.x``, ``sim.x``."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, ast.Attribute):
+        return [target.attr]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    return []
+
+
+def _construction_dtype_node(value: ast.expr) -> "tuple[bool, ast.expr | None]":
+    """``(is_checked_construction, dtype node or None)`` for an RHS."""
+    if not isinstance(value, ast.Call):
+        return False, None
+    constructor = np_constructor_name(value)
+    if constructor is not None:
+        from .contracts import ALLOCATING_CONSTRUCTORS
+
+        if constructor in ALLOCATING_CONSTRUCTORS:
+            node = call_keyword(value, "dtype")
+            if node is None and len(value.args) >= 2:
+                node = value.args[1]
+            return True, node
+        return False, None
+    if isinstance(value.func, ast.Attribute) and value.func.attr == "astype":
+        node = call_keyword(value, "dtype")
+        if node is None and value.args:
+            node = value.args[0]
+        return True, node
+    return False, None
+
+
+def _check_dtype_site(
+    module: SourceFile,
+    value: ast.expr,
+    expected: str,
+    label: str,
+    scope: str,
+    findings: list[Finding],
+) -> None:
+    checked, dtype_node = _construction_dtype_node(value)
+    if not checked:
+        return
+    if dtype_node is None:
+        findings.append(
+            module.finding(
+                "PC203",
+                _CATEGORY,
+                value,
+                scope,
+                f"{label} is constructed without an explicit dtype "
+                f"(contract requires {expected})",
+            )
+        )
+        return
+    resolved = dtype_from_node(dtype_node)
+    if resolved is None:
+        # dtype is a runtime expression the analyzer cannot evaluate — the
+        # contract cannot be verified statically, so the site is skipped.
+        return
+    if resolved != np.dtype(expected):
+        findings.append(
+            module.finding(
+                "PC202",
+                _CATEGORY,
+                dtype_node,
+                scope,
+                f"{label} is constructed as {resolved} but the contract "
+                f"requires {expected}",
+            )
+        )
+
+
+# --------------------------------------------------------------------------- #
+# literal-diff checks (PC201 / PC205 / PC206)
+# --------------------------------------------------------------------------- #
+def _module_assign(module: SourceFile, name: str) -> "ast.Assign | ast.AnnAssign | None":
+    for statement in module.tree.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return statement
+        elif isinstance(statement, ast.AnnAssign):
+            if isinstance(statement.target, ast.Name) and statement.target.id == name:
+                return statement
+    return None
+
+
+def _parse_field_call(node: ast.expr) -> "tuple[str, str, bool, str | None] | None":
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+        return None
+    if node.func.id != "Field":
+        return None
+    positional = [
+        arg.value if isinstance(arg, ast.Constant) else None for arg in node.args
+    ]
+    if len(positional) < 2 or not all(isinstance(p, str) for p in positional[:2]):
+        return None
+    name, dtype = positional[0], positional[1]
+    nullable = bool(positional[2]) if len(positional) > 2 else False
+    encoding = positional[3] if len(positional) > 3 else None
+    for keyword in node.keywords:
+        if not isinstance(keyword.value, ast.Constant):
+            return None
+        if keyword.arg == "nullable":
+            nullable = bool(keyword.value.value)
+        elif keyword.arg == "encoding":
+            encoding = keyword.value.value
+    return (name, dtype, nullable, encoding)
+
+
+def _check_record_fields(module: SourceFile, findings: list[Finding]) -> None:
+    statement = _module_assign(module, "RECORD_FIELDS")
+    if statement is None:
+        findings.append(
+            module.finding(
+                "PC201",
+                _CATEGORY,
+                module.tree,
+                "<module>",
+                "RECORD_FIELDS literal not found at module level",
+            )
+        )
+        return
+    value = statement.value
+    if not isinstance(value, ast.Tuple):
+        findings.append(
+            module.finding(
+                "PC201", _CATEGORY, statement, "<module>",
+                "RECORD_FIELDS is not a tuple literal",
+            )
+        )
+        return
+    parsed: list["tuple[str, str, bool, str | None] | None"] = [
+        _parse_field_call(element) for element in value.elts
+    ]
+    for element, entry in zip(value.elts, parsed):
+        if entry is None:
+            findings.append(
+                module.finding(
+                    "PC201", _CATEGORY, element, "<module>",
+                    "RECORD_FIELDS entry is not a literal Field(...) call",
+                )
+            )
+    entries = [entry for entry in parsed if entry is not None]
+    contract = RECORD_FIELD_CONTRACT
+    for index in range(max(len(entries), len(contract))):
+        node = value.elts[index] if index < len(value.elts) else value
+        if index >= len(entries):
+            findings.append(
+                module.finding(
+                    "PC201", _CATEGORY, node, "<module>",
+                    f"RECORD_FIELDS is missing contract field "
+                    f"{contract[index][0]!r} at position {index}",
+                )
+            )
+        elif index >= len(contract):
+            findings.append(
+                module.finding(
+                    "PC201", _CATEGORY, node, "<module>",
+                    f"RECORD_FIELDS has uncontracted field "
+                    f"{entries[index][0]!r} at position {index}",
+                )
+            )
+        elif entries[index] != contract[index]:
+            findings.append(
+                module.finding(
+                    "PC201", _CATEGORY, node, "<module>",
+                    f"RECORD_FIELDS position {index}: source declares "
+                    f"{entries[index]!r}, contract requires {contract[index]!r}",
+                )
+            )
+
+
+def _literal_strings(node: ast.expr) -> "list[str] | None":
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        elements = node.elts
+    elif (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("frozenset", "set", "tuple")
+        and len(node.args) == 1
+        and isinstance(node.args[0], (ast.Tuple, ast.List, ast.Set))
+    ):
+        elements = node.args[0].elts
+    else:
+        return None
+    values: list[str] = []
+    for element in elements:
+        if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+            return None
+        values.append(element.value)
+    return values
+
+
+def _check_plane_names(module: SourceFile, findings: list[Finding]) -> None:
+    statement = _module_assign(module, "WORKSPACE_PLANE_NAMES")
+    expected = list(WORKSPACE_PLANE_DTYPES)
+    if statement is None:
+        findings.append(
+            module.finding(
+                "PC205", _CATEGORY, module.tree, "<module>",
+                "WORKSPACE_PLANE_NAMES literal not found at module level",
+            )
+        )
+        return
+    names = _literal_strings(statement.value)
+    if names is None:
+        findings.append(
+            module.finding(
+                "PC205", _CATEGORY, statement, "<module>",
+                "WORKSPACE_PLANE_NAMES is not a literal tuple of strings",
+            )
+        )
+        return
+    if names != expected:
+        findings.append(
+            module.finding(
+                "PC205", _CATEGORY, statement, "<module>",
+                f"WORKSPACE_PLANE_NAMES {names!r} differs from the contract "
+                f"plane set {expected!r}",
+            )
+        )
+
+
+def _check_arena_dtypes(module: SourceFile, findings: list[Finding]) -> None:
+    statement = _module_assign(module, "_PLANE_DTYPES")
+    if statement is None:
+        findings.append(
+            module.finding(
+                "PC206", _CATEGORY, module.tree, "<module>",
+                "_PLANE_DTYPES literal not found at module level",
+            )
+        )
+        return
+    values = _literal_strings(statement.value)
+    if values is None or set(values) != set(ARENA_PLANE_DTYPES):
+        findings.append(
+            module.finding(
+                "PC206", _CATEGORY, statement, "<module>",
+                f"_PLANE_DTYPES differs from the arena contract "
+                f"{sorted(ARENA_PLANE_DTYPES)!r}",
+            )
+        )
+
+
+# --------------------------------------------------------------------------- #
+# construction-site checks (PC202 / PC203 / PC205-append)
+# --------------------------------------------------------------------------- #
+def _plane_append(node: ast.Call) -> "tuple[str, ast.expr] | None":
+    """Match ``<planes>[\"ws:...\"]...append(value)`` and return (key, value)."""
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "append"):
+        return None
+    if not isinstance(func.value, ast.Subscript):
+        return None
+    key_node = func.value.slice
+    if not (isinstance(key_node, ast.Constant) and isinstance(key_node.value, str)):
+        return None
+    key = key_node.value
+    if not key.startswith("ws:") or len(node.args) != 1:
+        return None
+    return key, node.args[0]
+
+
+def check_plane_contracts(module: SourceFile) -> Iterable[Finding]:
+    findings: list[Finding] = []
+
+    if module.matches("experiments/records.py"):
+        _check_record_fields(module, findings)
+    if module.matches("batch/planes.py"):
+        _check_plane_names(module, findings)
+    if module.matches("core/tree_store.py"):
+        _check_arena_dtypes(module, findings)
+
+    named_contract: dict[str, str] = {}
+    for suffix, table in NAMED_ARRAY_DTYPES.items():
+        if module.matches(suffix):
+            named_contract.update(table)
+    keyword_contract: dict[tuple[str, str], str] = {}
+    for suffix, table in CALL_KEYWORD_DTYPES.items():
+        if module.matches(suffix):
+            keyword_contract.update(table)
+
+    parents = module.parent_map()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Assign) and named_contract:
+            names = [
+                name
+                for target in node.targets
+                for name in _target_names(target)
+                if name in named_contract
+            ]
+            for name in names:
+                _check_dtype_site(
+                    module,
+                    node.value,
+                    named_contract[name],
+                    f"contract array {name!r}",
+                    module.scope_of(node, parents),
+                    findings,
+                )
+        elif isinstance(node, ast.AnnAssign) and named_contract and node.value is not None:
+            for name in _target_names(node.target):
+                if name in named_contract:
+                    _check_dtype_site(
+                        module,
+                        node.value,
+                        named_contract[name],
+                        f"contract array {name!r}",
+                        module.scope_of(node, parents),
+                        findings,
+                    )
+        elif isinstance(node, ast.Call):
+            match = _plane_append(node)
+            if match is not None:
+                key, value = match
+                scope = module.scope_of(node, parents)
+                if key not in WORKSPACE_PLANE_DTYPES:
+                    findings.append(
+                        module.finding(
+                            "PC205", _CATEGORY, node, scope,
+                            f"append to unregistered workspace plane {key!r}",
+                        )
+                    )
+                else:
+                    _check_dtype_site(
+                        module,
+                        value,
+                        WORKSPACE_PLANE_DTYPES[key],
+                        f"workspace plane {key!r}",
+                        scope,
+                        findings,
+                    )
+            if keyword_contract:
+                callee = (
+                    node.func.id
+                    if isinstance(node.func, ast.Name)
+                    else node.func.attr
+                    if isinstance(node.func, ast.Attribute)
+                    else None
+                )
+                if callee is not None:
+                    for (name, kw), expected in keyword_contract.items():
+                        if name != callee:
+                            continue
+                        value = call_keyword(node, kw)
+                        if value is None:
+                            continue
+                        _check_dtype_site(
+                            module,
+                            value,
+                            expected,
+                            f"{callee}({kw}=...)",
+                            module.scope_of(node, parents),
+                            findings,
+                        )
+    return findings

@@ -1,0 +1,84 @@
+"""Runtime kernel-registration markers for the static contract analyzer.
+
+The analyzer (:mod:`repro.analysis`) enforces the *compilable kernel
+subset* — the restricted Python the hot scheduling loops must stay inside so
+the planned compiled stepper (ROADMAP direction 1) can port them one-to-one
+— plus the anti-drift rule that only designated transition code may mutate
+the registered state planes.  Which functions those rules apply to is
+declared **in the source itself** with the two decorators below; the
+analyzer discovers them with a pure AST scan (it never imports the target
+modules), and the runtime registries exist so a meta-test can assert the
+scan and the live tree agree (``tests/test_analysis.py``).
+
+Both decorators return the function object unchanged — zero call overhead,
+no wrapper frame — so decorating a hot method cannot perturb the
+parity-pinned schedules.
+
+``@hot_kernel``
+    Marks a hot-path kernel: the function must stay inside the compilable
+    subset (no dict/set state, no try/generator/``**kwargs``, no hot-loop
+    allocations, no closure cells) *and* is allowed to mutate the registered
+    state planes.  Individual violations that are deliberate (e.g. the
+    vectorised scan's chunk buffer) are waived in place with a
+    ``# kernel-ok: <rule>`` comment.
+
+``@plane_mutator``
+    Marks setup/reference code that may mutate the state planes but is *not*
+    held to the compilable subset (batch-kernel constructors, the naive
+    reference candidate structure).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = [
+    "HOT_KERNELS",
+    "PLANE_MUTATORS",
+    "hot_kernel",
+    "plane_mutator",
+    "registration_key",
+]
+
+_F = TypeVar("_F", bound=Callable)
+
+#: ``"module:qualname" -> note`` for every function registered at runtime.
+HOT_KERNELS: dict[str, str] = {}
+PLANE_MUTATORS: dict[str, str] = {}
+
+
+def registration_key(module: str, qualname: str) -> str:
+    """The canonical registry key of a decorated function."""
+    return f"{module}:{qualname}"
+
+
+def _register(registry: dict[str, str], func: Callable, note: str) -> None:
+    registry[registration_key(func.__module__, func.__qualname__)] = note
+
+
+def hot_kernel(func: "_F | None" = None, *, note: str = "") -> "_F | Callable[[_F], _F]":
+    """Register ``func`` as a hot-path kernel (see the module docstring).
+
+    Usable bare (``@hot_kernel``) or with a note
+    (``@hot_kernel(note="event loop")``).
+    """
+    if func is None:
+        def wrap(inner: _F) -> _F:
+            _register(HOT_KERNELS, inner, note)
+            return inner
+
+        return wrap
+    _register(HOT_KERNELS, func, note)
+    return func
+
+
+def plane_mutator(func: "_F | None" = None, *, note: str = "") -> "_F | Callable[[_F], _F]":
+    """Register ``func`` as allowed to mutate state planes (subset-exempt)."""
+    if func is None:
+        def wrap(inner: _F) -> _F:
+            _register(PLANE_MUTATORS, inner, note)
+            return inner
+
+        return wrap
+    _register(PLANE_MUTATORS, func, note)
+    return func

@@ -1,0 +1,417 @@
+"""Rule engine of the kernel contract analyzer.
+
+The engine is a pure AST/`symtable` pass — target modules are **never
+imported** — organised as:
+
+* :class:`SourceFile` — one parsed module: source, AST, qualname map (every
+  def/class gets its runtime ``__qualname__``, including the ``<locals>``
+  segments), decorated-kernel discovery and the ``# kernel-ok:`` waiver map;
+* :class:`Finding` — one diagnostic, with a stable :meth:`fingerprint` used
+  by the committed baseline (no line numbers, so unrelated edits do not
+  churn the baseline);
+* :func:`analyze_paths` / :func:`analyze_package` — collect files, run the
+  three rule families (:mod:`.kernel_rules`, :mod:`.plane_rules`,
+  :mod:`.drift_rules`), mark waivers, return sorted findings.
+
+Waivers: a finding is *waived* when the offending line or the line directly
+above carries ``# kernel-ok: <token>`` naming the rule id or its token from
+:data:`repro.analysis.contracts.WAIVER_TOKENS` (comma-separated tokens, a
+free-text justification may follow in parentheses).  Waived findings stay in
+the report (machine-readable accountability) but never fail the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+import symtable
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .contracts import OBJECT_DTYPE_NAMES, WAIVER_TOKENS
+
+__all__ = [
+    "Finding",
+    "SourceFile",
+    "analyze_package",
+    "analyze_paths",
+    "collect_files",
+    "dtype_from_node",
+    "is_object_dtype_node",
+    "np_constructor_name",
+]
+
+#: Decorator spellings that register a function with the analyzer.
+_KERNEL_DECORATORS = frozenset({"hot_kernel"})
+_MUTATOR_DECORATORS = frozenset({"plane_mutator"})
+
+_WAIVER_RE = re.compile(r"#\s*kernel-ok:\s*([^#]*)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a rule."""
+
+    rule: str  #: rule id, e.g. ``"KP106"``
+    category: str  #: ``kernel-purity`` / ``plane-contract`` / ``anti-drift``
+    path: str  #: file path as scanned (kept verbatim in reports)
+    line: int
+    col: int
+    scope: str  #: enclosing qualname, ``"<module>"`` at module level
+    message: str
+    waived: bool = False
+    baselined: bool = False
+
+    def fingerprint(self) -> str:
+        """Stable identity for baselines: rule + file name + scope + message.
+
+        Line/column are excluded on purpose — inserting a docstring above a
+        known finding must not invalidate a committed baseline entry.
+        """
+        digest = hashlib.sha256(self.message.encode("utf-8")).hexdigest()[:12]
+        return f"{self.rule}:{Path(self.path).name}:{self.scope}:{digest}"
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+def _decorator_name(node: ast.expr) -> str | None:
+    """The terminal name of a decorator expression (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@dataclass
+class RegisteredDef:
+    """A def carrying one of the registration decorators."""
+
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    qualname: str
+    kind: str  #: ``"kernel"`` or ``"mutator"``
+
+
+@dataclass
+class SourceFile:
+    """One parsed module plus the derived maps every rule family shares."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    #: node -> runtime-style qualname for every def/class in the module.
+    qualnames: dict[ast.AST, str] = field(default_factory=dict)
+    #: line number -> waiver tokens found on that line.
+    waivers: dict[int, set[str]] = field(default_factory=dict)
+    registered: list[RegisteredDef] = field(default_factory=list)
+    _symtable: "symtable.SymbolTable | None" = None
+
+    @classmethod
+    def parse(cls, path: Path) -> "SourceFile":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        module = cls(path=path, source=source, tree=tree, lines=source.splitlines())
+        module._build_qualnames()
+        module._collect_waivers()
+        module._collect_registered()
+        return module
+
+    # ------------------------------------------------------------------ #
+    # derived maps
+    # ------------------------------------------------------------------ #
+    def _build_qualnames(self) -> None:
+        def visit(node: ast.AST, prefix: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = prefix + child.name
+                    self.qualnames[child] = qual
+                    visit(child, qual + ".<locals>.")
+                elif isinstance(child, ast.ClassDef):
+                    qual = prefix + child.name
+                    self.qualnames[child] = qual
+                    visit(child, qual + ".")
+                else:
+                    visit(child, prefix)
+
+        visit(self.tree, "")
+
+    def _collect_waivers(self) -> None:
+        for number, line in enumerate(self.lines, start=1):
+            match = _WAIVER_RE.search(line)
+            if match is None:
+                continue
+            tokens: set[str] = set()
+            for raw in match.group(1).split(","):
+                token = raw.strip()
+                if not token:
+                    continue
+                # Drop any free-text justification after the token itself.
+                tokens.add(token.split()[0].rstrip(":;.").lower())
+            if tokens:
+                self.waivers[number] = tokens
+
+    def _collect_registered(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for decorator in node.decorator_list:
+                name = _decorator_name(decorator)
+                if name in _KERNEL_DECORATORS:
+                    kind = "kernel"
+                elif name in _MUTATOR_DECORATORS:
+                    kind = "mutator"
+                else:
+                    continue
+                self.registered.append(
+                    RegisteredDef(node=node, qualname=self.qualnames[node], kind=kind)
+                )
+                break
+
+    # ------------------------------------------------------------------ #
+    # helpers used by the rule families
+    # ------------------------------------------------------------------ #
+    def rel_suffix(self) -> str:
+        """Posix-style path used for contract matching (suffix semantics)."""
+        return self.path.as_posix()
+
+    def matches(self, suffix: str) -> bool:
+        return self.rel_suffix().endswith(suffix)
+
+    def scope_of(self, node: ast.AST, parents: "dict[ast.AST, ast.AST] | None" = None) -> str:
+        """Qualname of the innermost def/class enclosing ``node``."""
+        if parents is None:
+            parents = self.parent_map()
+        current = parents.get(node)
+        while current is not None:
+            qual = self.qualnames.get(current)
+            if qual is not None:
+                return qual
+            current = parents.get(current)
+        return "<module>"
+
+    _parents: "dict[ast.AST, ast.AST] | None" = None
+
+    def parent_map(self) -> dict[ast.AST, ast.AST]:
+        if self._parents is None:
+            self._parents = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    self._parents[child] = parent
+        return self._parents
+
+    def symbol_table(self) -> symtable.SymbolTable:
+        if self._symtable is None:
+            self._symtable = symtable.symtable(self.source, str(self.path), "exec")
+        return self._symtable
+
+    def waived(self, rule: str, line: int) -> bool:
+        accepted = {rule.lower()}
+        token = WAIVER_TOKENS.get(rule)
+        if token is not None:
+            accepted.add(token.lower())
+        for candidate in (line, line - 1):
+            tokens = self.waivers.get(candidate)
+            if tokens and tokens & accepted:
+                return True
+        return False
+
+    def finding(
+        self, rule: str, category: str, node: ast.AST, scope: str, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule,
+            category=category,
+            path=str(self.path),
+            line=line,
+            col=col,
+            scope=scope,
+            message=message,
+            waived=self.waived(rule, line),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# shared AST helpers
+# --------------------------------------------------------------------------- #
+def np_constructor_name(node: ast.AST) -> str | None:
+    """``"empty"`` for ``np.empty(...)``-style calls, else ``None``."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("np", "numpy")
+    ):
+        return func.attr
+    return None
+
+
+#: np attributes :func:`dtype_from_node` resolves (a safelist — the analyzer
+#: never evaluates arbitrary expressions).
+_NP_DTYPE_ATTRS = frozenset(
+    {
+        "float16",
+        "float32",
+        "float64",
+        "int8",
+        "int16",
+        "int32",
+        "int64",
+        "uint8",
+        "uint16",
+        "uint32",
+        "uint64",
+        "bool_",
+        "object_",
+    }
+)
+
+_BUILTIN_DTYPE_NAMES = {"float": float, "int": int, "bool": bool, "object": object}
+
+
+def dtype_from_node(node: "ast.expr | None") -> "np.dtype | None":
+    """Statically resolve a dtype expression, ``None`` when not literal."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            return np.dtype(node.value)
+        except TypeError:
+            return None
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+        and node.attr in _NP_DTYPE_ATTRS
+    ):
+        return np.dtype(getattr(np, node.attr))
+    if isinstance(node, ast.Name) and node.id in _BUILTIN_DTYPE_NAMES:
+        return np.dtype(_BUILTIN_DTYPE_NAMES[node.id])
+    return None
+
+
+def is_object_dtype_node(node: "ast.expr | None") -> bool:
+    """True when a dtype expression unambiguously spells the object dtype."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value in OBJECT_DTYPE_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in OBJECT_DTYPE_NAMES
+    if isinstance(node, ast.Name):
+        return node.id in OBJECT_DTYPE_NAMES
+    return False
+
+
+def call_keyword(node: ast.Call, name: str) -> "ast.expr | None":
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def subscript_base_name(node: ast.expr) -> str | None:
+    """Innermost name of a subscript target: ``self._bbs[i][j]`` -> ``_bbs``."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# collection and entry points
+# --------------------------------------------------------------------------- #
+def collect_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: dict[Path, None] = {}
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                seen.setdefault(child, None)
+        elif path.suffix == ".py":
+            seen.setdefault(path, None)
+        else:
+            raise ValueError(f"not a Python file or directory: {path}")
+    return sorted(seen)
+
+
+RuleFamily = Callable[[SourceFile], Iterable[Finding]]
+
+
+def _families() -> tuple[RuleFamily, ...]:
+    # Imported here (not at module top) so the engine module has no import
+    # cycle with the families, which import the helpers above.
+    from .drift_rules import check_anti_drift
+    from .kernel_rules import check_kernel_purity
+    from .plane_rules import check_plane_contracts
+
+    return (check_kernel_purity, check_plane_contracts, check_anti_drift)
+
+
+def analyze_paths(paths: Sequence[Path]) -> list[Finding]:
+    """Run every rule family over ``paths`` (files or directories)."""
+    findings: list[Finding] = []
+    families = _families()
+    for file_path in collect_files(paths):
+        try:
+            module = SourceFile.parse(file_path)
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    rule="AN000",
+                    category="analyzer",
+                    path=str(file_path),
+                    line=error.lineno or 1,
+                    col=(error.offset or 1) - 1,
+                    scope="<module>",
+                    message=f"syntax error: {error.msg}",
+                )
+            )
+            continue
+        for family in families:
+            findings.extend(family(module))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def analyze_package() -> list[Finding]:
+    """Analyze the installed ``repro`` package tree (the CI target)."""
+    import repro
+
+    return analyze_paths([Path(repro.__file__).parent])
+
+
+def iter_registered(paths: Sequence[Path]) -> Iterator[tuple[SourceFile, RegisteredDef]]:
+    """Every decorated def under ``paths`` (used by the meta-test)."""
+    for file_path in collect_files(paths):
+        module = SourceFile.parse(file_path)
+        for registered in module.registered:
+            yield module, registered
+
+
+def apply_baseline(findings: Sequence[Finding], fingerprints: "set[str]") -> list[Finding]:
+    """Mark findings whose fingerprint is baselined; returns a new list."""
+    return [
+        replace(finding, baselined=finding.fingerprint() in fingerprints)
+        for finding in findings
+    ]
+
+
+def failing(findings: Iterable[Finding]) -> list[Finding]:
+    """The findings that should fail a gated run (not waived, not baselined)."""
+    return [f for f in findings if not f.waived and not f.baselined]

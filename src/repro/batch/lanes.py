@@ -102,6 +102,7 @@ import numpy as np
 
 from ..core.task_tree import TaskTree
 from ..orders import Ordering
+from ..analysis.registry import hot_kernel, plane_mutator
 from ..schedulers.activation import ActivationScheduler, run_activation_scan
 from ..schedulers.base import UNSCHEDULED, ScheduleResult, SchedulingError
 from ..schedulers.engine import SimWorkspace
@@ -179,6 +180,7 @@ class ActivationLaneKernel:
         #: counts the ready-pushes of each ``activate`` call).
         self.orphans = [len(ws.leaves_list)] * B
 
+    @hot_kernel
     def activate(self, lane: int) -> None:
         pos = self._next[lane]
         n = self.n
@@ -210,6 +212,7 @@ class ActivationLaneKernel:
         self._booked[lane] = booked
         self._peak[lane] = peak
 
+    @hot_kernel
     def on_finished(self, lane_list: list[int], node_list: list[int]) -> None:
         # Sequential per lane in ascending node order — the pairs arrive
         # (lane-major, node ascending), exactly the delivery order of the
@@ -239,6 +242,7 @@ class ActivationLaneKernel:
                     else:
                         self.orphans[lane] += 1
 
+    @hot_kernel
     def bind_lane(self, lane: int):
         """Single-lane fast path: ``(activate, on_finished)`` closures.
 
@@ -252,6 +256,7 @@ class ActivationLaneKernel:
         booked_list = self._booked
         peak_list = self._peak
 
+        # kernel-ok: closure (lane scalars live in the enclosing lists)
         def activate(
             n=self.n,
             lane=lane,
@@ -284,6 +289,7 @@ class ActivationLaneKernel:
 
         orphans = self.orphans
 
+        # kernel-ok: closure (ledger scalar written back to the lane list)
         def on_finished(
             nodes,
             lane=lane,
@@ -344,6 +350,7 @@ class MemBookingLaneKernel:
     name = "MemBooking"
     scheduler_class = MemBookingScheduler
 
+    @plane_mutator(note="builds the per-lane candidate-structure closures")
     def __init__(self, workspace: SimWorkspace, limits: Sequence[float]) -> None:
         ws = workspace
         n = self.n = ws.n
@@ -408,6 +415,7 @@ class MemBookingLaneKernel:
             self._makes.append(make)
             self._marks.append(mark)
 
+    @hot_kernel
     def activate(self, lane: int) -> None:
         mbooked, peak, _, bound = run_membooking_activation(
             self._peeks[lane],
@@ -433,9 +441,11 @@ class MemBookingLaneKernel:
         if bound:
             self.memory_bound[lane] = True
 
+    @hot_kernel
     def on_started(self, lane: int, node: int) -> None:
         self._state[lane][node] = RUN
 
+    @hot_kernel
     def on_finished(self, lane_list: list[int], node_list: list[int]) -> None:
         parent = self._parent
         eo_rank = self._eo_rank
@@ -465,12 +475,14 @@ class MemBookingLaneKernel:
                     else:
                         self.orphans[lane] += 1
 
+    @hot_kernel
     def bind_lane(self, lane: int):
         """Single-lane fast path closures (see ActivationLaneKernel.bind_lane)."""
         mbooked_list = self._mbooked
         peak_list = self._peak
         memory_bound = self.memory_bound
 
+        # kernel-ok: closure (ledger scalars live in the enclosing lists)
         def activate(
             lane=lane,
             peek=self._peeks[lane],
@@ -500,6 +512,7 @@ class MemBookingLaneKernel:
 
         orphans = self.orphans
 
+        # kernel-ok: closure (ledger scalars written back to the lane lists)
         def on_finished(
             nodes,
             lane=lane,
@@ -571,6 +584,7 @@ class _LaneSim:
     )
 
 
+@hot_kernel(note="batched wavefront event loop")
 def _run_batch(
     kernel_cls: type,
     workspace: SimWorkspace,
@@ -628,6 +642,7 @@ def _run_batch(
     starve_min = [big] * B
     orphans = kernel.orphans
 
+    # kernel-ok: closure (the dispatch step reads/writes the batch planes)
     def dispatch(lane: int) -> None:
         """Assign activated & available tasks to idle processors (EO order)."""
         fp = free[lane]
@@ -694,10 +709,11 @@ def _run_batch(
         # leaders): the vectorised wavefront cannot amortise its per-step
         # NumPy overhead, so drain each lane with a plain event heap —
         # identical transitions, identical delivery order.
+        finished_now: list[int] = []
         for lane in act_list:
             tic = perf_counter()
             lane_activate, lane_on_finished = kernel.bind_lane(lane)
-            events = [
+            events = [  # kernel-ok: loop-alloc (per-lane event-heap seed)
                 (t, int(node))
                 for t, node in zip(slot_time_rows[lane].tolist(), slot_node_rows[lane].tolist())
                 if t != inf
@@ -708,7 +724,7 @@ def _run_batch(
             st = start[lane]
             fi = finish[lane]
             pr = processor[lane]
-            finished_now: list[int] = []
+            finished_now.clear()
             while events:
                 clk = events[0][0]
                 clock[lane] = clk
@@ -819,17 +835,18 @@ def _run_batch(
         for lane in act_list:
             decision[lane] += share
         if stalled:
+            # kernel-ok: loop-alloc (rare stall path rebuilds the active set)
             act_list = [lane for lane in act_list if running[lane] > 0]
             full = False
-            act = np.asarray(act_list, dtype=np.int64)
+            act = np.asarray(act_list, dtype=np.int64)  # kernel-ok: loop-alloc
 
     # --- collect --------------------------------------------------------
     sims: list[_LaneSim] = []
     for lane in range(B):
         sim = _LaneSim()
-        sim.start = np.asarray(start[lane], dtype=np.float64)
-        sim.finish = np.asarray(finish[lane], dtype=np.float64)
-        sim.processor = np.asarray(processor[lane], dtype=np.int64)
+        sim.start = np.asarray(start[lane], dtype=np.float64)  # kernel-ok: loop-alloc
+        sim.finish = np.asarray(finish[lane], dtype=np.float64)  # kernel-ok: loop-alloc
+        sim.processor = np.asarray(processor[lane], dtype=np.int64)  # kernel-ok: loop-alloc
         sim.clock = clock[lane]
         sim.finished = finished[lane]
         sim.num_events = num_events[lane]

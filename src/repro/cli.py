@@ -14,6 +14,12 @@ Four sub-commands cover the typical workflows of the library:
     outcome.  On a directory, ``--jobs N`` fans the trees out over ``N``
     worker processes (per-tree orders and minimum memory are computed once
     per tree, and the rows come back in deterministic dataset order).
+``memtree lint``
+    Run the static kernel-contract analyzer (:mod:`repro.analysis`) over the
+    package (or given paths): compilable-subset purity of the registered hot
+    kernels, plane dtype contracts, and the scalar/lane anti-drift rule.
+    Exits nonzero on findings that are neither waived in source
+    (``# kernel-ok: <rule>``) nor recorded in a committed baseline.
 ``memtree figure``
     Reproduce one of the paper's figures/tables and print its series, with
     an optional CSV export.  ``--jobs N`` parallelises the underlying sweep
@@ -50,6 +56,7 @@ Examples
             --processors 8 --memory-factor 2
     memtree schedule trees/ --scheduler MemBooking --memory-factor 2 --jobs 4
     memtree figure fig10 --scale tiny --jobs 4
+    memtree lint --json lint-report.json
     memtree figure fig15 --scale tiny --jobs 2 --backend shared-memory
 """
 
@@ -146,6 +153,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="lanes per batch for --backend batched (0 = auto: all instances "
         "of one tree per batch)",
     )
+
+    from .analysis.report import build_parser as _lint_parser  # local: keep CLI import light
+
+    lint = subparsers.add_parser(
+        "lint",
+        parents=[_lint_parser()],
+        add_help=False,
+        help="run the static kernel-contract analyzer",
+    )
+    del lint
 
     figure = subparsers.add_parser("figure", help="reproduce a figure of the paper")
     figure.add_argument("figure_id", choices=sorted(FIGURES))
@@ -300,6 +317,12 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.report import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir) if args.cache_dir is not None else None
     workload_cache = None
@@ -331,6 +354,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "info": _cmd_info,
         "schedule": _cmd_schedule,
+        "lint": _cmd_lint,
         "figure": _cmd_figure,
     }
     return handlers[args.command](args)

@@ -57,9 +57,12 @@ import json
 import mmap
 import struct
 from pathlib import Path
-from typing import Any, Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing import shared_memory
 
 from .task_tree import NO_PARENT, TaskTree
 
@@ -97,9 +100,9 @@ class TreeStore:
 
     def __init__(
         self,
-        buffer,
+        buffer: "bytes | bytearray | memoryview | mmap.mmap",
         *,
-        shm=None,
+        shm: "shared_memory.SharedMemory | None" = None,
         mmap_obj: mmap.mmap | None = None,
     ) -> None:
         """Wrap an existing arena ``buffer`` (bytes, bytearray, mmap or shm view).
@@ -140,7 +143,7 @@ class TreeStore:
         self._names: list[list[str] | None] = meta.get("names") or [None] * self._n_trees
         self.metadata: dict[str, Any] = meta.get("metadata", {})
 
-        def view(dtype, count, offset):
+        def view(dtype: "np.dtype | type", count: int, offset: int) -> np.ndarray:
             array = np.frombuffer(buffer, dtype=dtype, count=count, offset=offset)
             array.setflags(write=False)
             return array
@@ -328,7 +331,7 @@ class TreeStore:
         metadata: Mapping[str, Any] | None = None,
         planes: "Mapping[str, Sequence[np.ndarray]] | None" = None,
         name: str | None = None,
-    ):
+    ) -> "shared_memory.SharedMemory":
         """Pack ``trees`` straight into a new named shared-memory block.
 
         Unlike ``pack(...).to_shared_memory()`` this serialises directly into
@@ -397,7 +400,7 @@ class TreeStore:
         path.write_bytes(self._arena_view())
         return path
 
-    def to_shared_memory(self, name: str | None = None):
+    def to_shared_memory(self, name: str | None = None) -> "shared_memory.SharedMemory":
         """Copy the arena into a named shared-memory block and return it.
 
         The arena is copied straight from the backing buffer (no intermediate
@@ -549,7 +552,7 @@ def _open_shared_memory(name: str):
 
         original = resource_tracker.register
 
-        def register_without_shm(rname, rtype):  # pragma: no cover - py<3.13 shim
+        def register_without_shm(rname: str, rtype: str) -> None:  # pragma: no cover - py<3.13 shim
             if rtype != "shared_memory":
                 original(rname, rtype)
 

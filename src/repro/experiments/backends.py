@@ -47,7 +47,7 @@ import pickle
 import warnings
 from abc import ABC, abstractmethod
 from collections import OrderedDict
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -83,7 +83,9 @@ _BACKEND_FACTORIES: dict[str, Any] = {}
 BACKEND_NAMES: tuple[str, ...] = ("auto",)
 
 
-def register_backend(name: str, factory) -> None:
+def register_backend(
+    name: str, factory: "Callable[[int, SweepConfig], ExecutionBackend]"
+) -> None:
     """Register an execution backend under ``name``.
 
     ``factory(jobs, config)`` must return an :class:`ExecutionBackend`;
@@ -216,7 +218,7 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def run(self, trees, config):
+    def run(self, trees: Sequence[TaskTree], config: SweepConfig) -> RecordTable:
         from .runner import run_instance
 
         total = len(trees) * runs_per_tree(config)
@@ -244,10 +246,12 @@ class ProcessPoolBackend(ExecutionBackend):
             raise ValueError("jobs must be >= 0 (0 means one worker per CPU)")
         self.jobs = int(jobs)
 
-    def dispatch_payloads(self, trees, config):
+    def dispatch_payloads(
+        self, trees: Sequence[TaskTree], config: SweepConfig
+    ) -> "list[tuple[int, TaskTree, SweepConfig]]":
         return [(index, tree, config) for index, tree in enumerate(trees)]
 
-    def run(self, trees, config):
+    def run(self, trees: Sequence[TaskTree], config: SweepConfig) -> RecordTable:
         from .runner import _run_instance_star
 
         jobs = _worker_count(self.jobs, len(trees))
@@ -369,7 +373,9 @@ class SharedMemoryBackend(ExecutionBackend):
         #: outweigh one serial pass — off by default.
         self.share_planes = bool(share_planes)
 
-    def dispatch_payloads(self, trees, config):
+    def dispatch_payloads(
+        self, trees: Sequence[TaskTree], config: SweepConfig
+    ) -> "list[tuple[int, int, str, int, float]]":
         return [
             (global_index, tree_index, scheduler, num_processors, memory_factor)
             for global_index, (tree_index, scheduler, num_processors, memory_factor) in enumerate(
@@ -377,7 +383,7 @@ class SharedMemoryBackend(ExecutionBackend):
             )
         ]
 
-    def run(self, trees, config):
+    def run(self, trees: Sequence[TaskTree], config: SweepConfig) -> RecordTable:
         trees = list(trees)
         if not trees:
             return RecordTable.empty(0)

@@ -11,8 +11,7 @@ used for both AO and EO.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Sequence
+from dataclasses import dataclass, replace
 
 __all__ = ["SweepConfig", "DEFAULT_MEMORY_FACTORS", "PAPER_HEURISTICS"]
 

@@ -34,7 +34,7 @@ Figure map
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -42,7 +42,6 @@ from ..bounds import lower_bound_improvement_stats
 from ..core.task_tree import TaskTree
 from ..core.tree_metrics import height
 from ..orders import minimum_memory_postorder, sequential_peak_memory
-from ..schedulers import SCHEDULER_FACTORIES
 from ..schedulers.membooking import MemBookingReferenceScheduler, MemBookingScheduler
 from ..workloads.datasets import (
     WorkloadCache,
@@ -51,11 +50,11 @@ from ..workloads.datasets import (
     height_study_dataset,
     synthetic_dataset,
 )
-from .config import DEFAULT_MEMORY_FACTORS, PAPER_HEURISTICS, SweepConfig
+from .config import DEFAULT_MEMORY_FACTORS, SweepConfig
 from .metrics import decile_band, mean, median, series_over, speedup_records
 from .records import RecordTable, ResultCache
 from .reporting import format_series_table
-from .runner import prepare_instance, run_single, run_sweep
+from .runner import run_sweep
 
 __all__ = ["FigureResult", "FIGURES", "run_figure"]
 

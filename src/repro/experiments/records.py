@@ -69,9 +69,14 @@ import os
 import struct
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing import shared_memory
+
+    from .config import SweepConfig
 
 __all__ = ["Field", "RECORD_FIELDS", "RecordTable", "ResultCache", "records_equal"]
 
@@ -186,7 +191,13 @@ class RecordTable:
     materialises one row and ``table == [ {...}, ... ]`` compares values.
     """
 
-    def __init__(self, buffer, *, shm=None, mmap_obj: mmap.mmap | None = None) -> None:
+    def __init__(
+        self,
+        buffer: "bytes | bytearray | memoryview | mmap.mmap",
+        *,
+        shm: "shared_memory.SharedMemory | None" = None,
+        mmap_obj: mmap.mmap | None = None,
+    ) -> None:
         """Wrap an existing arena ``buffer`` (bytearray, mmap or shm view).
 
         Most callers should use the classmethod constructors instead.
@@ -288,7 +299,7 @@ class RecordTable:
     @classmethod
     def create_shared(
         cls, n_rows: int, *, metadata: Mapping[str, Any] | None = None, name: str | None = None
-    ):
+    ) -> "tuple[shared_memory.SharedMemory, RecordTable]":
         """Preallocate a table in a fresh named shared-memory block.
 
         Returns ``(shm, table)``: the caller owns the
@@ -524,7 +535,7 @@ class RecordTable:
     def __len__(self) -> int:
         return self._n_rows
 
-    def __getitem__(self, key):
+    def __getitem__(self, key: "str | int | slice") -> Any:
         if isinstance(key, str):
             return self.column(key)
         if isinstance(key, slice):
@@ -628,7 +639,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
 
-    def key(self, dataset_key: Sequence[Any], config) -> str:
+    def key(self, dataset_key: Sequence[Any], config: "SweepConfig") -> str:
         """Stable digest of one sweep's identity.
 
         The package version participates in the key so upgrading the

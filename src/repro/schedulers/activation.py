@@ -35,6 +35,7 @@ from typing import Any, MutableSequence, Sequence
 
 import numpy as np
 
+from ..analysis.registry import hot_kernel
 from .engine import EventDrivenScheduler
 
 __all__ = ["ActivationScheduler", "run_activation_scan"]
@@ -50,6 +51,7 @@ _SCALAR_BURST = 16
 _SCAN_CHUNK = 64
 
 
+@hot_kernel(note="UpdateCAND-ACT transition, shared scalar/lane")
 def run_activation_scan(
     pos: int,
     total: int,
@@ -103,6 +105,7 @@ def run_activation_scan(
             # Exact prefix fold: cum[k] is the booked total after the
             # k-th activation of this chunk, the same chain of additions
             # the sequential ledger performed.
+            # kernel-ok: loop-alloc (doubling chunk buffer of the exact scan)
             cum = np.empty(seg.size + 1, dtype=np.float64)
             cum[0] = booked
             cum[1:] = seg
@@ -162,6 +165,7 @@ class ActivationScheduler(EventDrivenScheduler):
         # a plain (rank, node) heap the engine pops directly (fast path).
         self.ready_heap = []
 
+    @hot_kernel
     def _activate(self) -> None:
         pos = self._next_activation
         total = self._total
@@ -192,6 +196,7 @@ class ActivationScheduler(EventDrivenScheduler):
         self._booked = booked
         self._peak_booked = peak
 
+    @hot_kernel
     def _on_tasks_finished(self, nodes: Sequence[int]) -> None:
         # Free the execution data of each completed node and the inputs it
         # consumed (the outputs of its children, booked when the children

@@ -75,6 +75,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from ..analysis.registry import hot_kernel
 from ..core.task_tree import NO_PARENT, TaskTree
 from ..orders import Ordering
 from .base import UNSCHEDULED, ReadyQueue, ScheduleResult, Scheduler
@@ -365,6 +366,7 @@ class EventDrivenScheduler(Scheduler):
             # long-lived scheduler object never pins the last tree.
             self._reset_engine_state()
 
+    @hot_kernel(note="scalar event loop (Algorithm 2 skeleton)")
     def _run_simulation(
         self,
         tree: TaskTree,
@@ -432,6 +434,7 @@ class EventDrivenScheduler(Scheduler):
 
         if ready_heap is not None:
 
+            # kernel-ok: closure (event-instant scalars via nonlocal)
             def dispatch_ready() -> None:
                 """Assign activated & available tasks to idle processors (EO order).
 
@@ -454,6 +457,7 @@ class EventDrivenScheduler(Scheduler):
 
         else:
 
+            # kernel-ok: closure (event-instant scalars via nonlocal)
             def dispatch_ready() -> None:
                 """Hook-based dispatch (ReadyQueue / ``_pop_ready_task``)."""
                 nonlocal running

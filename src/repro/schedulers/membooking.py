@@ -64,6 +64,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from ..analysis.registry import hot_kernel, plane_mutator
 from .base import ReadyQueue
 from .engine import EventDrivenScheduler
 
@@ -86,6 +87,7 @@ UN, CAND, ACT, RUN, FN = 0, 1, 2, 3, 4
 _UNSET = -1.0
 
 
+@hot_kernel(note="DispatchMemory (Alg. 3/6), shared scalar/lane")
 def dispatch_memory(
     j: int,
     booked: list[float],
@@ -157,6 +159,7 @@ def dispatch_memory(
     return mbooked, peak
 
 
+@hot_kernel(note="UpdateCAND-ACT (Alg. 4/6), shared scalar/lane")
 def run_membooking_activation(
     peek_candidate,
     remove_candidate,
@@ -307,6 +310,7 @@ class _MemBookingCore(EventDrivenScheduler):
     # ------------------------------------------------------------------ #
     # DispatchMemory (Algorithm 3 / Algorithm 6 lines 4-17)
     # ------------------------------------------------------------------ #
+    @hot_kernel
     def _dispatch_memory(self, j: int) -> None:
         self._mbooked, self._peak_booked = dispatch_memory(
             j,
@@ -325,6 +329,7 @@ class _MemBookingCore(EventDrivenScheduler):
     # ------------------------------------------------------------------ #
     # UpdateCAND-ACT (Algorithm 4 / Algorithm 6 lines 18-30)
     # ------------------------------------------------------------------ #
+    @hot_kernel
     def _activate(self) -> None:
         self._mbooked, self._peak_booked, _, _ = run_membooking_activation(
             self._peek_candidate,
@@ -349,9 +354,11 @@ class _MemBookingCore(EventDrivenScheduler):
     # ------------------------------------------------------------------ #
     # engine events
     # ------------------------------------------------------------------ #
+    @hot_kernel
     def _on_task_started(self, node: int) -> None:
         self._state[node] = RUN
 
+    @hot_kernel
     def _on_tasks_finished(self, nodes: Sequence[int]) -> None:
         state = self._state
         parent = self._parent_list
@@ -407,13 +414,16 @@ class MemBookingScheduler(_MemBookingCore):
         # ACTf: a plain (EO rank, node) heap the engine pops directly.
         self.ready_heap = []
 
+    @hot_kernel
     def _mark_available(self, node: int) -> None:
         heapq.heappush(self.ready_heap, (self._eo_rank_list[node], node))
 
+    @hot_kernel
     def _make_candidate(self, node: int) -> None:
         self._state[node] = CAND
         heapq.heappush(self._cand_heap, (self._ao_rank_list[node], node))
 
+    @hot_kernel
     def _peek_candidate(self) -> int | None:
         heap = self._cand_heap
         state = self._state
@@ -452,6 +462,7 @@ class MemBookingReferenceScheduler(_MemBookingCore):
         self._cand_set: set[int] = set()
         self.ready_queue = ReadyQueue(self.workspace.eo_rank_list)
 
+    @plane_mutator(note="naive reference CAND structure (set-based)")
     def _make_candidate(self, node: int) -> None:
         self._state[node] = CAND
         self._cand_set.add(node)

@@ -42,7 +42,6 @@ from pathlib import Path
 from typing import Callable, Iterable, Literal
 
 import numpy as np
-import scipy.sparse as sp
 
 from .._utils import as_rng
 from ..core.task_tree import TaskTree

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from itertools import permutations
-
 import numpy as np
 
 from repro.core.task_tree import NO_PARENT, TaskTree

@@ -1,0 +1,481 @@
+"""The static kernel-contract analyzer (:mod:`repro.analysis`).
+
+Each rule family is exercised on small fixture modules written to
+``tmp_path`` (the analyzer matches contract files by path *suffix*, so a
+fixture at ``<tmp>/experiments/records.py`` is held to the RecordTable
+schema contract).  The meta-test at the bottom asserts the AST scan and the
+runtime registries agree on which functions are registered — neither a
+decorator the scan cannot see nor a scanned decorator that never runs can
+slip through.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    HOT_KERNELS,
+    PLANE_MUTATORS,
+    analyze_paths,
+    apply_baseline,
+    failing,
+    iter_registered,
+    load_baseline,
+    main,
+    registration_key,
+    write_baseline,
+)
+
+# --------------------------------------------------------------------------- #
+# fixtures
+# --------------------------------------------------------------------------- #
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def write_module(tmp_path: Path, relative: str, source: str) -> Path:
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def rules_of(findings) -> list[str]:
+    return sorted({f.rule for f in findings})
+
+
+def kernel_findings(tmp_path: Path, body: str) -> list:
+    """Analyze a one-kernel module whose def body is ``body``."""
+    header = textwrap.dedent(
+        """
+        from repro.analysis.registry import hot_kernel
+
+        @hot_kernel
+        def kernel(a, b):
+        """
+    )
+    source = header + textwrap.indent(textwrap.dedent(body).strip("\n"), "    ") + "\n"
+    path = write_module(tmp_path, "kernels.py", source)
+    return analyze_paths([path])
+
+
+# --------------------------------------------------------------------------- #
+# kernel purity (KP1xx)
+# --------------------------------------------------------------------------- #
+
+
+def test_clean_kernel_passes(tmp_path):
+    findings = kernel_findings(
+        tmp_path,
+        """
+        total = 0.0
+        for i in range(a):
+            total += b[i]
+        return total
+        """,
+    )
+    assert findings == []
+
+
+def test_undecorated_function_is_not_checked(tmp_path):
+    path = write_module(
+        tmp_path,
+        "setup.py",
+        """
+        def build():
+            try:
+                return {"a": 1}
+            except KeyError:
+                return {}
+        """,
+    )
+    assert analyze_paths([path]) == []
+
+
+@pytest.mark.parametrize(
+    "body, rule",
+    [
+        ("state = {}\nreturn state", "KP101"),
+        ("seen = set()\nreturn seen", "KP101"),
+        ("pairs = {k: v for k, v in a}\nreturn pairs", "KP101"),
+        (
+            "import numpy as np\nout = np.empty(a, dtype=object)\nreturn out",
+            "KP102",
+        ),
+        (
+            "import numpy as np\nreturn np.asarray(a).astype(object)",
+            "KP102",
+        ),
+        ("try:\n    return a[b]\nexcept IndexError:\n    return 0", "KP103"),
+        ("yield a", "KP104"),
+        ("for i in range(a):\n    chunk = [0] * b\nreturn chunk", "KP106"),
+        (
+            "import numpy as np\n"
+            "while a > 0:\n"
+            "    buf = np.zeros(b, dtype=np.float64)\n"
+            "    a -= 1\n"
+            "return buf",
+            "KP106",
+        ),
+    ],
+    ids=[
+        "dict-literal",
+        "set-call",
+        "dict-comp",
+        "object-dtype-kw",
+        "astype-object",
+        "try",
+        "yield",
+        "loop-list-mult",
+        "loop-np-alloc",
+    ],
+)
+def test_kernel_violation_detected(tmp_path, body, rule):
+    findings = kernel_findings(tmp_path, body)
+    assert rule in rules_of(findings), findings
+    assert failing(findings)
+
+
+def test_kwargs_signature_rejected(tmp_path):
+    path = write_module(
+        tmp_path,
+        "kernels.py",
+        """
+        from repro.analysis.registry import hot_kernel
+
+        @hot_kernel
+        def kernel(a, **kwargs):
+            return a
+        """,
+    )
+    assert rules_of(analyze_paths([path])) == ["KP105"]
+
+
+def test_closure_cell_rejected(tmp_path):
+    path = write_module(
+        tmp_path,
+        "kernels.py",
+        """
+        from repro.analysis.registry import hot_kernel
+
+        @hot_kernel
+        def kernel(a):
+            total = 0
+
+            def step():
+                nonlocal total
+                total += a
+            step()
+            return total
+        """,
+    )
+    assert "KP107" in rules_of(analyze_paths([path]))
+
+
+def test_parameter_default_binding_passes(tmp_path):
+    # The sanctioned alternative to a closure cell: bind via default args.
+    path = write_module(
+        tmp_path,
+        "kernels.py",
+        """
+        from repro.analysis.registry import hot_kernel
+
+        @hot_kernel
+        def kernel(a):
+            def step(a=a):
+                return a + 1
+            return step()
+        """,
+    )
+    assert analyze_paths([path]) == []
+
+
+def test_statement_level_comprehension_allowed(tmp_path):
+    # Setup comprehensions outside For/While bodies are not hot-loop allocs.
+    findings = kernel_findings(
+        tmp_path,
+        """
+        ranks = [0 for _ in range(a)]
+        total = 0
+        for i in range(a):
+            total += ranks[i]
+        return total
+        """,
+    )
+    assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# escape hatch
+# --------------------------------------------------------------------------- #
+
+
+def test_waiver_suppresses_same_line(tmp_path):
+    findings = kernel_findings(
+        tmp_path,
+        """
+        for i in range(a):
+            buf = [0] * b  # kernel-ok: loop-alloc (test fixture)
+        return buf
+        """,
+    )
+    assert rules_of(findings) == ["KP106"]
+    assert all(f.waived for f in findings)
+    assert failing(findings) == []
+
+
+def test_waiver_suppresses_line_above(tmp_path):
+    findings = kernel_findings(
+        tmp_path,
+        """
+        for i in range(a):
+            # kernel-ok: KP106
+            buf = [0] * b
+        return buf
+        """,
+    )
+    assert failing(findings) == []
+
+
+def test_waiver_for_other_rule_does_not_suppress(tmp_path):
+    findings = kernel_findings(
+        tmp_path,
+        """
+        for i in range(a):
+            buf = [0] * b  # kernel-ok: try
+        return buf
+        """,
+    )
+    assert rules_of(failing(findings)) == ["KP106"]
+
+
+# --------------------------------------------------------------------------- #
+# plane contracts (PC2xx)
+# --------------------------------------------------------------------------- #
+
+
+def test_record_fields_drift_detected(tmp_path):
+    path = write_module(
+        tmp_path,
+        "experiments/records.py",
+        """
+        RECORD_FIELDS = (
+            Field("tree_index", "<i8"),
+            Field("run_index", "<i8"),
+        )
+        """,
+    )
+    findings = analyze_paths([path])
+    assert rules_of(findings) == ["PC201"]
+    # Every missing contract field is reported individually.
+    assert any("missing contract field" in f.message for f in findings)
+
+
+def test_record_fields_matching_contract_passes():
+    # The live module satisfies its own contract.
+    findings = analyze_paths([SRC_ROOT / "experiments" / "records.py"])
+    assert [f for f in findings if f.rule == "PC201"] == []
+
+
+def test_named_array_dtype_mismatch_detected(tmp_path):
+    path = write_module(
+        tmp_path,
+        "schedulers/engine.py",
+        """
+        import numpy as np
+
+        def build(n):
+            block = np.zeros(n, dtype=np.int32)
+            return block
+        """,
+    )
+    assert rules_of(analyze_paths([path])) == ["PC202"]
+
+
+def test_named_array_missing_dtype_detected(tmp_path):
+    path = write_module(
+        tmp_path,
+        "schedulers/engine.py",
+        """
+        import numpy as np
+
+        def build(n):
+            block = np.zeros(n)
+            return block
+        """,
+    )
+    assert rules_of(analyze_paths([path])) == ["PC203"]
+
+
+def test_workspace_plane_name_drift_detected(tmp_path):
+    path = write_module(
+        tmp_path,
+        "batch/planes.py",
+        """
+        WORKSPACE_PLANE_NAMES = ("ws:not_a_real_plane",)
+        """,
+    )
+    assert rules_of(analyze_paths([path])) == ["PC205"]
+
+
+def test_unregistered_plane_append_detected(tmp_path):
+    path = write_module(
+        tmp_path,
+        "batch/workspace.py",
+        """
+        def fill(planes, values):
+            planes["ws:bogus_plane"].append(values)
+        """,
+    )
+    findings = analyze_paths([path])
+    assert rules_of(findings) == ["PC205"]
+    assert "unregistered workspace plane" in findings[0].message
+
+
+# --------------------------------------------------------------------------- #
+# anti-drift (AD301)
+# --------------------------------------------------------------------------- #
+
+DRIFT_SOURCE = """
+from repro.analysis.registry import hot_kernel
+
+
+{decorator}def transition(activated, node):
+    activated[node] = 1
+"""
+
+
+def test_unregistered_plane_mutation_detected(tmp_path):
+    path = write_module(
+        tmp_path,
+        "schedulers/membooking.py",
+        DRIFT_SOURCE.format(decorator=""),
+    )
+    findings = analyze_paths([path])
+    assert rules_of(findings) == ["AD301"]
+    assert findings[0].scope == "transition"
+
+
+def test_registered_kernel_may_mutate_planes(tmp_path):
+    path = write_module(
+        tmp_path,
+        "schedulers/membooking.py",
+        DRIFT_SOURCE.format(decorator="@hot_kernel\n"),
+    )
+    assert analyze_paths([path]) == []
+
+
+def test_drift_rule_scoped_to_scheduler_modules(tmp_path):
+    # The same store in a non-policed module is fine.
+    path = write_module(
+        tmp_path,
+        "experiments/metrics.py",
+        DRIFT_SOURCE.format(decorator=""),
+    )
+    assert analyze_paths([path]) == []
+
+
+# --------------------------------------------------------------------------- #
+# baseline + CLI
+# --------------------------------------------------------------------------- #
+
+
+def test_baseline_filters_known_findings(tmp_path):
+    path = write_module(
+        tmp_path,
+        "schedulers/membooking.py",
+        DRIFT_SOURCE.format(decorator=""),
+    )
+    findings = analyze_paths([path])
+    assert failing(findings)
+
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, findings)
+    fingerprints = load_baseline(baseline_path)
+    assert failing(apply_baseline(findings, fingerprints)) == []
+
+    # A new finding in the same file is not masked by the baseline.
+    path.write_text(
+        path.read_text(encoding="utf-8")
+        + "\n\ndef other(booked, node):\n    booked[node] = 0.0\n",
+        encoding="utf-8",
+    )
+    fresh = apply_baseline(analyze_paths([path]), fingerprints)
+    assert [f.scope for f in failing(fresh)] == ["other"]
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    bad = write_module(
+        tmp_path,
+        "schedulers/membooking.py",
+        DRIFT_SOURCE.format(decorator=""),
+    )
+    clean = write_module(tmp_path, "clean.py", "X = 1\n")
+
+    assert main([str(clean)]) == 0
+    assert main([str(bad)]) == 1
+    capsys.readouterr()
+
+    report = tmp_path / "report.json"
+    assert main([str(bad), "--json", str(report)]) == 1
+    capsys.readouterr()
+    payload = json.loads(report.read_text(encoding="utf-8"))
+    assert payload["counts"]["failing"] == 1
+    assert payload["findings"][0]["rule"] == "AD301"
+
+    baseline = tmp_path / "baseline.json"
+    assert main([str(bad), "--baseline", str(baseline), "--write-baseline"]) == 0
+    capsys.readouterr()
+    assert main([str(bad), "--baseline", str(baseline)]) == 0
+
+
+def test_syntax_error_is_a_finding(tmp_path):
+    path = write_module(tmp_path, "broken.py", "def oops(:\n")
+    findings = analyze_paths([path])
+    assert rules_of(findings) == ["AN000"]
+    assert failing(findings)
+
+
+def test_live_tree_is_clean():
+    """The repo itself lints clean: every live finding is waived in place."""
+    findings = analyze_paths([SRC_ROOT])
+    assert failing(findings) == [], "\n".join(
+        f.location() + " " + f.rule + " " + f.message for f in failing(findings)
+    )
+    # The accountability ledger is not empty: the deliberate waivers exist.
+    assert any(f.waived for f in findings)
+
+
+# --------------------------------------------------------------------------- #
+# meta-test: AST scan == runtime registries
+# --------------------------------------------------------------------------- #
+
+
+def _scanned_keys() -> dict[str, set[str]]:
+    keys: dict[str, set[str]] = {"kernel": set(), "mutator": set()}
+    for module, registered in iter_registered([SRC_ROOT]):
+        relative = module.path.relative_to(SRC_ROOT.parent).with_suffix("")
+        module_name = ".".join(relative.parts)
+        keys[registered.kind].add(registration_key(module_name, registered.qualname))
+    return keys
+
+
+def test_scan_matches_runtime_registries():
+    # Import every module that registers kernels so the runtime side is full.
+    import repro.batch.lanes  # noqa: F401
+    import repro.schedulers.activation  # noqa: F401
+    import repro.schedulers.engine  # noqa: F401
+    import repro.schedulers.membooking  # noqa: F401
+
+    scanned = _scanned_keys()
+    assert scanned["kernel"] == set(HOT_KERNELS)
+    assert scanned["mutator"] == set(PLANE_MUTATORS)
+    # The shared transition kernels of PR 5 are registered on both sides.
+    assert (
+        registration_key("repro.schedulers.activation", "run_activation_scan")
+        in HOT_KERNELS
+    )

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.task_tree import TaskTree
 from repro.core.tree_metrics import bottom_levels

@@ -12,7 +12,7 @@ import pytest
 import scipy.sparse as sp
 
 from repro.core.task_tree import NO_PARENT
-from repro.core.tree_metrics import height, max_degree, tree_stats
+from repro.core.tree_metrics import height, max_degree
 from repro.workloads.elimination import (
     assembly_tree_from_matrix,
     column_counts,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.task_tree import NO_PARENT, TaskTree
+from repro.core.task_tree import TaskTree
 from repro.orders import (
     Ordering,
     critical_path_order,

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.task_tree import TaskTree
 from repro.core.tree_transform import to_reduction_tree
-from repro.orders import Ordering, minimum_memory_postorder, sequential_peak_memory
+from repro.orders import minimum_memory_postorder, sequential_peak_memory
 from repro.schedulers.membooking_redtree import (
     MemBookingRedTreeScheduler,
     extend_order_to_reduction,

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core.task_tree import TaskTree
-from repro.orders.base import Ordering
 from repro.orders.peak_memory import sequential_average_memory, sequential_peak_memory
 from repro.orders.postorder import (
     average_memory_postorder,

@@ -21,7 +21,7 @@ from repro.orders.postorder import (
 )
 
 from .helpers import brute_force_optimal_peak
-from .strategies import task_trees, topological_orders, tree_and_order
+from .strategies import task_trees, tree_and_order
 
 
 class TestEvaluator:

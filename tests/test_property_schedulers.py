@@ -15,7 +15,6 @@ These are the highest-value properties of the whole reproduction:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
