@@ -21,12 +21,23 @@ measurement):
   asserted here at non-tiny scales;
 * the **fig15 grid** — the paper's synthetic processor sweep, recorded as
   the everyday-workload data point (no gate beyond a sanity floor: wide
-  random trees offer less provable collapse).
+  random trees offer less provable collapse);
+* the **feasibility boundary** — the same heavy-leaf family swept *below*
+  the sequential minimum memory, where instances are blocked by the bound
+  (t=0 failures and early deadlocks).  This is the grid the blocked-replay
+  collapse rule targets: one simulated lane certifies the whole infeasible
+  block, cross-``p`` and cross-factor (``SweepConfig`` refuses sub-1
+  factors, so this section drives ``simulate_lanes`` directly against the
+  scalar schedulers).
 
-Byte-identical records are asserted on every timed run, so the speedups
-can never come from divergence.  Everything lands in
-``benchmarks/results/BENCH_batch.json`` (uploaded as a CI artifact), the
-machine-readable trajectory future PRs regress against.
+Each batched grid is additionally timed with the compiled kernel plane
+(``native``) when a toolchain is available, so the JSON records the
+native uplift next to the pure-Python trajectory.  Byte-identical records
+are asserted on every timed run, so the speedups can never come from
+divergence.  Everything lands in ``benchmarks/results/BENCH_batch.json``
+(uploaded as a CI artifact), the machine-readable trajectory future PRs
+regress against; per-rule lane-collapse tallies ride along in every
+section.
 """
 
 from __future__ import annotations
@@ -35,12 +46,17 @@ import gc
 import json
 import pickle
 import time
+from dataclasses import replace
 from pathlib import Path
 
+import numpy as np
+
 import repro.batch.lanes as lanes_mod
-from repro.batch import BatchedBackend
+from repro.batch import LANE_KERNELS, BatchedBackend, simulate_lanes
 from repro.experiments import SweepConfig, run_sweep
 from repro.experiments.backends import SerialBackend
+from repro.experiments.runner import prepare_instance
+from repro.native import native_kernels
 from repro.workloads.datasets import heavyleaf_dataset, synthetic_dataset
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -102,6 +118,7 @@ def _measure(trees, config, repetitions: int = 2):
     the standard guard against one-off scheduler/GC noise deciding a gated
     comparison.
     """
+    config = replace(config, native=False)
     serial_seconds = min(
         _timed_sweep(trees, config, SerialBackend())[0] for _ in range(repetitions)
     )
@@ -110,34 +127,52 @@ def _measure(trees, config, repetitions: int = 2):
     simulated = {"lanes": 0}
     original = lanes_mod._run_batch
 
-    def counting(kernel_cls, workspace, lanes):
+    def counting(kernel_cls, workspace, lanes, **kwargs):
         simulated["lanes"] += len(lanes)
-        return original(kernel_cls, workspace, lanes)
+        return original(kernel_cls, workspace, lanes, **kwargs)
 
     batched_seconds = min(
         _timed_sweep(trees, config, BatchedBackend())[0] for _ in range(repetitions)
     )
+    lanes_mod.collapse_rule_counts.clear()
     lanes_mod._run_batch = counting
     try:
         _, batched_table = _timed_sweep(trees, config, BatchedBackend())
     finally:
         lanes_mod._run_batch = original
+    rules = dict(lanes_mod.collapse_rule_counts)
 
     assert _record_bytes(batched_table) == _record_bytes(serial_table), (
         "batched records diverged from serial — a speedup would be meaningless"
     )
     instances = len(serial_table)
-    return {
+    payload = {
         "instances": instances,
         "trees": len(trees),
         "lanes_simulated": simulated["lanes"],
         "lanes_collapsed": instances - simulated["lanes"],
+        "collapse_rules": rules,
         "serial_seconds": serial_seconds,
         "batched_seconds": batched_seconds,
         "instances_per_second_serial": instances / serial_seconds,
         "instances_per_second_batched": instances / batched_seconds,
         "speedup": serial_seconds / batched_seconds,
     }
+
+    if native_kernels(None) is not None:
+        native_config = replace(config, native=True)
+        native_seconds = min(
+            _timed_sweep(trees, native_config, BatchedBackend())[0]
+            for _ in range(repetitions)
+        )
+        _, native_table = _timed_sweep(trees, native_config, BatchedBackend())
+        assert _record_bytes(native_table) == _record_bytes(serial_table), (
+            "native batched records diverged from serial"
+        )
+        payload["batched_native_seconds"] = native_seconds
+        payload["instances_per_second_batched_native"] = instances / native_seconds
+        payload["speedup_native"] = serial_seconds / native_seconds
+    return payload
 
 
 def test_saturation_sweep_instance_throughput(bench_scale):
@@ -181,3 +216,119 @@ def test_fig15_grid_instance_throughput(bench_scale):
         assert payload["speedup"] >= 1.2, (
             f"batched backend regressed to {payload['speedup']:.2f}x on the fig15 grid"
         )
+
+
+#: Feasibility-boundary grid: factors below 1 are *blocked* instances (the
+#: memory bound refuses them at or near t=0); 1.0 is the sequential
+#: minimum itself and 1.5 anchors the feasible side.
+BOUNDARY_FACTORS = (0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 1.0, 1.5)
+BOUNDARY_PROCS = (2, 4, 8, 16, 32)
+
+
+def test_feasibility_boundary_collapse(bench_scale):
+    """Blocked-replay yield on the sub-feasible block, recorded per run."""
+    trees, _ = heavyleaf_dataset(bench_scale)
+    base = SweepConfig(min_completion_fraction=0.0, validate=False)
+    contexts = [prepare_instance(tree, i, base) for i, tree in enumerate(trees)]
+    grids = [
+        [
+            (p, factor * ctx.minimum_memory)
+            for factor in BOUNDARY_FACTORS
+            for p in BOUNDARY_PROCS
+        ]
+        for ctx in contexts
+    ]
+    kernels = [LANE_KERNELS[name] for name in KERNEL_SCHEDULERS]
+
+    def scalar_run():
+        results = []
+        for tree, ctx, grid in zip(trees, contexts, grids):
+            for kernel_cls in kernels:
+                scheduler = kernel_cls.scheduler_class()
+                for p, limit in grid:
+                    results.append(
+                        scheduler.schedule(
+                            tree, p, limit, ao=ctx.ao, eo=ctx.eo, workspace=ctx.workspace
+                        )
+                    )
+        return results
+
+    def batched_run(native):
+        results = []
+        for tree, ctx, grid in zip(trees, contexts, grids):
+            for kernel_cls in kernels:
+                results.extend(
+                    result
+                    for result, _ in simulate_lanes(
+                        kernel_cls, tree, ctx.ao, ctx.eo, ctx.workspace, grid,
+                        native=native,
+                    )
+                )
+        return results
+
+    gc.collect()
+    tic = time.perf_counter()
+    scalar_results = scalar_run()
+    serial_seconds = time.perf_counter() - tic
+
+    simulated = {"lanes": 0}
+    original = lanes_mod._run_batch
+
+    def counting(kernel_cls, workspace, lanes, **kwargs):
+        simulated["lanes"] += len(lanes)
+        return original(kernel_cls, workspace, lanes, **kwargs)
+
+    gc.collect()
+    tic = time.perf_counter()
+    batched_results = batched_run(False)
+    batched_seconds = time.perf_counter() - tic
+
+    lanes_mod.collapse_rule_counts.clear()
+    lanes_mod._run_batch = counting
+    try:
+        batched_run(False)
+    finally:
+        lanes_mod._run_batch = original
+    rules = dict(lanes_mod.collapse_rule_counts)
+
+    assert len(batched_results) == len(scalar_results)
+    for batched, scalar in zip(batched_results, scalar_results):
+        assert batched.completed == scalar.completed
+        assert batched.failure_reason == scalar.failure_reason
+        np.testing.assert_array_equal(batched.start_times, scalar.start_times)
+        np.testing.assert_array_equal(batched.finish_times, scalar.finish_times)
+        np.testing.assert_array_equal(batched.processor, scalar.processor)
+
+    instances = len(scalar_results)
+    payload = {
+        "config": "feasibility boundary (sub-minimum factors, blocked lanes)",
+        "instances": instances,
+        "trees": len(trees),
+        "lanes_simulated": simulated["lanes"],
+        "lanes_collapsed": instances - simulated["lanes"],
+        "collapse_rules": rules,
+        "serial_seconds": serial_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": serial_seconds / batched_seconds,
+    }
+    if native_kernels(None) is not None:
+        gc.collect()
+        tic = time.perf_counter()
+        native_results = batched_run(True)
+        payload["batched_native_seconds"] = time.perf_counter() - tic
+        payload["speedup_native"] = serial_seconds / payload["batched_native_seconds"]
+        for native, scalar in zip(native_results, scalar_results):
+            assert native.failure_reason == scalar.failure_reason
+            np.testing.assert_array_equal(native.start_times, scalar.start_times)
+    _update_bench_json(bench_scale, "feasibility_boundary", payload)
+    print(
+        f"\nfeasibility boundary: {payload['instances']} instances "
+        f"({payload['lanes_simulated']} simulated, {payload['lanes_collapsed']} collapsed, "
+        f"rules {rules}) | serial {serial_seconds:.2f}s | "
+        f"batched {batched_seconds:.2f}s | speedup {payload['speedup']:.2f}x"
+    )
+    # The point of the section: the blocked block must actually resolve
+    # through the blocked-replay rule, at every scale.
+    assert rules.get("blocked-replay", 0) > 0, (
+        "the sub-feasible grid produced no blocked-replay collapses"
+    )

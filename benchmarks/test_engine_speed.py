@@ -16,6 +16,13 @@ Measures, on the same machine and the same inputs,
   dataset generators, bounds, validation and reporting — the delta is the
   engine.
 
+* the **native stepper** on the same fig15 instances: the compiled C
+  kernel plane (:mod:`repro.native`) vs the Python array kernels, back to
+  back on the same machine.  At non-tiny scales the native plane must be
+  **>= 5x** more events/second than the Python engine (the PR 7
+  acceptance bar, anchored to the ``events_per_second_after`` series this
+  file has recorded since PR 4); skipped when no compiler is available.
+
 Everything lands in ``benchmarks/results/BENCH_engine.json`` — a
 machine-readable perf trajectory (uploaded as a CI artifact) that future
 PRs can regress against.
@@ -32,6 +39,7 @@ import pytest
 from repro.experiments import run_figure
 from repro.experiments.runner import prepare_instance
 from repro.experiments.config import SweepConfig
+from repro.native import NativeUnavailableError, native_kernels
 from repro.schedulers import SCHEDULER_FACTORIES
 from repro.schedulers.reference import REFERENCE_FACTORIES
 from repro.workloads.datasets import synthetic_dataset
@@ -58,11 +66,13 @@ def _update_bench_json(scale: str, section: str, payload: dict) -> None:
     BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
-def _simulate_fig15(factories, trees, contexts) -> tuple[float, int]:
+def _simulate_fig15(factories, trees, contexts, native=None) -> tuple[float, int]:
     """Run every fig15 instance back to back; return (seconds, total events).
 
     Order precomputation (the InstanceContext) happens outside the timed
-    region for both sides, as in the paper's timing figures.
+    region for both sides, as in the paper's timing figures.  ``native``
+    mirrors ``SweepConfig.native``: ``True``/``False`` force the compiled
+    or the Python kernels, ``None`` leaves the scheduler default.
     """
     config = FIG15_CONFIG
     total_events = 0
@@ -72,7 +82,10 @@ def _simulate_fig15(factories, trees, contexts) -> tuple[float, int]:
             for factor in config.memory_factors:
                 memory = factor * context.minimum_memory
                 for name in config.schedulers:
-                    result = factories[name]().schedule(
+                    scheduler = factories[name]()
+                    if native is not None:
+                        scheduler.native = native
+                    result = scheduler.schedule(
                         tree, p, memory, ao=context.ao, eo=context.eo,
                         workspace=context.workspace,
                     )
@@ -112,6 +125,63 @@ def test_fig15_engine_events_per_second(bench_scale):
         assert speedup >= 2.0, (
             f"array engine is only {speedup:.2f}x faster than the PR 3 reference "
             f"on the fig15 configuration (required: >= 2x)"
+        )
+
+
+def test_fig15_native_events_per_second(bench_scale):
+    """Compiled kernel plane vs the Python array kernels, same instances.
+
+    The PR 7 acceptance bar: the native stepper must clear **>= 5x**
+    events/second over the Python engine on the fig15 configuration,
+    measured back to back on the same machine (the honest form of
+    "5x over the ``events_per_second_after`` number recorded at PR 4").
+    Both passes are timed after a warm-up lap so neither pays one-time
+    costs (dlopen, plane materialisation) inside the measured region.
+    """
+    try:
+        if native_kernels(True) is None:  # pragma: no cover - defensive
+            pytest.skip("native kernels unavailable")
+    except NativeUnavailableError as exc:
+        pytest.skip(f"native kernels unavailable: {exc}")
+
+    trees, _ = synthetic_dataset(bench_scale, seed=FIG15_SEED)
+    contexts = [prepare_instance(tree, i, FIG15_CONFIG) for i, tree in enumerate(trees)]
+
+    _simulate_fig15(SCHEDULER_FACTORIES, trees, contexts, native=True)  # warm-up
+    native_seconds, native_events = _simulate_fig15(
+        SCHEDULER_FACTORIES, trees, contexts, native=True
+    )
+    python_seconds, python_events = _simulate_fig15(
+        SCHEDULER_FACTORIES, trees, contexts, native=False
+    )
+    assert native_events == python_events, (
+        "bit-identical kernel planes must count identical events"
+    )
+
+    speedup = python_seconds / native_seconds
+    payload = {
+        "config": "fig15 (synthetic processor sweep)",
+        "instances": len(trees) * len(FIG15_CONFIG.processors)
+        * len(FIG15_CONFIG.memory_factors) * len(FIG15_CONFIG.schedulers),
+        "events": native_events,
+        "python_seconds": python_seconds,
+        "native_seconds": native_seconds,
+        "events_per_second_python": python_events / python_seconds,
+        "events_per_second_native": native_events / native_seconds,
+        "speedup": speedup,
+    }
+    _update_bench_json(bench_scale, "fig15_native", payload)
+    print(
+        f"\nfig15 native: {native_events} events | "
+        f"python {python_seconds:.3f}s ({payload['events_per_second_python']:,.0f} ev/s) | "
+        f"native {native_seconds:.3f}s ({payload['events_per_second_native']:,.0f} ev/s) | "
+        f"speedup {speedup:.2f}x"
+    )
+    if bench_scale != "tiny":
+        # The PR 7 acceptance bar for the compiled plane.
+        assert speedup >= 5.0, (
+            f"native stepper is only {speedup:.2f}x faster than the Python "
+            f"array kernels on the fig15 configuration (required: >= 5x)"
         )
 
 

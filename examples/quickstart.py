@@ -122,6 +122,12 @@ def main() -> None:
     print("(dataset, scale, seed, generator version), and mmap-loads them on later")
     print("figures instead of regenerating (--no-workload-cache disables it;")
     print("`memtree figure fig2 --workload-cache-dir trees-cache/` on the CLI).")
+    print()
+    print("If a C compiler is available, the hot event loops run through compiled")
+    print("kernels (built once into ~/.cache/memtree-native, byte-identical")
+    print("records): this happens automatically, `memtree figure fig15 --native`")
+    print("makes it mandatory (error instead of silent Python fallback) and")
+    print("`--no-native` / REPRO_NATIVE=0 force the pure-Python kernels.")
 
 
 if __name__ == "__main__":

@@ -88,7 +88,13 @@ class BatchedBackend(ExecutionBackend):
                         for i in chunk
                     ]
                     outcomes = simulate_lanes(
-                        kernel_cls, tree, context.ao, context.eo, context.workspace, lanes
+                        kernel_cls,
+                        tree,
+                        context.ao,
+                        context.eo,
+                        context.workspace,
+                        lanes,
+                        native=config.native,
                     )
                     for position, (result, is_clone) in zip(chunk, outcomes):
                         _, num_processors, memory_factor = combos[position]

@@ -74,6 +74,24 @@ one another, and the engine detects that instead of re-simulating.
     and they may not donate through the saturation rule, whose flags
     describe the donor's ready-pool trajectory.)
 
+*Blocked-replay collapse* (the memory ladder of processor-blocked lanes).
+    The rules above never touch the memory ladder of a lane that is
+    processor-*limited*: such a lane is memory-bound at some instants
+    (no slack), yet its stalls happen while a processor idles (no
+    starvation certificate).  The kernels therefore record, at every
+    memory-bound activation stop, the ledger level that stop would have
+    needed to proceed — ``booked + next request`` for Activation,
+    ``MBooked + missing booking`` for MemBooking — and ``bound_need`` is
+    the minimum over the run.  A follower whose own (tolerance-inclusive)
+    threshold still sits *below* ``bound_need`` is refused the exact same
+    activations at the exact same instants: its entire trajectory
+    (activation, ready pool, booked ledger, dispatch) replays the donor's
+    verbatim, no ``EO == AO`` assumption needed.  Unlike starvation
+    clones these replays are exact, so every diagnostic flag stays valid
+    and they donate through every rule; the same certificate composes
+    with the saturation argument (never-blocked donor, ``p_f >= R*``) to
+    resolve followers that differ from the donor in *both* axes.
+
 :func:`simulate_lanes` schedules lanes in **rounds**: each round runs the
 largest-``p`` unresolved lane of each limit group (thinned to the smallest
 limit per ``p`` — the likeliest future clones are deferred) as one batch,
@@ -95,6 +113,7 @@ from __future__ import annotations
 
 import math
 import time
+from collections import Counter
 from heapq import heapify, heappop, heappush
 from typing import Sequence
 
@@ -168,6 +187,10 @@ class ActivationLaneKernel:
         #: Memory-slack collapse flag: True once an activation attempt was
         #: stopped by the budget (the lane is "memory-bound").
         self.memory_bound = [False] * B
+        #: Blocked-replay certificate: the minimum over every memory-bound
+        #: stop of the budget (``booked + next request``) that stop would
+        #: have needed to proceed (``inf`` while never bound).
+        self.bound_need = [math.inf] * B
         # Stacked per-lane state rows (C-level copies of one template).
         self._activated = [bytearray(n) for _ in range(B)]
         counts = ws.num_children_list
@@ -189,8 +212,11 @@ class ActivationLaneKernel:
         booked = self._booked[lane]
         threshold = self._threshold[lane]
         req_list = self._req_list
-        if booked + req_list[pos] > threshold:
+        need = booked + req_list[pos]
+        if need > threshold:
             self.memory_bound[lane] = True
+            if need < self.bound_need[lane]:
+                self.bound_need[lane] = need
             return
         pos, booked, peak = run_activation_scan(
             pos,
@@ -208,6 +234,9 @@ class ActivationLaneKernel:
         )
         if pos < n:
             self.memory_bound[lane] = True  # the scan stopped on the budget
+            need = booked + req_list[pos]
+            if need < self.bound_need[lane]:
+                self.bound_need[lane] = need
         self._next[lane] = pos
         self._booked[lane] = booked
         self._peak[lane] = peak
@@ -252,6 +281,7 @@ class ActivationLaneKernel:
         while running the exact same transitions.
         """
         memory_bound = self.memory_bound
+        bound_need = self.bound_need
         next_list = self._next
         booked_list = self._booked
         peak_list = self._peak
@@ -274,8 +304,11 @@ class ActivationLaneKernel:
             if pos >= n:
                 return
             booked = booked_list[lane]
-            if booked + req_list[pos] > threshold:
+            need = booked + req_list[pos]
+            if need > threshold:
                 memory_bound[lane] = True
+                if need < bound_need[lane]:
+                    bound_need[lane] = need
                 return
             pos, booked, peak = scan(
                 pos, n, booked, peak_list[lane], threshold, req_list, req_ao,
@@ -283,6 +316,9 @@ class ActivationLaneKernel:
             )
             if pos < n:
                 memory_bound[lane] = True
+                need = booked + req_list[pos]
+                if need < bound_need[lane]:
+                    bound_need[lane] = need
             next_list[lane] = pos
             booked_list[lane] = booked
             peak_list[lane] = peak
@@ -368,6 +404,9 @@ class MemBookingLaneKernel:
         self._mbooked = [0.0] * B
         self._peak = [0.0] * B
         self.memory_bound = [False] * B
+        #: Blocked-replay certificate (see ActivationLaneKernel): minimum
+        #: ledger level a budget-blocked candidate would have required.
+        self.bound_need = [math.inf] * B
         self._booked = [[0.0] * n for _ in range(B)]
         self._bbs = [[_UNSET] * n for _ in range(B)]
         # The candidate heap after the leaf setup is lane-independent:
@@ -440,6 +479,8 @@ class MemBookingLaneKernel:
         self._peak[lane] = peak
         if bound:
             self.memory_bound[lane] = True
+            if bound < self.bound_need[lane]:
+                self.bound_need[lane] = bound
 
     @hot_kernel
     def on_started(self, lane: int, node: int) -> None:
@@ -481,6 +522,7 @@ class MemBookingLaneKernel:
         mbooked_list = self._mbooked
         peak_list = self._peak
         memory_bound = self.memory_bound
+        bound_need = self.bound_need
 
         # kernel-ok: closure (ledger scalars live in the enclosing lists)
         def activate(
@@ -509,6 +551,8 @@ class MemBookingLaneKernel:
             peak_list[lane] = peak
             if bound:
                 memory_bound[lane] = True
+                if bound < bound_need[lane]:
+                    bound_need[lane] = bound
 
         orphans = self.orphans
 
@@ -563,6 +607,12 @@ LANE_KERNELS: dict[str, type] = {
     MemBookingLaneKernel.name: MemBookingLaneKernel,
 }
 
+#: Process-wide tally of which collapse rule resolved how many lanes,
+#: accumulated across every :func:`simulate_lanes` call.  Diagnostic only:
+#: the batch speed benchmark snapshots it around a grid to report the
+#: yield of each rule next to the simulated/collapsed counts.
+collapse_rule_counts: Counter = Counter()
+
 
 class _LaneSim:
     """Raw outcome of one actually-simulated lane (pre-record, pre-profile)."""
@@ -581,7 +631,71 @@ class _LaneSim:
         "never_blocked",
         "never_bound",
         "starve_min",
+        "bound_need",
     )
+
+
+def _run_batch_native(
+    kernel_cls: type,
+    workspace: SimWorkspace,
+    lanes: Sequence[tuple[int, float]],
+    native: bool | None,
+) -> "list[_LaneSim] | None":
+    """Run every lane of the batch through the compiled C stepper.
+
+    Returns ``None`` when native kernels are off or unavailable (the caller
+    falls back to the Python wavefront).  Each lane is one C call over the
+    shared workspace planes; the returned :class:`_LaneSim` carries the
+    exact schedule arrays *and* the exact collapse diagnostics
+    (``peak_running`` / ``never_blocked`` / ``never_bound`` /
+    ``starve_min``, with the per-batch starvation sentinel) the Python
+    engine would have produced, so the collapse rounds of
+    :func:`simulate_lanes` take identical decisions either way.
+    """
+    if kernel_cls is ActivationLaneKernel:
+        kernel_name = "activation"
+    elif kernel_cls is MemBookingLaneKernel:
+        kernel_name = "membooking"
+    else:
+        return None
+    from .. import native as native_mod
+
+    kernels = native_mod.native_kernels(native)
+    if kernels is None:
+        return None
+    planes = workspace.native_planes()
+    pmax = max(int(p) for p, _ in lanes)
+    starve_init = workspace.n + pmax + 1
+    perf_counter = time.perf_counter
+    sims: list[_LaneSim] = []
+    for num_processors, memory_limit in lanes:
+        tic = perf_counter()
+        outcome = native_mod.simulate(
+            kernels,
+            kernel_name,
+            planes,
+            int(num_processors),
+            float(memory_limit),
+            starve_init=starve_init,
+        )
+        seconds = perf_counter() - tic
+        sim = _LaneSim()
+        sim.start = outcome.start
+        sim.finish = outcome.finish
+        sim.processor = outcome.processor
+        sim.clock = outcome.clock
+        sim.finished = outcome.finished
+        sim.num_events = outcome.num_events
+        sim.failure = outcome.failure
+        sim.decision = seconds
+        sim.extras = outcome.extras
+        sim.peak_running = outcome.peak_running
+        sim.never_blocked = not outcome.blocked
+        sim.never_bound = not outcome.memory_bound
+        sim.starve_min = outcome.starve_min
+        sim.bound_need = outcome.bound_need
+        sims.append(sim)
+    return sims
 
 
 @hot_kernel(note="batched wavefront event loop")
@@ -589,9 +703,13 @@ def _run_batch(
     kernel_cls: type,
     workspace: SimWorkspace,
     lanes: Sequence[tuple[int, float]],
+    native: bool | None = None,
 ) -> list[_LaneSim]:
     """Advance every lane of one batch to completion.
 
+    When the compiled kernel plane is enabled (and ``kernel_cls`` is one of
+    the built-in lane kernels), each lane is simulated by one C call
+    instead; the Python paths below remain the fallback and the oracle.
     Wide batches step in lock-step, one event wavefront per iteration: the
     vectorised slot-plane scan yields every lane's completions, the kernel
     consumes them as one batch, then each lane activates and dispatches at
@@ -599,6 +717,9 @@ def _run_batch(
     heap (see :data:`_WAVEFRONT_MIN_LANES`); both paths run the identical
     transitions in the identical order.
     """
+    native_sims = _run_batch_native(kernel_cls, workspace, lanes, native)
+    if native_sims is not None:
+        return native_sims
     B = len(lanes)
     n = workspace.n
     nan = math.nan
@@ -857,6 +978,7 @@ def _run_batch(
         sim.never_blocked = not blocked[lane]
         sim.never_bound = not kernel.memory_bound[lane]
         sim.starve_min = starve_min[lane]
+        sim.bound_need = kernel.bound_need[lane]
         sims.append(sim)
     return sims
 
@@ -868,6 +990,7 @@ def simulate_lanes(
     eo: Ordering,
     workspace: SimWorkspace | None,
     lanes: Sequence[tuple[int, float]],
+    native: bool | None = None,
 ) -> list[tuple[ScheduleResult, bool]]:
     """Simulate every ``(processors, memory limit)`` lane of one tree.
 
@@ -909,8 +1032,9 @@ def simulate_lanes(
     #: more tasks waiting even when none of them can start), so its
     #: ``never_blocked`` / ``peak_running`` flags describe the donor's
     #: memory limit, not the clone's — such lanes must not donate through
-    #: the saturation rule.  Saturation, slack and duplicate clones replay
-    #: the donor's activation *and* ready trajectories, so every flag stays
+    #: the saturation or blocked-replay rules.  Saturation, slack,
+    #: blocked-replay and duplicate clones replay the donor's activation
+    #: *and* ready trajectories, so every flag stays
     #: valid; a starvation clone's ``starve_min`` is a conservative lower
     #: bound of its real one (its fuller pool can only starve less), which
     #: is exactly the direction the starvation test needs.
@@ -930,6 +1054,9 @@ def simulate_lanes(
             for follower in sorted(pending):
                 p_f = procs[follower]
                 m_f = limits[follower]
+                # The follower's ledger threshold, exactly as its own
+                # simulation would compute it (tolerance included).
+                t_f = m_f + 1e-9 * max(1.0, m_f)
                 for donor in range(B):
                     if donor == follower or (donor in pending):
                         continue
@@ -954,6 +1081,30 @@ def simulate_lanes(
                         # admitted everything it ever saw.
                         rule = "slack"
                     elif (
+                        m_f > m_d
+                        and t_f < sim.bound_need
+                        and clone_rule.get(donor) != "starvation"
+                        and (
+                            same_p
+                            or (sim.never_blocked and p_f >= sim.peak_running)
+                        )
+                    ):
+                        # Blocked-replay collapse: the follower's larger
+                        # budget still sits strictly below every ledger level
+                        # a memory-bound stop of the donor would have needed
+                        # (``bound_need``), so the follower is refused the
+                        # exact same activations at the exact same instants —
+                        # its whole trajectory (activation, ready pool,
+                        # ledger, dispatch) replays the donor's verbatim.
+                        # This is the rule that finally collapses the memory
+                        # ladder of processor-*blocked* lanes, which slack
+                        # (never bound) and starvation (no idle processor at
+                        # any memory stall) can never certify; and because
+                        # the replay is exact it composes with the saturation
+                        # argument to resolve followers differing in *both*
+                        # axes (``p_f >= R*`` of a never-blocked donor).
+                        rule = "blocked-replay"
+                    elif (
                         shared_order
                         and same_p
                         and m_f > m_d
@@ -968,15 +1119,17 @@ def simulate_lanes(
                     else:
                         continue
                     clone_of[follower] = src
-                    # Provenance is inherited: a duplicate of a starvation
-                    # clone is still starvation-limited, and any clone
-                    # reached *through* a starvation step keeps the taint.
-                    donor_rule = clone_rule.get(donor)
-                    clone_rule[follower] = (
-                        "starvation"
-                        if "starvation" in (rule, donor_rule)
-                        else rule
-                    )
+                    # Provenance is inherited through starvation steps: a
+                    # duplicate of a starvation clone is still
+                    # starvation-limited (its flags describe the donor's
+                    # budget).  Every other rule — blocked-replay included —
+                    # produces an *exact* trajectory replay, so those clones
+                    # keep valid flags and donate through every rule.
+                    if "starvation" in (rule, clone_rule.get(donor)):
+                        clone_rule[follower] = "starvation"
+                    else:
+                        clone_rule[follower] = rule
+                    collapse_rule_counts[rule] += 1
                     pending.discard(follower)
                     progress = True
                     break
@@ -997,7 +1150,10 @@ def simulate_lanes(
             if best is None or limits[index] < limits[best]:
                 by_proc[procs[index]] = index
         batch = sorted(by_proc.values())
-        for index, sim in zip(batch, _run_batch(kernel_cls, workspace, [lanes[i] for i in batch])):
+        for index, sim in zip(
+            batch,
+            _run_batch(kernel_cls, workspace, [lanes[i] for i in batch], native=native),
+        ):
             sims[index] = sim
             pending.discard(index)
         try_collapse()

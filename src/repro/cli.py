@@ -153,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="lanes per batch for --backend batched (0 = auto: all instances "
         "of one tree per batch)",
     )
+    _add_native_flags(schedule)
 
     from .analysis.report import build_parser as _lint_parser  # local: keep CLI import light
 
@@ -208,8 +209,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore --workload-cache-dir and always regenerate the datasets",
     )
+    _add_native_flags(figure)
 
     return parser
+
+
+def _add_native_flags(subparser: argparse.ArgumentParser) -> None:
+    """Paired --native/--no-native flags (tri-state, default: REPRO_NATIVE)."""
+    subparser.add_argument(
+        "--native",
+        action="store_true",
+        dest="native",
+        default=None,
+        help="require the compiled C kernels (repro.native; error if they "
+        "cannot be built)",
+    )
+    subparser.add_argument(
+        "--no-native",
+        action="store_false",
+        dest="native",
+        help="force the pure-Python kernels (default: the REPRO_NATIVE "
+        "environment switch; unset = auto with silent fallback)",
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -271,6 +292,7 @@ def _cmd_schedule_dataset(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         backend=args.backend,
         batch_size=args.batch_size,
+        native=args.native,
     )
     records = run_sweep(trees, config)
     print(
@@ -302,6 +324,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     minimum = sequential_peak_memory(tree, minimum_memory_postorder(tree))
     memory = args.memory if args.memory is not None else args.memory_factor * minimum
     scheduler = make_scheduler(args.scheduler)
+    scheduler.native = args.native
     result = scheduler.schedule(tree, args.processors, memory, ao=ao, eo=eo)
     print(f"scheduler          : {result.scheduler}")
     print(f"tree size          : {result.tree_size}")
@@ -334,6 +357,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         backend=args.backend,
         batch_size=args.batch_size,
+        native=args.native,
         cache=cache,
         workload_cache=workload_cache,
     )

@@ -361,16 +361,19 @@ class SharedMemoryBackend(ExecutionBackend):
 
     name = "shared-memory"
 
-    def __init__(self, jobs: int = 0, *, share_planes: bool = False) -> None:
+    def __init__(self, jobs: int = 0, *, share_planes: bool = True) -> None:
         if jobs < 0:
             raise ValueError("jobs must be >= 0 (0 means one worker per CPU)")
         self.jobs = int(jobs)
-        #: When set, the published arena carries the workspace plane columns
-        #: of every tree (:func:`repro.batch.planes.workspace_planes`):
-        #: workers adopt orders/workspaces/scalars zero-copy instead of
-        #: recomputing them per process.  The parent pays one derivation
-        #: pass up front, so this wins when (workers x trees) derivations
-        #: outweigh one serial pass — off by default.
+        #: When set (the default), the published arena carries the workspace
+        #: plane columns of every tree
+        #: (:func:`repro.batch.planes.workspace_planes`): workers adopt
+        #: orders/workspaces/scalars zero-copy instead of recomputing them
+        #: per process.  The parent pays at most one derivation pass up
+        #: front — and none at all when the workload cache already seeded
+        #: the per-tree plane memos — so N workers never re-derive the same
+        #: static planes N times.  ``share_planes=False`` restores the
+        #: plane-less version-1 arena transfer.
         self.share_planes = bool(share_planes)
 
     def dispatch_payloads(

@@ -65,6 +65,13 @@ class SweepConfig:
         ``auto``) keeps every instance of one (tree, heuristic) in a single
         batch, which maximises lane collapse.  Execution-only — like
         ``jobs`` and ``backend`` it never changes the records produced.
+    native:
+        Compiled kernel plane selection (:mod:`repro.native`): ``True``
+        requires the C kernels (raise if they cannot be built), ``False``
+        forces the pure-Python kernels, ``None`` (the default) defers to
+        the ``REPRO_NATIVE`` environment switch (AUTO with silent
+        fallback when unset).  Execution-only — the native stepper is
+        bit-identical by contract, so it never changes the records.
     """
 
     schedulers: tuple[str, ...] = PAPER_HEURISTICS
@@ -77,6 +84,7 @@ class SweepConfig:
     jobs: int = 1
     backend: str = "auto"
     batch_size: int = 0
+    native: bool | None = None
 
     def __post_init__(self) -> None:
         if not self.schedulers:

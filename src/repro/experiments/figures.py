@@ -107,7 +107,10 @@ def _dataset(
     With a :class:`~repro.workloads.datasets.WorkloadCache` the trees come
     back as zero-copy views over a saved ``TreeStore`` arena keyed by
     (kind, scale, seed, generator version) — generation runs at most once
-    per key, whichever figures ask for the dataset.
+    per key, whichever figures ask for the dataset.  The arena also carries
+    the workspace plane columns for the canonical (memPO, memPO) order pair
+    every sweep figure defaults to, so a warm figure adopts its orders and
+    workspaces from the arena instead of re-deriving them.
     """
     def generate() -> list[TaskTree]:
         if kind == "assembly":
@@ -129,7 +132,7 @@ def _dataset(
     # The height-study dataset ignores the scale knob, so keying on it
     # would store identical arenas once per scale.
     cache_key = (kind, seed) if kind == "height" else (kind, scale, seed)
-    return workload_cache.fetch(cache_key, generate)
+    return workload_cache.fetch(cache_key, generate, planes_orders=("memPO", "memPO"))
 
 
 def _cached_sweep(
@@ -182,6 +185,7 @@ def _makespan_figure(
     jobs: int = 1,
     backend: str = "auto",
     batch_size: int = 0,
+    native: bool | None = None,
     cache: ResultCache | None = None,
     workload_cache: WorkloadCache | None = None,
 ) -> FigureResult:
@@ -190,7 +194,7 @@ def _makespan_figure(
         memory_factors=tuple(memory_factors),
         processors=tuple(processors),
         jobs=jobs,
-        backend=backend, batch_size=batch_size,
+        backend=backend, batch_size=batch_size, native=native,
     )
     records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
     series: Series = {}
@@ -254,6 +258,7 @@ def _speedup_figure(
     jobs: int = 1,
     backend: str = "auto",
     batch_size: int = 0,
+    native: bool | None = None,
     cache: ResultCache | None = None,
     workload_cache: WorkloadCache | None = None,
 ) -> FigureResult:
@@ -262,7 +267,7 @@ def _speedup_figure(
         schedulers=("Activation", "MemBooking"),
         memory_factors=tuple(memory_factors),
         jobs=jobs,
-        backend=backend, batch_size=batch_size,
+        backend=backend, batch_size=batch_size, native=native,
     )
     records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
     speedups = speedup_records(records)
@@ -311,11 +316,12 @@ def _memory_fraction_figure(
     jobs: int = 1,
     backend: str = "auto",
     batch_size: int = 0,
+    native: bool | None = None,
     cache: ResultCache | None = None,
     workload_cache: WorkloadCache | None = None,
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed, workload_cache)
-    config = SweepConfig(memory_factors=tuple(memory_factors), jobs=jobs, backend=backend, batch_size=batch_size)
+    config = SweepConfig(memory_factors=tuple(memory_factors), jobs=jobs, backend=backend, batch_size=batch_size, native=native)
     records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
     series: Series = {}
     for scheduler in config.schedulers:
@@ -366,12 +372,13 @@ def _timing_figure(
     jobs: int = 1,
     backend: str = "auto",
     batch_size: int = 0,
+    native: bool | None = None,
     cache: ResultCache | None = None,
     workload_cache: WorkloadCache | None = None,
 ) -> FigureResult:
     trees = _dataset(dataset_kind, scale, seed, workload_cache)
     config = SweepConfig(
-        memory_factors=(2.0,), processors=(8,), jobs=jobs, backend=backend, batch_size=batch_size
+        memory_factors=(2.0,), processors=(8,), jobs=jobs, backend=backend, batch_size=batch_size, native=native
     )
     records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
     series: Series = {}
@@ -414,6 +421,7 @@ def _order_choice_figure(
     jobs: int = 1,
     backend: str = "auto",
     batch_size: int = 0,
+    native: bool | None = None,
     cache: ResultCache | None = None,
     workload_cache: WorkloadCache | None = None,
 ) -> FigureResult:
@@ -435,7 +443,7 @@ def _order_choice_figure(
             activation_order=ao_name,
             execution_order=eo_name,
             jobs=jobs,
-            backend=backend, batch_size=batch_size,
+            backend=backend, batch_size=batch_size, native=native,
         )
         records = _cached_sweep(
             trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed)
@@ -483,6 +491,7 @@ def _processor_sweep_figure(
     jobs: int = 1,
     backend: str = "auto",
     batch_size: int = 0,
+    native: bool | None = None,
     cache: ResultCache | None = None,
     workload_cache: WorkloadCache | None = None,
 ) -> FigureResult:
@@ -491,7 +500,7 @@ def _processor_sweep_figure(
         memory_factors=tuple(memory_factors),
         processors=tuple(processors),
         jobs=jobs,
-        backend=backend, batch_size=batch_size,
+        backend=backend, batch_size=batch_size, native=native,
     )
     records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
     series: Series = {}
@@ -533,22 +542,22 @@ def _processor_sweep_figure(
 # --------------------------------------------------------------------------- #
 # assembly-tree figures (2-9)
 # --------------------------------------------------------------------------- #
-def fig2(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig2(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 2: normalised makespan of the three heuristics, assembly trees."""
-    return _makespan_figure("fig2", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, batch_size=batch_size, cache=cache, workload_cache=workload_cache)
+    return _makespan_figure("fig2", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, batch_size=batch_size, native=native, cache=cache, workload_cache=workload_cache)
 
 
-def fig3(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig3(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 3: speedup of MemBooking over Activation, assembly trees."""
-    return _speedup_figure("fig3", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, batch_size=batch_size, cache=cache, workload_cache=workload_cache)
+    return _speedup_figure("fig3", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, batch_size=batch_size, native=native, cache=cache, workload_cache=workload_cache)
 
 
-def fig4(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig4(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 4: fraction of the available memory actually used, assembly trees."""
-    return _memory_fraction_figure("fig4", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, batch_size=batch_size, cache=cache, workload_cache=workload_cache)
+    return _memory_fraction_figure("fig4", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, batch_size=batch_size, native=native, cache=cache, workload_cache=workload_cache)
 
 
-def fig5(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig5(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 5: scheduling time as a function of the tree size, assembly trees."""
     return _timing_figure(
         "fig5",
@@ -559,13 +568,13 @@ def fig5(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "
         y_key="scheduling_seconds",
         title="Scheduling time vs tree size (assembly trees)",
         jobs=jobs,
-        backend=backend, batch_size=batch_size,
+        backend=backend, batch_size=batch_size, native=native,
         cache=cache,
         workload_cache=workload_cache,
     )
 
 
-def fig6(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig6(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 6: scheduling time per node as a function of the tree height."""
     return _timing_figure(
         "fig6",
@@ -576,19 +585,19 @@ def fig6(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "au
         y_key="scheduling_seconds_per_node",
         title="Per-node scheduling time vs tree height",
         jobs=jobs,
-        backend=backend, batch_size=batch_size,
+        backend=backend, batch_size=batch_size, native=native,
         cache=cache,
         workload_cache=workload_cache,
     )
 
 
-def fig7(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig7(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 7: speedup over Activation as a function of the tree height (factor 2)."""
     trees = _dataset("assembly", scale, seed, workload_cache) + _dataset(
         "height", scale, seed + 1, workload_cache
     )
     config = SweepConfig(
-        schedulers=("Activation", "MemBooking"), memory_factors=(2.0,), jobs=jobs, backend=backend, batch_size=batch_size
+        schedulers=("Activation", "MemBooking"), memory_factors=(2.0,), jobs=jobs, backend=backend, batch_size=batch_size, native=native
     )
     records = _cached_sweep(
         trees, config, cache=cache, dataset_key=("assembly+height", scale, seed)
@@ -616,37 +625,37 @@ def fig7(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "
     )
 
 
-def fig8(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig8(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 8: impact of the activation/execution order choice, assembly trees."""
-    return _order_choice_figure("fig8", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), jobs=jobs, backend=backend, batch_size=batch_size, cache=cache, workload_cache=workload_cache)
+    return _order_choice_figure("fig8", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), jobs=jobs, backend=backend, batch_size=batch_size, native=native, cache=cache, workload_cache=workload_cache)
 
 
-def fig9(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig9(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 9: normalised makespan for p in {2, 4, 8, 16, 32}, assembly trees."""
     return _processor_sweep_figure(
-        "fig9", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), (2, 4, 8, 16, 32), jobs=jobs, backend=backend, batch_size=batch_size, cache=cache, workload_cache=workload_cache
+        "fig9", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), (2, 4, 8, 16, 32), jobs=jobs, backend=backend, batch_size=batch_size, native=native, cache=cache, workload_cache=workload_cache
     )
 
 
 # --------------------------------------------------------------------------- #
 # synthetic-tree figures (10-15)
 # --------------------------------------------------------------------------- #
-def fig10(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig10(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 10: normalised makespan of the three heuristics, synthetic trees."""
-    return _makespan_figure("fig10", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, batch_size=batch_size, cache=cache, workload_cache=workload_cache)
+    return _makespan_figure("fig10", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, batch_size=batch_size, native=native, cache=cache, workload_cache=workload_cache)
 
 
-def fig11(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig11(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 11: speedup of MemBooking over Activation, synthetic trees."""
-    return _speedup_figure("fig11", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, batch_size=batch_size, cache=cache, workload_cache=workload_cache)
+    return _speedup_figure("fig11", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, batch_size=batch_size, native=native, cache=cache, workload_cache=workload_cache)
 
 
-def fig12(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig12(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 12: fraction of the available memory actually used, synthetic trees."""
-    return _memory_fraction_figure("fig12", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, batch_size=batch_size, cache=cache, workload_cache=workload_cache)
+    return _memory_fraction_figure("fig12", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, batch_size=batch_size, native=native, cache=cache, workload_cache=workload_cache)
 
 
-def fig13(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig13(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 13: scheduling time as a function of the tree size, synthetic trees."""
     return _timing_figure(
         "fig13",
@@ -657,34 +666,34 @@ def fig13(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = 
         y_key="scheduling_seconds",
         title="Scheduling time vs tree size (synthetic trees)",
         jobs=jobs,
-        backend=backend, batch_size=batch_size,
+        backend=backend, batch_size=batch_size, native=native,
         cache=cache,
         workload_cache=workload_cache,
     )
 
 
-def fig14(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig14(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 14: impact of the activation/execution order choice, synthetic trees."""
-    return _order_choice_figure("fig14", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), jobs=jobs, backend=backend, batch_size=batch_size, cache=cache, workload_cache=workload_cache)
+    return _order_choice_figure("fig14", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), jobs=jobs, backend=backend, batch_size=batch_size, native=native, cache=cache, workload_cache=workload_cache)
 
 
-def fig15(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def fig15(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Figure 15: normalised makespan for p in {2, 4, 8, 16, 32}, synthetic trees."""
     return _processor_sweep_figure(
-        "fig15", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), (2, 4, 8, 16, 32), jobs=jobs, backend=backend, batch_size=batch_size, cache=cache, workload_cache=workload_cache
+        "fig15", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), (2, 4, 8, 16, 32), jobs=jobs, backend=backend, batch_size=batch_size, native=native, cache=cache, workload_cache=workload_cache
     )
 
 
 # --------------------------------------------------------------------------- #
 # text statistics and ablations
 # --------------------------------------------------------------------------- #
-def lb_stats(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def lb_stats(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Section 6 statistics: how often the memory-aware bound improves the classical one.
 
     ``jobs`` and ``backend`` are accepted for interface uniformity with the
     sweep-based figures; the bound statistics are cheap and computed in-process.
     """
-    _ = (jobs, backend, batch_size, cache)
+    _ = (jobs, backend, batch_size, native, cache)
     series: Series = {}
     checks: dict[str, bool] = {}
     for kind, tree_seed in (("assembly", seed), ("synthetic", seed + 1)):
@@ -715,7 +724,7 @@ def lb_stats(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str
     )
 
 
-def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Section 7.4: MemBookingRedTree cannot schedule many trees under tight memory."""
     trees = _dataset("synthetic", scale, seed, workload_cache)
     config = SweepConfig(
@@ -724,7 +733,7 @@ def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1, back
         min_completion_fraction=0.0,
         validate=False,
         jobs=jobs,
-        backend=backend, batch_size=batch_size,
+        backend=backend, batch_size=batch_size, native=native,
     )
     records = _cached_sweep(
         trees, config, cache=cache, dataset_key=("synthetic", scale, seed)
@@ -763,13 +772,13 @@ def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1, back
     )
 
 
-def ablation_dispatch(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def ablation_dispatch(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Ablation: ALAP dispatch to computed candidates vs strict Algorithm 3 dispatch.
 
     ``jobs`` and ``backend`` are accepted for interface uniformity; the
     ablation drives hand-constructed scheduler variants and stays in-process.
     """
-    _ = (jobs, backend, batch_size, cache)
+    _ = (jobs, backend, batch_size, native, cache)
     trees = _dataset("synthetic", scale, seed, workload_cache)
     factors = (1.0, 1.5, 2.0, 5.0)
     series: Series = {"alap_dispatch": [], "strict_dispatch": []}
@@ -816,7 +825,7 @@ def ablation_dispatch(scale: str = "small", seed: int = 7011, jobs: int = 1, bac
     )
 
 
-def ablation_lazy_subtree(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "auto", batch_size: int = 0, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
+def ablation_lazy_subtree(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Ablation: optimised data structures vs the reference implementation (timing).
 
     Both implementations now share the heap-based ``ReadyQueue`` for their
@@ -829,7 +838,7 @@ def ablation_lazy_subtree(scale: str = "small", seed: int = 99, jobs: int = 1, b
     ablation measures in-process scheduling time, which parallel workers
     would distort.
     """
-    _ = (jobs, backend, batch_size, cache, workload_cache)
+    _ = (jobs, backend, batch_size, native, cache, workload_cache)
     sizes = (200, 500, 1000, 2000) if scale != "tiny" else (100, 200, 400)
     from ..workloads.synthetic import SyntheticTreeConfig, synthetic_tree
 

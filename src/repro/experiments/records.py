@@ -631,7 +631,7 @@ class ResultCache:
 
     #: Config fields excluded from the key: they change how a sweep runs,
     #: never what it produces.
-    EXECUTION_ONLY_FIELDS = frozenset({"jobs", "backend", "batch_size"})
+    EXECUTION_ONLY_FIELDS = frozenset({"jobs", "backend", "batch_size", "native"})
 
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)

@@ -112,6 +112,13 @@ class InstanceContext:
         config: SweepConfig,
         planes: "Mapping[str, Any] | None" = None,
     ) -> None:
+        if planes is None:
+            # Plane columns seeded by the workload cache (keyed by the exact
+            # (AO, EO) name pair, see ``WorkloadCache.fetch``); a sweep under
+            # any other order pair misses and derives from scratch below.
+            planes = _tree_memo(tree).get(
+                f"planes:{config.activation_order}:{config.execution_order}"
+            )
         if planes is not None:
             self._init_from_planes(tree, index, config, planes)
             return
@@ -282,6 +289,7 @@ def run_single(
     """Run one heuristic on one instance and return its flat record."""
     memory_limit = memory_factor * context.minimum_memory
     scheduler = SCHEDULER_FACTORIES[scheduler_name]()
+    scheduler.native = config.native
     result = scheduler.schedule(
         context.tree,
         num_processors,

@@ -1,0 +1,176 @@
+"""High-level entry point: run one instance through the compiled stepper.
+
+``simulate`` is the native twin of ``EventDrivenScheduler._run_simulation``
+(and of one lane of ``lanes._run_batch``): it takes the contiguous planes
+of a :class:`~repro.schedulers.engine.SimWorkspace`, allocates the output
+arrays, performs the single C call, and translates the returned stats
+struct into the exact Python-side artefacts -- including the verbatim
+failure strings and the ledger ``RuntimeError`` the scalar kernels raise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from .abi import FAIL_DEADLOCK, FAIL_LEDGER, FAIL_NONE, FAIL_T0, MemtreeStats, NativeKernels
+
+_T0_FAILURE = (
+    "no task can be started at t=0: "
+    "the memory bound is too small for the first activations"
+)
+
+
+@dataclass(frozen=True)
+class NativePlanes:
+    """Contiguous int64/float64 views of one SimWorkspace, ABI-ready."""
+
+    n: int
+    parent: np.ndarray
+    ptime: np.ndarray
+    fout: np.ndarray
+    mem_needed: np.ndarray
+    num_children: np.ndarray
+    child_offsets: np.ndarray
+    child_nodes: np.ndarray
+    leaves: np.ndarray
+    ao_sequence: np.ndarray
+    ao_rank: np.ndarray
+    eo_rank: np.ndarray
+    request_ao: np.ndarray
+    release: np.ndarray
+
+
+@dataclass(frozen=True)
+class NativeOutcome:
+    """Everything a caller (scalar engine or lane engine) needs."""
+
+    start: np.ndarray
+    finish: np.ndarray
+    processor: np.ndarray
+    clock: float
+    finished: int
+    num_events: int
+    failure: str | None
+    extras: dict[str, Any]
+    peak_running: int
+    blocked: bool
+    memory_bound: bool
+    starve_min: int
+    bound_need: float
+
+
+def _ptr(array: np.ndarray) -> int:
+    return array.ctypes.data
+
+
+def simulate(
+    kernels: NativeKernels,
+    kernel_name: str,
+    planes: NativePlanes,
+    num_processors: int,
+    memory_limit: float,
+    *,
+    dispatch_to_candidates: bool = True,
+    starve_init: int | None = None,
+) -> NativeOutcome:
+    n = planes.n
+    limit = float(memory_limit)
+    tol = 1e-9 * max(1.0, limit)
+    threshold = limit + tol
+    if starve_init is None:
+        starve_init = n + num_processors + 1
+
+    start = np.empty(n, dtype=np.float64)
+    finish = np.empty(n, dtype=np.float64)
+    proc = np.empty(n, dtype=np.int64)
+    stats = MemtreeStats()
+
+    if kernel_name == "activation":
+        rc = kernels.activation_run(
+            n,
+            num_processors,
+            threshold,
+            tol,
+            _ptr(planes.request_ao),
+            _ptr(planes.ao_sequence),
+            _ptr(planes.eo_rank),
+            _ptr(planes.release),
+            _ptr(planes.parent),
+            _ptr(planes.ptime),
+            _ptr(planes.num_children),
+            starve_init,
+            _ptr(start),
+            _ptr(finish),
+            _ptr(proc),
+            stats,
+        )
+    elif kernel_name == "membooking":
+        rc = kernels.membooking_run(
+            n,
+            num_processors,
+            threshold,
+            tol,
+            _ptr(planes.parent),
+            _ptr(planes.fout),
+            _ptr(planes.mem_needed),
+            _ptr(planes.ptime),
+            _ptr(planes.child_offsets),
+            _ptr(planes.child_nodes),
+            _ptr(planes.num_children),
+            _ptr(planes.ao_rank),
+            _ptr(planes.eo_rank),
+            _ptr(planes.leaves),
+            len(planes.leaves),
+            1 if dispatch_to_candidates else 0,
+            starve_init,
+            _ptr(start),
+            _ptr(finish),
+            _ptr(proc),
+            stats,
+        )
+    else:  # pragma: no cover - caller bug
+        raise ValueError(f"unknown native kernel: {kernel_name!r}")
+    if rc != 0:  # pragma: no cover - allocation failure
+        raise MemoryError("native kernel scratch allocation failed")
+
+    code = stats.failure
+    if code == FAIL_LEDGER:
+        raise RuntimeError(
+            f"released more memory than was booked (booked={stats.ledger_value:.6g})"
+        )
+    failure: str | None
+    if code == FAIL_NONE:
+        failure = None
+    elif code == FAIL_T0:
+        failure = _T0_FAILURE
+    elif code == FAIL_DEADLOCK:
+        remaining = n - stats.finished
+        failure = (
+            f"deadlock at t={stats.clock:.6g}: {remaining} tasks remain "
+            "but none is activated and available under the memory bound"
+        )
+    else:  # pragma: no cover - unknown code
+        raise RuntimeError(f"native kernel returned unknown failure code {code}")
+
+    extras: dict[str, Any] = {"peak_booked_memory": stats.peak_booked}
+    if kernel_name == "activation":
+        extras["activated"] = int(stats.next_activation)
+
+    return NativeOutcome(
+        start=start,
+        finish=finish,
+        processor=proc,
+        clock=stats.clock,
+        finished=int(stats.finished),
+        num_events=int(stats.num_events),
+        failure=failure,
+        extras=extras,
+        peak_running=int(stats.peak_running),
+        blocked=bool(stats.blocked),
+        memory_bound=bool(stats.memory_bound),
+        starve_min=int(stats.starve_min),
+        bound_need=float(stats.bound_need),
+    )

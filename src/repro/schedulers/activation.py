@@ -133,6 +133,9 @@ class ActivationScheduler(EventDrivenScheduler):
     """Algorithm 1 of the paper (the baseline activation policy)."""
 
     name = "Activation"
+    #: Compiled twin (repro.native): the full event loop with this
+    #: heuristic's activation scan and release ledger.
+    native_kernel = "activation"
 
     # ------------------------------------------------------------------ #
     # engine hooks

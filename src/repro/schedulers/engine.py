@@ -135,6 +135,7 @@ class SimWorkspace:
         "request_ao",
         "request_ao_list",
         "release_list",
+        "_native_planes",
     )
 
     def __init__(self, tree: TaskTree, ao: Ordering, eo: Ordering) -> None:
@@ -178,6 +179,37 @@ class SimWorkspace:
         self.request_ao = request_ao
         self.request_ao_list: list[float] = request_ao.tolist()
         self.release_list: list[float] = release.tolist()
+        self._native_planes = None
+
+    def native_planes(self):
+        """Contiguous int64/float64 views for the compiled kernels (cached).
+
+        Built lazily from the workspace lists on the first native run of
+        this (tree, AO, EO) and reused by every subsequent run — the same
+        share-per-workspace discipline as the Python planes.
+        """
+        planes = self._native_planes
+        if planes is None:
+            from ..native.api import NativePlanes  # layering: engine is imported first
+
+            planes = NativePlanes(
+                n=self.n,
+                parent=np.asarray(self.parent_list, dtype=np.int64),
+                ptime=np.asarray(self.ptime_list, dtype=np.float64),
+                fout=np.asarray(self.fout_list, dtype=np.float64),
+                mem_needed=np.asarray(self.mem_needed_list, dtype=np.float64),
+                num_children=np.asarray(self.num_children_list, dtype=np.int64),
+                child_offsets=np.asarray(self.child_offsets, dtype=np.int64),
+                child_nodes=np.asarray(self.child_nodes, dtype=np.int64),
+                leaves=np.asarray(self.leaves_list, dtype=np.int64),
+                ao_sequence=np.asarray(self.ao_sequence_list, dtype=np.int64),
+                ao_rank=np.asarray(self.ao_rank_list, dtype=np.int64),
+                eo_rank=np.asarray(self.eo_rank_list, dtype=np.int64),
+                request_ao=np.ascontiguousarray(self.request_ao, dtype=np.float64),
+                release=np.asarray(self.release_list, dtype=np.float64),
+            )
+            self._native_planes = planes
+        return planes
 
     def matches(self, tree: TaskTree, ao: Ordering, eo: Ordering) -> bool:
         """True when this workspace was built for exactly this run's inputs."""
@@ -241,6 +273,7 @@ class SimWorkspace:
         ws.request_ao = request
         ws.request_ao_list = request.tolist()
         ws.release_list = np.asarray(release, dtype=np.float64).tolist()
+        ws._native_planes = None
         return ws
 
 
@@ -251,6 +284,36 @@ class EventDrivenScheduler(Scheduler):
     #: it in ``_setup()``; the engine uses its O(1) emptiness test to avoid
     #: idle pops, and the default ``_pop_ready_task`` pops from it.
     ready_queue: ReadyQueue | None = None
+
+    #: Name of this heuristic's compiled twin in :mod:`repro.native`
+    #: (``"activation"`` / ``"membooking"``), or ``None`` when the scalar
+    #: Python kernels are the only implementation.  The native stepper is
+    #: bit-identical by contract (pinned by the three-way fuzz), so classes
+    #: that set it never see a behavioural difference — only speed.
+    native_kernel: str | None = None
+
+    #: Per-scheduler native override: ``True`` requires the compiled
+    #: kernels (raise if unavailable), ``False`` forces pure Python,
+    #: ``None`` defers to the ``REPRO_NATIVE`` environment switch.  The
+    #: sweep runner copies ``SweepConfig.native`` here; the CLI sets it
+    #: from ``--native`` / ``--no-native``.
+    native: bool | None = None
+
+    #: The per-event hooks the compiled stepper replaces wholesale.  The
+    #: C twin cannot call back into Python per event, so a subclass that
+    #: overrides any of them (relative to the class that declared its
+    #: ``native_kernel``) opts out of the native fast path automatically
+    #: and runs through the Python kernels — overridden behaviour is never
+    #: silently bypassed.  A subclass that re-declares ``native_kernel``
+    #: itself re-asserts the contract for its own hook set.
+    _NATIVE_REPLACED_HOOKS: tuple[str, ...] = (
+        "_setup",
+        "_activate",
+        "_pop_ready_task",
+        "_on_task_started",
+        "_on_task_finished",
+        "_on_tasks_finished",
+    )
 
     #: Fast-path ready pool: a plain ``heapq`` list of ``(EO rank, node)``
     #: pairs.  An array kernel that never removes arbitrary entries assigns
@@ -352,6 +415,17 @@ class EventDrivenScheduler(Scheduler):
         workspace: SimWorkspace | None = None,
     ) -> ScheduleResult:
         try:
+            # Native fast path: the compiled stepper cannot call back into
+            # Python per event, so it only replaces runs that need no
+            # invariant hook and whose engine hooks are the stock ones;
+            # everything else (and AUTO mode without a compiler) falls
+            # through to the Python kernels.
+            if invariant_hook is None and self._native_hooks_intact():
+                result = self._run_native(
+                    tree, num_processors, memory_limit, ao, eo, workspace=workspace
+                )
+                if result is not None:
+                    return result
             return self._run_simulation(
                 tree,
                 num_processors,
@@ -365,6 +439,89 @@ class EventDrivenScheduler(Scheduler):
             # Clear the per-run references even when a hook raises, so a
             # long-lived scheduler object never pins the last tree.
             self._reset_engine_state()
+
+    def _native_hooks_intact(self) -> bool:
+        """True when this instance may take the compiled fast path.
+
+        The native kernel is keyed to the class that declared
+        ``native_kernel``: every hook in :attr:`_NATIVE_REPLACED_HOOKS`
+        must still be the implementation that class sees, otherwise a
+        subclass's customised hook (extra bookkeeping, instrumentation,
+        deliberate faults in tests) would be silently skipped per event.
+        """
+        cls = type(self)
+        for owner in cls.__mro__:
+            if "native_kernel" in vars(owner):
+                break
+        else:  # pragma: no cover - the engine base declares the default
+            return False
+        if owner.native_kernel is None:
+            return False
+        for name in self._NATIVE_REPLACED_HOOKS:
+            if getattr(cls, name, None) is not getattr(owner, name, None):
+                return False
+        return True
+
+    def _run_native(
+        self,
+        tree: TaskTree,
+        num_processors: int,
+        memory_limit: float,
+        ao: Ordering,
+        eo: Ordering,
+        *,
+        workspace: SimWorkspace | None = None,
+    ) -> ScheduleResult | None:
+        """Run the whole simulation through the compiled C stepper.
+
+        Returns ``None`` when native kernels are off or unavailable (the
+        caller falls back to :meth:`_run_simulation`); raises
+        :class:`repro.native.NativeUnavailableError` when they were
+        explicitly required.  The returned schedule is byte-identical to
+        the Python kernels' — same arrays, same extras, same failure
+        strings — with only ``scheduling_seconds`` free to differ.
+        """
+        from .. import native as native_mod
+
+        kernels = native_mod.native_kernels(self.native)
+        if kernels is None:
+            return None
+        if workspace is None or not workspace.matches(tree, ao, eo):
+            workspace = SimWorkspace(tree, ao, eo)
+        self.workspace = workspace
+        planes = workspace.native_planes()
+        tic = time.perf_counter()
+        outcome = native_mod.simulate(
+            kernels,
+            self.native_kernel,  # type: ignore[arg-type]  # guarded by caller
+            planes,
+            num_processors,
+            memory_limit,
+            dispatch_to_candidates=getattr(self, "dispatch_to_candidates", True),
+        )
+        seconds = time.perf_counter() - tic
+        n = tree.n
+        completed = outcome.finished == n
+        result = ScheduleResult(
+            scheduler=self.name,
+            tree_size=n,
+            num_processors=num_processors,
+            memory_limit=memory_limit,
+            completed=completed,
+            makespan=outcome.clock if completed else math.inf,
+            start_times=outcome.start,
+            finish_times=outcome.finish,
+            processor=outcome.processor,
+            peak_memory=math.nan,
+            scheduling_seconds=seconds,
+            num_events=outcome.num_events,
+            activation_order=ao.name,
+            execution_order=eo.name,
+            failure_reason=outcome.failure,
+            extras=outcome.extras,
+        )
+        result.peak_memory = memory_profile(tree, result).peak
+        return result
 
     @hot_kernel(note="scalar event loop (Algorithm 2 skeleton)")
     def _run_simulation(

@@ -185,14 +185,16 @@ def run_membooking_activation(
     (``peek`` / ``remove`` / ``make_candidate`` / ``mark_available``), which
     is how the optimised heap structure, the reference linear scan and the
     batched lane kernel all drive one transition definition.  Returns the
-    updated ``(mbooked, peak, activations, budget_blocked)``:
+    updated ``(mbooked, peak, activations, blocked_need)``:
     ``activations`` counts the nodes moved into ACT by this call and
-    ``budget_blocked`` reports whether the loop stopped because a candidate
-    did not fit the budget — the lane engine uses the pair to detect
-    fully-activated and never-memory-bound lanes.
+    ``blocked_need`` is ``0.0`` when every candidate fit, else the ledger
+    level (``MBooked`` plus the missing booking) the blocking candidate
+    would have required — truthy exactly when the loop stopped on the
+    budget.  The lane engine uses the pair to detect fully-activated and
+    never-memory-bound lanes and to certify blocked-replay clones.
     """
     activations = 0
-    budget_blocked = False
+    blocked_need = 0.0
     while True:
         node = peek_candidate()
         if node is None:
@@ -216,7 +218,7 @@ def run_membooking_activation(
             subtree_booked = booked[node] + total
         missing = max(0.0, mem_needed[node] - subtree_booked)
         if mbooked + missing > threshold:
-            budget_blocked = True
+            blocked_need = mbooked + missing
             break  # wait for more memory; activation keeps following AO
         mbooked += missing
         if mbooked > peak:
@@ -237,7 +239,7 @@ def run_membooking_activation(
             if ch_not_act[p] == 0:
                 state[p] = CAND
                 make_candidate(p)
-    return mbooked, peak, activations, budget_blocked
+    return mbooked, peak, activations, blocked_need
 
 
 class _MemBookingCore(EventDrivenScheduler):
@@ -407,6 +409,10 @@ class MemBookingScheduler(_MemBookingCore):
     """
 
     name = "MemBooking"
+    #: Compiled twin (repro.native): the full event loop with the lazy-heap
+    #: CAND structure, booking walks and ALAP dispatch.  The reference
+    #: implementation below stays pure Python on purpose — it is the oracle.
+    native_kernel = "membooking"
 
     def _setup_structures(self) -> None:
         self._cand_heap: list[tuple[int, int]] = []

@@ -30,6 +30,16 @@ zero-copy tree views on every later request.  The experiment harness keeps
 one under ``<out>/.workload-cache`` (``--no-workload-cache`` disables it);
 bump :data:`GENERATOR_VERSION` whenever any generator's output changes, so
 stale arenas can never masquerade as fresh data.
+
+On top of the plain tree arenas, ``fetch(..., planes_orders=(ao, eo))``
+persists the **workspace plane columns** of every tree (children CSR,
+AO/EO orders, activation request/release blocks, tree-pure scalars — see
+:mod:`repro.batch.planes`) in a second, (AO, EO)-keyed version-2 arena.
+A warm fetch mmap-loads trees *and* planes and seeds the per-tree memo of
+:mod:`repro.experiments.runner`, so every later
+:func:`~repro.experiments.runner.prepare_instance` under that exact order
+pair adopts the stored planes instead of re-deriving orders and
+workspaces from scratch.
 """
 
 from __future__ import annotations
@@ -80,6 +90,12 @@ Scale = Literal["tiny", "small", "medium", "large"]
 #: conservative one-time invalidation marking the revision of the keyed
 #: generator set (pre-bump caches regenerate once on the next run).
 GENERATOR_VERSION = 2
+
+#: Version of the plane-column layout persisted by ``fetch(planes_orders=...)``;
+#: part of every plane-arena key, so a change to the stored plane set (or to
+#: any plane's semantics) invalidates old plane arenas without touching the
+#: plain tree arenas.
+_PLANES_VERSION = 1
 
 #: Grid/matrix sizes per scale for the assembly surrogate.  Each entry is a
 #: list of (kind, parameters) pairs; every pair yields one tree.
@@ -170,20 +186,29 @@ class WorkloadCache:
     def path(self, key: str) -> Path:
         return self.directory / f"{key}.trees"
 
+    def _load_store(self, key: str) -> tuple[TreeStore, list[TaskTree]] | None:
+        """Open the arena under ``key`` without touching the hit/miss counters.
+
+        Corrupt or truncated files return ``None`` (regenerate and
+        overwrite), exactly like a missing file.
+        """
+        path = self.path(key)
+        if not path.exists():
+            return None
+        try:
+            store = TreeStore.load(path)
+            return store, store.trees()
+        except (ValueError, OSError):
+            return None
+
     def get(self, key: str) -> list[TaskTree] | None:
         """Load the cached trees for ``key``, or ``None`` on a miss."""
-        path = self.path(key)
-        if path.exists():
-            try:
-                store = TreeStore.load(path)
-                trees = store.trees()
-            except (ValueError, OSError):
-                pass  # corrupt/truncated arena: regenerate and overwrite
-            else:
-                self.hits += 1
-                return trees
-        self.misses += 1
-        return None
+        loaded = self._load_store(key)
+        if loaded is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return loaded[1]
 
     def put(self, key: str, trees: Iterable[TaskTree]) -> Path:
         """Pack ``trees`` into an arena under ``key`` (atomic replace)."""
@@ -196,19 +221,94 @@ class WorkloadCache:
         return path
 
     def fetch(
-        self, dataset_key: Iterable[object], generate: Callable[[], list[TaskTree]]
+        self,
+        dataset_key: Iterable[object],
+        generate: Callable[[], list[TaskTree]],
+        *,
+        planes_orders: tuple[str, str] | None = None,
     ) -> list[TaskTree]:
-        """Return the cached trees for ``dataset_key``, generating on a miss."""
-        key = self.key(dataset_key)
-        trees = self.get(key)
-        if trees is None:
+        """Return the cached trees for ``dataset_key``, generating on a miss.
+
+        ``planes_orders`` — an ``(activation order, execution order)`` name
+        pair — additionally persists the workspace plane columns of every
+        tree (:mod:`repro.batch.planes`) in a second arena keyed by the
+        dataset key *and* the order pair.  On a hit the planes are seeded
+        into the per-tree memo of :mod:`repro.experiments.runner`, so every
+        later ``prepare_instance`` under that (AO, EO) adopts the stored
+        derivations (orders, workspace, lower-bound scalars) zero-copy.
+        """
+        if planes_orders is None:
+            key = self.key(dataset_key)
+            trees = self.get(key)
+            if trees is None:
+                trees = generate()
+                self.put(key, trees)
+            return trees
+        from ..batch.planes import context_planes_present
+
+        ao, eo = planes_orders
+        plane_key = self.key([*list(dataset_key), "planes", _PLANES_VERSION, ao, eo])
+        loaded = self._load_store(plane_key)
+        if loaded is not None:
+            store, trees = loaded
+            per_tree = [store.planes_for(i) for i in range(len(store))]
+            if per_tree and all(context_planes_present(p) for p in per_tree):
+                self.hits += 1
+                _seed_plane_memo(trees, per_tree, ao, eo)
+                return trees
+        # One miss covers the whole cold fetch: reuse the plain tree arena
+        # when it exists (the plane arena is an addition, not a replacement,
+        # so pre-existing caches and their keys stay valid), else generate.
+        self.misses += 1
+        plain = self._load_store(self.key(dataset_key))
+        if plain is not None:
+            trees = plain[1]
+        else:
             trees = generate()
-            self.put(key, trees)
+            self.put(self.key(dataset_key), trees)
+        self._put_with_planes(plane_key, trees, ao, eo)
         return trees
+
+    def _put_with_planes(
+        self, key: str, trees: list[TaskTree], ao: str, eo: str
+    ) -> Path:
+        """Derive the plane columns of ``trees`` and persist them under ``key``."""
+        from ..batch.planes import workspace_planes
+        from ..experiments.config import SweepConfig
+
+        config = SweepConfig(activation_order=ao, execution_order=eo)
+        planes = workspace_planes(trees, config)
+        path = self.path(key)
+        store = TreeStore.pack(trees, planes=planes)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_bytes(store.tobytes())
+        os.replace(tmp, path)
+        per_tree = [
+            {name: arrays[i] for name, arrays in planes.items()}
+            for i in range(len(trees))
+        ]
+        _seed_plane_memo(trees, per_tree, ao, eo)
+        return path
 
     def stats(self) -> str:
         """One-line human-readable hit/miss summary."""
         return f"{self.hits} hits / {self.misses} misses ({self.directory})"
+
+
+def _seed_plane_memo(
+    trees: list[TaskTree], per_tree: list[dict[str, np.ndarray]], ao: str, eo: str
+) -> None:
+    """Attach each tree's plane dict to the runner's per-tree memo.
+
+    Keyed by the exact order-name pair, so a sweep under any other (AO, EO)
+    never adopts planes derived for a different ordering.
+    """
+    from ..experiments.runner import _tree_memo
+
+    memo_key = f"planes:{ao}:{eo}"
+    for tree, planes in zip(trees, per_tree):
+        _tree_memo(tree)[memo_key] = planes
 
 
 def _assembly_tree(kind: str, params: dict, rng: np.random.Generator) -> TaskTree:

@@ -124,6 +124,46 @@ def test_failure_paths_covered_and_identical(seed):
     assert list(batched.column("failure_reason")) == list(serial.column("failure_reason"))
 
 
+@pytest.mark.parametrize("seed", [11, 4242])
+@pytest.mark.parametrize("kernel_name", sorted(LANE_KERNELS))
+def test_blocked_replay_collapse_fires_and_stays_identical(kernel_name, seed):
+    """The feasibility boundary exercises blocked-replay collapse.
+
+    Below the sequential minimum, lanes are *blocked* by the memory bound
+    (t=0 failures and early deadlocks).  The ``bound_need`` certificate
+    must collapse that block — cross-p and cross-factor — while every
+    lane stays bit-identical to the scalar kernel, failure strings
+    included.  (SweepConfig refuses sub-1 factors, so the boundary grid
+    drives ``simulate_lanes`` directly.)
+    """
+    trees = fuzz_trees(seed)
+    kernel_cls = LANE_KERNELS[kernel_name]
+    config = SweepConfig(min_completion_fraction=0.0, validate=False)
+    lanes_mod.collapse_rule_counts.clear()
+    for index, tree in enumerate(trees):
+        context = prepare_instance(tree, index, config)
+        grid = [
+            (p, factor * context.minimum_memory)
+            for factor in (0.2, 0.4, 0.7, 0.9, 1.0, 1.3)
+            for p in (2, 4, 8, 16)
+        ]
+        outcomes = simulate_lanes(
+            kernel_cls, tree, context.ao, context.eo, context.workspace, grid
+        )
+        for (p, limit), (result, _) in zip(grid, outcomes):
+            scalar = kernel_cls.scheduler_class().schedule(
+                tree, p, limit, ao=context.ao, eo=context.eo, workspace=context.workspace
+            )
+            assert result.completed == scalar.completed
+            assert result.failure_reason == scalar.failure_reason
+            np.testing.assert_array_equal(result.start_times, scalar.start_times)
+            np.testing.assert_array_equal(result.finish_times, scalar.finish_times)
+            np.testing.assert_array_equal(result.processor, scalar.processor)
+    assert lanes_mod.collapse_rule_counts["blocked-replay"] > 0, (
+        "the sub-feasible grid should resolve lanes through blocked-replay"
+    )
+
+
 @pytest.mark.parametrize("kernel_name", sorted(LANE_KERNELS))
 def test_lane_results_match_scalar_schedules_exactly(kernel_name, rng):
     """simulate_lanes reproduces full ScheduleResults, not just records.

@@ -1,0 +1,267 @@
+"""The native kernel plane: build cache, fallback policy, bit-identity.
+
+Three contracts are pinned here:
+
+- **Fallback policy** — in AUTO mode (``REPRO_NATIVE`` unset) a missing
+  compiler degrades silently to the pure-Python kernels and the failure is
+  remembered for the process; in REQUIRED mode (``REPRO_NATIVE=1``,
+  ``--native``, ``SweepConfig.native=True``) the same failure raises
+  :class:`~repro.native.NativeUnavailableError` so CI can forbid silent
+  fallbacks.
+- **Content-addressed cache** — the shared object is keyed by the SHA-256
+  of (ABI version, flags, source text): editing the source transparently
+  rebuilds under a new name, warm rebuilds are a no-op, and
+  ``REPRO_NATIVE_CACHE`` relocates the cache wholesale.
+- **Bit-identity** — the compiled steppers reproduce the Python kernels
+  byte-for-byte on the randomized fuzz grid of
+  :mod:`tests.test_batch_parity`, closing the four-way chain
+  native == python == batched-native == frozen reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+import repro.native as native_mod
+from repro.batch import BatchedBackend
+from repro.experiments import SweepConfig, run_sweep
+from repro.experiments.backends import SerialBackend
+from repro.native import NativeBuildError, NativeUnavailableError, native_kernels
+from repro.native.abi import load_kernels
+from repro.native.build import (
+    ABI_VERSION,
+    SOURCE_PATH,
+    _find_compiler,
+    build_library,
+    source_digest,
+)
+from repro.schedulers import SCHEDULER_FACTORIES, ActivationScheduler
+from repro.schedulers.reference import REFERENCE_FACTORIES
+
+from .test_batch_parity import FUZZ_CONFIGS, fuzz_trees, record_bytes
+
+needs_cc = pytest.mark.skipif(
+    _find_compiler() is None, reason="no C compiler on this machine"
+)
+
+
+@pytest.fixture
+def fresh_native():
+    """Isolate the process-wide load state from the surrounding suite."""
+    native_mod.reset_native_cache()
+    yield
+    native_mod.reset_native_cache()
+
+
+def _broken_build(monkeypatch, calls):
+    def failing_build(*args, **kwargs):
+        calls.append(1)
+        raise NativeBuildError("no C compiler found (tried $CC, cc, gcc, clang)")
+
+    monkeypatch.setattr(native_mod, "build_library", failing_build)
+
+
+# ---------------------------------------------------------------------------
+# Fallback policy
+# ---------------------------------------------------------------------------
+
+
+def test_auto_mode_falls_back_silently_when_build_fails(
+    monkeypatch, fresh_native, small_tree
+):
+    """No compiler + AUTO mode: pure Python, no error, failure cached."""
+    monkeypatch.delenv("REPRO_NATIVE", raising=False)
+    calls: list[int] = []
+    _broken_build(monkeypatch, calls)
+
+    assert native_kernels(None) is None
+    assert native_kernels(None) is None
+    assert len(calls) == 1, "AUTO mode must remember the failed attempt"
+
+    # The scalar scheduler still runs end to end on the Python kernels and
+    # produces the exact same schedule as an explicit native=False run.
+    fallback = ActivationScheduler().schedule(small_tree, 2, 60.0)
+    off = ActivationScheduler()
+    off.native = False
+    explicit = off.schedule(small_tree, 2, 60.0)
+    assert fallback.completed and explicit.completed
+    assert list(fallback.start_times) == list(explicit.start_times)
+    assert list(fallback.finish_times) == list(explicit.finish_times)
+
+
+def test_required_mode_raises_when_build_fails(monkeypatch, fresh_native, small_tree):
+    """REQUIRED mode turns the same failure into NativeUnavailableError."""
+    _broken_build(monkeypatch, [])
+
+    with pytest.raises(NativeUnavailableError, match="no C compiler"):
+        native_kernels(True)
+
+    monkeypatch.setenv("REPRO_NATIVE", "1")
+    with pytest.raises(NativeUnavailableError):
+        native_kernels(None)
+
+    # The per-scheduler override propagates the error out of schedule().
+    required = ActivationScheduler()
+    required.native = True
+    with pytest.raises(NativeUnavailableError):
+        required.schedule(small_tree, 2, 60.0)
+
+
+def test_subclass_hook_override_opts_out_of_native(fresh_native, small_tree):
+    """A subclass customising an engine hook never takes the C fast path.
+
+    The compiled stepper cannot call back into Python per event, so an
+    overridden hook (instrumentation, extra bookkeeping, deliberate test
+    faults) must route the run through the Python kernels — even when
+    native was explicitly requested.
+    """
+    calls: list[tuple[int, ...]] = []
+
+    class CountingScheduler(ActivationScheduler):
+        def _on_tasks_finished(self, nodes):
+            calls.append(tuple(nodes))
+            super()._on_tasks_finished(nodes)
+
+    scheduler = CountingScheduler()
+    scheduler.native = True
+    result = scheduler.schedule(small_tree, 2, 60.0)
+    assert result.completed
+    assert calls, "the overridden hook must still observe every completion"
+
+
+def test_env_zero_disables_native_entirely(monkeypatch, fresh_native):
+    """REPRO_NATIVE=0 never builds or loads, even with a working toolchain."""
+    monkeypatch.setenv("REPRO_NATIVE", "0")
+    calls: list[int] = []
+    _broken_build(monkeypatch, calls)
+    assert native_kernels(None) is None
+    assert native_kernels(False) is None
+    assert calls == [], "OFF mode must not attempt a build"
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed build cache
+# ---------------------------------------------------------------------------
+
+
+@needs_cc
+def test_source_edit_rebuilds_under_new_name(tmp_path):
+    """Stale shared objects can never be loaded: the name is the content."""
+    source = SOURCE_PATH.read_text(encoding="utf-8")
+
+    first = build_library(source, cache_dir=tmp_path)
+    assert first.parent == tmp_path and first.exists()
+    stamp = first.stat().st_mtime_ns
+
+    # Warm rebuild: same digest, same file, no recompilation.
+    assert build_library(source, cache_dir=tmp_path) == first
+    assert first.stat().st_mtime_ns == stamp
+
+    # An edited source (here: one appended comment) gets a new digest and
+    # therefore a fresh shared object beside the old one.
+    edited = source + "\n/* cache-busting tweak */\n"
+    assert source_digest(edited) != source_digest(source)
+    second = build_library(edited, cache_dir=tmp_path)
+    assert second != first and second.exists() and first.exists()
+
+    # The rebuilt library is genuinely loadable and reports the ABI version.
+    kernels = load_kernels(second)
+    assert kernels.path == second
+
+
+@needs_cc
+def test_cache_env_override_relocates_cache(tmp_path, monkeypatch, fresh_native):
+    """REPRO_NATIVE_CACHE points the whole build cache somewhere else."""
+    monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+    kernels = native_kernels(True)
+    assert kernels is not None
+    assert kernels.path.parent == tmp_path
+
+
+def test_broken_source_raises_build_error(tmp_path):
+    """A compiler error surfaces as NativeBuildError with the stderr."""
+    if _find_compiler() is None:
+        pytest.skip("no C compiler on this machine")
+    with pytest.raises(NativeBuildError, match="build failed"):
+        build_library("int64_t broken(void) { return }", cache_dir=tmp_path)
+
+
+def test_abi_version_is_part_of_the_cache_key(monkeypatch):
+    """Bumping ABI_VERSION orphans every cached shared object."""
+    import repro.native.build as build_mod
+
+    source = SOURCE_PATH.read_text(encoding="utf-8")
+    baseline = source_digest(source)
+    assert source_digest(source) == baseline, "digest must be deterministic"
+    assert source_digest(source + " ") != baseline
+    monkeypatch.setattr(build_mod, "ABI_VERSION", ABI_VERSION + 1)
+    assert source_digest(source) != baseline
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: native == python == frozen reference
+# ---------------------------------------------------------------------------
+
+
+def _require_native():
+    try:
+        if native_kernels(True) is None:  # pragma: no cover - defensive
+            pytest.skip("native kernels unavailable")
+    except NativeUnavailableError as exc:  # pragma: no cover - no compiler
+        pytest.skip(f"native kernels unavailable: {exc}")
+
+
+@needs_cc
+@pytest.mark.parametrize("config_index", range(len(FUZZ_CONFIGS)))
+def test_native_equals_python_equals_reference(config_index, monkeypatch):
+    """Randomized four-way parity with exact float comparisons.
+
+    The same sweep runs through (a) the Python kernels, (b) the compiled
+    scalar stepper, (c) the compiled batched lane engine, and (d) the
+    Python kernels with the frozen reference factories patched in; all
+    four must produce literally identical record bytes (timing aside).
+    """
+    _require_native()
+    trees = fuzz_trees(1337)
+    config = FUZZ_CONFIGS[config_index]
+
+    python = record_bytes(
+        run_sweep(trees, replace(config, native=False), backend=SerialBackend())
+    )
+    native_serial = record_bytes(
+        run_sweep(trees, replace(config, native=True), backend=SerialBackend())
+    )
+    assert native_serial == python, "compiled scalar stepper diverged from Python"
+
+    native_batched = record_bytes(
+        run_sweep(trees, replace(config, native=True), backend=BatchedBackend())
+    )
+    assert native_batched == python, "compiled lane engine diverged from Python"
+
+    for name, factory in REFERENCE_FACTORIES.items():
+        monkeypatch.setitem(SCHEDULER_FACTORIES, name, factory)
+    reference = record_bytes(
+        run_sweep(trees, replace(config, native=False), backend=SerialBackend())
+    )
+    assert python == reference, "Python kernels diverged from the reference engine"
+
+
+@needs_cc
+def test_native_covers_failure_paths(monkeypatch):
+    """Deadlocks and t=0 failures reproduce verbatim through the C plane."""
+    _require_native()
+    trees = fuzz_trees(7)
+    config = SweepConfig(
+        memory_factors=(1.0, 1.05),
+        processors=(2, 8),
+        min_completion_fraction=0.0,
+        validate=False,
+    )
+    python = run_sweep(trees, replace(config, native=False), backend=SerialBackend())
+    native = run_sweep(trees, replace(config, native=True), backend=SerialBackend())
+    assert record_bytes(native) == record_bytes(python)
+    completed = list(python.column("completed"))
+    assert not all(completed), "tight-memory grid produced no failures to compare"
+    assert list(native.column("failure_reason")) == list(python.column("failure_reason"))
