@@ -143,3 +143,65 @@ def test_shared_memory_backend_through_figure_api(bench_scale, jobs):
     shared = run_figure("fig12", scale=bench_scale, jobs=jobs, backend="shared-memory")
     assert record_bytes(shared.records) == record_bytes(serial.records)
     assert shared.series == serial.series
+
+
+def test_fig8_plans_byte_identical_across_backends(bench_scale):
+    """Full and subset SweepPlans reproduce serial bytes on every backend."""
+    from repro.experiments import SweepPlan, execute_plan
+
+    trees, _ = assembly_dataset(bench_scale, seed=2017)
+    for ao_name, eo_name in FIG8_COMBOS[:2]:
+        config = SweepConfig(
+            schedulers=("MemBooking",),
+            memory_factors=FIG8_FACTORS,
+            activation_order=ao_name,
+            execution_order=eo_name,
+        )
+        plan = SweepPlan.from_config(config, len(trees))
+        serial = record_bytes(execute_plan(trees, plan, backend=SerialBackend()))
+        for backend in (
+            ProcessPoolBackend(jobs=2),
+            SharedMemoryBackend(jobs=2),
+            BatchedBackend(),
+        ):
+            got = record_bytes(execute_plan(trees, plan, backend=backend))
+            assert got == serial, (
+                f"{backend.name} plan records diverged from serial on "
+                f"fig8 {ao_name}/{eo_name}"
+            )
+        # A subset plan (every other row) must match the same rows of the
+        # full run, again on every backend.
+        positions = list(range(0, len(plan), 2))
+        subset = plan.subset(positions)
+        expected = [serial[p] for p in positions]
+        for backend in (
+            SerialBackend(),
+            ProcessPoolBackend(jobs=2),
+            SharedMemoryBackend(jobs=2),
+            BatchedBackend(),
+        ):
+            got = record_bytes(execute_plan(trees, subset, backend=backend))
+            assert got == expected, (
+                f"{backend.name} subset-plan records diverged on "
+                f"fig8 {ao_name}/{eo_name}"
+            )
+
+
+def test_fig15_plans_byte_identical_across_backends(bench_scale):
+    """The fig15 processor sweep through the plan API, all four backends."""
+    from repro.experiments import SweepPlan, execute_plan
+
+    trees, _ = synthetic_dataset(bench_scale, seed=7011)
+    plan = SweepPlan.from_config(FIG15_SWEEP, len(trees))
+    serial = record_bytes(execute_plan(trees, plan, backend=SerialBackend()))
+    legacy = record_bytes(run_sweep(trees, FIG15_SWEEP, backend=SerialBackend()))
+    assert serial == legacy, "plan execution diverged from run_sweep on fig15"
+    for backend in (
+        ProcessPoolBackend(jobs=2),
+        SharedMemoryBackend(jobs=2),
+        BatchedBackend(),
+    ):
+        got = record_bytes(execute_plan(trees, plan, backend=backend))
+        assert got == serial, (
+            f"{backend.name} plan records diverged from serial on fig15"
+        )

@@ -170,6 +170,15 @@ NAMED_ARRAY_DTYPES: dict[str, dict[str, str]] = {
         "sizes": "int64",
         "off_view": "int64",
     },
+    "experiments/plan.py": {
+        "tree_index": "int64",  # the SweepPlan instance-grid planes
+        "scheduler_code": "int64",
+        "ao_code": "int64",
+        "eo_code": "int64",
+        "processors": "int64",
+        "memory_factor": "float64",
+        "global_index": "int64",
+    },
     "experiments/backends.py": {
         "seen": "bool",  # instance-coverage bitmap of the keyed merges
     },

@@ -1,19 +1,23 @@
 """The ``batched`` execution backend: lane-batched in-process sweeps.
 
-:class:`BatchedBackend` walks the canonical :func:`~repro.experiments.backends.iter_instances`
-enumeration tree by tree (the *lane grouping key*): every instance of one
+:class:`BatchedBackend` walks a :class:`~repro.experiments.plan.SweepPlan`
+tree group by tree group (the *lane grouping key*): every instance of one
 tree shares its :class:`~repro.experiments.runner.InstanceContext` (orders,
 minimum memory, :class:`~repro.schedulers.engine.SimWorkspace`), and the
 instances of each batched heuristic become the **lanes** of one
 :func:`~repro.batch.lanes.simulate_lanes` call — advanced together, one
 event wavefront per step, over stacked state planes, with provably
-identical lanes collapsed to a single simulation.
+identical lanes collapsed to a single simulation.  The grouping itself is
+a plan transform (:meth:`~repro.experiments.plan.SweepPlan.lane_groups`
+evaluated with :func:`~repro.batch.lanes.batchable_scheduler`), so a
+subset plan — the cache misses of a figure — batches exactly like the full
+grid it was cut from.
 
 Heuristics without a lane kernel (``MemBookingRedTree``, the reference
 implementations, anything registered by users) run through the ordinary
 scalar :func:`~repro.experiments.runner.run_single` path inside the same
 per-tree loop, so any sweep configuration is accepted and every record —
-batched or scalar — lands at its canonical index.  The output is
+batched or scalar — lands at its canonical row.  The output is
 byte-identical to :class:`~repro.experiments.backends.SerialBackend`
 (timing fields aside), which the parity suite and the backend benchmarks
 assert on the fig8 and fig15 configurations.
@@ -28,11 +32,10 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 from ..core.task_tree import TaskTree
-from ..experiments.backends import ExecutionBackend, runs_per_tree
-from ..experiments.config import SweepConfig
+from ..experiments.backends import ExecutionBackend
+from ..experiments.plan import SweepPlan
 from ..experiments.records import RecordTable
-from ..schedulers import SCHEDULER_FACTORIES
-from .lanes import LANE_KERNELS, simulate_lanes
+from .lanes import LANE_KERNELS, batchable_scheduler, simulate_lanes
 
 __all__ = ["BatchedBackend"]
 
@@ -47,45 +50,26 @@ class BatchedBackend(ExecutionBackend):
             raise ValueError("batch_size must be >= 0 (0 means one batch per tree)")
         self.batch_size = int(batch_size)
 
-    def run(
-        self, trees: Sequence[TaskTree], config: SweepConfig
+    def run_plan(
+        self, trees: Sequence[TaskTree], plan: SweepPlan
     ) -> RecordTable:
         from ..experiments.runner import complete_record, prepare_instance, run_single
 
-        trees = list(trees)
-        per_tree = runs_per_tree(config)
-        table = RecordTable.empty(len(trees) * per_tree)
-        #: Canonical per-tree instance order (matches ``iter_instances``).
-        combos = [
-            (scheduler, num_processors, memory_factor)
-            for num_processors in config.processors
-            for memory_factor in config.memory_factors
-            for scheduler in config.schedulers
-        ]
-        lane_positions: dict[str, list[int]] = {}
-        for position, (scheduler, _, _) in enumerate(combos):
-            kernel_cls = LANE_KERNELS.get(scheduler)
-            # Only batch a heuristic while its factory still resolves to the
-            # scalar class the lane kernel is pinned to; a patched registry
-            # (e.g. the reference-engine benchmarks) falls back to scalar.
-            if (
-                kernel_cls is not None
-                and SCHEDULER_FACTORIES.get(scheduler) is kernel_cls.scheduler_class
-            ):
-                lane_positions.setdefault(scheduler, []).append(position)
-
-        for tree_index, tree in enumerate(trees):
+        config = plan.config
+        table = RecordTable.empty(len(plan))
+        for tree_index, rows in plan.tree_groups():
+            tree = trees[tree_index]
             context = prepare_instance(tree, tree_index, config)
-            base = tree_index * per_tree
+            lane_rows, _ = plan.lane_groups(rows, batchable_scheduler)
             records: dict[int, dict[str, Any]] = {}
-            for scheduler, positions in lane_positions.items():
+            for scheduler, positions in lane_rows.items():
                 kernel_cls = LANE_KERNELS[scheduler]
                 size = self.batch_size or len(positions)
                 for begin in range(0, len(positions), size):
                     chunk = positions[begin : begin + size]
                     lanes = [
-                        (combos[i][1], combos[i][2] * context.minimum_memory)
-                        for i in chunk
+                        (plan.combo(row)[1], plan.combo(row)[2] * context.minimum_memory)
+                        for row in chunk
                     ]
                     outcomes = simulate_lanes(
                         kernel_cls,
@@ -96,9 +80,9 @@ class BatchedBackend(ExecutionBackend):
                         lanes,
                         native=config.native,
                     )
-                    for position, (result, is_clone) in zip(chunk, outcomes):
-                        _, num_processors, memory_factor = combos[position]
-                        records[position] = complete_record(
+                    for row, (result, is_clone) in zip(chunk, outcomes):
+                        _, num_processors, memory_factor = plan.combo(row)
+                        records[row] = complete_record(
                             context,
                             scheduler,
                             num_processors,
@@ -107,11 +91,15 @@ class BatchedBackend(ExecutionBackend):
                             result,
                             run_validation=not is_clone,
                         )
-            for position, (scheduler, num_processors, memory_factor) in enumerate(combos):
-                record = records.get(position)
+            # Rows are written in ascending plan order whatever order the
+            # lane batches produced them in: the dictionary-encoded
+            # ``failure_reason`` codes must be assigned canonically.
+            for row in rows:
+                record = records.get(int(row))
                 if record is None:
+                    scheduler, num_processors, memory_factor = plan.combo(int(row))
                     record = run_single(
                         context, scheduler, num_processors, memory_factor, config
                     )
-                table.set_row(base + position, record)
+                table.set_row(int(row), record)
         return table

@@ -141,6 +141,7 @@ __all__ = [
     "ActivationLaneKernel",
     "MemBookingLaneKernel",
     "LANE_KERNELS",
+    "batchable_scheduler",
     "simulate_lanes",
 ]
 
@@ -606,6 +607,24 @@ LANE_KERNELS: dict[str, type] = {
     ActivationLaneKernel.name: ActivationLaneKernel,
     MemBookingLaneKernel.name: MemBookingLaneKernel,
 }
+
+def batchable_scheduler(name: str) -> bool:
+    """Whether the batched backend may run ``name`` through a lane kernel.
+
+    True only while the scheduler's factory still resolves to the scalar
+    class the lane kernel is pinned to; a patched registry (e.g. the
+    reference-engine benchmarks) must fall back to the scalar path.  This is
+    the ``batchable`` predicate
+    :meth:`~repro.experiments.plan.SweepPlan.lane_groups` is evaluated with.
+    """
+    from ..schedulers import SCHEDULER_FACTORIES
+
+    kernel_cls = LANE_KERNELS.get(name)
+    return (
+        kernel_cls is not None
+        and SCHEDULER_FACTORIES.get(name) is kernel_cls.scheduler_class
+    )
+
 
 #: Process-wide tally of which collapse rule resolved how many lanes,
 #: accumulated across every :func:`simulate_lanes` call.  Diagnostic only:

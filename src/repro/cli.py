@@ -1,6 +1,6 @@
 """``memtree`` command line interface.
 
-Four sub-commands cover the typical workflows of the library:
+Six sub-commands cover the typical workflows of the library:
 
 ``memtree generate``
     Generate a dataset (synthetic trees or the assembly-tree surrogate) and
@@ -30,7 +30,16 @@ Four sub-commands cover the typical workflows of the library:
     recorded results instead of re-simulating; ``--workload-cache-dir DIR``
     does the same for the *generated datasets* (packed
     :class:`~repro.core.tree_store.TreeStore` arenas keyed by dataset,
-    scale, seed and generator version, mmap-loaded as zero-copy views).
+    scale, seed and generator version, mmap-loaded as zero-copy views);
+    ``--dry-run`` prints the figure's assembled
+    :class:`~repro.experiments.plan.SweepPlan` (instance count, predicted
+    cache hits, lane groups) without simulating anything.
+``memtree suite``
+    Run the whole evaluation suite (every figure, or ``--figures`` for a
+    subset) and write per-figure text/CSV files plus ``summary.md`` and
+    ``plan-stats.json``; overlapping figures share simulations through the
+    instance-level result cache, and ``--dry-run`` prints the concatenated
+    deduplicated plan.
 
 Both sweep commands take ``--backend`` to pick the execution strategy
 (registered through :func:`repro.experiments.backends.register_backend`):
@@ -58,6 +67,8 @@ Examples
     memtree figure fig10 --scale tiny --jobs 4
     memtree lint --json lint-report.json
     memtree figure fig15 --scale tiny --jobs 2 --backend shared-memory
+    memtree figure fig10 --scale tiny --dry-run
+    memtree suite --scale tiny --out results/ --dry-run
 """
 
 from __future__ import annotations
@@ -70,10 +81,15 @@ from . import __version__
 from .core import load_dataset, load_json, save_dataset, tree_stats
 from .core.task_tree import TaskTree
 from .experiments import (
+    FIGURE_SPECS,
     FIGURES,
+    InMemoryRowCache,
     ResultCache,
+    RunContext,
     SweepConfig,
     backends as _backends,
+    format_plan_report,
+    plan_report,
     run_figure,
     run_sweep,
     write_series_csv,
@@ -209,7 +225,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore --workload-cache-dir and always regenerate the datasets",
     )
+    figure.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the figure's assembled sweep plan (instance count, "
+        "predicted cache hits, lane groups) and exit without simulating",
+    )
     _add_native_flags(figure)
+
+    from .experiments.suite import add_suite_arguments  # local: keep CLI import light
+
+    suite = subparsers.add_parser(
+        "suite",
+        help="run the whole evaluation suite (all figures) and write a report",
+    )
+    add_suite_arguments(suite)
 
     return parser
 
@@ -346,11 +376,29 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from .experiments.suite import run_from_args
+
+    return run_from_args(args)
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir) if args.cache_dir is not None else None
     workload_cache = None
     if args.workload_cache_dir is not None and not args.no_workload_cache:
         workload_cache = WorkloadCache(args.workload_cache_dir)
+    if args.dry_run:
+        ctx = RunContext(
+            scale=args.scale,
+            jobs=args.jobs,
+            backend=args.backend,
+            batch_size=args.batch_size,
+            native=args.native,
+            cache=cache if cache is not None else InMemoryRowCache(),
+            workload_cache=workload_cache,
+        )
+        print(format_plan_report(plan_report([FIGURE_SPECS[args.figure_id]], ctx)))
+        return 0
     result = run_figure(
         args.figure_id,
         scale=args.scale,
@@ -380,6 +428,7 @@ def main(argv: list[str] | None = None) -> int:
         "schedule": _cmd_schedule,
         "lint": _cmd_lint,
         "figure": _cmd_figure,
+        "suite": _cmd_suite,
     }
     return handlers[args.command](args)
 

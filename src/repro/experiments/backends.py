@@ -26,17 +26,26 @@ instances of one tree into a lock-step lane engine in-process:
     arena.  A dataset of a few huge trees therefore saturates every worker,
     and per-task transfer cost is independent of tree size.
 
+Since the plan layer (:mod:`repro.experiments.plan`), the unit a backend
+executes is a :class:`~repro.experiments.plan.SweepPlan` — the instance
+grid as columnar data.  :meth:`ExecutionBackend.run_plan` is the one
+abstract method; the historical :meth:`ExecutionBackend.run` is a concrete
+wrapper that materialises the full plan of a config first.  A *subset*
+plan (the cache misses of a figure, see
+:func:`~repro.experiments.plan.execute_plan_cached`) flows through exactly
+the same code paths as a full sweep.
+
 All backends funnel their results through the same deterministic
-**instance-keyed merge**: every instance has a fixed global index in the
-canonical enumeration (:func:`iter_instances` — trees outer, then
-processors, memory factors, schedulers), and records are placed by that
-index into a columnar :class:`~repro.experiments.records.RecordTable`
-(:func:`merge_records` for backends that ship dicts; the shared-memory
-backend's workers write their rows straight into a preallocated
-shared-memory result table and ship back only the row index).  Record
-*values* are pure functions of (tree, config) — only the wall-clock
-``scheduling_seconds`` measurements differ between runs — so the merged
-output is identical whichever backend produced it.
+**instance-keyed merge**: every instance has a fixed row in the canonical
+enumeration (:func:`~repro.experiments.plan.iter_instances` — trees outer,
+then processors, memory factors, schedulers; re-exported here), and records
+are placed by that row into a columnar
+:class:`~repro.experiments.records.RecordTable` (:func:`merge_records` for
+backends that ship dicts; the shared-memory backend's workers write their
+rows straight into a preallocated shared-memory result table and ship back
+only the row index).  Record *values* are pure functions of (tree, config)
+— only the wall-clock ``scheduling_seconds`` measurements differ between
+runs — so the merged output is identical whichever backend produced it.
 """
 
 from __future__ import annotations
@@ -47,13 +56,14 @@ import pickle
 import warnings
 from abc import ABC, abstractmethod
 from collections import OrderedDict
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
 from ..core.task_tree import TaskTree
 from ..core.tree_store import TreeStore
 from .config import SweepConfig
+from .plan import SweepPlan, iter_instances, runs_per_tree
 from .records import RecordTable
 
 __all__ = [
@@ -109,26 +119,11 @@ def register_backend(
 
 
 # --------------------------------------------------------------------------- #
-# canonical instance enumeration and merge
+# the instance-keyed merge
 # --------------------------------------------------------------------------- #
-def runs_per_tree(config: SweepConfig) -> int:
-    """Number of simulation instances each tree contributes to a sweep."""
-    return len(config.processors) * len(config.memory_factors) * len(config.schedulers)
-
-
-def iter_instances(
-    config: SweepConfig, num_trees: int
-) -> Iterator[tuple[int, str, int, float]]:
-    """Yield ``(tree_index, scheduler, processors, factor)`` in canonical order.
-
-    The enumeration order *is* the record order of the serial sweep; the
-    position of an instance in this iteration is its global merge index.
-    """
-    for tree_index in range(num_trees):
-        for num_processors in config.processors:
-            for memory_factor in config.memory_factors:
-                for scheduler in config.schedulers:
-                    yield tree_index, scheduler, num_processors, memory_factor
+# The canonical enumeration itself (``iter_instances`` / ``runs_per_tree``)
+# lives in :mod:`repro.experiments.plan` — the plan layer owns the grid;
+# both names stay importable from here for compatibility.
 
 
 def _claim_index(seen: np.ndarray, index: int, total: int) -> None:
@@ -185,20 +180,32 @@ def _worker_count(jobs: int, cap: int) -> int:
 # the backend interface
 # --------------------------------------------------------------------------- #
 class ExecutionBackend(ABC):
-    """Strategy for executing every instance of a sweep."""
+    """Strategy for executing every instance of a sweep plan."""
 
     #: Registry name (also shown in CLI help and reports).
     name: str = "backend"
 
-    @abstractmethod
     def run(
         self, trees: Sequence[TaskTree], config: SweepConfig
     ) -> RecordTable:
         """Simulate every instance of ``config`` over ``trees``.
 
-        Must return a :class:`~repro.experiments.records.RecordTable` equal
-        (timing fields aside) and identically ordered to
-        :class:`SerialBackend`'s output.
+        Materialises the full :class:`~repro.experiments.plan.SweepPlan` of
+        the config and defers to :meth:`run_plan` — the historical entry
+        point, kept so ``run_sweep`` and pre-plan call sites are unchanged.
+        """
+        tree_list = list(trees)
+        return self.run_plan(tree_list, SweepPlan.from_config(config, len(tree_list)))
+
+    @abstractmethod
+    def run_plan(
+        self, trees: Sequence[TaskTree], plan: SweepPlan
+    ) -> RecordTable:
+        """Simulate every row of ``plan`` (``trees`` is the full dataset).
+
+        Must return a :class:`~repro.experiments.records.RecordTable` with
+        one row per plan row, in plan order, equal (timing fields aside) to
+        :class:`SerialBackend`'s output on the same plan.
         """
 
     def dispatch_payloads(
@@ -207,8 +214,9 @@ class ExecutionBackend(ABC):
         """The per-task objects this backend ships to workers.
 
         Used by :func:`dispatch_payload_stats` (and the transfer-cost
-        benchmark) so the measured payloads are exactly the objects
-        ``run`` hands to the pool.  In-process backends ship nothing.
+        benchmark) so the measured payloads are exactly the objects a
+        full-plan ``run`` hands to the pool.  In-process backends ship
+        nothing.
         """
         return []
 
@@ -218,16 +226,19 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def run(self, trees: Sequence[TaskTree], config: SweepConfig) -> RecordTable:
-        from .runner import run_instance
+    def run_plan(self, trees: Sequence[TaskTree], plan: SweepPlan) -> RecordTable:
+        from .runner import prepare_instance, run_single
 
-        total = len(trees) * runs_per_tree(config)
-        table = RecordTable.empty(total)
-        index = 0
-        for tree_index, tree in enumerate(trees):
-            for record in run_instance(tree, tree_index, config):
-                table.set_row(index, record)
-                index += 1
+        config = plan.config
+        table = RecordTable.empty(len(plan))
+        for tree_index, rows in plan.tree_groups():
+            context = prepare_instance(trees[tree_index], tree_index, config)
+            for row in rows:
+                scheduler, num_processors, memory_factor = plan.combo(int(row))
+                table.set_row(
+                    int(row),
+                    run_single(context, scheduler, num_processors, memory_factor, config),
+                )
         return table
 
 
@@ -248,27 +259,40 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def dispatch_payloads(
         self, trees: Sequence[TaskTree], config: SweepConfig
-    ) -> "list[tuple[int, TaskTree, SweepConfig]]":
-        return [(index, tree, config) for index, tree in enumerate(trees)]
+    ) -> "list[tuple[int, TaskTree, SweepConfig, None]]":
+        # ``None`` in the combos slot = the full canonical per-tree set
+        # (what a full-plan run dispatches; subset plans ship explicit
+        # combo lists instead).
+        return [(index, tree, config, None) for index, tree in enumerate(trees)]
 
-    def run(self, trees: Sequence[TaskTree], config: SweepConfig) -> RecordTable:
+    def run_plan(self, trees: Sequence[TaskTree], plan: SweepPlan) -> RecordTable:
         from .runner import _run_instance_star
 
-        jobs = _worker_count(self.jobs, len(trees))
-        if jobs <= 1 or len(trees) <= 1:
-            return SerialBackend().run(trees, config)
-        payloads = self.dispatch_payloads(trees, config)
-        per_tree = runs_per_tree(config)
+        groups = plan.tree_groups()
+        jobs = _worker_count(self.jobs, len(groups))
+        if jobs <= 1 or len(groups) <= 1:
+            return SerialBackend().run_plan(trees, plan)
+        config = plan.config
+        full = plan.is_full
+        payloads: list[tuple[int, TaskTree, SweepConfig, Any]] = [
+            (
+                tree_index,
+                trees[tree_index],
+                config,
+                None if full else [plan.combo(int(row)) for row in rows],
+            )
+            for tree_index, rows in groups
+        ]
         # chunksize=1 keeps the scheduling granularity at one tree so a few
         # large trees cannot serialise behind each other within one worker.
         with multiprocessing.get_context().Pool(processes=jobs) as pool:
             chunks = pool.map(_run_instance_star, payloads, chunksize=1)
         keyed = (
-            (tree_index * per_tree + position, record)
-            for tree_index, chunk in enumerate(chunks)
+            (int(rows[position]), record)
+            for (_, rows), chunk in zip(groups, chunks)
             for position, record in enumerate(chunk)
         )
-        return merge_records(len(trees) * per_tree, keyed)
+        return merge_records(len(plan), keyed)
 
 
 # --------------------------------------------------------------------------- #
@@ -386,15 +410,24 @@ class SharedMemoryBackend(ExecutionBackend):
             )
         ]
 
-    def run(self, trees: Sequence[TaskTree], config: SweepConfig) -> RecordTable:
+    def run_plan(self, trees: Sequence[TaskTree], plan: SweepPlan) -> RecordTable:
         trees = list(trees)
-        if not trees:
-            return RecordTable.empty(0)
-        total = len(trees) * runs_per_tree(config)
+        total = len(plan)
+        if not trees or not total:
+            return RecordTable.empty(total)
+        config = plan.config
         jobs = _worker_count(self.jobs, total)
         if jobs <= 1:
-            return SerialBackend().run(trees, config)
-        payloads = self.dispatch_payloads(trees, config)
+            return SerialBackend().run_plan(trees, plan)
+        # One payload per plan row: the row position doubles as the worker's
+        # write index into the shared result table (for a full plan these
+        # are exactly ``dispatch_payloads``'s tuples).
+        payloads = [
+            (row, tree_index, scheduler, num_processors, memory_factor)
+            for row, (tree_index, scheduler, num_processors, memory_factor) in enumerate(
+                plan.instances()
+            )
+        ]
         planes = None
         if self.share_planes:
             from ..batch.planes import workspace_planes

@@ -1,5 +1,13 @@
 """One entry point per figure/table of the paper's evaluation (Section 6-7).
 
+Every figure is a :class:`~repro.experiments.specs.FigureSpec` in
+:data:`FIGURE_SPECS` — a declarative (dataset, grids, analyzer) triple the
+generic :func:`~repro.experiments.specs.run_spec` driver executes through
+the sweep-plan layer.  The module-level functions (``fig2`` ... ``fig15``,
+``redtree_failures``) are thin wrappers with the historical keyword
+signature; :func:`run_figure` accepts either that signature or a
+:class:`~repro.experiments.specs.RunContext`.
+
 Every function returns a :class:`FigureResult` whose ``series`` attribute
 contains the same curves as the corresponding figure of the paper (with the
 assembly-tree surrogate in place of the UF collection, see DESIGN.md), and
@@ -33,67 +41,32 @@ Figure map
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from ..bounds import lower_bound_improvement_stats
 from ..core.task_tree import TaskTree
-from ..core.tree_metrics import height
 from ..orders import minimum_memory_postorder, sequential_peak_memory
 from ..schedulers.membooking import MemBookingReferenceScheduler, MemBookingScheduler
-from ..workloads.datasets import (
-    WorkloadCache,
-    assembly_dataset,
-    heavyleaf_dataset,
-    height_study_dataset,
-    synthetic_dataset,
-)
-from .config import DEFAULT_MEMORY_FACTORS, SweepConfig
+from ..workloads.datasets import WorkloadCache
+from .config import DEFAULT_MEMORY_FACTORS
 from .metrics import decile_band, mean, median, series_over, speedup_records
 from .records import RecordTable, ResultCache
-from .reporting import format_series_table
-from .runner import run_sweep
+from .reporting import quantize_x
+from .specs import (
+    DatasetRef,
+    FigureResult,
+    FigureSpec,
+    GridSpec,
+    RunContext,
+    load_dataset,
+    run_spec,
+)
 
-__all__ = ["FigureResult", "FIGURES", "run_figure"]
+__all__ = ["FigureResult", "FIGURES", "FIGURE_SPECS", "run_figure"]
 
 Series = dict[str, list[tuple[float, float]]]
-
-
-@dataclass
-class FigureResult:
-    """Data reproduced for one figure/table of the paper."""
-
-    figure_id: str
-    title: str
-    x_label: str
-    y_label: str
-    series: Series
-    checks: dict[str, bool] = field(default_factory=dict)
-    notes: str = ""
-    #: The raw sweep records behind the series: a columnar
-    #: :class:`~repro.experiments.records.RecordTable` for single-sweep
-    #: figures (iterable as dict records), a plain record list otherwise.
-    records: "RecordTable | list[dict[str, Any]]" = field(default_factory=list)
-
-    def as_text(self) -> str:
-        """Human-readable rendering (table + check outcomes)."""
-        lines = [
-            f"== {self.figure_id}: {self.title} ==",
-            format_series_table(self.series, x_label=self.x_label),
-            f"(y axis: {self.y_label})",
-        ]
-        if self.notes:
-            lines.append(self.notes)
-        for name, passed in self.checks.items():
-            lines.append(f"check[{name}]: {'PASS' if passed else 'FAIL'}")
-        return "\n".join(lines)
-
-    @property
-    def all_checks_pass(self) -> bool:
-        """True when every qualitative check of the figure holds."""
-        return all(self.checks.values())
 
 
 # --------------------------------------------------------------------------- #
@@ -104,65 +77,24 @@ def _dataset(
 ) -> list[TaskTree]:
     """Generate (or load from the workload cache) one named dataset.
 
-    With a :class:`~repro.workloads.datasets.WorkloadCache` the trees come
-    back as zero-copy views over a saved ``TreeStore`` arena keyed by
-    (kind, scale, seed, generator version) — generation runs at most once
-    per key, whichever figures ask for the dataset.  The arena also carries
-    the workspace plane columns for the canonical (memPO, memPO) order pair
-    every sweep figure defaults to, so a warm figure adopts its orders and
-    workspaces from the arena instead of re-deriving them.
+    Thin compatibility wrapper over
+    :func:`~repro.experiments.specs.load_dataset` (the historical home of
+    the helper; external callers and tests import it from here).
     """
-    def generate() -> list[TaskTree]:
-        if kind == "assembly":
-            trees, _ = assembly_dataset(scale, seed=seed)  # type: ignore[arg-type]
-            return trees
-        if kind == "synthetic":
-            trees, _ = synthetic_dataset(scale, seed=seed)  # type: ignore[arg-type]
-            return trees
-        if kind == "heavyleaf":
-            trees, _ = heavyleaf_dataset(scale, seed=seed)  # type: ignore[arg-type]
-            return trees
-        if kind == "height":
-            trees, _ = height_study_dataset(seed=seed)
-            return trees
-        raise ValueError(f"unknown dataset kind {kind!r}")
-
-    if workload_cache is None:
-        return generate()
-    # The height-study dataset ignores the scale knob, so keying on it
-    # would store identical arenas once per scale.
-    cache_key = (kind, seed) if kind == "height" else (kind, scale, seed)
-    return workload_cache.fetch(cache_key, generate, planes_orders=("memPO", "memPO"))
-
-
-def _cached_sweep(
-    trees: Sequence[TaskTree],
-    config: SweepConfig,
-    *,
-    cache: ResultCache | None,
-    dataset_key: Sequence[Any],
-) -> RecordTable:
-    """``run_sweep`` with an optional persistent result cache in front.
-
-    ``dataset_key`` identifies the tree collection (kind, scale, seed —
-    whatever regenerates it deterministically); together with the
-    value-relevant ``config`` fields it keys the cache, so a re-run of the
-    same figure at the same scale loads the saved
-    :class:`~repro.experiments.records.RecordTable` instead of simulating.
-    """
-    if cache is None:
-        return run_sweep(trees, config)
-    key = cache.key(dataset_key, config)
-    table = cache.get(key)
-    if table is None:
-        table = run_sweep(trees, config)
-        cache.put(key, table)
-    return table
+    return load_dataset(kind, scale, seed, workload_cache)
 
 
 def _series_value(series: Series, name: str, x: float) -> float:
+    """The y value of ``series[name]`` at ``x``, NaN when absent.
+
+    X values are matched through :func:`~repro.experiments.reporting.quantize_x`
+    (12 significant digits): series x values reconstructed from float
+    arithmetic (``0.1 + 0.2``-style noise) still match their nominal grid
+    point instead of silently reading as NaN.
+    """
+    key = quantize_x(x)
     for px, py in series.get(name, []):
-        if px == x:
+        if quantize_x(px) == key:
             return py
     return float("nan")
 
@@ -173,30 +105,11 @@ def _final_value(series: Series, name: str) -> float:
 
 
 # --------------------------------------------------------------------------- #
-# generic figure builders (shared by the assembly and synthetic variants)
+# family analyzers (shared by the assembly and synthetic spec variants)
 # --------------------------------------------------------------------------- #
-def _makespan_figure(
-    figure_id: str,
-    dataset_kind: str,
-    scale: str,
-    seed: int,
-    memory_factors: Sequence[float],
-    processors: Sequence[int] = (8,),
-    jobs: int = 1,
-    backend: str = "auto",
-    batch_size: int = 0,
-    native: bool | None = None,
-    cache: ResultCache | None = None,
-    workload_cache: WorkloadCache | None = None,
-) -> FigureResult:
-    trees = _dataset(dataset_kind, scale, seed, workload_cache)
-    config = SweepConfig(
-        memory_factors=tuple(memory_factors),
-        processors=tuple(processors),
-        jobs=jobs,
-        backend=backend, batch_size=batch_size, native=native,
-    )
-    records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
+def _analyze_makespan(spec: FigureSpec, tables: list[RecordTable]) -> FigureResult:
+    records = tables[0]
+    config = spec.grids[0].value_config()
     series: Series = {}
     for scheduler in config.schedulers:
         series[scheduler] = series_over(
@@ -206,12 +119,12 @@ def _makespan_figure(
             where={"scheduler": scheduler},
             min_completion=config.min_completion_fraction,
         )
-    checks = _makespan_checks(series, memory_factors)
+    checks = _makespan_checks(series, config.memory_factors)
     return FigureResult(
-        figure_id=figure_id,
-        title=f"Normalised makespan vs memory bound ({dataset_kind} trees, p={processors[0]})",
-        x_label="normalized memory bound",
-        y_label="makespan / lower bound",
+        figure_id=spec.figure_id,
+        title=spec.title,
+        x_label=spec.x_label,
+        y_label=spec.y_label,
         series=series,
         checks=checks,
         records=records,
@@ -220,7 +133,6 @@ def _makespan_figure(
 
 def _makespan_checks(series: Series, memory_factors: Sequence[float]) -> dict[str, bool]:
     """Qualitative properties of Figures 2 and 10."""
-    largest = max(memory_factors)
     checks: dict[str, bool] = {}
     # MemBooking is never worse (on average) than the two baselines wherever
     # both report a point.
@@ -229,13 +141,16 @@ def _makespan_checks(series: Series, memory_factors: Sequence[float]) -> dict[st
             (x, y_mb)
             for x, y_mb in series.get("MemBooking", [])
             for x2, y_base in series.get(baseline, [])
-            if x == x2 and np.isfinite(y_mb) and np.isfinite(y_base) and y_mb > y_base * 1.02
+            if quantize_x(x) == quantize_x(x2)
+            and np.isfinite(y_mb)
+            and np.isfinite(y_base)
+            and y_mb > y_base * 1.02
         ]
         checks[f"membooking_not_worse_than_{baseline}"] = not comparable
     # MemBooking reports a point at the smallest factor (it always completes
     # at the minimum memory, Theorem 1).
-    mb_points = dict(series.get("MemBooking", []))
-    checks["membooking_covers_minimum_memory"] = min(memory_factors) in mb_points
+    mb_xs = {quantize_x(x) for x, _ in series.get("MemBooking", [])}
+    checks["membooking_covers_minimum_memory"] = quantize_x(min(memory_factors)) in mb_xs
     # With generous memory all heuristics converge close to the lower bound
     # regime (non-increasing trend for MemBooking).
     mb = series.get("MemBooking", [])
@@ -245,31 +160,12 @@ def _makespan_checks(series: Series, memory_factors: Sequence[float]) -> dict[st
     checks["membooking_close_to_bound_with_memory"] = (
         _final_value(series, "MemBooking") <= 1.6 if mb else False
     )
-    _ = largest
     return checks
 
 
-def _speedup_figure(
-    figure_id: str,
-    dataset_kind: str,
-    scale: str,
-    seed: int,
-    memory_factors: Sequence[float],
-    jobs: int = 1,
-    backend: str = "auto",
-    batch_size: int = 0,
-    native: bool | None = None,
-    cache: ResultCache | None = None,
-    workload_cache: WorkloadCache | None = None,
-) -> FigureResult:
-    trees = _dataset(dataset_kind, scale, seed, workload_cache)
-    config = SweepConfig(
-        schedulers=("Activation", "MemBooking"),
-        memory_factors=tuple(memory_factors),
-        jobs=jobs,
-        backend=backend, batch_size=batch_size, native=native,
-    )
-    records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
+def _analyze_speedup(spec: FigureSpec, tables: list[RecordTable]) -> FigureResult:
+    records = tables[0]
+    memory_factors = spec.grids[0].memory_factors
     speedups = speedup_records(records)
     series: Series = {"mean": [], "median": [], "decile_1": [], "decile_9": []}
     for factor in sorted(set(memory_factors)):
@@ -297,32 +193,19 @@ def _speedup_figure(
         ),
     }
     return FigureResult(
-        figure_id=figure_id,
-        title=f"Speedup of MemBooking over Activation ({dataset_kind} trees, p=8)",
-        x_label="normalized memory bound",
-        y_label="speedup",
+        figure_id=spec.figure_id,
+        title=spec.title,
+        x_label=spec.x_label,
+        y_label=spec.y_label,
         series=series,
         checks=checks,
         records=records,
     )
 
 
-def _memory_fraction_figure(
-    figure_id: str,
-    dataset_kind: str,
-    scale: str,
-    seed: int,
-    memory_factors: Sequence[float],
-    jobs: int = 1,
-    backend: str = "auto",
-    batch_size: int = 0,
-    native: bool | None = None,
-    cache: ResultCache | None = None,
-    workload_cache: WorkloadCache | None = None,
-) -> FigureResult:
-    trees = _dataset(dataset_kind, scale, seed, workload_cache)
-    config = SweepConfig(memory_factors=tuple(memory_factors), jobs=jobs, backend=backend, batch_size=batch_size, native=native)
-    records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
+def _analyze_memory_fraction(spec: FigureSpec, tables: list[RecordTable]) -> FigureResult:
+    records = tables[0]
+    config = spec.grids[0].value_config()
     series: Series = {}
     for scheduler in config.schedulers:
         series[scheduler] = series_over(
@@ -350,37 +233,21 @@ def _memory_fraction_figure(
         "fractions_are_valid": all(0.0 <= y <= 1.0 + 1e-9 for y in mb_curve.values()),
     }
     return FigureResult(
-        figure_id=figure_id,
-        title=f"Fraction of available memory used ({dataset_kind} trees, p=8)",
-        x_label="normalized memory bound",
-        y_label="peak resident memory / memory bound",
+        figure_id=spec.figure_id,
+        title=spec.title,
+        x_label=spec.x_label,
+        y_label=spec.y_label,
         series=series,
         checks=checks,
         records=records,
     )
 
 
-def _timing_figure(
-    figure_id: str,
-    dataset_kind: str,
-    scale: str,
-    seed: int,
-    *,
-    x_key: str,
-    y_key: str,
-    title: str,
-    jobs: int = 1,
-    backend: str = "auto",
-    batch_size: int = 0,
-    native: bool | None = None,
-    cache: ResultCache | None = None,
-    workload_cache: WorkloadCache | None = None,
-) -> FigureResult:
-    trees = _dataset(dataset_kind, scale, seed, workload_cache)
-    config = SweepConfig(
-        memory_factors=(2.0,), processors=(8,), jobs=jobs, backend=backend, batch_size=batch_size, native=native
-    )
-    records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
+def _analyze_timing(spec: FigureSpec, tables: list[RecordTable]) -> FigureResult:
+    records = tables[0]
+    config = spec.grids[0].value_config()
+    x_key = spec.params["x_key"]
+    y_key = spec.params["y_key"]
     series: Series = {}
     for scheduler in config.schedulers:
         mask = (records.column("scheduler") == scheduler) & records.column("completed")
@@ -402,8 +269,8 @@ def _timing_figure(
         ),
     }
     return FigureResult(
-        figure_id=figure_id,
-        title=title,
+        figure_id=spec.figure_id,
+        title=spec.title,
         x_label=x_key,
         y_label=y_key,
         series=series,
@@ -412,44 +279,24 @@ def _timing_figure(
     )
 
 
-def _order_choice_figure(
-    figure_id: str,
-    dataset_kind: str,
-    scale: str,
-    seed: int,
-    memory_factors: Sequence[float],
-    jobs: int = 1,
-    backend: str = "auto",
-    batch_size: int = 0,
-    native: bool | None = None,
-    cache: ResultCache | None = None,
-    workload_cache: WorkloadCache | None = None,
-) -> FigureResult:
-    trees = _dataset(dataset_kind, scale, seed, workload_cache)
-    combos = [
-        ("memPO", "memPO"),
-        ("memPO", "CP"),
-        ("OptSeq", "CP"),
-        ("OptSeq", "OptSeq"),
-        ("perfPO", "CP"),
-        ("perfPO", "perfPO"),
-    ]
+#: The six (activation order, execution order) pairs of Section 7.3.1.
+ORDER_COMBOS: tuple[tuple[str, str], ...] = (
+    ("memPO", "memPO"),
+    ("memPO", "CP"),
+    ("OptSeq", "CP"),
+    ("OptSeq", "OptSeq"),
+    ("perfPO", "CP"),
+    ("perfPO", "perfPO"),
+)
+
+
+def _analyze_order_choice(spec: FigureSpec, tables: list[RecordTable]) -> FigureResult:
     series: Series = {}
     all_records: list[dict[str, Any]] = []
-    for ao_name, eo_name in combos:
-        config = SweepConfig(
-            schedulers=("MemBooking",),
-            memory_factors=tuple(memory_factors),
-            activation_order=ao_name,
-            execution_order=eo_name,
-            jobs=jobs,
-            backend=backend, batch_size=batch_size, native=native,
-        )
-        records = _cached_sweep(
-            trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed)
-        )
+    for grid, records in zip(spec.grids, tables):
+        config = grid.value_config()
         all_records.extend(records)
-        series[f"{ao_name}/{eo_name}"] = series_over(
+        series[f"{config.activation_order}/{config.execution_order}"] = series_over(
             records,
             "memory_factor",
             "normalized_makespan",
@@ -465,44 +312,28 @@ def _order_choice_figure(
         with_cp = dict(series.get(f"{ao_name}/CP", []))
         shared = set(same) & set(with_cp)
         if shared:
-            cp_better.append(mean(with_cp[x] for x in shared) <= mean(same[x] for x in shared) * 1.02)
+            cp_better.append(
+                mean(with_cp[x] for x in shared) <= mean(same[x] for x in shared) * 1.02
+            )
     checks = {
         "order_choice_has_small_impact": bool(np.isfinite(spread) and spread < 0.15),
         "cp_execution_order_competitive": all(cp_better) if cp_better else False,
     }
     return FigureResult(
-        figure_id=figure_id,
-        title=f"Impact of the AO/EO choice on MemBooking ({dataset_kind} trees, p=8)",
-        x_label="normalized memory bound",
-        y_label="makespan / lower bound",
+        figure_id=spec.figure_id,
+        title=spec.title,
+        x_label=spec.x_label,
+        y_label=spec.y_label,
         series=series,
         checks=checks,
         records=all_records,
     )
 
 
-def _processor_sweep_figure(
-    figure_id: str,
-    dataset_kind: str,
-    scale: str,
-    seed: int,
-    memory_factors: Sequence[float],
-    processors: Sequence[int],
-    jobs: int = 1,
-    backend: str = "auto",
-    batch_size: int = 0,
-    native: bool | None = None,
-    cache: ResultCache | None = None,
-    workload_cache: WorkloadCache | None = None,
-) -> FigureResult:
-    trees = _dataset(dataset_kind, scale, seed, workload_cache)
-    config = SweepConfig(
-        memory_factors=tuple(memory_factors),
-        processors=tuple(processors),
-        jobs=jobs,
-        backend=backend, batch_size=batch_size, native=native,
-    )
-    records = _cached_sweep(trees, config, cache=cache, dataset_key=(dataset_kind, scale, seed))
+def _analyze_processor_sweep(spec: FigureSpec, tables: list[RecordTable]) -> FigureResult:
+    records = tables[0]
+    config = spec.grids[0].value_config()
+    processors = config.processors
     series: Series = {}
     for p in processors:
         for scheduler in config.schedulers:
@@ -529,79 +360,18 @@ def _processor_sweep_figure(
         ),
     }
     return FigureResult(
-        figure_id=figure_id,
-        title=f"Normalised makespan for several processor counts ({dataset_kind} trees)",
-        x_label="normalized memory bound",
-        y_label="makespan / lower bound",
+        figure_id=spec.figure_id,
+        title=spec.title,
+        x_label=spec.x_label,
+        y_label=spec.y_label,
         series=series,
         checks=checks,
         records=records,
     )
 
 
-# --------------------------------------------------------------------------- #
-# assembly-tree figures (2-9)
-# --------------------------------------------------------------------------- #
-def fig2(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
-    """Figure 2: normalised makespan of the three heuristics, assembly trees."""
-    return _makespan_figure("fig2", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, batch_size=batch_size, native=native, cache=cache, workload_cache=workload_cache)
-
-
-def fig3(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
-    """Figure 3: speedup of MemBooking over Activation, assembly trees."""
-    return _speedup_figure("fig3", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, batch_size=batch_size, native=native, cache=cache, workload_cache=workload_cache)
-
-
-def fig4(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
-    """Figure 4: fraction of the available memory actually used, assembly trees."""
-    return _memory_fraction_figure("fig4", "assembly", scale, seed, DEFAULT_MEMORY_FACTORS, jobs=jobs, backend=backend, batch_size=batch_size, native=native, cache=cache, workload_cache=workload_cache)
-
-
-def fig5(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
-    """Figure 5: scheduling time as a function of the tree size, assembly trees."""
-    return _timing_figure(
-        "fig5",
-        "assembly",
-        scale,
-        seed,
-        x_key="tree_size",
-        y_key="scheduling_seconds",
-        title="Scheduling time vs tree size (assembly trees)",
-        jobs=jobs,
-        backend=backend, batch_size=batch_size, native=native,
-        cache=cache,
-        workload_cache=workload_cache,
-    )
-
-
-def fig6(scale: str = "small", seed: int = 99, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
-    """Figure 6: scheduling time per node as a function of the tree height."""
-    return _timing_figure(
-        "fig6",
-        "height",
-        scale,
-        seed,
-        x_key="tree_height",
-        y_key="scheduling_seconds_per_node",
-        title="Per-node scheduling time vs tree height",
-        jobs=jobs,
-        backend=backend, batch_size=batch_size, native=native,
-        cache=cache,
-        workload_cache=workload_cache,
-    )
-
-
-def fig7(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
-    """Figure 7: speedup over Activation as a function of the tree height (factor 2)."""
-    trees = _dataset("assembly", scale, seed, workload_cache) + _dataset(
-        "height", scale, seed + 1, workload_cache
-    )
-    config = SweepConfig(
-        schedulers=("Activation", "MemBooking"), memory_factors=(2.0,), jobs=jobs, backend=backend, batch_size=batch_size, native=native
-    )
-    records = _cached_sweep(
-        trees, config, cache=cache, dataset_key=("assembly+height", scale, seed)
-    )
+def _analyze_height_speedup(spec: FigureSpec, tables: list[RecordTable]) -> FigureResult:
+    records = tables[0]
     speedups = speedup_records(records)
     points = sorted((float(s["tree_height"]), float(s["speedup"])) for s in speedups)
     shallow = [y for x, y in points if x <= np.median([x for x, _ in points])]
@@ -615,77 +385,55 @@ def fig7(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "
         else False,
     }
     return FigureResult(
-        figure_id="fig7",
-        title="Speedup of MemBooking vs tree height at memory factor 2",
-        x_label="tree height",
-        y_label="speedup over Activation",
+        figure_id=spec.figure_id,
+        title=spec.title,
+        x_label=spec.x_label,
+        y_label=spec.y_label,
         series={"speedup": points},
         checks=checks,
         records=records,
     )
 
 
-def fig8(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
-    """Figure 8: impact of the activation/execution order choice, assembly trees."""
-    return _order_choice_figure("fig8", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), jobs=jobs, backend=backend, batch_size=batch_size, native=native, cache=cache, workload_cache=workload_cache)
-
-
-def fig9(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
-    """Figure 9: normalised makespan for p in {2, 4, 8, 16, 32}, assembly trees."""
-    return _processor_sweep_figure(
-        "fig9", "assembly", scale, seed, (1.5, 2.0, 5.0, 20.0), (2, 4, 8, 16, 32), jobs=jobs, backend=backend, batch_size=batch_size, native=native, cache=cache, workload_cache=workload_cache
+def _analyze_redtree(spec: FigureSpec, tables: list[RecordTable]) -> FigureResult:
+    records = tables[0]
+    config = spec.grids[0].value_config()
+    scheduler_column = records.column("scheduler")
+    factor_column = records.column("memory_factor")
+    completed_column = records.column("completed")
+    series: Series = {}
+    for scheduler in config.schedulers:
+        points = []
+        for factor in config.memory_factors:
+            bucket = (scheduler_column == scheduler) & (factor_column == factor)
+            count = int(np.count_nonzero(bucket))
+            failure_fraction = int(np.count_nonzero(bucket & ~completed_column)) / count
+            points.append((factor, failure_fraction))
+        series[scheduler] = points
+    red = dict(series["MemBookingRedTree"])
+    mb = dict(series["MemBooking"])
+    checks = {
+        # MemBooking never fails (Theorem 1).
+        "membooking_never_fails": all(v == 0.0 for v in mb.values()),
+        # The reduction-tree baseline fails on a substantial fraction of the
+        # trees below 1.4x the minimum memory (the paper reports >= 33%).
+        "redtree_fails_under_tight_memory": max(red[1.0], red[1.2]) >= 0.3,
+        # Failures disappear once memory is abundant.
+        "redtree_recovers_with_memory": red[5.0] <= red[1.0],
+    }
+    return FigureResult(
+        figure_id=spec.figure_id,
+        title=spec.title,
+        x_label=spec.x_label,
+        y_label=spec.y_label,
+        series=series,
+        checks=checks,
+        records=records,
     )
 
 
 # --------------------------------------------------------------------------- #
-# synthetic-tree figures (10-15)
-# --------------------------------------------------------------------------- #
-def fig10(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
-    """Figure 10: normalised makespan of the three heuristics, synthetic trees."""
-    return _makespan_figure("fig10", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, batch_size=batch_size, native=native, cache=cache, workload_cache=workload_cache)
-
-
-def fig11(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
-    """Figure 11: speedup of MemBooking over Activation, synthetic trees."""
-    return _speedup_figure("fig11", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, batch_size=batch_size, native=native, cache=cache, workload_cache=workload_cache)
-
-
-def fig12(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
-    """Figure 12: fraction of the available memory actually used, synthetic trees."""
-    return _memory_fraction_figure("fig12", "synthetic", scale, seed, (1.0, 1.5, 2.0, 3.0, 5.0, 10.0), jobs=jobs, backend=backend, batch_size=batch_size, native=native, cache=cache, workload_cache=workload_cache)
-
-
-def fig13(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
-    """Figure 13: scheduling time as a function of the tree size, synthetic trees."""
-    return _timing_figure(
-        "fig13",
-        "synthetic",
-        scale,
-        seed,
-        x_key="tree_size",
-        y_key="scheduling_seconds",
-        title="Scheduling time vs tree size (synthetic trees)",
-        jobs=jobs,
-        backend=backend, batch_size=batch_size, native=native,
-        cache=cache,
-        workload_cache=workload_cache,
-    )
-
-
-def fig14(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
-    """Figure 14: impact of the activation/execution order choice, synthetic trees."""
-    return _order_choice_figure("fig14", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), jobs=jobs, backend=backend, batch_size=batch_size, native=native, cache=cache, workload_cache=workload_cache)
-
-
-def fig15(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
-    """Figure 15: normalised makespan for p in {2, 4, 8, 16, 32}, synthetic trees."""
-    return _processor_sweep_figure(
-        "fig15", "synthetic", scale, seed, (1.5, 2.0, 5.0, 10.0), (2, 4, 8, 16, 32), jobs=jobs, backend=backend, batch_size=batch_size, native=native, cache=cache, workload_cache=workload_cache
-    )
-
-
-# --------------------------------------------------------------------------- #
-# text statistics and ablations
+# text statistics and ablations (in-process custom figures)
 # --------------------------------------------------------------------------- #
 def lb_stats(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
     """Section 6 statistics: how often the memory-aware bound improves the classical one.
@@ -721,54 +469,6 @@ def lb_stats(scale: str = "small", seed: int = 2017, jobs: int = 1, backend: str
         y_label="fraction improved / average improvement",
         series=series,
         checks=checks,
-    )
-
-
-def redtree_failures(scale: str = "small", seed: int = 7011, jobs: int = 1, backend: str = "auto", batch_size: int = 0, native: bool | None = None, cache: ResultCache | None = None, workload_cache: WorkloadCache | None = None) -> FigureResult:
-    """Section 7.4: MemBookingRedTree cannot schedule many trees under tight memory."""
-    trees = _dataset("synthetic", scale, seed, workload_cache)
-    config = SweepConfig(
-        schedulers=("MemBookingRedTree", "MemBooking"),
-        memory_factors=(1.0, 1.2, 1.4, 2.0, 5.0),
-        min_completion_fraction=0.0,
-        validate=False,
-        jobs=jobs,
-        backend=backend, batch_size=batch_size, native=native,
-    )
-    records = _cached_sweep(
-        trees, config, cache=cache, dataset_key=("synthetic", scale, seed)
-    )
-    scheduler_column = records.column("scheduler")
-    factor_column = records.column("memory_factor")
-    completed_column = records.column("completed")
-    series: Series = {}
-    for scheduler in config.schedulers:
-        points = []
-        for factor in config.memory_factors:
-            bucket = (scheduler_column == scheduler) & (factor_column == factor)
-            count = int(np.count_nonzero(bucket))
-            failure_fraction = int(np.count_nonzero(bucket & ~completed_column)) / count
-            points.append((factor, failure_fraction))
-        series[scheduler] = points
-    red = dict(series["MemBookingRedTree"])
-    mb = dict(series["MemBooking"])
-    checks = {
-        # MemBooking never fails (Theorem 1).
-        "membooking_never_fails": all(v == 0.0 for v in mb.values()),
-        # The reduction-tree baseline fails on a substantial fraction of the
-        # trees below 1.4x the minimum memory (the paper reports >= 33%).
-        "redtree_fails_under_tight_memory": max(red[1.0], red[1.2]) >= 0.3,
-        # Failures disappear once memory is abundant.
-        "redtree_recovers_with_memory": red[5.0] <= red[1.0],
-    }
-    return FigureResult(
-        figure_id="redtree_failures",
-        title="Fraction of synthetic trees MemBookingRedTree cannot schedule",
-        x_label="normalized memory bound",
-        y_label="failure fraction",
-        series=series,
-        checks=checks,
-        records=records,
     )
 
 
@@ -872,7 +572,291 @@ def ablation_lazy_subtree(scale: str = "small", seed: int = 99, jobs: int = 1, b
     )
 
 
-#: Registry used by the CLI and the benchmark suite.
+# --------------------------------------------------------------------------- #
+# the figure specs
+# --------------------------------------------------------------------------- #
+_SYNTH_FACTORS = (1.0, 1.5, 2.0, 3.0, 5.0, 10.0)
+_ASSEMBLY = DatasetRef.of("assembly")
+_SYNTHETIC = DatasetRef.of("synthetic")
+_HEIGHT = DatasetRef.of("height")
+
+#: Declarative registry of every figure; executed by
+#: :func:`~repro.experiments.specs.run_spec` (see CONTRIBUTING.md,
+#: "Adding a figure").
+FIGURE_SPECS: dict[str, FigureSpec] = {
+    "fig2": FigureSpec(
+        figure_id="fig2",
+        title="Normalised makespan vs memory bound (assembly trees, p=8)",
+        x_label="normalized memory bound",
+        y_label="makespan / lower bound",
+        seed=2017,
+        dataset=_ASSEMBLY,
+        grids=(GridSpec(memory_factors=DEFAULT_MEMORY_FACTORS),),
+        analyze=_analyze_makespan,
+    ),
+    "fig3": FigureSpec(
+        figure_id="fig3",
+        title="Speedup of MemBooking over Activation (assembly trees, p=8)",
+        x_label="normalized memory bound",
+        y_label="speedup",
+        seed=2017,
+        dataset=_ASSEMBLY,
+        grids=(
+            GridSpec(
+                memory_factors=DEFAULT_MEMORY_FACTORS,
+                schedulers=("Activation", "MemBooking"),
+            ),
+        ),
+        analyze=_analyze_speedup,
+    ),
+    "fig4": FigureSpec(
+        figure_id="fig4",
+        title="Fraction of available memory used (assembly trees, p=8)",
+        x_label="normalized memory bound",
+        y_label="peak resident memory / memory bound",
+        seed=2017,
+        dataset=_ASSEMBLY,
+        grids=(GridSpec(memory_factors=DEFAULT_MEMORY_FACTORS),),
+        analyze=_analyze_memory_fraction,
+    ),
+    "fig5": FigureSpec(
+        figure_id="fig5",
+        title="Scheduling time vs tree size (assembly trees)",
+        x_label="tree_size",
+        y_label="scheduling_seconds",
+        seed=2017,
+        dataset=_ASSEMBLY,
+        grids=(GridSpec(memory_factors=(2.0,)),),
+        analyze=_analyze_timing,
+        params={"x_key": "tree_size", "y_key": "scheduling_seconds"},
+    ),
+    "fig6": FigureSpec(
+        figure_id="fig6",
+        title="Per-node scheduling time vs tree height",
+        x_label="tree_height",
+        y_label="scheduling_seconds_per_node",
+        seed=99,
+        dataset=_HEIGHT,
+        grids=(GridSpec(memory_factors=(2.0,)),),
+        analyze=_analyze_timing,
+        params={"x_key": "tree_height", "y_key": "scheduling_seconds_per_node"},
+    ),
+    "fig7": FigureSpec(
+        figure_id="fig7",
+        title="Speedup of MemBooking vs tree height at memory factor 2",
+        x_label="tree height",
+        y_label="speedup over Activation",
+        seed=2017,
+        dataset=DatasetRef(parts=(("assembly", 0), ("height", 1))),
+        grids=(
+            GridSpec(memory_factors=(2.0,), schedulers=("Activation", "MemBooking")),
+        ),
+        analyze=_analyze_height_speedup,
+    ),
+    "fig8": FigureSpec(
+        figure_id="fig8",
+        title="Impact of the AO/EO choice on MemBooking (assembly trees, p=8)",
+        x_label="normalized memory bound",
+        y_label="makespan / lower bound",
+        seed=2017,
+        dataset=_ASSEMBLY,
+        grids=tuple(
+            GridSpec(
+                memory_factors=(1.5, 2.0, 5.0, 20.0),
+                schedulers=("MemBooking",),
+                activation_order=ao_name,
+                execution_order=eo_name,
+            )
+            for ao_name, eo_name in ORDER_COMBOS
+        ),
+        analyze=_analyze_order_choice,
+    ),
+    "fig9": FigureSpec(
+        figure_id="fig9",
+        title="Normalised makespan for several processor counts (assembly trees)",
+        x_label="normalized memory bound",
+        y_label="makespan / lower bound",
+        seed=2017,
+        dataset=_ASSEMBLY,
+        grids=(
+            GridSpec(memory_factors=(1.5, 2.0, 5.0, 20.0), processors=(2, 4, 8, 16, 32)),
+        ),
+        analyze=_analyze_processor_sweep,
+    ),
+    "fig10": FigureSpec(
+        figure_id="fig10",
+        title="Normalised makespan vs memory bound (synthetic trees, p=8)",
+        x_label="normalized memory bound",
+        y_label="makespan / lower bound",
+        seed=7011,
+        dataset=_SYNTHETIC,
+        grids=(GridSpec(memory_factors=_SYNTH_FACTORS),),
+        analyze=_analyze_makespan,
+    ),
+    "fig11": FigureSpec(
+        figure_id="fig11",
+        title="Speedup of MemBooking over Activation (synthetic trees, p=8)",
+        x_label="normalized memory bound",
+        y_label="speedup",
+        seed=7011,
+        dataset=_SYNTHETIC,
+        grids=(
+            GridSpec(
+                memory_factors=_SYNTH_FACTORS, schedulers=("Activation", "MemBooking")
+            ),
+        ),
+        analyze=_analyze_speedup,
+    ),
+    "fig12": FigureSpec(
+        figure_id="fig12",
+        title="Fraction of available memory used (synthetic trees, p=8)",
+        x_label="normalized memory bound",
+        y_label="peak resident memory / memory bound",
+        seed=7011,
+        dataset=_SYNTHETIC,
+        grids=(GridSpec(memory_factors=_SYNTH_FACTORS),),
+        analyze=_analyze_memory_fraction,
+    ),
+    "fig13": FigureSpec(
+        figure_id="fig13",
+        title="Scheduling time vs tree size (synthetic trees)",
+        x_label="tree_size",
+        y_label="scheduling_seconds",
+        seed=7011,
+        dataset=_SYNTHETIC,
+        grids=(GridSpec(memory_factors=(2.0,)),),
+        analyze=_analyze_timing,
+        params={"x_key": "tree_size", "y_key": "scheduling_seconds"},
+    ),
+    "fig14": FigureSpec(
+        figure_id="fig14",
+        title="Impact of the AO/EO choice on MemBooking (synthetic trees, p=8)",
+        x_label="normalized memory bound",
+        y_label="makespan / lower bound",
+        seed=7011,
+        dataset=_SYNTHETIC,
+        grids=tuple(
+            GridSpec(
+                memory_factors=(1.5, 2.0, 5.0, 10.0),
+                schedulers=("MemBooking",),
+                activation_order=ao_name,
+                execution_order=eo_name,
+            )
+            for ao_name, eo_name in ORDER_COMBOS
+        ),
+        analyze=_analyze_order_choice,
+    ),
+    "fig15": FigureSpec(
+        figure_id="fig15",
+        title="Normalised makespan for several processor counts (synthetic trees)",
+        x_label="normalized memory bound",
+        y_label="makespan / lower bound",
+        seed=7011,
+        dataset=_SYNTHETIC,
+        grids=(
+            GridSpec(memory_factors=(1.5, 2.0, 5.0, 10.0), processors=(2, 4, 8, 16, 32)),
+        ),
+        analyze=_analyze_processor_sweep,
+    ),
+    "redtree_failures": FigureSpec(
+        figure_id="redtree_failures",
+        title="Fraction of synthetic trees MemBookingRedTree cannot schedule",
+        x_label="normalized memory bound",
+        y_label="failure fraction",
+        seed=7011,
+        dataset=_SYNTHETIC,
+        grids=(
+            GridSpec(
+                memory_factors=(1.0, 1.2, 1.4, 2.0, 5.0),
+                schedulers=("MemBookingRedTree", "MemBooking"),
+                min_completion_fraction=0.0,
+                validate=False,
+            ),
+        ),
+        analyze=_analyze_redtree,
+    ),
+    "lb_stats": FigureSpec(
+        figure_id="lb_stats",
+        title="Improvement of the memory-aware lower bound (Section 6)",
+        x_label="normalized memory bound",
+        y_label="fraction improved / average improvement",
+        seed=2017,
+        custom=lb_stats,
+    ),
+    "ablation_dispatch": FigureSpec(
+        figure_id="ablation_dispatch",
+        title="Ablation: ALAP dispatch to candidates vs strict ACT/RUN dispatch",
+        x_label="normalized memory bound",
+        y_label="mean makespan",
+        seed=7011,
+        custom=ablation_dispatch,
+    ),
+    "ablation_lazy_subtree": FigureSpec(
+        figure_id="ablation_lazy_subtree",
+        title="Ablation: optimised vs reference MemBooking data structures",
+        x_label="tree size",
+        y_label="scheduling seconds",
+        seed=99,
+        custom=ablation_lazy_subtree,
+    ),
+}
+
+
+# --------------------------------------------------------------------------- #
+# legacy keyword entry points (``fig2(scale=..., cache=...)``)
+# --------------------------------------------------------------------------- #
+def _legacy_entry(figure_id: str, doc: str) -> Callable[..., FigureResult]:
+    spec = FIGURE_SPECS[figure_id]
+
+    def figure(
+        scale: str = "small",
+        seed: int | None = None,
+        jobs: int = 1,
+        backend: str = "auto",
+        batch_size: int = 0,
+        native: bool | None = None,
+        cache: ResultCache | None = None,
+        workload_cache: WorkloadCache | None = None,
+    ) -> FigureResult:
+        ctx = RunContext(
+            scale=scale,
+            jobs=jobs,
+            backend=backend,
+            batch_size=batch_size,
+            native=native,
+            cache=cache,
+            workload_cache=workload_cache,
+        )
+        return run_spec(spec, ctx, seed=seed)
+
+    figure.__name__ = figure_id
+    figure.__qualname__ = figure_id
+    figure.__doc__ = doc
+    return figure
+
+
+fig2 = _legacy_entry("fig2", "Figure 2: normalised makespan of the three heuristics, assembly trees.")
+fig3 = _legacy_entry("fig3", "Figure 3: speedup of MemBooking over Activation, assembly trees.")
+fig4 = _legacy_entry("fig4", "Figure 4: fraction of the available memory actually used, assembly trees.")
+fig5 = _legacy_entry("fig5", "Figure 5: scheduling time as a function of the tree size, assembly trees.")
+fig6 = _legacy_entry("fig6", "Figure 6: scheduling time per node as a function of the tree height.")
+fig7 = _legacy_entry("fig7", "Figure 7: speedup over Activation as a function of the tree height (factor 2).")
+fig8 = _legacy_entry("fig8", "Figure 8: impact of the activation/execution order choice, assembly trees.")
+fig9 = _legacy_entry("fig9", "Figure 9: normalised makespan for p in {2, 4, 8, 16, 32}, assembly trees.")
+fig10 = _legacy_entry("fig10", "Figure 10: normalised makespan of the three heuristics, synthetic trees.")
+fig11 = _legacy_entry("fig11", "Figure 11: speedup of MemBooking over Activation, synthetic trees.")
+fig12 = _legacy_entry("fig12", "Figure 12: fraction of the available memory actually used, synthetic trees.")
+fig13 = _legacy_entry("fig13", "Figure 13: scheduling time as a function of the tree size, synthetic trees.")
+fig14 = _legacy_entry("fig14", "Figure 14: impact of the activation/execution order choice, synthetic trees.")
+fig15 = _legacy_entry("fig15", "Figure 15: normalised makespan for p in {2, 4, 8, 16, 32}, synthetic trees.")
+redtree_failures = _legacy_entry(
+    "redtree_failures",
+    "Section 7.4: MemBookingRedTree cannot schedule many trees under tight memory.",
+)
+
+
+#: Registry used by the CLI and the benchmark suite (legacy keyword entry
+#: points; prefer ``run_figure(figure_id, ctx)`` for new code).
 FIGURES: dict[str, Callable[..., FigureResult]] = {
     "fig2": fig2,
     "fig3": fig3,
@@ -895,10 +879,19 @@ FIGURES: dict[str, Callable[..., FigureResult]] = {
 }
 
 
-def run_figure(figure_id: str, **kwargs) -> FigureResult:
-    """Run one figure by identifier (``"fig2"``, ..., ``"lb_stats"``)."""
-    try:
-        factory = FIGURES[figure_id]
-    except KeyError:
-        raise ValueError(f"unknown figure {figure_id!r}; available: {sorted(FIGURES)}") from None
-    return factory(**kwargs)
+def run_figure(
+    figure_id: str, ctx: RunContext | None = None, **kwargs: Any
+) -> FigureResult:
+    """Run one figure by identifier (``"fig2"``, ..., ``"lb_stats"``).
+
+    Either pass a :class:`~repro.experiments.specs.RunContext` (the spec
+    driver executes it through the plan layer) or the historical keyword
+    arguments (``scale=..., jobs=..., cache=...``), not both.
+    """
+    if figure_id not in FIGURE_SPECS:
+        raise ValueError(f"unknown figure {figure_id!r}; available: {sorted(FIGURE_SPECS)}")
+    if ctx is not None:
+        if kwargs:
+            raise TypeError("pass either a RunContext or legacy keyword arguments, not both")
+        return run_spec(FIGURE_SPECS[figure_id], ctx)
+    return FIGURES[figure_id](**kwargs)

@@ -69,7 +69,7 @@ import os
 import struct
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Protocol, Sequence
 
 import numpy as np
 
@@ -78,7 +78,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
     from .config import SweepConfig
 
-__all__ = ["Field", "RECORD_FIELDS", "RecordTable", "ResultCache", "records_equal"]
+__all__ = [
+    "Field",
+    "RECORD_FIELDS",
+    "RecordTable",
+    "ResultCache",
+    "InMemoryRowCache",
+    "RowCache",
+    "CACHE_SCHEMA_VERSION",
+    "records_equal",
+]
+
+#: Version of the :class:`ResultCache` keying scheme.  Participates in every
+#: cache key (sweep blobs *and* instance rows), so bumping it orphans all
+#: pre-existing entries — they are silently ignored (never crashed on) and
+#: eventually overwritten.  Version 3 introduced instance-level row storage
+#: and retired the pre-plan sweep-level keying.
+CACHE_SCHEMA_VERSION = 3
 
 _MAGIC = b"MTRECTB1"
 _VERSION = 2
@@ -613,6 +629,23 @@ def records_equal(
 # --------------------------------------------------------------------------- #
 # persistent result cache
 # --------------------------------------------------------------------------- #
+class RowCache(Protocol):
+    """The instance-row cache protocol :func:`~repro.experiments.plan.execute_plan_cached` consumes.
+
+    Both :class:`ResultCache` (persistent) and :class:`InMemoryRowCache`
+    (per-suite-run dedup when no cache directory is configured) implement it.
+    """
+
+    hits: int
+    misses: int
+    rows_cached: int
+    rows_fresh: int
+
+    def get_rows(self, keys: Sequence[str]) -> dict[str, dict[str, Any]]: ...
+
+    def put_rows(self, pairs: Iterable[tuple[str, Mapping[str, Any]]]) -> None: ...
+
+
 class ResultCache:
     """A directory of saved :class:`RecordTable` files keyed by sweep identity.
 
@@ -638,6 +671,12 @@ class ResultCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Row-granularity counters (the plan layer fills these): rows served
+        #: from the store vs rows simulated fresh this session.
+        self.rows_cached = 0
+        self.rows_fresh = 0
+        self._row_table: RecordTable | None = None
+        self._row_index: dict[str, int] | None = None
 
     def key(self, dataset_key: Sequence[Any], config: "SweepConfig") -> str:
         """Stable digest of one sweep's identity.
@@ -655,6 +694,7 @@ class ResultCache:
         }
         payload = {
             "schema_version": _VERSION,
+            "cache_schema_version": CACHE_SCHEMA_VERSION,
             "package_version": __version__,
             "dataset": list(dataset_key),
             "config": fields,
@@ -687,6 +727,115 @@ class ResultCache:
         """Persist ``table`` under ``key`` (atomic replace)."""
         return table.save(self.path(key))
 
+    # ------------------------------------------------------------------ #
+    # instance-level row storage (cache schema version 3)
+    # ------------------------------------------------------------------ #
+    # One ``rows.records`` arena holds every cached instance record; the
+    # sidecar ``rows.index.json`` maps instance content keys (see
+    # :meth:`~repro.experiments.plan.SweepPlan.instance_keys`) to row
+    # positions.  Keys embed :data:`CACHE_SCHEMA_VERSION`, so a directory
+    # written by an older scheme simply never matches — stale sweep-level
+    # ``<key>.records`` blobs coexist harmlessly until overwritten.
+
+    def _rows_path(self) -> Path:
+        return self.directory / "rows.records"
+
+    def _rows_index_path(self) -> Path:
+        return self.directory / "rows.index.json"
+
+    def _load_rows(self) -> tuple[RecordTable | None, dict[str, int]]:
+        """Open the row store lazily; anything corrupt degrades to empty."""
+        if self._row_index is None:
+            table: RecordTable | None = None
+            index: dict[str, int] = {}
+            index_path = self._rows_index_path()
+            if index_path.exists() and self._rows_path().exists():
+                try:
+                    raw = json.loads(index_path.read_text(encoding="utf-8"))
+                    table = RecordTable.load(self._rows_path())
+                    index = {str(k): int(v) for k, v in raw.items()}
+                    if index and max(index.values()) >= len(table):
+                        raise ValueError("row index points past the row table")
+                except (ValueError, OSError, AttributeError):
+                    table, index = None, {}
+            self._row_table, self._row_index = table, index
+        return self._row_table, self._row_index
+
+    def get_rows(self, keys: Sequence[str]) -> dict[str, dict[str, Any]]:
+        """Cached record dicts for every key present in the row store."""
+        table, index = self._load_rows()
+        out: dict[str, dict[str, Any]] = {}
+        if table is not None:
+            for key in keys:
+                position = index.get(key)
+                if position is not None:
+                    out[key] = table.row(position)
+        return out
+
+    def count_cached(self, keys: Sequence[str]) -> int:
+        """How many of ``keys`` the row store holds (dry-run prediction)."""
+        _, index = self._load_rows()
+        return sum(1 for key in keys if key in index)
+
+    def put_rows(self, pairs: Iterable[tuple[str, Mapping[str, Any]]]) -> None:
+        """Insert/overwrite instance rows and persist the store atomically.
+
+        The arena is rebuilt from all rows on every call — the store is
+        small relative to the simulations it saves, and a rebuild keeps the
+        arena compact and its dictionary codes canonical.
+        """
+        fresh = {key: dict(record) for key, record in pairs}
+        if not fresh:
+            return
+        table, index = self._load_rows()
+        merged: dict[str, dict[str, Any]] = {}
+        if table is not None:
+            for key, position in index.items():
+                merged[key] = table.row(position)
+        merged.update(fresh)
+        keys = list(merged)
+        new_table = RecordTable.from_dicts(merged[key] for key in keys)
+        new_index = {key: position for position, key in enumerate(keys)}
+        new_table.save(self._rows_path())
+        index_path = self._rows_index_path()
+        tmp = index_path.with_name(index_path.name + ".tmp")
+        tmp.write_text(json.dumps(new_index, separators=(",", ":")), encoding="utf-8")
+        os.replace(tmp, index_path)
+        self._row_table, self._row_index = new_table, new_index
+
     def stats(self) -> str:
         """One-line human-readable hit/miss summary."""
         return f"{self.hits} hits / {self.misses} misses ({self.directory})"
+
+    def row_stats(self) -> str:
+        """One-line row-granularity summary (cached vs freshly simulated)."""
+        return f"{self.rows_cached} rows cached / {self.rows_fresh} rows fresh"
+
+
+class InMemoryRowCache:
+    """A process-local :class:`RowCache` with no persistence.
+
+    :func:`repro.experiments.suite.run_suite` uses one per run when no cache
+    directory is configured: overlapping figures still dedup shared
+    instances within the run, nothing touches disk.
+    """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.rows_cached = 0
+        self.rows_fresh = 0
+        self._rows: dict[str, dict[str, Any]] = {}
+
+    def get_rows(self, keys: Sequence[str]) -> dict[str, dict[str, Any]]:
+        return {key: dict(self._rows[key]) for key in keys if key in self._rows}
+
+    def count_cached(self, keys: Sequence[str]) -> int:
+        return sum(1 for key in keys if key in self._rows)
+
+    def put_rows(self, pairs: Iterable[tuple[str, Mapping[str, Any]]]) -> None:
+        for key, record in pairs:
+            self._rows[key] = dict(record)
+
+    def row_stats(self) -> str:
+        return f"{self.rows_cached} rows cached / {self.rows_fresh} rows fresh"

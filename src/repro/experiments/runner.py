@@ -320,10 +320,23 @@ def run_instance(tree: TaskTree, index: int, config: SweepConfig) -> list[dict[s
     ]
 
 
-def _run_instance_star(payload: tuple[int, TaskTree, SweepConfig]) -> list[dict[str, Any]]:
-    """Module-level pool target (picklable under every start method)."""
-    index, tree, config = payload
-    return run_instance(tree, index, config)
+def _run_instance_star(
+    payload: "tuple[int, TaskTree, SweepConfig, Sequence[tuple[str, int, float]] | None]",
+) -> list[dict[str, Any]]:
+    """Module-level pool target (picklable under every start method).
+
+    ``combos`` selects which (scheduler, processors, factor) rows of the
+    tree to simulate — ``None`` means the full canonical per-tree set (a
+    full-plan dispatch); a subset plan ships the explicit list.
+    """
+    index, tree, config, combos = payload
+    if combos is None:
+        return run_instance(tree, index, config)
+    context = prepare_instance(tree, index, config)
+    return [
+        run_single(context, scheduler_name, num_processors, memory_factor, config)
+        for scheduler_name, num_processors, memory_factor in combos
+    ]
 
 
 def _resolve_jobs(jobs: int | None, config: SweepConfig, num_trees: int) -> int:

@@ -5,40 +5,65 @@ programmatic :func:`run_suite`) executes every figure/table reproduction of
 :mod:`repro.experiments.figures`, writes
 
 * one text file per figure (the same series the benchmarks print),
-* one CSV per figure (for offline plotting), and
+* one CSV per figure (for offline plotting),
 * a ``summary.md`` report listing every qualitative check and whether it
-  passed,
+  passed, plus the instance-level plan accounting
+  (``instances: N unique / M requested / K cached`` and the number of fresh
+  simulations the run actually performed), and
+* ``plan-stats.json`` with the same accounting in machine-readable form,
 
 which is how the EXPERIMENTS.md numbers were collected.  The benchmark suite
 (`pytest benchmarks/ --benchmark-only`) remains the canonical way to *assert*
 the checks; this module is the convenience front-end for regenerating all the
 data in one go.
 
+Sweep plans and cross-figure dedup
+----------------------------------
+Every grid-sweep figure declares its instances through a
+:class:`~repro.experiments.plan.SweepPlan`; the suite concatenates the plans
+of all selected figures and deduplicates them by content-addressed instance
+key *before* anything runs.  Figures whose grids overlap (fig10, fig11 and
+fig12 sweep the same synthetic grid; fig13's single-factor column is a slice
+of it) therefore simulate their shared instances exactly once per run even
+with ``--no-cache`` — the dedup then rides on an in-memory row store instead
+of the persistent one.  ``--dry-run`` prints this plan (instance counts,
+per-figure overlap, predicted cache hits, lane-group counts) and exits
+without simulating.
+
 Result cache
 ------------
 By default the suite keeps a **persistent result cache** under
-``<out>/.result-cache/``: every sweep's
-:class:`~repro.experiments.records.RecordTable` is saved keyed by (dataset,
-config, schema version), so re-running the suite at the same scale loads the
-recorded results instead of re-simulating (``--no-cache`` disables this,
-``--cache-dir`` relocates it).  Records are value-identical either way; only
-the wall-clock ``scheduling_seconds`` fields are those of the original run.
+``<out>/.result-cache/``: every simulated instance row is saved keyed by its
+content-addressed instance key (tree bytes + value-relevant sweep axes +
+schema versions), so re-running the suite at the same scale loads the
+recorded rows instead of re-simulating — across runs *and* across figures
+(``--no-cache`` disables persistence, ``--cache-dir`` relocates it).
+Records are value-identical either way; only the wall-clock
+``scheduling_seconds`` fields are those of the original run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import time
 from pathlib import Path
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
 from ..workloads.datasets import WorkloadCache
 from . import backends as _backends
-from .figures import FIGURES, FigureResult, run_figure
-from .records import ResultCache
+from .figures import FIGURE_SPECS, FIGURES, FigureResult
+from .records import InMemoryRowCache, ResultCache, RowCache
 from .reporting import write_series_csv
+from .specs import RunContext, format_plan_report, plan_report, run_spec
 
-__all__ = ["run_suite", "write_suite_report", "main"]
+__all__ = [
+    "run_suite",
+    "write_suite_report",
+    "add_suite_arguments",
+    "run_from_args",
+    "main",
+]
 
 
 def run_suite(
@@ -48,8 +73,10 @@ def run_suite(
     jobs: int = 1,
     backend: str = "auto",
     batch_size: int = 0,
-    cache: ResultCache | None = None,
+    native: bool | None = None,
+    cache: RowCache | None = None,
     workload_cache: WorkloadCache | None = None,
+    stats: dict[str, Any] | None = None,
 ) -> dict[str, FigureResult]:
     """Run the selected figures (all of them by default) and return the results.
 
@@ -59,25 +86,40 @@ def run_suite(
     ships each dataset once through a shared arena, schedules at instance
     granularity and collects the records through a shared-memory result
     table) while the reported series stay identical to a serial run.
-    ``cache`` (a :class:`~repro.experiments.records.ResultCache`) makes every
-    sweep consult/fill the persistent result cache;  ``workload_cache`` (a
-    :class:`~repro.workloads.datasets.WorkloadCache`) does the same for the
-    *generated datasets* — each (kind, scale, seed) is generated at most
+    ``cache`` (a :class:`~repro.experiments.records.ResultCache` or any
+    :class:`~repro.experiments.records.RowCache`) makes every figure's plan
+    consult/fill the instance-row cache; without one the suite still dedups
+    overlapping figures within the run through a transient
+    :class:`~repro.experiments.records.InMemoryRowCache`.  ``workload_cache``
+    (a :class:`~repro.workloads.datasets.WorkloadCache`) does the same for
+    the *generated datasets* — each (kind, scale, seed) is generated at most
     once and mmap-loaded as a zero-copy ``TreeStore`` arena afterwards,
     including across figures of one run that share a dataset.
+
+    ``stats``, when given a dict, is filled with the run's plan accounting
+    (the :func:`~repro.experiments.specs.plan_report` totals plus the number
+    of ``fresh`` simulations actually performed).
     """
     ids = list(figure_ids) if figure_ids is not None else sorted(FIGURES)
+    row_cache: RowCache = cache if cache is not None else InMemoryRowCache()
+    ctx = RunContext(
+        scale=scale,
+        jobs=jobs,
+        backend=backend,
+        batch_size=batch_size,
+        native=native,
+        cache=row_cache,
+        workload_cache=workload_cache,
+    )
+    specs = [FIGURE_SPECS[figure_id] for figure_id in ids]
+    report = plan_report(specs, ctx)
+    fresh_before = row_cache.rows_fresh
     results: dict[str, FigureResult] = {}
-    for figure_id in ids:
-        results[figure_id] = run_figure(
-            figure_id,
-            scale=scale,
-            jobs=jobs,
-            backend=backend,
-            batch_size=batch_size,
-            cache=cache,
-            workload_cache=workload_cache,
-        )
+    for figure_id, spec in zip(ids, specs):
+        results[figure_id] = run_spec(spec, ctx)
+    if stats is not None:
+        stats.update(report)
+        stats["fresh"] = row_cache.rows_fresh - fresh_before
     return results
 
 
@@ -89,6 +131,7 @@ def write_suite_report(
     elapsed_seconds: float | None = None,
     cache: ResultCache | None = None,
     workload_cache: WorkloadCache | None = None,
+    plan_stats: Mapping[str, Any] | None = None,
 ) -> Path:
     """Write per-figure text/CSV files plus a ``summary.md`` into ``out_dir``."""
     out = Path(out_dir)
@@ -101,8 +144,16 @@ def write_suite_report(
     ]
     if elapsed_seconds is not None:
         lines.append(f"* total runtime: {elapsed_seconds:.1f} s")
+    if plan_stats is not None:
+        lines.append(
+            f"* instances: {plan_stats['unique']} unique"
+            f" / {plan_stats['requested']} requested"
+            f" / {plan_stats['cached']} cached"
+        )
+        lines.append(f"* fresh simulations: {plan_stats['fresh']}")
     if cache is not None:
         lines.append(f"* result cache: {cache.stats()}")
+        lines.append(f"* result rows: {cache.row_stats()}")
     if workload_cache is not None:
         lines.append(f"* workload cache: {workload_cache.stats()}")
     lines.append("")
@@ -120,9 +171,12 @@ def write_suite_report(
     return summary
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Command-line entry point (``python -m repro.experiments.suite``)."""
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+def add_suite_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the suite's command-line options to ``parser``.
+
+    Shared between ``python -m repro.experiments.suite`` and the ``memtree
+    suite`` sub-command.
+    """
     parser.add_argument("--scale", default="small", help="dataset scale (tiny/small/medium/large)")
     parser.add_argument("--out", type=Path, default=Path("suite-results"))
     parser.add_argument(
@@ -131,6 +185,7 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="subset of figure ids to run (default: every figure)",
     )
+
     def jobs_count(value: str) -> int:
         jobs = int(value)
         if jobs < 0:
@@ -158,6 +213,21 @@ def main(argv: list[str] | None = None) -> int:
         "of one tree per batch)",
     )
     parser.add_argument(
+        "--native",
+        action="store_true",
+        dest="native",
+        default=None,
+        help="require the compiled C kernels (repro.native; error if they "
+        "cannot be built)",
+    )
+    parser.add_argument(
+        "--no-native",
+        action="store_false",
+        dest="native",
+        help="force the pure-Python kernels (default: the REPRO_NATIVE "
+        "environment switch; unset = auto with silent fallback)",
+    )
+    parser.add_argument(
         "--cache-dir",
         type=Path,
         default=None,
@@ -166,7 +236,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-cache",
         action="store_true",
-        help="disable the persistent result cache (always re-simulate)",
+        help="disable the persistent result cache (always re-simulate; "
+        "overlapping figures still dedup within the run)",
     )
     parser.add_argument(
         "--workload-cache-dir",
@@ -180,10 +251,22 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable the persistent workload cache (always regenerate datasets)",
     )
-    args = parser.parse_args(argv)
-    cache = None
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the assembled sweep plan (instance counts, per-figure "
+        "overlap, predicted cache hits, lane groups) and exit without "
+        "simulating anything",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute the suite described by parsed :func:`add_suite_arguments` options."""
+    cache: ResultCache | None = None
     if not args.no_cache:
-        cache = ResultCache(args.cache_dir if args.cache_dir is not None else args.out / ".result-cache")
+        cache = ResultCache(
+            args.cache_dir if args.cache_dir is not None else args.out / ".result-cache"
+        )
     workload_cache = None
     if not args.no_workload_cache:
         workload_cache = WorkloadCache(
@@ -191,15 +274,32 @@ def main(argv: list[str] | None = None) -> int:
             if args.workload_cache_dir is not None
             else args.out / ".workload-cache"
         )
+    ids = list(args.figures) if args.figures is not None else sorted(FIGURES)
+    if args.dry_run:
+        ctx = RunContext(
+            scale=args.scale,
+            jobs=args.jobs,
+            backend=args.backend,
+            batch_size=args.batch_size,
+            native=args.native,
+            cache=cache if cache is not None else InMemoryRowCache(),
+            workload_cache=workload_cache,
+        )
+        specs = [FIGURE_SPECS[figure_id] for figure_id in ids]
+        print(format_plan_report(plan_report(specs, ctx)))
+        return 0
     start = time.perf_counter()
+    plan_stats: dict[str, Any] = {}
     results = run_suite(
-        args.figures,
+        ids,
         scale=args.scale,
         jobs=args.jobs,
         backend=args.backend,
         batch_size=args.batch_size,
+        native=args.native,
         cache=cache,
         workload_cache=workload_cache,
+        stats=plan_stats,
     )
     elapsed = time.perf_counter() - start
     summary = write_suite_report(
@@ -209,9 +309,15 @@ def main(argv: list[str] | None = None) -> int:
         elapsed_seconds=elapsed,
         cache=cache,
         workload_cache=workload_cache,
+        plan_stats=plan_stats,
     )
+    (args.out / "plan-stats.json").write_text(json.dumps(plan_stats, indent=2) + "\n")
     failures = [fid for fid, result in results.items() if not result.all_checks_pass]
     print(f"wrote {summary} ({len(results)} figures, {elapsed:.1f} s)")
+    print(
+        f"instances: {plan_stats['unique']} unique / {plan_stats['requested']} requested"
+        f" / {plan_stats['cached']} cached; fresh simulations: {plan_stats['fresh']}"
+    )
     if cache is not None:
         print(f"result cache: {cache.stats()}")
     if workload_cache is not None:
@@ -220,6 +326,13 @@ def main(argv: list[str] | None = None) -> int:
         print("figures with failed checks:", ", ".join(failures))
         return 1
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point (``python -m repro.experiments.suite``)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    add_suite_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
 
 
 if __name__ == "__main__":  # pragma: no cover
