@@ -53,9 +53,16 @@ class BatchedBackend(ExecutionBackend):
     def run_plan(
         self, trees: Sequence[TaskTree], plan: SweepPlan
     ) -> RecordTable:
-        from ..experiments.runner import complete_record, prepare_instance, run_single
+        from ..experiments.runner import (
+            complete_record,
+            prepare_instance,
+            resilient_run_single,
+        )
+        from ..resilience.faults import resolve_fault_plan
+        from ..resilience.health import current_health
 
         config = plan.config
+        faults = resolve_fault_plan(config.fault_plan)
         table = RecordTable.empty(len(plan))
         for tree_index, rows in plan.tree_groups():
             tree = trees[tree_index]
@@ -71,15 +78,30 @@ class BatchedBackend(ExecutionBackend):
                         (plan.combo(row)[1], plan.combo(row)[2] * context.minimum_memory)
                         for row in chunk
                     ]
-                    outcomes = simulate_lanes(
-                        kernel_cls,
-                        tree,
-                        context.ao,
-                        context.eo,
-                        context.workspace,
-                        lanes,
-                        native=config.native,
-                    )
+                    try:
+                        if faults is not None:
+                            faults.maybe_raise(
+                                "lane-engine",
+                                f"lane:{tree_index}:{scheduler}",
+                                exc=RuntimeError,
+                            )
+                        outcomes = simulate_lanes(
+                            kernel_cls,
+                            tree,
+                            context.ao,
+                            context.eo,
+                            context.workspace,
+                            lanes,
+                            native=config.native,
+                        )
+                    except Exception:
+                        # Lane engine down for this batch: leave its rows out
+                        # of ``records`` so the scalar loop below recomputes
+                        # them one by one — same values, no lane collapse.  A
+                        # systemic failure (e.g. native REQUIRED but absent)
+                        # re-raises from the scalar path instead of looping.
+                        current_health().record_degradation("batched->serial")
+                        continue
                     for row, (result, is_clone) in zip(chunk, outcomes):
                         _, num_processors, memory_factor = plan.combo(row)
                         records[row] = complete_record(
@@ -98,8 +120,8 @@ class BatchedBackend(ExecutionBackend):
                 record = records.get(int(row))
                 if record is None:
                     scheduler, num_processors, memory_factor = plan.combo(int(row))
-                    record = run_single(
-                        context, scheduler, num_processors, memory_factor, config
+                    record = resilient_run_single(
+                        context, scheduler, num_processors, memory_factor, config, faults
                     )
                 table.set_row(int(row), record)
         return table

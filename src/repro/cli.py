@@ -231,6 +231,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the figure's assembled sweep plan (instance count, "
         "predicted cache hits, lane groups) and exit without simulating",
     )
+    figure.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault-injection plan spec, e.g. "
+        '"seed=7;worker-crash:40;watchdog=5" (default: the REPRO_FAULTS '
+        "environment variable; see repro.resilience)",
+    )
     _add_native_flags(figure)
 
     from .experiments.suite import add_suite_arguments  # local: keep CLI import light
@@ -383,6 +391,8 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    from .resilience.health import reset_run_health
+
     cache = ResultCache(args.cache_dir) if args.cache_dir is not None else None
     workload_cache = None
     if args.workload_cache_dir is not None and not args.no_workload_cache:
@@ -394,11 +404,13 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             backend=args.backend,
             batch_size=args.batch_size,
             native=args.native,
+            fault_plan=args.faults,
             cache=cache if cache is not None else InMemoryRowCache(),
             workload_cache=workload_cache,
         )
         print(format_plan_report(plan_report([FIGURE_SPECS[args.figure_id]], ctx)))
         return 0
+    health = reset_run_health()
     result = run_figure(
         args.figure_id,
         scale=args.scale,
@@ -406,6 +418,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         backend=args.backend,
         batch_size=args.batch_size,
         native=args.native,
+        fault_plan=args.faults,
         cache=cache,
         workload_cache=workload_cache,
     )
@@ -415,6 +428,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(f"series written to {args.csv}")
     if workload_cache is not None:
         print(f"workload cache: {workload_cache.stats()}")
+    if health.any_activity():
+        print(f"run health: {health.summary()}")
     return 0 if result.all_checks_pass else 1
 
 
@@ -430,7 +445,13 @@ def main(argv: list[str] | None = None) -> int:
         "figure": _cmd_figure,
         "suite": _cmd_suite,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        # Pool/shm teardown already ran in the finally-blocks on the way up;
+        # exit with the conventional SIGINT status, no traceback spew.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -46,6 +46,25 @@ rows straight into a preallocated shared-memory result table and ship back
 only the row index).  Record *values* are pure functions of (tree, config)
 — only the wall-clock ``scheduling_seconds`` measurements differ between
 runs — so the merged output is identical whichever backend produced it.
+
+Fault tolerance (:mod:`repro.resilience`)
+-----------------------------------------
+Both pool backends dispatch through the watchdog-timed recovery drain
+(:func:`~repro.resilience.recovery.drain_pool`): a crashed worker's lost
+task or a hung instance shows up as a watchdog window with no progress,
+the round's pool is terminated and everything still pending is
+re-dispatched in a fresh pool under a bounded retry budget — instances
+that never complete are quarantined into the record failure plane rather
+than failing the sweep.  Because record values are pure functions of
+(tree, config), recovery reproduces exactly the bytes the lost attempt
+would have produced, so the instance-keyed merge stays byte-identical to
+a fault-free run whenever every instance eventually completes.  A broken
+transport (dead initializer, vanished arena) degrades down the backend
+ladder instead: shared-memory -> process -> serial.  Deterministic fault
+*injection* (the seeded :class:`~repro.resilience.faults.FaultPlan`,
+armed via ``REPRO_FAULTS`` / ``SweepConfig.fault_plan``) rides the same
+hook points, so the recovery machinery is exercised by reproducible
+faults rather than monkeypatching.
 """
 
 from __future__ import annotations
@@ -62,6 +81,9 @@ import numpy as np
 
 from ..core.task_tree import TaskTree
 from ..core.tree_store import TreeStore
+from ..resilience.faults import QUARANTINE_PREFIX, instance_fault_key, resolve_fault_plan
+from ..resilience.health import current_health
+from ..resilience.recovery import RetrySettings, TransportFailure, drain_pool
 from .config import SweepConfig
 from .plan import SweepPlan, iter_instances, runs_per_tree
 from .records import RecordTable
@@ -227,9 +249,10 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def run_plan(self, trees: Sequence[TaskTree], plan: SweepPlan) -> RecordTable:
-        from .runner import prepare_instance, run_single
+        from .runner import prepare_instance, resilient_run_single
 
         config = plan.config
+        faults = resolve_fault_plan(config.fault_plan)
         table = RecordTable.empty(len(plan))
         for tree_index, rows in plan.tree_groups():
             context = prepare_instance(trees[tree_index], tree_index, config)
@@ -237,7 +260,9 @@ class SerialBackend(ExecutionBackend):
                 scheduler, num_processors, memory_factor = plan.combo(int(row))
                 table.set_row(
                     int(row),
-                    run_single(context, scheduler, num_processors, memory_factor, config),
+                    resilient_run_single(
+                        context, scheduler, num_processors, memory_factor, config, faults
+                    ),
                 )
         return table
 
@@ -266,31 +291,93 @@ class ProcessPoolBackend(ExecutionBackend):
         return [(index, tree, config, None) for index, tree in enumerate(trees)]
 
     def run_plan(self, trees: Sequence[TaskTree], plan: SweepPlan) -> RecordTable:
-        from .runner import _run_instance_star
-
         groups = plan.tree_groups()
         jobs = _worker_count(self.jobs, len(groups))
         if jobs <= 1 or len(groups) <= 1:
             return SerialBackend().run_plan(trees, plan)
+        try:
+            return self._run_pool(trees, plan, groups, jobs)
+        except (TransportFailure, OSError):
+            # The pool transport itself is broken (cannot fork, no results
+            # ever arrived); the instances are untouched, so take the next
+            # ladder rung and recompute everything in-process.
+            current_health().record_degradation("process->serial")
+            return SerialBackend().run_plan(trees, plan)
+
+    def _run_pool(
+        self,
+        trees: Sequence[TaskTree],
+        plan: SweepPlan,
+        groups: "list[tuple[int, Any]]",
+        jobs: int,
+    ) -> RecordTable:
+        from .runner import _run_tree_task, canonical_combos, prepare_instance, quarantine_record
+
         config = plan.config
+        faults = resolve_fault_plan(config.fault_plan)
+        settings = RetrySettings.from_plan(faults)
         full = plan.is_full
-        payloads: list[tuple[int, TaskTree, SweepConfig, Any]] = [
-            (
-                tree_index,
-                trees[tree_index],
-                config,
-                None if full else [plan.combo(int(row)) for row in rows],
-            )
+        rows_of = dict(groups)
+        combos_of: dict[int, Any] = {
+            tree_index: None if full else [plan.combo(int(row)) for row in rows]
             for tree_index, rows in groups
-        ]
-        # chunksize=1 keeps the scheduling granularity at one tree so a few
-        # large trees cannot serialise behind each other within one worker.
-        with multiprocessing.get_context().Pool(processes=jobs) as pool:
-            chunks = pool.map(_run_instance_star, payloads, chunksize=1)
+        }
+        chunks: dict[int, list[dict[str, Any]]] = {}
+        health = current_health()
+
+        def payload_for(tree_index: int, attempt: int) -> tuple[Any, ...]:
+            if faults is not None:
+                faults.preview(("worker-crash", "hang"), f"tree:{tree_index}", attempt)
+            return (tree_index, trees[tree_index], config, combos_of[tree_index], attempt)
+
+        def handle(outcome: tuple[int, list[dict[str, Any]]]) -> int:
+            tree_index, records = outcome
+            if faults is not None:
+                # Worker-side quarantines (transient budget exhausted) are
+                # invisible on the worker's own ledger; count them here.
+                for record in records:
+                    reason = record.get("failure_reason")
+                    if reason is not None and reason.startswith(QUARANTINE_PREFIX):
+                        health.quarantined_instances += 1
+            chunks[tree_index] = records
+            return tree_index
+
+        def make_pool() -> Any:
+            # chunksize=1 (in the drain) keeps the scheduling granularity
+            # at one tree so a few large trees cannot serialise behind each
+            # other within one worker.
+            return multiprocessing.get_context().Pool(processes=jobs)
+
+        leftover = drain_pool(
+            make_pool,
+            _run_tree_task,
+            payload_for,
+            [tree_index for tree_index, _ in groups],
+            settings,
+            handle,
+        )
+        for tree_index in leftover:
+            # Poison tree group: every dispatch attempt was lost.  Build its
+            # records parent-side, quarantined into the failure plane.
+            context = prepare_instance(trees[tree_index], tree_index, config)
+            combos = combos_of[tree_index]
+            if combos is None:
+                combos = canonical_combos(config)
+            reason = (
+                f"{QUARANTINE_PREFIX}: dispatch lost after "
+                f"{settings.max_attempts} attempts"
+            )
+            chunks[tree_index] = [
+                quarantine_record(
+                    context, scheduler, num_processors, memory_factor, config, reason
+                )
+                for scheduler, num_processors, memory_factor in combos
+            ]
+            health.quarantined_instances += len(chunks[tree_index])
         keyed = (
-            (int(rows[position]), record)
-            for (_, rows), chunk in zip(groups, chunks)
-            for position, record in enumerate(chunk)
+            (int(rows_of[tree_index][position]), record)
+            for tree_index, _ in groups
+            for position, record in enumerate(chunks[tree_index])
         )
         return merge_records(len(plan), keyed)
 
@@ -319,10 +406,13 @@ def _shm_worker_init(arena_name: str, results_name: str, config: SweepConfig) ->
     _SHM_WORKER["store"] = TreeStore.attach(arena_name)
     _SHM_WORKER["results"] = RecordTable.attach(results_name)
     _SHM_WORKER["config"] = config
+    _SHM_WORKER["faults"] = resolve_fault_plan(config.fault_plan)
     _SHM_WORKER["contexts"] = OrderedDict()
 
 
-def _shm_run_instance(payload: tuple[int, int, str, int, float]) -> "int | tuple[int, str]":
+def _shm_run_instance(
+    payload: "tuple[int, int, str, int, float] | tuple[int, int, str, int, float, int]",
+) -> "int | tuple[int, str]":
     """Simulate one instance, write its row in shared memory, return its index.
 
     The record itself never crosses the pool pipe: the worker places it into
@@ -335,9 +425,18 @@ def _shm_run_instance(payload: tuple[int, int, str, int, float]) -> "int | tuple
     parent assigns the canonical code (failures are the rare case, so the
     typical payload stays a lone integer).
     """
-    from .runner import prepare_instance, run_single
+    from .runner import prepare_instance, resilient_run_single
 
-    global_index, tree_index, scheduler, num_processors, memory_factor = payload
+    # The historical 5-tuple (the documented wire shape, measured by the
+    # payload-size benchmark) is still accepted: it is attempt 0.
+    global_index, tree_index, scheduler, num_processors, memory_factor = payload[:5]
+    attempt = payload[5] if len(payload) > 5 else 0
+    faults = _SHM_WORKER["faults"]
+    if faults is not None:
+        faults.worker_entry(
+            instance_fault_key(tree_index, scheduler, num_processors, memory_factor),
+            attempt,
+        )
     contexts: OrderedDict[int, Any] = _SHM_WORKER["contexts"]
     context = contexts.get(tree_index)
     if context is None:
@@ -362,8 +461,8 @@ def _shm_run_instance(payload: tuple[int, int, str, int, float]) -> "int | tuple
             contexts.popitem(last=False)
     else:
         contexts.move_to_end(tree_index)
-    record = run_single(
-        context, scheduler, num_processors, memory_factor, _SHM_WORKER["config"]
+    record = resilient_run_single(
+        context, scheduler, num_processors, memory_factor, _SHM_WORKER["config"], faults
     )
     _SHM_WORKER["results"].set_row(global_index, record)
     reason = record["failure_reason"]
@@ -415,19 +514,43 @@ class SharedMemoryBackend(ExecutionBackend):
         total = len(plan)
         if not trees or not total:
             return RecordTable.empty(total)
-        config = plan.config
         jobs = _worker_count(self.jobs, total)
         if jobs <= 1:
             return SerialBackend().run_plan(trees, plan)
-        # One payload per plan row: the row position doubles as the worker's
+        try:
+            return self._run_pool(trees, plan, jobs)
+        except (TransportFailure, OSError):
+            # The shared-memory transport is broken (lost segment, failed
+            # attach, a pool that never produced a result); fall one rung
+            # down the ladder — the per-tree pickling pool needs no arena.
+            current_health().record_degradation("shared-memory->process")
+            return ProcessPoolBackend(self.jobs).run_plan(trees, plan)
+
+    def _run_pool(
+        self, trees: Sequence[TaskTree], plan: SweepPlan, jobs: int
+    ) -> RecordTable:
+        from .runner import prepare_instance, quarantine_record
+
+        config = plan.config
+        total = len(plan)
+        faults = resolve_fault_plan(config.fault_plan)
+        settings = RetrySettings.from_plan(faults)
+        health = current_health()
+        # One instance per plan row: the row position doubles as the worker's
         # write index into the shared result table (for a full plan these
-        # are exactly ``dispatch_payloads``'s tuples).
-        payloads = [
-            (row, tree_index, scheduler, num_processors, memory_factor)
-            for row, (tree_index, scheduler, num_processors, memory_factor) in enumerate(
-                plan.instances()
-            )
-        ]
+        # are exactly ``dispatch_payloads``'s tuples, plus the attempt slot).
+        instances = list(plan.instances())
+
+        def payload_for(row: int, attempt: int) -> tuple[Any, ...]:
+            tree_index, scheduler, num_processors, memory_factor = instances[row]
+            if faults is not None:
+                faults.preview(
+                    ("worker-crash", "hang"),
+                    instance_fault_key(tree_index, scheduler, num_processors, memory_factor),
+                    attempt,
+                )
+            return (row, tree_index, scheduler, num_processors, memory_factor, attempt)
+
         planes = None
         if self.share_planes:
             from ..batch.planes import workspace_planes
@@ -437,27 +560,64 @@ class SharedMemoryBackend(ExecutionBackend):
         shm = TreeStore.pack_to_shared_memory(trees, planes=planes)
         result_shm = result_table = None
         try:
+            if faults is not None:
+                # A lost segment surfaces as an OSError on first attach; the
+                # injection point models it before any worker spawns.
+                faults.maybe_raise("shm-lost", "arena")
             # The result plane mirrors the input arena: one preallocated
             # shared-memory table, workers write disjoint rows in place and
             # ship back only the row index.
             result_shm, result_table = RecordTable.create_shared(total)
-            with multiprocessing.get_context().Pool(
-                processes=jobs,
-                initializer=_shm_worker_init,
-                initargs=(shm.name, result_shm.name, config),
-            ) as pool:
-                # Unordered completion maximises load balance; rows land at
-                # their canonical index regardless, so no reorder is needed.
-                outcomes = list(pool.imap_unordered(_shm_run_instance, payloads, chunksize=1))
             seen = np.zeros(total, dtype=bool)
             failures: list[tuple[int, str]] = []
-            for outcome in outcomes:
+
+            def handle(outcome: "int | tuple[int, str]") -> int:
                 if isinstance(outcome, tuple):
                     index, reason = outcome
                     failures.append((index, reason))
+                    if faults is not None and reason.startswith(QUARANTINE_PREFIX):
+                        # Worker-side quarantine: its own ledger is invisible
+                        # to the parent, so account for it here.
+                        health.quarantined_instances += 1
                 else:
                     index = outcome
                 _claim_index(seen, index, total)
+                return index
+
+            def make_pool() -> Any:
+                # Unordered completion maximises load balance; rows land at
+                # their canonical index regardless, so no reorder is needed.
+                return multiprocessing.get_context().Pool(
+                    processes=jobs,
+                    initializer=_shm_worker_init,
+                    initargs=(shm.name, result_shm.name, config),
+                )
+
+            leftover = drain_pool(
+                make_pool,
+                _shm_run_instance,
+                payload_for,
+                list(range(total)),
+                settings,
+                handle,
+            )
+            for row in leftover:
+                # Poison instance: every dispatch attempt was lost.  Build
+                # its record parent-side, quarantined into the failure plane.
+                tree_index, scheduler, num_processors, memory_factor = instances[row]
+                context = prepare_instance(trees[tree_index], tree_index, config)
+                reason = (
+                    f"{QUARANTINE_PREFIX}: dispatch lost after "
+                    f"{settings.max_attempts} attempts"
+                )
+                record = quarantine_record(
+                    context, scheduler, num_processors, memory_factor, config, reason
+                )
+                record["failure_reason"] = None
+                result_table.set_row(row, record)
+                failures.append((row, reason))
+                _claim_index(seen, row, total)
+                health.quarantined_instances += 1
             _check_coverage(total, seen)
             # Workers wrote provisional (worker-local) failure codes; assign
             # the canonical ones in row order so the merged table is

@@ -72,6 +72,15 @@ class SweepConfig:
         the ``REPRO_NATIVE`` environment switch (AUTO with silent
         fallback when unset).  Execution-only — the native stepper is
         bit-identical by contract, so it never changes the records.
+    fault_plan:
+        Deterministic fault-injection plan spec
+        (:func:`repro.resilience.parse_fault_plan` grammar, e.g.
+        ``"seed=7;worker-crash:40;watchdog=5"``); ``None`` (the default)
+        defers to the ``REPRO_FAULTS`` environment variable.  Execution-only
+        — a recoverable plan produces records byte-identical to a
+        fault-free run (instances that exhaust the retry budget are
+        quarantined into the failure plane, and such rows are never
+        cached).
     """
 
     schedulers: tuple[str, ...] = PAPER_HEURISTICS
@@ -85,6 +94,7 @@ class SweepConfig:
     backend: str = "auto"
     batch_size: int = 0
     native: bool | None = None
+    fault_plan: str | None = None
 
     def __post_init__(self) -> None:
         if not self.schedulers:
@@ -106,6 +116,12 @@ class SweepConfig:
             raise ValueError(
                 f"unknown backend {self.backend!r}; available: {sorted(BACKEND_NAMES)}"
             )
+        if self.fault_plan is not None:
+            # Validate the spec eagerly: a typo'd plan should fail at
+            # configuration time, not halfway into a sweep.
+            from ..resilience.faults import parse_fault_plan
+
+            parse_fault_plan(self.fault_plan)
 
     def with_overrides(self, **kwargs) -> "SweepConfig":
         """Return a copy with some fields replaced."""

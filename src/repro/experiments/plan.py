@@ -412,6 +412,14 @@ def execute_plan(
     return resolved.run_plan(list(trees), plan)
 
 
+def _is_quarantined(record: "Mapping[str, Any]") -> bool:
+    """True for rows the quarantine path produced (never cached)."""
+    from ..resilience.faults import QUARANTINE_PREFIX
+
+    reason = record.get("failure_reason")
+    return reason is not None and str(reason).startswith(QUARANTINE_PREFIX)
+
+
 def execute_plan_cached(
     trees: Sequence[TaskTree],
     plan: SweepPlan,
@@ -433,12 +441,27 @@ def execute_plan_cached(
     run's wall-clock values) to executing the full plan: cached rows
     round-trip exact bits through the row store and fresh rows come from
     the very same backends a full run uses.
+
+    Two resilience rules guard the store.  A cache that cannot be read or
+    written (I/O error on a dying disk, say) degrades the run to uncached
+    execution — recorded as a ``cache->uncached`` edge on the health ledger
+    — rather than failing it.  And **quarantined rows** (instances that
+    exhausted their retry budget under a fault plan, marked by the
+    :data:`~repro.resilience.faults.QUARANTINE_PREFIX` failure reason) are
+    never persisted: a poisoned row must be recomputed by the next run, not
+    served from the cache after the fault clears.
     """
     if cache is None:
         return execute_plan(trees, plan, backend=backend, jobs=jobs)
     trees = list(trees)
     keys = plan.instance_keys(trees)
-    cached = cache.get_rows(keys)
+    try:
+        cached = cache.get_rows(keys)
+    except OSError:
+        from ..resilience.health import current_health
+
+        current_health().record_degradation("cache->uncached")
+        return execute_plan(trees, plan, backend=backend, jobs=jobs)
     miss_positions = [row for row, key in enumerate(keys) if key not in cached]
     if miss_positions:
         cache.misses += 1
@@ -452,10 +475,18 @@ def execute_plan_cached(
         return table
     fresh = execute_plan(trees, plan.subset(miss_positions), backend=backend, jobs=jobs)
     cache.rows_fresh += len(fresh)
-    cache.put_rows(
-        (keys[position], fresh.row(offset))
-        for offset, position in enumerate(miss_positions)
-    )
+    def _cacheable() -> "Any":
+        for offset, position in enumerate(miss_positions):
+            record = fresh.row(offset)
+            if not _is_quarantined(record):
+                yield keys[position], record
+
+    try:
+        cache.put_rows(_cacheable())
+    except OSError:
+        from ..resilience.health import current_health
+
+        current_health().record_degradation("cache->uncached")
     if len(miss_positions) == len(keys):
         return fresh
     fresh_offset: Mapping[int, int] = {

@@ -87,6 +87,7 @@ __all__ = [
     "RowCache",
     "CACHE_SCHEMA_VERSION",
     "records_equal",
+    "quarantine_corrupt_file",
 ]
 
 #: Version of the :class:`ResultCache` keying scheme.  Participates in every
@@ -389,13 +390,9 @@ class RecordTable:
             # (and any old mmap/shm handle) stay alive on the old arena
             # until their last reference dies.
             self.__init__(self._rebuild_arena(meta))
-        payload = self._arena_view()
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_bytes(payload)
-        os.replace(tmp, path)
-        return path
+        from ..resilience.atomic import atomic_write_bytes
+
+        return atomic_write_bytes(path, bytes(self._arena_view()))
 
     def copy(self) -> "RecordTable":
         """Deep copy into a private in-memory arena (detached from shm/mmap)."""
@@ -646,6 +643,22 @@ class RowCache(Protocol):
     def put_rows(self, pairs: Iterable[tuple[str, Mapping[str, Any]]]) -> None: ...
 
 
+def quarantine_corrupt_file(path: Path) -> None:
+    """Move a corrupt cache file aside (``<name>.quarantined``) and count it.
+
+    Renaming rather than deleting keeps the evidence for post-mortems while
+    guaranteeing the next load sees a clean miss instead of re-parsing the
+    same torn bytes; the per-run health ledger records the quarantine.
+    """
+    from ..resilience.health import current_health
+
+    try:
+        os.replace(path, path.with_name(path.name + ".quarantined"))
+    except OSError:  # already gone / unwritable directory — a miss either way
+        return
+    current_health().cache_quarantines += 1
+
+
 class ResultCache:
     """A directory of saved :class:`RecordTable` files keyed by sweep identity.
 
@@ -663,8 +676,12 @@ class ResultCache:
     """
 
     #: Config fields excluded from the key: they change how a sweep runs,
-    #: never what it produces.
-    EXECUTION_ONLY_FIELDS = frozenset({"jobs", "backend", "batch_size", "native"})
+    #: never what it produces.  ``fault_plan`` qualifies because recoverable
+    #: faults reproduce identical records and quarantined rows are never
+    #: written to the cache (:func:`~repro.experiments.plan.execute_plan_cached`).
+    EXECUTION_ONLY_FIELDS = frozenset(
+        {"jobs", "backend", "batch_size", "native", "fault_plan"}
+    )
 
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
@@ -716,7 +733,7 @@ class ResultCache:
             try:
                 table = RecordTable.load(path)
             except (ValueError, OSError):
-                pass
+                quarantine_corrupt_file(path)
             else:
                 self.hits += 1
                 return table
@@ -744,7 +761,9 @@ class ResultCache:
         return self.directory / "rows.index.json"
 
     def _load_rows(self) -> tuple[RecordTable | None, dict[str, int]]:
-        """Open the row store lazily; anything corrupt degrades to empty."""
+        """Open the row store lazily; anything corrupt is quarantined aside
+        (``*.quarantined``) and the store degrades to empty — a miss, never
+        an error, and the next ``put_rows`` rebuilds a clean store."""
         if self._row_index is None:
             table: RecordTable | None = None
             index: dict[str, int] = {}
@@ -758,6 +777,8 @@ class ResultCache:
                         raise ValueError("row index points past the row table")
                 except (ValueError, OSError, AttributeError):
                     table, index = None, {}
+                    quarantine_corrupt_file(self._rows_path())
+                    quarantine_corrupt_file(index_path)
             self._row_table, self._row_index = table, index
         return self._row_table, self._row_index
 
@@ -797,11 +818,33 @@ class ResultCache:
         new_table = RecordTable.from_dicts(merged[key] for key in keys)
         new_index = {key: position for position, key in enumerate(keys)}
         new_table.save(self._rows_path())
-        index_path = self._rows_index_path()
-        tmp = index_path.with_name(index_path.name + ".tmp")
-        tmp.write_text(json.dumps(new_index, separators=(",", ":")), encoding="utf-8")
-        os.replace(tmp, index_path)
+        from ..resilience.atomic import atomic_write_text
+
+        atomic_write_text(
+            self._rows_index_path(), json.dumps(new_index, separators=(",", ":"))
+        )
         self._row_table, self._row_index = new_table, new_index
+        self._maybe_inject_corruption()
+
+    def _maybe_inject_corruption(self) -> None:
+        """``cache-corrupt`` hook: truncate the just-written row store.
+
+        Fires only under an armed :class:`~repro.resilience.faults.FaultPlan`
+        (``REPRO_FAULTS``); the torn arena must read back as a miss —
+        quarantined aside on the next load — never as an error, which is
+        exactly what the chaos suite asserts.
+        """
+        from ..resilience.faults import resolve_fault_plan
+
+        plan = resolve_fault_plan(None)
+        if plan is None or not plan.fire("cache-corrupt", "rows-store"):
+            return
+        path = self._rows_path()
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        # Drop the in-memory handle so this process re-reads the torn file
+        # (and takes the quarantine path) just like a fresh process would.
+        self._row_table, self._row_index = None, None
 
     def stats(self) -> str:
         """One-line human-readable hit/miss summary."""

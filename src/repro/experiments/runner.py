@@ -32,6 +32,7 @@ backend (and worker count) ran the sweep.
 
 from __future__ import annotations
 
+import math
 import weakref
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -49,8 +50,11 @@ from .records import RecordTable
 __all__ = [
     "run_sweep",
     "run_single",
+    "resilient_run_single",
     "run_instance",
     "complete_record",
+    "quarantine_record",
+    "canonical_combos",
     "prepare_instance",
     "InstanceContext",
 ]
@@ -303,6 +307,114 @@ def run_single(
     )
 
 
+class _QuarantinedResult:
+    """Stand-in :class:`~repro.schedulers.base.ScheduleResult` of an
+    instance that exhausted its retry budget: nothing ran, so there is no
+    schedule and no makespan — only the failure reason."""
+
+    completed = False
+    makespan = math.inf
+    peak_memory = 0.0
+    scheduling_seconds = 0.0
+
+    def __init__(self, reason: str) -> None:
+        self.failure_reason = reason
+
+
+def quarantine_record(
+    context: InstanceContext,
+    scheduler_name: str,
+    num_processors: int,
+    memory_factor: float,
+    config: SweepConfig,
+    reason: str,
+) -> dict[str, Any]:
+    """The record of a poison instance, routed into the failure plane.
+
+    Built through :func:`complete_record` so a quarantined row carries the
+    same per-instance characteristics (sizes, bounds, limits) as every
+    other record and lands in the canonical schema — only ``completed``,
+    ``makespan`` and ``failure_reason`` mark it.  ``reason`` must start
+    with :data:`repro.resilience.faults.QUARANTINE_PREFIX` so the cache
+    layer can refuse to persist it.
+    """
+    return complete_record(
+        context,
+        scheduler_name,
+        num_processors,
+        memory_factor,
+        config,
+        _QuarantinedResult(reason),
+        run_validation=False,
+    )
+
+
+def resilient_run_single(
+    context: InstanceContext,
+    scheduler_name: str,
+    num_processors: int,
+    memory_factor: float,
+    config: SweepConfig,
+    faults: "Any | None" = None,
+) -> dict[str, Any]:
+    """:func:`run_single` under the fault harness: transient-OSError retry.
+
+    With no active :class:`~repro.resilience.faults.FaultPlan` this is a
+    direct tail call — the fault-free hot path pays one ``None`` check.
+    With a plan, an injected (or genuine) :class:`OSError` from the
+    simulation is retried in place under the plan's bounded backoff
+    budget; exhaustion quarantines the instance via
+    :func:`quarantine_record` instead of failing the sweep.  Used by the
+    serial backend, the batched backend's scalar path and both pool
+    backends' workers, so transient faults behave identically everywhere.
+    """
+    if faults is None:
+        return run_single(context, scheduler_name, num_processors, memory_factor, config)
+    from ..resilience.faults import instance_fault_key
+    from ..resilience.health import current_health
+    from ..resilience.recovery import retry_sleep
+
+    key = instance_fault_key(context.index, scheduler_name, num_processors, memory_factor)
+    attempt = 0
+    while True:
+        try:
+            faults.maybe_raise("os-transient", key, attempt=attempt)
+            return run_single(
+                context, scheduler_name, num_processors, memory_factor, config
+            )
+        except OSError as exc:
+            attempt += 1
+            health = current_health()
+            if attempt >= faults.max_attempts:
+                health.quarantined_instances += 1
+                return quarantine_record(
+                    context,
+                    scheduler_name,
+                    num_processors,
+                    memory_factor,
+                    config,
+                    f"quarantined after {attempt} attempts: {exc}",
+                )
+            health.retries += 1
+            retry_sleep(faults.backoff, attempt)
+
+
+def canonical_combos(config: SweepConfig) -> list[tuple[str, int, float]]:
+    """The canonical per-tree (scheduler, processors, factor) enumeration.
+
+    Exactly the order :func:`run_instance` (and the plan layer's
+    ``iter_instances``) uses within one tree — processors outer, memory
+    factors, schedulers inner — so callers re-materialising a "full tree"
+    dispatch reproduce the serial record order.
+    """
+    return [
+        (scheduler_name, num_processors, memory_factor)
+        for num_processors in config.processors
+        for memory_factor in config.memory_factors
+        for scheduler_name in config.schedulers
+    ]
+
+
 def run_instance(tree: TaskTree, index: int, config: SweepConfig) -> list[dict[str, Any]]:
     """Run every (processors, factor, heuristic) combination on one tree.
 
@@ -335,6 +447,35 @@ def _run_instance_star(
     context = prepare_instance(tree, index, config)
     return [
         run_single(context, scheduler_name, num_processors, memory_factor, config)
+        for scheduler_name, num_processors, memory_factor in combos
+    ]
+
+
+def _run_tree_task(
+    payload: "tuple[int, TaskTree, SweepConfig, Sequence[tuple[str, int, float]] | None, int]",
+) -> tuple[int, list[dict[str, Any]]]:
+    """Identity-carrying pool target of :class:`~repro.experiments.backends.ProcessPoolBackend`.
+
+    Like :func:`_run_instance_star` but returns ``(tree_index, records)``
+    so the parent's unordered recovery drain can match results to pending
+    tree groups, and runs under the fault harness: the ``attempt`` counter
+    in the payload drives the worker-side crash/hang hook (the decision is
+    the same pure function the parent previews) and every instance goes
+    through :func:`resilient_run_single` for transient-OSError handling.
+    """
+    tree_index, tree, config, combos, attempt = payload
+    from ..resilience.faults import resolve_fault_plan
+
+    faults = resolve_fault_plan(config.fault_plan)
+    if faults is not None:
+        faults.worker_entry(f"tree:{tree_index}", attempt)
+    context = prepare_instance(tree, tree_index, config)
+    if combos is None:
+        combos = canonical_combos(config)
+    return tree_index, [
+        resilient_run_single(
+            context, scheduler_name, num_processors, memory_factor, config, faults
+        )
         for scheduler_name, num_processors, memory_factor in combos
     ]
 

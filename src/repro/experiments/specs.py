@@ -115,6 +115,10 @@ class RunContext:
     backend: str = "auto"
     batch_size: int = 0
     native: bool | None = None
+    #: Fault-injection plan spec (``None`` defers to ``REPRO_FAULTS``); see
+    #: :mod:`repro.resilience.faults`.  Execution-only like everything else
+    #: here — recoverable faults never change record values.
+    fault_plan: str | None = None
     #: Instance-row cache (:class:`~repro.experiments.records.ResultCache`
     #: or :class:`~repro.experiments.records.InMemoryRowCache`); ``None``
     #: disables caching entirely.
@@ -238,6 +242,7 @@ class GridSpec:
             "backend": ctx.backend,
             "batch_size": ctx.batch_size,
             "native": ctx.native,
+            "fault_plan": ctx.fault_plan,
         }
         for name in (
             "schedulers",

@@ -50,6 +50,7 @@ import time
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
+from ..resilience.health import RunHealth, reset_run_health
 from ..workloads.datasets import WorkloadCache
 from . import backends as _backends
 from .figures import FIGURE_SPECS, FIGURES, FigureResult
@@ -74,6 +75,7 @@ def run_suite(
     backend: str = "auto",
     batch_size: int = 0,
     native: bool | None = None,
+    fault_plan: str | None = None,
     cache: RowCache | None = None,
     workload_cache: WorkloadCache | None = None,
     stats: dict[str, Any] | None = None,
@@ -108,6 +110,7 @@ def run_suite(
         backend=backend,
         batch_size=batch_size,
         native=native,
+        fault_plan=fault_plan,
         cache=row_cache,
         workload_cache=workload_cache,
     )
@@ -132,6 +135,7 @@ def write_suite_report(
     cache: ResultCache | None = None,
     workload_cache: WorkloadCache | None = None,
     plan_stats: Mapping[str, Any] | None = None,
+    health: RunHealth | None = None,
 ) -> Path:
     """Write per-figure text/CSV files plus a ``summary.md`` into ``out_dir``."""
     out = Path(out_dir)
@@ -156,6 +160,8 @@ def write_suite_report(
         lines.append(f"* result rows: {cache.row_stats()}")
     if workload_cache is not None:
         lines.append(f"* workload cache: {workload_cache.stats()}")
+    if health is not None:
+        lines.append(f"* run health: {health.summary()}")
     lines.append("")
     lines.append("| figure | title | checks |")
     lines.append("|---|---|---|")
@@ -228,6 +234,14 @@ def add_suite_arguments(parser: argparse.ArgumentParser) -> None:
         "environment switch; unset = auto with silent fallback)",
     )
     parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault-injection plan spec, e.g. "
+        '"seed=7;worker-crash:40;watchdog=5" (default: the REPRO_FAULTS '
+        "environment variable; see repro.resilience)",
+    )
+    parser.add_argument(
         "--cache-dir",
         type=Path,
         default=None,
@@ -275,6 +289,7 @@ def run_from_args(args: argparse.Namespace) -> int:
             else args.out / ".workload-cache"
         )
     ids = list(args.figures) if args.figures is not None else sorted(FIGURES)
+    fault_plan = getattr(args, "faults", None)
     if args.dry_run:
         ctx = RunContext(
             scale=args.scale,
@@ -282,12 +297,14 @@ def run_from_args(args: argparse.Namespace) -> int:
             backend=args.backend,
             batch_size=args.batch_size,
             native=args.native,
+            fault_plan=fault_plan,
             cache=cache if cache is not None else InMemoryRowCache(),
             workload_cache=workload_cache,
         )
         specs = [FIGURE_SPECS[figure_id] for figure_id in ids]
         print(format_plan_report(plan_report(specs, ctx)))
         return 0
+    health = reset_run_health()
     start = time.perf_counter()
     plan_stats: dict[str, Any] = {}
     results = run_suite(
@@ -297,6 +314,7 @@ def run_from_args(args: argparse.Namespace) -> int:
         backend=args.backend,
         batch_size=args.batch_size,
         native=args.native,
+        fault_plan=fault_plan,
         cache=cache,
         workload_cache=workload_cache,
         stats=plan_stats,
@@ -310,8 +328,10 @@ def run_from_args(args: argparse.Namespace) -> int:
         cache=cache,
         workload_cache=workload_cache,
         plan_stats=plan_stats,
+        health=health,
     )
     (args.out / "plan-stats.json").write_text(json.dumps(plan_stats, indent=2) + "\n")
+    (args.out / "run-health.json").write_text(health.to_json())
     failures = [fid for fid, result in results.items() if not result.all_checks_pass]
     print(f"wrote {summary} ({len(results)} figures, {elapsed:.1f} s)")
     print(
@@ -322,6 +342,7 @@ def run_from_args(args: argparse.Namespace) -> int:
         print(f"result cache: {cache.stats()}")
     if workload_cache is not None:
         print(f"workload cache: {workload_cache.stats()}")
+    print(f"run health: {health.summary()}")
     if failures:
         print("figures with failed checks:", ", ".join(failures))
         return 1
@@ -332,7 +353,15 @@ def main(argv: list[str] | None = None) -> int:
     """Command-line entry point (``python -m repro.experiments.suite``)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     add_suite_arguments(parser)
-    return run_from_args(parser.parse_args(argv))
+    try:
+        return run_from_args(parser.parse_args(argv))
+    except KeyboardInterrupt:
+        # Pool contexts and shm finally-blocks have already torn down on the
+        # way up; exit with the conventional SIGINT status, no traceback.
+        import sys
+
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

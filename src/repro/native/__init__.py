@@ -93,4 +93,9 @@ def native_kernels(explicit: bool | None = None) -> NativeKernels | None:
         return _load()
     except (NativeBuildError, OSError):
         _LOADED = False
+        # The bottom rung of the kernel ladder: AUTO quietly continues on
+        # the pure-Python kernels, but the health ledger records the drop.
+        from ..resilience.health import current_health
+
+        current_health().record_degradation("native->python")
         return None

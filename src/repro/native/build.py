@@ -70,6 +70,13 @@ def build_library(source: str | None = None, cache_dir: Path | None = None) -> P
     nothing and get the bundled source in the user cache directory.
     """
 
+    from ..resilience.faults import resolve_fault_plan
+
+    plan = resolve_fault_plan(None)
+    if plan is not None:
+        # Before the cache short-circuit: an armed ``native-build`` fault
+        # must fail the build even when a compiled object already exists.
+        plan.maybe_raise("native-build", "build", exc=NativeBuildError)
     if source is None:
         try:
             source = SOURCE_PATH.read_text(encoding="utf-8")

@@ -1,0 +1,52 @@
+"""Fault-tolerant execution plane: injection, recovery, degradation, health.
+
+Four pieces (see the module docstrings for detail):
+
+* :mod:`~repro.resilience.faults` — the deterministic, seeded
+  :class:`FaultPlan` (armed via ``REPRO_FAULTS`` or
+  ``SweepConfig.fault_plan``) whose firing decision is a pure function of
+  ``(seed, kind, key, attempt)``, injected through explicit hook points in
+  the backends, the caches and the native build — no monkeypatching, so
+  the same plan reproduces the same faults in every process.
+* :mod:`~repro.resilience.recovery` — watchdog-timed pool drains with
+  bounded retry-with-backoff re-dispatch (:func:`drain_pool`) and the
+  :class:`TransportFailure` signal of the backend degradation ladder.
+* :mod:`~repro.resilience.atomic` — crash-safe (fsync + atomic rename)
+  cache file publication.
+* :mod:`~repro.resilience.health` — the per-run :class:`RunHealth`
+  ledger surfaced in ``summary.md``, stdout and ``run-health.json``.
+"""
+
+from .atomic import atomic_write_bytes, atomic_write_text
+from .faults import (
+    FAULT_KINDS,
+    QUARANTINE_PREFIX,
+    FaultPlan,
+    FaultRule,
+    instance_fault_key,
+    parse_fault_plan,
+    reset_fault_state,
+    resolve_fault_plan,
+)
+from .health import RunHealth, current_health, reset_run_health
+from .recovery import RetrySettings, TransportFailure, drain_pool, retry_sleep
+
+__all__ = [
+    "FAULT_KINDS",
+    "QUARANTINE_PREFIX",
+    "FaultPlan",
+    "FaultRule",
+    "RetrySettings",
+    "RunHealth",
+    "TransportFailure",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "current_health",
+    "drain_pool",
+    "instance_fault_key",
+    "parse_fault_plan",
+    "reset_fault_state",
+    "reset_run_health",
+    "resolve_fault_plan",
+    "retry_sleep",
+]

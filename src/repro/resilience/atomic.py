@@ -1,0 +1,52 @@
+"""Crash-safe file publication: temp file + fsync + atomic rename.
+
+The caches (:class:`~repro.experiments.records.ResultCache`'s row store
+and sweep blobs, :class:`~repro.workloads.datasets.WorkloadCache`'s tree
+arenas) publish through these helpers so a crash — power loss, SIGKILL,
+OOM — can never leave a half-written file under the final name: readers
+see either the old bytes or the new bytes.  The data is fsynced before the
+rename and the parent directory is fsynced after it, closing the window
+where the rename itself is not yet durable.  A leftover ``*.tmp`` from a
+killed writer is inert (never opened by readers) and is overwritten by the
+next successful write.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort directory fsync (makes the rename itself durable)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # platforms/filesystems without directory fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Publish ``data`` at ``path`` atomically and durably."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_directory(path.parent)
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Publish ``text`` (UTF-8) at ``path`` atomically and durably."""
+    return atomic_write_bytes(path, text.encode("utf-8"))

@@ -199,6 +199,11 @@ class WorkloadCache:
             store = TreeStore.load(path)
             return store, store.trees()
         except (ValueError, OSError):
+            # Torn/corrupt arena: move it aside (``*.quarantined``) so the
+            # next load is a clean miss, and let regeneration overwrite.
+            from ..experiments.records import quarantine_corrupt_file
+
+            quarantine_corrupt_file(path)
             return None
 
     def get(self, key: str) -> list[TaskTree] | None:
@@ -211,14 +216,11 @@ class WorkloadCache:
         return loaded[1]
 
     def put(self, key: str, trees: Iterable[TaskTree]) -> Path:
-        """Pack ``trees`` into an arena under ``key`` (atomic replace)."""
-        path = self.path(key)
+        """Pack ``trees`` into an arena under ``key`` (atomic, fsynced)."""
+        from ..resilience.atomic import atomic_write_bytes
+
         store = TreeStore.pack(trees)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.parent.mkdir(parents=True, exist_ok=True)
-        tmp.write_bytes(store.tobytes())
-        os.replace(tmp, path)
-        return path
+        return atomic_write_bytes(self.path(key), store.tobytes())
 
     def fetch(
         self,
@@ -276,14 +278,12 @@ class WorkloadCache:
         from ..batch.planes import workspace_planes
         from ..experiments.config import SweepConfig
 
+        from ..resilience.atomic import atomic_write_bytes
+
         config = SweepConfig(activation_order=ao, execution_order=eo)
         planes = workspace_planes(trees, config)
-        path = self.path(key)
         store = TreeStore.pack(trees, planes=planes)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.parent.mkdir(parents=True, exist_ok=True)
-        tmp.write_bytes(store.tobytes())
-        os.replace(tmp, path)
+        path = atomic_write_bytes(self.path(key), store.tobytes())
         per_tree = [
             {name: arrays[i] for name, arrays in planes.items()}
             for i in range(len(trees))

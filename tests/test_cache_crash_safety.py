@@ -1,0 +1,210 @@
+"""Crash-safety of the persistent caches: torn writes read as misses.
+
+The result cache's row store (``rows.records`` + ``rows.index.json``) and
+the workload cache's tree arenas publish through
+:mod:`repro.resilience.atomic` (temp file + fsync + atomic rename), so a
+writer killed at *any* point — simulated here both by deterministic
+truncation at every interesting length and by a real ``SIGKILL`` landing
+mid-``put_rows`` in a subprocess — can only ever produce (a) the old bytes,
+(b) the new bytes, or (c) an inert ``*.tmp`` next to intact data.  Readers
+must treat anything torn as a cache miss, never crash, and the next write
+must rebuild a clean store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import SweepConfig
+from repro.experiments.plan import SweepPlan, execute_plan_cached
+from repro.experiments.records import ResultCache
+from repro.resilience import atomic_write_bytes, atomic_write_text, reset_run_health
+from repro.workloads import SyntheticTreeConfig, synthetic_trees
+from repro.workloads.datasets import WorkloadCache
+
+CONFIG = SweepConfig(schedulers=("Activation",), memory_factors=(2.0,), processors=(4,))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_health():
+    reset_run_health()
+    yield
+    reset_run_health()
+
+
+@pytest.fixture
+def trees():
+    return synthetic_trees(2, SyntheticTreeConfig(num_nodes=30), rng=5)
+
+
+class TestAtomicWriter:
+    def test_write_and_overwrite(self, tmp_path):
+        path = tmp_path / "nested" / "blob.bin"
+        assert atomic_write_bytes(path, b"one") == path
+        assert path.read_bytes() == b"one"
+        atomic_write_bytes(path, b"two")
+        assert path.read_bytes() == b"two"
+        assert not path.with_name("blob.bin.tmp").exists()
+
+    def test_text_helper(self, tmp_path):
+        path = tmp_path / "t.json"
+        atomic_write_text(path, '{"a": 1}')
+        assert json.loads(path.read_text()) == {"a": 1}
+
+    def test_leftover_tmp_is_inert_and_overwritten(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"good")
+        # A killed writer's leftover temp file must not shadow the data...
+        path.with_name("blob.bin.tmp").write_bytes(b"torn")
+        assert path.read_bytes() == b"good"
+        # ...and the next successful write simply replaces it.
+        atomic_write_bytes(path, b"better")
+        assert path.read_bytes() == b"better"
+        assert not path.with_name("blob.bin.tmp").exists()
+
+
+class TestTruncatedRowStore:
+    def _fill(self, directory, trees):
+        cache = ResultCache(directory)
+        plan = SweepPlan.from_config(CONFIG, len(trees))
+        execute_plan_cached(trees, plan, cache=cache)
+        return plan
+
+    def test_truncation_at_every_length_is_a_miss_never_a_crash(
+        self, tmp_path, trees
+    ):
+        plan = self._fill(tmp_path, trees)
+        keys = plan.instance_keys(trees)
+        payload = (tmp_path / "rows.records").read_bytes()
+        # Every header boundary plus a spread of cut points through the body.
+        cuts = sorted({0, 1, 7, 8, 15, 16, 31, len(payload) // 2, len(payload) - 1})
+        for cut in cuts:
+            store = tmp_path / f"case-{cut}"
+            store.mkdir()
+            (store / "rows.records").write_bytes(payload[:cut])
+            (store / "rows.index.json").write_bytes(
+                (tmp_path / "rows.index.json").read_bytes()
+            )
+            cache = ResultCache(store)
+            assert cache.get_rows(keys) == {}, f"cut at {cut} served torn rows"
+
+    def test_torn_index_is_a_miss(self, tmp_path, trees):
+        plan = self._fill(tmp_path, trees)
+        keys = plan.instance_keys(trees)
+        index_path = tmp_path / "rows.index.json"
+        index_path.write_text(index_path.read_text()[: len(index_path.read_text()) // 2])
+        cache = ResultCache(tmp_path)
+        assert cache.get_rows(keys) == {}
+
+    def test_rewrite_after_truncation_recovers(self, tmp_path, trees):
+        plan = self._fill(tmp_path, trees)
+        keys = plan.instance_keys(trees)
+        rows = tmp_path / "rows.records"
+        rows.write_bytes(rows.read_bytes()[:20])
+        cache = ResultCache(tmp_path)
+        execute_plan_cached(trees, plan, cache=cache)
+        warm = ResultCache(tmp_path)
+        assert len(warm.get_rows(keys)) == len(keys)
+
+
+class TestKillMidWrite:
+    def test_sigkill_during_put_rows_leaves_store_loadable(self, tmp_path, trees):
+        """A writer killed mid-``put_rows`` never leaves a crashing store.
+
+        The subprocess fills the cache once (so there is an old generation
+        to preserve), then loops ``put_rows`` forever; the parent SIGKILLs
+        it mid-loop.  Whatever instant the kill landed, a fresh
+        :class:`ResultCache` must open the directory without error and
+        serve either the old rows or the new rows — all-or-nothing.
+        """
+        script = textwrap.dedent(
+            """
+            import sys
+            from repro.experiments.config import SweepConfig
+            from repro.experiments.plan import SweepPlan, execute_plan_cached
+            from repro.experiments.records import ResultCache
+            from repro.workloads import SyntheticTreeConfig, synthetic_trees
+
+            directory = sys.argv[1]
+            trees = synthetic_trees(2, SyntheticTreeConfig(num_nodes=30), rng=5)
+            config = SweepConfig(
+                schedulers=("Activation",), memory_factors=(2.0,), processors=(4,)
+            )
+            plan = SweepPlan.from_config(config, len(trees))
+            cache = ResultCache(directory)
+            execute_plan_cached(trees, plan, cache=cache)
+            keys = plan.instance_keys(trees)
+            rows = [cache.get_rows(keys)[key] for key in keys]
+            print("READY", flush=True)
+            while True:  # overwrite the same rows until killed
+                cache.put_rows(zip(keys, rows))
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+        env.pop("REPRO_FAULTS", None)
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, str(tmp_path)],
+            stdout=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            assert proc.stdout is not None and proc.stdout.readline().strip() == "READY"
+            # Let a few write cycles run, then kill mid-flight.
+            import time
+
+            time.sleep(0.2)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup
+                proc.kill()
+                proc.wait()
+            if proc.stdout is not None:
+                proc.stdout.close()
+        cache = ResultCache(tmp_path)
+        plan = SweepPlan.from_config(CONFIG, len(trees))
+        keys = plan.instance_keys(trees)
+        served = cache.get_rows(keys)
+        # Atomic rename guarantees all-or-nothing: with one generation ever
+        # written per key, a readable store serves every key or none.
+        assert len(served) in (0, len(keys))
+        # And the next run rebuilds/refills regardless.
+        execute_plan_cached(trees, plan, cache=cache)
+        warm = ResultCache(tmp_path)
+        assert len(warm.get_rows(keys)) == len(keys)
+
+
+class TestWorkloadCacheCrashSafety:
+    def test_torn_arena_is_a_miss_and_quarantined(self, tmp_path, trees):
+        cache = WorkloadCache(tmp_path)
+        key = cache.key(("synthetic", "test", 1))
+        cache.put(key, trees)
+        assert cache.get(key) is not None
+        arena = cache.path(key)
+        arena.write_bytes(arena.read_bytes()[:10])
+        fresh = WorkloadCache(tmp_path)
+        assert fresh.get(key) is None
+        assert arena.with_name(arena.name + ".quarantined").exists()
+        # Regeneration overwrites cleanly.
+        fresh.put(key, trees)
+        assert fresh.get(key) is not None
+
+    def test_leftover_tmp_does_not_break_fetch(self, tmp_path, trees):
+        cache = WorkloadCache(tmp_path)
+        key = cache.key(("synthetic", "test", 2))
+        (tmp_path / f"{key}.trees.tmp").write_bytes(b"torn half-write")
+        fetched = cache.fetch(("synthetic", "test", 2), lambda: trees)
+        assert len(fetched) == len(trees)
+        assert cache.misses == 1
+        warm = WorkloadCache(tmp_path)
+        assert warm.get(key) is not None

@@ -1,0 +1,90 @@
+"""SIGINT mid-figure must tear down pools and shm segments cleanly.
+
+A ``memtree figure`` run interrupted while its shared-memory pool is busy
+(every instance is hung by an injected fault, so the interrupt is
+guaranteed to land mid-dispatch) must exit with the conventional status
+130, print ``interrupted`` instead of a traceback, terminate its worker
+processes, and unlink every shared-memory segment it created — no
+``resource_tracker`` leak warnings.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+SHM_DIR = Path("/dev/shm")
+
+
+def _shm_names() -> set[str]:
+    try:
+        return {entry.name for entry in SHM_DIR.iterdir()}
+    except OSError:  # pragma: no cover - platform without /dev/shm
+        return set()
+
+
+@pytest.mark.skipif(not SHM_DIR.is_dir(), reason="needs POSIX /dev/shm")
+def test_sigint_tears_down_pool_and_shm(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    # Hang every instance for 300 s under a 120 s watchdog: the run is
+    # guaranteed to still be mid-pool when the interrupt arrives.
+    env["REPRO_FAULTS"] = "seed=1;hang:1;hang=300;watchdog=120"
+    env.pop("REPRO_NATIVE", None)
+    before = _shm_names()
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "figure",
+            "fig10",
+            "--scale",
+            "tiny",
+            "--jobs",
+            "2",
+            "--backend",
+            "shared-memory",
+        ],
+        cwd=tmp_path,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        start_new_session=True,
+    )
+    try:
+        # Readiness signal: the backend publishing its arena segments means
+        # the pool phase has started.
+        created: set[str] = set()
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            created = _shm_names() - before
+            if created or proc.poll() is not None:
+                break
+            time.sleep(0.25)
+        assert proc.poll() is None, (
+            f"figure run exited early: {proc.stderr.read() if proc.stderr else ''}"
+        )
+        assert created, "shared-memory segments never appeared"
+        time.sleep(1.0)  # let the workers pick up their (hung) instances
+        proc.send_signal(signal.SIGINT)
+        stdout, stderr = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 130, f"rc={proc.returncode}\n{stderr}"
+    assert "interrupted" in stderr
+    assert "Traceback" not in stderr
+    assert "resource_tracker" not in stderr, stderr
+    # Every segment the run created was unlinked on the way out.
+    leaked = created & _shm_names()
+    assert not leaked, f"leaked shm segments: {sorted(leaked)}"
+    _ = stdout
