@@ -81,6 +81,17 @@ class SweepConfig:
         fault-free run (instances that exhaust the retry budget are
         quarantined into the failure plane, and such rows are never
         cached).
+    timing_repetitions:
+        Number of times each instance's simulation is run on the scalar
+        path, keeping the *minimum* wall-clock ``scheduling_seconds`` (the
+        standard guard against one-off scheduler/GC noise).  The timing
+        figures (fig5, fig6, fig13) set this above 1 so their committed
+        artifacts are stable across regenerations.  Execution-only: value
+        fields come from the first run and the simulations are
+        deterministic, so only the wall-clock timing fields — which are
+        excluded from every byte-identity check and cache key — are
+        affected.  Best-effort on the batched lane path (collapsed lanes
+        replay their representative's timing unchanged).
     """
 
     schedulers: tuple[str, ...] = PAPER_HEURISTICS
@@ -95,6 +106,7 @@ class SweepConfig:
     batch_size: int = 0
     native: bool | None = None
     fault_plan: str | None = None
+    timing_repetitions: int = 1
 
     def __post_init__(self) -> None:
         if not self.schedulers:
@@ -109,6 +121,8 @@ class SweepConfig:
             raise ValueError("jobs must be >= 0 (0 means one worker per CPU)")
         if self.batch_size < 0:
             raise ValueError("batch_size must be >= 0 (0 means one batch per tree)")
+        if self.timing_repetitions < 1:
+            raise ValueError("timing_repetitions must be >= 1")
         # Local import: backends imports this module for type information.
         from .backends import BACKEND_NAMES
 

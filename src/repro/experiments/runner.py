@@ -292,16 +292,27 @@ def run_single(
 ) -> dict[str, Any]:
     """Run one heuristic on one instance and return its flat record."""
     memory_limit = memory_factor * context.minimum_memory
-    scheduler = SCHEDULER_FACTORIES[scheduler_name]()
-    scheduler.native = config.native
-    result = scheduler.schedule(
-        context.tree,
-        num_processors,
-        memory_limit,
-        ao=context.ao,
-        eo=context.eo,
-        workspace=context.workspace,
-    )
+
+    def simulate():
+        scheduler = SCHEDULER_FACTORIES[scheduler_name]()
+        scheduler.native = config.native
+        return scheduler.schedule(
+            context.tree,
+            num_processors,
+            memory_limit,
+            ao=context.ao,
+            eo=context.eo,
+            workspace=context.workspace,
+        )
+
+    result = simulate()
+    # Timing figures re-run the (deterministic) simulation and keep the
+    # fastest wall-clock per cell, so committed timing artifacts are stable
+    # across regenerations; every value field comes from the first run.
+    for _ in range(config.timing_repetitions - 1):
+        result.scheduling_seconds = min(
+            result.scheduling_seconds, simulate().scheduling_seconds
+        )
     return complete_record(
         context, scheduler_name, num_processors, memory_factor, config, result
     )

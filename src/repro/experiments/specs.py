@@ -233,6 +233,12 @@ class GridSpec:
     execution_order: str | None = None
     min_completion_fraction: float | None = None
     validate: bool | None = None
+    #: Min-of-N wall-clock timing per cell (the timing figures set this so
+    #: their committed artifacts are reproducible).  The one
+    #: execution-flavoured knob here because it is a property of the
+    #: *figure*, not of the run — it never changes record values and is
+    #: excluded from instance cache keys like every execution knob.
+    timing_repetitions: int | None = None
 
     def to_config(self, ctx: RunContext) -> SweepConfig:
         """The grid as a full ``SweepConfig``, execution knobs from ``ctx``."""
@@ -251,6 +257,7 @@ class GridSpec:
             "execution_order",
             "min_completion_fraction",
             "validate",
+            "timing_repetitions",
         ):
             value = getattr(self, name)
             if value is not None:

@@ -40,6 +40,19 @@ class TestFigureRegistry:
         with pytest.raises(ValueError):
             run_figure("fig99")
 
+    def test_timing_figures_use_min_of_n_timing(self):
+        from repro.experiments.figures import FIGURE_SPECS
+
+        for figure_id in ("fig5", "fig6", "fig13"):
+            grid = FIGURE_SPECS[figure_id].grids[0]
+            assert (grid.timing_repetitions or 1) > 1, (
+                f"{figure_id} is a timing figure: its committed artifact must "
+                f"come from min-of-N timing to be stable across regenerations"
+            )
+            assert (
+                grid.value_config().timing_repetitions == grid.timing_repetitions
+            )
+
 
 @pytest.mark.parametrize("figure_id", CHEAP_FIGURES)
 class TestFigureSmoke:
