@@ -1,6 +1,6 @@
 """``memtree`` command line interface.
 
-Six sub-commands cover the typical workflows of the library:
+Eight sub-commands cover the typical workflows of the library:
 
 ``memtree generate``
     Generate a dataset (synthetic trees or the assembly-tree surrogate) and
@@ -40,6 +40,16 @@ Six sub-commands cover the typical workflows of the library:
     ``plan-stats.json``; overlapping figures share simulations through the
     instance-level result cache, and ``--dry-run`` prints the concatenated
     deduplicated plan.
+``memtree serve``
+    Run the resident scheduler service (:mod:`repro.service`): datasets
+    loaded once into memory, per-tree contexts and caches kept warm, and
+    ``schedule``/``sweep``/``status``/``load``/``evict`` queries answered
+    over an ``AF_UNIX`` socket (``--socket PATH``) or localhost TCP
+    (``--port N``).  Shuts down cleanly (exit 0) on SIGTERM/SIGINT.
+``memtree client``
+    Query a running daemon: ``ping``, ``status``, ``load``, ``evict``,
+    ``sweep`` and ``shutdown`` actions.  ``memtree schedule --via ADDRESS``
+    routes a single-tree schedule through the daemon the same way.
 
 Both sweep commands take ``--backend`` to pick the execution strategy
 (registered through :func:`repro.experiments.backends.register_backend`):
@@ -94,8 +104,8 @@ from .experiments import (
     run_sweep,
     write_series_csv,
 )
-from .orders import ORDER_FACTORIES, make_order, minimum_memory_postorder, sequential_peak_memory
-from .schedulers import SCHEDULER_FACTORIES, make_scheduler
+from .orders import ORDER_FACTORIES, minimum_memory_postorder, sequential_peak_memory
+from .schedulers import SCHEDULER_FACTORIES
 from .workloads import WorkloadCache, assembly_dataset, heavyleaf_dataset, synthetic_dataset
 
 __all__ = ["main", "build_parser"]
@@ -169,6 +179,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="lanes per batch for --backend batched (0 = auto: all instances "
         "of one tree per batch)",
     )
+    schedule.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full schedule record as machine-readable JSON "
+        "(single tree files; same serializer as the service wire)",
+    )
+    schedule.add_argument(
+        "--via",
+        default=None,
+        metavar="ADDRESS",
+        help="route the query through a running memtree serve daemon "
+        "(socket path or host:port) instead of simulating in-process",
+    )
     _add_native_flags(schedule)
 
     from .analysis.report import build_parser as _lint_parser  # local: keep CLI import light
@@ -232,6 +255,12 @@ def build_parser() -> argparse.ArgumentParser:
         "predicted cache hits, lane groups) and exit without simulating",
     )
     figure.add_argument(
+        "--json",
+        action="store_true",
+        help="with --dry-run: print the plan report as machine-readable "
+        "JSON (same serializer as the service wire)",
+    )
+    figure.add_argument(
         "--faults",
         default=None,
         metavar="PLAN",
@@ -248,6 +277,92 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the whole evaluation suite (all figures) and write a report",
     )
     add_suite_arguments(suite)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the resident scheduler service daemon"
+    )
+    serve.add_argument(
+        "--socket", type=Path, default=None, help="AF_UNIX socket path to bind"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port to bind on --host (0 = pick an ephemeral port)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind host (with --port)")
+    serve.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persistent result-cache directory shared by every sweep request "
+        "(default: a per-daemon in-memory row cache)",
+    )
+    serve.add_argument(
+        "--workload-cache-dir",
+        type=Path,
+        default=None,
+        help="persistent workload-cache directory: loaded datasets are saved "
+        "once as TreeStore arenas and mmap-loaded on later daemon starts",
+    )
+    serve.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="KIND:SCALE[:SEED]",
+        help="preload a dataset at startup, e.g. synthetic:tiny (repeatable; "
+        "default seed: the dataset kind's canonical seed)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=300.0,
+        help="seconds a connection may sit silent before it is dropped",
+    )
+    _add_native_flags(serve)
+
+    client = subparsers.add_parser(
+        "client", help="query a running memtree serve daemon"
+    )
+    client.add_argument("address", help="daemon address: socket path or host:port")
+    client.add_argument(
+        "action", choices=["ping", "status", "load", "evict", "sweep", "shutdown"]
+    )
+    client.add_argument(
+        "--kind",
+        default=None,
+        choices=["synthetic", "assembly", "heavyleaf", "height"],
+        help="dataset kind (load)",
+    )
+    client.add_argument("--scale", default="tiny", help="dataset scale (load)")
+    client.add_argument("--seed", type=int, default=None, help="dataset seed (load)")
+    client.add_argument("--name", default=None, help="dataset name (load/evict)")
+    client.add_argument("--dataset", default=None, help="resident dataset name (sweep)")
+    client.add_argument(
+        "--schedulers",
+        default="MemBooking",
+        help="comma-separated scheduler list (sweep)",
+    )
+    client.add_argument(
+        "--processors", default="8", help="comma-separated processor counts (sweep)"
+    )
+    client.add_argument(
+        "--memory-factors",
+        default="2.0",
+        help="comma-separated memory factors (sweep)",
+    )
+    client.add_argument(
+        "--rows",
+        default=None,
+        help="plan-row subset for sweep, e.g. 0-15 or 0,3,9 (default: full plan)",
+    )
+    client.add_argument("--ao", default="memPO", choices=sorted(ORDER_FACTORIES))
+    client.add_argument("--eo", default="memPO", choices=sorted(ORDER_FACTORIES))
+    client.add_argument(
+        "--json",
+        action="store_true",
+        help="print sweep records as JSON instead of the summary table",
+    )
 
     return parser
 
@@ -353,29 +468,189 @@ def _cmd_schedule_dataset(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _schedule_request(args: argparse.Namespace, tree: TaskTree) -> dict:
+    """The service-protocol ``schedule`` request the CLI args describe.
+
+    The in-process path and ``--via`` hand the *same* request to the same
+    handler (:meth:`repro.service.server.SchedulerService.schedule_record`),
+    so local and remote answers cannot drift.
+    """
+    from .core.tree_io import to_dict
+
+    request: dict = {
+        "tree": to_dict(tree),
+        "scheduler": args.scheduler,
+        "processors": args.processors,
+        "ao": args.ao,
+        "eo": args.eo,
+    }
+    if args.memory is not None:
+        request["memory"] = args.memory
+    else:
+        request["memory_factor"] = args.memory_factor
+    if args.native is not None:
+        request["native"] = args.native
+    return request
+
+
+def _print_schedule_record(record: dict) -> None:
+    """The human-readable rendering of one schedule record."""
+    memory = record["memory_limit"]
+    print(f"scheduler          : {record['scheduler']}")
+    print(f"tree size          : {record['tree_size']}")
+    print(f"processors         : {record['num_processors']}")
+    print(
+        f"memory bound       : {memory:.6g} "
+        f"({memory / record['minimum_memory']:.2f} x minimum)"
+    )
+    if record["completed"]:
+        print(f"makespan           : {record['makespan']:.6g}")
+        print(f"peak memory        : {record['peak_memory']:.6g}")
+        print(f"memory utilisation : {record['peak_memory'] / memory:.1%}")
+        print(f"scheduling time    : {record['scheduling_seconds'] * 1e3:.2f} ms")
+    else:
+        print(f"FAILED             : {record['failure_reason']}")
+
+
 def _cmd_schedule(args: argparse.Namespace) -> int:
     if args.path.is_dir():
+        if args.via is not None:
+            raise SystemExit("--via routes single tree files; sweep datasets locally")
         return _cmd_schedule_dataset(args)
     tree: TaskTree = load_json(args.path)
-    ao = make_order(tree, args.ao)
-    eo = ao if args.eo == args.ao else make_order(tree, args.eo)
-    minimum = sequential_peak_memory(tree, minimum_memory_postorder(tree))
-    memory = args.memory if args.memory is not None else args.memory_factor * minimum
-    scheduler = make_scheduler(args.scheduler)
-    scheduler.native = args.native
-    result = scheduler.schedule(tree, args.processors, memory, ao=ao, eo=eo)
-    print(f"scheduler          : {result.scheduler}")
-    print(f"tree size          : {result.tree_size}")
-    print(f"processors         : {result.num_processors}")
-    print(f"memory bound       : {memory:.6g} ({memory / minimum:.2f} x minimum)")
-    if result.completed:
-        print(f"makespan           : {result.makespan:.6g}")
-        print(f"peak memory        : {result.peak_memory:.6g}")
-        print(f"memory utilisation : {result.peak_memory / memory:.1%}")
-        print(f"scheduling time    : {result.scheduling_seconds * 1e3:.2f} ms")
-        return 0
-    print(f"FAILED             : {result.failure_reason}")
-    return 1
+    request = _schedule_request(args, tree)
+    if args.via is not None:
+        from .service import ServiceClient
+
+        with ServiceClient(args.via) as service_client:
+            record = service_client.schedule(**request)
+    else:
+        from .service import SchedulerService
+
+        record = SchedulerService(native=args.native).schedule_record(request)
+    if args.json:
+        from .service.protocol import payload_text
+
+        print(payload_text(record))
+    else:
+        _print_schedule_record(record)
+    return 0 if record["completed"] else 1
+
+
+def _parse_plan_rows(spec: str) -> list[int]:
+    """``"0,3,5-9"`` -> ``[0, 3, 5, 6, 7, 8, 9]`` (ranges inclusive)."""
+    rows: list[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if "-" in part:
+            start, _, stop = part.partition("-")
+            rows.extend(range(int(start), int(stop) + 1))
+        else:
+            rows.append(int(part))
+    return rows
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .service import SchedulerDaemon, SchedulerService
+
+    if (args.socket is None) == (args.port is None):
+        raise SystemExit("serve needs exactly one of --socket PATH or --port N")
+    service = SchedulerService(
+        cache_dir=args.cache_dir,
+        workload_cache_dir=args.workload_cache_dir,
+        native=args.native,
+    )
+    for spec in args.load:
+        kind, _, rest = spec.partition(":")
+        scale, _, seed = rest.partition(":")
+        name, _ = service.load_dataset(
+            kind, scale or "tiny", int(seed) if seed else None
+        )
+        print(f"loaded {name}: {len(service.datasets[name].trees)} trees")
+    daemon = SchedulerDaemon(
+        service,
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        request_timeout=args.request_timeout,
+    )
+    daemon.start()
+    print(f"memtree service listening on {daemon.address}", flush=True)
+    if threading.current_thread() is threading.main_thread():
+        # SIGTERM/SIGINT both mean "shut down cleanly, exit 0" for a daemon.
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, lambda *_: daemon.request_stop())
+    daemon.serve_forever()
+    print("memtree service shut down cleanly")
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from .service import RemoteError, ServiceClient
+    from .service.protocol import ProtocolError, payload_text
+
+    try:
+        with ServiceClient(args.address) as service_client:
+            if args.action == "ping":
+                print(payload_text(service_client.ping()))
+            elif args.action == "status":
+                print(payload_text(service_client.status()))
+            elif args.action == "shutdown":
+                print(payload_text(service_client.shutdown_server()))
+            elif args.action == "load":
+                if args.kind is None:
+                    raise SystemExit("client load needs --kind")
+                print(
+                    payload_text(
+                        service_client.load(
+                            args.kind, args.scale, seed=args.seed, name=args.name
+                        )
+                    )
+                )
+            elif args.action == "evict":
+                if args.name is None:
+                    raise SystemExit("client evict needs --name")
+                print(payload_text(service_client.evict(args.name)))
+            else:  # sweep
+                if args.dataset is None:
+                    raise SystemExit("client sweep needs --dataset")
+                records, stats = service_client.sweep(
+                    args.dataset,
+                    schedulers=[s for s in args.schedulers.split(",") if s],
+                    processors=[int(p) for p in args.processors.split(",") if p],
+                    memory_factors=[
+                        float(f) for f in args.memory_factors.split(",") if f
+                    ],
+                    rows=_parse_plan_rows(args.rows) if args.rows else None,
+                    ao=args.ao,
+                    eo=args.eo,
+                )
+                if args.json:
+                    print(payload_text({"records": records, "stats": stats}))
+                else:
+                    for record in records:
+                        status = (
+                            "ok"
+                            if record["completed"]
+                            else f"FAILED ({record['failure_reason']})"
+                        )
+                        print(
+                            f"tree {record['tree_index']:>4} "
+                            f"{record['scheduler']:>16} p={record['num_processors']:<3} "
+                            f"f={record['memory_factor']:<5g} "
+                            f"makespan={record['makespan']:<12.6g} {status}"
+                        )
+                    print(payload_text(stats))
+    except RemoteError as exc:
+        print(f"daemon error: {exc}", file=sys.stderr)
+        return 1
+    except (ProtocolError, ConnectionError, OSError) as exc:
+        print(f"cannot reach daemon at {args.address}: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -408,7 +683,13 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             cache=cache if cache is not None else InMemoryRowCache(),
             workload_cache=workload_cache,
         )
-        print(format_plan_report(plan_report([FIGURE_SPECS[args.figure_id]], ctx)))
+        report = plan_report([FIGURE_SPECS[args.figure_id]], ctx)
+        if args.json:
+            from .service.protocol import payload_text
+
+            print(payload_text(report))
+        else:
+            print(format_plan_report(report))
         return 0
     health = reset_run_health()
     result = run_figure(
@@ -444,6 +725,8 @@ def main(argv: list[str] | None = None) -> int:
         "lint": _cmd_lint,
         "figure": _cmd_figure,
         "suite": _cmd_suite,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
     }
     try:
         return handlers[args.command](args)

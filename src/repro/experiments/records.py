@@ -373,26 +373,31 @@ class RecordTable:
             view[:] = self._columns[field.name]
         return arena
 
-    def save(self, path: str | Path) -> Path:
-        """Write the arena to ``path`` (atomically) and return the path.
+    def to_bytes(self) -> bytes:
+        """The self-describing arena bytes (the service wire format).
 
         Dictionary-code tables accumulated since the arena was created are
-        embedded into the metadata block first, so a saved file always
-        round-trips its encoded columns.  When that forces a repack, the
-        table adopts the rebuilt arena (codes included), so a second save
-        of an unchanged table writes zero-copy again.
+        embedded into the metadata block first, so the returned bytes always
+        round-trip their encoded columns: ``RecordTable(table.to_bytes())``
+        reproduces the table exactly.  When embedding forces a repack, the
+        table adopts the rebuilt arena (codes included), so a second call
+        on an unchanged table is zero-copy again.
         """
         meta = _meta_bytes(self.fields, self.metadata, self._dict_codes)
         if meta != self._meta_raw:
             # Re-initialise around the rebuilt arena: the embedded metadata
             # now carries the codes, so parsing restores them and _meta_raw
-            # matches on the next save.  Previously handed-out column views
+            # matches on the next call.  Previously handed-out column views
             # (and any old mmap/shm handle) stay alive on the old arena
             # until their last reference dies.
             self.__init__(self._rebuild_arena(meta))
+        return bytes(self._arena_view())
+
+    def save(self, path: str | Path) -> Path:
+        """Write the arena to ``path`` (atomically) and return the path."""
         from ..resilience.atomic import atomic_write_bytes
 
-        return atomic_write_bytes(path, bytes(self._arena_view()))
+        return atomic_write_bytes(path, self.to_bytes())
 
     def copy(self) -> "RecordTable":
         """Deep copy into a private in-memory arena (detached from shm/mmap)."""
@@ -804,27 +809,43 @@ class ResultCache:
         The arena is rebuilt from all rows on every call — the store is
         small relative to the simulations it saves, and a rebuild keeps the
         arena compact and its dictionary codes canonical.
+
+        The whole read-merge-write runs under an exclusive cross-process
+        :class:`~repro.resilience.locks.FileLock` (``rows.lock``), and the
+        on-disk store is **re-read inside the lock** rather than merged
+        from this process's cached snapshot: two processes appending
+        concurrently each merge on top of whatever the other already
+        published, so neither replace can drop the other's rows.  Each
+        publish itself stays on the crash-safe atomic-write path — a writer
+        killed mid-section releases the lock via the kernel and leaves
+        intact files behind.
         """
+        from ..resilience.atomic import atomic_write_text
+        from ..resilience.locks import FileLock
+
         fresh = {key: dict(record) for key, record in pairs}
         if not fresh:
             return
-        table, index = self._load_rows()
-        merged: dict[str, dict[str, Any]] = {}
-        if table is not None:
-            for key, position in index.items():
-                merged[key] = table.row(position)
-        merged.update(fresh)
-        keys = list(merged)
-        new_table = RecordTable.from_dicts(merged[key] for key in keys)
-        new_index = {key: position for position, key in enumerate(keys)}
-        new_table.save(self._rows_path())
-        from ..resilience.atomic import atomic_write_text
-
-        atomic_write_text(
-            self._rows_index_path(), json.dumps(new_index, separators=(",", ":"))
-        )
-        self._row_table, self._row_index = new_table, new_index
-        self._maybe_inject_corruption()
+        with FileLock(self.directory / "rows.lock"):
+            # Merge-on-replace: drop the cached snapshot so the merge base
+            # is the store as concurrent writers left it, not as this
+            # process last saw it.
+            self._row_table, self._row_index = None, None
+            table, index = self._load_rows()
+            merged: dict[str, dict[str, Any]] = {}
+            if table is not None:
+                for key, position in index.items():
+                    merged[key] = table.row(position)
+            merged.update(fresh)
+            keys = list(merged)
+            new_table = RecordTable.from_dicts(merged[key] for key in keys)
+            new_index = {key: position for position, key in enumerate(keys)}
+            new_table.save(self._rows_path())
+            atomic_write_text(
+                self._rows_index_path(), json.dumps(new_index, separators=(",", ":"))
+            )
+            self._row_table, self._row_index = new_table, new_index
+            self._maybe_inject_corruption()
 
     def _maybe_inject_corruption(self) -> None:
         """``cache-corrupt`` hook: truncate the just-written row store.

@@ -13,6 +13,9 @@ Four pieces (see the module docstrings for detail):
   :class:`TransportFailure` signal of the backend degradation ladder.
 * :mod:`~repro.resilience.atomic` — crash-safe (fsync + atomic rename)
   cache file publication.
+* :mod:`~repro.resilience.locks` — advisory cross-process
+  :class:`FileLock` guarding cache read-modify-write sections (atomic
+  writes make each publish safe; the lock makes concurrent merges safe).
 * :mod:`~repro.resilience.health` — the per-run :class:`RunHealth`
   ledger surfaced in ``summary.md``, stdout and ``run-health.json``.
 """
@@ -29,6 +32,7 @@ from .faults import (
     resolve_fault_plan,
 )
 from .health import RunHealth, current_health, reset_run_health
+from .locks import FileLock
 from .recovery import RetrySettings, TransportFailure, drain_pool, retry_sleep
 
 __all__ = [
@@ -36,6 +40,7 @@ __all__ = [
     "QUARANTINE_PREFIX",
     "FaultPlan",
     "FaultRule",
+    "FileLock",
     "RetrySettings",
     "RunHealth",
     "TransportFailure",

@@ -1,0 +1,78 @@
+"""Advisory cross-process file locks for the persistent caches.
+
+The cache files themselves publish through :mod:`repro.resilience.atomic`
+(temp + fsync + atomic rename), which makes every individual write crash
+safe — but atomicity of one write is not atomicity of a *read-modify-write*.
+Two processes appending rows to the same
+:class:`~repro.experiments.records.ResultCache` both read the store, both
+merge their fresh rows into what they read, and both replace the files:
+each replace is atomic, yet the last writer's snapshot predates the first
+writer's publish, so the first writer's rows silently vanish.
+
+:class:`FileLock` closes that window: an ``fcntl.flock`` exclusive lock on
+a sidecar ``*.lock`` file held across the whole read-merge-write.  flock
+locks are advisory (both writers must take them — every writer in this
+package does), are released by the kernel when the holder dies (a
+``SIGKILL`` mid-critical-section cannot wedge the cache; the atomic writes
+keep the files themselves intact), and nest freely across *distinct* open
+descriptors, which is exactly the cross-process semantics wanted here.
+
+On platforms without :mod:`fcntl` (Windows) the lock degrades to a no-op:
+single-process use — the only mode exercised there — needs no lock, and
+the atomic-write path still guarantees readers never see torn files.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from types import TracebackType
+
+try:  # pragma: no cover - import guard exercised only off-Linux
+    import fcntl
+except ImportError:  # pragma: no cover - Windows
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["FileLock"]
+
+
+class FileLock:
+    """Exclusive advisory lock on ``path``, as a context manager.
+
+    Blocking: ``__enter__`` waits until the lock is granted.  Reentrant use
+    of one instance is a bug (guarded with an assertion); use one instance
+    per acquisition site instead.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fd: int | None = None
+
+    def __enter__(self) -> "FileLock":
+        assert self._fd is None, "FileLock is not reentrant"
+        if fcntl is None:  # pragma: no cover - Windows degrades to no-op
+            return self
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        except BaseException:  # pragma: no cover - interrupted acquisition
+            os.close(fd)
+            raise
+        self._fd = fd
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        if self._fd is None:
+            return
+        fd, self._fd = self._fd, None
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)

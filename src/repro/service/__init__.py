@@ -1,0 +1,66 @@
+"""The resident scheduler service (``memtree serve`` / ``memtree client``).
+
+A cold ``memtree schedule`` pays interpreter start, package import, dataset
+load and the per-tree O(n) derivations (orders, minimum memory,
+:class:`~repro.schedulers.engine.SimWorkspace`) before the first simulated
+event.  The service pays them once: a long-lived daemon keeps datasets
+resident as :class:`~repro.core.tree_store.TreeStore`-backed trees, keeps
+the per-tree contexts and the
+:class:`~repro.experiments.records.ResultCache` /
+:class:`~repro.workloads.datasets.WorkloadCache` handles warm, and answers
+``schedule`` / ``sweep`` / ``status`` / ``load`` / ``evict`` queries over a
+local stream socket — the "which schedule for *this* instance, now" query
+pattern of an online-arrival workload.
+
+Layout (prism-style: one core library, multiple surfaces):
+
+* :mod:`~repro.service.protocol` — length-prefixed framing, the JSON
+  request/response dialect, the raw
+  :class:`~repro.experiments.records.RecordTable` row-batch wire format,
+  and the one payload serializer shared by the wire and the CLI ``--json``
+  outputs;
+* :mod:`~repro.service.server` — :class:`SchedulerService` (resident
+  state + request handlers, socket free) and :class:`SchedulerDaemon`
+  (the socket loop);
+* :mod:`~repro.service.client` — :class:`ServiceClient`, one persistent
+  connection wrapping each request kind;
+* :mod:`~repro.service.metrics` — per-request latency/error counters
+  surfaced through ``status``.
+"""
+
+from .client import RemoteError, ServiceClient, parse_address
+from .metrics import ServiceMetrics
+from .protocol import (
+    FRAME_JSON,
+    FRAME_ROWS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_payload,
+    encode_payload,
+    payload_text,
+    recv_frame,
+    send_frame,
+    send_json,
+)
+from .server import DEFAULT_DATASET_SEEDS, SchedulerDaemon, SchedulerService, ServiceError
+
+__all__ = [
+    "DEFAULT_DATASET_SEEDS",
+    "FRAME_JSON",
+    "FRAME_ROWS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteError",
+    "SchedulerDaemon",
+    "SchedulerService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceMetrics",
+    "decode_payload",
+    "encode_payload",
+    "parse_address",
+    "payload_text",
+    "recv_frame",
+    "send_frame",
+    "send_json",
+]

@@ -1,0 +1,198 @@
+"""Client side of the resident scheduler service.
+
+:class:`ServiceClient` holds one persistent connection to a running
+``memtree serve`` daemon and wraps each request kind in a method.  The
+connection is lazy (opened on first request) and sticky: a warm client
+pays one socket round-trip per query, which is the whole point of the
+service — ``benchmarks/test_service_speed.py`` gates that a warm
+``schedule`` round-trip beats a cold ``memtree schedule`` process start by
+an order of magnitude.
+
+Addresses: a string containing ``/`` (or naming an existing filesystem
+path) is an ``AF_UNIX`` socket path; ``host:port`` or a bare port number
+is TCP.  ``memtree serve`` prints the address it bound in exactly these
+forms.
+"""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..experiments.records import RecordTable
+from .protocol import (
+    FRAME_JSON,
+    FRAME_ROWS,
+    ProtocolError,
+    decode_payload,
+    recv_frame,
+    send_json,
+)
+
+__all__ = ["ServiceClient", "RemoteError", "parse_address"]
+
+
+class RemoteError(RuntimeError):
+    """The daemon quarantined the request; carries its error object."""
+
+    def __init__(self, error: Mapping[str, Any]) -> None:
+        self.error = dict(error)
+        super().__init__(
+            f"{error.get('type', 'Error')}: {error.get('message', '')} "
+            f"(request {error.get('request', '?')!r})"
+        )
+
+
+def parse_address(address: "str | Path") -> tuple[int, Any]:
+    """``(family, connect_arg)`` for an address string.
+
+    ``AF_UNIX`` when the string looks like a path (contains ``/`` or exists
+    on disk), TCP otherwise (``host:port``, or a bare port on localhost).
+    """
+    text = str(address)
+    if "/" in text or Path(text).exists():
+        return socket.AF_UNIX, text
+    host, _, port = text.rpartition(":")
+    if not port.isdigit():
+        raise ValueError(f"not a socket path or host:port address: {text!r}")
+    return socket.AF_INET, (host or "127.0.0.1", int(port))
+
+
+class ServiceClient:
+    """One persistent connection to a ``memtree serve`` daemon."""
+
+    def __init__(self, address: "str | Path", *, timeout: float | None = 300.0) -> None:
+        self.address = str(address)
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+
+    # ------------------------------------------------------------------ #
+    # connection lifecycle
+    # ------------------------------------------------------------------ #
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        family, target = parse_address(self.address)
+        sock = socket.socket(family, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(target)
+        except BaseException:
+            sock.close()
+            raise
+        self._sock = sock
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # the request core
+    # ------------------------------------------------------------------ #
+    def request(
+        self,
+        kind: str,
+        *,
+        on_rows: Callable[[RecordTable], None] | None = None,
+        **params: Any,
+    ) -> dict[str, Any]:
+        """Send one request and return the terminal JSON payload.
+
+        ``R`` row-batch frames arriving before the terminal ``J`` frame are
+        handed to ``on_rows`` as reconstructed
+        :class:`~repro.experiments.records.RecordTable` batches.  Raises
+        :class:`RemoteError` when the daemon reports ``"ok": false``.
+        """
+        self.connect()
+        sock = self._sock
+        assert sock is not None
+        send_json(sock, {"kind": kind, **params})
+        while True:
+            frame = recv_frame(sock)
+            if frame is None:
+                self.close()
+                raise ProtocolError("daemon closed the connection mid-response")
+            frame_kind, payload = frame
+            if frame_kind == FRAME_ROWS:
+                if on_rows is not None:
+                    on_rows(RecordTable(payload))
+                continue
+            assert frame_kind == FRAME_JSON
+            response = decode_payload(payload)
+            if not response.get("ok", False):
+                raise RemoteError(response.get("error", {}))
+            return response
+
+    # ------------------------------------------------------------------ #
+    # request wrappers
+    # ------------------------------------------------------------------ #
+    def ping(self) -> dict[str, Any]:
+        return self.request("ping")
+
+    def status(self) -> dict[str, Any]:
+        return self.request("status")
+
+    def load(
+        self,
+        dataset_kind: str,
+        scale: str = "tiny",
+        *,
+        seed: int | None = None,
+        name: str | None = None,
+    ) -> dict[str, Any]:
+        params: dict[str, Any] = {"dataset_kind": dataset_kind, "scale": scale}
+        if seed is not None:
+            params["seed"] = seed
+        if name is not None:
+            params["name"] = name
+        return self.request("load", **params)
+
+    def evict(self, name: str) -> dict[str, Any]:
+        return self.request("evict", name=name)
+
+    def schedule(self, **params: Any) -> dict[str, Any]:
+        """One instance; returns the full record dict (see the server docs)."""
+        response = self.request("schedule", **params)
+        return response["record"]
+
+    def sweep(
+        self,
+        dataset: str,
+        *,
+        schedulers: Sequence[str] = ("MemBooking",),
+        processors: Iterable[int] = (8,),
+        memory_factors: Iterable[float] = (2.0,),
+        rows: Sequence[int] | None = None,
+        **params: Any,
+    ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+        """Run a sweep; returns ``(records, stats)`` with records in plan order."""
+        records: list[dict[str, Any]] = []
+        request: dict[str, Any] = {
+            "dataset": dataset,
+            "schedulers": list(schedulers),
+            "processors": list(processors),
+            "memory_factors": list(memory_factors),
+            **params,
+        }
+        if rows is not None:
+            request["rows"] = list(rows)
+        stats = self.request(
+            "sweep", on_rows=lambda batch: records.extend(batch.to_dicts()), **request
+        )
+        return records, stats
+
+    def shutdown_server(self) -> dict[str, Any]:
+        """Ask the daemon to shut down cleanly (the SIGTERM path, over the wire)."""
+        try:
+            return self.request("shutdown")
+        finally:
+            self.close()

@@ -1,0 +1,52 @@
+"""Per-request service metrics, surfaced through the ``status`` request.
+
+One :class:`ServiceMetrics` instance lives on the
+:class:`~repro.service.server.SchedulerService` and every request — served
+or quarantined — records its kind and wall-clock latency here.  The
+counters are cumulative since daemon start (``status`` itself is counted),
+cheap to update (one small lock around plain dict arithmetic, no
+per-request allocation beyond the update), and cheap to read:
+:meth:`snapshot` materialises a plain JSON-safe dict.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+__all__ = ["ServiceMetrics"]
+
+
+class ServiceMetrics:
+    """Thread-safe per-request-kind latency and error counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: kind -> [count, errors, total_seconds, max_seconds]
+        self._counters: dict[str, list[float]] = {}
+
+    def observe(self, kind: str, seconds: float, *, error: bool = False) -> None:
+        """Record one request of ``kind`` that took ``seconds`` wall-clock."""
+        with self._lock:
+            entry = self._counters.get(kind)
+            if entry is None:
+                entry = self._counters[kind] = [0, 0, 0.0, 0.0]
+            entry[0] += 1
+            entry[1] += 1 if error else 0
+            entry[2] += seconds
+            entry[3] = max(entry[3], seconds)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """JSON-safe view: per kind ``count``/``errors``/latency stats."""
+        with self._lock:
+            counters = {kind: list(entry) for kind, entry in self._counters.items()}
+        return {
+            kind: {
+                "count": int(count),
+                "errors": int(errors),
+                "total_seconds": total,
+                "mean_seconds": total / count if count else 0.0,
+                "max_seconds": peak,
+            }
+            for kind, (count, errors, total, peak) in sorted(counters.items())
+        }

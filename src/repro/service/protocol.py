@@ -1,0 +1,148 @@
+"""Wire protocol of the resident scheduler service.
+
+The service speaks length-prefixed frames over a stream socket (an
+``AF_UNIX`` path or TCP on localhost).  Every frame is::
+
+    1 byte   frame kind
+    4 bytes  payload length, unsigned big-endian
+    ...      payload
+
+Two frame kinds exist:
+
+``J`` (:data:`FRAME_JSON`)
+    A UTF-8 JSON object.  Requests are always single ``J`` frames carrying
+    at least a ``"kind"`` field; most responses are a single ``J`` frame
+    with ``"ok": true`` plus the result, or ``"ok": false`` plus an
+    ``"error"`` object when the request was quarantined.  The JSON dialect
+    is Python's (``Infinity``/``NaN`` tokens allowed): schedule records
+    legitimately carry ``inf`` makespans and ``nan`` ratios for infeasible
+    instances, and both ends of the wire are this module.
+
+``R`` (:data:`FRAME_ROWS`)
+    A raw :class:`~repro.experiments.records.RecordTable` arena
+    (:meth:`~repro.experiments.records.RecordTable.to_bytes`) carrying one
+    batch of sweep result rows.  The arena is self-describing (versioned
+    header + embedded schema), so the client needs no out-of-band schema —
+    ``RecordTable(payload)`` reconstructs the batch exactly.  A ``sweep``
+    response streams zero or more ``R`` frames followed by a terminal ``J``
+    frame with the run statistics, so a client renders rows incrementally
+    while the daemon is still simulating the tail of the plan.
+
+One serializer for CLI and wire: :func:`encode_payload` /
+:func:`payload_text` produce the canonical JSON encoding used both for
+``J`` frames and for the machine-readable stdout of ``memtree schedule
+--json`` and ``memtree figure --dry-run --json`` — a consumer can parse
+the CLI output and the wire with the same code.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Mapping
+
+__all__ = [
+    "FRAME_JSON",
+    "FRAME_ROWS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "encode_payload",
+    "payload_text",
+    "decode_payload",
+    "send_frame",
+    "send_json",
+    "recv_frame",
+]
+
+#: Bumped on any incompatible framing/request-shape change; the server
+#: reports it in ``status`` and rejects requests pinning a newer version.
+PROTOCOL_VERSION = 1
+
+FRAME_JSON = b"J"
+FRAME_ROWS = b"R"
+
+#: frame kind (1 byte) + payload length (u32, network order)
+_FRAME_HEADER = struct.Struct("!cI")
+
+#: Upper bound on a single frame; a header announcing more than this is
+#: treated as stream corruption, not an allocation request.
+MAX_FRAME_BYTES = 1 << 31
+
+
+class ProtocolError(ConnectionError):
+    """The stream ended mid-frame or carried an unparsable frame."""
+
+
+# --------------------------------------------------------------------------- #
+# the one JSON serializer (CLI --json output and J frames)
+# --------------------------------------------------------------------------- #
+def payload_text(payload: Mapping[str, Any]) -> str:
+    """Canonical JSON text of a payload (sorted keys, compact separators)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def encode_payload(payload: Mapping[str, Any]) -> bytes:
+    """Canonical JSON bytes of a payload (the ``J`` frame body)."""
+    return payload_text(payload).encode("utf-8")
+
+
+def decode_payload(data: bytes) -> dict[str, Any]:
+    """Parse a ``J`` frame body back into a dict."""
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"unparsable JSON frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("JSON frame must carry an object")
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# framing
+# --------------------------------------------------------------------------- #
+def send_frame(sock: socket.socket, kind: bytes, payload: bytes) -> None:
+    """Write one ``kind`` frame carrying ``payload``."""
+    if len(kind) != 1:
+        raise ValueError("frame kind must be a single byte")
+    sock.sendall(_FRAME_HEADER.pack(kind, len(payload)) + payload)
+
+
+def send_json(sock: socket.socket, payload: Mapping[str, Any]) -> None:
+    """Write one ``J`` frame carrying ``payload``."""
+    send_frame(sock, FRAME_JSON, encode_payload(payload))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; ``None`` on EOF before the first byte."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if chunks:
+                raise ProtocolError("stream ended mid-frame")
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> tuple[bytes, bytes] | None:
+    """Read one ``(kind, payload)`` frame; ``None`` on clean EOF.
+
+    EOF *inside* a frame (header or payload) raises :class:`ProtocolError`
+    — a peer that died mid-send must never be mistaken for a clean close.
+    """
+    header = _recv_exact(sock, _FRAME_HEADER.size)
+    if header is None:
+        return None
+    kind, length = _FRAME_HEADER.unpack(header)
+    if kind not in (FRAME_JSON, FRAME_ROWS):
+        raise ProtocolError(f"unknown frame kind {kind!r}")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds the protocol maximum")
+    payload = _recv_exact(sock, length) if length else b""
+    if payload is None:
+        raise ProtocolError("stream ended mid-frame")
+    return kind, payload

@@ -1,0 +1,197 @@
+"""Cross-process safety of the :class:`ResultCache` row store.
+
+``put_rows`` is a read-merge-write over ``rows.records`` +
+``rows.index.json``.  Each individual write has always been atomic
+(tmp-file + ``os.replace``), but atomic *writes* do not make the
+*read-modify-write* atomic: two processes that both read the store, merge
+their own rows and replace it would each publish a store missing the
+other's rows — the last replace silently wins.  The fix serialises the
+whole section under an exclusive :class:`~repro.resilience.locks.FileLock`
+(``rows.lock``) and re-reads the on-disk store inside the lock.
+
+These tests hammer one cache directory from genuinely separate processes
+(``subprocess``, not threads — the GIL serialises threads enough to hide
+the race) and assert the contract the daemon and parallel sweep backends
+rely on: **no lost rows, no quarantined stores, and cached values
+identical to a serial run**.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import SweepConfig
+from repro.experiments.plan import SweepPlan, execute_plan
+from repro.experiments.records import ResultCache, records_equal
+from repro.resilience import reset_run_health
+from repro.workloads import SyntheticTreeConfig, synthetic_trees
+
+TIMING_FIELDS = ("scheduling_seconds", "scheduling_seconds_per_node")
+
+#: Both workers and the in-test serial reference regenerate this exact
+#: workload — content-addressed instance keys then agree across processes.
+CONFIG = SweepConfig(
+    schedulers=("Activation", "MemBooking"),
+    memory_factors=(2.0, 4.0),
+    processors=(2,),
+)
+
+WORKER = textwrap.dedent(
+    """
+    import json
+    import sys
+    import time
+    from pathlib import Path
+
+    from repro.experiments.config import SweepConfig
+    from repro.experiments.plan import SweepPlan, execute_plan_cached
+    from repro.experiments.records import ResultCache
+    from repro.experiments.runner import prepare_instance, run_single
+    from repro.workloads import SyntheticTreeConfig, synthetic_trees
+
+    mode, cache_dir, go_file, slot = sys.argv[1:5]
+    slot = int(slot)
+    cache = ResultCache(cache_dir)
+    trees = synthetic_trees(2, SyntheticTreeConfig(num_nodes=30), rng=5)
+    config = SweepConfig(
+        schedulers=("Activation", "MemBooking"),
+        memory_factors=(2.0, 4.0),
+        processors=(2,),
+    )
+
+    # Start gate: both workers spin here until the parent says go, so the
+    # read-merge-write sections genuinely overlap.
+    deadline = time.monotonic() + 30.0
+    while not Path(go_file).exists():
+        if time.monotonic() > deadline:
+            sys.exit("timed out waiting for the go file")
+        time.sleep(0.001)
+
+    if mode == "plan":
+        plan = SweepPlan.from_config(config, len(trees))
+        windows = [list(range(0, 6)), list(range(2, 8))]
+        table = execute_plan_cached(trees, plan.subset(windows[slot]), cache=cache)
+        print(json.dumps({"rows": len(table), "fresh": cache.rows_fresh}))
+    elif mode == "hammer":
+        record = run_single(
+            prepare_instance(trees[0], 0, config), "Activation", 2, 2.0, config
+        )
+        for round_index in range(12):
+            cache.put_rows(
+                (f"k-{slot}-{round_index}-{i}", record) for i in range(4)
+            )
+        print(json.dumps({"rows_written": 12 * 4}))
+    else:
+        sys.exit(f"unknown mode {mode!r}")
+    """
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_health():
+    reset_run_health()
+    yield
+    reset_run_health()
+
+
+def _run_workers(tmp_path: Path, mode: str, count: int = 2) -> Path:
+    """Launch ``count`` workers on one cache dir, release them together."""
+    cache_dir = tmp_path / "cache"
+    script = tmp_path / "worker.py"
+    script.write_text(WORKER)
+    go_file = tmp_path / "go"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    workers = [
+        subprocess.Popen(
+            [sys.executable, str(script), mode, str(cache_dir), str(go_file), str(slot)],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        for slot in range(count)
+    ]
+    time.sleep(0.2)  # let both reach the gate
+    go_file.write_text("go")
+    for worker in workers:
+        out, err = worker.communicate(timeout=240)
+        assert worker.returncode == 0, f"worker failed:\n{out}\n{err}"
+        assert json.loads(out.splitlines()[-1])
+    return cache_dir
+
+
+def _assert_store_clean(cache_dir: Path) -> dict[str, int]:
+    assert not list(cache_dir.glob("*.quarantined")), "store was quarantined"
+    index = json.loads((cache_dir / "rows.index.json").read_text())
+    positions = sorted(index.values())
+    assert positions == list(range(len(index))), "index is not a clean permutation"
+    return index
+
+
+def test_concurrent_overlapping_plans_lose_no_rows(tmp_path):
+    cache_dir = _run_workers(tmp_path, "plan")
+    index = _assert_store_clean(cache_dir)
+
+    trees = synthetic_trees(2, SyntheticTreeConfig(num_nodes=30), rng=5)
+    plan = SweepPlan.from_config(CONFIG, len(trees))
+    keys = plan.instance_keys(trees)
+    assert len(keys) == 8
+    # Windows 0-5 and 2-7 union to the full plan: every row must be cached.
+    assert set(index) == set(keys)
+
+    cache = ResultCache(cache_dir)
+    reference = execute_plan(trees, plan)
+    got = cache.get_rows(keys)
+    assert records_equal(
+        [got[key] for key in keys], reference.to_dicts(), ignore=TIMING_FIELDS
+    )
+
+
+def test_concurrent_put_rows_hammer_keeps_every_row(tmp_path):
+    cache_dir = _run_workers(tmp_path, "hammer")
+    index = _assert_store_clean(cache_dir)
+
+    expected_keys = {
+        f"k-{slot}-{round_index}-{i}"
+        for slot in range(2)
+        for round_index in range(12)
+        for i in range(4)
+    }
+    # The lost-update race drops whole batches (one replace overwrites the
+    # other); under the file lock the union survives exactly.
+    assert set(index) == expected_keys
+
+    trees = synthetic_trees(2, SyntheticTreeConfig(num_nodes=30), rng=5)
+    from repro.experiments.runner import prepare_instance, run_single
+
+    record = run_single(
+        prepare_instance(trees[0], 0, CONFIG), "Activation", 2, 2.0, CONFIG
+    )
+    cache = ResultCache(cache_dir)
+    got = cache.get_rows(sorted(expected_keys))
+    assert len(got) == len(expected_keys)
+    assert records_equal(
+        list(got.values()), [record] * len(got), ignore=TIMING_FIELDS
+    )
+
+
+def test_serial_rerun_after_concurrency_is_all_hits(tmp_path):
+    """A follow-up serial sweep over the contested store is 100% cached."""
+    cache_dir = _run_workers(tmp_path, "plan")
+    from repro.experiments.plan import execute_plan_cached
+
+    trees = synthetic_trees(2, SyntheticTreeConfig(num_nodes=30), rng=5)
+    plan = SweepPlan.from_config(CONFIG, len(trees))
+    cache = ResultCache(cache_dir)
+    table = execute_plan_cached(trees, plan, cache=cache)
+    assert cache.rows_fresh == 0
+    assert cache.rows_cached == len(table) == 8
